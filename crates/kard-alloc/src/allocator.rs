@@ -1,0 +1,530 @@
+//! The consolidated unique-page allocator itself.
+
+use crate::metadata::{ObjectId, ObjectInfo, ObjectKind};
+use kard_sim::{Machine, PhysFrame, ProtectError, ProtectionKey, ThreadId, VirtAddr, VirtPage, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// Allocation granule: Kard's allocator "returns a multiple of 32 B to each
+/// memory allocation request" (§6).
+pub const ALLOC_GRANULE: u64 = 32;
+
+/// Allocator statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Total allocations performed (heap only).
+    pub allocations: u64,
+    /// Total frees performed.
+    pub frees: u64,
+    /// Objects currently live (heap + globals).
+    pub live_objects: u64,
+    /// Globals registered.
+    pub globals: u64,
+    /// Bytes wasted to granule rounding across live objects.
+    pub rounding_waste_bytes: u64,
+    /// Consolidation slot reuses (a freed slot served a new allocation).
+    pub slot_reuses: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Backing {
+    /// Small object: one page aliasing a shared frame at `offset`.
+    Consolidated { frame: PhysFrame, offset: u64 },
+    /// Large object or global: dedicated frames, one per page.
+    Dedicated,
+}
+
+#[derive(Clone, Debug)]
+struct ObjectRecord {
+    info: ObjectInfo,
+    backing: Backing,
+    frames: Vec<PhysFrame>,
+}
+
+#[derive(Default)]
+struct Inner {
+    objects: HashMap<ObjectId, ObjectRecord>,
+    /// Base-address index for faulting-address lookup.
+    by_base: BTreeMap<u64, ObjectId>,
+    /// Page index: at most one object owns a virtual page.
+    by_page: HashMap<VirtPage, ObjectId>,
+    /// Free consolidation slots, keyed by rounded size.
+    free_slots: HashMap<u64, Vec<(PhysFrame, u64)>>,
+    /// Currently open frame for bump allocation and its fill level.
+    open_frame: Option<(PhysFrame, u64)>,
+    next_id: u64,
+    stats: AllocStats,
+}
+
+/// The consolidated unique-page allocator (see [crate docs](crate)).
+pub struct KardAlloc {
+    machine: Arc<Machine>,
+    inner: Mutex<Inner>,
+}
+
+impl KardAlloc {
+    /// A fresh allocator over `machine` (conceptually: `memfd_create`).
+    #[must_use]
+    pub fn new(machine: Arc<Machine>) -> KardAlloc {
+        KardAlloc {
+            machine,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The machine this allocator serves.
+    #[must_use]
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    fn round_up(size: u64) -> u64 {
+        let size = size.max(1);
+        size.div_ceil(ALLOC_GRANULE) * ALLOC_GRANULE
+    }
+
+    /// Allocate a heap object of `size` bytes on behalf of `thread`.
+    ///
+    /// Small objects (< one page) are consolidated into shared physical
+    /// frames; objects of a page or more get dedicated frames. Either way
+    /// the object is the sole owner of its virtual page(s), initially tagged
+    /// with the default key (the caller — Kard's runtime — immediately
+    /// retags heap objects with the Not-accessed key).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn alloc(&self, thread: ThreadId, size: u64) -> ObjectInfo {
+        assert!(size > 0, "zero-sized allocation");
+        let rounded = Self::round_up(size);
+        let mut inner = self.inner.lock();
+        let id = ObjectId(inner.next_id);
+        inner.next_id += 1;
+
+        let record = if rounded < PAGE_SIZE {
+            self.alloc_consolidated(thread, &mut inner, id, size, rounded)
+        } else {
+            self.alloc_dedicated(thread, id, size, rounded, ObjectKind::Heap)
+        };
+        let info = record.info;
+        Self::index(&mut inner, record);
+        inner.stats.allocations += 1;
+        inner.stats.live_objects += 1;
+        inner.stats.rounding_waste_bytes += info.rounded_size - info.size;
+        info
+    }
+
+    fn alloc_consolidated(
+        &self,
+        thread: ThreadId,
+        inner: &mut Inner,
+        id: ObjectId,
+        size: u64,
+        rounded: u64,
+    ) -> ObjectRecord {
+        // Prefer an exact-size freed slot, then bump space in the open
+        // frame, then a fresh frame.
+        let (frame, offset) = if let Some(slot) = inner
+            .free_slots
+            .get_mut(&rounded)
+            .and_then(|slots| slots.pop())
+        {
+            inner.stats.slot_reuses += 1;
+            slot
+        } else {
+            match inner.open_frame {
+                Some((frame, fill)) if fill + rounded <= PAGE_SIZE => {
+                    inner.open_frame = Some((frame, fill + rounded));
+                    (frame, fill)
+                }
+                _ => {
+                    let frame = self.machine.alloc_frame(thread);
+                    inner.open_frame = Some((frame, rounded));
+                    (frame, 0)
+                }
+            }
+        };
+
+        let page = self.machine.reserve_pages(1);
+        self.machine
+            .map_page(thread, page, frame)
+            .expect("fresh page cannot be mapped already");
+        let base = page.base_addr().offset(offset);
+        ObjectRecord {
+            info: ObjectInfo {
+                id,
+                base,
+                size,
+                rounded_size: rounded,
+                first_page: page,
+                page_count: 1,
+                kind: ObjectKind::Heap,
+            },
+            backing: Backing::Consolidated { frame, offset },
+            frames: vec![frame],
+        }
+    }
+
+    fn alloc_dedicated(
+        &self,
+        thread: ThreadId,
+        id: ObjectId,
+        size: u64,
+        rounded: u64,
+        kind: ObjectKind,
+    ) -> ObjectRecord {
+        let page_count = rounded.div_ceil(PAGE_SIZE);
+        let first_page = self.machine.reserve_pages(page_count);
+        let mut frames = Vec::with_capacity(page_count as usize);
+        for i in 0..page_count {
+            let frame = self.machine.alloc_frame(thread);
+            self.machine
+                .map_page(thread, first_page.add(i), frame)
+                .expect("fresh page cannot be mapped already");
+            frames.push(frame);
+        }
+        ObjectRecord {
+            info: ObjectInfo {
+                id,
+                base: first_page.base_addr(),
+                size,
+                rounded_size: rounded,
+                first_page,
+                page_count,
+                kind,
+            },
+            backing: Backing::Dedicated,
+            frames,
+        }
+    }
+
+    fn index(inner: &mut Inner, record: ObjectRecord) {
+        let info = record.info;
+        inner.by_base.insert(info.base.0, info.id);
+        for i in 0..info.page_count {
+            inner.by_page.insert(info.first_page.add(i), info.id);
+        }
+        inner.objects.insert(info.id, record);
+    }
+
+    /// Register a global variable of `size` bytes.
+    ///
+    /// Globals receive unique, page-aligned, *non-consolidated* storage; the
+    /// paper's implementation aggregates global metadata at compile time and
+    /// registers it at program start (§5.3, §6). Kard's runtime calls this
+    /// during startup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn register_global(&self, thread: ThreadId, size: u64) -> ObjectInfo {
+        assert!(size > 0, "zero-sized global");
+        let rounded = Self::round_up(size);
+        let mut inner = self.inner.lock();
+        let id = ObjectId(inner.next_id);
+        inner.next_id += 1;
+        let record = self.alloc_dedicated(thread, id, size, rounded, ObjectKind::Global);
+        let info = record.info;
+        Self::index(&mut inner, record);
+        inner.stats.globals += 1;
+        inner.stats.live_objects += 1;
+        inner.stats.rounding_waste_bytes += info.rounded_size - info.size;
+        info
+    }
+
+    /// Free a heap object, unmapping its virtual pages and recycling its
+    /// consolidation slot (or dedicated frames).
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free, unknown ids, or attempts to free globals —
+    /// all of which are program errors Kard's wrapper would also reject.
+    pub fn free(&self, thread: ThreadId, id: ObjectId) {
+        let mut inner = self.inner.lock();
+        let record = inner
+            .objects
+            .remove(&id)
+            .unwrap_or_else(|| panic!("free of unknown or already-freed object {id}"));
+        assert_eq!(
+            record.info.kind,
+            ObjectKind::Heap,
+            "globals cannot be freed"
+        );
+        inner.by_base.remove(&record.info.base.0);
+        for i in 0..record.info.page_count {
+            inner.by_page.remove(&record.info.first_page.add(i));
+            self.machine
+                .unmap_page(thread, record.info.first_page.add(i))
+                .expect("object pages must be mapped");
+        }
+        match record.backing {
+            Backing::Consolidated { frame, offset } => {
+                // The slot returns to the pool; frames holding consolidated
+                // objects are never shrunk out of the file, matching the
+                // paper's simple allocator (§6 defers page recycling).
+                inner
+                    .free_slots
+                    .entry(record.info.rounded_size)
+                    .or_default()
+                    .push((frame, offset));
+            }
+            Backing::Dedicated => {
+                for frame in record.frames {
+                    self.machine.free_frame(frame);
+                }
+            }
+        }
+        inner.stats.frees += 1;
+        inner.stats.live_objects -= 1;
+        inner.stats.rounding_waste_bytes -= record.info.rounded_size - record.info.size;
+    }
+
+    /// Metadata of the live object containing `addr`, if any.
+    ///
+    /// Used by the fault handler to map a faulting address to an object.
+    /// Falls back to the page index so that *any* address within an
+    /// object's unique page resolves to the object (the page is exclusively
+    /// owned even where the object's bytes do not cover it).
+    #[must_use]
+    pub fn object_at(&self, addr: VirtAddr) -> Option<ObjectInfo> {
+        let inner = self.inner.lock();
+        if let Some((_, id)) = inner.by_base.range(..=addr.0).next_back() {
+            let info = inner.objects[id].info;
+            if info.contains(addr) {
+                return Some(info);
+            }
+        }
+        inner
+            .by_page
+            .get(&addr.page())
+            .map(|id| inner.objects[id].info)
+    }
+
+    /// Metadata of a live object by id.
+    #[must_use]
+    pub fn object(&self, id: ObjectId) -> Option<ObjectInfo> {
+        self.inner.lock().objects.get(&id).map(|r| r.info)
+    }
+
+    /// All live objects (snapshot), in allocation order.
+    #[must_use]
+    pub fn live_objects(&self) -> Vec<ObjectInfo> {
+        let inner = self.inner.lock();
+        let mut objs: Vec<_> = inner.objects.values().map(|r| r.info).collect();
+        objs.sort_by_key(|o| o.id);
+        objs
+    }
+
+    /// Retag all pages of object `id` with `key` via `pkey_mprotect`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the key is invalid for the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not live.
+    pub fn protect(
+        &self,
+        thread: ThreadId,
+        id: ObjectId,
+        key: ProtectionKey,
+    ) -> Result<(), ProtectError> {
+        let info = self
+            .object(id)
+            .unwrap_or_else(|| panic!("protect of unknown object {id}"));
+        self.machine
+            .pkey_mprotect(thread, info.first_page, info.page_count, key)
+    }
+
+    /// Statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> AllocStats {
+        self.inner.lock().stats
+    }
+}
+
+impl fmt::Debug for KardAlloc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KardAlloc")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kard_sim::{AccessKind, CodeSite, MachineConfig};
+
+    fn setup() -> (Arc<Machine>, ThreadId, KardAlloc) {
+        let machine = Arc::new(Machine::new(MachineConfig::default()));
+        let thread = machine.register_thread();
+        let alloc = KardAlloc::new(Arc::clone(&machine));
+        (machine, thread, alloc)
+    }
+
+    #[test]
+    fn figure2_128_small_objects_share_one_frame() {
+        let (machine, t, alloc) = setup();
+        let infos: Vec<_> = (0..128).map(|_| alloc.alloc(t, 32)).collect();
+        // 128 * 32 B = 4096 B: exactly one physical frame.
+        assert_eq!(machine.mem_stats().file_bytes, PAGE_SIZE);
+        // ...but 128 distinct virtual pages.
+        let mut pages: Vec<_> = infos.iter().map(|i| i.first_page).collect();
+        pages.sort();
+        pages.dedup();
+        assert_eq!(pages.len(), 128);
+        // Page-internal shifts make physical extents disjoint.
+        let mut offsets: Vec<_> = infos.iter().map(|i| i.base.page_offset()).collect();
+        offsets.sort_unstable();
+        let expected: Vec<u64> = (0..128).map(|i| i * 32).collect();
+        assert_eq!(offsets, expected);
+        // The 129th allocation opens a second frame.
+        let _ = alloc.alloc(t, 32);
+        assert_eq!(machine.mem_stats().file_bytes, 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn sizes_round_to_32_byte_granules() {
+        let (_, t, alloc) = setup();
+        assert_eq!(alloc.alloc(t, 1).rounded_size, 32);
+        assert_eq!(alloc.alloc(t, 32).rounded_size, 32);
+        assert_eq!(alloc.alloc(t, 33).rounded_size, 64);
+        // water_nsquared's pattern (§7.5): 24 B objects waste 8 B each.
+        let o = alloc.alloc(t, 24);
+        assert_eq!(o.rounded_size - o.size, 8);
+    }
+
+    #[test]
+    fn large_object_gets_dedicated_contiguous_pages() {
+        let (machine, t, alloc) = setup();
+        let o = alloc.alloc(t, 3 * PAGE_SIZE + 100);
+        assert_eq!(o.page_count, 4);
+        assert_eq!(o.base, o.first_page.base_addr(), "large objects are page-aligned");
+        // All pages resolve back to the object.
+        for i in 0..4 {
+            let probe = o.first_page.add(i).base_addr().offset(5);
+            assert_eq!(alloc.object_at(probe).unwrap().id, o.id);
+        }
+        assert_eq!(machine.mem_stats().file_bytes, 4 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn free_recycles_consolidation_slot() {
+        let (machine, t, alloc) = setup();
+        let a = alloc.alloc(t, 64);
+        let slot = (a.first_page, a.base.page_offset());
+        alloc.free(t, a.id);
+        let b = alloc.alloc(t, 64);
+        assert_eq!(b.base.page_offset(), slot.1, "slot offset must be reused");
+        assert_ne!(b.first_page, slot.0, "virtual pages are never reused");
+        assert_eq!(machine.mem_stats().file_bytes, PAGE_SIZE);
+        assert_eq!(alloc.stats().slot_reuses, 1);
+    }
+
+    #[test]
+    fn free_large_object_releases_frames() {
+        let (machine, t, alloc) = setup();
+        let o = alloc.alloc(t, 2 * PAGE_SIZE);
+        assert_eq!(machine.mem_stats().file_bytes, 2 * PAGE_SIZE);
+        alloc.free(t, o.id);
+        // Frames are recycled by the next dedicated allocation.
+        let _ = alloc.alloc(t, 2 * PAGE_SIZE);
+        assert_eq!(machine.mem_stats().file_bytes, 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn globals_are_not_consolidated() {
+        let (machine, t, alloc) = setup();
+        let g1 = alloc.register_global(t, 8);
+        let g2 = alloc.register_global(t, 8);
+        assert_eq!(g1.kind, ObjectKind::Global);
+        assert_eq!(g1.base.page_offset(), 0);
+        assert_ne!(g1.first_page, g2.first_page);
+        // Two tiny globals still cost two whole frames (§6's overestimate).
+        assert_eq!(machine.mem_stats().file_bytes, 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn object_at_resolves_interior_and_page_addresses() {
+        let (_, t, alloc) = setup();
+        let o = alloc.alloc(t, 100); // rounded to 128
+        assert_eq!(alloc.object_at(o.base).unwrap().id, o.id);
+        assert_eq!(alloc.object_at(o.base.offset(127)).unwrap().id, o.id);
+        // An address in the object's page but outside its bytes still
+        // resolves via the page index (the page is exclusively owned).
+        let page_addr = o.first_page.base_addr();
+        assert_eq!(alloc.object_at(page_addr).unwrap().id, o.id);
+    }
+
+    #[test]
+    fn object_at_unknown_address_is_none() {
+        let (_, t, alloc) = setup();
+        let o = alloc.alloc(t, 32);
+        alloc.free(t, o.id);
+        assert_eq!(alloc.object_at(o.base), None);
+    }
+
+    #[test]
+    fn protect_retags_every_page() {
+        let (machine, t, alloc) = setup();
+        let o = alloc.alloc(t, 2 * PAGE_SIZE);
+        alloc.protect(t, o.id, ProtectionKey(5)).unwrap();
+        for i in 0..o.page_count {
+            assert_eq!(machine.page_key(o.first_page.add(i)), Some(ProtectionKey(5)));
+        }
+    }
+
+    #[test]
+    fn allocated_memory_is_accessible_through_machine() {
+        let (machine, t, alloc) = setup();
+        let o = alloc.alloc(t, 48);
+        machine
+            .access(t, o.base.offset(40), AccessKind::Write, CodeSite(1))
+            .expect("default-key access must succeed");
+    }
+
+    #[test]
+    fn stats_track_live_objects_and_waste() {
+        let (_, t, alloc) = setup();
+        let a = alloc.alloc(t, 24); // waste 8
+        let _b = alloc.alloc(t, 32); // waste 0
+        assert_eq!(alloc.stats().live_objects, 2);
+        assert_eq!(alloc.stats().rounding_waste_bytes, 8);
+        alloc.free(t, a.id);
+        let s = alloc.stats();
+        assert_eq!(s.live_objects, 1);
+        assert_eq!(s.rounding_waste_bytes, 0);
+        assert_eq!(s.allocations, 2);
+        assert_eq!(s.frees, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-freed")]
+    fn double_free_panics() {
+        let (_, t, alloc) = setup();
+        let o = alloc.alloc(t, 32);
+        alloc.free(t, o.id);
+        alloc.free(t, o.id);
+    }
+
+    #[test]
+    #[should_panic(expected = "globals cannot be freed")]
+    fn freeing_global_panics() {
+        let (_, t, alloc) = setup();
+        let g = alloc.register_global(t, 32);
+        alloc.free(t, g.id);
+    }
+
+    #[test]
+    fn live_objects_snapshot_in_allocation_order() {
+        let (_, t, alloc) = setup();
+        let a = alloc.alloc(t, 32);
+        let b = alloc.alloc(t, 32);
+        let ids: Vec<_> = alloc.live_objects().iter().map(|o| o.id).collect();
+        assert_eq!(ids, vec![a.id, b.id]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Object metadata: the base-address/size records Kard keeps for every
+//! allocation so its fault handler can locate the object containing any
+//! faulting address (§5.3).
+
+use kard_sim::{VirtAddr, VirtPage};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an allocated object, unique for the allocator's lifetime.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// Whether an object is a heap allocation or a global variable.
+///
+/// The distinction matters for consolidation: heap objects share physical
+/// frames, globals get dedicated page-aligned storage (§6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ObjectKind {
+    /// A heap allocation (`malloc`/`new` replacement).
+    Heap,
+    /// A global variable registered at program start.
+    Global,
+}
+
+/// Public view of one allocated object's metadata.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObjectInfo {
+    /// The object's identifier.
+    pub id: ObjectId,
+    /// Base address returned to the program (page-internal shift applied).
+    pub base: VirtAddr,
+    /// Size requested by the program, in bytes.
+    pub size: u64,
+    /// Size actually reserved (requested size rounded up to 32 B).
+    pub rounded_size: u64,
+    /// First virtual page of the object.
+    pub first_page: VirtPage,
+    /// Number of virtual pages spanned.
+    pub page_count: u64,
+    /// Heap or global.
+    pub kind: ObjectKind,
+}
+
+impl ObjectInfo {
+    /// Whether `addr` falls inside the object's reserved byte range.
+    #[must_use]
+    pub fn contains(&self, addr: VirtAddr) -> bool {
+        addr.0 >= self.base.0 && addr.0 < self.base.0 + self.rounded_size
+    }
+
+    /// Byte offset of `addr` within the object, if it is inside.
+    #[must_use]
+    pub fn offset_of(&self, addr: VirtAddr) -> Option<u64> {
+        self.contains(addr).then(|| addr.0 - self.base.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info() -> ObjectInfo {
+        ObjectInfo {
+            id: ObjectId(1),
+            base: VirtAddr(0x1_0020),
+            size: 40,
+            rounded_size: 64,
+            first_page: VirtAddr(0x1_0020).page(),
+            page_count: 1,
+            kind: ObjectKind::Heap,
+        }
+    }
+
+    #[test]
+    fn contains_covers_rounded_extent() {
+        let i = info();
+        assert!(i.contains(VirtAddr(0x1_0020)));
+        assert!(i.contains(VirtAddr(0x1_0020 + 63)));
+        assert!(!i.contains(VirtAddr(0x1_0020 + 64)));
+        assert!(!i.contains(VirtAddr(0x1_001f)));
+    }
+
+    #[test]
+    fn offset_of_reports_byte_offset() {
+        let i = info();
+        assert_eq!(i.offset_of(VirtAddr(0x1_0020)), Some(0));
+        assert_eq!(i.offset_of(VirtAddr(0x1_0020 + 17)), Some(17));
+        assert_eq!(i.offset_of(VirtAddr(0x1_0000)), None);
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(ObjectId(7).to_string(), "o7");
+    }
+}

@@ -1,0 +1,296 @@
+//! A FastTrack happens-before detector: the model of ThreadSanitizer.
+//!
+//! TSan instruments every memory access with shadow-memory bookkeeping;
+//! FastTrack is the epoch-optimized vector-clock protocol underneath. This
+//! implementation shadows each `(object, 8-byte word)` location:
+//!
+//! * per thread: a vector clock `C_t`;
+//! * per lock: a vector clock `L_m` (`acquire`: `C_t ⊔= L_m`; `release`:
+//!   `L_m := C_t; C_t[t]+=1`);
+//! * per location: last-write epoch `W_x` and last-read state `R_x`
+//!   (an epoch, adaptively promoted to a full vector clock for
+//!   read-shared locations).
+//!
+//! Scope: **ILU+** — unlike Kard, it also flags conflicting accesses where
+//! *neither* side holds any lock, because it tracks ordering rather than
+//! lock ownership (Table 2).
+
+use crate::vector_clock::{Epoch, VectorClock};
+use crate::BaselineRace;
+use kard_core::LockId;
+use kard_sim::AccessKind;
+use kard_trace::{Executor, ObjectTag, Op};
+use std::collections::HashMap;
+
+/// Shadow-word granularity: TSan tracks 8-byte application words.
+const WORD: u64 = 8;
+
+#[derive(Clone, Debug, Default)]
+enum ReadState {
+    #[default]
+    None,
+    /// Single-epoch fast path.
+    Single(Epoch),
+    /// Read-shared: full vector clock of readers.
+    Shared(VectorClock),
+}
+
+#[derive(Clone, Debug, Default)]
+struct Shadow {
+    write: Epoch,
+    read: ReadState,
+}
+
+/// The FastTrack detector. Feed it a trace via [`kard_trace::replay`].
+#[derive(Clone, Debug, Default)]
+pub struct FastTrack {
+    threads: Vec<VectorClock>,
+    locks: HashMap<LockId, VectorClock>,
+    shadow: HashMap<(ObjectTag, u64), Shadow>,
+    races: Vec<BaselineRace>,
+    /// Number of instrumented accesses (the per-access cost driver).
+    pub instrumented_accesses: u64,
+}
+
+impl FastTrack {
+    /// A fresh detector.
+    #[must_use]
+    pub fn new() -> FastTrack {
+        FastTrack::default()
+    }
+
+    /// Races found so far.
+    #[must_use]
+    pub fn races(&self) -> &[BaselineRace] {
+        &self.races
+    }
+
+    fn clock(&mut self, t: usize) -> &mut VectorClock {
+        if self.threads.len() <= t {
+            self.threads.resize_with(t + 1, VectorClock::new);
+            // Each thread starts with its own component at 1 so that its
+            // epochs are distinguishable from the zero sentinel.
+            for (i, c) in self.threads.iter_mut().enumerate() {
+                if c.get(i) == 0 {
+                    c.set(i, 1);
+                }
+            }
+        }
+        &mut self.threads[t]
+    }
+
+    fn read(&mut self, t: usize, tag: ObjectTag, offset: u64) {
+        self.instrumented_accesses += 1;
+        let ct = self.clock(t).clone();
+        let shadow = self.shadow.entry((tag, offset / WORD)).or_default();
+
+        // Write-read race?
+        if !shadow.write.is_zero() && !shadow.write.le(&ct) {
+            self.races.push(BaselineRace {
+                tag,
+                offset,
+                thread: t,
+                kind: AccessKind::Read,
+            });
+            return;
+        }
+        // Record the read.
+        let my_epoch = Epoch::of(t, &ct);
+        shadow.read = match std::mem::take(&mut shadow.read) {
+            ReadState::None => ReadState::Single(my_epoch),
+            ReadState::Single(prev) if prev.thread == t => ReadState::Single(my_epoch),
+            ReadState::Single(prev) if prev.le(&ct) => ReadState::Single(my_epoch),
+            ReadState::Single(prev) => {
+                // Concurrent reads: promote to read-shared.
+                let mut vc = VectorClock::new();
+                vc.set(prev.thread, prev.clock);
+                vc.set(t, my_epoch.clock);
+                ReadState::Shared(vc)
+            }
+            ReadState::Shared(mut vc) => {
+                vc.set(t, my_epoch.clock);
+                ReadState::Shared(vc)
+            }
+        };
+    }
+
+    fn write(&mut self, t: usize, tag: ObjectTag, offset: u64) {
+        self.instrumented_accesses += 1;
+        let ct = self.clock(t).clone();
+        let shadow = self.shadow.entry((tag, offset / WORD)).or_default();
+
+        // Write-write race?
+        if !shadow.write.is_zero() && !shadow.write.le(&ct) {
+            self.races.push(BaselineRace {
+                tag,
+                offset,
+                thread: t,
+                kind: AccessKind::Write,
+            });
+            return;
+        }
+        // Read-write race?
+        let read_race = match &shadow.read {
+            ReadState::None => false,
+            ReadState::Single(e) => e.thread != t && !e.le(&ct),
+            ReadState::Shared(vc) => !vc.le(&ct),
+        };
+        if read_race {
+            self.races.push(BaselineRace {
+                tag,
+                offset,
+                thread: t,
+                kind: AccessKind::Write,
+            });
+            return;
+        }
+        shadow.write = Epoch::of(t, &ct);
+        shadow.read = ReadState::None;
+    }
+
+    fn acquire(&mut self, t: usize, lock: LockId) {
+        if let Some(lm) = self.locks.get(&lock).cloned() {
+            self.clock(t).join(&lm);
+        }
+    }
+
+    fn release(&mut self, t: usize, lock: LockId) {
+        let ct = self.clock(t).clone();
+        self.locks.insert(lock, ct);
+        let clock = self.clock(t);
+        let t_clock = clock.get(t);
+        clock.set(t, t_clock + 1);
+    }
+}
+
+impl Executor for FastTrack {
+    fn on_event(&mut self, thread: usize, op: &Op) {
+        match *op {
+            Op::Lock { lock, .. } => self.acquire(thread, lock),
+            Op::Unlock { lock } => self.release(thread, lock),
+            Op::Read { tag, offset, .. } => self.read(thread, tag, offset),
+            Op::Write { tag, offset, .. } => self.write(thread, tag, offset),
+            // Allocation publishes the object to the allocating thread
+            // only; a fresh shadow state suffices. Frees clear shadows so
+            // reuse of a tag cannot alias old epochs.
+            Op::Alloc { tag, .. } | Op::Global { tag, .. } | Op::Free { tag } => {
+                self.shadow.retain(|&(shadow_tag, _), _| shadow_tag != tag);
+            }
+            Op::Compute { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kard_sim::CodeSite;
+    use kard_trace::replay::replay;
+    use kard_trace::schedule::{interleave_round_robin, sequential};
+    use kard_trace::ThreadProgram;
+
+    fn site(n: u64) -> CodeSite {
+        CodeSite(n)
+    }
+
+    #[test]
+    fn unordered_write_write_is_a_race() {
+        let mut ft = FastTrack::new();
+        ft.write(0, ObjectTag(0), 0);
+        ft.write(1, ObjectTag(0), 0);
+        assert_eq!(ft.races().len(), 1);
+        assert_eq!(ft.races()[0].thread, 1);
+    }
+
+    #[test]
+    fn lock_ordering_suppresses_race() {
+        // t0 writes under lock; t1 acquires the same lock later: the
+        // release/acquire edge orders the accesses.
+        let mut p0 = ThreadProgram::new();
+        p0.critical_section(LockId(1), site(1), |p| {
+            p.write(ObjectTag(0), 0, site(2));
+        });
+        let mut p1 = ThreadProgram::new();
+        p1.critical_section(LockId(1), site(3), |p| {
+            p.write(ObjectTag(0), 0, site(4));
+        });
+        let mut ft = FastTrack::new();
+        replay(&sequential(&[p0, p1]), &mut ft);
+        assert!(ft.races().is_empty());
+    }
+
+    #[test]
+    fn different_locks_do_not_order() {
+        let mut p0 = ThreadProgram::new();
+        p0.critical_section(LockId(1), site(1), |p| {
+            p.write(ObjectTag(0), 0, site(2));
+        });
+        let mut p1 = ThreadProgram::new();
+        p1.critical_section(LockId(2), site(3), |p| {
+            p.write(ObjectTag(0), 0, site(4));
+        });
+        let mut ft = FastTrack::new();
+        replay(&sequential(&[p0, p1]), &mut ft);
+        assert_eq!(ft.races().len(), 1, "ILU race visible even serially");
+    }
+
+    #[test]
+    fn no_locks_at_all_is_still_a_race() {
+        // Table 1 row 4: out of Kard's ILU scope, but in TSan's ILU+ scope.
+        let mut p0 = ThreadProgram::new();
+        p0.write(ObjectTag(0), 0, site(1));
+        let mut p1 = ThreadProgram::new();
+        p1.write(ObjectTag(0), 0, site(2));
+        let mut ft = FastTrack::new();
+        replay(&interleave_round_robin(&[p0, p1]), &mut ft);
+        assert_eq!(ft.races().len(), 1);
+    }
+
+    #[test]
+    fn read_shared_then_unordered_write_races() {
+        let mut ft = FastTrack::new();
+        ft.read(0, ObjectTag(0), 0);
+        ft.read(1, ObjectTag(0), 0); // Promotes to read-shared.
+        ft.write(2, ObjectTag(0), 0);
+        assert_eq!(ft.races().len(), 1);
+        assert_eq!(ft.races()[0].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn concurrent_reads_alone_do_not_race() {
+        let mut ft = FastTrack::new();
+        ft.read(0, ObjectTag(0), 0);
+        ft.read(1, ObjectTag(0), 0);
+        ft.read(2, ObjectTag(0), 0);
+        assert!(ft.races().is_empty());
+    }
+
+    #[test]
+    fn distinct_words_do_not_conflict() {
+        let mut ft = FastTrack::new();
+        ft.write(0, ObjectTag(0), 0);
+        ft.write(1, ObjectTag(0), 8); // Next shadow word: no race.
+        assert!(ft.races().is_empty());
+        // Same word, different bytes: conflicting (8-byte granularity).
+        ft.write(1, ObjectTag(0), 4);
+        assert_eq!(ft.races().len(), 1);
+    }
+
+    #[test]
+    fn free_clears_shadow_state() {
+        let mut ft = FastTrack::new();
+        ft.write(0, ObjectTag(0), 0);
+        ft.on_event(0, &Op::Free { tag: ObjectTag(0) });
+        ft.write(1, ObjectTag(0), 0); // Fresh object reusing the tag.
+        assert!(ft.races().is_empty());
+    }
+
+    #[test]
+    fn instrumentation_counts_every_access() {
+        let mut ft = FastTrack::new();
+        ft.read(0, ObjectTag(0), 0);
+        ft.write(0, ObjectTag(0), 0);
+        ft.read(1, ObjectTag(1), 16);
+        assert_eq!(ft.instrumented_accesses, 3);
+    }
+}

@@ -1,0 +1,57 @@
+//! Baseline data race detectors for comparison with Kard.
+//!
+//! The paper compares Kard against two families (Table 2):
+//!
+//! * **Happens-before detectors with compiler memory instrumentation** —
+//!   ThreadSanitizer is the state of the art; its core algorithm is the
+//!   FastTrack epoch/vector-clock protocol. [`fasttrack::FastTrack`]
+//!   implements that protocol over the same traces Kard consumes, covering
+//!   the ILU+ scope (it also catches races with no locks involved) at the
+//!   cost of per-access work — the basis of TSan's ~7× slowdown (§1).
+//! * **Lockset detectors** — Eraser's algorithm, the intellectual ancestor
+//!   of ILU (§3.1). [`lockset::Lockset`] implements the Virgin/Exclusive/
+//!   Shared/Shared-Modified state machine with lockset refinement. It is
+//!   schedule-*insensitive*, which buys coverage but produces the false
+//!   positives the paper's ILU scope deliberately avoids.
+//!
+//! Both baselines implement [`kard_trace::Executor`], so identical
+//! schedules drive Kard and the baselines in every comparison, and both
+//! account their instrumentation cost through [`cost`].
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod fasttrack;
+pub mod lockset;
+pub mod vector_clock;
+
+pub use fasttrack::FastTrack;
+pub use lockset::Lockset;
+pub use vector_clock::{Epoch, VectorClock};
+
+use kard_sim::AccessKind;
+use kard_trace::ObjectTag;
+use std::fmt;
+
+/// A race reported by a baseline detector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BaselineRace {
+    /// Object raced on.
+    pub tag: ObjectTag,
+    /// Byte offset of the second (racing) access.
+    pub offset: u64,
+    /// Logical thread performing the racing access.
+    pub thread: usize,
+    /// Kind of the racing access.
+    pub kind: AccessKind,
+}
+
+impl fmt::Display for BaselineRace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "race on {:?}+{} by thread {} ({})",
+            self.tag, self.offset, self.thread, self.kind
+        )
+    }
+}

@@ -1,0 +1,260 @@
+//! The Eraser lockset algorithm (Savage et al. 1997), the schedule-
+//! insensitive ancestor of ILU (paper §3.1).
+//!
+//! Each location carries a candidate lockset `C(v)`, refined on every
+//! access by intersection with the accessing thread's held locks. The
+//! per-location state machine distinguishes initialization and read-sharing
+//! to reduce (but not eliminate) false positives:
+//!
+//! * **Virgin** → first write → **Exclusive(t)** (no checking: init);
+//! * **Exclusive(t)**: same-thread accesses free; another thread's read →
+//!   **Shared**, write → **Shared-Modified**;
+//! * **Shared**: reads refine `C(v)`; a write → **Shared-Modified**;
+//! * **Shared-Modified**: refine `C(v)`; report when `C(v) = ∅`.
+//!
+//! The paper's critique (§3.1): lockset is *concurrency-agnostic* — it
+//! reports inconsistent locksets even for accesses that can never overlap,
+//! which is precisely where its false positives come from. The
+//! `lockset_false_positive_vs_ilu` test below demonstrates the case.
+
+use crate::BaselineRace;
+use kard_core::LockId;
+use kard_sim::AccessKind;
+use kard_trace::{Executor, ObjectTag, Op};
+use std::collections::{BTreeSet, HashMap};
+
+type LockSet = BTreeSet<LockId>;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum LocState {
+    Virgin,
+    Exclusive(usize),
+    Shared,
+    SharedModified,
+}
+
+#[derive(Clone, Debug)]
+struct LocShadow {
+    state: LocState,
+    candidates: Option<LockSet>,
+    reported: bool,
+}
+
+impl Default for LocShadow {
+    fn default() -> Self {
+        LocShadow {
+            state: LocState::Virgin,
+            candidates: None,
+            reported: false,
+        }
+    }
+}
+
+/// The Eraser lockset detector (object granularity, like HARD and the
+/// paper's discussion — sub-object precision is irrelevant to the scope
+/// comparison made here).
+#[derive(Clone, Debug, Default)]
+pub struct Lockset {
+    held: HashMap<usize, LockSet>,
+    shadow: HashMap<ObjectTag, LocShadow>,
+    races: Vec<BaselineRace>,
+    /// Instrumented accesses (per-access cost driver, like TSan's).
+    pub instrumented_accesses: u64,
+}
+
+impl Lockset {
+    /// A fresh detector.
+    #[must_use]
+    pub fn new() -> Lockset {
+        Lockset::default()
+    }
+
+    /// Races found so far.
+    #[must_use]
+    pub fn races(&self) -> &[BaselineRace] {
+        &self.races
+    }
+
+    fn access(&mut self, t: usize, tag: ObjectTag, offset: u64, kind: AccessKind) {
+        self.instrumented_accesses += 1;
+        let held = self.held.entry(t).or_default().clone();
+        let shadow = self.shadow.entry(tag).or_default();
+
+        shadow.state = match (&shadow.state, kind) {
+            (LocState::Virgin, AccessKind::Write) => LocState::Exclusive(t),
+            (LocState::Virgin, AccessKind::Read) => LocState::Exclusive(t),
+            (LocState::Exclusive(owner), _) if *owner == t => LocState::Exclusive(t),
+            (LocState::Exclusive(_), AccessKind::Read) => LocState::Shared,
+            (LocState::Exclusive(_), AccessKind::Write) => LocState::SharedModified,
+            (LocState::Shared, AccessKind::Read) => LocState::Shared,
+            (LocState::Shared, AccessKind::Write) => LocState::SharedModified,
+            (LocState::SharedModified, _) => LocState::SharedModified,
+        };
+
+        // Refine the candidate lockset outside the Exclusive fast path.
+        if !matches!(shadow.state, LocState::Virgin | LocState::Exclusive(_)) {
+            let refined = match &shadow.candidates {
+                None => held.clone(),
+                Some(c) => c.intersection(&held).copied().collect(),
+            };
+            shadow.candidates = Some(refined);
+        }
+
+        if shadow.state == LocState::SharedModified
+            && shadow.candidates.as_ref().is_some_and(BTreeSet::is_empty)
+            && !shadow.reported
+        {
+            shadow.reported = true;
+            self.races.push(BaselineRace {
+                tag,
+                offset,
+                thread: t,
+                kind,
+            });
+        }
+    }
+}
+
+impl Executor for Lockset {
+    fn on_event(&mut self, thread: usize, op: &Op) {
+        match *op {
+            Op::Lock { lock, .. } => {
+                self.held.entry(thread).or_default().insert(lock);
+            }
+            Op::Unlock { lock } => {
+                self.held.entry(thread).or_default().remove(&lock);
+            }
+            Op::Read { tag, offset, .. } => self.access(thread, tag, offset, AccessKind::Read),
+            Op::Write { tag, offset, .. } => self.access(thread, tag, offset, AccessKind::Write),
+            Op::Alloc { tag, .. } | Op::Global { tag, .. } | Op::Free { tag } => {
+                self.shadow.remove(&tag);
+            }
+            Op::Compute { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kard_sim::CodeSite;
+    use kard_trace::replay::replay;
+    use kard_trace::schedule::sequential;
+    use kard_trace::ThreadProgram;
+
+    fn site(n: u64) -> CodeSite {
+        CodeSite(n)
+    }
+
+    #[test]
+    fn consistent_lock_usage_is_silent() {
+        let mk = |_: usize| {
+            let mut p = ThreadProgram::new();
+            p.critical_section(LockId(1), site(1), |p| {
+                p.write(ObjectTag(0), 0, site(2));
+            });
+            p
+        };
+        let mut ls = Lockset::new();
+        replay(&sequential(&[mk(0), mk(1), mk(2)]), &mut ls);
+        assert!(ls.races().is_empty());
+    }
+
+    fn writer(lock: u64, s: u64) -> ThreadProgram {
+        let mut p = ThreadProgram::new();
+        p.critical_section(LockId(lock), site(s), |p| {
+            p.write(ObjectTag(0), 0, site(s + 1));
+        });
+        p
+    }
+
+    #[test]
+    fn inconsistent_locks_reported_even_serially() {
+        // Refinement starts once the object leaves the Exclusive state, so
+        // the intersection empties on the third access: {l2} ∩ {l1} = ∅.
+        // The schedule is fully serial — exactly the schedule-insensitivity
+        // that distinguishes lockset from ILU.
+        let mut ls = Lockset::new();
+        replay(&sequential(&[writer(1, 10), writer(2, 20), writer(1, 30)]), &mut ls);
+        assert_eq!(ls.races().len(), 1);
+    }
+
+    #[test]
+    fn lockset_false_positive_vs_ilu() {
+        // §3.1's critique concretely: the object is protected by l1 in
+        // phase one and by l2 in phase two, with the phases strictly
+        // ordered (here: serial). No two accesses can overlap, yet the
+        // candidate set empties -> lockset reports a false positive that
+        // the concurrency-aware ILU scope never would.
+        let mut ls = Lockset::new();
+        replay(
+            &sequential(&[writer(1, 10), writer(1, 20), writer(2, 30), writer(2, 40)]),
+            &mut ls,
+        );
+        assert_eq!(
+            ls.races().len(),
+            1,
+            "lockset reports despite the serial schedule"
+        );
+    }
+
+    #[test]
+    fn initialization_by_owner_is_free() {
+        let mut p = ThreadProgram::new();
+        // Unlocked initialization by the creating thread: Exclusive state.
+        p.write(ObjectTag(0), 0, site(1));
+        p.write(ObjectTag(0), 8, site(2));
+        let mut ls = Lockset::new();
+        replay(&sequential(&[p]), &mut ls);
+        assert!(ls.races().is_empty());
+    }
+
+    #[test]
+    fn read_sharing_without_writes_is_silent() {
+        let mut programs = Vec::new();
+        for i in 0..3 {
+            let mut p = ThreadProgram::new();
+            p.read(ObjectTag(0), 0, site(i));
+            programs.push(p);
+        }
+        let mut ls = Lockset::new();
+        replay(&sequential(&programs), &mut ls);
+        assert!(ls.races().is_empty());
+    }
+
+    #[test]
+    fn common_lock_survives_intersection() {
+        // Both threads hold lock 7 (plus others): intersection nonempty.
+        let mut p0 = ThreadProgram::new();
+        p0.lock(LockId(7), site(1));
+        p0.lock(LockId(1), site(2));
+        p0.write(ObjectTag(0), 0, site(3));
+        p0.unlock(LockId(1));
+        p0.unlock(LockId(7));
+        let mut p1 = ThreadProgram::new();
+        p1.lock(LockId(7), site(4));
+        p1.lock(LockId(2), site(5));
+        p1.write(ObjectTag(0), 0, site(6));
+        p1.unlock(LockId(2));
+        p1.unlock(LockId(7));
+        let mut ls = Lockset::new();
+        replay(&sequential(&[p0, p1]), &mut ls);
+        assert!(ls.races().is_empty());
+    }
+
+    #[test]
+    fn duplicate_reports_suppressed_per_location() {
+        let mut ls = Lockset::new();
+        replay(
+            &sequential(&[
+                writer(1, 10),
+                writer(2, 20),
+                writer(1, 30),
+                writer(2, 40),
+                writer(1, 50),
+            ]),
+            &mut ls,
+        );
+        assert_eq!(ls.races().len(), 1, "one report per location");
+    }
+}

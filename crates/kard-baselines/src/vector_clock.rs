@@ -1,0 +1,206 @@
+//! Vector clocks and epochs, the FastTrack building blocks.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A vector clock over logical thread indices.
+///
+/// Equality is component-wise over the infinite zero-extended vectors, so
+/// trailing zero components are immaterial: `⟨1,0⟩ == ⟨1⟩`.
+#[derive(Clone, Debug, Default)]
+pub struct VectorClock {
+    clocks: Vec<u64>,
+}
+
+impl PartialEq for VectorClock {
+    fn eq(&self, other: &Self) -> bool {
+        let len = self.clocks.len().max(other.clocks.len());
+        (0..len).all(|i| self.get(i) == other.get(i))
+    }
+}
+
+impl Eq for VectorClock {}
+
+impl VectorClock {
+    /// The zero clock.
+    #[must_use]
+    pub fn new() -> VectorClock {
+        VectorClock::default()
+    }
+
+    /// Component for `thread` (0 if never set).
+    #[must_use]
+    pub fn get(&self, thread: usize) -> u64 {
+        self.clocks.get(thread).copied().unwrap_or(0)
+    }
+
+    /// Set `thread`'s component.
+    pub fn set(&mut self, thread: usize, value: u64) {
+        if self.clocks.len() <= thread {
+            self.clocks.resize(thread + 1, 0);
+        }
+        self.clocks[thread] = value;
+    }
+
+    /// Increment `thread`'s component, returning the new value.
+    pub fn increment(&mut self, thread: usize) -> u64 {
+        let v = self.get(thread) + 1;
+        self.set(thread, v);
+        v
+    }
+
+    /// Pointwise maximum with `other` (the join on acquire).
+    pub fn join(&mut self, other: &VectorClock) {
+        for (t, &c) in other.clocks.iter().enumerate() {
+            if c > self.get(t) {
+                self.set(t, c);
+            }
+        }
+    }
+
+    /// Whether `self` happens-before-or-equals `other` (pointwise ≤).
+    #[must_use]
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.clocks
+            .iter()
+            .enumerate()
+            .all(|(t, &c)| c <= other.get(t))
+    }
+
+    /// The partial order, when comparable.
+    #[must_use]
+    pub fn partial_cmp_hb(&self, other: &VectorClock) -> Option<Ordering> {
+        match (self.le(other), other.le(self)) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.clocks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// A FastTrack epoch `c@t`: one clock component and its owner thread.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Epoch {
+    /// Owning thread.
+    pub thread: usize,
+    /// Clock value.
+    pub clock: u64,
+}
+
+impl Epoch {
+    /// The epoch of `thread` in `clock_vector` (FastTrack's `E(t)`).
+    #[must_use]
+    pub fn of(thread: usize, clock_vector: &VectorClock) -> Epoch {
+        Epoch {
+            thread,
+            clock: clock_vector.get(thread),
+        }
+    }
+
+    /// FastTrack's `e ⪯ C`: the epoch is ordered before the vector clock.
+    #[must_use]
+    pub fn le(&self, clock_vector: &VectorClock) -> bool {
+        self.clock <= clock_vector.get(self.thread)
+    }
+
+    /// Whether this epoch is the zero (never-written/read) sentinel.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.clock == 0
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@t{}", self.clock, self.thread)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.set(0, 3);
+        a.set(1, 1);
+        let mut b = VectorClock::new();
+        b.set(1, 5);
+        b.set(2, 2);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 5);
+        assert_eq!(a.get(2), 2);
+    }
+
+    #[test]
+    fn happens_before_partial_order() {
+        let mut a = VectorClock::new();
+        a.set(0, 1);
+        let mut b = VectorClock::new();
+        b.set(0, 2);
+        b.set(1, 1);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        assert_eq!(a.partial_cmp_hb(&b), Some(Ordering::Less));
+
+        let mut c = VectorClock::new();
+        c.set(1, 9);
+        assert_eq!(b.partial_cmp_hb(&c), None, "concurrent clocks");
+        assert_eq!(a.partial_cmp_hb(&a.clone()), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn increment_advances_component() {
+        let mut a = VectorClock::new();
+        assert_eq!(a.increment(2), 1);
+        assert_eq!(a.increment(2), 2);
+        assert_eq!(a.get(2), 2);
+        assert_eq!(a.get(0), 0);
+    }
+
+    #[test]
+    fn epoch_ordering_checks_single_component() {
+        let mut c = VectorClock::new();
+        c.set(1, 4);
+        let e = Epoch { thread: 1, clock: 4 };
+        assert!(e.le(&c));
+        let later = Epoch { thread: 1, clock: 5 };
+        assert!(!later.le(&c));
+        // A different thread's small epoch is ordered iff that component is.
+        let other = Epoch { thread: 0, clock: 1 };
+        assert!(!other.le(&c));
+    }
+
+    #[test]
+    fn epoch_of_extracts_component() {
+        let mut c = VectorClock::new();
+        c.set(3, 7);
+        assert_eq!(Epoch::of(3, &c), Epoch { thread: 3, clock: 7 });
+        assert!(Epoch::of(0, &c).is_zero());
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut c = VectorClock::new();
+        c.set(0, 1);
+        c.set(1, 2);
+        assert_eq!(c.to_string(), "⟨1,2⟩");
+        assert_eq!(Epoch { thread: 1, clock: 2 }.to_string(), "2@t1");
+    }
+}

@@ -1,0 +1,112 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! proactive vs reactive key acquisition, 16-key MPK vs 1024-key advanced
+//! hardware, and protection interleaving on/off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kard_core::KardConfig;
+use kard_sim::{KeyLayout, MachineConfig};
+use kard_workloads::runner::run_workload_configured;
+use kard_workloads::synth::SynthConfig;
+use kard_workloads::table3;
+use std::time::Duration;
+
+fn bench_proactive(c: &mut Criterion) {
+    let spec = table3::by_name("fluidanimate").expect("row");
+    let mut group = c.benchmark_group("ablation_proactive");
+    for proactive in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if proactive { "on" } else { "off" }),
+            &proactive,
+            |b, &proactive| {
+                let config = KardConfig {
+                    proactive_acquisition: proactive,
+                    ..KardConfig::default()
+                };
+                b.iter(|| {
+                    run_workload_configured(
+                        &spec,
+                        &SynthConfig {
+                            threads: 4,
+                            scale: 2e-4,
+                        },
+                        5,
+                        MachineConfig::default(),
+                        config,
+                    )
+                    .kard_pct()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_key_count(c: &mut Criterion) {
+    let spec = table3::by_name("memcached").expect("row");
+    let mut group = c.benchmark_group("ablation_keys");
+    for keys in [16u16, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(keys), &keys, |b, &keys| {
+            let mc = MachineConfig {
+                key_layout: KeyLayout::with_total_keys(keys),
+                ..MachineConfig::default()
+            };
+            b.iter(|| {
+                run_workload_configured(
+                    &spec,
+                    &SynthConfig {
+                        threads: 4,
+                        scale: 2e-3,
+                    },
+                    5,
+                    mc.clone(),
+                    KardConfig::default(),
+                )
+                .kard_stats
+                .key_recycles
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_interleaving(c: &mut Criterion) {
+    use kard_rt::{KardExecutor, Session};
+    use kard_trace::replay::replay;
+    use kard_workloads::apps;
+    let mut group = c.benchmark_group("ablation_interleaving");
+    for on in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if on { "on" } else { "off" }),
+            &on,
+            |b, &on| {
+                let model = apps::pigz(3, 20);
+                let trace = model.program.trace_round_robin();
+                let config = KardConfig {
+                    protection_interleaving: on,
+                    ..KardConfig::default()
+                };
+                b.iter(|| {
+                    let session = Session::with_config(MachineConfig::default(), config);
+                    let mut exec = KardExecutor::new(session.kard().clone());
+                    replay(&trace, &mut exec);
+                    exec.reports().len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_proactive, bench_key_count, bench_interleaving
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Allocator benchmarks (Figure 2 context): consolidated unique-page
+//! allocation vs the packed native model, allocation/free churn, and
+//! faulting-address metadata lookup.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use kard_alloc::KardAlloc;
+use kard_sim::{Machine, MachineConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn setup() -> (Arc<Machine>, kard_sim::ThreadId, KardAlloc) {
+    let machine = Arc::new(Machine::new(MachineConfig::default()));
+    let t = machine.register_thread();
+    let alloc = KardAlloc::new(Arc::clone(&machine));
+    (machine, t, alloc)
+}
+
+fn bench_alloc_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc");
+    group.bench_function("small_32B", |b| {
+        b.iter_batched(
+            setup,
+            |(_m, t, alloc)| {
+                for _ in 0..64 {
+                    let _ = alloc.alloc(t, 32);
+                }
+                alloc
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("large_16KiB", |b| {
+        b.iter_batched(
+            setup,
+            |(_m, t, alloc)| {
+                for _ in 0..16 {
+                    let _ = alloc.alloc(t, 16 * 1024);
+                }
+                alloc
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("churn_alloc_free", |b| {
+        b.iter_batched(
+            setup,
+            |(_m, t, alloc)| {
+                for _ in 0..64 {
+                    let o = alloc.alloc(t, 64);
+                    alloc.free(t, o.id);
+                }
+                alloc
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_metadata_lookup(c: &mut Criterion) {
+    let (_m, t, alloc) = setup();
+    let infos: Vec<_> = (0..1024).map(|_| alloc.alloc(t, 48)).collect();
+    let probe = infos[512].base.offset(17);
+    c.bench_function("alloc/object_at_lookup_1024_live", |b| {
+        b.iter(|| alloc.object_at(std::hint::black_box(probe)));
+    });
+}
+
+fn bench_protect(c: &mut Criterion) {
+    let (_m, t, alloc) = setup();
+    let o = alloc.alloc(t, 32);
+    let layout = kard_sim::KeyLayout::mpk();
+    c.bench_function("alloc/pkey_mprotect_object", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            let key = if flip { layout.read_only } else { layout.not_accessed };
+            flip = !flip;
+            alloc.protect(t, o.id, key).unwrap();
+        });
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_alloc_small, bench_metadata_lookup, bench_protect
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Baseline-detector benchmarks: event throughput of the FastTrack and
+//! lockset models against the Kard executor on identical traces — the
+//! implementation-level counterpart of the Table 2 overhead comparison
+//! (per-access shadow work vs per-section key work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kard_baselines::{FastTrack, Lockset};
+use kard_core::LockId;
+use kard_rt::{KardExecutor, Session};
+use kard_sim::CodeSite;
+use kard_trace::replay::replay;
+use kard_trace::{ObjectTag, PhasedProgram, ThreadProgram, Trace};
+use std::time::Duration;
+
+/// A disciplined 4-thread workload: 20 objects, one lock per object,
+/// many accesses per section. Allocation happens in a phased init so any
+/// seeded interleaving of the steady state is valid.
+fn workload() -> Trace {
+    let mut init = ThreadProgram::new();
+    for o in 0..20 {
+        init.alloc(ObjectTag(o), 64);
+    }
+    let mut threads = Vec::new();
+    for t in 0..4u64 {
+        let mut p = ThreadProgram::new();
+        for round in 0..100u64 {
+            let o = (round + t) % 20;
+            p.lock(LockId(o + 1), CodeSite(0x100 + o));
+            for i in 0..8 {
+                p.write(ObjectTag(o), (i % 8) * 8, CodeSite(0x200 + i));
+            }
+            p.unlock(LockId(o + 1));
+        }
+        threads.push(p);
+    }
+    PhasedProgram { init, threads }.trace_seeded(3)
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let trace = workload();
+    let mut group = c.benchmark_group("detectors");
+    group.throughput(criterion::Throughput::Elements(trace.events().len() as u64));
+
+    group.bench_function("fasttrack", |b| {
+        b.iter(|| {
+            let mut ft = FastTrack::new();
+            replay(&trace, &mut ft);
+            ft.races().len()
+        });
+    });
+    group.bench_function("lockset", |b| {
+        b.iter(|| {
+            let mut ls = Lockset::new();
+            replay(&trace, &mut ls);
+            ls.races().len()
+        });
+    });
+    group.bench_function("kard", |b| {
+        b.iter(|| {
+            let session = Session::new();
+            let mut exec = KardExecutor::new(session.kard().clone());
+            replay(&trace, &mut exec);
+            exec.reports().len()
+        });
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_detectors
+}
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Microbenchmarks of the detector's hot paths: the non-faulting access
+//! check, section entry/exit with proactive acquisition, identification
+//! faults, and race-check faults. These measure the *implementation's*
+//! wall-clock cost (the simulated-cycle overheads are the tables binary's
+//! job).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use kard_core::LockId;
+use kard_rt::Session;
+use kard_sim::CodeSite;
+use std::time::Duration;
+
+fn bench_access_fast_path(c: &mut Criterion) {
+    let session = Session::new();
+    let kard = session.kard().clone();
+    let t = kard.register_thread();
+    let o = kard.on_alloc(t, 4096);
+    c.bench_function("access/non_faulting_write", |b| {
+        b.iter(|| kard.write(t, std::hint::black_box(o.base), CodeSite(1)));
+    });
+}
+
+fn bench_section_entry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("section");
+    // Warmed section: the steady-state lock_enter path with one key to
+    // acquire proactively.
+    let session = Session::new();
+    let kard = session.kard().clone();
+    let t = kard.register_thread();
+    let o = kard.on_alloc(t, 64);
+    kard.lock_enter(t, LockId(1), CodeSite(0x10));
+    kard.write(t, o.base, CodeSite(0x11));
+    kard.lock_exit(t, LockId(1));
+    group.bench_function("enter_exit_one_key", |b| {
+        b.iter(|| {
+            kard.lock_enter(t, LockId(1), CodeSite(0x10));
+            kard.lock_exit(t, LockId(1));
+        });
+    });
+
+    // Entry with a 16-object working set.
+    let session = Session::new();
+    let kard = session.kard().clone();
+    let t = kard.register_thread();
+    let objs: Vec<_> = (0..16).map(|_| kard.on_alloc(t, 64)).collect();
+    kard.lock_enter(t, LockId(1), CodeSite(0x10));
+    for o in &objs {
+        kard.write(t, o.base, CodeSite(0x11));
+    }
+    kard.lock_exit(t, LockId(1));
+    group.bench_function("enter_exit_16_objects", |b| {
+        b.iter(|| {
+            kard.lock_enter(t, LockId(1), CodeSite(0x10));
+            kard.lock_exit(t, LockId(1));
+        });
+    });
+    group.finish();
+}
+
+fn bench_fault_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault");
+    // Identification fault: a fresh object per iteration.
+    group.bench_function("identification", |b| {
+        b.iter_batched(
+            || {
+                let session = Session::new();
+                let kard = session.kard().clone();
+                let t = kard.register_thread();
+                let o = kard.on_alloc(t, 32);
+                kard.lock_enter(t, LockId(1), CodeSite(0x10));
+                (session, t, o)
+            },
+            |(session, t, o)| {
+                session.kard().write(t, o.base, CodeSite(0x11));
+                session
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    // Race-check fault from an unlocked reader.
+    group.bench_function("race_check", |b| {
+        b.iter_batched(
+            || {
+                let session = Session::new();
+                let kard = session.kard().clone();
+                let t1 = kard.register_thread();
+                let t2 = kard.register_thread();
+                let o = kard.on_alloc(t1, 32);
+                kard.lock_enter(t1, LockId(1), CodeSite(0x10));
+                kard.write(t1, o.base, CodeSite(0x11));
+                (session, t2, o)
+            },
+            |(session, t2, o)| {
+                session.kard().read(t2, o.base, CodeSite(0x20));
+                session
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_access_fast_path, bench_section_entry, bench_fault_paths
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figure 5 benchmarks: the scalability run at increasing thread counts on
+//! the paper's worst-case benchmark (fluidanimate) and a well-scaling one
+//! (streamcluster).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kard_workloads::runner::run_workload;
+use kard_workloads::synth::SynthConfig;
+use kard_workloads::table3;
+use std::time::Duration;
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    for name in ["streamcluster", "fluidanimate"] {
+        let spec = table3::by_name(name).expect("row");
+        for threads in [4usize, 16, 32] {
+            group.bench_with_input(
+                BenchmarkId::new(name, threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        run_workload(
+                            &spec,
+                            &SynthConfig {
+                                threads,
+                                scale: 2e-4,
+                            },
+                            9,
+                        )
+                        .kard_pct()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_scalability
+}
+criterion_main!(benches);

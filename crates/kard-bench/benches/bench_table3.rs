@@ -1,0 +1,48 @@
+//! Table 3 regeneration benchmarks: one representative workload per
+//! behaviour class, run end to end (generate → schedule → replay under
+//! Baseline, Alloc, and Kard). Criterion tracks the harness's wall-clock;
+//! the simulated overheads themselves are printed by `kard-tables table3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kard_workloads::runner::run_workload;
+use kard_workloads::synth::SynthConfig;
+use kard_workloads::table3;
+use std::time::Duration;
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    // One per class: CS-entry-heavy, object-heavy (dTLB/memory), balanced
+    // real-world, allocation-churn real-world.
+    for name in ["fluidanimate", "water_nsquared", "memcached", "nginx"] {
+        let spec = table3::by_name(name).expect("table row");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            b.iter(|| {
+                let r = run_workload(
+                    spec,
+                    &SynthConfig {
+                        threads: 4,
+                        scale: 5e-4,
+                    },
+                    7,
+                );
+                assert_eq!(r.kard_races, 0);
+                r.kard_pct()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_workloads
+}
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Regenerate the paper's tables and figures from the command line.
+//!
+//! ```text
+//! kard-tables all [--scale 0.01]
+//! kard-tables table1|table2|table3|table4|table5|table6
+//! kard-tables fig1|fig2|fig3|fig4|fig5
+//! kard-tables nginx|ilu|sensitivity|ablation
+//! ```
+//!
+//! `--scale` controls the fraction of each workload's full event counts
+//! (Table 3 / Figure 5); memory overheads are extrapolated back to full
+//! scale. The default (0.01) finishes in well under a minute; 1.0 replays
+//! the paper's full counts. `--json` emits machine-readable results
+//! instead of formatted tables.
+
+use kard_bench::{extras, figures, tables};
+use std::env;
+use std::process::ExitCode;
+
+struct Options {
+    command: String,
+    scale: f64,
+    threads_scale_requests: u64,
+    json: bool,
+}
+
+fn parse() -> Result<Options, String> {
+    let mut args = env::args().skip(1);
+    let mut command = None;
+    let mut scale = 0.01;
+    let mut requests = 60;
+    let mut json = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                scale = v.parse().map_err(|e| format!("bad --scale: {e}"))?;
+                if !(scale > 0.0 && scale <= 1.0) {
+                    return Err("--scale must be in (0, 1]".into());
+                }
+            }
+            "--requests" => {
+                let v = args.next().ok_or("--requests needs a value")?;
+                requests = v.parse().map_err(|e| format!("bad --requests: {e}"))?;
+            }
+            "--json" => json = true,
+            other if command.is_none() => command = Some(other.to_string()),
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+    }
+    Ok(Options {
+        command: command.unwrap_or_else(|| "all".into()),
+        scale,
+        threads_scale_requests: requests,
+        json,
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: kard-tables [all|table1..table6|fig1..fig5|nginx|ilu|ablation] [--scale F] [--requests N]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scale = opts.scale;
+    let requests = opts.threads_scale_requests;
+    let run_json = |name: &str| -> Option<serde_json::Value> {
+        let v = |r: serde_json::Result<serde_json::Value>| r.expect("serializable");
+        match name {
+            "table1" => Some(v(serde_json::to_value(tables::table1()))),
+            "table2" => Some(v(serde_json::to_value(tables::table2(scale)))),
+            "table3" => Some(v(serde_json::to_value(tables::table3(scale)))),
+            "table4" => Some(v(serde_json::to_value(tables::table4()))),
+            "table5" => Some(v(serde_json::to_value(tables::table5(requests)))),
+            "table6" => Some(v(serde_json::to_value(tables::table6(4, requests)))),
+            "fig1" => Some(v(serde_json::to_value(figures::fig1()))),
+            "fig2" => Some(v(serde_json::to_value(figures::fig2()))),
+            "fig3" => Some(v(serde_json::to_value(figures::fig3()))),
+            "fig4" => Some(v(serde_json::to_value(figures::fig4()))),
+            "fig5" => Some(v(serde_json::to_value(figures::fig5(scale)))),
+            "nginx" => Some(v(serde_json::to_value(extras::nginx_sweep(scale)))),
+            "ilu" => Some(v(serde_json::to_value(extras::ilu_share(300, 11)))),
+            "sensitivity" => Some(v(serde_json::to_value(extras::sensitivity(60)))),
+            "ablation" => Some(v(serde_json::to_value(extras::ablation(scale)))),
+            _ => None,
+        }
+    };
+    let run = |name: &str| -> Option<String> {
+        match name {
+            "table1" => Some(tables::table1_text()),
+            "table2" => Some(tables::table2_text(scale)),
+            "table3" => Some(tables::table3_text(scale)),
+            "table4" => Some(tables::table4_text()),
+            "table5" => Some(tables::table5_text(requests)),
+            "table6" => Some(tables::table6_text(4, requests)),
+            "fig1" => Some(figures::fig1_text()),
+            "fig2" => Some(figures::fig2_text()),
+            "fig3" => Some(figures::fig3_text()),
+            "fig4" => Some(figures::fig4_text()),
+            "fig5" => Some(figures::fig5_text(scale)),
+            "nginx" => Some(extras::nginx_sweep_text(scale)),
+            "ilu" => Some(extras::ilu_share_text(300, 11)),
+            "sensitivity" => Some(extras::sensitivity_text(60)),
+            "ablation" => Some(extras::ablation_text(scale)),
+            _ => None,
+        }
+    };
+
+    const ALL: [&str; 15] = [
+        "table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig2", "fig3",
+        "fig4", "fig5", "nginx", "ilu", "sensitivity", "ablation",
+    ];
+    if opts.json {
+        let mut out = serde_json::Map::new();
+        if opts.command == "all" {
+            for name in ALL {
+                out.insert(name.into(), run_json(name).expect("known name"));
+            }
+        } else if let Some(v) = run_json(&opts.command) {
+            out.insert(opts.command.clone(), v);
+        } else {
+            eprintln!("unknown command: {}", opts.command);
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::Value::Object(out)).expect("valid json")
+        );
+        return ExitCode::SUCCESS;
+    }
+    if opts.command == "all" {
+        for name in ALL {
+            println!("{}", run(name).expect("known name"));
+            println!("{}", "=".repeat(100));
+        }
+        ExitCode::SUCCESS
+    } else if let Some(text) = run(&opts.command) {
+        println!("{text}");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("unknown command: {}", opts.command);
+        ExitCode::FAILURE
+    }
+}

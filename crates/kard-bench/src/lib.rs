@@ -1,0 +1,67 @@
+//! The experiment harness: one function per table and figure of the paper.
+//!
+//! Every function is pure with respect to its inputs (scale, threads,
+//! seed), returns a structured result, and implements `Display` so the
+//! `kard-tables` binary can print the same rows/series the paper reports.
+//! EXPERIMENTS.md is regenerated from these outputs.
+//!
+//! | Paper artifact | Function |
+//! |---|---|
+//! | Table 1 (ILU scope) | [`tables::table1`] |
+//! | Table 2 (system comparison) | [`tables::table2`] |
+//! | Table 3 (overheads, 4 threads) | [`tables::table3`] |
+//! | Table 4 (FP/FN scenarios) | [`tables::table4`] |
+//! | Table 5 (memcached key pressure) | [`tables::table5`] |
+//! | Table 6 (real-world races) | [`tables::table6`] |
+//! | Figure 1 (key-enforced access) | [`figures::fig1`] |
+//! | Figure 2 (consolidated allocation) | [`figures::fig2`] |
+//! | Figure 3 (detection stages) | [`figures::fig3`] |
+//! | Figure 4 (protection interleaving) | [`figures::fig4`] |
+//! | Figure 5 (scalability) | [`figures::fig5`] |
+//! | §7.2 NGINX file-size sweep | [`extras::nginx_sweep`] |
+//! | §3.1 ILU share of real races | [`extras::ilu_share`] |
+//! | DESIGN.md ablations | [`extras::ablation`] |
+
+#![warn(missing_docs)]
+
+pub mod extras;
+pub mod figures;
+pub mod tables;
+
+/// Format a percentage with sign and one decimal.
+#[must_use]
+pub fn pct(v: f64) -> String {
+    format!("{v:+.1}%")
+}
+
+/// Format a large count with thousands separators.
+#[must_use]
+pub fn thousands(mut n: u64) -> String {
+    let mut parts = Vec::new();
+    while n >= 1000 {
+        parts.push(format!("{:03}", n % 1000));
+        n /= 1000;
+    }
+    parts.push(n.to_string());
+    parts.reverse();
+    parts.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1_000), "1,000");
+        assert_eq!(thousands(4_402_000), "4,402,000");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(7.04), "+7.0%");
+        assert_eq!(pct(-5.9), "-5.9%");
+    }
+}

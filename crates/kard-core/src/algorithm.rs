@@ -1,0 +1,619 @@
+//! A pure implementation of the paper's **Algorithm 1** (key-enforced race
+//! detection), independent of any memory-protection hardware.
+//!
+//! Keys here are abstract and unlimited: each object `o` conceptually has a
+//! read-only key `rk_o` and a read-write key `wk_o`. The state tracked
+//! matches the paper's sets:
+//!
+//! * `K(t)` — keys a thread currently holds (with permission), with a
+//!   per-thread stack for nested critical sections (lines 3 and 9);
+//! * `KR(s)` / `KW(s)` — keys a critical section needs read-only /
+//!   read-write (the learned access pattern of the section);
+//! * `KR` — keys held read-only by some thread; `KF` — free keys. These are
+//!   folded into one per-object key state machine
+//!   (`Free` / `ReadHeld` / `WriteHeld`), which keeps the two sets disjoint
+//!   by construction.
+//!
+//! One deliberate deviation: lines 11 and 20 of the printed algorithm test
+//! set membership (`wk_o ∉ K_F`, `rk_o ∉ K_F ∪ K_R`), which cannot
+//! distinguish *the accessing thread itself* holding a key from *another*
+//! thread holding it. The surrounding prose ("checks whether any other
+//! thread t* holds wk_o or rk_o") and Figure 1 make the intent clear, so
+//! this implementation tracks holder identity: a read races iff another
+//! thread holds `wk_o`; a write races iff another thread holds `wk_o` or
+//! `rk_o`. A thread that is the sole read holder upgrades to the write key.
+//!
+//! This module is the executable specification used by property tests to
+//! validate the MPK-based detector.
+
+use crate::types::{Perm, SectionId};
+use kard_alloc::ObjectId;
+use kard_sim::{AccessKind, ThreadId};
+use std::collections::{HashMap, HashSet};
+
+/// Who holds an object's key right now.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+enum KeyState {
+    /// In `KF`: nobody holds the key.
+    #[default]
+    Free,
+    /// In `KR`: held read-only by a set of threads (shared read).
+    ReadHeld(HashSet<ThreadId>),
+    /// Held read-write by exactly one thread (exclusive write).
+    WriteHeld(ThreadId),
+}
+
+/// A race verdict from the pure algorithm ("log potential race", lines 12
+/// and 21).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PotentialRace {
+    /// The object with conflicting access.
+    pub object: ObjectId,
+    /// The thread whose access was unordered.
+    pub accessor: ThreadId,
+    /// The unordered access's kind.
+    pub access: AccessKind,
+    /// Threads holding the object's key at that moment.
+    pub holders: Vec<ThreadId>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct ThreadCtx {
+    /// `K(t)`: currently held keys with permissions.
+    held: HashMap<ObjectId, Perm>,
+    /// Backup stack for nested sections (push on enter, pop on exit).
+    stack: Vec<HashMap<ObjectId, Perm>>,
+    /// Innermost active section, if any.
+    sections: Vec<SectionId>,
+    /// Non-ILU extension (§8): keys claimed by *unlocked* accesses, held
+    /// until the thread's next synchronization point.
+    ambient: HashMap<ObjectId, Perm>,
+}
+
+/// The pure key-enforced race detection algorithm.
+///
+/// ```
+/// use kard_core::algorithm::KeyEnforced;
+/// use kard_core::SectionId;
+/// use kard_sim::{CodeSite, ThreadId};
+/// use kard_alloc::ObjectId;
+///
+/// let mut alg = KeyEnforced::new();
+/// let (t1, t2) = (ThreadId(0), ThreadId(1));
+/// let (sa, sb) = (SectionId(CodeSite(1)), SectionId(CodeSite(2)));
+/// let o = ObjectId(0);
+///
+/// // Figure 1a: exclusive write.
+/// alg.enter(t1, sa);
+/// assert!(alg.write(t1, o).is_none(), "first write claims wk_o");
+/// alg.enter(t2, sb);
+/// let race = alg.read(t2, o).expect("t2 reads while t1 holds wk_o");
+/// assert_eq!(race.holders, vec![t1]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct KeyEnforced {
+    keys: HashMap<ObjectId, KeyState>,
+    threads: HashMap<ThreadId, ThreadCtx>,
+    needs_read: HashMap<SectionId, HashSet<ObjectId>>,
+    needs_write: HashMap<SectionId, HashSet<ObjectId>>,
+    non_ilu: bool,
+}
+
+impl KeyEnforced {
+    /// Fresh state: `KF` holds every key, all other sets are empty.
+    #[must_use]
+    pub fn new() -> KeyEnforced {
+        KeyEnforced::default()
+    }
+
+    /// The §8 **non-ILU extension**: the algorithm additionally "acquires
+    /// protection keys for shared variables outside critical sections".
+    /// An unlocked access claims the object's key and holds it until the
+    /// thread's next synchronization point (section entry/exit or an
+    /// explicit [`KeyEnforced::sync`]), which widens the scope to Table 1
+    /// row 4 — two entirely unlocked conflicting accesses. The paper notes
+    /// this is impractical on 16-key MPK (key sharing would dominate) but
+    /// viable with advanced hardware or the software fallback; the pure
+    /// algorithm has unlimited abstract keys, so it expresses the
+    /// extension exactly.
+    #[must_use]
+    pub fn with_non_ilu_extension() -> KeyEnforced {
+        KeyEnforced {
+            non_ilu: true,
+            ..KeyEnforced::default()
+        }
+    }
+
+    /// A synchronization point for `t` outside any critical section
+    /// (non-ILU extension): releases ambient keys, ordering the thread's
+    /// preceding unlocked accesses with what follows.
+    pub fn sync(&mut self, t: ThreadId) {
+        let ambient = std::mem::take(&mut self.ctx(t).ambient);
+        for (o, perm) in ambient {
+            // Ambient keys are never also in K(t): release outright.
+            match self.keys.get_mut(&o).expect("held key must exist") {
+                state @ KeyState::WriteHeld(_) => *state = KeyState::Free,
+                state @ KeyState::ReadHeld(_) => {
+                    let KeyState::ReadHeld(readers) = state else {
+                        unreachable!()
+                    };
+                    readers.remove(&t);
+                    if readers.is_empty() {
+                        *state = KeyState::Free;
+                    }
+                }
+                KeyState::Free => unreachable!("held key cannot be free"),
+            }
+            let _ = perm;
+        }
+    }
+
+    fn ctx(&mut self, t: ThreadId) -> &mut ThreadCtx {
+        self.threads.entry(t).or_default()
+    }
+
+    fn key_state(&mut self, o: ObjectId) -> &mut KeyState {
+        self.keys.entry(o).or_default()
+    }
+
+    fn try_acquire_read(&mut self, t: ThreadId, o: ObjectId) -> bool {
+        match self.key_state(o) {
+            KeyState::Free => {
+                *self.key_state(o) = KeyState::ReadHeld(HashSet::from([t]));
+            }
+            KeyState::ReadHeld(readers) => {
+                readers.insert(t);
+            }
+            KeyState::WriteHeld(_) => return false,
+        }
+        self.ctx(t).held.entry(o).or_insert(Perm::Read);
+        true
+    }
+
+    fn try_acquire_write(&mut self, t: ThreadId, o: ObjectId) -> bool {
+        let sole_reader = match self.key_state(o) {
+            KeyState::Free => true,
+            KeyState::ReadHeld(readers) => readers.len() == 1 && readers.contains(&t),
+            KeyState::WriteHeld(_) => false,
+        };
+        if !sole_reader {
+            return false;
+        }
+        *self.key_state(o) = KeyState::WriteHeld(t);
+        self.ctx(t).held.insert(o, Perm::Write);
+        true
+    }
+
+    fn holders_other_than(&self, t: ThreadId, o: ObjectId) -> Vec<ThreadId> {
+        match self.keys.get(&o) {
+            Some(KeyState::WriteHeld(owner)) if *owner != t => vec![*owner],
+            Some(KeyState::ReadHeld(readers)) => {
+                let mut v: Vec<_> = readers.iter().copied().filter(|r| *r != t).collect();
+                v.sort();
+                v
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// `t` enters critical section `s` (Algorithm 1, lines 2–6): the held
+    /// set is pushed, then the section's known read keys are acquired when
+    /// free or read-held, and its write keys when free.
+    pub fn enter(&mut self, t: ThreadId, s: SectionId) {
+        if self.non_ilu {
+            self.sync(t);
+        }
+        let snapshot = self.ctx(t).held.clone();
+        let ctx = self.ctx(t);
+        ctx.stack.push(snapshot);
+        ctx.sections.push(s);
+
+        // K(t) ← K(t) ∪ (KR(s) ∩ (KF ∪ KR)) ∪ (KW(s) ∩ KF)
+        let want_write: Vec<_> = self
+            .needs_write
+            .get(&s)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default();
+        for o in want_write {
+            if self.ctx(t).held.contains_key(&o) {
+                continue;
+            }
+            let _ = self.try_acquire_write(t, o);
+        }
+        let want_read: Vec<_> = self
+            .needs_read
+            .get(&s)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default();
+        for o in want_read {
+            if self.ctx(t).held.contains_key(&o) {
+                continue;
+            }
+            let _ = self.try_acquire_read(t, o);
+        }
+    }
+
+    /// `t` exits critical section `s` (lines 7–9): keys acquired at or
+    /// since the matching enter are released; `K(t)` reverts to the pushed
+    /// snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unbalanced enter/exit, which is a driver bug.
+    pub fn exit(&mut self, t: ThreadId, s: SectionId) {
+        if self.non_ilu {
+            self.sync(t);
+        }
+        let ctx = self.ctx(t);
+        let popped_section = ctx.sections.pop().expect("exit without enter");
+        assert_eq!(popped_section, s, "mismatched section exit");
+        let snapshot = ctx.stack.pop().expect("exit without enter");
+        let current = std::mem::take(&mut ctx.held);
+        ctx.held = snapshot.clone();
+
+        for (o, perm) in current {
+            let outer = snapshot.get(&o).copied();
+            if outer == Some(perm) {
+                continue; // Still held by the enclosing frame.
+            }
+            // Release (or downgrade) the key.
+            match self.keys.get_mut(&o).expect("held key must exist") {
+                state @ KeyState::WriteHeld(_) => {
+                    *state = match outer {
+                        // Downgrade write → read for the outer frame.
+                        Some(Perm::Read) => KeyState::ReadHeld(HashSet::from([t])),
+                        Some(Perm::Write) => unreachable!("handled above"),
+                        None => KeyState::Free,
+                    };
+                }
+                state @ KeyState::ReadHeld(_) => {
+                    if outer.is_none() {
+                        let KeyState::ReadHeld(readers) = state else {
+                            unreachable!()
+                        };
+                        readers.remove(&t);
+                        if readers.is_empty() {
+                            *state = KeyState::Free;
+                        }
+                    }
+                }
+                KeyState::Free => unreachable!("held key cannot be free"),
+            }
+        }
+    }
+
+    /// `t` reads object `o` (lines 10–18). Returns a race when another
+    /// thread holds `wk_o`.
+    pub fn read(&mut self, t: ThreadId, o: ObjectId) -> Option<PotentialRace> {
+        if self.ctx(t).held.contains_key(&o) {
+            return None; // Holds rk_o or wk_o.
+        }
+        if let Some(KeyState::WriteHeld(owner)) = self.keys.get(&o) {
+            if *owner != t {
+                return Some(PotentialRace {
+                    object: o,
+                    accessor: t,
+                    access: AccessKind::Read,
+                    holders: vec![*owner],
+                });
+            }
+        }
+        if let Some(&s) = self.ctx(t).sections.last() {
+            // Lines 13–18: claim rk_o; record it in KR(s) unless the
+            // section already needs the write key.
+            let acquired = self.try_acquire_read(t, o);
+            debug_assert!(acquired, "key cannot be write-held here");
+            let needs_wk = self
+                .needs_write
+                .get(&s)
+                .is_some_and(|set| set.contains(&o));
+            if !needs_wk {
+                self.needs_read.entry(s).or_default().insert(o);
+            }
+        } else if self.non_ilu && !self.ctx(t).ambient.contains_key(&o) {
+            // Non-ILU extension: the unlocked read claims rk_o ambiently.
+            let acquired = self.try_acquire_read(t, o);
+            debug_assert!(acquired, "key cannot be write-held here");
+            self.ctx(t).held.remove(&o);
+            self.ctx(t).ambient.insert(o, Perm::Read);
+        }
+        None
+    }
+
+    /// `t` writes object `o` (lines 19–26). Returns a race when another
+    /// thread holds `wk_o` or `rk_o`.
+    pub fn write(&mut self, t: ThreadId, o: ObjectId) -> Option<PotentialRace> {
+        if self.ctx(t).held.get(&o) == Some(&Perm::Write) {
+            return None;
+        }
+        let others = self.holders_other_than(t, o);
+        if !others.is_empty() {
+            return Some(PotentialRace {
+                object: o,
+                accessor: t,
+                access: AccessKind::Write,
+                holders: others,
+            });
+        }
+        if let Some(&s) = self.ctx(t).sections.last() {
+            // Lines 22–26: claim wk_o (upgrading a sole-reader rk_o);
+            // KW(s) gains the key, KR(s) loses it.
+            let acquired = self.try_acquire_write(t, o);
+            debug_assert!(acquired, "no other holders can exist here");
+            self.needs_write.entry(s).or_default().insert(o);
+            if let Some(reads) = self.needs_read.get_mut(&s) {
+                reads.remove(&o);
+            }
+        } else if self.non_ilu {
+            // Non-ILU extension: the unlocked write claims wk_o ambiently.
+            // A prior ambient read upgrades (self is the sole reader here:
+            // other holders were rejected above).
+            let acquired = self.try_acquire_write(t, o);
+            debug_assert!(acquired, "no other holders can exist here");
+            self.ctx(t).held.remove(&o);
+            self.ctx(t).ambient.insert(o, Perm::Write);
+        }
+        None
+    }
+
+    /// Whether `t` currently holds a key for `o`, and with what permission.
+    #[must_use]
+    pub fn held_perm(&self, t: ThreadId, o: ObjectId) -> Option<Perm> {
+        self.threads.get(&t).and_then(|ctx| ctx.held.get(&o)).copied()
+    }
+
+    /// The objects section `s` is known to need read-only (`KR(s)`).
+    #[must_use]
+    pub fn section_reads(&self, s: SectionId) -> HashSet<ObjectId> {
+        self.needs_read.get(&s).cloned().unwrap_or_default()
+    }
+
+    /// The objects section `s` is known to need read-write (`KW(s)`).
+    #[must_use]
+    pub fn section_writes(&self, s: SectionId) -> HashSet<ObjectId> {
+        self.needs_write.get(&s).cloned().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kard_sim::CodeSite;
+
+    fn ids() -> (ThreadId, ThreadId, SectionId, SectionId, ObjectId) {
+        (
+            ThreadId(0),
+            ThreadId(1),
+            SectionId(CodeSite(0xa)),
+            SectionId(CodeSite(0xb)),
+            ObjectId(0),
+        )
+    }
+
+    #[test]
+    fn figure_1a_exclusive_write_races() {
+        let (t1, t2, sa, sb, o) = ids();
+        let mut alg = KeyEnforced::new();
+        alg.enter(t1, sa);
+        assert!(alg.write(t1, o).is_none());
+        alg.enter(t2, sb);
+        let race = alg.read(t2, o).expect("read while wk held");
+        assert_eq!(race.accessor, t2);
+        assert_eq!(race.holders, vec![t1]);
+        alg.exit(t1, sa);
+        alg.exit(t2, sb);
+    }
+
+    #[test]
+    fn figure_1b_shared_read_does_not_race() {
+        let (t1, t2, sa, sb, o) = ids();
+        let mut alg = KeyEnforced::new();
+        alg.enter(t1, sa);
+        assert!(alg.read(t1, o).is_none());
+        alg.enter(t2, sb);
+        assert!(alg.read(t2, o).is_none(), "shared read is allowed");
+        assert_eq!(alg.held_perm(t1, o), Some(Perm::Read));
+        assert_eq!(alg.held_perm(t2, o), Some(Perm::Read));
+        alg.exit(t1, sa);
+        alg.exit(t2, sb);
+    }
+
+    #[test]
+    fn write_races_with_concurrent_reader() {
+        let (t1, t2, sa, sb, o) = ids();
+        let mut alg = KeyEnforced::new();
+        alg.enter(t1, sa);
+        assert!(alg.read(t1, o).is_none());
+        alg.enter(t2, sb);
+        let race = alg.write(t2, o).expect("write while rk held elsewhere");
+        assert_eq!(race.access, AccessKind::Write);
+        assert_eq!(race.holders, vec![t1]);
+    }
+
+    #[test]
+    fn sole_reader_upgrades_to_writer() {
+        let (t1, _, sa, _, o) = ids();
+        let mut alg = KeyEnforced::new();
+        alg.enter(t1, sa);
+        assert!(alg.read(t1, o).is_none());
+        assert!(alg.write(t1, o).is_none(), "sole reader upgrades");
+        assert_eq!(alg.held_perm(t1, o), Some(Perm::Write));
+        assert!(alg.section_writes(sa).contains(&o));
+        assert!(!alg.section_reads(sa).contains(&o), "KR(s) loses upgraded key");
+    }
+
+    #[test]
+    fn keys_release_on_exit() {
+        let (t1, t2, sa, sb, o) = ids();
+        let mut alg = KeyEnforced::new();
+        alg.enter(t1, sa);
+        assert!(alg.write(t1, o).is_none());
+        alg.exit(t1, sa);
+        assert_eq!(alg.held_perm(t1, o), None);
+        // After release, t2 may write without a race.
+        alg.enter(t2, sb);
+        assert!(alg.write(t2, o).is_none());
+    }
+
+    #[test]
+    fn proactive_acquisition_on_reentry() {
+        let (t1, t2, sa, sb, o) = ids();
+        let mut alg = KeyEnforced::new();
+        // First execution teaches the algorithm that sa writes o.
+        alg.enter(t1, sa);
+        assert!(alg.write(t1, o).is_none());
+        alg.exit(t1, sa);
+        // Re-entry acquires wk_o proactively (line 4).
+        alg.enter(t1, sa);
+        assert_eq!(alg.held_perm(t1, o), Some(Perm::Write));
+        // So a concurrent entry by t2 into sb reading o is caught even
+        // before t1 touches o this time.
+        alg.enter(t2, sb);
+        assert!(alg.read(t2, o).is_some());
+    }
+
+    #[test]
+    fn unlocked_read_against_held_write_key_races() {
+        // Table 1 row 2: t1 with lock, t2 without.
+        let (t1, t2, sa, _, o) = ids();
+        let mut alg = KeyEnforced::new();
+        alg.enter(t1, sa);
+        assert!(alg.write(t1, o).is_none());
+        let race = alg.read(t2, o).expect("unlocked read races");
+        assert_eq!(race.holders, vec![t1]);
+    }
+
+    #[test]
+    fn unlocked_accesses_acquire_nothing() {
+        let (t1, t2, _, _, o) = ids();
+        let mut alg = KeyEnforced::new();
+        assert!(alg.write(t1, o).is_none(), "no lock, no key, no race yet");
+        assert_eq!(alg.held_perm(t1, o), None);
+        // Because t1 holds nothing, t2's concurrent write is also silent:
+        // Table 1 row 4 (no lock / no lock) is out of ILU scope.
+        assert!(alg.write(t2, o).is_none());
+    }
+
+    #[test]
+    fn nested_sections_restore_outer_keys() {
+        let (t1, _, sa, sb, o) = ids();
+        let o2 = ObjectId(1);
+        let mut alg = KeyEnforced::new();
+        alg.enter(t1, sa);
+        assert!(alg.write(t1, o).is_none());
+        alg.enter(t1, sb);
+        assert!(alg.write(t1, o2).is_none());
+        alg.exit(t1, sb);
+        assert_eq!(alg.held_perm(t1, o2), None, "inner key released");
+        assert_eq!(alg.held_perm(t1, o), Some(Perm::Write), "outer key kept");
+        alg.exit(t1, sa);
+        assert_eq!(alg.held_perm(t1, o), None);
+    }
+
+    #[test]
+    fn downgrade_on_exit_of_upgrading_inner_section() {
+        let (t1, t2, sa, sb, o) = ids();
+        let mut alg = KeyEnforced::new();
+        alg.enter(t1, sa);
+        assert!(alg.read(t1, o).is_none()); // rk in outer frame
+        alg.enter(t1, sb);
+        assert!(alg.write(t1, o).is_none()); // upgrade in inner frame
+        alg.exit(t1, sb);
+        assert_eq!(alg.held_perm(t1, o), Some(Perm::Read), "downgraded");
+        // Another reader can now share.
+        alg.enter(t2, sb);
+        assert!(alg.read(t2, o).is_none());
+    }
+
+    #[test]
+    fn read_then_same_thread_write_key_not_racy_with_self() {
+        let (t1, _, sa, _, o) = ids();
+        let mut alg = KeyEnforced::new();
+        alg.enter(t1, sa);
+        assert!(alg.write(t1, o).is_none());
+        // Reading one's own write-held object is silent (line 10: wk ∈ K(t)).
+        assert!(alg.read(t1, o).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "exit without enter")]
+    fn unbalanced_exit_panics() {
+        let (t1, _, sa, _, _) = ids();
+        let mut alg = KeyEnforced::new();
+        alg.exit(t1, sa);
+    }
+
+    #[test]
+    fn non_ilu_extension_catches_lock_free_races() {
+        // Table 1 row 4, in scope only with the §8 extension.
+        let (t1, t2, _, _, o) = ids();
+        let mut alg = KeyEnforced::with_non_ilu_extension();
+        assert!(alg.write(t1, o).is_none(), "first unlocked write claims wk");
+        let race = alg.write(t2, o).expect("second unlocked write races");
+        assert_eq!(race.holders, vec![t1]);
+    }
+
+    #[test]
+    fn non_ilu_sync_orders_unlocked_accesses() {
+        // A synchronization point between the unlocked accesses releases
+        // the ambient key: no race (the accesses are ordered).
+        let (t1, t2, _, _, o) = ids();
+        let mut alg = KeyEnforced::with_non_ilu_extension();
+        assert!(alg.write(t1, o).is_none());
+        alg.sync(t1);
+        assert!(alg.write(t2, o).is_none(), "ordered by the sync point");
+    }
+
+    #[test]
+    fn non_ilu_section_entry_is_a_sync_point() {
+        let (t1, t2, sa, _, o) = ids();
+        let mut alg = KeyEnforced::with_non_ilu_extension();
+        assert!(alg.write(t1, o).is_none());
+        alg.enter(t1, sa); // Releases the ambient key.
+        alg.exit(t1, sa);
+        assert!(alg.write(t2, o).is_none());
+    }
+
+    #[test]
+    fn non_ilu_ambient_read_upgrades_to_write() {
+        let (t1, t2, _, _, o) = ids();
+        let mut alg = KeyEnforced::with_non_ilu_extension();
+        assert!(alg.read(t1, o).is_none());
+        assert!(alg.write(t1, o).is_none(), "sole ambient reader upgrades");
+        let race = alg.read(t2, o).expect("ambient wk blocks other readers");
+        assert_eq!(race.access, AccessKind::Read);
+    }
+
+    #[test]
+    fn non_ilu_shared_ambient_reads_do_not_race() {
+        let (t1, t2, _, _, o) = ids();
+        let mut alg = KeyEnforced::with_non_ilu_extension();
+        assert!(alg.read(t1, o).is_none());
+        assert!(alg.read(t2, o).is_none(), "shared ambient read");
+    }
+
+    #[test]
+    fn non_ilu_still_covers_ilu_cases() {
+        let (t1, t2, sa, _, o) = ids();
+        let mut alg = KeyEnforced::with_non_ilu_extension();
+        alg.enter(t1, sa);
+        assert!(alg.write(t1, o).is_none());
+        assert!(alg.read(t2, o).is_some(), "Table 1 row 2 still in scope");
+        alg.exit(t1, sa);
+    }
+
+    #[test]
+    fn section_needs_are_learned_per_section() {
+        let (t1, _, sa, sb, o) = ids();
+        let mut alg = KeyEnforced::new();
+        alg.enter(t1, sa);
+        assert!(alg.read(t1, o).is_none());
+        alg.exit(t1, sa);
+        alg.enter(t1, sb);
+        assert!(alg.write(t1, o).is_none());
+        alg.exit(t1, sb);
+        assert!(alg.section_reads(sa).contains(&o));
+        assert!(alg.section_writes(sb).contains(&o));
+        assert!(!alg.section_writes(sa).contains(&o));
+    }
+}

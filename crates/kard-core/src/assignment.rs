@@ -1,0 +1,291 @@
+//! Effective key assignment (paper §5.4).
+//!
+//! Kard has only 13 read-write pool keys on MPK hardware, so assigning a
+//! key to a newly identified shared object follows three rules:
+//!
+//! 1. **Reuse a held key**: if the faulting thread already holds pool keys,
+//!    protect the object with one of them — no new key is consumed and the
+//!    thread can proceed immediately.
+//! 2. **Take a fresh key**: otherwise use a key not yet protecting any
+//!    object.
+//! 3. **Recycle or share**: with all keys assigned, prefer *recycling* an
+//!    assigned key that no thread currently holds (its objects are demoted
+//!    to the Read-only domain, preserving detection at the cost of repeated
+//!    migration), and only *share* a held key as a last resort (sharing can
+//!    cause false negatives, §7.3). Sharing prefers keys whose holders'
+//!    sections are not known to access the object.
+//!
+//! [`choose_key`] is a pure decision procedure over the
+//! [`crate::keymap::KeyTable`]; the detector applies the side
+//! effects (domain migrations, `pkey_mprotect`, PKRU updates).
+
+use crate::config::ExhaustionPolicy;
+use crate::keymap::KeyTable;
+use crate::types::Perm;
+use kard_alloc::ObjectId;
+use kard_sim::{ProtectionKey, ThreadId};
+
+/// The decision made for a new shared object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Assignment {
+    /// Rule 1: a key the faulting thread already holds.
+    HeldKey(ProtectionKey),
+    /// Rule 2: a previously unassigned key.
+    FreshKey(ProtectionKey),
+    /// Rule 3a: a recycled key; `evicted` objects must migrate to the
+    /// Read-only domain.
+    Recycled {
+        /// The recycled key.
+        key: ProtectionKey,
+        /// Objects the key used to protect, now demoted.
+        evicted: Vec<ObjectId>,
+    },
+    /// Rule 3b: a key shared with other holders (false-negative risk).
+    Shared(ProtectionKey),
+}
+
+impl Assignment {
+    /// The chosen key, whatever the rule.
+    #[must_use]
+    pub fn key(&self) -> ProtectionKey {
+        match self {
+            Assignment::HeldKey(k)
+            | Assignment::FreshKey(k)
+            | Assignment::Shared(k) => *k,
+            Assignment::Recycled { key, .. } => *key,
+        }
+    }
+}
+
+/// Pick a key for a newly identified shared object needing `perm`.
+///
+/// `section_accesses_object(k)` must report whether any *current holder* of
+/// `k` is executing a section known to access the object — the §5.4 sharing
+/// heuristic. The function mutates the table only for the recycling case
+/// (draining the recycled key's objects).
+pub fn choose_key(
+    table: &mut KeyTable,
+    thread: ThreadId,
+    perm: Perm,
+    policy: ExhaustionPolicy,
+    held_keys: &[(ProtectionKey, Perm)],
+    holder_sections_access_object: impl Fn(ProtectionKey) -> bool,
+) -> Assignment {
+    // Rule 1: reuse a key the faulting thread holds. For a write need the
+    // key must be write-held (or upgradeable, i.e. no other holder) so the
+    // thread does not immediately re-fault on its own object.
+    let usable_held = held_keys.iter().find(|&&(k, p)| match perm {
+        Perm::Read => p >= Perm::Read,
+        Perm::Write => p == Perm::Write || !table.state(k).held_by_other(thread),
+    });
+    if let Some(&(key, _)) = usable_held {
+        return Assignment::HeldKey(key);
+    }
+
+    // Rule 2: a fresh key.
+    if let Some(key) = table.unassigned_key() {
+        return Assignment::FreshKey(key);
+    }
+
+    // Rule 3a: recycle an assigned-but-unheld key.
+    if policy == ExhaustionPolicy::RecycleThenShare {
+        if let Some(key) = table.unheld_assigned_key() {
+            let evicted = table.take_objects(key);
+            return Assignment::Recycled { key, evicted };
+        }
+    }
+
+    // Rule 3b: share. Prefer a key whose holders' sections do not access
+    // the object; fall back to the least-contended key.
+    let candidates = table.keys_by_holder_count();
+    let key = candidates
+        .iter()
+        .copied()
+        .find(|&k| !holder_sections_access_object(k))
+        .unwrap_or(candidates[0]);
+    Assignment::Shared(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SectionId;
+    use kard_sim::{CodeSite, KeyLayout};
+
+    fn table() -> KeyTable {
+        KeyTable::new(&KeyLayout::mpk())
+    }
+
+    fn s(n: u64) -> SectionId {
+        SectionId(CodeSite(n))
+    }
+
+    const NO_CONFLICT: fn(ProtectionKey) -> bool = |_| false;
+
+    #[test]
+    fn rule1_prefers_held_key() {
+        let mut t = table();
+        t.try_acquire(ProtectionKey(4), ThreadId(0), Perm::Write, s(1));
+        let a = choose_key(
+            &mut t,
+            ThreadId(0),
+            Perm::Write,
+            ExhaustionPolicy::RecycleThenShare,
+            &[(ProtectionKey(4), Perm::Write)],
+            NO_CONFLICT,
+        );
+        assert_eq!(a, Assignment::HeldKey(ProtectionKey(4)));
+    }
+
+    #[test]
+    fn rule1_skips_read_held_shared_key_for_write_need() {
+        let mut t = table();
+        // Thread 0 and 1 both read-hold k4: not upgradeable for a write.
+        t.try_acquire(ProtectionKey(4), ThreadId(0), Perm::Read, s(1));
+        t.try_acquire(ProtectionKey(4), ThreadId(1), Perm::Read, s(2));
+        let a = choose_key(
+            &mut t,
+            ThreadId(0),
+            Perm::Write,
+            ExhaustionPolicy::RecycleThenShare,
+            &[(ProtectionKey(4), Perm::Read)],
+            NO_CONFLICT,
+        );
+        assert_eq!(a, Assignment::FreshKey(ProtectionKey(1)));
+    }
+
+    #[test]
+    fn rule1_accepts_sole_read_hold_for_write_need() {
+        let mut t = table();
+        t.try_acquire(ProtectionKey(4), ThreadId(0), Perm::Read, s(1));
+        let a = choose_key(
+            &mut t,
+            ThreadId(0),
+            Perm::Write,
+            ExhaustionPolicy::RecycleThenShare,
+            &[(ProtectionKey(4), Perm::Read)],
+            NO_CONFLICT,
+        );
+        assert_eq!(a, Assignment::HeldKey(ProtectionKey(4)), "upgradeable");
+    }
+
+    #[test]
+    fn rule2_takes_lowest_fresh_key() {
+        let mut t = table();
+        t.assign_object(ProtectionKey(1), ObjectId(0));
+        let a = choose_key(
+            &mut t,
+            ThreadId(0),
+            Perm::Write,
+            ExhaustionPolicy::RecycleThenShare,
+            &[],
+            NO_CONFLICT,
+        );
+        assert_eq!(a, Assignment::FreshKey(ProtectionKey(2)));
+    }
+
+    fn exhaust(t: &mut KeyTable) {
+        for (i, &k) in t.pool().to_vec().iter().enumerate() {
+            t.assign_object(k, ObjectId(i as u64));
+        }
+    }
+
+    #[test]
+    fn rule3a_recycles_unheld_key_and_evicts_objects() {
+        let mut t = table();
+        exhaust(&mut t);
+        // Hold every key except k7.
+        for &k in t.pool().to_vec().iter() {
+            if k != ProtectionKey(7) {
+                t.try_acquire(k, ThreadId(9), Perm::Read, s(9));
+            }
+        }
+        let a = choose_key(
+            &mut t,
+            ThreadId(0),
+            Perm::Write,
+            ExhaustionPolicy::RecycleThenShare,
+            &[],
+            NO_CONFLICT,
+        );
+        assert_eq!(
+            a,
+            Assignment::Recycled {
+                key: ProtectionKey(7),
+                evicted: vec![ObjectId(6)],
+            }
+        );
+        assert!(!t.state(ProtectionKey(7)).assigned(), "drained by recycle");
+    }
+
+    #[test]
+    fn rule3b_shares_when_all_keys_held() {
+        let mut t = table();
+        exhaust(&mut t);
+        for &k in t.pool().to_vec().iter() {
+            t.try_acquire(k, ThreadId(9), Perm::Read, s(9));
+        }
+        // Holder sections of k1/k2 access the object; k3's do not.
+        let conflict = |k: ProtectionKey| k.0 <= 2;
+        let a = choose_key(
+            &mut t,
+            ThreadId(0),
+            Perm::Write,
+            ExhaustionPolicy::RecycleThenShare,
+            &[],
+            conflict,
+        );
+        assert_eq!(a, Assignment::Shared(ProtectionKey(3)));
+    }
+
+    #[test]
+    fn rule3b_falls_back_to_least_contended_when_all_conflict() {
+        let mut t = table();
+        exhaust(&mut t);
+        for &k in t.pool().to_vec().iter() {
+            t.try_acquire(k, ThreadId(9), Perm::Read, s(9));
+        }
+        t.try_acquire(ProtectionKey(1), ThreadId(8), Perm::Read, s(8));
+        let a = choose_key(
+            &mut t,
+            ThreadId(0),
+            Perm::Write,
+            ExhaustionPolicy::RecycleThenShare,
+            &[],
+            |_| true,
+        );
+        // Every key conflicts; pick the least-contended (k2, since k1 has
+        // two holders and the rest tie at one, ordered by index).
+        assert_eq!(a, Assignment::Shared(ProtectionKey(2)));
+    }
+
+    #[test]
+    fn share_only_policy_never_recycles() {
+        let mut t = table();
+        exhaust(&mut t);
+        // No key is held at all: recycling would be possible...
+        let a = choose_key(
+            &mut t,
+            ThreadId(0),
+            Perm::Write,
+            ExhaustionPolicy::ShareOnly,
+            &[],
+            NO_CONFLICT,
+        );
+        // ...but ShareOnly shares anyway (ablation mode).
+        assert!(matches!(a, Assignment::Shared(_)));
+    }
+
+    #[test]
+    fn assignment_key_accessor() {
+        assert_eq!(Assignment::FreshKey(ProtectionKey(2)).key(), ProtectionKey(2));
+        assert_eq!(
+            Assignment::Recycled {
+                key: ProtectionKey(9),
+                evicted: vec![]
+            }
+            .key(),
+            ProtectionKey(9)
+        );
+    }
+}

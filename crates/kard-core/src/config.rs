@@ -1,0 +1,113 @@
+//! Detector configuration, including the ablation switches DESIGN.md lists.
+
+/// Behaviour of the key-assignment policy when every read-write pool key is
+/// already assigned (§5.4, rule three).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExhaustionPolicy {
+    /// Prefer recycling an assigned-but-unheld key, falling back to sharing
+    /// only when every key is currently held. This is Kard's default;
+    /// recycling preserves accuracy while sharing can cause false negatives
+    /// (§5.4, §7.3).
+    RecycleThenShare,
+    /// Always share immediately (ablation: quantifies the false-negative
+    /// exposure the recycling preference avoids).
+    ShareOnly,
+}
+
+/// Configuration of the [`crate::Kard`] detector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KardConfig {
+    /// Acquire the keys of a section's known objects at entry (§5.4,
+    /// "proactive key acquisition"). Disabling it forces a fault per first
+    /// access in every section execution (ablation).
+    pub proactive_acquisition: bool,
+    /// Run the protection-interleaving false-positive filter (§5.5).
+    pub protection_interleaving: bool,
+    /// Apply the release-timestamp filter: treat a key released less than
+    /// one fault-handling delay before the fault as still held (§5.5).
+    pub timestamp_filter: bool,
+    /// Prune redundant reports of the same object/offset/section pair
+    /// (§5.5, "automated pruning").
+    pub prune_redundant: bool,
+    /// Key-pool exhaustion policy (§5.4).
+    pub exhaustion: ExhaustionPolicy,
+    /// Delay injection (§5.5): when a thread with an *armed* protection
+    /// interleaving exits its critical section, stall the exit by this
+    /// many cycles (and yield the CPU on real threads) so the conflicting
+    /// thread gets a chance to fault and the offset test can run. Zero
+    /// disables the mitigation; the paper lists it as optional, which is
+    /// why pigz's tiny sections still produce one false positive.
+    pub interleave_exit_delay: u64,
+    /// Skip assignment rule 1 (held-key reuse) while fresh keys remain,
+    /// giving each object its own key. Pointless on 16-key MPK (it just
+    /// exhausts the pool faster) but, combined with a large key layout,
+    /// it makes the detector key-per-object — the granularity of the pure
+    /// Algorithm 1 — which the conformance property tests rely on.
+    pub prefer_fresh_keys: bool,
+}
+
+impl KardConfig {
+    /// The paper's configuration: everything on.
+    #[must_use]
+    pub fn paper() -> KardConfig {
+        KardConfig {
+            proactive_acquisition: true,
+            protection_interleaving: true,
+            timestamp_filter: true,
+            prune_redundant: true,
+            exhaustion: ExhaustionPolicy::RecycleThenShare,
+            interleave_exit_delay: 0,
+            prefer_fresh_keys: false,
+        }
+    }
+
+    /// A configuration that makes the detector behave as closely as the
+    /// hardware realization allows to the pure Algorithm 1: one key per
+    /// object (requires a large key layout), proactive acquisition (the
+    /// algorithm's line 4 is proactive), and no fault filtering beyond
+    /// redundancy pruning.
+    #[must_use]
+    pub fn algorithm_fidelity() -> KardConfig {
+        KardConfig {
+            proactive_acquisition: true,
+            protection_interleaving: false,
+            timestamp_filter: false,
+            prune_redundant: true,
+            exhaustion: ExhaustionPolicy::RecycleThenShare,
+            interleave_exit_delay: 0,
+            prefer_fresh_keys: true,
+        }
+    }
+}
+
+impl Default for KardConfig {
+    fn default() -> Self {
+        KardConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_config() {
+        let c = KardConfig::default();
+        assert!(c.proactive_acquisition);
+        assert!(c.protection_interleaving);
+        assert!(c.timestamp_filter);
+        assert!(c.prune_redundant);
+        assert_eq!(c.exhaustion, ExhaustionPolicy::RecycleThenShare);
+        assert!(!c.prefer_fresh_keys);
+        assert_eq!(c.interleave_exit_delay, 0, "delay injection is opt-in");
+    }
+
+    #[test]
+    fn fidelity_config_matches_algorithm_one() {
+        let c = KardConfig::algorithm_fidelity();
+        assert!(c.proactive_acquisition, "Algorithm 1 line 4 is proactive");
+        assert!(!c.protection_interleaving);
+        assert!(!c.timestamp_filter);
+        assert!(c.prefer_fresh_keys);
+    }
+}

@@ -1,0 +1,1402 @@
+//! The full Kard detector: Algorithm 1 realized over simulated MPK.
+//!
+//! One [`Kard`] instance monitors one program execution. Program events —
+//! allocations, lock/unlock, memory accesses — are reported through its
+//! methods; the detector maintains the protection domains (§5.2), handles
+//! every simulated #GP (§5.3–§5.5), and accumulates race reports and
+//! statistics.
+//!
+//! Thread safety mirrors the paper's runtime: the detector's internal
+//! bookkeeping is serialized ("Kard employs internal synchronization (i.e.,
+//! atomic operations), like general lock functions"), here with one mutex
+//! around the detector state. Accesses that do not fault never take that
+//! mutex — they only consult the simulated hardware, which is the whole
+//! point of the design (no per-access instrumentation).
+
+use crate::assignment::{choose_key, Assignment};
+use crate::config::KardConfig;
+use crate::domains::Domain;
+use crate::interleave::{Interleaver, Observation, Verdict};
+use crate::keymap::KeyTable;
+use crate::report::{RaceFingerprint, RaceRecord, RaceSide};
+use crate::sections::SectionObjectMap;
+use crate::stats::DetectorStats;
+use crate::types::{LockId, Perm, SectionId, SectionMode};
+use kard_alloc::{KardAlloc, ObjectId, ObjectInfo};
+use kard_sim::{
+    AccessKind, CodeSite, GpFault, KeyLayout, Machine, Permission, Pkru, ProtectionKey, ThreadId,
+    VirtAddr,
+};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// What the fault handler tells the access loop to do next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FaultAction {
+    /// Protection changed; re-execute the access.
+    Retry,
+    /// The handler emulated the access (single-step analog); do not retry.
+    Emulated,
+}
+
+#[derive(Clone, Debug)]
+struct Frame {
+    section: SectionId,
+    lock: LockId,
+    saved_pkru: Pkru,
+    /// Keys whose table state this frame changed: `(key, previous perm)` —
+    /// `None` means newly acquired (release on exit), `Some(p)` means
+    /// widened from `p` (downgrade on exit).
+    acquired: Vec<(ProtectionKey, Option<Perm>)>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct ThreadCtx {
+    frames: Vec<Frame>,
+    /// Read-write pool keys this thread holds, with permissions.
+    held: HashMap<ProtectionKey, Perm>,
+}
+
+struct State {
+    domains: HashMap<ObjectId, Domain>,
+    sections: SectionObjectMap,
+    keys: KeyTable,
+    interleaver: Interleaver,
+    threads: HashMap<ThreadId, ThreadCtx>,
+    records: Vec<Option<RaceRecord>>,
+    seen: HashSet<RaceFingerprint>,
+    stats: DetectorStats,
+    unique_sections: HashSet<SectionId>,
+    active_sections: u64,
+}
+
+/// The Kard dynamic data race detector. See the
+/// [crate-level example](crate) for typical usage.
+pub struct Kard {
+    machine: Arc<Machine>,
+    alloc: Arc<KardAlloc>,
+    config: KardConfig,
+    layout: KeyLayout,
+    state: Mutex<State>,
+}
+
+impl Kard {
+    /// Create a detector over `machine` and `alloc`.
+    #[must_use]
+    pub fn new(machine: Arc<Machine>, alloc: Arc<KardAlloc>, config: KardConfig) -> Kard {
+        let layout = machine.key_layout();
+        Kard {
+            machine,
+            alloc,
+            config,
+            layout,
+            state: Mutex::new(State {
+                domains: HashMap::new(),
+                sections: SectionObjectMap::new(),
+                keys: KeyTable::new(&layout),
+                interleaver: Interleaver::new(),
+                threads: HashMap::new(),
+                records: Vec::new(),
+                seen: HashSet::new(),
+                stats: DetectorStats::default(),
+                unique_sections: HashSet::new(),
+                active_sections: 0,
+            }),
+        }
+    }
+
+    /// The simulated machine under this detector.
+    #[must_use]
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// The allocator under this detector.
+    #[must_use]
+    pub fn alloc(&self) -> &Arc<KardAlloc> {
+        &self.alloc
+    }
+
+    /// The detector's configuration.
+    #[must_use]
+    pub fn config(&self) -> KardConfig {
+        self.config
+    }
+
+    /// The PKRU policy for a thread outside any critical section: default
+    /// key read-write, `k_ro` read-only (everyone can read the Read-only
+    /// domain), `k_na` read-write (non-critical code touches Not-accessed
+    /// objects freely), pool keys inaccessible (§5.2).
+    fn base_pkru(&self) -> Pkru {
+        let mut pkru = Pkru::deny_all_except_default(&self.layout);
+        pkru.set_permission(self.layout.read_only, Permission::ReadOnly);
+        pkru.set_permission(self.layout.not_accessed, Permission::ReadWrite);
+        pkru
+    }
+
+    /// Register a program thread with the detector, installing the baseline
+    /// PKRU policy.
+    pub fn register_thread(&self) -> ThreadId {
+        let t = self.machine.register_thread();
+        self.machine.wrpkru(t, self.base_pkru());
+        self.state.lock().threads.insert(t, ThreadCtx::default());
+        t
+    }
+
+    /// Intercepted heap allocation: the object starts in the Not-accessed
+    /// domain, protected by `k_na`.
+    pub fn on_alloc(&self, t: ThreadId, size: u64) -> ObjectInfo {
+        let info = self.alloc.alloc(t, size);
+        self.alloc
+            .protect(t, info.id, self.layout.not_accessed)
+            .expect("k_na is always valid");
+        self.state.lock().domains.insert(info.id, Domain::NotAccessed);
+        info
+    }
+
+    /// Registered global variable: like a heap object, but never freed and
+    /// not consolidated (§6).
+    pub fn on_global(&self, t: ThreadId, size: u64) -> ObjectInfo {
+        let info = self.alloc.register_global(t, size);
+        self.alloc
+            .protect(t, info.id, self.layout.not_accessed)
+            .expect("k_na is always valid");
+        self.state.lock().domains.insert(info.id, Domain::NotAccessed);
+        info
+    }
+
+    /// Intercepted `free`: all detector metadata for the object is dropped.
+    pub fn on_free(&self, t: ThreadId, id: ObjectId) {
+        {
+            let mut st = self.state.lock();
+            if let Some(Domain::ReadWrite(key)) = st.domains.remove(&id) {
+                st.keys.unassign_object(key, id);
+            }
+            st.sections.remove_object(id);
+            st.interleaver.forget(id);
+        }
+        self.alloc.free(t, id);
+    }
+
+    /// Critical-section entry: called *after* the program's lock is
+    /// acquired. `site` is the lock call site identifying the section.
+    pub fn lock_enter(&self, t: ThreadId, lock: LockId, site: CodeSite) {
+        self.lock_enter_mode(t, lock, site, SectionMode::Exclusive);
+    }
+
+    /// Critical-section entry with an explicit [`SectionMode`] — the
+    /// shared mode models `pthread_rwlock_rdlock` sections, whose keys are
+    /// capped at read-only permission so that concurrent readers of the
+    /// same section can all hold them.
+    pub fn lock_enter_mode(&self, t: ThreadId, lock: LockId, site: CodeSite, mode: SectionMode) {
+        let cost = *self.machine.cost_model();
+        self.machine.charge(t, cost.lock_op + cost.atomic_op);
+        let section = SectionId(site);
+
+        let mut st = self.state.lock();
+        st.stats.cs_entries += 1;
+        st.unique_sections.insert(section);
+        st.stats.unique_sections = st.unique_sections.len() as u64;
+        st.active_sections += 1;
+        st.stats.max_concurrent_sections =
+            st.stats.max_concurrent_sections.max(st.active_sections);
+        // Internal-synchronization contention (§5.4: key acquisition is
+        // protected by atomic operations): every program thread contends
+        // on the runtime's shared state at each section entry — cache-line
+        // transfers and lock hand-offs grow with the thread count even
+        // when lock diversity bounds how many sections overlap. This is
+        // the dominant reason Kard's overhead rises with threads (§7.4).
+        let contenders = (self.machine.thread_count() as u64)
+            .saturating_sub(1)
+            .min(64);
+        self.machine.charge(
+            t,
+            cost.atomic_op * contenders
+                + cost.contended_handoff * contenders * contenders.isqrt(),
+        );
+
+        let saved_pkru = self.machine.rdpkru(t);
+        let mut new_pkru = saved_pkru.clone();
+        // Retract k_na: first accesses to Not-accessed objects must fault.
+        new_pkru.set_permission(self.layout.not_accessed, Permission::NoAccess);
+
+        let mut frame = Frame {
+            section,
+            lock,
+            saved_pkru,
+            acquired: Vec::new(),
+        };
+
+        if self.config.proactive_acquisition {
+            // Figure 3b: look up the section-object map, then try to
+            // acquire each object's key from the key-section map.
+            let wanted = st.sections.objects_of(section);
+            self.machine
+                .charge(t, cost.map_op * (wanted.len() as u64 + 1));
+            for (obj, perm) in wanted {
+                let perm = mode.cap(perm);
+                let Some(Domain::ReadWrite(key)) = st.domains.get(&obj).copied() else {
+                    continue; // RO-domain objects need no key to read.
+                };
+                let prev = st.keys.holder_perm(key, t);
+                if prev.is_some_and(|p| p >= perm) {
+                    continue; // Already held strongly enough (outer frame).
+                }
+                self.machine.charge(t, cost.map_op);
+                if st.keys.try_acquire(key, t, perm, section) {
+                    st.stats.proactive_acquisitions += 1;
+                    frame.acquired.push((key, prev));
+                    let eff = st.keys.holder_perm(key, t).expect("just acquired");
+                    new_pkru.set_permission(key, perm_to_permission(eff));
+                    let ctx = st.threads.get_mut(&t).expect("registered");
+                    ctx.held.insert(key, eff);
+                }
+            }
+        }
+
+        st.threads
+            .get_mut(&t)
+            .expect("thread must be registered")
+            .frames
+            .push(frame);
+        drop(st);
+        // One WRPKRU installs k_na retraction plus all proactive grants.
+        self.machine.wrpkru(t, new_pkru);
+    }
+
+    /// Critical-section exit: called *before* the program's unlock.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unbalanced or mismatched lock/unlock pairs.
+    pub fn lock_exit(&self, t: ThreadId, lock: LockId) {
+        // Delay injection (§5.5): stall the exit while an interleaving
+        // this thread participates in is still waiting for the counterpart
+        // fault, so small critical sections do not slip away before the
+        // offset test can run.
+        if self.config.interleave_exit_delay > 0 {
+            let armed = self.state.lock().interleaver.has_armed_participant(t);
+            if armed {
+                self.machine.charge(t, self.config.interleave_exit_delay);
+                // On real OS threads, actually give the counterpart a
+                // chance to run; a no-op under single-threaded replay.
+                std::thread::yield_now();
+            }
+        }
+        let cost = *self.machine.cost_model();
+        self.machine.charge(t, cost.lock_op + cost.atomic_op);
+        let now = self.machine.rdtscp(t); // §5.4: timestamp key releases.
+
+        let mut st = self.state.lock();
+        let ctx = st.threads.get_mut(&t).expect("registered");
+        let frame = ctx.frames.pop().expect("unlock without lock");
+        assert_eq!(frame.lock, lock, "mismatched unlock");
+        let outside_now = ctx.frames.is_empty();
+
+        for &(key, prev) in frame.acquired.iter().rev() {
+            let ctx = st.threads.get_mut(&t).expect("registered");
+            match prev {
+                None => {
+                    ctx.held.remove(&key);
+                    st.keys.release(key, t, now);
+                }
+                Some(perm) => {
+                    ctx.held.insert(key, perm);
+                    st.keys.downgrade(key, t, perm);
+                }
+            }
+            self.machine.charge(t, cost.map_op);
+        }
+        st.active_sections -= 1;
+
+        let finished = if outside_now {
+            st.interleaver.thread_left_critical_sections(t)
+        } else {
+            Vec::new()
+        };
+        for fin in finished {
+            // §5.5: restore the object's protection once every conflicting
+            // thread has left its critical section.
+            if self.alloc.object(fin.object).is_none() {
+                continue; // Freed while suspended.
+            }
+            st.keys.assign_object(fin.original_key, fin.object);
+            st.domains
+                .insert(fin.object, Domain::ReadWrite(fin.original_key));
+            self.alloc
+                .protect(t, fin.object, fin.original_key)
+                .expect("pool key is valid");
+        }
+        drop(st);
+        self.machine.wrpkru(t, frame.saved_pkru);
+    }
+
+    /// A read by `t` at `addr` from program location `ip`.
+    pub fn read(&self, t: ThreadId, addr: VirtAddr, ip: CodeSite) {
+        self.access(t, addr, AccessKind::Read, ip);
+    }
+
+    /// A write by `t` at `addr` from program location `ip`.
+    pub fn write(&self, t: ThreadId, addr: VirtAddr, ip: CodeSite) {
+        self.access(t, addr, AccessKind::Write, ip);
+    }
+
+    fn access(&self, t: ThreadId, addr: VirtAddr, kind: AccessKind, ip: CodeSite) {
+        for _attempt in 0..8 {
+            match self.machine.access(t, addr, kind, ip) {
+                Ok(()) => return,
+                Err(fault) => match self.handle_fault(fault) {
+                    FaultAction::Retry => continue,
+                    FaultAction::Emulated => return,
+                },
+            }
+        }
+        panic!("access by {t} at {addr} did not converge after 8 faults");
+    }
+
+    /// The custom #GP handler (§5.5): classify the fault by domain key and
+    /// dispatch to identification, migration, interleaving, or race check.
+    fn handle_fault(&self, fault: GpFault) -> FaultAction {
+        self.machine.charge_fault_handling(fault.thread);
+        let info = self
+            .alloc
+            .object_at(fault.addr)
+            .unwrap_or_else(|| panic!("#GP on unmanaged memory: {fault}"));
+        let offset = fault.addr.0.saturating_sub(info.base.0);
+
+        let mut st = self.state.lock();
+        if fault.pkey == self.layout.not_accessed {
+            self.identify(&mut st, &fault, &info)
+        } else if fault.pkey == self.layout.read_only {
+            self.handle_read_only_write(&mut st, &fault, &info, offset)
+        } else if self.layout.is_read_write_key(fault.pkey) {
+            if st.interleaver.is_armed(info.id)
+                && st.interleaver.interleaved_key(info.id) == Some(fault.pkey)
+            {
+                self.handle_interleave_fault(&mut st, &fault, &info, offset)
+            } else {
+                self.handle_pool_fault(&mut st, &fault, &info, offset)
+            }
+        } else {
+            panic!("#GP with unexpected key {}: {fault}", fault.pkey);
+        }
+    }
+
+    /// §5.3 identification: first critical-section access to a
+    /// Not-accessed object migrates it to a domain matching the access.
+    fn identify(&self, st: &mut State, fault: &GpFault, info: &ObjectInfo) -> FaultAction {
+        st.stats.identification_faults += 1;
+        st.stats.objects_identified += 1;
+        let t = fault.thread;
+        let section = self.current_section(st, t).unwrap_or_else(|| {
+            panic!("k_na fault outside a critical section: {fault}")
+        });
+
+        match fault.access {
+            AccessKind::Read => {
+                st.stats.read_only_migrations += 1;
+                st.domains.insert(info.id, Domain::ReadOnly);
+                st.sections.record(section, info.id, Perm::Read);
+                self.alloc
+                    .protect(t, info.id, self.layout.read_only)
+                    .expect("k_ro is valid");
+            }
+            AccessKind::Write => {
+                self.migrate_to_read_write(st, t, section, info);
+            }
+        }
+        FaultAction::Retry
+    }
+
+    /// §5.3: a critical-section write to a Read-only-domain object migrates
+    /// it to the Read-write domain; an *unlocked* write to it is a
+    /// potential race against the sections reading it.
+    fn handle_read_only_write(
+        &self,
+        st: &mut State,
+        fault: &GpFault,
+        info: &ObjectInfo,
+        offset: u64,
+    ) -> FaultAction {
+        debug_assert_eq!(fault.access, AccessKind::Write, "k_ro only blocks writes");
+        let t = fault.thread;
+        if let Some(section) = self.current_section(st, t) {
+            st.stats.migration_faults += 1;
+            st.sections.record(section, info.id, Perm::Write);
+            self.migrate_to_read_write(st, t, section, info);
+            return FaultAction::Retry;
+        }
+
+        // Unlocked write. The Read-only domain tracks no holders (every
+        // thread has k_ro read-only), so the only available evidence is
+        // the learned section-object map: the write is a *potential* race
+        // iff another thread concurrently executes a section known to read
+        // this object (Table 1 row 3; this is how the memcached clock race
+        // surfaces). Like proactive key holds, this infers potential
+        // conflicts from learned access patterns rather than demonstrated
+        // accesses, so it is active only alongside proactive acquisition -
+        // the reactive configuration reports only demonstrable holds.
+        if !self.config.proactive_acquisition {
+            return FaultAction::Emulated;
+        }
+        st.stats.race_check_faults += 1;
+        let reader = st
+            .threads
+            .iter()
+            .filter(|(&other, _)| other != t)
+            .find_map(|(&other, ctx)| {
+                ctx.frames
+                    .iter()
+                    .find(|f| st.sections.section_accesses(f.section, info.id))
+                    .map(|f| (other, f.section))
+            });
+        if let Some((holder_thread, holder_section)) = reader {
+            let record = RaceRecord {
+                object: info.id,
+                faulting: RaceSide {
+                    thread: t,
+                    section: None,
+                    ip: fault.ip,
+                    offset: Some(offset),
+                },
+                holding: RaceSide {
+                    thread: holder_thread,
+                    section: Some(holder_section),
+                    ip: holder_section.0,
+                    offset: None,
+                },
+                access: AccessKind::Write,
+                tsc: fault.tsc,
+            };
+            self.push_record(st, record);
+        }
+        // The write completes via emulation; the object stays read-only so
+        // detection continues for later unlocked writers.
+        FaultAction::Emulated
+    }
+
+    /// Counterpart fault during protection interleaving (§5.5, Figure 4).
+    fn handle_interleave_fault(
+        &self,
+        st: &mut State,
+        fault: &GpFault,
+        info: &ObjectInfo,
+        offset: u64,
+    ) -> FaultAction {
+        st.stats.interleave_faults += 1;
+        let t = fault.thread;
+        let section = self.current_section(st, t);
+        let obs = Observation {
+            thread: t,
+            section,
+            offset,
+            kind: fault.access,
+            ip: fault.ip,
+        };
+        let idx = st.interleaver.record_index(info.id).expect("armed");
+        let ikey = st.interleaver.interleaved_key(info.id).expect("armed");
+        let verdict = st.interleaver.observe(info.id, obs);
+        match verdict {
+            Verdict::Confirmed(_) => {
+                if let Some(record) = st.records[idx].as_mut() {
+                    record.holding.offset = Some(obs.offset);
+                    record.holding.ip = obs.ip;
+                }
+            }
+            Verdict::PrunedDifferentOffset => {
+                if let Some(record) = st.records[idx].take() {
+                    st.seen.remove(&record.fingerprint());
+                    st.stats.races_pruned_offset += 1;
+                }
+            }
+        }
+        // Suspend protection until the conflicting threads exit (§5.5).
+        st.keys.unassign_object(ikey, info.id);
+        st.domains.insert(info.id, Domain::Suspended);
+        self.alloc
+            .protect(t, info.id, ProtectionKey::DEFAULT)
+            .expect("default key is valid");
+        FaultAction::Retry
+    }
+
+    /// Faults on read-write pool keys: reactive acquisition or race
+    /// detection (§5.4–§5.5, Figure 3c).
+    fn handle_pool_fault(
+        &self,
+        st: &mut State,
+        fault: &GpFault,
+        info: &ObjectInfo,
+        offset: u64,
+    ) -> FaultAction {
+        let t = fault.thread;
+        let key = fault.pkey;
+        let section = self.current_section(st, t);
+        let cost = *self.machine.cost_model();
+        self.machine.charge(t, cost.map_op); // key-section map lookup
+
+        // Who conflicts? A read conflicts with a write holder; a write
+        // conflicts with any holder.
+        let key_state = st.keys.state(key);
+        let conflicting_holder: Option<(ThreadId, SectionId)> = match fault.access {
+            AccessKind::Read => key_state
+                .writer()
+                .filter(|&w| w != t)
+                .map(|w| (w, key_state.holders[&w].section)),
+            AccessKind::Write => key_state
+                .holders
+                .iter()
+                .filter(|(&h, _)| h != t)
+                .map(|(&h, i)| (h, i.section))
+                .min_by_key(|&(h, _)| h),
+        };
+
+        // §5.5 timestamp check. The fault is raised at `fault.tsc` but the
+        // handler runs roughly one fault-handling delay later, so a holder
+        // may release the key in between. Kard compares the release stamp
+        // against the handler invocation time: a release within one average
+        // delay of handler entry means the key *was* held when the fault
+        // occurred — i.e. the release postdates `fault.tsc`.
+        let recent_release = self.config.timestamp_filter
+            && conflicting_holder.is_none()
+            && key_state.last_writer_release.is_some_and(|rel| {
+                let handler_now = fault.tsc + cost.fault_handling;
+                rel > fault.tsc && handler_now.saturating_sub(rel) < cost.fault_handling
+            });
+        if conflicting_holder.is_none()
+            && !recent_release
+            && key_state.last_writer_release.is_some()
+        {
+            st.stats.races_filtered_timestamp += 1;
+        }
+
+        if let Some((holder_thread, holder_section)) = conflicting_holder {
+            st.stats.race_check_faults += 1;
+            let record = RaceRecord {
+                object: info.id,
+                faulting: RaceSide {
+                    thread: t,
+                    section,
+                    ip: fault.ip,
+                    offset: Some(offset),
+                },
+                holding: RaceSide {
+                    thread: holder_thread,
+                    section: Some(holder_section),
+                    ip: holder_section.0,
+                    offset: None,
+                },
+                access: fault.access,
+                tsc: fault.tsc,
+            };
+            let idx = self.push_record(st, record);
+
+            // Protection interleaving (Figure 4): only meaningful for a
+            // fresh record, when the faulter is inside a critical section
+            // (only there can it hold a key) and a key can be found.
+            if self.config.protection_interleaving && !st.interleaver.is_armed(info.id) {
+                if let (Some(idx), Some(sec)) = (idx, section) {
+                    if let Some(ikey) = self.pick_interleave_key(st, t) {
+                        st.keys.unassign_object(key, info.id);
+                        st.keys.assign_object(ikey, info.id);
+                        st.keys.force_acquire(ikey, t, perm_for(fault.access), sec);
+                        let prev = self.note_held(st, t, ikey, perm_for(fault.access));
+                        self.record_frame_acquisition(st, t, ikey, prev);
+                        st.domains.insert(info.id, Domain::ReadWrite(ikey));
+                        self.alloc.protect(t, info.id, ikey).expect("valid key");
+                        self.grant_in_context(st, t, ikey);
+                        st.interleaver.begin(
+                            info.id,
+                            idx,
+                            key,
+                            ikey,
+                            Observation {
+                                thread: t,
+                                section,
+                                offset,
+                                kind: fault.access,
+                                ip: fault.ip,
+                            },
+                            holder_thread,
+                        );
+                        return FaultAction::Retry;
+                    }
+                }
+            }
+            return FaultAction::Emulated;
+        }
+
+        if recent_release {
+            // The key holder released in the window between the fault and
+            // the handler running (§5.5's timestamp check): treat the key
+            // as held at fault time. The last write-releaser identifies
+            // the holding side; there is no live holder to interleave
+            // against, so report only.
+            st.stats.race_check_faults += 1;
+            let holder = st
+                .keys
+                .state(key)
+                .last_writer
+                .expect("recent release implies a recorded releaser");
+            if holder != t {
+                let record = RaceRecord {
+                    object: info.id,
+                    faulting: RaceSide {
+                        thread: t,
+                        section,
+                        ip: fault.ip,
+                        offset: Some(offset),
+                    },
+                    holding: RaceSide {
+                        thread: holder,
+                        section: None, // Already exited its section.
+                        ip: CodeSite(0),
+                        offset: None,
+                    },
+                    access: fault.access,
+                    tsc: fault.tsc,
+                };
+                self.push_record(st, record);
+            }
+            return FaultAction::Emulated;
+        }
+
+        // No conflict. Inside a section: reactive acquisition (Algorithm 1
+        // lines 13–18 / 22–26). Outside: the access is unordered but the
+        // key is free — not an ILU race; emulate and move on.
+        if let Some(sec) = section {
+            let perm = perm_for(fault.access);
+            let ok = st.keys.try_acquire(key, t, perm, sec);
+            debug_assert!(ok, "no conflicting holder, acquisition must succeed");
+            st.stats.reactive_acquisitions += 1;
+            let prev = self.note_held(st, t, key, perm);
+            self.record_frame_acquisition(st, t, key, prev);
+            st.sections.record(sec, info.id, perm);
+            self.machine.charge(t, cost.map_op * 2);
+            self.grant_in_context(st, t, key);
+            FaultAction::Retry
+        } else {
+            FaultAction::Emulated
+        }
+    }
+
+    /// §5.3 / §5.4: move an object into the Read-write domain, picking a
+    /// key with the effective-assignment policy and acquiring it reactively.
+    fn migrate_to_read_write(
+        &self,
+        st: &mut State,
+        t: ThreadId,
+        section: SectionId,
+        info: &ObjectInfo,
+    ) {
+        let cost = *self.machine.cost_model();
+        st.stats.read_write_migrations += 1;
+
+        // Rule 1 candidates: keys the thread holds *for the current
+        // section*. The paper says "one of the held protection keys"
+        // without specifying which; restricting reuse to the innermost
+        // section keeps one key's objects under one lock's discipline —
+        // reusing an outer (different-lock) key would alias objects across
+        // locks and manufacture spurious conflicts under nesting.
+        let held: Vec<(ProtectionKey, Perm)> = {
+            let ctx = &st.threads[&t];
+            let mut v: Vec<_> = ctx
+                .held
+                .iter()
+                .filter(|(&k, _)| {
+                    st.keys.state(k).holders.get(&t).map(|h| h.section) == Some(section)
+                })
+                .map(|(&k, &p)| (k, p))
+                .collect();
+            v.sort_by_key(|&(k, _)| k);
+            v
+        };
+        // Precompute the sharing heuristic per key: the closure passed to
+        // `choose_key` must not alias the mutable key table.
+        let conflicts: HashMap<ProtectionKey, bool> = st
+            .keys
+            .pool()
+            .iter()
+            .map(|&k| {
+                (
+                    k,
+                    keys_holders_access_object(&st.keys, &st.sections, k, info.id),
+                )
+            })
+            .collect();
+        // `prefer_fresh_keys` (conformance mode): rule 1 is skipped while
+        // fresh keys remain, yielding key-per-object granularity.
+        let held_for_rule1: &[(ProtectionKey, Perm)] =
+            if self.config.prefer_fresh_keys && st.keys.unassigned_key().is_some() {
+                &[]
+            } else {
+                &held
+            };
+        let assignment = choose_key(
+            &mut st.keys,
+            t,
+            Perm::Write,
+            self.config.exhaustion,
+            held_for_rule1,
+            |candidate| conflicts.get(&candidate).copied().unwrap_or(false),
+        );
+        self.machine.charge(t, cost.map_op * 2);
+
+        match &assignment {
+            Assignment::HeldKey(_) | Assignment::FreshKey(_) => {}
+            Assignment::Recycled { evicted, .. } => {
+                st.stats.key_recycles += 1;
+                // Demote the recycled key's objects to the Read-only
+                // domain; their next write re-identifies them (§5.4).
+                for &obj in evicted {
+                    if self.alloc.object(obj).is_some() {
+                        st.domains.insert(obj, Domain::ReadOnly);
+                        self.alloc
+                            .protect(t, obj, self.layout.read_only)
+                            .expect("k_ro is valid");
+                        st.stats.read_only_migrations += 1;
+                    }
+                }
+            }
+            Assignment::Shared(_) => {
+                st.stats.key_shares += 1;
+            }
+        }
+
+        let key = assignment.key();
+        st.keys.assign_object(key, info.id);
+        st.domains.insert(info.id, Domain::ReadWrite(key));
+        st.sections.record(section, info.id, Perm::Write);
+        self.alloc.protect(t, info.id, key).expect("pool key valid");
+
+        // Reactive acquisition via the saved context (§5.4). A held key
+        // that is itself shared (other holders present) rejects exclusive
+        // acquisition; the object then simply joins the shared key, which
+        // is the sharing semantics already accounted for.
+        match assignment {
+            Assignment::Shared(_) => {
+                st.keys.force_acquire(key, t, Perm::Write, section);
+            }
+            _ => {
+                if !st.keys.try_acquire(key, t, Perm::Write, section) {
+                    st.keys.force_acquire(key, t, Perm::Write, section);
+                }
+            }
+        }
+        st.stats.reactive_acquisitions += 1;
+        let prev = self.note_held(st, t, key, Perm::Write);
+        self.record_frame_acquisition(st, t, key, prev);
+        self.grant_in_context(st, t, key);
+    }
+
+    /// Record a race, respecting redundant-report pruning. Returns the
+    /// record's index if it was (newly) stored.
+    fn push_record(&self, st: &mut State, record: RaceRecord) -> Option<usize> {
+        if self.config.prune_redundant {
+            let fp = record.fingerprint();
+            if !st.seen.insert(fp) {
+                st.stats.races_pruned_redundant += 1;
+                return None;
+            }
+        }
+        st.records.push(Some(record));
+        Some(st.records.len() - 1)
+    }
+
+    fn current_section(&self, st: &State, t: ThreadId) -> Option<SectionId> {
+        st.threads
+            .get(&t)
+            .and_then(|ctx| ctx.frames.last())
+            .map(|f| f.section)
+    }
+
+    /// Track `key` in the thread's held map, returning the previous perm.
+    fn note_held(
+        &self,
+        st: &mut State,
+        t: ThreadId,
+        key: ProtectionKey,
+        perm: Perm,
+    ) -> Option<Perm> {
+        let ctx = st.threads.get_mut(&t).expect("registered");
+        let prev = ctx.held.get(&key).copied();
+        ctx.held.insert(key, prev.map_or(perm, |p| p.join(perm)));
+        prev
+    }
+
+    /// Remember the acquisition in the innermost frame so it is undone at
+    /// section exit.
+    fn record_frame_acquisition(
+        &self,
+        st: &mut State,
+        t: ThreadId,
+        key: ProtectionKey,
+        prev: Option<Perm>,
+    ) {
+        let ctx = st.threads.get_mut(&t).expect("registered");
+        if let Some(frame) = ctx.frames.last_mut() {
+            if prev.map(|p| Some(p) == ctx.held.get(&key).copied()) != Some(true) {
+                frame.acquired.push((key, prev));
+            }
+        }
+    }
+
+    /// Install the thread's current effective permission for `key` through
+    /// its saved context (the fault-handler path, §5.4).
+    fn grant_in_context(&self, st: &State, t: ThreadId, key: ProtectionKey) {
+        let perm = st.threads[&t].held.get(&key).copied();
+        let mut pkru = self.machine.rdpkru(t);
+        pkru.set_permission(
+            key,
+            perm.map_or(Permission::NoAccess, perm_to_permission),
+        );
+        self.machine.set_pkru_in_saved_context(t, pkru);
+    }
+
+    /// A key the fault handler can re-protect an interleaved object with:
+    /// one already held by `t`, else a fresh pool key (Figure 4, line 7).
+    fn pick_interleave_key(&self, st: &State, t: ThreadId) -> Option<ProtectionKey> {
+        let ctx = &st.threads[&t];
+        ctx.held
+            .keys()
+            .min()
+            .copied()
+            .or_else(|| st.keys.unassigned_key())
+    }
+
+    /// Filtered race reports.
+    #[must_use]
+    pub fn reports(&self) -> Vec<RaceRecord> {
+        self.state
+            .lock()
+            .records
+            .iter()
+            .flatten()
+            .cloned()
+            .collect()
+    }
+
+    /// Statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> DetectorStats {
+        let st = self.state.lock();
+        let mut stats = st.stats;
+        stats.races_reported = st.records.iter().flatten().count() as u64;
+        stats
+    }
+
+    /// The current protection domain of an object, if tracked.
+    #[must_use]
+    pub fn domain_of(&self, id: ObjectId) -> Option<Domain> {
+        self.state.lock().domains.get(&id).copied()
+    }
+
+    /// Objects recorded for a section in the section-object map.
+    #[must_use]
+    pub fn section_objects(&self, section: SectionId) -> Vec<(ObjectId, Perm)> {
+        self.state.lock().sections.objects_of(section)
+    }
+}
+
+impl fmt::Debug for Kard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kard")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn perm_for(kind: AccessKind) -> Perm {
+    match kind {
+        AccessKind::Read => Perm::Read,
+        AccessKind::Write => Perm::Write,
+    }
+}
+
+fn perm_to_permission(perm: Perm) -> Permission {
+    match perm {
+        Perm::Read => Permission::ReadOnly,
+        Perm::Write => Permission::ReadWrite,
+    }
+}
+
+/// Sharing heuristic (§5.4): do any current holders of `key` execute
+/// sections known to access `object`?
+fn keys_holders_access_object(
+    keys: &KeyTable,
+    sections: &SectionObjectMap,
+    key: ProtectionKey,
+    object: ObjectId,
+) -> bool {
+    keys.state(key)
+        .holders
+        .values()
+        .any(|info| sections.section_accesses(info.section, object))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kard_sim::MachineConfig;
+
+    fn setup() -> (Arc<Machine>, Kard) {
+        setup_with(KardConfig::default(), 16)
+    }
+
+    fn setup_with(config: KardConfig, keys: u16) -> (Arc<Machine>, Kard) {
+        let mc = MachineConfig {
+            key_layout: KeyLayout::with_total_keys(keys),
+            ..MachineConfig::default()
+        };
+        let machine = Arc::new(Machine::new(mc));
+        let alloc = Arc::new(KardAlloc::new(Arc::clone(&machine)));
+        let kard = Kard::new(Arc::clone(&machine), alloc, config);
+        (machine, kard)
+    }
+
+    fn site(n: u64) -> CodeSite {
+        CodeSite(n)
+    }
+
+    #[test]
+    fn figure_1a_exclusive_write_detected() {
+        let (_, kard) = setup();
+        let t1 = kard.register_thread();
+        let t2 = kard.register_thread();
+        let o = kard.on_alloc(t1, 32);
+
+        kard.lock_enter(t1, LockId(1), site(0xa));
+        kard.write(t1, o.base, site(0xa1));
+        kard.lock_enter(t2, LockId(2), site(0xb));
+        kard.read(t2, o.base, site(0xb1));
+        kard.lock_exit(t2, LockId(2));
+        kard.lock_exit(t1, LockId(1));
+
+        let reports = kard.reports();
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.object, o.id);
+        assert_eq!(r.faulting.thread, t2);
+        assert_eq!(r.holding.thread, t1);
+        assert_eq!(r.access, AccessKind::Read);
+    }
+
+    #[test]
+    fn figure_1b_shared_read_not_reported() {
+        let (_, kard) = setup();
+        let t1 = kard.register_thread();
+        let t2 = kard.register_thread();
+        let o = kard.on_alloc(t1, 32);
+
+        // Teach both sections that they read o (first run, serial).
+        kard.lock_enter(t1, LockId(1), site(0xa));
+        kard.read(t1, o.base, site(0xa1));
+        kard.lock_exit(t1, LockId(1));
+
+        // Concurrent shared read.
+        kard.lock_enter(t1, LockId(1), site(0xa));
+        kard.read(t1, o.base, site(0xa1));
+        kard.lock_enter(t2, LockId(2), site(0xb));
+        kard.read(t2, o.base, site(0xb1));
+        kard.lock_exit(t2, LockId(2));
+        kard.lock_exit(t1, LockId(1));
+
+        assert!(kard.reports().is_empty());
+        assert_eq!(kard.domain_of(o.id), Some(Domain::ReadOnly));
+    }
+
+    #[test]
+    fn identification_migrates_domains() {
+        let (_, kard) = setup();
+        let t = kard.register_thread();
+        let o = kard.on_alloc(t, 32);
+        assert_eq!(kard.domain_of(o.id), Some(Domain::NotAccessed));
+
+        kard.lock_enter(t, LockId(1), site(0x1));
+        kard.read(t, o.base, site(0x2));
+        assert_eq!(kard.domain_of(o.id), Some(Domain::ReadOnly));
+        kard.write(t, o.base, site(0x3));
+        assert!(matches!(kard.domain_of(o.id), Some(Domain::ReadWrite(_))));
+        kard.lock_exit(t, LockId(1));
+
+        let stats = kard.stats();
+        assert_eq!(stats.identification_faults, 1);
+        assert_eq!(stats.migration_faults, 1);
+        assert_eq!(stats.objects_identified, 1);
+        assert!(kard.reports().is_empty());
+    }
+
+    #[test]
+    fn non_critical_access_never_faults_on_not_accessed() {
+        let (machine, kard) = setup();
+        let t = kard.register_thread();
+        let o = kard.on_alloc(t, 32);
+        kard.write(t, o.base, site(0x1));
+        kard.read(t, o.base, site(0x2));
+        assert_eq!(machine.counters().faults, 0);
+        assert_eq!(kard.domain_of(o.id), Some(Domain::NotAccessed));
+    }
+
+    #[test]
+    fn proactive_acquisition_on_reentry() {
+        let (_, kard) = setup();
+        let t = kard.register_thread();
+        let o = kard.on_alloc(t, 32);
+
+        kard.lock_enter(t, LockId(1), site(0x1));
+        kard.write(t, o.base, site(0x2)); // Reactive: faults.
+        kard.lock_exit(t, LockId(1));
+        let faults_before = kard.stats().identification_faults;
+
+        kard.lock_enter(t, LockId(1), site(0x1));
+        kard.write(t, o.base, site(0x2)); // Proactive: no fault.
+        kard.lock_exit(t, LockId(1));
+
+        let stats = kard.stats();
+        assert_eq!(stats.identification_faults, faults_before);
+        assert!(stats.proactive_acquisitions >= 1);
+    }
+
+    #[test]
+    fn unlocked_write_vs_locked_write_detected() {
+        // Table 1 row 2/3: only one side holds a lock.
+        let (_, kard) = setup();
+        let t1 = kard.register_thread();
+        let t2 = kard.register_thread();
+        let o = kard.on_alloc(t1, 64);
+
+        kard.lock_enter(t1, LockId(1), site(0xa));
+        kard.write(t1, o.base, site(0xa1));
+        // t2 writes with no lock while t1 holds the key.
+        kard.write(t2, o.base, site(0xc1));
+        kard.lock_exit(t1, LockId(1));
+
+        let reports = kard.reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].faulting.section, None);
+        assert_eq!(reports[0].holding.section, Some(SectionId(site(0xa))));
+    }
+
+    #[test]
+    fn consistent_locking_is_silent() {
+        let (_, kard) = setup();
+        let t1 = kard.register_thread();
+        let t2 = kard.register_thread();
+        let o = kard.on_alloc(t1, 32);
+
+        // Same lock, same section, serial: never concurrent.
+        for (t, ip) in [(t1, 0x10), (t2, 0x20), (t1, 0x30), (t2, 0x40)] {
+            kard.lock_enter(t, LockId(7), site(0x100));
+            kard.write(t, o.base, site(ip));
+            kard.read(t, o.base, site(ip + 1));
+            kard.lock_exit(t, LockId(7));
+        }
+        assert!(kard.reports().is_empty());
+    }
+
+    #[test]
+    fn interleaving_prunes_different_offsets() {
+        let (_, kard) = setup();
+        let t1 = kard.register_thread();
+        let t2 = kard.register_thread();
+        let o = kard.on_alloc(t1, 128);
+
+        kard.lock_enter(t1, LockId(1), site(0xa));
+        kard.write(t1, o.base, site(0xa1)); // t1 writes offset 0.
+        kard.lock_enter(t2, LockId(2), site(0xb));
+        kard.write(t2, o.base.offset(64), site(0xb1)); // candidate: offset 64.
+        // t1 touches offset 0 again -> interleave fault -> disjoint offsets.
+        kard.write(t1, o.base, site(0xa2));
+        kard.lock_exit(t2, LockId(2));
+        kard.lock_exit(t1, LockId(1));
+
+        assert!(kard.reports().is_empty(), "different offsets pruned");
+        assert_eq!(kard.stats().races_pruned_offset, 1);
+        // Protection restored after both exits.
+        assert!(matches!(kard.domain_of(o.id), Some(Domain::ReadWrite(_))));
+    }
+
+    #[test]
+    fn interleaving_confirms_same_offset() {
+        let (_, kard) = setup();
+        let t1 = kard.register_thread();
+        let t2 = kard.register_thread();
+        let o = kard.on_alloc(t1, 128);
+
+        kard.lock_enter(t1, LockId(1), site(0xa));
+        kard.write(t1, o.base.offset(8), site(0xa1));
+        kard.lock_enter(t2, LockId(2), site(0xb));
+        kard.write(t2, o.base.offset(8), site(0xb1)); // same offset
+        kard.write(t1, o.base.offset(8), site(0xa2)); // counterpart fault
+        kard.lock_exit(t2, LockId(2));
+        kard.lock_exit(t1, LockId(1));
+
+        let reports = kard.reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].holding.offset, Some(8), "filled by interleave");
+        assert_eq!(kard.stats().races_pruned_offset, 0);
+    }
+
+    #[test]
+    fn small_section_leaves_candidate_reported() {
+        // The pigz false positive (§7.3): the key holder exits before the
+        // interleaved protection can observe its offset.
+        let (_, kard) = setup();
+        let t1 = kard.register_thread();
+        let t2 = kard.register_thread();
+        let o = kard.on_alloc(t1, 128);
+
+        kard.lock_enter(t1, LockId(1), site(0xa));
+        kard.write(t1, o.base, site(0xa1));
+        kard.lock_enter(t2, LockId(2), site(0xb));
+        kard.write(t2, o.base.offset(64), site(0xb1));
+        kard.lock_exit(t1, LockId(1)); // t1 exits without re-touching.
+        kard.lock_exit(t2, LockId(2));
+
+        assert_eq!(kard.reports().len(), 1, "unresolved candidate reported");
+    }
+
+    #[test]
+    fn redundant_reports_are_pruned() {
+        let (_, kard) = setup();
+        let t1 = kard.register_thread();
+        let t2 = kard.register_thread();
+        let t3 = kard.register_thread();
+        let o = kard.on_alloc(t1, 32);
+
+        kard.lock_enter(t1, LockId(1), site(0xa));
+        kard.write(t1, o.base, site(0xa1));
+        // Two different threads, same unlocked racy read site.
+        kard.read(t2, o.base, site(0xc));
+        kard.read(t3, o.base, site(0xc));
+        kard.lock_exit(t1, LockId(1));
+
+        assert_eq!(kard.reports().len(), 1);
+        assert_eq!(kard.stats().races_pruned_redundant, 1);
+    }
+
+    #[test]
+    fn key_exhaustion_recycles_before_sharing() {
+        // 6 total keys -> 3 pool keys. Sections touch 4 distinct objects
+        // serially, so the 4th assignment must recycle (keys unheld between
+        // sections).
+        let (_, kard) = setup_with(KardConfig::default(), 6);
+        let t = kard.register_thread();
+        let objs: Vec<_> = (0..4).map(|_| kard.on_alloc(t, 32)).collect();
+        for (i, o) in objs.iter().enumerate() {
+            kard.lock_enter(t, LockId(i as u64), site(0x100 + i as u64));
+            kard.write(t, o.base, site(0x200 + i as u64));
+            kard.lock_exit(t, LockId(i as u64));
+        }
+        let stats = kard.stats();
+        assert_eq!(stats.key_recycles, 1);
+        assert_eq!(stats.key_shares, 0);
+        // The recycled key's object is now read-only domain.
+        assert_eq!(kard.domain_of(objs[0].id), Some(Domain::ReadOnly));
+        assert!(kard.reports().is_empty());
+    }
+
+    #[test]
+    fn key_exhaustion_shares_when_all_keys_held() {
+        // 4 total keys -> 1 pool key, held concurrently by t1.
+        let (_, kard) = setup_with(KardConfig::default(), 4);
+        let t1 = kard.register_thread();
+        let t2 = kard.register_thread();
+        let o1 = kard.on_alloc(t1, 32);
+        let o2 = kard.on_alloc(t1, 32);
+
+        kard.lock_enter(t1, LockId(1), site(0xa));
+        kard.write(t1, o1.base, site(0xa1)); // takes the only pool key
+        kard.lock_enter(t2, LockId(2), site(0xb));
+        kard.write(t2, o2.base, site(0xb1)); // must share it
+        kard.lock_exit(t2, LockId(2));
+        kard.lock_exit(t1, LockId(1));
+
+        let stats = kard.stats();
+        assert_eq!(stats.key_shares, 1);
+        assert!(
+            kard.reports().is_empty(),
+            "disjoint-object sharing is not a race"
+        );
+    }
+
+    #[test]
+    fn sharing_causes_false_negative_on_same_object() {
+        // Table 4: sharing is the one false-negative window. With a single
+        // pool key and both sections touching the same object, the race is
+        // missed.
+        let (_, kard) = setup_with(KardConfig::default(), 4);
+        let t1 = kard.register_thread();
+        let t2 = kard.register_thread();
+        let filler = kard.on_alloc(t1, 32);
+        let x = kard.on_alloc(t1, 32);
+
+        // t1's section takes the only pool key for `filler`...
+        kard.lock_enter(t1, LockId(1), site(0xa));
+        kard.write(t1, filler.base, site(0xa1));
+        // ...so t2's new object `x` must *share* that key: both threads now
+        // hold it with read-write permission.
+        kard.lock_enter(t2, LockId(2), site(0xb));
+        kard.write(t2, x.base, site(0xb1));
+        // t1 writes x under a different lock — an ILU race — but t1 already
+        // holds the shared key, so no fault is raised: a false negative.
+        kard.write(t1, x.base, site(0xa2));
+        kard.lock_exit(t2, LockId(2));
+        kard.lock_exit(t1, LockId(1));
+
+        assert_eq!(kard.stats().key_shares, 1);
+        assert!(kard.reports().is_empty(), "sharing hides this ILU race");
+    }
+
+    #[test]
+    fn nested_sections_restore_keys() {
+        let (_, kard) = setup();
+        let t = kard.register_thread();
+        let o1 = kard.on_alloc(t, 32);
+        let o2 = kard.on_alloc(t, 32);
+
+        kard.lock_enter(t, LockId(1), site(0xa));
+        kard.write(t, o1.base, site(0xa1));
+        kard.lock_enter(t, LockId(2), site(0xb));
+        kard.write(t, o2.base, site(0xb1));
+        kard.lock_exit(t, LockId(2));
+        // o1's key still held: writing again must not fault.
+        let faults = kard.stats();
+        kard.write(t, o1.base, site(0xa2));
+        assert_eq!(
+            kard.stats().identification_faults,
+            faults.identification_faults
+        );
+        kard.lock_exit(t, LockId(1));
+        assert!(kard.reports().is_empty());
+    }
+
+    #[test]
+    fn free_clears_metadata() {
+        let (_, kard) = setup();
+        let t = kard.register_thread();
+        let o = kard.on_alloc(t, 32);
+        kard.lock_enter(t, LockId(1), site(0xa));
+        kard.write(t, o.base, site(0xa1));
+        kard.lock_exit(t, LockId(1));
+        kard.on_free(t, o.id);
+        assert_eq!(kard.domain_of(o.id), None);
+        assert!(kard.section_objects(SectionId(site(0xa))).is_empty());
+    }
+
+    #[test]
+    fn stats_track_sections() {
+        let (_, kard) = setup();
+        let t1 = kard.register_thread();
+        let t2 = kard.register_thread();
+        kard.lock_enter(t1, LockId(1), site(0xa));
+        kard.lock_enter(t2, LockId(2), site(0xb));
+        kard.lock_exit(t2, LockId(2));
+        kard.lock_enter(t2, LockId(2), site(0xb));
+        kard.lock_exit(t2, LockId(2));
+        kard.lock_exit(t1, LockId(1));
+        let stats = kard.stats();
+        assert_eq!(stats.cs_entries, 3);
+        assert_eq!(stats.unique_sections, 2);
+        assert_eq!(stats.max_concurrent_sections, 2);
+    }
+
+    #[test]
+    fn global_objects_participate_in_detection() {
+        let (_, kard) = setup();
+        let t1 = kard.register_thread();
+        let t2 = kard.register_thread();
+        let g = kard.on_global(t1, 8);
+
+        kard.lock_enter(t1, LockId(1), site(0xa));
+        kard.write(t1, g.base, site(0xa1));
+        kard.read(t2, g.base, site(0xc)); // Aget-style unlocked read.
+        kard.lock_exit(t1, LockId(1));
+        assert_eq!(kard.reports().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched unlock")]
+    fn mismatched_unlock_panics() {
+        let (_, kard) = setup();
+        let t = kard.register_thread();
+        kard.lock_enter(t, LockId(1), site(0xa));
+        kard.lock_exit(t, LockId(2));
+    }
+
+    #[test]
+    fn delay_injection_stalls_armed_exits_only() {
+        let config = KardConfig {
+            interleave_exit_delay: 50_000,
+            ..KardConfig::default()
+        };
+        let (machine, kard) = {
+            let machine = Arc::new(Machine::new(MachineConfig::default()));
+            let alloc = Arc::new(KardAlloc::new(Arc::clone(&machine)));
+            let kard = Kard::new(Arc::clone(&machine), alloc, config);
+            (machine, kard)
+        };
+        let t1 = kard.register_thread();
+        let t2 = kard.register_thread();
+        let o = kard.on_alloc(t1, 128);
+
+        // Un-conflicted exit: no stall.
+        kard.lock_enter(t1, LockId(1), site(0xa));
+        kard.write(t1, o.base, site(0xa1));
+        let before = machine.thread_cycles(t1);
+        kard.lock_exit(t1, LockId(1));
+        assert!(machine.thread_cycles(t1) - before < 50_000);
+
+        // Armed interleaving: t1's exit is stalled by the delay.
+        kard.lock_enter(t1, LockId(1), site(0xa));
+        kard.write(t1, o.base, site(0xa1));
+        kard.lock_enter(t2, LockId(2), site(0xb));
+        kard.write(t2, o.base.offset(64), site(0xb1)); // Arms.
+        let before = machine.thread_cycles(t1);
+        kard.lock_exit(t1, LockId(1));
+        assert!(
+            machine.thread_cycles(t1) - before >= 50_000,
+            "armed participant must be delayed"
+        );
+        kard.lock_exit(t2, LockId(2));
+    }
+
+    #[test]
+    fn timestamp_filter_counts_stale_candidates() {
+        let (machine, kard) = setup();
+        let t1 = kard.register_thread();
+        let t2 = kard.register_thread();
+        let o = kard.on_alloc(t1, 32);
+
+        kard.lock_enter(t1, LockId(1), site(0xa));
+        kard.write(t1, o.base, site(0xa1));
+        kard.lock_exit(t1, LockId(1));
+        // Let far more than the fault delay pass on the virtual clock.
+        machine.charge(t1, 1_000_000);
+        // t2 writes unlocked: key unheld, release long ago -> no race.
+        kard.write(t2, o.base, site(0xc));
+        assert!(kard.reports().is_empty());
+        assert_eq!(kard.stats().races_filtered_timestamp, 1);
+    }
+
+    #[test]
+    fn sequential_different_locks_not_reported() {
+        // Two sections under different locks, executed strictly one after
+        // the other: no concurrency, so no ILU race. The release-timestamp
+        // logic must not resurrect the released key.
+        let (_, kard) = setup();
+        let t1 = kard.register_thread();
+        let t2 = kard.register_thread();
+        let o = kard.on_alloc(t1, 32);
+
+        kard.lock_enter(t1, LockId(1), site(0xa));
+        kard.write(t1, o.base, site(0xa1));
+        kard.lock_exit(t1, LockId(1));
+        kard.lock_enter(t2, LockId(2), site(0xb));
+        kard.write(t2, o.base, site(0xb1));
+        kard.lock_exit(t2, LockId(2));
+        assert!(kard.reports().is_empty());
+    }
+}

@@ -1,0 +1,75 @@
+//! Memory protection domains (paper §5.2).
+//!
+//! Every sharable object is, at any moment, in exactly one of three
+//! domains, each enforced with different protection keys:
+//!
+//! * **Not-accessed** (`k_na`, `k15`): newly created objects. Threads
+//!   executing critical sections have `k_na` *retracted*, so their first
+//!   access to such an object faults and identifies it as shared.
+//! * **Read-only** (`k_ro`, `k14`): objects only ever read inside critical
+//!   sections. All threads hold `k_ro` read-only at all times, so reads are
+//!   free and writes fault (for migration or race detection).
+//! * **Read-write** (one of `k1`..`k13`): objects written at least once
+//!   inside a critical section, protected by an assigned pool key.
+
+use kard_sim::ProtectionKey;
+use std::fmt;
+
+/// The protection domain of one sharable object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Newly created; protected by `k_na`.
+    NotAccessed,
+    /// Only read within critical sections; protected by `k_ro`.
+    ReadOnly,
+    /// Written within critical sections; protected by the given pool key.
+    ReadWrite(ProtectionKey),
+    /// Temporarily unprotected while protection interleaving winds down
+    /// (§5.5: "temporarily not protecting the object until all conflicting
+    /// threads exit their critical sections"). Tagged with the default key.
+    Suspended,
+}
+
+impl Domain {
+    /// The pool key protecting the object, if it is in the RW domain.
+    #[must_use]
+    pub fn read_write_key(self) -> Option<ProtectionKey> {
+        match self {
+            Domain::ReadWrite(key) => Some(key),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::NotAccessed => write!(f, "not-accessed"),
+            Domain::ReadOnly => write!(f, "read-only"),
+            Domain::ReadWrite(k) => write!(f, "read-write({k})"),
+            Domain::Suspended => write!(f, "suspended"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_key_extraction() {
+        assert_eq!(Domain::NotAccessed.read_write_key(), None);
+        assert_eq!(Domain::ReadOnly.read_write_key(), None);
+        assert_eq!(Domain::Suspended.read_write_key(), None);
+        assert_eq!(
+            Domain::ReadWrite(ProtectionKey(3)).read_write_key(),
+            Some(ProtectionKey(3))
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Domain::NotAccessed.to_string(), "not-accessed");
+        assert_eq!(Domain::ReadWrite(ProtectionKey(2)).to_string(), "read-write(k2)");
+    }
+}

@@ -1,0 +1,345 @@
+//! The **key-section map** (paper §5.4, Figure 3b): which sections and
+//! threads currently hold each read-write pool key, which objects each key
+//! protects, and when keys were last released (for the timestamp filter).
+
+use crate::types::{Perm, SectionId};
+use kard_alloc::ObjectId;
+use kard_sim::{KeyLayout, ProtectionKey, ThreadId};
+use std::collections::{BTreeSet, HashMap};
+
+/// One holder's entry in the key-section map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HolderInfo {
+    /// Permission with which the key is held.
+    pub perm: Perm,
+    /// Section the holder was executing when it acquired the key.
+    pub section: SectionId,
+}
+
+/// Per-key state.
+#[derive(Clone, Debug, Default)]
+pub struct KeyState {
+    /// Objects currently protected by this key.
+    pub objects: BTreeSet<ObjectId>,
+    /// Threads currently holding the key.
+    pub holders: HashMap<ThreadId, HolderInfo>,
+    /// Timestamp of the last release by a write-permission holder.
+    pub last_writer_release: Option<u64>,
+    /// The thread that performed that last write-permission release (for
+    /// race records produced by the release-timestamp check, §5.5).
+    pub last_writer: Option<ThreadId>,
+    /// Section(s) this key has been assigned to serve (for display).
+    pub sections: BTreeSet<SectionId>,
+}
+
+impl KeyState {
+    /// The holder with write permission, if any.
+    #[must_use]
+    pub fn writer(&self) -> Option<ThreadId> {
+        self.holders
+            .iter()
+            .find(|(_, info)| info.perm == Perm::Write)
+            .map(|(&t, _)| t)
+    }
+
+    /// Whether any thread other than `t` holds the key.
+    #[must_use]
+    pub fn held_by_other(&self, t: ThreadId) -> bool {
+        self.holders.keys().any(|&h| h != t)
+    }
+
+    /// Whether the key currently protects at least one object.
+    #[must_use]
+    pub fn assigned(&self) -> bool {
+        !self.objects.is_empty()
+    }
+}
+
+/// The key-section map over the read-write pool.
+#[derive(Clone, Debug)]
+pub struct KeyTable {
+    states: HashMap<ProtectionKey, KeyState>,
+    pool: Vec<ProtectionKey>,
+}
+
+impl KeyTable {
+    /// A table covering `layout`'s read-write pool.
+    #[must_use]
+    pub fn new(layout: &KeyLayout) -> KeyTable {
+        let pool: Vec<_> = layout.read_write_pool().collect();
+        KeyTable {
+            states: pool.iter().map(|&k| (k, KeyState::default())).collect(),
+            pool,
+        }
+    }
+
+    /// The pool keys, in ascending order.
+    #[must_use]
+    pub fn pool(&self) -> &[ProtectionKey] {
+        &self.pool
+    }
+
+    /// State of one pool key.
+    ///
+    /// # Panics
+    ///
+    /// Panics for keys outside the read-write pool.
+    #[must_use]
+    pub fn state(&self, key: ProtectionKey) -> &KeyState {
+        self.states
+            .get(&key)
+            .unwrap_or_else(|| panic!("{key} is not a read-write pool key"))
+    }
+
+    fn state_mut(&mut self, key: ProtectionKey) -> &mut KeyState {
+        self.states
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("{key} is not a read-write pool key"))
+    }
+
+    /// Try to let `t` (in `section`) hold `key` with `perm`.
+    ///
+    /// Mirrors key-enforced access (§4): read-write requires no other
+    /// holder; read-only requires no write-permission holder. Re-acquiring
+    /// an already-held key widens its permission when allowed. Returns
+    /// whether the acquisition succeeded.
+    pub fn try_acquire(
+        &mut self,
+        key: ProtectionKey,
+        t: ThreadId,
+        perm: Perm,
+        section: SectionId,
+    ) -> bool {
+        let state = self.state_mut(key);
+        let ok = match perm {
+            Perm::Write => !state.held_by_other(t),
+            Perm::Read => state.writer().is_none_or(|w| w == t),
+        };
+        if ok {
+            let entry = state
+                .holders
+                .entry(t)
+                .or_insert(HolderInfo { perm, section });
+            entry.perm = entry.perm.join(perm);
+            entry.section = section;
+            state.sections.insert(section);
+        }
+        ok
+    }
+
+    /// Permission with which `t` currently holds `key`, if any.
+    #[must_use]
+    pub fn holder_perm(&self, key: ProtectionKey, t: ThreadId) -> Option<Perm> {
+        self.state(key).holders.get(&t).map(|info| info.perm)
+    }
+
+    /// Forcibly record `t` as a holder of `key`, bypassing the exclusivity
+    /// check. Used for key *sharing* (§5.4 rule 3b) and for protection
+    /// interleaving's deliberate re-keying (§5.5) — both of which
+    /// intentionally weaken exclusivity.
+    pub fn force_acquire(
+        &mut self,
+        key: ProtectionKey,
+        t: ThreadId,
+        perm: Perm,
+        section: SectionId,
+    ) {
+        let state = self.state_mut(key);
+        let entry = state
+            .holders
+            .entry(t)
+            .or_insert(HolderInfo { perm, section });
+        entry.perm = entry.perm.join(perm);
+        entry.section = section;
+        state.sections.insert(section);
+    }
+
+    /// Narrow `t`'s hold on `key` back to `perm` (restoring an outer
+    /// critical-section frame's permission on nested-section exit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` does not hold `key`.
+    pub fn downgrade(&mut self, key: ProtectionKey, t: ThreadId, perm: Perm) {
+        let state = self.state_mut(key);
+        let info = state
+            .holders
+            .get_mut(&t)
+            .unwrap_or_else(|| panic!("{t} does not hold {key}"));
+        info.perm = perm;
+    }
+
+    /// Release `t`'s hold on `key`, stamping `now` (RDTSCP at release,
+    /// §5.4 "Key release") so the timestamp filter can later decide whether
+    /// the key was effectively held when a fault was raised.
+    pub fn release(&mut self, key: ProtectionKey, t: ThreadId, now: u64) {
+        let state = self.state_mut(key);
+        if let Some(info) = state.holders.remove(&t) {
+            if info.perm == Perm::Write {
+                state.last_writer_release = Some(now);
+                state.last_writer = Some(t);
+            }
+        }
+    }
+
+    /// Bind `object` to `key`.
+    pub fn assign_object(&mut self, key: ProtectionKey, object: ObjectId) {
+        self.state_mut(key).objects.insert(object);
+    }
+
+    /// Unbind `object` from `key`. Returns whether it was bound.
+    pub fn unassign_object(&mut self, key: ProtectionKey, object: ObjectId) -> bool {
+        self.state_mut(key).objects.remove(&object)
+    }
+
+    /// Drain every object bound to `key` (used when recycling it, §5.4).
+    pub fn take_objects(&mut self, key: ProtectionKey) -> Vec<ObjectId> {
+        let state = self.state_mut(key);
+        let objects: Vec<_> = state.objects.iter().copied().collect();
+        state.objects.clear();
+        state.sections.clear();
+        objects
+    }
+
+    /// A pool key not protecting any object *and* not held by any thread
+    /// (§5.4 rule 2). Protection interleaving can transiently leave a key
+    /// held after its last object moved away; handing such a key to a new
+    /// object would immediately violate exclusive write.
+    #[must_use]
+    pub fn unassigned_key(&self) -> Option<ProtectionKey> {
+        self.pool
+            .iter()
+            .copied()
+            .find(|k| !self.states[k].assigned() && self.states[k].holders.is_empty())
+    }
+
+    /// An assigned pool key that no thread currently holds (§5.4 rule 3a,
+    /// the recycling candidate).
+    #[must_use]
+    pub fn unheld_assigned_key(&self) -> Option<ProtectionKey> {
+        self.pool
+            .iter()
+            .copied()
+            .find(|k| self.states[k].assigned() && self.states[k].holders.is_empty())
+    }
+
+    /// Keys ordered by current holder count (ascending) — used to pick the
+    /// least-contended key when sharing is unavoidable.
+    #[must_use]
+    pub fn keys_by_holder_count(&self) -> Vec<ProtectionKey> {
+        let mut keys = self.pool.clone();
+        keys.sort_by_key(|k| (self.states[k].holders.len(), k.0));
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kard_sim::CodeSite;
+
+    fn table() -> KeyTable {
+        KeyTable::new(&KeyLayout::mpk())
+    }
+
+    fn s(n: u64) -> SectionId {
+        SectionId(CodeSite(n))
+    }
+
+    #[test]
+    fn pool_matches_layout() {
+        let t = table();
+        assert_eq!(t.pool().len(), 13);
+        assert_eq!(t.pool()[0], ProtectionKey(1));
+        assert_eq!(t.pool()[12], ProtectionKey(13));
+    }
+
+    #[test]
+    fn exclusive_write_blocks_all_others() {
+        let mut table = table();
+        let k = ProtectionKey(1);
+        assert!(table.try_acquire(k, ThreadId(0), Perm::Write, s(1)));
+        assert!(!table.try_acquire(k, ThreadId(1), Perm::Write, s(2)));
+        assert!(!table.try_acquire(k, ThreadId(1), Perm::Read, s(2)));
+        assert_eq!(table.state(k).writer(), Some(ThreadId(0)));
+    }
+
+    #[test]
+    fn shared_read_allows_many_readers_but_no_writer() {
+        let mut table = table();
+        let k = ProtectionKey(2);
+        assert!(table.try_acquire(k, ThreadId(0), Perm::Read, s(1)));
+        assert!(table.try_acquire(k, ThreadId(1), Perm::Read, s(2)));
+        assert!(!table.try_acquire(k, ThreadId(2), Perm::Write, s(3)));
+        assert_eq!(table.state(k).writer(), None);
+        assert_eq!(table.state(k).holders.len(), 2);
+    }
+
+    #[test]
+    fn sole_reader_upgrades_to_writer() {
+        let mut table = table();
+        let k = ProtectionKey(3);
+        assert!(table.try_acquire(k, ThreadId(0), Perm::Read, s(1)));
+        assert!(table.try_acquire(k, ThreadId(0), Perm::Write, s(1)));
+        assert_eq!(table.state(k).writer(), Some(ThreadId(0)));
+    }
+
+    #[test]
+    fn release_stamps_writer_release_time() {
+        let mut table = table();
+        let k = ProtectionKey(1);
+        table.try_acquire(k, ThreadId(0), Perm::Write, s(1));
+        table.release(k, ThreadId(0), 777);
+        assert_eq!(table.state(k).last_writer_release, Some(777));
+        assert_eq!(table.state(k).last_writer, Some(ThreadId(0)));
+        assert!(table.state(k).holders.is_empty());
+        // Reader release does not stamp the writer timestamp.
+        table.try_acquire(k, ThreadId(1), Perm::Read, s(2));
+        table.release(k, ThreadId(1), 999);
+        assert_eq!(table.state(k).last_writer_release, Some(777));
+    }
+
+    #[test]
+    fn unassigned_and_unheld_queries() {
+        let mut table = table();
+        assert_eq!(table.unassigned_key(), Some(ProtectionKey(1)));
+        assert_eq!(table.unheld_assigned_key(), None);
+
+        table.assign_object(ProtectionKey(1), ObjectId(1));
+        assert_eq!(table.unassigned_key(), Some(ProtectionKey(2)));
+        assert_eq!(table.unheld_assigned_key(), Some(ProtectionKey(1)));
+
+        table.try_acquire(ProtectionKey(1), ThreadId(0), Perm::Write, s(1));
+        assert_eq!(table.unheld_assigned_key(), None);
+    }
+
+    #[test]
+    fn take_objects_drains_for_recycling() {
+        let mut table = table();
+        let k = ProtectionKey(5);
+        table.assign_object(k, ObjectId(1));
+        table.assign_object(k, ObjectId(2));
+        let objs = table.take_objects(k);
+        assert_eq!(objs, vec![ObjectId(1), ObjectId(2)]);
+        assert!(!table.state(k).assigned());
+        assert_eq!(table.unassigned_key(), Some(ProtectionKey(1)));
+    }
+
+    #[test]
+    fn keys_by_holder_count_prefers_idle_keys() {
+        let mut table = table();
+        table.try_acquire(ProtectionKey(1), ThreadId(0), Perm::Write, s(1));
+        table.try_acquire(ProtectionKey(2), ThreadId(1), Perm::Read, s(2));
+        table.try_acquire(ProtectionKey(2), ThreadId(2), Perm::Read, s(3));
+        let order = table.keys_by_holder_count();
+        assert_eq!(order[0], ProtectionKey(3), "idle keys first");
+        assert_eq!(*order.last().unwrap(), ProtectionKey(2), "busiest last");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a read-write pool key")]
+    fn non_pool_key_rejected() {
+        let table = table();
+        let _ = table.state(ProtectionKey(14));
+    }
+}

@@ -1,0 +1,220 @@
+//! Potential data race records (paper §5.5, "Potential data race record").
+//!
+//! For each filtered fault Kard records: both critical sections involved,
+//! the faulted object, the faulting access type, thread identifiers with
+//! process contexts, and a timestamp.
+
+use crate::types::SectionId;
+use kard_alloc::ObjectId;
+use kard_sim::{AccessKind, CodeSite, ThreadId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One side of a potential race: a thread, the section it was executing
+/// (if any — the access may be unlocked), and its program location.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RaceSide {
+    /// The thread involved.
+    pub thread: ThreadId,
+    /// The critical section the thread was executing, or `None` for an
+    /// unlocked access (Table 1 rows 2–3).
+    pub section: Option<SectionId>,
+    /// Program location (process context analog).
+    pub ip: CodeSite,
+    /// Byte offset within the object, when known. The faulting side's
+    /// offset is always known; the key holder's offset is learned through
+    /// protection interleaving (§5.5).
+    pub offset: Option<u64>,
+}
+
+/// A potential ILU data race.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RaceRecord {
+    /// The shared object with conflicting access.
+    pub object: ObjectId,
+    /// The side whose access faulted.
+    pub faulting: RaceSide,
+    /// The side holding the object's protection key.
+    pub holding: RaceSide,
+    /// Access type of the faulting side.
+    pub access: AccessKind,
+    /// Virtual timestamp at which the fault was observed.
+    pub tsc: u64,
+}
+
+impl RaceRecord {
+    /// Deduplication fingerprint for automated pruning (§5.5 prunes
+    /// "redundant faults of the same object at the same offset from
+    /// different threads"): object, both sections, faulting offset and
+    /// access type — but not thread ids or timestamps, which vary across
+    /// dynamic repetitions of the same static race.
+    #[must_use]
+    pub fn fingerprint(&self) -> RaceFingerprint {
+        RaceFingerprint {
+            object: self.object,
+            faulting_section: self.faulting.section,
+            holding_section: self.holding.section,
+            offset: self.faulting.offset,
+            access: self.access,
+        }
+    }
+}
+
+/// The static identity of a race report, used to suppress duplicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RaceFingerprint {
+    /// Object raced on.
+    pub object: ObjectId,
+    /// Faulting side's section.
+    pub faulting_section: Option<SectionId>,
+    /// Key-holding side's section.
+    pub holding_section: Option<SectionId>,
+    /// Faulting byte offset.
+    pub offset: Option<u64>,
+    /// Faulting access kind.
+    pub access: AccessKind,
+}
+
+impl fmt::Display for RaceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let side = |s: &RaceSide| match s.section {
+            Some(sec) => format!("{} in {sec}", s.thread),
+            None => format!("{} (no lock)", s.thread),
+        };
+        write!(
+            f,
+            "potential data race on {}: {} {}s at {:?} while {} holds the key (tsc {})",
+            self.object,
+            side(&self.faulting),
+            self.access,
+            self.faulting.ip,
+            side(&self.holding),
+            self.tsc
+        )
+    }
+}
+
+/// Render a full warning block for a set of reports, in the multi-line
+/// style developers expect from dynamic race detectors: one numbered
+/// warning per record, with both sides' thread, lock context, program
+/// location, and byte offset where known.
+#[must_use]
+pub fn render_report(records: &[RaceRecord]) -> String {
+    if records.is_empty() {
+        return "Kard: no potential data races detected
+".to_string();
+    }
+    let mut out = format!(
+        "Kard: {} potential data race{} detected
+",
+        records.len(),
+        if records.len() == 1 { "" } else { "s" }
+    );
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "
+WARNING: potential data race (#{})
+  object {}
+",
+            i + 1,
+            r.object
+        ));
+        let side = |label: &str, s: &RaceSide, kind: Option<AccessKind>| {
+            let mut line = format!("  {label}: thread {}", s.thread);
+            if let Some(kind) = kind {
+                line.push_str(&format!(" {kind}s"));
+            }
+            match s.section {
+                Some(sec) => line.push_str(&format!(" in critical section {sec}")),
+                None => line.push_str(" with no lock held"),
+            }
+            line.push_str(&format!(" at {:?}", s.ip));
+            if let Some(off) = s.offset {
+                line.push_str(&format!(" (byte offset {off})"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&side("faulting access", &r.faulting, Some(r.access)));
+        out.push_str(&side("key holder     ", &r.holding, None));
+        out.push_str(&format!("  observed at tsc {}
+", r.tsc));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(thread: usize, tsc: u64) -> RaceRecord {
+        RaceRecord {
+            object: ObjectId(4),
+            faulting: RaceSide {
+                thread: ThreadId(thread),
+                section: Some(SectionId(CodeSite(0x10))),
+                ip: CodeSite(0x11),
+                offset: Some(8),
+            },
+            holding: RaceSide {
+                thread: ThreadId(0),
+                section: Some(SectionId(CodeSite(0x20))),
+                ip: CodeSite(0x21),
+                offset: None,
+            },
+            access: AccessKind::Write,
+            tsc,
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_thread_and_time() {
+        let a = record(1, 100);
+        let b = record(2, 999);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_offsets() {
+        let a = record(1, 100);
+        let mut b = record(1, 100);
+        b.faulting.offset = Some(16);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn display_mentions_both_sides() {
+        let r = record(1, 5);
+        let text = r.to_string();
+        assert!(text.contains("o4"));
+        assert!(text.contains("t1"));
+        assert!(text.contains("write"));
+        assert!(text.contains("s@0x20"));
+    }
+
+    #[test]
+    fn display_marks_unlocked_side() {
+        let mut r = record(1, 5);
+        r.faulting.section = None;
+        assert!(r.to_string().contains("(no lock)"));
+    }
+
+    #[test]
+    fn render_report_empty_and_full() {
+        assert!(render_report(&[]).contains("no potential data races"));
+        let text = render_report(&[record(1, 5), record(2, 9)]);
+        assert!(text.contains("2 potential data races"));
+        assert!(text.contains("WARNING: potential data race (#1)"));
+        assert!(text.contains("WARNING: potential data race (#2)"));
+        assert!(text.contains("byte offset 8"));
+        assert!(text.contains("critical section s@0x20"));
+    }
+
+    #[test]
+    fn render_report_marks_unlocked_access() {
+        let mut r = record(1, 5);
+        r.faulting.section = None;
+        let text = render_report(std::slice::from_ref(&r));
+        assert!(text.contains("with no lock held"));
+    }
+}

@@ -1,0 +1,157 @@
+//! The **section-object map** (paper §5.3, Figure 3a): which shared objects
+//! each critical section accesses, and with what permission.
+//!
+//! The map is learned progressively: every identification fault adds an
+//! entry, and proactive key acquisition at section entry consults it.
+
+use crate::types::{Perm, SectionId};
+use kard_alloc::ObjectId;
+use std::collections::HashMap;
+
+/// The section-object map.
+#[derive(Clone, Debug, Default)]
+pub struct SectionObjectMap {
+    by_section: HashMap<SectionId, HashMap<ObjectId, Perm>>,
+    by_object: HashMap<ObjectId, Vec<SectionId>>,
+}
+
+impl SectionObjectMap {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> SectionObjectMap {
+        SectionObjectMap::default()
+    }
+
+    /// Record that section `s` accesses `o` with `perm`. Permissions only
+    /// widen (read joins to write, never narrows). Returns the number of
+    /// map operations performed, for cycle accounting.
+    pub fn record(&mut self, s: SectionId, o: ObjectId, perm: Perm) -> u64 {
+        let entry = self.by_section.entry(s).or_default().entry(o);
+        let mut ops = 1;
+        match entry {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let joined = e.get().join(perm);
+                e.insert(joined);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(perm);
+                self.by_object.entry(o).or_default().push(s);
+                ops += 1;
+            }
+        }
+        ops
+    }
+
+    /// Objects known to be accessed by `s`, with permissions.
+    #[must_use]
+    pub fn objects_of(&self, s: SectionId) -> Vec<(ObjectId, Perm)> {
+        let mut v: Vec<_> = self
+            .by_section
+            .get(&s)
+            .map(|m| m.iter().map(|(&o, &p)| (o, p)).collect())
+            .unwrap_or_default();
+        v.sort_by_key(|&(o, _)| o);
+        v
+    }
+
+    /// Whether section `s` is known to access `o` at all.
+    #[must_use]
+    pub fn section_accesses(&self, s: SectionId, o: ObjectId) -> bool {
+        self.by_section
+            .get(&s)
+            .is_some_and(|m| m.contains_key(&o))
+    }
+
+    /// Permission `s` is known to need on `o`, if any.
+    #[must_use]
+    pub fn perm_of(&self, s: SectionId, o: ObjectId) -> Option<Perm> {
+        self.by_section.get(&s).and_then(|m| m.get(&o)).copied()
+    }
+
+    /// Sections known to access `o`.
+    #[must_use]
+    pub fn sections_accessing(&self, o: ObjectId) -> &[SectionId] {
+        self.by_object.get(&o).map_or(&[], Vec::as_slice)
+    }
+
+    /// Remove every trace of `o` (called when the object is freed).
+    pub fn remove_object(&mut self, o: ObjectId) {
+        if let Some(sections) = self.by_object.remove(&o) {
+            for s in sections {
+                if let Some(m) = self.by_section.get_mut(&s) {
+                    m.remove(&o);
+                }
+            }
+        }
+    }
+
+    /// Number of sections with at least one recorded object.
+    #[must_use]
+    pub fn section_count(&self) -> usize {
+        self.by_section.values().filter(|m| !m.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kard_sim::CodeSite;
+
+    fn s(n: u64) -> SectionId {
+        SectionId(CodeSite(n))
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut map = SectionObjectMap::new();
+        map.record(s(1), ObjectId(10), Perm::Read);
+        map.record(s(1), ObjectId(11), Perm::Write);
+        assert_eq!(
+            map.objects_of(s(1)),
+            vec![(ObjectId(10), Perm::Read), (ObjectId(11), Perm::Write)]
+        );
+        assert!(map.section_accesses(s(1), ObjectId(10)));
+        assert!(!map.section_accesses(s(2), ObjectId(10)));
+        assert_eq!(map.perm_of(s(1), ObjectId(11)), Some(Perm::Write));
+    }
+
+    #[test]
+    fn permissions_widen_but_never_narrow() {
+        let mut map = SectionObjectMap::new();
+        map.record(s(1), ObjectId(1), Perm::Read);
+        map.record(s(1), ObjectId(1), Perm::Write);
+        assert_eq!(map.perm_of(s(1), ObjectId(1)), Some(Perm::Write));
+        map.record(s(1), ObjectId(1), Perm::Read);
+        assert_eq!(map.perm_of(s(1), ObjectId(1)), Some(Perm::Write));
+    }
+
+    #[test]
+    fn reverse_index_tracks_sections() {
+        let mut map = SectionObjectMap::new();
+        map.record(s(1), ObjectId(1), Perm::Read);
+        map.record(s(2), ObjectId(1), Perm::Write);
+        assert_eq!(map.sections_accessing(ObjectId(1)), &[s(1), s(2)]);
+        assert!(map.sections_accessing(ObjectId(9)).is_empty());
+    }
+
+    #[test]
+    fn remove_object_clears_both_indexes() {
+        let mut map = SectionObjectMap::new();
+        map.record(s(1), ObjectId(1), Perm::Write);
+        map.record(s(1), ObjectId(2), Perm::Read);
+        map.remove_object(ObjectId(1));
+        assert!(!map.section_accesses(s(1), ObjectId(1)));
+        assert!(map.section_accesses(s(1), ObjectId(2)));
+        assert!(map.sections_accessing(ObjectId(1)).is_empty());
+    }
+
+    #[test]
+    fn section_count_ignores_emptied_sections() {
+        let mut map = SectionObjectMap::new();
+        map.record(s(1), ObjectId(1), Perm::Write);
+        map.record(s(2), ObjectId(2), Perm::Read);
+        assert_eq!(map.section_count(), 2);
+        map.remove_object(ObjectId(1));
+        assert_eq!(map.section_count(), 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! Runtime counters backing the paper's Tables 3 and 5.
+
+use serde::{Deserialize, Serialize};
+
+/// Execution statistics of one detection run.
+///
+/// These counters correspond directly to paper columns: `cs_entries` and
+/// `unique_sections` feed Table 3's "Critical sections" columns,
+/// `max_concurrent_sections`, `key_recycles`, and `key_shares` feed
+/// Table 5, and the race/pruning counts feed Tables 4 and 6.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorStats {
+    /// Total critical-section entries observed.
+    pub cs_entries: u64,
+    /// Distinct critical sections (lock sites) executed.
+    pub unique_sections: u64,
+    /// Maximum number of critical sections concurrently in flight.
+    pub max_concurrent_sections: u64,
+    /// Objects migrated out of the Not-accessed domain (identified shared).
+    pub objects_identified: u64,
+    /// Objects currently in (or ever migrated to) the Read-only domain.
+    pub read_only_migrations: u64,
+    /// Objects migrated to the Read-write domain.
+    pub read_write_migrations: u64,
+    /// Key recycling events (§5.4 rule 3a).
+    pub key_recycles: u64,
+    /// Key sharing events (§5.4 rule 3b) — the false-negative risk window.
+    pub key_shares: u64,
+    /// Faults handled for shared-object identification.
+    pub identification_faults: u64,
+    /// Faults handled for read-only → read-write migration.
+    pub migration_faults: u64,
+    /// Faults analyzed as potential races.
+    pub race_check_faults: u64,
+    /// Faults consumed by the protection-interleaving filter.
+    pub interleave_faults: u64,
+    /// Race records reported (post-filtering).
+    pub races_reported: u64,
+    /// Candidate races pruned because interleaving proved the two threads
+    /// touched different byte offsets (§5.5).
+    pub races_pruned_offset: u64,
+    /// Duplicate reports suppressed by automated pruning (§5.5).
+    pub races_pruned_redundant: u64,
+    /// Candidate races dismissed by the release-timestamp check.
+    pub races_filtered_timestamp: u64,
+    /// Proactive key acquisitions performed at section entries.
+    pub proactive_acquisitions: u64,
+    /// Reactive key acquisitions performed by the fault handler.
+    pub reactive_acquisitions: u64,
+}
+
+impl DetectorStats {
+    /// Fraction of CS entries that needed key sharing — the paper reports
+    /// 0.007%–0.07% for memcached (§7.3).
+    #[must_use]
+    pub fn share_rate(&self) -> f64 {
+        if self.cs_entries == 0 {
+            0.0
+        } else {
+            self.key_shares as f64 / self.cs_entries as f64
+        }
+    }
+
+    /// Fraction of CS entries that triggered key recycling (§7.3 reports
+    /// 0.44%–0.49% for memcached).
+    #[must_use]
+    pub fn recycle_rate(&self) -> f64 {
+        if self.cs_entries == 0 {
+            0.0
+        } else {
+            self.key_recycles as f64 / self.cs_entries as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_zero_without_entries() {
+        let s = DetectorStats::default();
+        assert_eq!(s.share_rate(), 0.0);
+        assert_eq!(s.recycle_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates_divide_by_entries() {
+        let s = DetectorStats {
+            cs_entries: 161_992,
+            key_shares: 11,
+            key_recycles: 724,
+            ..DetectorStats::default()
+        };
+        // memcached at 4 threads (Table 5): sharing ≈ 0.007 %.
+        assert!((s.share_rate() - 11.0 / 161_992.0).abs() < 1e-12);
+        assert!(s.share_rate() < 0.0007);
+        assert!((s.recycle_rate() - 724.0 / 161_992.0).abs() < 1e-12);
+    }
+}

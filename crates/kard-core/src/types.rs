@@ -1,0 +1,136 @@
+//! Identifier and permission types shared across the detector.
+
+use kard_sim::CodeSite;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A critical section's static identity.
+///
+/// The paper differentiates critical sections by the virtual address of the
+/// synchronization call site, passed into the wrapper by the compiler pass
+/// (§5.3). Even if a code region can acquire different sets of locks, it is
+/// a single critical section (§2.1), so the lock-site address is the right
+/// identity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SectionId(pub CodeSite);
+
+impl fmt::Debug for SectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s@{:#x}", self.0 .0)
+    }
+}
+
+impl fmt::Display for SectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s@{:#x}", self.0 .0)
+    }
+}
+
+/// Runtime identity of a lock object (the mutex's address in the paper's
+/// implementation).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct LockId(pub u64);
+
+impl fmt::Debug for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// How a critical section was entered: exclusively (a mutex or the write
+/// side of a reader-writer lock) or shared (the read side of a
+/// reader-writer lock). The paper's runtime wraps the POSIX family, which
+/// includes `pthread_rwlock_rdlock`; a shared section can hold keys with
+/// at most read permission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SectionMode {
+    /// Mutex or write-locked rwlock: keys up to read-write.
+    Exclusive,
+    /// Read-locked rwlock: keys capped at read-only.
+    Shared,
+}
+
+impl SectionMode {
+    /// Cap a needed permission by what this section mode may hold.
+    #[must_use]
+    pub fn cap(self, perm: Perm) -> Perm {
+        match self {
+            SectionMode::Exclusive => perm,
+            SectionMode::Shared => Perm::Read,
+        }
+    }
+}
+
+/// Permission with which a key (or object) is needed or held: the paper's
+/// `rk` (read-only) vs `wk` (read-write) distinction (§4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Perm {
+    /// Read-only: shareable between concurrent holders.
+    Read,
+    /// Read-write: exclusive.
+    Write,
+}
+
+impl Perm {
+    /// Least upper bound: a section that both reads and writes an object
+    /// needs the key with write permission.
+    #[must_use]
+    pub fn join(self, other: Perm) -> Perm {
+        if self == Perm::Write || other == Perm::Write {
+            Perm::Write
+        } else {
+            Perm::Read
+        }
+    }
+}
+
+impl fmt::Display for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Perm::Read => write!(f, "r"),
+            Perm::Write => write!(f, "w"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perm_join_is_lub() {
+        assert_eq!(Perm::Read.join(Perm::Read), Perm::Read);
+        assert_eq!(Perm::Read.join(Perm::Write), Perm::Write);
+        assert_eq!(Perm::Write.join(Perm::Read), Perm::Write);
+        assert_eq!(Perm::Write.join(Perm::Write), Perm::Write);
+    }
+
+    #[test]
+    fn perm_ordering_read_below_write() {
+        assert!(Perm::Read < Perm::Write);
+    }
+
+    #[test]
+    fn section_mode_caps_permissions() {
+        assert_eq!(SectionMode::Exclusive.cap(Perm::Write), Perm::Write);
+        assert_eq!(SectionMode::Exclusive.cap(Perm::Read), Perm::Read);
+        assert_eq!(SectionMode::Shared.cap(Perm::Write), Perm::Read);
+        assert_eq!(SectionMode::Shared.cap(Perm::Read), Perm::Read);
+    }
+
+    #[test]
+    fn section_identity_is_site_based() {
+        let a = SectionId(CodeSite(0x400));
+        let b = SectionId(CodeSite(0x400));
+        let c = SectionId(CodeSite(0x500));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.to_string(), "s@0x400");
+    }
+}

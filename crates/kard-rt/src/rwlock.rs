@@ -1,0 +1,218 @@
+//! Reader-writer lock wrapper.
+//!
+//! The paper's runtime wraps the POSIX synchronization family, which
+//! includes `pthread_rwlock_*`. A write-locked section behaves like a
+//! mutex section; a read-locked section is still a critical section (keys
+//! are acquired so conflicting *writers* elsewhere fault), but its keys are
+//! capped at read-only permission so that any number of concurrent readers
+//! of the same section can hold them simultaneously.
+
+use crate::thread::SimThread;
+use kard_core::{LockId, SectionMode};
+use kard_sim::CodeSite;
+use std::fmt;
+
+/// A reader-writer lock whose acquisitions are visible to Kard.
+pub struct KardRwLock {
+    id: LockId,
+    inner: parking_lot::RwLock<()>,
+}
+
+impl KardRwLock {
+    /// A reader-writer lock with the given identity.
+    #[must_use]
+    pub fn new(id: LockId) -> KardRwLock {
+        KardRwLock {
+            id,
+            inner: parking_lot::RwLock::new(()),
+        }
+    }
+
+    /// The lock's identity.
+    #[must_use]
+    pub fn id(&self) -> LockId {
+        self.id
+    }
+}
+
+impl fmt::Debug for KardRwLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KardRwLock").field("id", &self.id).finish()
+    }
+}
+
+/// RAII guard for a read-locked critical section.
+pub struct ReadSectionGuard<'a> {
+    thread: &'a SimThread,
+    lock: &'a KardRwLock,
+    _raw: parking_lot::RwLockReadGuard<'a, ()>,
+}
+
+impl Drop for ReadSectionGuard<'_> {
+    fn drop(&mut self) {
+        self.thread.kard().lock_exit(self.thread.id(), self.lock.id);
+    }
+}
+
+impl fmt::Debug for ReadSectionGuard<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReadSectionGuard").field("lock", &self.lock.id).finish()
+    }
+}
+
+/// RAII guard for a write-locked critical section.
+pub struct WriteSectionGuard<'a> {
+    thread: &'a SimThread,
+    lock: &'a KardRwLock,
+    _raw: parking_lot::RwLockWriteGuard<'a, ()>,
+}
+
+impl Drop for WriteSectionGuard<'_> {
+    fn drop(&mut self) {
+        self.thread.kard().lock_exit(self.thread.id(), self.lock.id);
+    }
+}
+
+impl fmt::Debug for WriteSectionGuard<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WriteSectionGuard").field("lock", &self.lock.id).finish()
+    }
+}
+
+impl SimThread {
+    /// Enter a read-locked (shared) critical section.
+    #[must_use]
+    pub fn enter_read<'a>(
+        &'a self,
+        lock: &'a KardRwLock,
+        site: CodeSite,
+    ) -> ReadSectionGuard<'a> {
+        let raw = lock.inner.read();
+        self.kard()
+            .lock_enter_mode(self.id(), lock.id, site, SectionMode::Shared);
+        ReadSectionGuard {
+            thread: self,
+            lock,
+            _raw: raw,
+        }
+    }
+
+    /// Enter a write-locked (exclusive) critical section.
+    #[must_use]
+    pub fn enter_write<'a>(
+        &'a self,
+        lock: &'a KardRwLock,
+        site: CodeSite,
+    ) -> WriteSectionGuard<'a> {
+        let raw = lock.inner.write();
+        self.kard()
+            .lock_enter_mode(self.id(), lock.id, site, SectionMode::Exclusive);
+        WriteSectionGuard {
+            thread: self,
+            lock,
+            _raw: raw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+
+    fn rwlock_session() -> (Session, KardRwLock) {
+        let session = Session::new();
+        let lock = KardRwLock::new(kard_core::LockId(777));
+        (session, lock)
+    }
+
+    #[test]
+    fn concurrent_read_sections_share_keys_silently() {
+        let (session, lock) = rwlock_session();
+        let t1 = session.spawn_thread();
+        let t2 = session.spawn_thread();
+        let o = t1.alloc(64);
+
+        // Teach the section: a writer populates the object first.
+        {
+            let _w = t1.enter_write(&lock, CodeSite(0x10));
+            t1.write(&o, 0, CodeSite(0x11));
+        }
+        // Two overlapping read sections: both proactively acquire the
+        // object's key read-only (shared read, Figure 1b).
+        let g1 = t1.enter_read(&lock, CodeSite(0x20));
+        t1.read(&o, 0, CodeSite(0x21));
+        let g2 = t2.enter_read(&lock, CodeSite(0x20));
+        t2.read(&o, 0, CodeSite(0x22));
+        drop(g2);
+        drop(g1);
+
+        assert!(session.kard().reports().is_empty());
+    }
+
+    #[test]
+    fn unlocked_writer_races_with_read_section_holder() {
+        let (session, lock) = rwlock_session();
+        let t1 = session.spawn_thread();
+        let t2 = session.spawn_thread();
+        let o = t1.alloc(64);
+        {
+            let _w = t1.enter_write(&lock, CodeSite(0x10));
+            t1.write(&o, 0, CodeSite(0x11));
+        }
+        // Reader holds the key read-only; an unlocked write conflicts.
+        let g = t1.enter_read(&lock, CodeSite(0x20));
+        t1.read(&o, 0, CodeSite(0x21));
+        t2.write(&o, 0, CodeSite(0x30)); // No lock.
+        drop(g);
+
+        assert_eq!(session.kard().reports().len(), 1);
+        let r = &session.kard().reports()[0];
+        assert!(r.faulting.section.is_none());
+    }
+
+    #[test]
+    fn write_within_read_section_migrates_not_races() {
+        // A write under a read lock is a program smell, but Kard handles
+        // it like any in-section write: reactive acquisition (upgrading
+        // the sole-held read key), no spurious report.
+        let (session, lock) = rwlock_session();
+        let t = session.spawn_thread();
+        let o = t.alloc(32);
+        {
+            let _g = t.enter_read(&lock, CodeSite(0x20));
+            t.read(&o, 0, CodeSite(0x21));
+            t.write(&o, 0, CodeSite(0x22));
+        }
+        assert!(session.kard().reports().is_empty());
+    }
+
+    #[test]
+    fn real_threads_share_read_side() {
+        use std::sync::Arc;
+        let session = Arc::new(Session::new());
+        let lock = Arc::new(KardRwLock::new(kard_core::LockId(9)));
+        let setup = session.spawn_thread();
+        let o = setup.alloc(64);
+        {
+            let _w = setup.enter_write(&lock, CodeSite(0x1));
+            setup.write(&o, 0, CodeSite(0x2));
+        }
+        let mut joins = Vec::new();
+        for i in 0..4 {
+            let session = Arc::clone(&session);
+            let lock = Arc::clone(&lock);
+            joins.push(std::thread::spawn(move || {
+                let t = session.spawn_thread();
+                for _ in 0..50 {
+                    let _g = t.enter_read(&lock, CodeSite(0x10));
+                    t.read(&o, 0, CodeSite(0x20 + i));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert!(session.kard().reports().is_empty());
+    }
+}

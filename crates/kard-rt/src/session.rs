@@ -1,0 +1,126 @@
+//! A detection session: machine + allocator + detector, wired together.
+
+use crate::mutex::KardMutex;
+use crate::thread::SimThread;
+use kard_alloc::KardAlloc;
+use kard_core::{Kard, KardConfig};
+use kard_sim::{Machine, MachineConfig};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One monitored program execution.
+///
+/// A `Session` owns the simulated machine, Kard's allocator, and the
+/// detector. Threads are spawned with [`Session::spawn_thread`]; locks are
+/// created with [`Session::new_mutex`]. See the [crate docs](crate) for an
+/// end-to-end example.
+pub struct Session {
+    machine: Arc<Machine>,
+    alloc: Arc<KardAlloc>,
+    kard: Arc<Kard>,
+    next_lock: AtomicU64,
+}
+
+impl Session {
+    /// A session with default machine (16-key MPK) and paper configuration.
+    #[must_use]
+    pub fn new() -> Session {
+        Session::with_config(MachineConfig::default(), KardConfig::default())
+    }
+
+    /// A session with explicit machine and detector configuration.
+    #[must_use]
+    pub fn with_config(machine_config: MachineConfig, kard_config: KardConfig) -> Session {
+        let machine = Arc::new(Machine::new(machine_config));
+        let alloc = Arc::new(KardAlloc::new(Arc::clone(&machine)));
+        let kard = Arc::new(Kard::new(
+            Arc::clone(&machine),
+            Arc::clone(&alloc),
+            kard_config,
+        ));
+        Session {
+            machine,
+            alloc,
+            kard,
+            next_lock: AtomicU64::new(1),
+        }
+    }
+
+    /// The simulated machine.
+    #[must_use]
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// The consolidated unique-page allocator.
+    #[must_use]
+    pub fn alloc(&self) -> &Arc<KardAlloc> {
+        &self.alloc
+    }
+
+    /// The detector.
+    #[must_use]
+    pub fn kard(&self) -> &Arc<Kard> {
+        &self.kard
+    }
+
+    /// Spawn a monitored thread. The handle is `Send`, so it can be moved
+    /// onto a real OS thread.
+    #[must_use]
+    pub fn spawn_thread(&self) -> SimThread {
+        SimThread::new(Arc::clone(&self.kard))
+    }
+
+    /// Create a mutex with a fresh lock identity.
+    #[must_use]
+    pub fn new_mutex(&self) -> KardMutex {
+        KardMutex::new(kard_core::LockId(
+            self.next_lock.fetch_add(1, Ordering::Relaxed),
+        ))
+    }
+
+    /// Create a reader-writer lock with a fresh lock identity.
+    #[must_use]
+    pub fn new_rwlock(&self) -> crate::rwlock::KardRwLock {
+        crate::rwlock::KardRwLock::new(kard_core::LockId(
+            self.next_lock.fetch_add(1, Ordering::Relaxed),
+        ))
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("stats", &self.kard.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_ids_are_unique() {
+        let session = Session::new();
+        let a = session.new_mutex();
+        let b = session.new_mutex();
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn session_components_are_shared() {
+        let session = Session::new();
+        let t = session.spawn_thread();
+        let o = t.alloc(32);
+        assert!(session.alloc().object(o.id).is_some());
+        assert_eq!(session.machine().thread_count(), 1);
+    }
+}

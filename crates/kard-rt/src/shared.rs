@@ -1,0 +1,239 @@
+//! Typed views over monitored objects.
+//!
+//! [`SimThread::read`]/[`SimThread::write`] operate on raw byte offsets;
+//! [`SharedArray`] adds element-typed indexing on top, which is how most
+//! monitored programs actually address their shared state (statistics
+//! structs, molecule arrays, slab entries).
+
+use crate::thread::SimThread;
+use kard_alloc::ObjectInfo;
+use kard_sim::CodeSite;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Marker for element types a [`SharedArray`] can be laid out over.
+///
+/// Implemented for the primitive widths monitored programs use; the type
+/// only determines the element stride (no data is stored — the simulator
+/// tracks accesses, not values).
+pub trait Element: private::Sealed {
+    /// Size of one element in bytes.
+    const SIZE: u64;
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for u8 {}
+    impl Sealed for u16 {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+}
+
+impl Element for u8 {
+    const SIZE: u64 = 1;
+}
+impl Element for u16 {
+    const SIZE: u64 = 2;
+}
+impl Element for u32 {
+    const SIZE: u64 = 4;
+}
+impl Element for u64 {
+    const SIZE: u64 = 8;
+}
+
+/// A monitored object viewed as an array of `T`.
+///
+/// ```
+/// use kard_rt::{Session, SharedArray};
+/// use kard_sim::CodeSite;
+///
+/// let session = Session::new();
+/// let t = session.spawn_thread();
+/// let stats: SharedArray<u64> = SharedArray::alloc(&t, 8);
+/// t.write_elem(&stats, 3, CodeSite(0x10)); // byte offset 24
+/// assert_eq!(stats.len(), 8);
+/// ```
+#[derive(Clone, Copy)]
+pub struct SharedArray<T: Element> {
+    info: ObjectInfo,
+    len: u64,
+    _elem: PhantomData<T>,
+}
+
+impl<T: Element> SharedArray<T> {
+    /// Allocate a monitored heap array of `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    #[must_use]
+    pub fn alloc(thread: &SimThread, len: u64) -> SharedArray<T> {
+        assert!(len > 0, "zero-length array");
+        SharedArray {
+            info: thread.alloc(len * T::SIZE),
+            len,
+            _elem: PhantomData,
+        }
+    }
+
+    /// Register a monitored global array of `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    #[must_use]
+    pub fn global(thread: &SimThread, len: u64) -> SharedArray<T> {
+        assert!(len > 0, "zero-length array");
+        SharedArray {
+            info: thread.register_global(len * T::SIZE),
+            len,
+            _elem: PhantomData,
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the array has no elements (never true; see `alloc`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The underlying object metadata.
+    #[must_use]
+    pub fn info(&self) -> &ObjectInfo {
+        &self.info
+    }
+
+    /// Byte offset of element `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn offset_of(&self, index: u64) -> u64 {
+        assert!(index < self.len, "index {index} out of bounds ({})", self.len);
+        index * T::SIZE
+    }
+}
+
+impl<T: Element> fmt::Debug for SharedArray<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedArray")
+            .field("object", &self.info.id)
+            .field("len", &self.len)
+            .field("elem_size", &T::SIZE)
+            .finish()
+    }
+}
+
+impl SimThread {
+    /// Read element `index` of a typed array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn read_elem<T: Element>(&self, array: &SharedArray<T>, index: u64, ip: CodeSite) {
+        self.read(array.info(), array.offset_of(index), ip);
+    }
+
+    /// Write element `index` of a typed array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn write_elem<T: Element>(&self, array: &SharedArray<T>, index: u64, ip: CodeSite) {
+        self.write(array.info(), array.offset_of(index), ip);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+    use kard_core::Domain;
+
+    #[test]
+    fn element_strides() {
+        let session = Session::new();
+        let t = session.spawn_thread();
+        let bytes: SharedArray<u8> = SharedArray::alloc(&t, 100);
+        let words: SharedArray<u64> = SharedArray::alloc(&t, 100);
+        assert_eq!(bytes.offset_of(99), 99);
+        assert_eq!(words.offset_of(99), 792);
+        assert_eq!(bytes.info().size, 100);
+        assert_eq!(words.info().size, 800);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_index_panics() {
+        let session = Session::new();
+        let t = session.spawn_thread();
+        let a: SharedArray<u32> = SharedArray::alloc(&t, 4);
+        let _ = a.offset_of(4);
+    }
+
+    #[test]
+    fn typed_accesses_participate_in_detection() {
+        let session = Session::new();
+        let t1 = session.spawn_thread();
+        let t2 = session.spawn_thread();
+        let la = session.new_mutex();
+        let lb = session.new_mutex();
+        let stats: SharedArray<u64> = SharedArray::global(&t1, 4);
+
+        let ga = t1.enter(&la, CodeSite(0xa));
+        t1.write_elem(&stats, 2, CodeSite(0xa1));
+        let gb = t2.enter(&lb, CodeSite(0xb));
+        t2.write_elem(&stats, 2, CodeSite(0xb1));
+        drop(gb);
+        drop(ga);
+
+        let reports = session.kard().reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].faulting.offset, Some(16), "element 2 of u64");
+    }
+
+    #[test]
+    fn disjoint_elements_prune_via_interleaving() {
+        // The sub-object precision story, typed: two threads update
+        // different elements, interleaving prunes the candidate.
+        let session = Session::new();
+        let t1 = session.spawn_thread();
+        let t2 = session.spawn_thread();
+        let la = session.new_mutex();
+        let lb = session.new_mutex();
+        let counters: SharedArray<u64> = SharedArray::alloc(&t1, 16);
+
+        let ga = t1.enter(&la, CodeSite(0xa));
+        t1.write_elem(&counters, 0, CodeSite(0xa1));
+        let gb = t2.enter(&lb, CodeSite(0xb));
+        t2.write_elem(&counters, 8, CodeSite(0xb1));
+        t1.write_elem(&counters, 0, CodeSite(0xa2)); // Counterpart fault.
+        drop(gb);
+        drop(ga);
+
+        assert!(session.kard().reports().is_empty());
+        assert_eq!(session.kard().stats().races_pruned_offset, 1);
+    }
+
+    #[test]
+    fn array_domain_lifecycle() {
+        let session = Session::new();
+        let t = session.spawn_thread();
+        let m = session.new_mutex();
+        let a: SharedArray<u32> = SharedArray::alloc(&t, 8);
+        assert_eq!(session.kard().domain_of(a.info().id), Some(Domain::NotAccessed));
+        {
+            let _g = t.enter(&m, CodeSite(0x1));
+            t.read_elem(&a, 0, CodeSite(0x2));
+        }
+        assert_eq!(session.kard().domain_of(a.info().id), Some(Domain::ReadOnly));
+    }
+}

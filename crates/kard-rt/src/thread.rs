@@ -1,0 +1,140 @@
+//! Monitored thread handles.
+
+use crate::mutex::{KardMutex, SectionGuard};
+use kard_alloc::{ObjectId, ObjectInfo};
+use kard_core::Kard;
+use kard_sim::{CodeSite, ThreadId};
+use std::fmt;
+use std::sync::Arc;
+
+/// A handle to one monitored program thread.
+///
+/// The handle is `Send`: move it onto an OS thread to run monitored code
+/// with real concurrency, or keep several handles on one thread to drive a
+/// deterministic schedule by hand.
+pub struct SimThread {
+    kard: Arc<Kard>,
+    id: ThreadId,
+}
+
+impl SimThread {
+    pub(crate) fn new(kard: Arc<Kard>) -> SimThread {
+        let id = kard.register_thread();
+        SimThread { kard, id }
+    }
+
+    /// The simulated thread id.
+    #[must_use]
+    pub fn id(&self) -> ThreadId {
+        self.id
+    }
+
+    /// The detector this thread reports to.
+    #[must_use]
+    pub fn kard(&self) -> &Arc<Kard> {
+        &self.kard
+    }
+
+    /// Allocate a heap object (intercepted `malloc`).
+    #[must_use]
+    pub fn alloc(&self, size: u64) -> ObjectInfo {
+        self.kard.on_alloc(self.id, size)
+    }
+
+    /// Register a global variable (program-start registration, §5.3).
+    #[must_use]
+    pub fn register_global(&self, size: u64) -> ObjectInfo {
+        self.kard.on_global(self.id, size)
+    }
+
+    /// Free a heap object (intercepted `free`).
+    pub fn free(&self, id: ObjectId) {
+        self.kard.on_free(self.id, id);
+    }
+
+    /// Enter a critical section on `mutex` from call site `site`. The
+    /// returned guard exits the section when dropped.
+    #[must_use]
+    pub fn enter<'a>(&'a self, mutex: &'a KardMutex, site: CodeSite) -> SectionGuard<'a> {
+        let raw = mutex.raw_lock();
+        self.kard.lock_enter(self.id, mutex.id(), site);
+        SectionGuard::new(self, mutex, raw)
+    }
+
+    /// Read `object` at byte `offset` from program location `ip`.
+    pub fn read(&self, object: &ObjectInfo, offset: u64, ip: CodeSite) {
+        self.kard.read(self.id, object.base.offset(offset), ip);
+    }
+
+    /// Write `object` at byte `offset` from program location `ip`.
+    pub fn write(&self, object: &ObjectInfo, offset: u64, ip: CodeSite) {
+        self.kard.write(self.id, object.base.offset(offset), ip);
+    }
+}
+
+impl fmt::Debug for SimThread {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimThread").field("id", &self.id).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::session::Session;
+    use kard_sim::CodeSite;
+
+    #[test]
+    fn ilu_race_detected_through_runtime_api() {
+        let session = Session::new();
+        let t1 = session.spawn_thread();
+        let t2 = session.spawn_thread();
+        let la = session.new_mutex();
+        let lb = session.new_mutex();
+        let obj = t1.alloc(32);
+
+        let g1 = t1.enter(&la, CodeSite(0xa));
+        t1.write(&obj, 0, CodeSite(0xa1));
+        let g2 = t2.enter(&lb, CodeSite(0xb));
+        t2.write(&obj, 0, CodeSite(0xb1));
+        drop(g2);
+        drop(g1);
+
+        assert_eq!(session.kard().reports().len(), 1);
+    }
+
+    #[test]
+    fn handles_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<super::SimThread>();
+    }
+
+    #[test]
+    fn real_os_threads_with_same_lock_are_silent() {
+        use std::sync::Arc;
+        let session = Arc::new(Session::new());
+        let mutex = Arc::new(session.new_mutex());
+        let obj = {
+            let t0 = session.spawn_thread();
+            t0.alloc(64)
+        };
+        let mut joins = Vec::new();
+        for i in 0..4 {
+            let session = Arc::clone(&session);
+            let mutex = Arc::clone(&mutex);
+            joins.push(std::thread::spawn(move || {
+                let t = session.spawn_thread();
+                for _ in 0..50 {
+                    let _g = t.enter(&mutex, CodeSite(0x100));
+                    t.write(&obj, 0, CodeSite(0x200 + i));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert!(
+            session.kard().reports().is_empty(),
+            "consistent locking must stay silent under real concurrency"
+        );
+    }
+}

@@ -1,0 +1,709 @@
+//! The simulated machine: threads, PKRU registers, page table, TLBs,
+//! physical memory, a virtual timestamp counter, and cycle accounting.
+//!
+//! [`Machine`] is the single entry point the rest of the reproduction uses.
+//! It is fully thread-safe so workloads can run on real OS threads, and
+//! fully deterministic when driven from one thread by the trace replayer.
+
+use crate::cost::{CostModel, CycleCount};
+use crate::fault::{AccessKind, CodeSite, GpFault};
+use crate::keys::{KeyLayout, ProtectionKey};
+use crate::mem::{PhysFrame, VirtAddr, VirtPage};
+use crate::page_table::{AddressSpace, MapError, ProtectError};
+use crate::phys::{MemStats, PhysMemory};
+use crate::pkru::Pkru;
+use crate::tlb::{Tlb, TlbConfig, TlbStats};
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifier of a simulated thread, assigned by [`Machine::register_thread`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ThreadId(pub usize);
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// How per-thread memory protection is realized (paper §8).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ProtectionMechanism {
+    /// Intel MPK: `WRPKRU` changes a thread's permissions in ~20 cycles
+    /// with no TLB impact.
+    #[default]
+    Mpk,
+    /// Software fallback (ISOLATOR/iThreads-style): each per-key permission
+    /// change costs an `mprotect`-class page-table update and flushes the
+    /// thread's TLB. The paper cites up to ~100% overhead for such schemes;
+    /// this mechanism exists so the ablation harness can measure the gap
+    /// Kard's MPK usage buys.
+    MprotectFallback,
+}
+
+/// Configuration of the simulated machine.
+#[derive(Clone, Debug, Default)]
+pub struct MachineConfig {
+    /// Protection-key layout (16-key MPK by default).
+    pub key_layout: KeyLayout,
+    /// Per-thread dTLB geometry.
+    pub tlb: TlbConfig,
+    /// Cycle costs of modelled operations.
+    pub cost: CostModel,
+    /// Per-thread protection mechanism (MPK by default).
+    pub mechanism: ProtectionMechanism,
+}
+
+struct ThreadState {
+    pkru: Pkru,
+    tlb: Tlb,
+    cycles: CycleCount,
+}
+
+/// Operation counters, readable at any time via [`Machine::counters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MachineCounters {
+    /// `WRPKRU` executions.
+    pub wrpkru: u64,
+    /// `RDPKRU` executions.
+    pub rdpkru: u64,
+    /// `pkey_mprotect()` system calls.
+    pub pkey_mprotect: u64,
+    /// `mmap()` system calls.
+    pub mmap: u64,
+    /// `munmap()` system calls.
+    pub munmap: u64,
+    /// `ftruncate()` system calls (file growth events).
+    pub ftruncate: u64,
+    /// Memory accesses checked.
+    pub accesses: u64,
+    /// Simulated #GP faults raised.
+    pub faults: u64,
+    /// Saved-context PKRU updates performed by a fault handler.
+    pub context_pkru_updates: u64,
+}
+
+#[derive(Default)]
+struct AtomicCounters {
+    wrpkru: AtomicU64,
+    rdpkru: AtomicU64,
+    pkey_mprotect: AtomicU64,
+    mmap: AtomicU64,
+    munmap: AtomicU64,
+    ftruncate: AtomicU64,
+    accesses: AtomicU64,
+    faults: AtomicU64,
+    context_pkru_updates: AtomicU64,
+}
+
+/// The simulated machine. See the [crate-level documentation](crate) for an
+/// end-to-end example.
+pub struct Machine {
+    config: MachineConfig,
+    phys: Mutex<PhysMemory>,
+    aspace: RwLock<AddressSpace>,
+    threads: RwLock<Vec<Mutex<ThreadState>>>,
+    clock: AtomicU64,
+    counters: AtomicCounters,
+}
+
+impl Machine {
+    /// A fresh machine with no threads and an empty address space.
+    #[must_use]
+    pub fn new(config: MachineConfig) -> Machine {
+        let total_keys = config.key_layout.total_keys;
+        Machine {
+            config,
+            phys: Mutex::new(PhysMemory::new()),
+            aspace: RwLock::new(AddressSpace::new(total_keys)),
+            threads: RwLock::new(Vec::new()),
+            clock: AtomicU64::new(0),
+            counters: AtomicCounters::default(),
+        }
+    }
+
+    /// The machine's key layout.
+    #[must_use]
+    pub fn key_layout(&self) -> KeyLayout {
+        self.config.key_layout
+    }
+
+    /// The machine's cost model.
+    #[must_use]
+    pub fn cost_model(&self) -> &CostModel {
+        &self.config.cost
+    }
+
+    /// Register a new thread. Its PKRU starts fully permissive, matching
+    /// the architectural reset state (PKRU = 0).
+    pub fn register_thread(&self) -> ThreadId {
+        let mut threads = self.threads.write();
+        let id = ThreadId(threads.len());
+        threads.push(Mutex::new(ThreadState {
+            pkru: Pkru::allow_all(&self.config.key_layout),
+            tlb: Tlb::new(self.config.tlb),
+            cycles: 0,
+        }));
+        id
+    }
+
+    /// Number of registered threads.
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.threads.read().len()
+    }
+
+    fn with_thread<R>(&self, thread: ThreadId, f: impl FnOnce(&mut ThreadState) -> R) -> R {
+        let threads = self.threads.read();
+        let state = threads
+            .get(thread.0)
+            .unwrap_or_else(|| panic!("unregistered thread {thread}"));
+        let mut guard = state.lock();
+        f(&mut guard)
+    }
+
+    /// Charge `cycles` to `thread` and advance the global clock.
+    pub fn charge(&self, thread: ThreadId, cycles: CycleCount) {
+        self.with_thread(thread, |state| state.cycles += cycles);
+        self.clock.fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    /// Current value of the global virtual clock (no cost charged).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// `RDTSCP`: read the timestamp counter, charging its cost.
+    pub fn rdtscp(&self, thread: ThreadId) -> u64 {
+        self.charge(thread, self.config.cost.rdtscp);
+        self.now()
+    }
+
+    /// `RDPKRU`: read `thread`'s protection-key rights register.
+    pub fn rdpkru(&self, thread: ThreadId) -> Pkru {
+        self.counters.rdpkru.fetch_add(1, Ordering::Relaxed);
+        self.charge(thread, self.config.cost.rdpkru);
+        self.with_thread(thread, |state| state.pkru.clone())
+    }
+
+    /// `WRPKRU`: install a new PKRU for `thread`.
+    ///
+    /// Under MPK this does *not* touch the TLB — the property that makes
+    /// the mechanism cheap (§2.2). Under the software fallback
+    /// ([`ProtectionMechanism::MprotectFallback`]) every key whose
+    /// permission changed costs a page-table update and the thread's TLB
+    /// is flushed, modelling the §8 software schemes.
+    pub fn wrpkru(&self, thread: ThreadId, pkru: Pkru) {
+        self.counters.wrpkru.fetch_add(1, Ordering::Relaxed);
+        match self.config.mechanism {
+            ProtectionMechanism::Mpk => {
+                self.charge(thread, self.config.cost.wrpkru);
+                self.with_thread(thread, |state| state.pkru = pkru);
+            }
+            ProtectionMechanism::MprotectFallback => {
+                let mut changed = 0u64;
+                self.with_thread(thread, |state| {
+                    for raw in 0..self.config.key_layout.total_keys {
+                        let key = ProtectionKey(raw);
+                        if state.pkru.permission(key) != pkru.permission(key) {
+                            changed += 1;
+                        }
+                    }
+                    state.pkru = pkru;
+                    if changed > 0 {
+                        state.tlb.flush();
+                    }
+                });
+                self.charge(
+                    thread,
+                    self.config.cost.wrpkru + changed * self.config.cost.pkey_mprotect,
+                );
+            }
+        }
+    }
+
+    /// Update `thread`'s PKRU through its *saved process context*, the way
+    /// Kard's fault handler installs reactive key grants (§5.4: the handler
+    /// cannot execute `WRPKRU` on behalf of the interrupted thread). The
+    /// cost is folded into the fault-handling charge, so none is added here.
+    pub fn set_pkru_in_saved_context(&self, thread: ThreadId, pkru: Pkru) {
+        self.counters
+            .context_pkru_updates
+            .fetch_add(1, Ordering::Relaxed);
+        self.with_thread(thread, |state| state.pkru = pkru);
+    }
+
+    /// Charge the end-to-end cost of one #GP delivery + handler execution.
+    pub fn charge_fault_handling(&self, thread: ThreadId) {
+        self.charge(thread, self.config.cost.fault_handling);
+    }
+
+    /// Allocate one physical frame of the in-memory file, charging
+    /// `ftruncate` when the file must grow.
+    pub fn alloc_frame(&self, thread: ThreadId) -> PhysFrame {
+        let (frame, grew) = self.phys.lock().alloc_frame();
+        if grew {
+            self.counters.ftruncate.fetch_add(1, Ordering::Relaxed);
+            self.charge(thread, self.config.cost.ftruncate);
+        }
+        frame
+    }
+
+    /// Return a frame to the allocator (no mappings may reference it).
+    pub fn free_frame(&self, frame: PhysFrame) {
+        self.phys.lock().free_frame(frame);
+    }
+
+    /// Reserve `count` fresh contiguous virtual pages.
+    pub fn reserve_pages(&self, count: u64) -> VirtPage {
+        self.aspace.write().reserve_pages(count)
+    }
+
+    /// `mmap(MAP_SHARED)`: map `page` onto `frame`, charging the syscall.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the page is already mapped.
+    pub fn map_page(
+        &self,
+        thread: ThreadId,
+        page: VirtPage,
+        frame: PhysFrame,
+    ) -> Result<(), MapError> {
+        self.counters.mmap.fetch_add(1, Ordering::Relaxed);
+        self.charge(thread, self.config.cost.mmap);
+        self.aspace.write().map(page, frame)?;
+        self.phys.lock().add_mapping(frame);
+        Ok(())
+    }
+
+    /// `munmap`: unmap `page`, returning the frame it referenced.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the page is not mapped.
+    pub fn unmap_page(&self, thread: ThreadId, page: VirtPage) -> Result<PhysFrame, MapError> {
+        self.counters.munmap.fetch_add(1, Ordering::Relaxed);
+        self.charge(thread, self.config.cost.munmap);
+        let mapping = self.aspace.write().unmap(page)?;
+        self.phys.lock().remove_mapping(mapping.frame);
+        self.invalidate_tlbs(page);
+        Ok(mapping.frame)
+    }
+
+    /// Convenience for tests and examples: allocate a frame and map a fresh
+    /// page onto it using an implicitly registered thread-0-style charge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping errors (which indicate simulator bugs here).
+    pub fn mmap_one_page(&self) -> Result<VirtPage, MapError> {
+        let thread = ThreadId(0);
+        let threads_empty = self.threads.read().is_empty();
+        if threads_empty {
+            let _ = self.register_thread();
+        }
+        let frame = self.alloc_frame(thread);
+        let page = self.reserve_pages(1);
+        self.map_page(thread, page, frame)?;
+        Ok(page)
+    }
+
+    /// `pkey_mprotect()`: retag `count` pages starting at `first` with
+    /// `key`, charging the syscall and invalidating those pages in every
+    /// thread's TLB (the kernel updates PTEs, so cached translations die).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid keys or unmapped pages.
+    pub fn pkey_mprotect(
+        &self,
+        thread: ThreadId,
+        first: VirtPage,
+        count: u64,
+        key: ProtectionKey,
+    ) -> Result<(), ProtectError> {
+        self.counters.pkey_mprotect.fetch_add(1, Ordering::Relaxed);
+        self.charge(thread, self.config.cost.pkey_mprotect);
+        self.aspace.write().pkey_mprotect(first, count, key)?;
+        for i in 0..count {
+            self.invalidate_tlbs(first.add(i));
+        }
+        Ok(())
+    }
+
+    /// Single-page convenience wrapper over [`Machine::pkey_mprotect`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid keys or unmapped pages.
+    pub fn pkey_mprotect_page(&self, page: VirtPage, key: ProtectionKey) -> Result<(), ProtectError> {
+        self.pkey_mprotect(ThreadId(0), page, 1, key)
+    }
+
+    fn invalidate_tlbs(&self, page: VirtPage) {
+        let threads = self.threads.read();
+        for state in threads.iter() {
+            state.lock().tlb.invalidate(page);
+        }
+    }
+
+    /// The protection key currently tagged on `page`, if mapped.
+    #[must_use]
+    pub fn page_key(&self, page: VirtPage) -> Option<ProtectionKey> {
+        self.aspace.read().entry(page).map(|m| m.pkey)
+    }
+
+    /// Perform (and check) a memory access.
+    ///
+    /// Charges the base access cost, models the dTLB, marks the backing
+    /// frame resident, and checks the thread's PKRU against the page's key.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GpFault`] when the thread's PKRU forbids the access. The
+    /// access itself does not architecturally complete in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `addr` is unmapped — the reproduction never touches
+    /// unmapped memory, so this indicates a bug in the caller.
+    pub fn access(
+        &self,
+        thread: ThreadId,
+        addr: VirtAddr,
+        kind: AccessKind,
+        ip: CodeSite,
+    ) -> Result<(), GpFault> {
+        self.counters.accesses.fetch_add(1, Ordering::Relaxed);
+        let page = addr.page();
+        let mapping = self
+            .aspace
+            .read()
+            .translate(addr)
+            .unwrap_or_else(|| panic!("access to unmapped address {addr} by {thread}"));
+
+        let mut cost = self.config.cost.mem_access;
+        let allowed = self.with_thread(thread, |state| {
+            if !state.tlb.lookup(page) {
+                cost += self.config.cost.dtlb_miss;
+            }
+            state.pkru.allows(mapping.pkey, kind)
+        });
+        self.charge(thread, cost);
+
+        if allowed {
+            self.phys.lock().touch(mapping.frame);
+            self.aspace.write().mark_accessed(page);
+            Ok(())
+        } else {
+            self.counters.faults.fetch_add(1, Ordering::Relaxed);
+            Err(GpFault {
+                thread,
+                addr,
+                page,
+                pkey: mapping.pkey,
+                access: kind,
+                ip,
+                tsc: self.now(),
+            })
+        }
+    }
+
+    /// Snapshot of the operation counters.
+    #[must_use]
+    pub fn counters(&self) -> MachineCounters {
+        MachineCounters {
+            wrpkru: self.counters.wrpkru.load(Ordering::Relaxed),
+            rdpkru: self.counters.rdpkru.load(Ordering::Relaxed),
+            pkey_mprotect: self.counters.pkey_mprotect.load(Ordering::Relaxed),
+            mmap: self.counters.mmap.load(Ordering::Relaxed),
+            munmap: self.counters.munmap.load(Ordering::Relaxed),
+            ftruncate: self.counters.ftruncate.load(Ordering::Relaxed),
+            accesses: self.counters.accesses.load(Ordering::Relaxed),
+            faults: self.counters.faults.load(Ordering::Relaxed),
+            context_pkru_updates: self.counters.context_pkru_updates.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cycles charged to one thread so far.
+    #[must_use]
+    pub fn thread_cycles(&self, thread: ThreadId) -> CycleCount {
+        self.with_thread(thread, |state| state.cycles)
+    }
+
+    /// Sum of all threads' dTLB statistics.
+    #[must_use]
+    pub fn tlb_stats(&self) -> TlbStats {
+        let threads = self.threads.read();
+        let mut total = TlbStats::default();
+        for state in threads.iter() {
+            total.merge(state.lock().tlb.stats());
+        }
+        total
+    }
+
+    /// Memory-consumption statistics of the simulated physical memory.
+    #[must_use]
+    pub fn mem_stats(&self) -> MemStats {
+        self.phys.lock().stats()
+    }
+
+    /// Current Linux-style RSS: populated PTEs x page size.
+    #[must_use]
+    pub fn linux_rss_bytes(&self) -> u64 {
+        self.aspace.read().linux_rss_bytes()
+    }
+
+    /// Peak Linux-style RSS over the run (what Table 3 reports).
+    #[must_use]
+    pub fn peak_linux_rss_bytes(&self) -> u64 {
+        self.aspace.read().peak_linux_rss_bytes()
+    }
+
+    /// Number of mapped virtual pages.
+    #[must_use]
+    pub fn mapped_pages(&self) -> usize {
+        self.aspace.read().mapped_pages()
+    }
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("threads", &self.thread_count())
+            .field("clock", &self.now())
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pkru::Permission;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::default())
+    }
+
+    #[test]
+    fn threads_get_sequential_ids_and_reset_pkru() {
+        let m = machine();
+        let t0 = m.register_thread();
+        let t1 = m.register_thread();
+        assert_eq!(t0, ThreadId(0));
+        assert_eq!(t1, ThreadId(1));
+        assert_eq!(m.rdpkru(t0).to_raw_u32(), 0);
+    }
+
+    #[test]
+    fn wrpkru_changes_only_target_thread() {
+        let m = machine();
+        let t0 = m.register_thread();
+        let t1 = m.register_thread();
+        let mut pkru = m.rdpkru(t0);
+        pkru.set_permission(ProtectionKey(5), Permission::NoAccess);
+        m.wrpkru(t0, pkru);
+        assert_eq!(
+            m.rdpkru(t0).permission(ProtectionKey(5)),
+            Permission::NoAccess
+        );
+        assert_eq!(
+            m.rdpkru(t1).permission(ProtectionKey(5)),
+            Permission::ReadWrite
+        );
+    }
+
+    #[test]
+    fn access_allowed_then_denied_after_key_retraction() {
+        let m = machine();
+        let t = m.register_thread();
+        let page = m.mmap_one_page().unwrap();
+        let key = ProtectionKey(3);
+        m.pkey_mprotect(t, page, 1, key).unwrap();
+
+        let addr = page.base_addr().offset(8);
+        assert!(m.access(t, addr, AccessKind::Write, CodeSite(1)).is_ok());
+
+        let mut pkru = m.rdpkru(t);
+        pkru.set_permission(key, Permission::ReadOnly);
+        m.wrpkru(t, pkru);
+        assert!(m.access(t, addr, AccessKind::Read, CodeSite(2)).is_ok());
+        let fault = m
+            .access(t, addr, AccessKind::Write, CodeSite(3))
+            .unwrap_err();
+        assert_eq!(fault.pkey, key);
+        assert_eq!(fault.access, AccessKind::Write);
+        assert_eq!(fault.addr, addr);
+        assert_eq!(fault.thread, t);
+    }
+
+    #[test]
+    fn fault_does_not_mark_frame_resident() {
+        let m = machine();
+        let t = m.register_thread();
+        let page = m.mmap_one_page().unwrap();
+        m.pkey_mprotect(t, page, 1, ProtectionKey(1)).unwrap();
+        let mut pkru = m.rdpkru(t);
+        pkru.set_permission(ProtectionKey(1), Permission::NoAccess);
+        m.wrpkru(t, pkru);
+        let _ = m
+            .access(t, page.base_addr(), AccessKind::Read, CodeSite(0))
+            .unwrap_err();
+        assert_eq!(m.mem_stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn cycle_accounting_accumulates() {
+        let m = machine();
+        let t = m.register_thread();
+        let before = m.thread_cycles(t);
+        m.charge(t, 100);
+        let pkru = m.rdpkru(t);
+        m.wrpkru(t, pkru);
+        let after = m.thread_cycles(t);
+        let cost = m.cost_model();
+        assert_eq!(after - before, 100 + cost.rdpkru + cost.wrpkru);
+        assert_eq!(m.now(), after);
+    }
+
+    #[test]
+    fn counters_reflect_operations() {
+        let m = machine();
+        let t = m.register_thread();
+        let page = m.mmap_one_page().unwrap();
+        m.pkey_mprotect(t, page, 1, ProtectionKey(2)).unwrap();
+        let _ = m.access(t, page.base_addr(), AccessKind::Read, CodeSite(0));
+        let c = m.counters();
+        assert_eq!(c.mmap, 1);
+        assert_eq!(c.pkey_mprotect, 1);
+        assert_eq!(c.accesses, 1);
+        assert_eq!(c.faults, 0);
+        assert_eq!(c.ftruncate, 1);
+    }
+
+    #[test]
+    fn pkey_mprotect_invalidates_tlbs() {
+        let m = machine();
+        let t = m.register_thread();
+        let page = m.mmap_one_page().unwrap();
+        // Warm the TLB.
+        m.access(t, page.base_addr(), AccessKind::Read, CodeSite(0))
+            .unwrap();
+        m.access(t, page.base_addr(), AccessKind::Read, CodeSite(0))
+            .unwrap();
+        let warm = m.tlb_stats();
+        assert_eq!(warm.hits, 1);
+        m.pkey_mprotect(t, page, 1, ProtectionKey(4)).unwrap();
+        m.access(t, page.base_addr(), AccessKind::Read, CodeSite(0))
+            .unwrap();
+        let cold = m.tlb_stats();
+        assert_eq!(cold.misses, warm.misses + 1, "mprotect must invalidate");
+    }
+
+    #[test]
+    fn saved_context_update_skips_wrpkru_cost() {
+        let m = machine();
+        let t = m.register_thread();
+        let cycles_before = m.thread_cycles(t);
+        let mut pkru = Pkru::allow_all(&m.key_layout());
+        pkru.set_permission(ProtectionKey(9), Permission::ReadOnly);
+        m.set_pkru_in_saved_context(t, pkru);
+        // RDPKRU below is the only charge.
+        assert_eq!(m.thread_cycles(t), cycles_before);
+        assert_eq!(
+            m.rdpkru(t).permission(ProtectionKey(9)),
+            Permission::ReadOnly
+        );
+        assert_eq!(m.counters().context_pkru_updates, 1);
+        assert_eq!(m.counters().wrpkru, 0);
+    }
+
+    #[test]
+    fn rdtscp_is_monotonic() {
+        let m = machine();
+        let t = m.register_thread();
+        let a = m.rdtscp(t);
+        let b = m.rdtscp(t);
+        assert!(b > a);
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped address")]
+    fn unmapped_access_panics() {
+        let m = machine();
+        let t = m.register_thread();
+        let _ = m.access(t, VirtAddr(0xdead_0000), AccessKind::Read, CodeSite(0));
+    }
+
+    #[test]
+    fn mprotect_fallback_charges_per_key_and_flushes_tlb() {
+        let config = MachineConfig {
+            mechanism: ProtectionMechanism::MprotectFallback,
+            ..MachineConfig::default()
+        };
+        let m = Machine::new(config);
+        let t = m.register_thread();
+        let page = m.mmap_one_page().unwrap();
+        // Warm the TLB.
+        m.access(t, page.base_addr(), AccessKind::Read, CodeSite(0))
+            .unwrap();
+        m.access(t, page.base_addr(), AccessKind::Read, CodeSite(0))
+            .unwrap();
+        assert_eq!(m.tlb_stats().hits, 1);
+
+        let before = m.thread_cycles(t);
+        let mut pkru = m.rdpkru(t);
+        pkru.set_permission(ProtectionKey(3), Permission::NoAccess);
+        pkru.set_permission(ProtectionKey(5), Permission::ReadOnly);
+        m.wrpkru(t, pkru);
+        let cost = m.cost_model();
+        assert!(
+            m.thread_cycles(t) - before >= 2 * cost.pkey_mprotect,
+            "two key changes cost two mprotect-class updates"
+        );
+        // The flush makes the next access miss again.
+        m.access(t, page.base_addr(), AccessKind::Read, CodeSite(0))
+            .unwrap();
+        assert_eq!(m.tlb_stats().misses, 2, "fallback flushed the TLB");
+    }
+
+    #[test]
+    fn mprotect_fallback_noop_wrpkru_is_cheap() {
+        let config = MachineConfig {
+            mechanism: ProtectionMechanism::MprotectFallback,
+            ..MachineConfig::default()
+        };
+        let m = Machine::new(config);
+        let t = m.register_thread();
+        let before = m.thread_cycles(t);
+        let pkru = m.rdpkru(t);
+        m.wrpkru(t, pkru); // No permission actually changes.
+        let cost = m.cost_model();
+        assert_eq!(
+            m.thread_cycles(t) - before,
+            cost.rdpkru + cost.wrpkru,
+            "no key changed: no mprotect charge"
+        );
+    }
+
+    #[test]
+    fn unmap_returns_frame_and_releases_mapping() {
+        let m = machine();
+        let t = m.register_thread();
+        let page = m.mmap_one_page().unwrap();
+        let frame = m.unmap_page(t, page).unwrap();
+        m.free_frame(frame); // Must not panic: mapping count is back to 0.
+        assert_eq!(m.mapped_pages(), 0);
+    }
+}

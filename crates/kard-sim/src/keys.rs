@@ -1,0 +1,186 @@
+//! Protection keys and the fixed key layout Kard imposes on them.
+//!
+//! Intel MPK provides 16 keys (`k0`..`k15`). Kard (§5.2 of the paper)
+//! reserves:
+//!
+//! * `k0` — the default key for non-sharable memory (MPK reserves it for
+//!   backward compatibility, so every thread always has full access);
+//! * `k14` — the Read-only domain key (`k_ro`);
+//! * `k15` — the Not-accessed domain key (`k_na`);
+//! * `k1`..`k13` — the Read-write domain pool.
+//!
+//! The paper's §8 discusses future hardware with up to 1000 keys, which Kard
+//! could use to eliminate key sharing. [`KeyLayout::with_total_keys`]
+//! generalizes the layout so that ablation benchmarks can vary the pool size.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of protection keys provided by current Intel MPK hardware.
+pub const MPK_NUM_KEYS: u16 = 16;
+
+/// An MPK protection key.
+///
+/// Keys are small integers; on real hardware they live in bits 62:59 of each
+/// page-table entry. The simulator supports more than 16 keys for the
+/// paper's "advanced hardware" ablation (§8), hence the `u16` representation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ProtectionKey(pub u16);
+
+impl ProtectionKey {
+    /// The default key, `k0`, which protects all memory that Kard does not
+    /// manage (thread-local data, mutexes, program text).
+    pub const DEFAULT: ProtectionKey = ProtectionKey(0);
+
+    /// Raw key index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ProtectionKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl fmt::Display for ProtectionKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// Kard's assignment of roles to protection keys (§5.2).
+///
+/// ```
+/// use kard_sim::keys::KeyLayout;
+///
+/// let mpk = KeyLayout::mpk();
+/// assert_eq!(mpk.not_accessed.index(), 15);
+/// assert_eq!(mpk.read_only.index(), 14);
+/// assert_eq!(mpk.read_write_pool().count(), 13);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct KeyLayout {
+    /// Total number of keys the hardware provides (16 on current MPK).
+    pub total_keys: u16,
+    /// The default key `k0` (always accessible to every thread).
+    pub default: ProtectionKey,
+    /// The Read-only domain key (`k14` on MPK).
+    pub read_only: ProtectionKey,
+    /// The Not-accessed domain key (`k15` on MPK).
+    pub not_accessed: ProtectionKey,
+}
+
+impl KeyLayout {
+    /// The layout for current Intel MPK hardware: 16 keys, `k14` = read-only
+    /// domain, `k15` = not-accessed domain, `k1`..`k13` = read-write pool.
+    #[must_use]
+    pub fn mpk() -> KeyLayout {
+        KeyLayout::with_total_keys(MPK_NUM_KEYS)
+    }
+
+    /// A layout for hypothetical hardware with `total_keys` keys. The two
+    /// highest keys play the read-only and not-accessed roles, mirroring the
+    /// MPK layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_keys < 4`: Kard needs the default key, the two
+    /// domain keys, and at least one read-write pool key to function.
+    #[must_use]
+    pub fn with_total_keys(total_keys: u16) -> KeyLayout {
+        assert!(
+            total_keys >= 4,
+            "Kard requires at least 4 protection keys, got {total_keys}"
+        );
+        KeyLayout {
+            total_keys,
+            default: ProtectionKey::DEFAULT,
+            read_only: ProtectionKey(total_keys - 2),
+            not_accessed: ProtectionKey(total_keys - 1),
+        }
+    }
+
+    /// Keys available for the Read-write domain (`k1`..`k13` on MPK).
+    pub fn read_write_pool(&self) -> impl Iterator<Item = ProtectionKey> {
+        (1..self.total_keys - 2).map(ProtectionKey)
+    }
+
+    /// Number of keys in the read-write pool.
+    #[must_use]
+    pub fn read_write_pool_len(&self) -> usize {
+        usize::from(self.total_keys) - 3
+    }
+
+    /// Whether `key` belongs to the read-write pool.
+    #[must_use]
+    pub fn is_read_write_key(&self, key: ProtectionKey) -> bool {
+        key.0 >= 1 && key.0 < self.total_keys - 2
+    }
+
+    /// Whether `key` is valid under this layout.
+    #[must_use]
+    pub fn contains(&self, key: ProtectionKey) -> bool {
+        key.0 < self.total_keys
+    }
+}
+
+impl Default for KeyLayout {
+    fn default() -> Self {
+        KeyLayout::mpk()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpk_layout_matches_paper() {
+        let layout = KeyLayout::mpk();
+        assert_eq!(layout.total_keys, 16);
+        assert_eq!(layout.default, ProtectionKey(0));
+        assert_eq!(layout.read_only, ProtectionKey(14));
+        assert_eq!(layout.not_accessed, ProtectionKey(15));
+        let pool: Vec<_> = layout.read_write_pool().collect();
+        assert_eq!(pool.first(), Some(&ProtectionKey(1)));
+        assert_eq!(pool.last(), Some(&ProtectionKey(13)));
+        assert_eq!(pool.len(), 13);
+        assert_eq!(layout.read_write_pool_len(), 13);
+    }
+
+    #[test]
+    fn pool_membership() {
+        let layout = KeyLayout::mpk();
+        assert!(!layout.is_read_write_key(ProtectionKey(0)));
+        assert!(layout.is_read_write_key(ProtectionKey(1)));
+        assert!(layout.is_read_write_key(ProtectionKey(13)));
+        assert!(!layout.is_read_write_key(ProtectionKey(14)));
+        assert!(!layout.is_read_write_key(ProtectionKey(15)));
+    }
+
+    #[test]
+    fn advanced_hardware_layout() {
+        // §8: proposals such as Donky support ~1000 keys.
+        let layout = KeyLayout::with_total_keys(1024);
+        assert_eq!(layout.read_only, ProtectionKey(1022));
+        assert_eq!(layout.not_accessed, ProtectionKey(1023));
+        assert_eq!(layout.read_write_pool_len(), 1021);
+        assert!(layout.contains(ProtectionKey(1023)));
+        assert!(!layout.contains(ProtectionKey(1024)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 protection keys")]
+    fn tiny_layout_rejected() {
+        let _ = KeyLayout::with_total_keys(3);
+    }
+
+    #[test]
+    fn key_formatting() {
+        assert_eq!(ProtectionKey(14).to_string(), "k14");
+        assert_eq!(format!("{:?}", ProtectionKey(3)), "k3");
+    }
+}

@@ -1,0 +1,141 @@
+//! Address and page newtypes shared by the whole simulator.
+
+use std::fmt;
+
+/// Size of a virtual or physical page in bytes (4 KiB, as on x86-64).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A virtual address in the simulated address space.
+///
+/// Addresses are plain 64-bit values; nothing is ever dereferenced, so the
+/// full canonical range is usable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// The virtual page containing this address.
+    #[must_use]
+    pub fn page(self) -> VirtPage {
+        VirtPage(self.0 / PAGE_SIZE)
+    }
+
+    /// Byte offset of this address within its page.
+    #[must_use]
+    pub fn page_offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+
+    /// Address advanced by `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on address-space overflow, which indicates a simulator bug.
+    #[must_use]
+    pub fn offset(self, bytes: u64) -> VirtAddr {
+        VirtAddr(self.0.checked_add(bytes).expect("virtual address overflow"))
+    }
+}
+
+impl fmt::Debug for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VirtAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+}
+
+/// A virtual page number (virtual address divided by [`PAGE_SIZE`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtPage(pub u64);
+
+impl VirtPage {
+    /// The first address of this page.
+    #[must_use]
+    pub fn base_addr(self) -> VirtAddr {
+        VirtAddr(self.0 * PAGE_SIZE)
+    }
+
+    /// The page `n` pages after this one.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, n: u64) -> VirtPage {
+        VirtPage(self.0.checked_add(n).expect("virtual page overflow"))
+    }
+}
+
+impl fmt::Debug for VirtPage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VirtPage({:#x})", self.0)
+    }
+}
+
+/// A physical frame number within the simulated in-memory file.
+///
+/// Frame `n` covers file bytes `n * PAGE_SIZE .. (n + 1) * PAGE_SIZE`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysFrame(pub u64);
+
+impl fmt::Debug for PhysFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PhysFrame({:#x})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_of_address() {
+        assert_eq!(VirtAddr(0).page(), VirtPage(0));
+        assert_eq!(VirtAddr(4095).page(), VirtPage(0));
+        assert_eq!(VirtAddr(4096).page(), VirtPage(1));
+        assert_eq!(VirtAddr(3 * PAGE_SIZE + 17).page(), VirtPage(3));
+    }
+
+    #[test]
+    fn page_offset_within_page() {
+        assert_eq!(VirtAddr(0).page_offset(), 0);
+        assert_eq!(VirtAddr(4095).page_offset(), 4095);
+        assert_eq!(VirtAddr(2 * PAGE_SIZE + 33).page_offset(), 33);
+    }
+
+    #[test]
+    fn base_addr_round_trips() {
+        let page = VirtPage(42);
+        assert_eq!(page.base_addr().page(), page);
+        assert_eq!(page.base_addr().page_offset(), 0);
+    }
+
+    #[test]
+    fn offset_advances_address() {
+        let a = VirtAddr(100).offset(28);
+        assert_eq!(a, VirtAddr(128));
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual address overflow")]
+    fn offset_overflow_panics() {
+        let _ = VirtAddr(u64::MAX).offset(1);
+    }
+
+    #[test]
+    fn add_advances_page() {
+        assert_eq!(VirtPage(7).add(3), VirtPage(10));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(VirtAddr(0x1000).to_string(), "0x1000");
+    }
+}

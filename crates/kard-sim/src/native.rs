@@ -1,0 +1,88 @@
+//! Probing for *native* Intel MPK support.
+//!
+//! The reproduction runs on a simulated machine, but the detector only
+//! consumes the architectural contract of MPK, so a native backend (real
+//! `pkey_alloc`/`pkey_mprotect`/`WRPKRU`) could replace [`crate::Machine`]
+//! behind the same API on hardware that supports it. This module provides
+//! the capability probe such a backend needs:
+//!
+//! * `CPUID.(EAX=7,ECX=0):ECX[3]` — **PKU**: the CPU implements protection
+//!   keys for user pages;
+//! * `CPUID.(EAX=7,ECX=0):ECX[4]` — **OSPKE**: the OS has enabled them
+//!   (`CR4.PKE = 1`), which is what makes `RDPKRU`/`WRPKRU` executable
+//!   from user space.
+//!
+//! Both must be set for the native path to work; the simulator needs
+//! neither.
+
+/// Result of probing the current CPU/OS for MPK.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MpkSupport {
+    /// CPU and OS support MPK: a native backend could run here.
+    Native,
+    /// The CPU implements PKU but the OS has not enabled it
+    /// (`OSPKE` clear): `WRPKRU` would fault.
+    CpuOnly,
+    /// No PKU at all (or a non-x86 host): only the simulator works.
+    Unsupported,
+}
+
+impl MpkSupport {
+    /// Whether `RDPKRU`/`WRPKRU` can be executed right now.
+    #[must_use]
+    pub fn is_native(self) -> bool {
+        self == MpkSupport::Native
+    }
+}
+
+/// Probe the current hardware for MPK support.
+///
+/// Always safe to call; on non-x86-64 targets it returns
+/// [`MpkSupport::Unsupported`] without touching any CPU feature.
+#[must_use]
+pub fn probe_mpk() -> MpkSupport {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // CPUID leaf 7 requires max leaf >= 7. (`__cpuid` is safe to call
+        // on every x86_64 CPU; leaf 0 reports the maximum supported leaf.)
+        let max_leaf = core::arch::x86_64::__cpuid(0).eax;
+        if max_leaf < 7 {
+            return MpkSupport::Unsupported;
+        }
+        let leaf7 = core::arch::x86_64::__cpuid_count(7, 0);
+        let pku = leaf7.ecx & (1 << 3) != 0;
+        let ospke = leaf7.ecx & (1 << 4) != 0;
+        match (pku, ospke) {
+            (true, true) => MpkSupport::Native,
+            (true, false) => MpkSupport::CpuOnly,
+            _ => MpkSupport::Unsupported,
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        MpkSupport::Unsupported
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_never_panics_and_is_stable() {
+        let a = probe_mpk();
+        let b = probe_mpk();
+        assert_eq!(a, b, "probing is deterministic");
+    }
+
+    #[test]
+    fn native_implies_cpu_support() {
+        // Logical consistency: Native means PKU+OSPKE, so is_native()
+        // tracks the enum exactly.
+        let s = probe_mpk();
+        match s {
+            MpkSupport::Native => assert!(s.is_native()),
+            MpkSupport::CpuOnly | MpkSupport::Unsupported => assert!(!s.is_native()),
+        }
+    }
+}

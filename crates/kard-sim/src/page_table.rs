@@ -1,0 +1,306 @@
+//! The simulated page table: virtual page → (physical frame, protection key).
+//!
+//! Real MPK stores the 4-bit protection key in each page-table entry and
+//! changes it with the `pkey_mprotect()` system call. [`AddressSpace`]
+//! models exactly that: a map from [`VirtPage`] to [`Mapping`], a bump
+//! allocator of fresh virtual pages (the simulated `mmap` picks addresses),
+//! and [`AddressSpace::pkey_mprotect`] to retag pages.
+
+use crate::keys::ProtectionKey;
+use crate::mem::{PhysFrame, VirtAddr, VirtPage};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One page-table entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mapping {
+    /// Physical frame of the in-memory file backing this page.
+    pub frame: PhysFrame,
+    /// Protection key tagged on this page.
+    pub pkey: ProtectionKey,
+    /// PTE accessed bit: set on first touch. Linux counts every populated
+    /// PTE toward a process's RSS — *per virtual page*, even when several
+    /// shared mappings alias one physical frame. This is exactly why the
+    /// paper's RSS overheads over-estimate Kard's physical footprint (§6).
+    pub accessed: bool,
+}
+
+/// Error returned when a mapping operation fails.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapError {
+    /// The page is already mapped.
+    AlreadyMapped(VirtPage),
+    /// The page is not mapped.
+    NotMapped(VirtPage),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::AlreadyMapped(p) => write!(f, "page {p:?} is already mapped"),
+            MapError::NotMapped(p) => write!(f, "page {p:?} is not mapped"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Error returned by [`AddressSpace::pkey_mprotect`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtectError {
+    /// A page in the requested range is not mapped (`ENOMEM` analog).
+    NotMapped(VirtPage),
+    /// The key is outside the hardware's key range (`EINVAL` analog).
+    InvalidKey(ProtectionKey),
+}
+
+impl fmt::Display for ProtectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtectError::NotMapped(p) => write!(f, "page {p:?} is not mapped"),
+            ProtectError::InvalidKey(k) => write!(f, "protection key {k} is invalid"),
+        }
+    }
+}
+
+impl std::error::Error for ProtectError {}
+
+/// The simulated process address space.
+///
+/// Virtual pages are handed out by a bump allocator starting at a
+/// conventionally heap-like base address. Pages are never reused once
+/// unmapped (matching the paper's current implementation, which defers
+/// virtual-page recycling to future work, §6).
+pub struct AddressSpace {
+    table: BTreeMap<VirtPage, Mapping>,
+    next_page: VirtPage,
+    total_keys: u16,
+    accessed_pages: u64,
+    peak_accessed_pages: u64,
+}
+
+/// Base of the simulated mmap region (arbitrary, heap-like).
+const MMAP_BASE_PAGE: VirtPage = VirtPage(0x0007_f000_0000 >> 2);
+
+impl AddressSpace {
+    /// An empty address space for hardware with `total_keys` keys.
+    #[must_use]
+    pub fn new(total_keys: u16) -> AddressSpace {
+        AddressSpace {
+            table: BTreeMap::new(),
+            next_page: MMAP_BASE_PAGE,
+            total_keys,
+            accessed_pages: 0,
+            peak_accessed_pages: 0,
+        }
+    }
+
+    /// Reserve `count` fresh, contiguous virtual pages without mapping them.
+    pub fn reserve_pages(&mut self, count: u64) -> VirtPage {
+        let first = self.next_page;
+        self.next_page = self.next_page.add(count);
+        first
+    }
+
+    /// Map `page` to `frame` with the default protection key
+    /// (`mmap(MAP_SHARED | MAP_FIXED)` onto the in-memory file).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::AlreadyMapped`] if the page is mapped.
+    pub fn map(&mut self, page: VirtPage, frame: PhysFrame) -> Result<(), MapError> {
+        if self.table.contains_key(&page) {
+            return Err(MapError::AlreadyMapped(page));
+        }
+        self.table.insert(
+            page,
+            Mapping {
+                frame,
+                pkey: ProtectionKey::DEFAULT,
+                accessed: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Remove the mapping for `page`, returning it (`munmap`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::NotMapped`] if the page is not mapped.
+    pub fn unmap(&mut self, page: VirtPage) -> Result<Mapping, MapError> {
+        let mapping = self.table.remove(&page).ok_or(MapError::NotMapped(page))?;
+        if mapping.accessed {
+            self.accessed_pages -= 1;
+        }
+        Ok(mapping)
+    }
+
+    /// Set the PTE accessed bit for `page` (first touch populates the PTE).
+    pub fn mark_accessed(&mut self, page: VirtPage) {
+        if let Some(m) = self.table.get_mut(&page) {
+            if !m.accessed {
+                m.accessed = true;
+                self.accessed_pages += 1;
+                self.peak_accessed_pages = self.peak_accessed_pages.max(self.accessed_pages);
+            }
+        }
+    }
+
+    /// Bytes Linux would report as RSS: populated PTEs x page size. Shared
+    /// mappings of one frame each count once per *virtual* page.
+    #[must_use]
+    pub fn linux_rss_bytes(&self) -> u64 {
+        self.accessed_pages * crate::mem::PAGE_SIZE
+    }
+
+    /// Peak of [`AddressSpace::linux_rss_bytes`] over the run.
+    #[must_use]
+    pub fn peak_linux_rss_bytes(&self) -> u64 {
+        self.peak_accessed_pages * crate::mem::PAGE_SIZE
+    }
+
+    /// Translate an address to its page-table entry.
+    #[must_use]
+    pub fn translate(&self, addr: VirtAddr) -> Option<Mapping> {
+        self.table.get(&addr.page()).copied()
+    }
+
+    /// Look up the entry for a page.
+    #[must_use]
+    pub fn entry(&self, page: VirtPage) -> Option<Mapping> {
+        self.table.get(&page).copied()
+    }
+
+    /// Retag `count` pages starting at `first` with `key`
+    /// (the `pkey_mprotect()` system call).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the key is invalid or a page is unmapped; no
+    /// partial update is applied in the error case.
+    pub fn pkey_mprotect(
+        &mut self,
+        first: VirtPage,
+        count: u64,
+        key: ProtectionKey,
+    ) -> Result<(), ProtectError> {
+        if key.0 >= self.total_keys {
+            return Err(ProtectError::InvalidKey(key));
+        }
+        for i in 0..count {
+            if !self.table.contains_key(&first.add(i)) {
+                return Err(ProtectError::NotMapped(first.add(i)));
+            }
+        }
+        for i in 0..count {
+            self.table
+                .get_mut(&first.add(i))
+                .expect("checked above")
+                .pkey = key;
+        }
+        Ok(())
+    }
+
+    /// Number of mapped pages.
+    #[must_use]
+    pub fn mapped_pages(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl fmt::Debug for AddressSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AddressSpace")
+            .field("mapped_pages", &self.table.len())
+            .field("next_page", &self.next_page)
+            .field("total_keys", &self.total_keys)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_translate_unmap() {
+        let mut aspace = AddressSpace::new(16);
+        let page = aspace.reserve_pages(1);
+        aspace.map(page, PhysFrame(3)).unwrap();
+        let m = aspace.translate(page.base_addr().offset(100)).unwrap();
+        assert_eq!(m.frame, PhysFrame(3));
+        assert_eq!(m.pkey, ProtectionKey::DEFAULT);
+        aspace.unmap(page).unwrap();
+        assert!(aspace.translate(page.base_addr()).is_none());
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let mut aspace = AddressSpace::new(16);
+        let page = aspace.reserve_pages(1);
+        aspace.map(page, PhysFrame(0)).unwrap();
+        assert_eq!(
+            aspace.map(page, PhysFrame(1)),
+            Err(MapError::AlreadyMapped(page))
+        );
+    }
+
+    #[test]
+    fn unmap_unmapped_rejected() {
+        let mut aspace = AddressSpace::new(16);
+        let page = aspace.reserve_pages(1);
+        assert_eq!(aspace.unmap(page), Err(MapError::NotMapped(page)));
+    }
+
+    #[test]
+    fn reserved_pages_are_contiguous_and_unique() {
+        let mut aspace = AddressSpace::new(16);
+        let a = aspace.reserve_pages(4);
+        let b = aspace.reserve_pages(2);
+        assert_eq!(b, a.add(4));
+        let c = aspace.reserve_pages(1);
+        assert_eq!(c, b.add(2));
+    }
+
+    #[test]
+    fn pkey_mprotect_retags_range() {
+        let mut aspace = AddressSpace::new(16);
+        let first = aspace.reserve_pages(3);
+        for i in 0..3 {
+            aspace.map(first.add(i), PhysFrame(i)).unwrap();
+        }
+        aspace.pkey_mprotect(first, 3, ProtectionKey(7)).unwrap();
+        for i in 0..3 {
+            assert_eq!(aspace.entry(first.add(i)).unwrap().pkey, ProtectionKey(7));
+        }
+    }
+
+    #[test]
+    fn pkey_mprotect_invalid_key() {
+        let mut aspace = AddressSpace::new(16);
+        let page = aspace.reserve_pages(1);
+        aspace.map(page, PhysFrame(0)).unwrap();
+        assert_eq!(
+            aspace.pkey_mprotect(page, 1, ProtectionKey(16)),
+            Err(ProtectError::InvalidKey(ProtectionKey(16)))
+        );
+    }
+
+    #[test]
+    fn pkey_mprotect_unmapped_page_is_atomic() {
+        let mut aspace = AddressSpace::new(16);
+        let first = aspace.reserve_pages(2);
+        aspace.map(first, PhysFrame(0)).unwrap();
+        // Second page unmapped: the call must fail without retagging page 1.
+        assert_eq!(
+            aspace.pkey_mprotect(first, 2, ProtectionKey(5)),
+            Err(ProtectError::NotMapped(first.add(1)))
+        );
+        assert_eq!(
+            aspace.entry(first).unwrap().pkey,
+            ProtectionKey::DEFAULT,
+            "failed mprotect must not partially apply"
+        );
+    }
+}

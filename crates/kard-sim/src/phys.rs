@@ -1,0 +1,244 @@
+//! Simulated physical memory: the `memfd_create` in-memory file.
+//!
+//! Kard's consolidated unique page allocation (§5.3) creates an in-memory
+//! file with `memfd_create()`, maps virtual pages into it with
+//! `mmap(MAP_SHARED)`, and resizes it with `ftruncate()`. Multiple small
+//! objects live in *different virtual pages* that alias the *same physical
+//! frame* of the file (Figure 2), which is what keeps the physical footprint
+//! low while every object still gets its own page-granular protection key.
+//!
+//! [`PhysMemory`] models the file as a vector of frames with mapping
+//! reference counts and a residency bit, so the harness can report both the
+//! resident set size (RSS, what Table 3 reports) and the virtual footprint.
+
+use crate::mem::{PhysFrame, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Memory-consumption statistics for the simulated machine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Bytes of the in-memory file that have been touched (RSS analog).
+    pub resident_bytes: u64,
+    /// Current size of the in-memory file in bytes.
+    pub file_bytes: u64,
+    /// Bytes of virtual address space currently mapped onto the file.
+    pub mapped_virtual_bytes: u64,
+    /// High-water mark of `resident_bytes` (peak RSS, as Table 3 reports).
+    pub peak_resident_bytes: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct FrameState {
+    /// Number of virtual pages currently mapped to this frame.
+    mappings: u64,
+    /// Whether the frame has ever been written/touched (counts toward RSS).
+    resident: bool,
+    /// Whether the frame is currently allocated by the frame allocator.
+    allocated: bool,
+}
+
+/// The simulated in-memory file plus a frame allocator over it.
+///
+/// The real implementation lets the kernel manage physical memory; the
+/// simulator needs an explicit allocator so that freed consolidation slots
+/// can be reused and residency can be tracked deterministically.
+pub struct PhysMemory {
+    frames: Vec<FrameState>,
+    free_frames: Vec<PhysFrame>,
+    file_bytes: u64,
+    resident_bytes: u64,
+    mapped_virtual_bytes: u64,
+    peak_resident_bytes: u64,
+}
+
+impl PhysMemory {
+    /// An empty in-memory file, as returned by `memfd_create()`.
+    #[must_use]
+    pub fn new() -> PhysMemory {
+        PhysMemory {
+            frames: Vec::new(),
+            free_frames: Vec::new(),
+            file_bytes: 0,
+            resident_bytes: 0,
+            mapped_virtual_bytes: 0,
+            peak_resident_bytes: 0,
+        }
+    }
+
+    /// Allocate a frame, growing the file (`ftruncate`) when no freed frame
+    /// is available. Returns the frame and whether the file had to grow.
+    pub fn alloc_frame(&mut self) -> (PhysFrame, bool) {
+        if let Some(frame) = self.free_frames.pop() {
+            self.frames[frame.0 as usize].allocated = true;
+            return (frame, false);
+        }
+        let frame = PhysFrame(self.frames.len() as u64);
+        self.frames.push(FrameState {
+            allocated: true,
+            ..FrameState::default()
+        });
+        self.file_bytes += PAGE_SIZE;
+        (frame, true)
+    }
+
+    /// Return a frame to the allocator. Frames are only reclaimed once no
+    /// virtual mapping references them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is still mapped or was not allocated; both
+    /// indicate an allocator bug upstream.
+    pub fn free_frame(&mut self, frame: PhysFrame) {
+        let state = &mut self.frames[frame.0 as usize];
+        assert!(state.allocated, "double free of {frame:?}");
+        assert_eq!(state.mappings, 0, "freeing mapped frame {frame:?}");
+        state.allocated = false;
+        if state.resident {
+            state.resident = false;
+            self.resident_bytes -= PAGE_SIZE;
+        }
+        self.free_frames.push(frame);
+    }
+
+    /// Record that one more virtual page maps this frame.
+    pub fn add_mapping(&mut self, frame: PhysFrame) {
+        self.frames[frame.0 as usize].mappings += 1;
+        self.mapped_virtual_bytes += PAGE_SIZE;
+    }
+
+    /// Record that a virtual mapping of this frame was removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame has no mappings.
+    pub fn remove_mapping(&mut self, frame: PhysFrame) {
+        let state = &mut self.frames[frame.0 as usize];
+        assert!(state.mappings > 0, "unmapping unmapped frame {frame:?}");
+        state.mappings -= 1;
+        self.mapped_virtual_bytes -= PAGE_SIZE;
+    }
+
+    /// Mark a frame resident (first touch faults it in).
+    pub fn touch(&mut self, frame: PhysFrame) {
+        let state = &mut self.frames[frame.0 as usize];
+        if !state.resident {
+            state.resident = true;
+            self.resident_bytes += PAGE_SIZE;
+            self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes);
+        }
+    }
+
+    /// Number of virtual mappings currently referencing `frame`.
+    #[must_use]
+    pub fn mapping_count(&self, frame: PhysFrame) -> u64 {
+        self.frames[frame.0 as usize].mappings
+    }
+
+    /// Current statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> MemStats {
+        MemStats {
+            resident_bytes: self.resident_bytes,
+            file_bytes: self.file_bytes,
+            mapped_virtual_bytes: self.mapped_virtual_bytes,
+            peak_resident_bytes: self.peak_resident_bytes,
+        }
+    }
+}
+
+impl Default for PhysMemory {
+    fn default() -> Self {
+        PhysMemory::new()
+    }
+}
+
+impl fmt::Debug for PhysMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PhysMemory")
+            .field("frames", &self.frames.len())
+            .field("free_frames", &self.free_frames.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_file_then_reuses_freed_frames() {
+        let mut phys = PhysMemory::new();
+        let (f0, grew0) = phys.alloc_frame();
+        let (f1, grew1) = phys.alloc_frame();
+        assert!(grew0 && grew1);
+        assert_eq!(phys.stats().file_bytes, 2 * PAGE_SIZE);
+
+        phys.free_frame(f0);
+        let (f2, grew2) = phys.alloc_frame();
+        assert_eq!(f2, f0, "freed frame should be recycled");
+        assert!(!grew2, "recycling must not grow the file");
+        assert_ne!(f1, f2);
+    }
+
+    #[test]
+    fn residency_counts_only_touched_frames() {
+        let mut phys = PhysMemory::new();
+        let (f0, _) = phys.alloc_frame();
+        let (f1, _) = phys.alloc_frame();
+        assert_eq!(phys.stats().resident_bytes, 0);
+        phys.touch(f0);
+        phys.touch(f0); // Idempotent.
+        assert_eq!(phys.stats().resident_bytes, PAGE_SIZE);
+        phys.touch(f1);
+        assert_eq!(phys.stats().resident_bytes, 2 * PAGE_SIZE);
+        assert_eq!(phys.stats().peak_resident_bytes, 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn freeing_resident_frame_reduces_rss_but_not_peak() {
+        let mut phys = PhysMemory::new();
+        let (f0, _) = phys.alloc_frame();
+        phys.touch(f0);
+        phys.free_frame(f0);
+        let stats = phys.stats();
+        assert_eq!(stats.resident_bytes, 0);
+        assert_eq!(stats.peak_resident_bytes, PAGE_SIZE);
+    }
+
+    #[test]
+    fn mapping_counts_track_shared_mappings() {
+        let mut phys = PhysMemory::new();
+        let (f0, _) = phys.alloc_frame();
+        // Figure 2: up to 128 virtual pages of 32 B objects share one frame.
+        for _ in 0..128 {
+            phys.add_mapping(f0);
+        }
+        assert_eq!(phys.mapping_count(f0), 128);
+        assert_eq!(phys.stats().mapped_virtual_bytes, 128 * PAGE_SIZE);
+        for _ in 0..128 {
+            phys.remove_mapping(f0);
+        }
+        assert_eq!(phys.mapping_count(f0), 0);
+        phys.free_frame(f0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut phys = PhysMemory::new();
+        let (f0, _) = phys.alloc_frame();
+        phys.free_frame(f0);
+        phys.free_frame(f0);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing mapped frame")]
+    fn freeing_mapped_frame_panics() {
+        let mut phys = PhysMemory::new();
+        let (f0, _) = phys.alloc_frame();
+        phys.add_mapping(f0);
+        phys.free_frame(f0);
+    }
+}

@@ -1,0 +1,273 @@
+//! The per-thread PKRU register model.
+//!
+//! On x86, PKRU is a 32-bit thread-local register with two bits per key:
+//! `AD` (access disable, bit `2k`) and `WD` (write disable, bit `2k + 1`).
+//! The simulator generalizes the register to an arbitrary number of keys so
+//! the "advanced hardware" ablation (paper §8) can model up to 1024 keys,
+//! but [`Pkru::to_raw_u32`] recovers the authentic encoding for 16-key MPK.
+
+use crate::keys::{KeyLayout, ProtectionKey};
+use crate::fault::AccessKind;
+use std::fmt;
+
+/// Per-key permission, the decoded form of the two PKRU bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Permission {
+    /// `AD = 1`: neither reads nor writes are allowed.
+    NoAccess,
+    /// `AD = 0, WD = 1`: reads allowed, writes disallowed.
+    ReadOnly,
+    /// `AD = 0, WD = 0`: reads and writes allowed.
+    ReadWrite,
+}
+
+impl Permission {
+    /// Whether this permission admits the given access kind.
+    #[must_use]
+    pub fn allows(self, kind: AccessKind) -> bool {
+        match (self, kind) {
+            (Permission::NoAccess, _) => false,
+            (Permission::ReadOnly, AccessKind::Read) => true,
+            (Permission::ReadOnly, AccessKind::Write) => false,
+            (Permission::ReadWrite, _) => true,
+        }
+    }
+}
+
+/// A snapshot of a thread's protection-key rights register.
+///
+/// `Pkru` is a value type: [`crate::Machine::wrpkru`] installs a snapshot and
+/// [`crate::Machine::rdpkru`] returns one, mirroring the real instructions.
+///
+/// ```
+/// use kard_sim::{Pkru, Permission, ProtectionKey, AccessKind};
+/// use kard_sim::keys::KeyLayout;
+///
+/// let layout = KeyLayout::mpk();
+/// let mut pkru = Pkru::allow_all(&layout);
+/// pkru.set_permission(ProtectionKey(3), Permission::ReadOnly);
+/// assert!(pkru.allows(ProtectionKey(3), AccessKind::Read));
+/// assert!(!pkru.allows(ProtectionKey(3), AccessKind::Write));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Pkru {
+    /// Two bits per key, AD in the even bit and WD in the odd bit,
+    /// packed little-endian into 64-bit words.
+    words: Vec<u64>,
+    num_keys: u16,
+}
+
+impl Pkru {
+    /// A register granting read-write access to every key.
+    #[must_use]
+    pub fn allow_all(layout: &KeyLayout) -> Pkru {
+        let bits = 2 * usize::from(layout.total_keys);
+        Pkru {
+            words: vec![0; bits.div_ceil(64)],
+            num_keys: layout.total_keys,
+        }
+    }
+
+    /// A register denying all access to every key except the default key
+    /// `k0`, which stays read-write (threads must always reach program text,
+    /// stacks, and mutexes).
+    #[must_use]
+    pub fn deny_all_except_default(layout: &KeyLayout) -> Pkru {
+        let mut pkru = Pkru::allow_all(layout);
+        for raw in 1..layout.total_keys {
+            pkru.set_permission(ProtectionKey(raw), Permission::NoAccess);
+        }
+        pkru
+    }
+
+    /// Number of keys this register covers.
+    #[must_use]
+    pub fn num_keys(&self) -> u16 {
+        self.num_keys
+    }
+
+    fn bit(&self, idx: usize) -> bool {
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    fn set_bit(&mut self, idx: usize, value: bool) {
+        let word = &mut self.words[idx / 64];
+        if value {
+            *word |= 1 << (idx % 64);
+        } else {
+            *word &= !(1 << (idx % 64));
+        }
+    }
+
+    /// Decoded permission for `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range for this register.
+    #[must_use]
+    pub fn permission(&self, key: ProtectionKey) -> Permission {
+        assert!(key.0 < self.num_keys, "key {key} out of range");
+        let ad = self.bit(2 * key.index());
+        let wd = self.bit(2 * key.index() + 1);
+        match (ad, wd) {
+            (true, _) => Permission::NoAccess,
+            (false, true) => Permission::ReadOnly,
+            (false, false) => Permission::ReadWrite,
+        }
+    }
+
+    /// Encode `perm` into the two bits for `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range for this register.
+    pub fn set_permission(&mut self, key: ProtectionKey, perm: Permission) {
+        assert!(key.0 < self.num_keys, "key {key} out of range");
+        let (ad, wd) = match perm {
+            Permission::NoAccess => (true, true),
+            Permission::ReadOnly => (false, true),
+            Permission::ReadWrite => (false, false),
+        };
+        self.set_bit(2 * key.index(), ad);
+        self.set_bit(2 * key.index() + 1, wd);
+    }
+
+    /// Whether an access of `kind` to memory tagged `key` is permitted.
+    #[must_use]
+    pub fn allows(&self, key: ProtectionKey, kind: AccessKind) -> bool {
+        self.permission(key).allows(kind)
+    }
+
+    /// Keys currently held with at least read access, excluding `k0`.
+    pub fn held_keys(&self) -> impl Iterator<Item = (ProtectionKey, Permission)> + '_ {
+        (1..self.num_keys).filter_map(move |raw| {
+            let key = ProtectionKey(raw);
+            match self.permission(key) {
+                Permission::NoAccess => None,
+                perm => Some((key, perm)),
+            }
+        })
+    }
+
+    /// The authentic 32-bit PKRU encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register models more than 16 keys.
+    #[must_use]
+    pub fn to_raw_u32(&self) -> u32 {
+        assert!(
+            self.num_keys <= 16,
+            "raw PKRU encoding only exists for <= 16 keys"
+        );
+        self.words[0] as u32
+    }
+}
+
+impl fmt::Debug for Pkru {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut list = f.debug_map();
+        for raw in 0..self.num_keys {
+            let key = ProtectionKey(raw);
+            match self.permission(key) {
+                Permission::ReadWrite => {}
+                perm => {
+                    list.entry(&key, &perm);
+                }
+            }
+        }
+        list.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> KeyLayout {
+        KeyLayout::mpk()
+    }
+
+    #[test]
+    fn allow_all_permits_everything() {
+        let pkru = Pkru::allow_all(&layout());
+        for raw in 0..16 {
+            assert_eq!(pkru.permission(ProtectionKey(raw)), Permission::ReadWrite);
+        }
+        assert_eq!(pkru.to_raw_u32(), 0);
+    }
+
+    #[test]
+    fn deny_all_keeps_default_key() {
+        let pkru = Pkru::deny_all_except_default(&layout());
+        assert_eq!(pkru.permission(ProtectionKey(0)), Permission::ReadWrite);
+        for raw in 1..16 {
+            assert_eq!(pkru.permission(ProtectionKey(raw)), Permission::NoAccess);
+        }
+    }
+
+    #[test]
+    fn raw_encoding_matches_x86_layout() {
+        let mut pkru = Pkru::allow_all(&layout());
+        // AD for k1 is bit 2, WD for k1 is bit 3.
+        pkru.set_permission(ProtectionKey(1), Permission::NoAccess);
+        assert_eq!(pkru.to_raw_u32(), 0b1100);
+        pkru.set_permission(ProtectionKey(1), Permission::ReadOnly);
+        assert_eq!(pkru.to_raw_u32(), 0b1000);
+        pkru.set_permission(ProtectionKey(1), Permission::ReadWrite);
+        assert_eq!(pkru.to_raw_u32(), 0);
+    }
+
+    #[test]
+    fn permission_allows_table() {
+        assert!(Permission::ReadWrite.allows(AccessKind::Read));
+        assert!(Permission::ReadWrite.allows(AccessKind::Write));
+        assert!(Permission::ReadOnly.allows(AccessKind::Read));
+        assert!(!Permission::ReadOnly.allows(AccessKind::Write));
+        assert!(!Permission::NoAccess.allows(AccessKind::Read));
+        assert!(!Permission::NoAccess.allows(AccessKind::Write));
+    }
+
+    #[test]
+    fn held_keys_excludes_default_and_denied() {
+        let mut pkru = Pkru::deny_all_except_default(&layout());
+        pkru.set_permission(ProtectionKey(5), Permission::ReadOnly);
+        pkru.set_permission(ProtectionKey(9), Permission::ReadWrite);
+        let held: Vec<_> = pkru.held_keys().collect();
+        assert_eq!(
+            held,
+            vec![
+                (ProtectionKey(5), Permission::ReadOnly),
+                (ProtectionKey(9), Permission::ReadWrite)
+            ]
+        );
+    }
+
+    #[test]
+    fn wide_register_for_advanced_hardware() {
+        let wide = KeyLayout::with_total_keys(1024);
+        let mut pkru = Pkru::deny_all_except_default(&wide);
+        pkru.set_permission(ProtectionKey(1000), Permission::ReadWrite);
+        assert_eq!(pkru.permission(ProtectionKey(1000)), Permission::ReadWrite);
+        assert_eq!(pkru.permission(ProtectionKey(999)), Permission::NoAccess);
+        assert_eq!(pkru.num_keys(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_key_panics() {
+        let pkru = Pkru::allow_all(&layout());
+        let _ = pkru.permission(ProtectionKey(16));
+    }
+
+    #[test]
+    fn set_then_get_round_trip() {
+        let mut pkru = Pkru::allow_all(&layout());
+        for raw in 0..16 {
+            for perm in [Permission::NoAccess, Permission::ReadOnly, Permission::ReadWrite] {
+                pkru.set_permission(ProtectionKey(raw), perm);
+                assert_eq!(pkru.permission(ProtectionKey(raw)), perm);
+            }
+        }
+    }
+}

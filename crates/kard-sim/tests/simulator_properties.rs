@@ -1,0 +1,136 @@
+//! Property tests over the simulated hardware substrate.
+
+use kard_sim::keys::KeyLayout;
+use kard_sim::{
+    AccessKind, CodeSite, Machine, MachineConfig, Permission, Pkru, ProtectionKey, Tlb, TlbConfig,
+    VirtPage,
+};
+use proptest::prelude::*;
+
+fn perm_strategy() -> impl Strategy<Value = Permission> {
+    prop_oneof![
+        Just(Permission::NoAccess),
+        Just(Permission::ReadOnly),
+        Just(Permission::ReadWrite),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// PKRU set/get round-trips for arbitrary assignments, and the raw
+    /// 32-bit encoding decodes back to the same permissions.
+    #[test]
+    fn pkru_roundtrip_and_raw_encoding(perms in prop::collection::vec(perm_strategy(), 16)) {
+        let layout = KeyLayout::mpk();
+        let mut pkru = Pkru::allow_all(&layout);
+        for (raw, &perm) in perms.iter().enumerate() {
+            pkru.set_permission(ProtectionKey(raw as u16), perm);
+        }
+        for (raw, &perm) in perms.iter().enumerate() {
+            prop_assert_eq!(pkru.permission(ProtectionKey(raw as u16)), perm);
+        }
+        // Decode the raw x86 encoding independently: AD = bit 2k,
+        // WD = bit 2k+1.
+        let raw_bits = pkru.to_raw_u32();
+        for (k, &perm) in perms.iter().enumerate() {
+            let ad = raw_bits >> (2 * k) & 1 == 1;
+            let wd = raw_bits >> (2 * k + 1) & 1 == 1;
+            let decoded = match (ad, wd) {
+                (true, _) => Permission::NoAccess,
+                (false, true) => Permission::ReadOnly,
+                (false, false) => Permission::ReadWrite,
+            };
+            prop_assert_eq!(decoded, perm);
+        }
+    }
+
+    /// Access legality is exactly determined by the page's key and the
+    /// thread's PKRU permission for it, for arbitrary key/permission pairs.
+    #[test]
+    fn access_checks_match_pkru_semantics(
+        key_raw in 0u16..16,
+        perm in perm_strategy(),
+        write in any::<bool>(),
+    ) {
+        let machine = Machine::new(MachineConfig::default());
+        let t = machine.register_thread();
+        let page = machine.mmap_one_page().unwrap();
+        let key = ProtectionKey(key_raw);
+        machine.pkey_mprotect(t, page, 1, key).unwrap();
+
+        let mut pkru = Pkru::allow_all(&machine.key_layout());
+        pkru.set_permission(key, perm);
+        machine.wrpkru(t, pkru);
+
+        let kind = if write { AccessKind::Write } else { AccessKind::Read };
+        let result = machine.access(t, page.base_addr(), kind, CodeSite(0));
+        let expected_ok = perm.allows(kind);
+        prop_assert_eq!(result.is_ok(), expected_ok);
+        if let Err(fault) = result {
+            prop_assert_eq!(fault.pkey, key);
+            prop_assert_eq!(fault.access, kind);
+            prop_assert_eq!(fault.page, page);
+        }
+    }
+
+    /// The TLB never reports more entries than its capacity: after any
+    /// access sequence, re-touching the most recent `ways` pages of a set
+    /// always hits.
+    #[test]
+    fn tlb_respects_capacity_and_recency(pages in prop::collection::vec(0u64..64, 1..200)) {
+        let config = TlbConfig { entries: 16, ways: 4 };
+        let mut tlb = Tlb::new(config);
+        for &p in &pages {
+            tlb.lookup(VirtPage(p));
+        }
+        // Immediately re-touching the last accessed page must hit.
+        let last = *pages.last().unwrap();
+        prop_assert!(tlb.lookup(VirtPage(last)), "most recent page must hit");
+        let stats = tlb.stats();
+        prop_assert_eq!(stats.lookups(), pages.len() as u64 + 1);
+        prop_assert!(stats.misses >= 1, "first access always misses");
+    }
+
+    /// Cycle accounting is additive: charges accumulate exactly and the
+    /// global clock equals the sum of per-thread cycles.
+    #[test]
+    fn cycle_accounting_is_additive(charges in prop::collection::vec((0usize..3, 1u64..10_000), 1..50)) {
+        let machine = Machine::new(MachineConfig::default());
+        let threads = [
+            machine.register_thread(),
+            machine.register_thread(),
+            machine.register_thread(),
+        ];
+        let mut expected = [0u64; 3];
+        for &(t, cycles) in &charges {
+            machine.charge(threads[t], cycles);
+            expected[t] += cycles;
+        }
+        for (i, &t) in threads.iter().enumerate() {
+            prop_assert_eq!(machine.thread_cycles(t), expected[i]);
+        }
+        prop_assert_eq!(machine.now(), expected.iter().sum::<u64>());
+    }
+
+    /// Linux-style RSS counts each touched virtual page once, and frames
+    /// (physical residency) never exceed the RSS.
+    #[test]
+    fn rss_counts_touched_pages_once(touch_pattern in prop::collection::vec(0usize..8, 1..64)) {
+        let machine = Machine::new(MachineConfig::default());
+        let t = machine.register_thread();
+        let pages: Vec<VirtPage> = (0..8).map(|_| machine.mmap_one_page().unwrap()).collect();
+        let mut touched = std::collections::BTreeSet::new();
+        for &i in &touch_pattern {
+            machine
+                .access(t, pages[i].base_addr(), AccessKind::Write, CodeSite(0))
+                .unwrap();
+            touched.insert(i);
+        }
+        prop_assert_eq!(
+            machine.linux_rss_bytes(),
+            touched.len() as u64 * kard_sim::PAGE_SIZE
+        );
+        prop_assert!(machine.mem_stats().resident_bytes <= machine.linux_rss_bytes());
+    }
+}

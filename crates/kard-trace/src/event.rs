@@ -1,0 +1,136 @@
+//! Trace events: the operations a monitored program performs.
+
+use kard_core::LockId;
+use kard_sim::CodeSite;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A workload-level handle for an object, stable across the trace.
+///
+/// Tags are assigned by the workload; the replayer maps them to the
+/// allocator's real object ids/addresses at execution time.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ObjectTag(pub u64);
+
+impl fmt::Debug for ObjectTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// One operation by one thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Allocate a heap object of `size` bytes, binding it to `tag`.
+    Alloc {
+        /// Workload handle for the new object.
+        tag: ObjectTag,
+        /// Requested size in bytes.
+        size: u64,
+    },
+    /// Register a global of `size` bytes, binding it to `tag`.
+    Global {
+        /// Workload handle for the global.
+        tag: ObjectTag,
+        /// Size in bytes.
+        size: u64,
+    },
+    /// Free the heap object bound to `tag`.
+    Free {
+        /// Handle of the object to free.
+        tag: ObjectTag,
+    },
+    /// Acquire `lock` at call site `site` (critical-section entry).
+    Lock {
+        /// Lock identity.
+        lock: LockId,
+        /// Call site identifying the critical section.
+        site: CodeSite,
+    },
+    /// Release `lock` (critical-section exit).
+    Unlock {
+        /// Lock identity.
+        lock: LockId,
+    },
+    /// Read `tag` at byte `offset` from program location `ip`.
+    Read {
+        /// Object handle.
+        tag: ObjectTag,
+        /// Byte offset within the object.
+        offset: u64,
+        /// Program location of the access.
+        ip: CodeSite,
+    },
+    /// Write `tag` at byte `offset` from program location `ip`.
+    Write {
+        /// Object handle.
+        tag: ObjectTag,
+        /// Byte offset within the object.
+        offset: u64,
+        /// Program location of the access.
+        ip: CodeSite,
+    },
+    /// Pure computation costing `cycles` — the workload's baseline work.
+    /// Detectors charge it to the executing thread; it touches no shared
+    /// state and can never race.
+    Compute {
+        /// Cycles of baseline work.
+        cycles: u64,
+    },
+}
+
+impl Op {
+    /// The object this operation touches, if any.
+    #[must_use]
+    pub fn tag(&self) -> Option<ObjectTag> {
+        match *self {
+            Op::Alloc { tag, .. }
+            | Op::Global { tag, .. }
+            | Op::Free { tag }
+            | Op::Read { tag, .. }
+            | Op::Write { tag, .. } => Some(tag),
+            Op::Lock { .. } | Op::Unlock { .. } | Op::Compute { .. } => None,
+        }
+    }
+
+    /// Whether this is a data access (read or write).
+    #[must_use]
+    pub fn is_access(&self) -> bool {
+        matches!(self, Op::Read { .. } | Op::Write { .. })
+    }
+}
+
+/// One scheduled event: an operation attributed to a logical thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Logical thread index (dense, starting at 0).
+    pub thread: usize,
+    /// The operation.
+    pub op: Op,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_tag_extraction() {
+        assert_eq!(
+            Op::Alloc { tag: ObjectTag(3), size: 8 }.tag(),
+            Some(ObjectTag(3))
+        );
+        assert_eq!(Op::Lock { lock: LockId(1), site: CodeSite(2) }.tag(), None);
+        assert_eq!(
+            Op::Read { tag: ObjectTag(9), offset: 0, ip: CodeSite(0) }.tag(),
+            Some(ObjectTag(9))
+        );
+    }
+
+    #[test]
+    fn access_classification() {
+        assert!(Op::Read { tag: ObjectTag(0), offset: 0, ip: CodeSite(0) }.is_access());
+        assert!(Op::Write { tag: ObjectTag(0), offset: 0, ip: CodeSite(0) }.is_access());
+        assert!(!Op::Free { tag: ObjectTag(0) }.is_access());
+        assert!(!Op::Unlock { lock: LockId(0) }.is_access());
+    }
+}

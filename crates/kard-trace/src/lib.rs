@@ -1,0 +1,29 @@
+//! Program event traces and deterministic replay.
+//!
+//! The paper evaluates Kard by running multithreaded programs under it. The
+//! reproduction models a program run as a **trace**: a totally ordered
+//! sequence of [`Event`]s (allocations, lock/unlock, reads, writes), each
+//! attributed to a logical thread. A trace *is* a schedule — both Kard and
+//! the ILU definition are schedule-sensitive (§3.1), so making the schedule
+//! an explicit, replayable value is what gives every experiment in this
+//! repository deterministic results.
+//!
+//! * [`program::ThreadProgram`] — per-thread operation lists, built with a
+//!   small DSL;
+//! * [`schedule`] — interleaving strategies turning per-thread programs
+//!   into a trace (round-robin, seeded-random, serial, and explicit);
+//! * [`replay::Executor`] — the sink interface; `kard-rt` adapts the Kard
+//!   detector to it and `kard-baselines` adapts FastTrack and lockset, so
+//!   identical schedules drive every detector in comparisons.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod program;
+pub mod replay;
+pub mod schedule;
+
+pub use event::{Event, ObjectTag, Op};
+pub use program::ThreadProgram;
+pub use replay::{CountingExecutor, Executor};
+pub use schedule::{interleave_round_robin, interleave_seeded, sequential, PhasedProgram, Trace};

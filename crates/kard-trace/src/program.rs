@@ -1,0 +1,134 @@
+//! Per-thread operation lists with a small builder DSL.
+
+use crate::event::{ObjectTag, Op};
+use kard_core::LockId;
+use kard_sim::CodeSite;
+
+/// The operations one logical thread performs, in order.
+///
+/// ```
+/// use kard_trace::{ThreadProgram, ObjectTag};
+/// use kard_core::LockId;
+/// use kard_sim::CodeSite;
+///
+/// let mut p = ThreadProgram::new();
+/// p.alloc(ObjectTag(0), 32)
+///     .lock(LockId(1), CodeSite(0x100))
+///     .write(ObjectTag(0), 0, CodeSite(0x101))
+///     .unlock(LockId(1));
+/// assert_eq!(p.ops().len(), 4);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ThreadProgram {
+    ops: Vec<Op>,
+}
+
+impl ThreadProgram {
+    /// An empty program.
+    #[must_use]
+    pub fn new() -> ThreadProgram {
+        ThreadProgram::default()
+    }
+
+    /// The operations recorded so far.
+    #[must_use]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Consume the builder, yielding the operations.
+    #[must_use]
+    pub fn into_ops(self) -> Vec<Op> {
+        self.ops
+    }
+
+    /// Append a raw operation.
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Allocate a heap object.
+    pub fn alloc(&mut self, tag: ObjectTag, size: u64) -> &mut Self {
+        self.push(Op::Alloc { tag, size })
+    }
+
+    /// Register a global.
+    pub fn global(&mut self, tag: ObjectTag, size: u64) -> &mut Self {
+        self.push(Op::Global { tag, size })
+    }
+
+    /// Free a heap object.
+    pub fn free(&mut self, tag: ObjectTag) -> &mut Self {
+        self.push(Op::Free { tag })
+    }
+
+    /// Enter a critical section.
+    pub fn lock(&mut self, lock: LockId, site: CodeSite) -> &mut Self {
+        self.push(Op::Lock { lock, site })
+    }
+
+    /// Exit a critical section.
+    pub fn unlock(&mut self, lock: LockId) -> &mut Self {
+        self.push(Op::Unlock { lock })
+    }
+
+    /// Read an object at an offset.
+    pub fn read(&mut self, tag: ObjectTag, offset: u64, ip: CodeSite) -> &mut Self {
+        self.push(Op::Read { tag, offset, ip })
+    }
+
+    /// Write an object at an offset.
+    pub fn write(&mut self, tag: ObjectTag, offset: u64, ip: CodeSite) -> &mut Self {
+        self.push(Op::Write { tag, offset, ip })
+    }
+
+    /// Perform `cycles` of pure computation (baseline work).
+    pub fn compute(&mut self, cycles: u64) -> &mut Self {
+        self.push(Op::Compute { cycles })
+    }
+
+    /// Append a whole locked region: lock, the given accesses, unlock.
+    pub fn critical_section(
+        &mut self,
+        lock: LockId,
+        site: CodeSite,
+        body: impl FnOnce(&mut ThreadProgram),
+    ) -> &mut Self {
+        self.lock(lock, site);
+        body(self);
+        self.unlock(lock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_records_in_order() {
+        let mut p = ThreadProgram::new();
+        p.alloc(ObjectTag(1), 64)
+            .lock(LockId(2), CodeSite(0x10))
+            .read(ObjectTag(1), 8, CodeSite(0x11))
+            .write(ObjectTag(1), 8, CodeSite(0x12))
+            .unlock(LockId(2))
+            .free(ObjectTag(1));
+        let ops = p.ops();
+        assert_eq!(ops.len(), 6);
+        assert!(matches!(ops[0], Op::Alloc { .. }));
+        assert!(matches!(ops[5], Op::Free { .. }));
+    }
+
+    #[test]
+    fn critical_section_wraps_body() {
+        let mut p = ThreadProgram::new();
+        p.critical_section(LockId(1), CodeSite(0x100), |p| {
+            p.write(ObjectTag(0), 0, CodeSite(0x101));
+        });
+        let ops = p.ops();
+        assert!(matches!(ops[0], Op::Lock { .. }));
+        assert!(matches!(ops[1], Op::Write { .. }));
+        assert!(matches!(ops[2], Op::Unlock { .. }));
+    }
+}

@@ -1,0 +1,95 @@
+//! The executor interface: anything that can consume a trace.
+
+use crate::event::Op;
+use crate::schedule::Trace;
+
+/// A sink for trace events.
+///
+/// Implementations include the Kard detector adapter (`kard-rt`), the
+/// FastTrack and lockset baselines (`kard-baselines`), and cost-model-only
+/// executors used to measure baseline execution.
+pub trait Executor {
+    /// Called once before any event, with the number of logical threads.
+    fn start(&mut self, threads: usize) {
+        let _ = threads;
+    }
+
+    /// Deliver one event.
+    fn on_event(&mut self, thread: usize, op: &Op);
+
+    /// Called once after the last event.
+    fn finish(&mut self) {}
+}
+
+/// Replay `trace` into `executor`.
+pub fn replay<E: Executor>(trace: &Trace, executor: &mut E) {
+    executor.start(trace.thread_count());
+    for event in trace.events() {
+        executor.on_event(event.thread, &event.op);
+    }
+    executor.finish();
+}
+
+/// An executor that merely counts events — useful in tests and as a
+/// do-nothing baseline.
+#[derive(Clone, Debug, Default)]
+pub struct CountingExecutor {
+    /// Total events delivered.
+    pub events: u64,
+    /// Data accesses delivered.
+    pub accesses: u64,
+    /// Critical-section entries delivered.
+    pub cs_entries: u64,
+    /// Threads announced via [`Executor::start`].
+    pub threads: usize,
+    /// Whether [`Executor::finish`] ran.
+    pub finished: bool,
+}
+
+impl Executor for CountingExecutor {
+    fn start(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    fn on_event(&mut self, _thread: usize, op: &Op) {
+        self.events += 1;
+        if op.is_access() {
+            self.accesses += 1;
+        }
+        if matches!(op, Op::Lock { .. }) {
+            self.cs_entries += 1;
+        }
+    }
+
+    fn finish(&mut self) {
+        self.finished = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ObjectTag;
+    use crate::program::ThreadProgram;
+    use crate::schedule::sequential;
+    use kard_core::LockId;
+    use kard_sim::CodeSite;
+
+    #[test]
+    fn counting_executor_sees_every_event() {
+        let mut p = ThreadProgram::new();
+        p.alloc(ObjectTag(0), 32);
+        p.critical_section(LockId(1), CodeSite(1), |p| {
+            p.write(ObjectTag(0), 0, CodeSite(2));
+            p.read(ObjectTag(0), 0, CodeSite(3));
+        });
+        let trace = sequential(&[p]);
+        let mut counter = CountingExecutor::default();
+        replay(&trace, &mut counter);
+        assert_eq!(counter.events, 5);
+        assert_eq!(counter.accesses, 2);
+        assert_eq!(counter.cs_entries, 1);
+        assert_eq!(counter.threads, 1);
+        assert!(counter.finished);
+    }
+}

@@ -1,0 +1,353 @@
+//! Interleaving strategies: turn per-thread programs into a total order.
+
+use crate::event::{Event, Op};
+use crate::program::ThreadProgram;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A totally ordered, replayable schedule of events.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct Trace {
+    events: Vec<Event>,
+    threads: usize,
+}
+
+impl Trace {
+    /// Build a trace directly from scheduled events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event references a thread index ≥ `threads`.
+    #[must_use]
+    pub fn from_events(threads: usize, events: Vec<Event>) -> Trace {
+        assert!(
+            events.iter().all(|e| e.thread < threads),
+            "event thread index out of range"
+        );
+        Trace { events, threads }
+    }
+
+    /// The scheduled events in order.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of logical threads.
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of data accesses (reads + writes) in the trace.
+    #[must_use]
+    pub fn access_count(&self) -> u64 {
+        self.events.iter().filter(|e| e.op.is_access()).count() as u64
+    }
+
+    /// Total cycles of `Compute` padding in the trace.
+    #[must_use]
+    pub fn compute_cycles(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e.op {
+                Op::Compute { cycles } => cycles,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of critical-section entries in the trace.
+    #[must_use]
+    pub fn cs_entry_count(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.op, Op::Lock { .. }))
+            .count() as u64
+    }
+
+    /// Serialize the schedule to JSON — the on-disk format for sharing a
+    /// reproducing schedule alongside a bug report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors (none occur for well-formed traces).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Load a schedule previously saved with [`Trace::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the JSON is malformed or an event references
+    /// a thread index out of range.
+    pub fn from_json(json: &str) -> Result<Trace, serde_json::Error> {
+        use serde::de::Error;
+        let trace: Trace = serde_json::from_str(json)?;
+        if trace.events.iter().any(|e| e.thread >= trace.threads) {
+            return Err(serde_json::Error::custom(
+                "event thread index out of range",
+            ));
+        }
+        Ok(trace)
+    }
+
+    /// Concatenate another trace's events after this one (same thread
+    /// universe).
+    #[must_use]
+    pub fn then(mut self, other: Trace) -> Trace {
+        self.threads = self.threads.max(other.threads);
+        self.events.extend(other.events);
+        self
+    }
+}
+
+/// A program with an initialization phase: `init` runs to completion on
+/// thread 0 (program startup: registering globals, allocating shared
+/// state) before the per-thread `threads` programs run concurrently —
+/// modelling the spawn ordering every real program has.
+#[derive(Clone, Debug, Default)]
+pub struct PhasedProgram {
+    /// Startup operations, executed first, attributed to thread 0.
+    pub init: ThreadProgram,
+    /// Steady-state per-thread programs (index = logical thread).
+    pub threads: Vec<ThreadProgram>,
+}
+
+impl PhasedProgram {
+    /// Schedule with a round-robin steady state.
+    #[must_use]
+    pub fn trace_round_robin(&self) -> Trace {
+        self.trace_with(interleave_round_robin(&self.threads))
+    }
+
+    /// Schedule with a seeded-random steady state.
+    #[must_use]
+    pub fn trace_seeded(&self, seed: u64) -> Trace {
+        self.trace_with(interleave_seeded(&self.threads, seed))
+    }
+
+    fn trace_with(&self, steady: Trace) -> Trace {
+        let threads = self.threads.len().max(1);
+        let mut events: Vec<Event> = self
+            .init
+            .ops()
+            .iter()
+            .map(|&op| Event { thread: 0, op })
+            .collect();
+        events.extend_from_slice(steady.events());
+        Trace::from_events(threads, events)
+    }
+}
+
+/// Run the programs one after another (no concurrency at all): the
+/// teaching/baseline schedule.
+#[must_use]
+pub fn sequential(programs: &[ThreadProgram]) -> Trace {
+    let mut events = Vec::new();
+    for (thread, program) in programs.iter().enumerate() {
+        events.extend(program.ops().iter().map(|&op| Event { thread, op }));
+    }
+    Trace::from_events(programs.len(), events)
+}
+
+/// Interleave programs one operation at a time, round-robin. Lock-protected
+/// regions are *not* kept atomic: the round-robin schedule deliberately
+/// overlaps critical sections of different locks, the schedule shape ILU
+/// needs. Regions under the *same* lock are kept mutually exclusive (a
+/// thread whose next op is `Lock` on a lock that another scheduled thread
+/// currently holds is skipped until the lock frees), preserving lock
+/// semantics.
+#[must_use]
+pub fn interleave_round_robin(programs: &[ThreadProgram]) -> Trace {
+    interleave_with(programs, |_len, step| step)
+}
+
+/// Interleave programs by repeatedly picking a random runnable thread,
+/// seeded for reproducibility.
+#[must_use]
+pub fn interleave_seeded(programs: &[ThreadProgram], seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    interleave_with(programs, move |len, _| rng.gen_range(0..len))
+}
+
+/// Core interleaver: `pick(runnable_count)` chooses among runnable threads.
+fn interleave_with(
+    programs: &[ThreadProgram],
+    mut pick: impl FnMut(usize, usize) -> usize,
+) -> Trace {
+    let mut cursors = vec![0usize; programs.len()];
+    let mut held_locks: Vec<(kard_core::LockId, usize)> = Vec::new();
+    let mut events = Vec::new();
+    let mut step = 0usize;
+
+    loop {
+        // A thread is runnable if it has ops left and its next op is not a
+        // Lock on a lock held by a *different* thread.
+        let runnable: Vec<usize> = (0..programs.len())
+            .filter(|&t| {
+                let ops = programs[t].ops();
+                match ops.get(cursors[t]) {
+                    None => false,
+                    Some(Op::Lock { lock, .. }) => held_locks
+                        .iter()
+                        .all(|&(held, owner)| held != *lock || owner == t),
+                    Some(_) => true,
+                }
+            })
+            .collect();
+        if runnable.is_empty() {
+            let exhausted = cursors
+                .iter()
+                .zip(programs)
+                .all(|(&c, p)| c == p.ops().len());
+            assert!(exhausted, "schedule deadlocked: all runnable threads blocked");
+            break;
+        }
+        let t = runnable[pick(runnable.len(), step) % runnable.len()];
+        step += 1;
+        let op = programs[t].ops()[cursors[t]];
+        cursors[t] += 1;
+        match op {
+            Op::Lock { lock, .. } => held_locks.push((lock, t)),
+            Op::Unlock { lock } => {
+                let pos = held_locks
+                    .iter()
+                    .rposition(|&(held, owner)| held == lock && owner == t)
+                    .expect("unlock of lock not held in schedule");
+                held_locks.remove(pos);
+            }
+            _ => {}
+        }
+        events.push(Event { thread: t, op });
+    }
+    Trace::from_events(programs.len(), events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ObjectTag;
+    use kard_core::LockId;
+    use kard_sim::CodeSite;
+
+    fn two_writers(lock_a: u64, lock_b: u64) -> Vec<ThreadProgram> {
+        let mut p0 = ThreadProgram::new();
+        p0.alloc(ObjectTag(0), 32);
+        p0.critical_section(LockId(lock_a), CodeSite(0xa), |p| {
+            p.write(ObjectTag(0), 0, CodeSite(0xa1));
+        });
+        let mut p1 = ThreadProgram::new();
+        p1.critical_section(LockId(lock_b), CodeSite(0xb), |p| {
+            p.write(ObjectTag(0), 0, CodeSite(0xb1));
+        });
+        vec![p0, p1]
+    }
+
+    #[test]
+    fn sequential_preserves_program_order() {
+        let trace = sequential(&two_writers(1, 2));
+        let threads: Vec<_> = trace.events().iter().map(|e| e.thread).collect();
+        assert_eq!(threads, vec![0, 0, 0, 0, 1, 1, 1]);
+        assert_eq!(trace.access_count(), 2);
+        assert_eq!(trace.cs_entry_count(), 2);
+    }
+
+    #[test]
+    fn round_robin_overlaps_different_locks() {
+        let trace = interleave_round_robin(&two_writers(1, 2));
+        // Find positions: t0's lock, t1's lock, t0's unlock. The schedule
+        // must overlap the two critical sections.
+        let pos = |pred: &dyn Fn(&Event) -> bool| {
+            trace.events().iter().position(pred).unwrap()
+        };
+        let t0_lock = pos(&|e| e.thread == 0 && matches!(e.op, Op::Lock { .. }));
+        let t1_lock = pos(&|e| e.thread == 1 && matches!(e.op, Op::Lock { .. }));
+        let t0_unlock = pos(&|e| e.thread == 0 && matches!(e.op, Op::Unlock { .. }));
+        let t1_unlock = pos(&|e| e.thread == 1 && matches!(e.op, Op::Unlock { .. }));
+        assert!(
+            t0_lock < t1_unlock && t1_lock < t0_unlock,
+            "critical sections must overlap in the schedule"
+        );
+    }
+
+    #[test]
+    fn same_lock_sections_never_overlap() {
+        let trace = interleave_round_robin(&two_writers(7, 7));
+        let mut holder: Option<usize> = None;
+        for e in trace.events() {
+            match e.op {
+                Op::Lock { .. } => {
+                    assert_eq!(holder, None, "lock acquired while held");
+                    holder = Some(e.thread);
+                }
+                Op::Unlock { .. } => {
+                    assert_eq!(holder, Some(e.thread));
+                    holder = None;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_interleavings_are_deterministic() {
+        let a = interleave_seeded(&two_writers(1, 2), 42);
+        let b = interleave_seeded(&two_writers(1, 2), 42);
+        assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    fn seeded_interleavings_vary_with_seed() {
+        // At least one of a handful of seeds must differ from round-robin.
+        let rr = interleave_round_robin(&two_writers(1, 2));
+        let differs = (0..10u64)
+            .any(|s| interleave_seeded(&two_writers(1, 2), s).events() != rr.events());
+        assert!(differs);
+    }
+
+    #[test]
+    fn all_events_scheduled_exactly_once() {
+        let programs = two_writers(1, 2);
+        let total: usize = programs.iter().map(|p| p.ops().len()).sum();
+        for seed in 0..5 {
+            let trace = interleave_seeded(&programs, seed);
+            assert_eq!(trace.events().len(), total);
+        }
+    }
+
+    #[test]
+    fn then_concatenates() {
+        let programs = two_writers(1, 2);
+        let t = sequential(&programs).then(sequential(&programs));
+        assert_eq!(t.access_count(), 4);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_schedule() {
+        let trace = interleave_seeded(&two_writers(1, 2), 7);
+        let json = trace.to_json().unwrap();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(back.events(), trace.events());
+        assert_eq!(back.thread_count(), trace.thread_count());
+    }
+
+    #[test]
+    fn json_rejects_out_of_range_threads() {
+        let bad = r#"{"events":[{"thread":5,"op":{"Compute":{"cycles":1}}}],"threads":1}"#;
+        assert!(Trace::from_json(bad).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_thread_rejected() {
+        let _ = Trace::from_events(
+            1,
+            vec![Event {
+                thread: 1,
+                op: Op::Free { tag: ObjectTag(0) },
+            }],
+        );
+    }
+}

@@ -1,0 +1,377 @@
+//! Models of the four real-world applications, embedding the documented
+//! races of Table 6.
+//!
+//! Each model reproduces the *sharing and locking structure* that made the
+//! paper's detections happen:
+//!
+//! * **Aget** — workers update the global `bwritten` download counter
+//!   inside critical sections; the main thread reads it with no lock for
+//!   its progress display. 1 ILU race (previously reported upstream).
+//! * **memcached** — worker threads update two statistics heap objects
+//!   inside critical sections while the main thread reads them unlocked;
+//!   and the main thread updates the global `current_time` from its clock
+//!   callback (no lock) while workers read it inside critical sections.
+//!   3 ILU races. Workers run *nested* sections (item → slab → stats),
+//!   which is how memcached reaches 13–16 concurrently executing critical
+//!   sections with only a handful of threads (Table 5).
+//! * **NGINX** — a racy heap access during initialization: the master
+//!   initializes a config object under its init lock while a worker
+//!   touches it under a different lock. 1 ILU race.
+//! * **pigz** — threads write *different offsets* of a shared header
+//!   buffer in very small critical sections under different locks. Not a
+//!   real race, but the sections are too short for protection interleaving
+//!   to prove the offsets disjoint, so Kard reports it: the paper's single
+//!   false positive. TSan (byte-accurate) stays silent.
+
+use kard_core::LockId;
+use kard_sim::CodeSite;
+use kard_trace::{ObjectTag, PhasedProgram, ThreadProgram};
+
+/// Expected detection outcome for one application (Table 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExpectedRaces {
+    /// Reports Kard must produce (true races + false positives).
+    pub kard: usize,
+    /// Of Kard's reports, how many are false positives.
+    pub kard_false_positives: usize,
+    /// TSan-reported ILU races.
+    pub tsan_ilu: usize,
+    /// TSan-reported non-ILU races.
+    pub tsan_non_ilu: usize,
+}
+
+/// One application model.
+#[derive(Clone, Debug)]
+pub struct AppModel {
+    /// Application name as in Table 6.
+    pub name: &'static str,
+    /// Phased program: allocations in init, thread 0 is the main thread.
+    pub program: PhasedProgram,
+    /// Expected Table 6 outcome.
+    pub expected: ExpectedRaces,
+}
+
+const fn site(n: u64) -> CodeSite {
+    CodeSite(n)
+}
+
+/// Aget with `workers` download threads plus the main progress thread.
+#[must_use]
+pub fn aget(workers: usize, iterations: u64) -> AppModel {
+    const BWRITTEN: ObjectTag = ObjectTag(0);
+    let mut init = ThreadProgram::new();
+    init.global(BWRITTEN, 8);
+    let mut main = ThreadProgram::new();
+    for _ in 0..iterations {
+        // Progress display: unlocked read of the shared byte counter.
+        main.read(BWRITTEN, 0, site(0xa9e7_0001));
+        main.compute(500);
+    }
+
+    let mut programs = vec![main];
+    for w in 0..workers {
+        let mut p = ThreadProgram::new();
+        for _ in 0..iterations {
+            p.compute(2_000); // Download a chunk.
+            p.critical_section(LockId(1), site(0xa9e7_1000), |p| {
+                p.write(BWRITTEN, 0, site(0xa9e7_1001 + w as u64));
+            });
+        }
+        programs.push(p);
+    }
+    AppModel {
+        name: "aget",
+        program: PhasedProgram { init, threads: programs },
+        expected: ExpectedRaces {
+            kard: 1,
+            kard_false_positives: 0,
+            tsan_ilu: 1,
+            tsan_non_ilu: 0,
+        },
+    }
+}
+
+/// memcached with `workers` worker threads handling `requests` each.
+#[must_use]
+pub fn memcached(workers: usize, requests: u64) -> AppModel {
+    const STATS1: ObjectTag = ObjectTag(0);
+    const STATS2: ObjectTag = ObjectTag(1);
+    const TIME: ObjectTag = ObjectTag(2);
+    const ITEM_BASE: ObjectTag = ObjectTag(100);
+    const SLAB_BASE: ObjectTag = ObjectTag(200);
+    const N_ITEMS: u64 = 40;
+    const N_SLABS: u64 = 8;
+
+    // Section sites: memcached has 121 distinct critical sections; model
+    // the ones that matter (40 item sites, 8 slab sites, 1 stats site) and
+    // pad with auxiliary maintenance sites to reach 121 in the harness.
+    let mut init = ThreadProgram::new();
+    init.alloc(STATS1, 64);
+    init.alloc(STATS2, 64);
+    init.global(TIME, 8);
+    for i in 0..N_ITEMS {
+        init.alloc(ObjectTag(ITEM_BASE.0 + i), 64);
+    }
+    for i in 0..N_SLABS {
+        init.alloc(ObjectTag(SLAB_BASE.0 + i), 64);
+    }
+    let mut main = ThreadProgram::new();
+    for r in 0..requests {
+        // Clock callback: unlocked write of the time global...
+        main.write(TIME, 0, site(0x3e3c_0001));
+        // ...and the stats snapshot read, also unlocked.
+        main.read(STATS1, 0, site(0x3e3c_0002));
+        main.read(STATS2, 0, site(0x3e3c_0003));
+        main.compute(800 + (r % 7) * 10);
+    }
+
+    let mut programs = vec![main];
+    for w in 0..workers {
+        let mut p = ThreadProgram::new();
+        for r in 0..requests {
+            let item = (r * workers as u64 + w as u64) % N_ITEMS;
+            let slab = item % N_SLABS;
+            // Request parsing happens outside any lock: several schedule
+            // points per request keep key holds sparse enough that
+            // recycling (not just sharing) occurs even at 32 threads.
+            p.compute(200);
+            p.compute(200);
+            p.compute(200);
+            // Nested sections: item lock -> slab lock -> stats lock.
+            p.lock(LockId(10 + item), site(0x3e3c_1000 + item));
+            p.write(ObjectTag(ITEM_BASE.0 + item), 0, site(0x3e3c_2000 + item));
+            // Workers read the clock inside their critical section.
+            p.read(TIME, 0, site(0x3e3c_2100));
+            p.lock(LockId(60 + slab), site(0x3e3c_3000 + slab));
+            p.write(ObjectTag(SLAB_BASE.0 + slab), 0, site(0x3e3c_4000 + slab));
+            p.lock(LockId(99), site(0x3e3c_5000));
+            p.write(STATS1, 0, site(0x3e3c_5001));
+            p.write(STATS2, 0, site(0x3e3c_5002));
+            p.unlock(LockId(99));
+            p.unlock(LockId(60 + slab));
+            p.unlock(LockId(10 + item));
+            p.compute(600);
+        }
+        programs.push(p);
+    }
+    AppModel {
+        name: "memcached",
+        program: PhasedProgram { init, threads: programs },
+        expected: ExpectedRaces {
+            kard: 3,
+            kard_false_positives: 0,
+            tsan_ilu: 3,
+            tsan_non_ilu: 0,
+        },
+    }
+}
+
+/// NGINX with `workers` worker threads serving `requests` each.
+#[must_use]
+pub fn nginx(workers: usize, requests: u64) -> AppModel {
+    const CONFIG: ObjectTag = ObjectTag(0);
+    const ACCEPT_STATE: ObjectTag = ObjectTag(1);
+    let churn_base = 1_000u64;
+
+    let mut init = ThreadProgram::new();
+    init.alloc(CONFIG, 256);
+    init.alloc(ACCEPT_STATE, 64);
+    let mut main = ThreadProgram::new();
+    // Initialization race: master updates shared config under the init
+    // lock while workers start up and touch it under the cycle lock.
+    main.critical_section(LockId(1), site(0x6e61_0001), |p| {
+        p.write(CONFIG, 0, site(0x6e61_0002));
+        p.write(CONFIG, 0, site(0x6e61_0003));
+        p.compute(2_000);
+        p.write(CONFIG, 0, site(0x6e61_0002));
+    });
+    main.compute(5_000);
+
+    let mut programs = vec![main];
+    for w in 0..workers {
+        let mut p = ThreadProgram::new();
+        // Worker startup reads the config under a *different* lock while
+        // the master may still be initializing.
+        p.critical_section(LockId(2), site(0x6e61_1000), |p| {
+            p.read(CONFIG, 0, site(0x6e61_1001));
+            p.read(CONFIG, 0, site(0x6e61_1002));
+        });
+        for r in 0..requests {
+            // Accept mutex: consistent locking, no race.
+            p.critical_section(LockId(3), site(0x6e61_2000), |p| {
+                p.write(ACCEPT_STATE, 0, site(0x6e61_2001));
+            });
+            // Connection buffer churn.
+            let tag = ObjectTag(churn_base + (w as u64) * 1_000_000 + r);
+            p.alloc(tag, 32);
+            p.write(tag, 0, site(0x6e61_3000));
+            p.free(tag);
+            p.compute(1_200);
+        }
+        programs.push(p);
+    }
+    AppModel {
+        name: "nginx",
+        program: PhasedProgram { init, threads: programs },
+        expected: ExpectedRaces {
+            kard: 1,
+            kard_false_positives: 0,
+            tsan_ilu: 1,
+            tsan_non_ilu: 0,
+        },
+    }
+}
+
+/// pigz with `workers` compression threads handling `blocks` each.
+#[must_use]
+pub fn pigz(workers: usize, blocks: u64) -> AppModel {
+    const HEADER: ObjectTag = ObjectTag(0);
+    const JOB_QUEUE: ObjectTag = ObjectTag(1);
+
+    let mut init = ThreadProgram::new();
+    init.alloc(HEADER, 1_024);
+    init.alloc(JOB_QUEUE, 128);
+    let mut main = ThreadProgram::new();
+    // The main thread seeds the job queue under the queue lock.
+    for b in 0..blocks {
+        main.critical_section(LockId(1), site(0x7069_0001), |p| {
+            p.write(JOB_QUEUE, 0, site(0x7069_0002));
+        });
+        main.compute(300 + (b % 3) * 10);
+    }
+
+    let mut programs = vec![main];
+    for w in 0..workers {
+        let mut p = ThreadProgram::new();
+        for b in 0..blocks {
+            // Take a job: consistent queue lock.
+            p.critical_section(LockId(1), site(0x7069_1000), |p| {
+                p.write(JOB_QUEUE, 0, site(0x7069_1001));
+            });
+            p.compute(2_500); // Compress the block.
+            // Update this worker's slice of the shared header under the
+            // worker's own lock — disjoint offsets, tiny section: the
+            // false-positive shape (§7.3).
+            let offset = 64 * (w as u64 + 1);
+            p.critical_section(LockId(10 + w as u64), site(0x7069_2000 + w as u64), |p| {
+                p.write(HEADER, offset, site(0x7069_2001 + w as u64));
+            });
+            let _ = b;
+        }
+        programs.push(p);
+    }
+    AppModel {
+        name: "pigz",
+        program: PhasedProgram { init, threads: programs },
+        expected: ExpectedRaces {
+            kard: 1,
+            kard_false_positives: 1,
+            tsan_ilu: 0,
+            tsan_non_ilu: 0,
+        },
+    }
+}
+
+/// All four application models at test-friendly sizes.
+#[must_use]
+pub fn all_apps(workers: usize, iterations: u64) -> Vec<AppModel> {
+    vec![
+        aget(workers, iterations),
+        memcached(workers, iterations),
+        nginx(workers, iterations),
+        pigz(workers, iterations),
+    ]
+}
+
+/// Count distinct raced objects in a baseline detector's report list
+/// (Table 6 counts static races, not dynamic repetitions).
+#[must_use]
+pub fn distinct_raced_objects(races: &[kard_baselines::BaselineRace]) -> usize {
+    let mut tags: Vec<_> = races.iter().map(|r| r.tag).collect();
+    tags.sort();
+    tags.dedup();
+    tags.len()
+}
+
+/// Count distinct raced objects among Kard's reports (Table 6 counts one
+/// warning per racy variable; several section pairs may implicate the same
+/// object).
+#[must_use]
+pub fn distinct_kard_objects(reports: &[kard_core::RaceRecord]) -> usize {
+    let mut objs: Vec<_> = reports.iter().map(|r| r.object).collect();
+    objs.sort();
+    objs.dedup();
+    objs.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kard_baselines::FastTrack;
+    use kard_rt::{KardExecutor, Session};
+    use kard_trace::replay::replay;
+
+    fn run_kard(model: &AppModel) -> (usize, Vec<kard_core::RaceRecord>) {
+        let session = Session::new();
+        let mut exec = KardExecutor::new(session.kard().clone());
+        replay(&model.program.trace_round_robin(), &mut exec);
+        let reports = exec.reports();
+        (distinct_kard_objects(&reports), reports)
+    }
+
+    fn run_fasttrack(model: &AppModel) -> usize {
+        let mut ft = FastTrack::new();
+        replay(&model.program.trace_round_robin(), &mut ft);
+        distinct_raced_objects(ft.races())
+    }
+
+    #[test]
+    fn aget_race_detected_by_both() {
+        let model = aget(3, 50);
+        let (kard, reports) = run_kard(&model);
+        assert_eq!(kard, model.expected.kard, "reports: {reports:#?}");
+        assert_eq!(run_fasttrack(&model), model.expected.tsan_ilu);
+        // The faulting side is the unlocked main-thread read.
+        assert_eq!(reports[0].faulting.section, None);
+    }
+
+    #[test]
+    fn memcached_three_races_detected() {
+        let model = memcached(3, 40);
+        let (kard, reports) = run_kard(&model);
+        assert_eq!(kard, model.expected.kard, "reports: {reports:#?}");
+        assert_eq!(run_fasttrack(&model), model.expected.tsan_ilu);
+    }
+
+    #[test]
+    fn nginx_init_race_detected() {
+        let model = nginx(3, 30);
+        let (kard, reports) = run_kard(&model);
+        assert_eq!(kard, model.expected.kard, "reports: {reports:#?}");
+        assert_eq!(run_fasttrack(&model), model.expected.tsan_ilu);
+    }
+
+    #[test]
+    fn pigz_false_positive_reported_by_kard_only() {
+        let model = pigz(3, 30);
+        let (kard, reports) = run_kard(&model);
+        assert_eq!(kard, model.expected.kard, "reports: {reports:#?}");
+        // TSan is byte-accurate: silent on the disjoint offsets.
+        assert_eq!(run_fasttrack(&model), 0);
+    }
+
+    #[test]
+    fn memcached_nesting_raises_concurrent_sections() {
+        let model = memcached(4, 40);
+        let session = Session::new();
+        let mut exec = KardExecutor::new(session.kard().clone());
+        replay(&model.program.trace_round_robin(), &mut exec);
+        let stats = exec.stats();
+        assert!(
+            stats.max_concurrent_sections > 4,
+            "nested sections must exceed the thread count, got {}",
+            stats.max_concurrent_sections
+        );
+        assert!(stats.key_recycles > 0, "40+ RW objects over 13 keys");
+    }
+}

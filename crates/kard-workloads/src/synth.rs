@@ -1,0 +1,360 @@
+//! The synthetic workload generator: expand a [`WorkloadSpec`] into
+//! per-thread programs whose execution statistics match the spec.
+//!
+//! Structure of a generated workload (mirroring how the modelled programs
+//! actually behave):
+//!
+//! 1. **Init** (thread 0): register globals, allocate the persistent heap
+//!    population, write each object once (first touch).
+//! 2. **Steady state** (all threads): a loop of critical-section entries.
+//!    Each section site has its own lock and a designated working set of
+//!    shared objects — locking is *consistent*, so benchmark workloads
+//!    produce zero race reports, exactly as in the paper. Around each
+//!    entry the thread performs private accesses, optional
+//!    allocate-touch-free churn, and [`kard_trace::Op::Compute`] padding that brings
+//!    the baseline cost up to the spec's measured baseline time.
+//!
+//! Everything is scaled by `scale` so tests run in milliseconds while the
+//! benchmark harness can run large fractions of the real event counts.
+
+use crate::spec::WorkloadSpec;
+use kard_core::LockId;
+use kard_sim::{CodeSite, CostModel};
+use kard_trace::{ObjectTag, PhasedProgram, ThreadProgram};
+
+/// Generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthConfig {
+    /// Number of program threads (the paper uses 4 by default, up to 32
+    /// for the scalability study).
+    pub threads: usize,
+    /// Scale factor applied to object counts and CS entries (1.0 = the
+    /// paper's full counts).
+    pub scale: f64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            threads: 4,
+            scale: 1.0,
+        }
+    }
+}
+
+fn scaled(x: u64, scale: f64) -> u64 {
+    if x == 0 {
+        0
+    } else {
+        ((x as f64 * scale).round() as u64).max(1)
+    }
+}
+
+/// The scaled shape of a workload (exposed so harnesses can report what
+/// was actually executed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SynthShape {
+    /// Persistent heap objects allocated at init.
+    pub heap_objects: u64,
+    /// Globals registered at init.
+    pub global_objects: u64,
+    /// Read-only shared objects.
+    pub shared_ro: u64,
+    /// Read-write shared objects.
+    pub shared_rw: u64,
+    /// Total critical-section entries across threads.
+    pub cs_entries: u64,
+    /// Compute padding per entry, in cycles.
+    pub compute_per_entry: u64,
+    /// Total baseline cycle budget the padding targets.
+    pub baseline_budget: u64,
+}
+
+/// Compute the scaled shape for a spec.
+#[must_use]
+pub fn shape(spec: &WorkloadSpec, cfg: &SynthConfig) -> SynthShape {
+    let scale = cfg.scale;
+    let entries = scaled(spec.cs_entries, scale);
+    let churn_allocs = spec.churn_per_entry * spec.cs_entries;
+    let persistent = spec.heap_objects.saturating_sub(churn_allocs).max(1);
+    let heap_objects = scaled(persistent, scale);
+    let global_objects = scaled(spec.global_objects, scale);
+    let population = heap_objects + global_objects;
+    let shared_rw = scaled(spec.shared_rw, scale).min(population);
+    let shared_ro = scaled(spec.shared_ro, scale).min(population - shared_rw.min(population));
+
+    // Budget the Compute padding so the baseline run costs what the paper
+    // measured (scaled). The estimate charges the baseline cost model's
+    // per-event prices; the runner measures the real figure.
+    let cost = CostModel::paper();
+    let budget = (spec.baseline_cycles() as f64 * scale) as u64;
+    let accesses_per_entry = spec.ro_touches_per_entry
+        + spec.rw_touches_per_entry
+        + spec.private_touches_per_entry
+        + 2 * spec.churn_per_entry;
+    let est_fixed = (heap_objects + global_objects) * (cost.malloc_baseline + cost.mem_access)
+        + entries
+            * (2 * cost.lock_op
+                + accesses_per_entry * cost.mem_access
+                + spec.churn_per_entry * cost.malloc_baseline);
+    let compute_per_entry = budget.saturating_sub(est_fixed).checked_div(entries).unwrap_or(0);
+
+    SynthShape {
+        heap_objects,
+        global_objects,
+        shared_ro,
+        shared_rw,
+        cs_entries: entries,
+        compute_per_entry,
+        baseline_budget: budget,
+    }
+}
+
+/// Deterministic mixing function used instead of a stateful RNG so that
+/// each thread's program is independent of generation order.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ b;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x
+}
+
+/// Expand `spec` into a phased program: an init prefix that registers
+/// globals, allocates the persistent heap, and first-touches everything,
+/// followed by per-thread steady-state programs.
+///
+/// Objects use tags `0..globals` (globals), `globals..globals+heap`
+/// (persistent heap). Shared read-write objects are the first tags of the
+/// population, shared read-only the next, the rest private. Churn objects
+/// use tags above the persistent population, unique per entry.
+///
+/// # Panics
+///
+/// Panics if `cfg.threads` is zero.
+#[must_use]
+pub fn build_programs(spec: &WorkloadSpec, cfg: &SynthConfig) -> PhasedProgram {
+    assert!(cfg.threads > 0, "at least one thread required");
+    let sh = shape(spec, cfg);
+    let population = sh.heap_objects + sh.global_objects;
+    let mut programs = vec![ThreadProgram::new(); cfg.threads];
+
+    // Init phase: program startup owns allocation and first touch.
+    let mut init = ThreadProgram::new();
+    for g in 0..sh.global_objects {
+        init.global(ObjectTag(g), spec.avg_object_size.max(8));
+    }
+    for h in 0..sh.heap_objects {
+        init.alloc(ObjectTag(sh.global_objects + h), spec.avg_object_size.max(1));
+    }
+    // First touch the resident fraction of the population. Objects the
+    // critical sections use are touched by those accesses later, so their
+    // pages become resident regardless; the fraction models how much of
+    // the *remaining* allocation volume a real run keeps resident
+    // (NGINX/memcached allocate far more than they touch, §7.5).
+    let resident = ((population as f64) * spec.resident_fraction).round() as u64;
+    for tag in 0..resident.min(population) {
+        init.write(ObjectTag(tag), 0, CodeSite(0x100));
+    }
+
+    // Locking discipline: read-write shared objects are partitioned into
+    // lock groups, and every section touching group `g` acquires lock
+    // `g + 1` (the same mutex locked at different call sites — ordinary,
+    // and crucially *consistent*, so benchmark workloads report no races,
+    // matching the paper). Read-only shared objects may be read from any
+    // section: concurrent shared reads are race-free by definition.
+    let sections = spec.total_sections.max(1);
+    let n_locks = if sh.shared_rw > 0 {
+        sections.min(sh.shared_rw)
+    } else {
+        sections
+    };
+    let lock_of = |section: u64| LockId(1 + section % n_locks);
+    let rw_of = |section: u64, i: u64| -> Option<ObjectTag> {
+        if sh.shared_rw == 0 {
+            return None;
+        }
+        let group = section % n_locks;
+        // Objects o with o % n_locks == group, i.e. group, group+n_locks, ...
+        let group_size = (sh.shared_rw - group).div_ceil(n_locks);
+        if group_size == 0 {
+            return None;
+        }
+        Some(ObjectTag(group + (i % group_size) * n_locks))
+    };
+    let ro_of = |section: u64, i: u64| -> Option<ObjectTag> {
+        if sh.shared_ro == 0 {
+            return None;
+        }
+        Some(ObjectTag(sh.shared_rw + (section + i * sections) % sh.shared_ro))
+    };
+
+    // Steady state: split entries across threads.
+    let per_thread = sh.cs_entries / cfg.threads as u64;
+    let remainder = sh.cs_entries % cfg.threads as u64;
+    let mut churn_tag = population;
+    for (k, p) in programs.iter_mut().enumerate() {
+        let my_entries = per_thread + u64::from((k as u64) < remainder);
+        for j in 0..my_entries {
+            let section = (j + k as u64) % sections;
+            let site = CodeSite(0x1000 + section);
+            let lock = lock_of(section);
+
+            // Private, non-critical traffic over the *resident* part of
+            // the private population (a real program's steady state walks
+            // its live data, not its untouched allocations).
+            for i in 0..spec.private_touches_per_entry {
+                let start = sh.shared_rw + sh.shared_ro;
+                let end = population.min(resident.max(start + 1));
+                let span = end.saturating_sub(start);
+                if span > 0 {
+                    let tag = start + mix(k as u64 * 1_000_003 + j, i) % span;
+                    p.read(ObjectTag(tag), 0, CodeSite(0x2000 + i));
+                }
+            }
+
+            // Connection/request churn (NGINX-style): allocate, touch, free.
+            for _ in 0..spec.churn_per_entry {
+                let tag = ObjectTag(churn_tag);
+                churn_tag += 1;
+                p.alloc(tag, spec.avg_object_size.max(1));
+                p.write(tag, 0, CodeSite(0x3000));
+                p.free(tag);
+            }
+
+            // The critical section itself.
+            p.lock(lock, site);
+            for i in 0..spec.rw_touches_per_entry {
+                if let Some(tag) = rw_of(section, i) {
+                    p.write(tag, 0, CodeSite(0x4000 + section));
+                }
+            }
+            for i in 0..spec.ro_touches_per_entry {
+                if let Some(tag) = ro_of(section, mix(j, i) % sh.shared_ro.max(1)) {
+                    p.read(tag, 0, CodeSite(0x5000 + section));
+                }
+            }
+            p.unlock(lock);
+
+            if sh.compute_per_entry > 0 {
+                p.compute(sh.compute_per_entry);
+            }
+        }
+    }
+    PhasedProgram {
+        init,
+        threads: programs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table3;
+    use kard_trace::Op;
+
+    fn tiny(name: &str) -> (WorkloadSpec, SynthConfig) {
+        (
+            table3::by_name(name).unwrap(),
+            SynthConfig {
+                threads: 4,
+                scale: 1e-3,
+            },
+        )
+    }
+
+    #[test]
+    fn shape_scales_counts() {
+        let (spec, cfg) = tiny("fluidanimate");
+        let sh = shape(&spec, &cfg);
+        assert_eq!(sh.cs_entries, 4_402);
+        assert_eq!(sh.heap_objects, 135);
+        assert!(sh.compute_per_entry > 0);
+    }
+
+    #[test]
+    fn zero_counts_stay_zero() {
+        let (spec, cfg) = tiny("x264"); // no shared objects at all
+        let sh = shape(&spec, &cfg);
+        assert_eq!(sh.shared_ro, 0);
+        assert_eq!(sh.shared_rw, 0);
+    }
+
+    #[test]
+    fn programs_schedule_without_deadlock() {
+        for name in ["streamcluster", "memcached", "water_nsquared", "nginx"] {
+            let (spec, cfg) = tiny(name);
+            let phased = build_programs(&spec, &cfg);
+            assert_eq!(phased.threads.len(), 4);
+            let trace = phased.trace_seeded(1);
+            let expected = shape(&spec, &cfg).cs_entries;
+            assert_eq!(trace.cs_entry_count(), expected, "{name}");
+        }
+    }
+
+    #[test]
+    fn entries_split_across_threads() {
+        let (spec, cfg) = tiny("barnes");
+        let phased = build_programs(&spec, &cfg);
+        let sh = shape(&spec, &cfg);
+        let per_thread: Vec<u64> = phased
+            .threads
+            .iter()
+            .map(|p| {
+                p.ops()
+                    .iter()
+                    .filter(|op| matches!(op, Op::Lock { .. }))
+                    .count() as u64
+            })
+            .collect();
+        assert_eq!(per_thread.iter().sum::<u64>(), sh.cs_entries);
+        let max = per_thread.iter().max().unwrap();
+        let min = per_thread.iter().min().unwrap();
+        assert!(max - min <= 1, "balanced split");
+    }
+
+    #[test]
+    fn churn_allocations_are_freed() {
+        let (spec, cfg) = tiny("nginx");
+        let phased = build_programs(&spec, &cfg);
+        let count = |pred: fn(&Op) -> bool| -> u64 {
+            let steady: usize = phased
+                .threads
+                .iter()
+                .map(|p| p.ops().iter().filter(|o| pred(o)).count())
+                .sum();
+            (steady + phased.init.ops().iter().filter(|o| pred(o)).count()) as u64
+        };
+        let allocs = count(|o| matches!(o, Op::Alloc { .. }));
+        let frees = count(|o| matches!(o, Op::Free { .. }));
+        let sh = shape(&spec, &cfg);
+        assert_eq!(allocs - frees, sh.heap_objects);
+        assert!(frees > 0, "nginx churns");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (spec, cfg) = tiny("memcached");
+        let a = build_programs(&spec, &cfg);
+        let b = build_programs(&spec, &cfg);
+        assert_eq!(a.init.ops(), b.init.ops());
+        for (x, y) in a.threads.iter().zip(&b.threads) {
+            assert_eq!(x.ops(), y.ops());
+        }
+    }
+
+    #[test]
+    fn compute_padding_tracks_baseline_budget() {
+        let (spec, cfg) = tiny("raytrace");
+        let sh = shape(&spec, &cfg);
+        let padding_total = sh.compute_per_entry * sh.cs_entries;
+        assert!(
+            padding_total <= sh.baseline_budget,
+            "padding must not exceed the budget"
+        );
+        assert!(
+            padding_total > sh.baseline_budget / 2,
+            "padding should dominate the baseline budget"
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! The 19 workload parameterizations of Table 3.
+//!
+//! Input columns (objects, critical sections, baseline time/memory/dTLB)
+//! are transcribed from the paper; `paper` carries the reported outputs so
+//! harnesses can print paper-vs-measured side by side. Model fields not in
+//! the table (touches per entry, object sizes) are chosen per workload and
+//! documented inline where the paper motivates a specific value.
+
+use crate::spec::{PaperResults, Suite, WorkloadSpec};
+
+#[allow(clippy::too_many_arguments)]
+const fn spec(
+    name: &'static str,
+    suite: Suite,
+    heap: u64,
+    global: u64,
+    ro: u64,
+    rw: u64,
+    total_cs: u64,
+    active_cs: u64,
+    entries: u64,
+    baseline_secs: f64,
+    baseline_rss_kib: u64,
+    baseline_dtlb: f64,
+    avg_object_size: u64,
+    ro_touches: u64,
+    rw_touches: u64,
+    private_touches: u64,
+    churn_per_entry: u64,
+    paper: PaperResults,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        name,
+        suite,
+        heap_objects: heap,
+        global_objects: global,
+        shared_ro: ro,
+        shared_rw: rw,
+        total_sections: total_cs,
+        active_sections: active_cs,
+        cs_entries: entries,
+        baseline_secs,
+        baseline_rss_bytes: baseline_rss_kib * 1024,
+        baseline_dtlb_miss: baseline_dtlb,
+        avg_object_size,
+        ro_touches_per_entry: ro_touches,
+        rw_touches_per_entry: rw_touches,
+        private_touches_per_entry: private_touches,
+        resident_fraction: 1.0,
+        churn_per_entry,
+        paper,
+    }
+}
+
+const fn paper(
+    alloc: f64,
+    kard: f64,
+    tsan: f64,
+    mem: f64,
+    dtlb_alloc: f64,
+    dtlb_kard: f64,
+) -> PaperResults {
+    PaperResults {
+        alloc_pct: alloc,
+        kard_pct: kard,
+        tsan_pct: tsan,
+        kard_mem_pct: mem,
+        dtlb_alloc_pct: dtlb_alloc,
+        dtlb_kard_pct: dtlb_kard,
+    }
+}
+
+/// The 15 PARSEC and SPLASH-2x benchmarks of Table 3.
+#[must_use]
+pub fn benchmarks() -> Vec<WorkloadSpec> {
+    use Suite::{Parsec, Splash2x};
+    vec![
+        spec("streamcluster", Parsec, 1_818, 20, 0, 1, 6, 3, 115_760,
+            4.96, 12_592, 0.000_13, 64, 0, 1, 4,0,
+            paper(0.1, 0.3, 2264.7, 6.1, 5.1, 9.2)),
+        spec("x264", Parsec, 15, 420, 0, 0, 2, 2, 33_521,
+            1.749, 29_732, 0.000_20, 4096, 0, 0, 4,0,
+            paper(0.4, 3.0, 485.3, 2.0, 0.6, 2.6)),
+        spec("vips", Parsec, 102, 3_933, 377, 213, 5, 2, 37,
+            2.145, 24_360, 0.000_42, 128, 4, 2, 8,0,
+            paper(0.6, 1.3, 889.8, 3.3, 0.7, 3.8)),
+        spec("bodytrack", Parsec, 8_717, 125, 7, 48, 8, 1, 56_196,
+            3.268, 20_224, 0.000_03, 64, 1, 2, 12,0,
+            paper(4.1, 10.4, 655.6, 123.2, 21.9, 55.2)),
+        // fluidanimate: 4.4M critical-section entries in 3.25 s is the
+        // paper's canonical CS-entry-dominated outlier (§7.2).
+        spec("fluidanimate", Parsec, 135_438, 25, 24, 5, 8, 4, 4_402_000,
+            3.251, 374_760, 0.000_18, 32, 1, 2, 2,0,
+            paper(19.6, 61.9, 1222.3, 142.6, 32.3, 72.0)),
+        spec("ocean_cp", Splash2x, 370, 30, 2, 2, 24, 2, 6_664,
+            3.803, 913_048, 0.000_30, 16_384, 1, 1, 8,0,
+            paper(-8.3, -5.9, 911.4, 0.3, 0.2, 0.4)),
+        spec("ocean_ncp", Splash2x, 16, 38, 0, 4, 23, 2, 6_504,
+            5.631, 922_128, 0.011_49, 32_768, 0, 1, 8,0,
+            paper(0.0, 0.0, 1036.2, 0.3, 0.0, 0.0)),
+        spec("raytrace", Splash2x, 6, 60, 1, 2, 8, 3, 986_046,
+            4.355, 7_712, 0.000_02, 256, 1, 1, 2,0,
+            paper(1.3, 3.7, 1368.6, 28.5, 0.3, 0.5)),
+        // water_nsquared: 128,007 heap objects of 24 B (§7.5) and 96,000
+        // read-only shared objects — the dTLB-pressure outlier. Critical
+        // sections sweep a large slice of the molecule array.
+        spec("water_nsquared", Splash2x, 128_007, 87, 96_000, 2, 17, 4, 96_148,
+            10.022, 12_260, 0.000_01, 24, 48, 1, 16,0,
+            paper(9.1, 18.0, 698.0, 4145.9, 587.3, 890.2)),
+        spec("water_spatial", Splash2x, 37_148, 99, 1, 1, 2, 2, 675,
+            3.259, 25_324, 0.000_04, 24, 1, 1, 64,0,
+            paper(2.9, 5.6, 546.1, 516.9, 147.1, 172.6)),
+        spec("radix", Splash2x, 17, 13, 2, 1, 13, 4, 103,
+            5.173, 1_051_536, 0.004_07, 65_536, 1, 1, 8,0,
+            paper(-1.4, -1.0, 187.4, 0.2, 0.1, 0.1)),
+        spec("lu_ncb", Splash2x, 12, 11, 2, 1, 6, 2, 1_040,
+            3.917, 34_952, 0.000_49, 8_192, 1, 1, 8,0,
+            paper(-5.7, -5.2, 292.9, 5.9, -3.7, -3.4)),
+        spec("lu_cb", Splash2x, 26, 10, 0, 3, 6, 2, 2_080,
+            3.517, 35_092, 0.000_03, 8_192, 0, 1, 8,0,
+            paper(-7.8, -4.7, 259.0, 6.1, 1.4, 2.3)),
+        // barnes: 1.78M CS entries, the other CS-entry outlier.
+        spec("barnes", Splash2x, 44, 54, 11, 13, 5, 5, 1_784_848,
+            5.126, 68_000, 0.000_11, 1_024, 2, 3, 2,0,
+            paper(2.9, 34.1, 1582.9, 3.3, 3.0, 37.1)),
+        spec("fft", Splash2x, 11, 26, 14, 1, 8, 2, 32,
+            2.874, 789_588, 0.000_92, 131_072, 2, 1, 8,0,
+            paper(0.7, 1.0, 265.1, 0.3, -0.2, -0.2)),
+    ]
+}
+
+/// The four real-world applications of Table 3.
+#[must_use]
+pub fn real_world() -> Vec<WorkloadSpec> {
+    use Suite::RealWorld;
+    let mut rows = vec![
+        // NGINX allocates ~half a million small request/connection objects
+        // and enters the accept-mutex critical section per request pair.
+        spec("nginx", RealWorld, 500_007, 461, 0, 100_002, 26, 3, 200_008,
+            15.144, 5_812, 0.001_45, 32, 0, 1, 4,2,
+            paper(13.3, 15.1, 258.9, 202.1, 51.9, 65.2)),
+        spec("memcached", RealWorld, 6_985, 107, 24, 62, 121, 13, 161_992,
+            2.009, 5_892, 0.001_10, 64, 1, 1, 4,0,
+            paper(0.0, 0.1, 45.7, 31.8, 9.6, 18.2)),
+        spec("pigz", RealWorld, 861, 53, 7, 10, 10, 5, 45_782,
+            0.254, 5_368, 0.000_28, 1_024, 1, 1, 4,0,
+            paper(2.9, 5.1, 229.9, 52.5, 31.4, 71.2)),
+        spec("aget", RealWorld, 24, 10, 0, 1, 2, 1, 56_196,
+            0.944, 2_468, 0.002_94, 4_096, 0, 1, 4,0,
+            paper(0.6, 1.4, 464.3, 95.3, 3.7, 12.3)),
+    ];
+    // NGINX keeps ~3% of its persistent allocations resident at peak: its
+    // 500k allocations are request-lifetime, matching the paper's modest
+    // 202% RSS overhead despite the huge allocation count.
+    rows[0].resident_fraction = 0.03;
+    // memcached pre-allocates slab chunks it never touches during the
+    // twemperf run (1 B values), so its resident set is a sliver of the
+    // 6,985 allocations — the paper's 31.8% RSS overhead is mostly Kard's
+    // own runtime footprint.
+    rows[1].resident_fraction = 0.02;
+    rows
+}
+
+/// All 19 workloads.
+#[must_use]
+pub fn all() -> Vec<WorkloadSpec> {
+    let mut v = benchmarks();
+    v.extend(real_world());
+    v
+}
+
+/// Look up a workload by its Table 3 name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_19_rows() {
+        assert_eq!(benchmarks().len(), 15);
+        assert_eq!(real_world().len(), 4);
+        assert_eq!(all().len(), 19);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = all().iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 19);
+    }
+
+    #[test]
+    fn transcription_spot_checks() {
+        let f = by_name("fluidanimate").unwrap();
+        assert_eq!(f.cs_entries, 4_402_000);
+        assert_eq!(f.heap_objects, 135_438);
+        assert!((f.paper.kard_pct - 61.9).abs() < 1e-9);
+
+        let w = by_name("water_nsquared").unwrap();
+        assert_eq!(w.shared_ro, 96_000);
+        assert_eq!(w.avg_object_size, 24);
+        assert!((w.paper.kard_mem_pct - 4145.9).abs() < 1e-9);
+
+        let m = by_name("memcached").unwrap();
+        assert_eq!(m.total_sections, 121);
+        assert_eq!(m.active_sections, 13);
+        assert_eq!(m.cs_entries, 161_992);
+    }
+
+    #[test]
+    fn real_world_suite_tagging() {
+        assert!(real_world().iter().all(|s| s.suite == Suite::RealWorld));
+        assert!(benchmarks()
+            .iter()
+            .all(|s| s.suite != Suite::RealWorld));
+    }
+}

@@ -1,0 +1,66 @@
+//! A key-value-store scenario: the memcached model (§7.3, Tables 5 and 6).
+//!
+//! Worker threads handle set-requests inside *nested* critical sections
+//! (item lock → slab lock → stats lock), which is how memcached reaches
+//! 13–16 concurrently executing critical sections and pressures MPK's 13
+//! read-write keys into recycling and sharing. Meanwhile the main thread
+//! reads the statistics objects and updates the clock without locks — the
+//! three real races the paper reports.
+//!
+//! Run with: `cargo run --example keyvalue_store`
+
+use kard::rt::KardExecutor;
+use kard::workloads::apps;
+use kard::Session;
+use kard_trace::replay::replay;
+
+fn run_at(threads: usize, requests: u64) -> (kard::core::DetectorStats, usize) {
+    let model = apps::memcached(threads, requests);
+    let session = Session::new();
+    let mut exec = KardExecutor::new(session.kard().clone());
+    replay(&model.program.trace_seeded(5), &mut exec);
+    (exec.stats(), apps::distinct_kard_objects(&exec.reports()))
+}
+
+fn main() {
+    let requests = 100;
+    println!("memcached model, {requests} requests per worker\n");
+
+    // Table 6: the three races at the standard 4-thread configuration.
+    let model = apps::memcached(4, requests);
+    let session = Session::new();
+    let mut exec = KardExecutor::new(session.kard().clone());
+    replay(&model.program.trace_round_robin(), &mut exec);
+    println!("Race reports at 4 threads:");
+    let mut seen = std::collections::BTreeSet::new();
+    for report in exec.reports() {
+        if seen.insert(report.object) {
+            println!("  {report}");
+        }
+    }
+    assert_eq!(seen.len(), 3, "two stats objects + the clock global");
+
+    // Table 5: key pressure as threads grow.
+    println!("\nKey pressure vs worker threads (Table 5 shape):");
+    println!(
+        "{:<10} {:>10} {:>10} {:>12} {:>10} {:>8}",
+        "threads", "CS total", "unique", "max concur.", "recycles", "shares"
+    );
+    for threads in [4usize, 8, 16, 32] {
+        let (stats, _) = run_at(threads, requests);
+        println!(
+            "{:<10} {:>10} {:>10} {:>12} {:>10} {:>8}",
+            threads,
+            stats.cs_entries,
+            stats.unique_sections,
+            stats.max_concurrent_sections,
+            stats.key_recycles,
+            stats.key_shares
+        );
+    }
+    println!(
+        "\nRecycling keeps detection sound (objects demoted to the read-only\n\
+         domain re-identify on the next write); sharing is the rare false-\n\
+         negative window the paper quantifies at 0.007%-0.07% of entries."
+    );
+}

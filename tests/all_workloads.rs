@@ -1,0 +1,99 @@
+//! Sweep every Table 3 workload end to end at a small scale: all 19
+//! models must schedule without deadlock, report zero races (their locking
+//! is consistent by construction), and produce overheads with the sane
+//! ordering Baseline ≤ Alloc ≤ Kard ≪ TSan.
+
+use kard::workloads::runner::run_workload;
+use kard::workloads::synth::SynthConfig;
+use kard::workloads::table3;
+
+#[test]
+fn all_nineteen_workloads_run_clean() {
+    let cfg = SynthConfig {
+        threads: 4,
+        scale: 1e-3,
+    };
+    for spec in table3::all() {
+        let r = run_workload(&spec, &cfg, 11);
+        assert_eq!(r.kard_races, 0, "{}: benchmark must be race-free", spec.name);
+        assert!(
+            r.baseline.cycles > 0 && r.kard.cycles >= r.baseline.cycles,
+            "{}: kard adds work over baseline",
+            spec.name
+        );
+        assert!(
+            r.alloc_only.cycles >= r.baseline.cycles,
+            "{}: the unique-page allocator is not free",
+            spec.name
+        );
+        assert!(
+            r.kard.cycles >= r.alloc_only.cycles,
+            "{}: detection costs more than allocation alone",
+            spec.name
+        );
+        assert!(
+            r.tsan_pct > r.kard_pct(),
+            "{}: per-access instrumentation must dominate",
+            spec.name
+        );
+        assert_eq!(
+            r.kard_stats.cs_entries, r.shape.cs_entries,
+            "{}: every scheduled entry reaches the detector",
+            spec.name
+        );
+        // Every fault is classified by the handler into at least one of
+        // the taxonomy buckets.
+        assert!(
+            r.kard.faults
+                >= r.kard_stats.identification_faults
+                    + r.kard_stats.migration_faults
+                    + r.kard_stats.interleave_faults,
+            "{}: fault taxonomy must not exceed raw faults",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn workloads_scale_linearly_in_entries() {
+    // Doubling the scale roughly doubles baseline cycles — the budget
+    // padding mechanism works.
+    let spec = table3::by_name("raytrace").unwrap();
+    let small = run_workload(
+        &spec,
+        &SynthConfig {
+            threads: 4,
+            scale: 1e-3,
+        },
+        3,
+    );
+    let large = run_workload(
+        &spec,
+        &SynthConfig {
+            threads: 4,
+            scale: 2e-3,
+        },
+        3,
+    );
+    let ratio = large.baseline.cycles as f64 / small.baseline.cycles as f64;
+    assert!(
+        (1.7..2.3).contains(&ratio),
+        "baseline should scale ~2x, got {ratio:.2}"
+    );
+}
+
+#[test]
+fn thread_count_preserves_total_work() {
+    // Strong scaling: the same workload at more threads performs the same
+    // baseline work (entries split across threads).
+    let spec = table3::by_name("barnes").unwrap();
+    let t4 = run_workload(&spec, &SynthConfig { threads: 4, scale: 1e-3 }, 5);
+    let t16 = run_workload(&spec, &SynthConfig { threads: 16, scale: 1e-3 }, 5);
+    assert_eq!(t4.kard_stats.cs_entries, t16.kard_stats.cs_entries);
+    let ratio = t16.baseline.cycles as f64 / t4.baseline.cycles as f64;
+    assert!((0.95..1.05).contains(&ratio), "baseline work constant: {ratio:.3}");
+    assert!(
+        t16.kard_pct() >= t4.kard_pct(),
+        "contention grows with threads"
+    );
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the consolidated unique-page allocator
+//! (Figure 2): arbitrary allocate/free sequences preserve the invariants
+//! every other component relies on.
+
+use kard::alloc::{KardAlloc, ObjectId, ALLOC_GRANULE};
+use kard::sim::{Machine, MachineConfig, PAGE_SIZE};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Clone, Debug)]
+enum Action {
+    Alloc(u64),
+    Global(u64),
+    /// Free the nth-oldest live heap object (modulo live count).
+    Free(usize),
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        4 => (1u64..300).prop_map(Action::Alloc),
+        1 => (4096u64..20_000).prop_map(Action::Alloc),
+        1 => (1u64..200).prop_map(Action::Global),
+        3 => any::<usize>().prop_map(Action::Free),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn allocator_invariants_hold(actions in prop::collection::vec(action_strategy(), 1..80)) {
+        let machine = Arc::new(Machine::new(MachineConfig::default()));
+        let t = machine.register_thread();
+        let alloc = KardAlloc::new(Arc::clone(&machine));
+
+        let mut live_heap: Vec<ObjectId> = Vec::new();
+        // The in-memory file never shrinks (consolidation slots are reused,
+        // not returned — §6 defers recycling), so the bound is against the
+        // peak demand, plus one open bump frame.
+        let mut peak_dedicated: u64 = 0;
+        for action in actions {
+            match action {
+                Action::Alloc(size) => {
+                    let info = alloc.alloc(t, size);
+                    prop_assert!(info.rounded_size >= size);
+                    prop_assert_eq!(info.rounded_size % ALLOC_GRANULE, 0);
+                    live_heap.push(info.id);
+                }
+                Action::Global(size) => {
+                    let info = alloc.register_global(t, size);
+                    prop_assert_eq!(info.base.page_offset(), 0, "globals page-aligned");
+                }
+                Action::Free(n) => {
+                    if !live_heap.is_empty() {
+                        let id = live_heap.remove(n % live_heap.len());
+                        alloc.free(t, id);
+                    }
+                }
+            }
+
+            // Invariant 1: live objects occupy pairwise-disjoint virtual
+            // pages (per-object protection requires exclusive pages).
+            let objects = alloc.live_objects();
+            let mut page_owner = HashMap::new();
+            for o in &objects {
+                for i in 0..o.page_count {
+                    let prev = page_owner.insert(o.first_page.add(i), o.id);
+                    prop_assert_eq!(prev, None, "virtual page shared between objects");
+                }
+            }
+
+            // Invariant 2: every in-extent address resolves to its object.
+            for o in &objects {
+                prop_assert_eq!(alloc.object_at(o.base).map(|i| i.id), Some(o.id));
+                prop_assert_eq!(
+                    alloc.object_at(o.base.offset(o.rounded_size - 1)).map(|i| i.id),
+                    Some(o.id)
+                );
+            }
+
+            // Invariant 3: consolidation bound — the physical file never
+            // exceeds the *peak* of what dedicated frames would have used
+            // (plus the open bump frame), since small objects consolidate.
+            let dedicated_bytes: u64 = objects.iter().map(|o| o.page_count * PAGE_SIZE).sum();
+            peak_dedicated = peak_dedicated.max(dedicated_bytes);
+            let stats = machine.mem_stats();
+            prop_assert!(
+                stats.file_bytes <= peak_dedicated + PAGE_SIZE,
+                "file {} > peak dedicated bound {}",
+                stats.file_bytes,
+                peak_dedicated
+            );
+
+            // Invariant 4: allocator stats agree with ground truth.
+            prop_assert_eq!(alloc.stats().live_objects, objects.len() as u64);
+        }
+    }
+
+    #[test]
+    fn small_object_physical_usage_is_consolidated(count in 1u64..400) {
+        let machine = Arc::new(Machine::new(MachineConfig::default()));
+        let t = machine.register_thread();
+        let alloc = KardAlloc::new(Arc::clone(&machine));
+        for _ in 0..count {
+            let _ = alloc.alloc(t, 32);
+        }
+        let expected_frames = count.div_ceil(PAGE_SIZE / 32);
+        prop_assert_eq!(machine.mem_stats().file_bytes, expected_frames * PAGE_SIZE);
+        prop_assert_eq!(machine.mapped_pages() as u64, count);
+    }
+
+    #[test]
+    fn churn_does_not_grow_physical_file(rounds in 1u64..60, size in 1u64..100) {
+        let machine = Arc::new(Machine::new(MachineConfig::default()));
+        let t = machine.register_thread();
+        let alloc = KardAlloc::new(Arc::clone(&machine));
+        // One warm-up allocation fixes the file size for this class.
+        let first = alloc.alloc(t, size);
+        alloc.free(t, first.id);
+        let baseline = machine.mem_stats().file_bytes;
+        for _ in 0..rounds {
+            let o = alloc.alloc(t, size);
+            alloc.free(t, o.id);
+        }
+        prop_assert_eq!(
+            machine.mem_stats().file_bytes,
+            baseline,
+            "slot reuse must keep the file size flat"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Integration test for Figure 3: the three continuous stages of Kard's
+//! operation — (a) progressive shared-object identification, (b) domain
+//! enforcement at section entries, (c) race detection on violations — all
+//! within one program execution.
+
+use kard::core::{Domain, LockId};
+use kard::{CodeSite, Session};
+
+#[test]
+fn figure3_stages_in_one_execution() {
+    let session = Session::new();
+    let kard = session.kard().clone();
+    let machine = session.machine().clone();
+    let t1 = kard.register_thread();
+    let t2 = kard.register_thread();
+
+    // Stage (a): object tracking. A new object sits in the Not-accessed
+    // domain; t1's first in-section write faults on k_na, migrates it to
+    // the Read-write domain, and records it in the section-object map.
+    let oa = kard.on_alloc(t1, 32);
+    assert_eq!(kard.domain_of(oa.id), Some(Domain::NotAccessed));
+    let faults0 = machine.counters().faults;
+
+    kard.lock_enter(t1, LockId(0xa), CodeSite(0xa));
+    kard.write(t1, oa.base, CodeSite(0xa1));
+    assert_eq!(machine.counters().faults, faults0 + 1, "identification #GP");
+    assert!(matches!(kard.domain_of(oa.id), Some(Domain::ReadWrite(_))));
+    let sec_objs = kard.section_objects(kard::SectionId(CodeSite(0xa)));
+    assert_eq!(sec_objs.len(), 1, "section-object map updated");
+    kard.lock_exit(t1, LockId(0xa));
+
+    // Stage (b): domain enforcement. Re-entering the section acquires the
+    // key proactively — the same write now runs fault-free.
+    let faults1 = machine.counters().faults;
+    kard.lock_enter(t1, LockId(0xa), CodeSite(0xa));
+    kard.write(t1, oa.base, CodeSite(0xa1));
+    assert_eq!(machine.counters().faults, faults1, "no fault: key held");
+
+    // Stage (c): race detection. t2 enters a different section and writes
+    // the object while t1 holds its key: the #GP is analyzed against the
+    // key-section map and reported.
+    kard.lock_enter(t2, LockId(0xb), CodeSite(0xb));
+    kard.write(t2, oa.base, CodeSite(0xb1));
+    kard.lock_exit(t2, LockId(0xb));
+    kard.lock_exit(t1, LockId(0xa));
+
+    let reports = kard.reports();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].object, oa.id);
+    assert_eq!(reports[0].holding.thread, t1);
+    assert_eq!(reports[0].faulting.thread, t2);
+
+    let stats = kard.stats();
+    assert_eq!(stats.identification_faults, 1);
+    assert!(stats.proactive_acquisitions >= 1);
+    assert!(stats.race_check_faults >= 1);
+}
+
+#[test]
+fn read_only_domain_then_write_migration() {
+    // An object first only read in sections lands in the Read-only domain;
+    // a later in-section write migrates it to Read-write (§5.3).
+    let session = Session::new();
+    let kard = session.kard().clone();
+    let t = kard.register_thread();
+    let o = kard.on_alloc(t, 32);
+
+    kard.lock_enter(t, LockId(1), CodeSite(0x1));
+    kard.read(t, o.base, CodeSite(0x2));
+    assert_eq!(kard.domain_of(o.id), Some(Domain::ReadOnly));
+    kard.lock_exit(t, LockId(1));
+
+    // Reads from anyone — in or out of sections — are free in RO domain.
+    let faults = session.machine().counters().faults;
+    kard.read(t, o.base, CodeSite(0x3));
+    assert_eq!(session.machine().counters().faults, faults);
+
+    kard.lock_enter(t, LockId(1), CodeSite(0x1));
+    kard.write(t, o.base, CodeSite(0x4));
+    assert!(matches!(kard.domain_of(o.id), Some(Domain::ReadWrite(_))));
+    kard.lock_exit(t, LockId(1));
+    assert!(kard.reports().is_empty());
+    assert_eq!(kard.stats().migration_faults, 1);
+}
+
+#[test]
+fn non_critical_threads_keep_k_na_access() {
+    // Outside critical sections, threads hold k_na read-write: untracked
+    // private objects never fault (the zero-instrumentation fast path).
+    let session = Session::new();
+    let kard = session.kard().clone();
+    let t = kard.register_thread();
+    let o = kard.on_alloc(t, 4096);
+    for i in 0..64 {
+        kard.write(t, o.base.offset(i * 8), CodeSite(0x10 + i));
+        kard.read(t, o.base.offset(i * 8), CodeSite(0x20 + i));
+    }
+    assert_eq!(session.machine().counters().faults, 0);
+    assert_eq!(kard.domain_of(o.id), Some(Domain::NotAccessed));
+}
+
+#[test]
+fn pkey_mprotect_count_tracks_objects_and_migrations() {
+    // §7.2: "the number of pkey_mprotect() invocations linearly depends on
+    // the number of sharable objects (invoked at allocation + migration)".
+    let session = Session::new();
+    let kard = session.kard().clone();
+    let machine = session.machine().clone();
+    let t = kard.register_thread();
+
+    let base = machine.counters().pkey_mprotect;
+    let objs: Vec<_> = (0..10).map(|_| kard.on_alloc(t, 32)).collect();
+    assert_eq!(
+        machine.counters().pkey_mprotect - base,
+        10,
+        "one mprotect per allocation (k_na tagging)"
+    );
+    kard.lock_enter(t, LockId(1), CodeSite(0x1));
+    for o in &objs {
+        kard.write(t, o.base, CodeSite(0x2));
+    }
+    kard.lock_exit(t, LockId(1));
+    assert_eq!(
+        machine.counters().pkey_mprotect - base,
+        20,
+        "plus one per identification migration"
+    );
+}

@@ -1,0 +1,149 @@
+//! Integration tests for Table 4: the false-negative and false-positive
+//! classes and their mitigations, each demonstrated end to end.
+
+use kard::core::{KardConfig, LockId};
+use kard::sim::KeyLayout;
+use kard::{CodeSite, MachineConfig, Session};
+
+fn session_with(total_keys: u16, config: KardConfig) -> Session {
+    let mc = MachineConfig {
+        key_layout: KeyLayout::with_total_keys(total_keys),
+        ..MachineConfig::default()
+    };
+    Session::with_config(mc, config)
+}
+
+/// The sharing false negative (Table 4 row 1): with one pool key, two
+/// threads in different sections share it, and a same-object race between
+/// them raises no fault.
+#[test]
+fn key_sharing_false_negative_and_mitigation() {
+    let run = |total_keys: u16| -> (u64, usize) {
+        let session = session_with(total_keys, KardConfig::default());
+        let kard = session.kard().clone();
+        let t1 = kard.register_thread();
+        let t2 = kard.register_thread();
+        let filler = kard.on_alloc(t1, 32);
+        let x = kard.on_alloc(t1, 32);
+
+        kard.lock_enter(t1, LockId(1), CodeSite(0xa));
+        kard.write(t1, filler.base, CodeSite(0xa1));
+        kard.lock_enter(t2, LockId(2), CodeSite(0xb));
+        kard.write(t2, x.base, CodeSite(0xb1));
+        kard.write(t1, x.base, CodeSite(0xa2)); // ILU race on x.
+        kard.lock_exit(t2, LockId(2));
+        kard.lock_exit(t1, LockId(1));
+        (kard.stats().key_shares, kard.reports().len())
+    };
+
+    let (shares_small, reports_small) = run(4); // 1 pool key
+    assert_eq!(shares_small, 1, "forced sharing");
+    assert_eq!(reports_small, 0, "the race is missed: false negative");
+
+    let (shares_full, reports_full) = run(16); // 13 pool keys (MPK)
+    assert_eq!(shares_full, 0, "no sharing needed");
+    assert_eq!(reports_full, 1, "the race is caught");
+}
+
+/// Different-offset false positive (Table 4 row 2): pruned by protection
+/// interleaving; reported if interleaving is disabled.
+#[test]
+fn different_offset_fp_pruned_by_interleaving() {
+    let run = |interleaving: bool| -> usize {
+        let config = KardConfig {
+            protection_interleaving: interleaving,
+            ..KardConfig::default()
+        };
+        let session = session_with(16, config);
+        let kard = session.kard().clone();
+        let t1 = kard.register_thread();
+        let t2 = kard.register_thread();
+        let o = kard.on_alloc(t1, 256);
+
+        kard.lock_enter(t1, LockId(1), CodeSite(0xa));
+        kard.write(t1, o.base, CodeSite(0xa1));
+        kard.lock_enter(t2, LockId(2), CodeSite(0xb));
+        kard.write(t2, o.base.offset(128), CodeSite(0xb1));
+        kard.write(t1, o.base, CodeSite(0xa2));
+        kard.lock_exit(t2, LockId(2));
+        kard.lock_exit(t1, LockId(1));
+        kard.reports().len()
+    };
+    assert_eq!(run(false), 1, "without interleaving: FP reported");
+    assert_eq!(run(true), 0, "with interleaving: FP pruned");
+}
+
+/// The recycling path (§5.4 rule 3a) preserves accuracy: objects demoted
+/// to the Read-only domain re-identify on the next write, and races on
+/// recycled objects are still caught.
+#[test]
+fn recycling_preserves_detection() {
+    // 5 total keys -> 2 pool keys; three objects force a recycle.
+    let session = session_with(5, KardConfig::default());
+    let kard = session.kard().clone();
+    let t1 = kard.register_thread();
+    let t2 = kard.register_thread();
+    let objs: Vec<_> = (0..3).map(|_| kard.on_alloc(t1, 32)).collect();
+
+    for (i, o) in objs.iter().enumerate() {
+        kard.lock_enter(t1, LockId(i as u64 + 1), CodeSite(0x100 + i as u64));
+        kard.write(t1, o.base, CodeSite(0x200 + i as u64));
+        kard.lock_exit(t1, LockId(i as u64 + 1));
+    }
+    assert!(kard.stats().key_recycles >= 1, "keys were recycled");
+
+    // A race on the *recycled* object (objs[0]) is still detected: the
+    // next in-section write re-identifies it and takes a key; t2's
+    // unlocked write during that hold faults.
+    kard.lock_enter(t1, LockId(1), CodeSite(0x100));
+    kard.write(t1, objs[0].base, CodeSite(0x201));
+    kard.write(t2, objs[0].base, CodeSite(0x300)); // Unlocked.
+    kard.lock_exit(t1, LockId(1));
+    assert_eq!(kard.reports().len(), 1, "recycling did not lose the race");
+}
+
+/// With the paper's §8 "advanced hardware" (1024 keys), the exhaustion
+/// paths never trigger on a workload that exhausts 13-key MPK.
+#[test]
+fn thousand_keys_eliminate_exhaustion() {
+    let run = |total_keys: u16| -> (u64, u64) {
+        let session = session_with(total_keys, KardConfig::default());
+        let kard = session.kard().clone();
+        let t = kard.register_thread();
+        // 40 distinct write-hot objects in 40 sections.
+        for i in 0..40u64 {
+            let o = kard.on_alloc(t, 32);
+            kard.lock_enter(t, LockId(i + 1), CodeSite(0x1000 + i));
+            kard.write(t, o.base, CodeSite(0x2000 + i));
+            kard.lock_exit(t, LockId(i + 1));
+        }
+        let stats = kard.stats();
+        (stats.key_recycles, stats.key_shares)
+    };
+    let (recycles_mpk, _) = run(16);
+    assert!(recycles_mpk > 0, "13 keys cannot cover 40 hot objects");
+    let (recycles_big, shares_big) = run(1024);
+    assert_eq!(recycles_big, 0);
+    assert_eq!(shares_big, 0);
+}
+
+/// Timestamp filtering (§5.5): a key released long before the fault is
+/// stale — no report; the stale-candidate counter ticks instead.
+#[test]
+fn stale_release_filtered_by_timestamp() {
+    let session = session_with(16, KardConfig::default());
+    let kard = session.kard().clone();
+    let machine = session.machine().clone();
+    let t1 = kard.register_thread();
+    let t2 = kard.register_thread();
+    let o = kard.on_alloc(t1, 32);
+
+    kard.lock_enter(t1, LockId(1), CodeSite(0xa));
+    kard.write(t1, o.base, CodeSite(0xa1));
+    kard.lock_exit(t1, LockId(1));
+    machine.charge(t1, 1_000_000); // Far beyond the 24k-cycle delay.
+    kard.write(t2, o.base, CodeSite(0xb1)); // Unlocked, key long free.
+
+    assert!(kard.reports().is_empty());
+    assert_eq!(kard.stats().races_filtered_timestamp, 1);
+}

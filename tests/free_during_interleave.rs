@@ -1,0 +1,86 @@
+//! Regression tests for object lifecycle corner cases around protection
+//! interleaving: objects freed while an interleaving is armed or suspended
+//! must not corrupt detector state or panic at section exit when the
+//! suspension would normally be restored.
+
+use kard::core::LockId;
+use kard::{CodeSite, Session};
+
+#[test]
+fn free_while_interleaving_armed() {
+    let session = Session::new();
+    let kard = session.kard().clone();
+    let t1 = kard.register_thread();
+    let t2 = kard.register_thread();
+    let o = kard.on_alloc(t1, 128);
+
+    kard.lock_enter(t1, LockId(1), CodeSite(0xa));
+    kard.write(t1, o.base, CodeSite(0xa1));
+    kard.lock_enter(t2, LockId(2), CodeSite(0xb));
+    kard.write(t2, o.base.offset(64), CodeSite(0xb1)); // Arms interleaving.
+
+    // t2 frees the object before the counterpart fault can happen.
+    kard.on_free(t2, o.id);
+
+    kard.lock_exit(t2, LockId(2));
+    kard.lock_exit(t1, LockId(1)); // Must not try to re-protect freed pages.
+
+    // The unresolved candidate stays reported (pigz semantics), and
+    // nothing panicked.
+    assert_eq!(kard.reports().len(), 1);
+}
+
+#[test]
+fn free_while_interleaving_suspended() {
+    let session = Session::new();
+    let kard = session.kard().clone();
+    let t1 = kard.register_thread();
+    let t2 = kard.register_thread();
+    let o = kard.on_alloc(t1, 128);
+
+    kard.lock_enter(t1, LockId(1), CodeSite(0xa));
+    kard.write(t1, o.base, CodeSite(0xa1));
+    kard.lock_enter(t2, LockId(2), CodeSite(0xb));
+    kard.write(t2, o.base.offset(64), CodeSite(0xb1)); // Arms.
+    kard.write(t1, o.base, CodeSite(0xa2)); // Verdict: pruned; suspended.
+
+    kard.on_free(t1, o.id); // Freed while suspended.
+
+    kard.lock_exit(t2, LockId(2));
+    kard.lock_exit(t1, LockId(1)); // Restoration must skip the freed object.
+
+    assert!(kard.reports().is_empty(), "pruned before the free");
+}
+
+#[test]
+fn fresh_object_reuses_address_space_cleanly() {
+    // After a free mid-interleave, later allocations and detection keep
+    // working (no stale interleave or domain state leaks).
+    let session = Session::new();
+    let kard = session.kard().clone();
+    let t1 = kard.register_thread();
+    let t2 = kard.register_thread();
+
+    let o = kard.on_alloc(t1, 64);
+    kard.lock_enter(t1, LockId(1), CodeSite(0xa));
+    kard.write(t1, o.base, CodeSite(0xa1));
+    kard.lock_enter(t2, LockId(2), CodeSite(0xb));
+    kard.write(t2, o.base.offset(32), CodeSite(0xb1));
+    kard.on_free(t2, o.id);
+    kard.lock_exit(t2, LockId(2));
+    kard.lock_exit(t1, LockId(1));
+
+    // A brand-new racy pair must still be detected normally.
+    let p = kard.on_alloc(t1, 64);
+    kard.lock_enter(t1, LockId(1), CodeSite(0xa));
+    kard.write(t1, p.base, CodeSite(0xa1));
+    kard.lock_enter(t2, LockId(2), CodeSite(0xb));
+    kard.write(t2, p.base, CodeSite(0xb2));
+    kard.lock_exit(t2, LockId(2));
+    kard.lock_exit(t1, LockId(1));
+
+    assert!(
+        kard.reports().iter().any(|r| r.object == p.id),
+        "detection must survive the earlier freed interleave"
+    );
+}

@@ -1,0 +1,82 @@
+//! §7.2 claim check: "We decided to omit benchmarks that do not use locks
+//! because they have no overhead under Kard." A lock-free workload driven
+//! through the full detector must add essentially nothing over the Alloc
+//! configuration: no faults, no key traffic, no WRPKRU beyond thread
+//! registration.
+
+use kard::rt::KardExecutor;
+use kard::workloads::native::AllocOnlyExecutor;
+use kard::{CodeSite, Session};
+use kard_trace::replay::replay;
+use kard_trace::{ObjectTag, PhasedProgram, ThreadProgram};
+
+fn lock_free_program(threads: usize, iters: u64) -> PhasedProgram {
+    let mut init = ThreadProgram::new();
+    for o in 0..16 {
+        init.alloc(ObjectTag(o), 256);
+    }
+    let thread_programs = (0..threads)
+        .map(|k| {
+            let mut p = ThreadProgram::new();
+            for i in 0..iters {
+                // Each thread works on its own objects, no locks anywhere.
+                let o = ObjectTag((k as u64 * 4 + i % 4) % 16);
+                p.write(o, (i % 8) * 8, CodeSite(0x100 + k as u64));
+                p.read(o, (i % 8) * 8, CodeSite(0x200 + k as u64));
+                p.compute(500);
+            }
+            p
+        })
+        .collect();
+    PhasedProgram {
+        init,
+        threads: thread_programs,
+    }
+}
+
+#[test]
+fn lock_free_workload_has_no_detection_overhead() {
+    let program = lock_free_program(4, 200);
+    let trace = program.trace_seeded(3);
+
+    let session = Session::new();
+    let mut kard = KardExecutor::new(session.kard().clone());
+    replay(&trace, &mut kard);
+
+    let mut alloc_only = AllocOnlyExecutor::new();
+    replay(&trace, &mut alloc_only);
+
+    let kard_counters = session.machine().counters();
+    assert_eq!(kard_counters.faults, 0, "k_na is held outside sections");
+    assert_eq!(session.kard().stats().cs_entries, 0);
+    assert!(kard.reports().is_empty());
+
+    // Kard's only additions over Alloc: one WRPKRU per registered thread
+    // (the baseline PKRU policy) and one pkey_mprotect per allocation
+    // (the k_na tagging). Both are fixed, not per-operation.
+    assert_eq!(kard_counters.wrpkru as usize, trace.thread_count());
+    assert_eq!(kard_counters.pkey_mprotect, 16);
+
+    let kard_cycles = session.machine().now();
+    let alloc_cycles = alloc_only.machine().now();
+    let overhead = (kard_cycles as f64 - alloc_cycles as f64) / alloc_cycles as f64;
+    assert!(
+        overhead.abs() < 0.05,
+        "no per-operation cost without locks: {:.2}% over Alloc",
+        overhead * 100.0
+    );
+}
+
+#[test]
+fn lock_free_objects_stay_not_accessed() {
+    let program = lock_free_program(2, 50);
+    let trace = program.trace_seeded(1);
+    let session = Session::new();
+    let mut kard = KardExecutor::new(session.kard().clone());
+    replay(&trace, &mut kard);
+    assert_eq!(
+        session.kard().stats().objects_identified,
+        0,
+        "identification only happens inside critical sections"
+    );
+}

@@ -1,0 +1,89 @@
+//! Integration test for Table 6: the four application models reproduce the
+//! paper's real-world detections — Aget 1, memcached 3, NGINX 1, and the
+//! pigz false positive that only Kard reports.
+
+use kard::baselines::FastTrack;
+use kard::rt::KardExecutor;
+use kard::workloads::apps::{self, distinct_kard_objects, distinct_raced_objects, AppModel};
+use kard::Session;
+use kard_trace::replay::replay;
+
+fn run_both(model: &AppModel) -> (usize, usize) {
+    let trace = model.program.trace_round_robin();
+    let session = Session::new();
+    let mut kard = KardExecutor::new(session.kard().clone());
+    replay(&trace, &mut kard);
+    let mut ft = FastTrack::new();
+    replay(&trace, &mut ft);
+    (
+        distinct_kard_objects(&kard.reports()),
+        distinct_raced_objects(ft.races()),
+    )
+}
+
+#[test]
+fn aget_byte_counter_race() {
+    let model = apps::aget(3, 60);
+    let (kard, tsan) = run_both(&model);
+    assert_eq!(kard, 1, "the bwritten global");
+    assert_eq!(tsan, 1);
+}
+
+#[test]
+fn memcached_stats_and_clock_races() {
+    let model = apps::memcached(3, 50);
+    let (kard, tsan) = run_both(&model);
+    assert_eq!(kard, 3, "two stats heap objects + the time global");
+    assert_eq!(tsan, 3);
+}
+
+#[test]
+fn nginx_initialization_race() {
+    let model = apps::nginx(3, 40);
+    let (kard, tsan) = run_both(&model);
+    assert_eq!(kard, 1);
+    assert_eq!(tsan, 1);
+}
+
+#[test]
+fn pigz_false_positive_only_in_kard() {
+    let model = apps::pigz(3, 40);
+    let (kard, tsan) = run_both(&model);
+    assert_eq!(kard, 1, "the disjoint-offset header FP survives");
+    assert_eq!(tsan, 0, "byte-accurate TSan stays silent");
+}
+
+#[test]
+fn detections_are_stable_across_worker_counts() {
+    for workers in [2usize, 4, 6] {
+        let model = apps::aget(workers, 50);
+        let (kard, _) = run_both(&model);
+        assert_eq!(kard, 1, "aget with {workers} workers");
+    }
+}
+
+#[test]
+fn expected_counts_match_table6_constants() {
+    for model in apps::all_apps(3, 40) {
+        let (kard, tsan) = run_both(&model);
+        assert_eq!(kard, model.expected.kard, "{}", model.name);
+        assert_eq!(tsan, model.expected.tsan_ilu, "{}", model.name);
+        assert_eq!(model.expected.tsan_non_ilu, 0, "{}", model.name);
+    }
+}
+
+#[test]
+fn kard_reports_carry_both_sides() {
+    let model = apps::aget(2, 40);
+    let trace = model.program.trace_round_robin();
+    let session = Session::new();
+    let mut kard = KardExecutor::new(session.kard().clone());
+    replay(&trace, &mut kard);
+    let reports = kard.reports();
+    assert!(!reports.is_empty());
+    let r = &reports[0];
+    assert!(r.faulting.section.is_none(), "main thread reads unlocked");
+    assert!(r.holding.section.is_some(), "worker holds the key in its CS");
+    assert!(r.faulting.offset.is_some(), "faulting byte offset recorded");
+    assert!(r.tsc > 0, "timestamped");
+}
