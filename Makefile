@@ -1,0 +1,15 @@
+.PHONY: verify build test clippy bench-scalability
+
+verify: build test clippy
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+clippy:
+	cargo clippy --all-targets -- -D warnings
+
+bench-scalability:
+	cargo bench -p kard-bench --bench bench_scalability

@@ -1,15 +1,41 @@
 //! The consolidated unique-page allocator itself.
+//!
+//! # Concurrency
+//!
+//! The allocator sits on every managed allocation and free, so like the
+//! detector it avoids one global lock. Its state is decomposed:
+//!
+//! * object records and the page→object index are each split across
+//!   [`ALLOC_SHARDS`] independently locked shards (by object id and by
+//!   page number respectively);
+//! * free consolidation slots are sharded by size class, so different-size
+//!   frees and allocations never contend;
+//! * the open bump-allocation frame keeps one small dedicated mutex — it
+//!   is genuinely global state (Figure 2's packing guarantee depends on
+//!   it) and the critical section is a few arithmetic ops;
+//! * object ids and statistics are lock-free atomics.
+//!
+//! Every lock here is a leaf: no allocator lock is held while taking
+//! another allocator lock (the open-frame mutex is held across
+//! `Machine::alloc_frame`, which synchronizes only machine-internal state
+//! and never calls back into the allocator). Virtual pages are never
+//! shared between objects and never reused, so the page index alone fully
+//! resolves faulting addresses — no ordered base-address map is needed.
 
 use crate::metadata::{ObjectId, ObjectInfo, ObjectKind};
 use kard_sim::{Machine, PhysFrame, ProtectError, ProtectionKey, ThreadId, VirtAddr, VirtPage, PAGE_SIZE};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Allocation granule: Kard's allocator "returns a multiple of 32 B to each
 /// memory allocation request" (§6).
 pub const ALLOC_GRANULE: u64 = 32;
+
+/// Number of independently locked shards for each allocator index.
+pub const ALLOC_SHARDS: usize = 16;
 
 /// Allocator statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -28,6 +54,31 @@ pub struct AllocStats {
     pub slot_reuses: u64,
 }
 
+/// Lock-free accumulator behind [`AllocStats`].
+#[derive(Default)]
+struct AtomicAllocStats {
+    allocations: AtomicU64,
+    frees: AtomicU64,
+    live_objects: AtomicU64,
+    globals: AtomicU64,
+    rounding_waste_bytes: AtomicU64,
+    slot_reuses: AtomicU64,
+}
+
+impl AtomicAllocStats {
+    fn snapshot(&self) -> AllocStats {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        AllocStats {
+            allocations: get(&self.allocations),
+            frees: get(&self.frees),
+            live_objects: get(&self.live_objects),
+            globals: get(&self.globals),
+            rounding_waste_bytes: get(&self.rounding_waste_bytes),
+            slot_reuses: get(&self.slot_reuses),
+        }
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 enum Backing {
     /// Small object: one page aliasing a shared frame at `offset`.
@@ -43,25 +94,26 @@ struct ObjectRecord {
     frames: Vec<PhysFrame>,
 }
 
-#[derive(Default)]
-struct Inner {
-    objects: HashMap<ObjectId, ObjectRecord>,
-    /// Base-address index for faulting-address lookup.
-    by_base: BTreeMap<u64, ObjectId>,
-    /// Page index: at most one object owns a virtual page.
-    by_page: HashMap<VirtPage, ObjectId>,
-    /// Free consolidation slots, keyed by rounded size.
-    free_slots: HashMap<u64, Vec<(PhysFrame, u64)>>,
-    /// Currently open frame for bump allocation and its fill level.
-    open_frame: Option<(PhysFrame, u64)>,
-    next_id: u64,
-    stats: AllocStats,
-}
+/// Free consolidation slots of one shard, keyed by rounded size.
+type SlotMap = HashMap<u64, Vec<(PhysFrame, u64)>>;
 
 /// The consolidated unique-page allocator (see [crate docs](crate)).
 pub struct KardAlloc {
     machine: Arc<Machine>,
-    inner: Mutex<Inner>,
+    /// Object records, sharded by object id.
+    objects: Vec<Mutex<HashMap<ObjectId, ObjectRecord>>>,
+    /// Page→object index, sharded by page number. At most one object owns
+    /// a virtual page, and pages are never reused, so this alone resolves
+    /// faulting addresses.
+    pages: Vec<Mutex<HashMap<VirtPage, ObjectId>>>,
+    /// Free consolidation slots, sharded by size class (rounded size).
+    free_slots: Vec<Mutex<SlotMap>>,
+    /// Currently open frame for bump allocation and its fill level —
+    /// global by design: consolidation packs all small objects into one
+    /// open frame at a time (Figure 2).
+    open_frame: Mutex<Option<(PhysFrame, u64)>>,
+    next_id: AtomicU64,
+    stats: AtomicAllocStats,
 }
 
 impl KardAlloc {
@@ -70,7 +122,12 @@ impl KardAlloc {
     pub fn new(machine: Arc<Machine>) -> KardAlloc {
         KardAlloc {
             machine,
-            inner: Mutex::new(Inner::default()),
+            objects: (0..ALLOC_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            pages: (0..ALLOC_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            free_slots: (0..ALLOC_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            open_frame: Mutex::new(None),
+            next_id: AtomicU64::new(0),
+            stats: AtomicAllocStats::default(),
         }
     }
 
@@ -83,6 +140,18 @@ impl KardAlloc {
     fn round_up(size: u64) -> u64 {
         let size = size.max(1);
         size.div_ceil(ALLOC_GRANULE) * ALLOC_GRANULE
+    }
+
+    fn object_shard(&self, id: ObjectId) -> &Mutex<HashMap<ObjectId, ObjectRecord>> {
+        &self.objects[id.0 as usize % ALLOC_SHARDS]
+    }
+
+    fn page_shard(&self, page: VirtPage) -> &Mutex<HashMap<VirtPage, ObjectId>> {
+        &self.pages[page.0 as usize % ALLOC_SHARDS]
+    }
+
+    fn slot_shard(&self, rounded: u64) -> &Mutex<SlotMap> {
+        &self.free_slots[(rounded / ALLOC_GRANULE) as usize % ALLOC_SHARDS]
     }
 
     /// Allocate a heap object of `size` bytes on behalf of `thread`.
@@ -99,49 +168,50 @@ impl KardAlloc {
     pub fn alloc(&self, thread: ThreadId, size: u64) -> ObjectInfo {
         assert!(size > 0, "zero-sized allocation");
         let rounded = Self::round_up(size);
-        let mut inner = self.inner.lock();
-        let id = ObjectId(inner.next_id);
-        inner.next_id += 1;
+        let id = ObjectId(self.next_id.fetch_add(1, Ordering::Relaxed));
 
         let record = if rounded < PAGE_SIZE {
-            self.alloc_consolidated(thread, &mut inner, id, size, rounded)
+            self.alloc_consolidated(thread, id, size, rounded)
         } else {
             self.alloc_dedicated(thread, id, size, rounded, ObjectKind::Heap)
         };
         let info = record.info;
-        Self::index(&mut inner, record);
-        inner.stats.allocations += 1;
-        inner.stats.live_objects += 1;
-        inner.stats.rounding_waste_bytes += info.rounded_size - info.size;
+        self.index(record);
+        self.stats.allocations.fetch_add(1, Ordering::Relaxed);
+        self.stats.live_objects.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .rounding_waste_bytes
+            .fetch_add(info.rounded_size - info.size, Ordering::Relaxed);
         info
     }
 
     fn alloc_consolidated(
         &self,
         thread: ThreadId,
-        inner: &mut Inner,
         id: ObjectId,
         size: u64,
         rounded: u64,
     ) -> ObjectRecord {
         // Prefer an exact-size freed slot, then bump space in the open
         // frame, then a fresh frame.
-        let (frame, offset) = if let Some(slot) = inner
-            .free_slots
+        let reused = self
+            .slot_shard(rounded)
+            .lock()
             .get_mut(&rounded)
-            .and_then(|slots| slots.pop())
-        {
-            inner.stats.slot_reuses += 1;
+            .and_then(|slots| slots.pop());
+        let (frame, offset) = if let Some(slot) = reused {
+            self.stats.slot_reuses.fetch_add(1, Ordering::Relaxed);
             slot
         } else {
-            match inner.open_frame {
+            let mut open = self.open_frame.lock();
+            match *open {
                 Some((frame, fill)) if fill + rounded <= PAGE_SIZE => {
-                    inner.open_frame = Some((frame, fill + rounded));
+                    *open = Some((frame, fill + rounded));
                     (frame, fill)
                 }
                 _ => {
                     let frame = self.machine.alloc_frame(thread);
-                    inner.open_frame = Some((frame, rounded));
+                    *open = Some((frame, rounded));
                     (frame, 0)
                 }
             }
@@ -200,13 +270,13 @@ impl KardAlloc {
         }
     }
 
-    fn index(inner: &mut Inner, record: ObjectRecord) {
+    fn index(&self, record: ObjectRecord) {
         let info = record.info;
-        inner.by_base.insert(info.base.0, info.id);
         for i in 0..info.page_count {
-            inner.by_page.insert(info.first_page.add(i), info.id);
+            let page = info.first_page.add(i);
+            self.page_shard(page).lock().insert(page, info.id);
         }
-        inner.objects.insert(info.id, record);
+        self.object_shard(info.id).lock().insert(info.id, record);
     }
 
     /// Register a global variable of `size` bytes.
@@ -222,15 +292,15 @@ impl KardAlloc {
     pub fn register_global(&self, thread: ThreadId, size: u64) -> ObjectInfo {
         assert!(size > 0, "zero-sized global");
         let rounded = Self::round_up(size);
-        let mut inner = self.inner.lock();
-        let id = ObjectId(inner.next_id);
-        inner.next_id += 1;
+        let id = ObjectId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let record = self.alloc_dedicated(thread, id, size, rounded, ObjectKind::Global);
         let info = record.info;
-        Self::index(&mut inner, record);
-        inner.stats.globals += 1;
-        inner.stats.live_objects += 1;
-        inner.stats.rounding_waste_bytes += info.rounded_size - info.size;
+        self.index(record);
+        self.stats.globals.fetch_add(1, Ordering::Relaxed);
+        self.stats.live_objects.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .rounding_waste_bytes
+            .fetch_add(info.rounded_size - info.size, Ordering::Relaxed);
         info
     }
 
@@ -242,9 +312,9 @@ impl KardAlloc {
     /// Panics on double free, unknown ids, or attempts to free globals —
     /// all of which are program errors Kard's wrapper would also reject.
     pub fn free(&self, thread: ThreadId, id: ObjectId) {
-        let mut inner = self.inner.lock();
-        let record = inner
-            .objects
+        let record = self
+            .object_shard(id)
+            .lock()
             .remove(&id)
             .unwrap_or_else(|| panic!("free of unknown or already-freed object {id}"));
         assert_eq!(
@@ -252,11 +322,11 @@ impl KardAlloc {
             ObjectKind::Heap,
             "globals cannot be freed"
         );
-        inner.by_base.remove(&record.info.base.0);
         for i in 0..record.info.page_count {
-            inner.by_page.remove(&record.info.first_page.add(i));
+            let page = record.info.first_page.add(i);
+            self.page_shard(page).lock().remove(&page);
             self.machine
-                .unmap_page(thread, record.info.first_page.add(i))
+                .unmap_page(thread, page)
                 .expect("object pages must be mapped");
         }
         match record.backing {
@@ -264,8 +334,8 @@ impl KardAlloc {
                 // The slot returns to the pool; frames holding consolidated
                 // objects are never shrunk out of the file, matching the
                 // paper's simple allocator (§6 defers page recycling).
-                inner
-                    .free_slots
+                self.slot_shard(record.info.rounded_size)
+                    .lock()
                     .entry(record.info.rounded_size)
                     .or_default()
                     .push((frame, offset));
@@ -276,43 +346,40 @@ impl KardAlloc {
                 }
             }
         }
-        inner.stats.frees += 1;
-        inner.stats.live_objects -= 1;
-        inner.stats.rounding_waste_bytes -= record.info.rounded_size - record.info.size;
+        self.stats.frees.fetch_add(1, Ordering::Relaxed);
+        self.stats.live_objects.fetch_sub(1, Ordering::Relaxed);
+        self.stats
+            .rounding_waste_bytes
+            .fetch_sub(record.info.rounded_size - record.info.size, Ordering::Relaxed);
     }
 
     /// Metadata of the live object containing `addr`, if any.
     ///
     /// Used by the fault handler to map a faulting address to an object.
-    /// Falls back to the page index so that *any* address within an
-    /// object's unique page resolves to the object (the page is exclusively
-    /// owned even where the object's bytes do not cover it).
+    /// Every object exclusively owns its virtual page(s) and pages are
+    /// never reused, so the page index resolves *any* address within an
+    /// object's pages (even where the object's bytes do not cover them).
     #[must_use]
     pub fn object_at(&self, addr: VirtAddr) -> Option<ObjectInfo> {
-        let inner = self.inner.lock();
-        if let Some((_, id)) = inner.by_base.range(..=addr.0).next_back() {
-            let info = inner.objects[id].info;
-            if info.contains(addr) {
-                return Some(info);
-            }
-        }
-        inner
-            .by_page
-            .get(&addr.page())
-            .map(|id| inner.objects[id].info)
+        let page = addr.page();
+        let id = *self.page_shard(page).lock().get(&page)?;
+        self.object(id)
     }
 
     /// Metadata of a live object by id.
     #[must_use]
     pub fn object(&self, id: ObjectId) -> Option<ObjectInfo> {
-        self.inner.lock().objects.get(&id).map(|r| r.info)
+        self.object_shard(id).lock().get(&id).map(|r| r.info)
     }
 
     /// All live objects (snapshot), in allocation order.
     #[must_use]
     pub fn live_objects(&self) -> Vec<ObjectInfo> {
-        let inner = self.inner.lock();
-        let mut objs: Vec<_> = inner.objects.values().map(|r| r.info).collect();
+        let mut objs: Vec<ObjectInfo> = self
+            .objects
+            .iter()
+            .flat_map(|shard| shard.lock().values().map(|r| r.info).collect::<Vec<_>>())
+            .collect();
         objs.sort_by_key(|o| o.id);
         objs
     }
@@ -342,7 +409,7 @@ impl KardAlloc {
     /// Statistics snapshot.
     #[must_use]
     pub fn stats(&self) -> AllocStats {
-        self.inner.lock().stats
+        self.stats.snapshot()
     }
 }
 
@@ -526,5 +593,37 @@ mod tests {
         let b = alloc.alloc(t, 32);
         let ids: Vec<_> = alloc.live_objects().iter().map(|o| o.id).collect();
         assert_eq!(ids, vec![a.id, b.id]);
+    }
+
+    #[test]
+    fn concurrent_alloc_free_is_coherent() {
+        let (_, _, alloc) = setup();
+        let machine = Arc::clone(alloc.machine());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let alloc = &alloc;
+                let machine = &machine;
+                s.spawn(move || {
+                    let t = machine.register_thread();
+                    let mut live = Vec::new();
+                    for i in 0..64u64 {
+                        let o = alloc.alloc(t, 24 + (i % 4) * 32);
+                        assert_eq!(alloc.object_at(o.base).unwrap().id, o.id);
+                        live.push(o.id);
+                        if i % 3 == 0 {
+                            alloc.free(t, live.swap_remove(0));
+                        }
+                    }
+                    for id in live {
+                        alloc.free(t, id);
+                    }
+                });
+            }
+        });
+        let s = alloc.stats();
+        assert_eq!(s.allocations, 4 * 64);
+        assert_eq!(s.frees, 4 * 64);
+        assert_eq!(s.live_objects, 0);
+        assert_eq!(s.rounding_waste_bytes, 0);
     }
 }

@@ -1,50 +1,125 @@
-//! Figure 5 benchmarks: the scalability run at increasing thread counts on
-//! the paper's worst-case benchmark (fluidanimate) and a well-scaling one
-//! (streamcluster).
+//! Detector hot-path scalability: real OS threads hammering one shared
+//! [`Kard`] instance with a section-heavy workload.
+//!
+//! The original Figure 5 experiments measure *simulated* overhead versus
+//! thread count; this bench instead measures the detector's own
+//! synchronization. Each program thread owns a private lock and private
+//! objects, so the workload is embarrassingly parallel at the program
+//! level — any slowdown versus one thread is contention inside the
+//! detector. With the sharded state (per-thread contexts, sharded domain
+//! map, per-concern locks, atomic stats) the only shared mutable state on
+//! this path is the key table and the lock-free counters.
+//!
+//! Run with `cargo bench -p kard-bench --bench bench_scalability`; emits
+//! `BENCH_scalability.json` at the repository root.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use kard_workloads::runner::run_workload;
-use kard_workloads::synth::SynthConfig;
-use kard_workloads::table3;
-use std::time::Duration;
+use kard_alloc::KardAlloc;
+use kard_core::{Kard, KardConfig, LockId};
+use kard_sim::{CodeSite, Machine, MachineConfig};
+use std::sync::Arc;
+use std::time::Instant;
 
-fn bench_scalability(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig5");
-    for name in ["streamcluster", "fluidanimate"] {
-        let spec = table3::by_name(name).expect("row");
-        for threads in [4usize, 16, 32] {
-            group.bench_with_input(
-                BenchmarkId::new(name, threads),
-                &threads,
-                |b, &threads| {
-                    b.iter(|| {
-                        run_workload(
-                            &spec,
-                            &SynthConfig {
-                                threads,
-                                scale: 2e-4,
-                            },
-                            9,
-                        )
-                        .kard_pct()
-                    });
-                },
-            );
+/// Critical-section entries per thread per measured run.
+const ENTRIES: u64 = 10_000;
+/// Objects written inside each critical section.
+const OBJECTS_PER_THREAD: usize = 4;
+
+struct Sample {
+    threads: usize,
+    total_entries: u64,
+    wall_seconds: f64,
+    entries_per_sec: f64,
+    detector_lock_acquisitions: u64,
+    locks_per_entry: f64,
+}
+
+fn run(threads: usize) -> Sample {
+    let machine = Arc::new(Machine::new(MachineConfig::default()));
+    let alloc = Arc::new(KardAlloc::new(Arc::clone(&machine)));
+    let kard = Arc::new(Kard::new(machine, alloc, KardConfig::default()));
+
+    let tids: Vec<_> = (0..threads).map(|_| kard.register_thread()).collect();
+    // Per-thread private objects, identified (and keyed) up front so the
+    // measured loop is the steady state: enter, write, exit.
+    let objects: Vec<Vec<_>> = tids
+        .iter()
+        .map(|&t| {
+            let objs: Vec<_> = (0..OBJECTS_PER_THREAD)
+                .map(|_| kard.on_alloc(t, 64))
+                .collect();
+            let lock = LockId(t.0 as u64);
+            let site = CodeSite(0x100 + t.0 as u64);
+            kard.lock_enter(t, lock, site);
+            for o in &objs {
+                kard.write(t, o.base, site);
+            }
+            kard.lock_exit(t, lock);
+            objs
+        })
+        .collect();
+
+    let locks_before = kard.detector_lock_acquisitions();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for (i, &t) in tids.iter().enumerate() {
+            let kard = Arc::clone(&kard);
+            let objs = objects[i].clone();
+            s.spawn(move || {
+                let lock = LockId(t.0 as u64);
+                let site = CodeSite(0x100 + t.0 as u64);
+                for n in 0..ENTRIES {
+                    kard.lock_enter(t, lock, site);
+                    let o = &objs[n as usize % OBJECTS_PER_THREAD];
+                    kard.write(t, o.base.offset((n % 8) * 8), site);
+                    kard.lock_exit(t, lock);
+                }
+            });
         }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let locks = kard.detector_lock_acquisitions() - locks_before;
+
+    let total = ENTRIES * threads as u64;
+    Sample {
+        threads,
+        total_entries: total,
+        wall_seconds: wall,
+        entries_per_sec: total as f64 / wall,
+        detector_lock_acquisitions: locks,
+        locks_per_entry: locks as f64 / total as f64,
     }
-    group.finish();
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1))
-}
+fn main() {
+    let mut samples = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let s = run(threads);
+        println!(
+            "{:>2} threads: {:>8} entries in {:.3}s = {:>10.0} entries/s, {:.2} detector lock acquisitions/entry",
+            s.threads, s.total_entries, s.wall_seconds, s.entries_per_sec, s.locks_per_entry
+        );
+        samples.push(s);
+    }
 
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_scalability
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"threads\": {}, \"total_entries\": {}, \"wall_seconds\": {:.6}, \"entries_per_sec\": {:.1}, \"detector_lock_acquisitions\": {}, \"locks_per_entry\": {:.3}}}",
+                s.threads,
+                s.total_entries,
+                s.wall_seconds,
+                s.entries_per_sec,
+                s.detector_lock_acquisitions,
+                s.locks_per_entry
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"scalability\",\n  \"workload\": \"section-heavy, per-thread private locks and objects, {ENTRIES} entries/thread, {OBJECTS_PER_THREAD} objects/thread\",\n  \"samples\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scalability.json");
+    std::fs::write(path, json).expect("write BENCH_scalability.json");
+    println!("wrote {path}");
 }
-criterion_main!(benches);

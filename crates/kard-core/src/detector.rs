@@ -6,12 +6,45 @@
 //! every simulated #GP (§5.3–§5.5), and accumulates race reports and
 //! statistics.
 //!
-//! Thread safety mirrors the paper's runtime: the detector's internal
-//! bookkeeping is serialized ("Kard employs internal synchronization (i.e.,
-//! atomic operations), like general lock functions"), here with one mutex
-//! around the detector state. Accesses that do not fault never take that
-//! mutex — they only consult the simulated hardware, which is the whole
-//! point of the design (no per-access instrumentation).
+//! # Concurrency architecture
+//!
+//! The paper's runtime serializes its bookkeeping with "internal
+//! synchronization (i.e., atomic operations)". Earlier versions of this
+//! detector realized that with a single `Mutex<State>` around everything;
+//! this version decomposes the state by concern so that independent
+//! operations synchronize independently:
+//!
+//! * **per-thread state** ([`ThreadSlot`]): each thread's critical-section
+//!   frames and held keys live in that thread's own slot, so section
+//!   entry/exit on distinct threads never contend on a shared context;
+//! * **sharded domains**: the object→domain map is split across
+//!   [`DOMAIN_SHARDS`] independently locked shards keyed by object id;
+//! * **per-concern locks**: the key-section map, the section-object map,
+//!   the interleaver, the race-record store, and the unique-section set
+//!   each have their own narrow lock;
+//! * **lock-free counters**: statistics and the active-section count are
+//!   relaxed atomics ([`AtomicStats`]);
+//! * **per-thread armed flag**: delay injection (§5.5) consults a relaxed
+//!   per-thread atomic counter mirroring the interleaver's armed
+//!   participation, so a section exit never takes the interleaver lock.
+//!
+//! Locking discipline (see DESIGN.md for the full argument):
+//!
+//! 1. the **fault path** is serialized end-to-end by `fault_mutex` —
+//!    faults are rare by design (§5.5), so one coarse lock there costs
+//!    nothing and gives the handler a stable view;
+//! 2. every other lock is a **leaf**: it is acquired, used, and released
+//!    without taking any other detector lock while held (the thread-slot
+//!    registry read-guard, held only long enough to clone a slot `Arc`,
+//!    is the one deliberate exception and nests nothing under itself).
+//!
+//! Because only `fault_mutex` is ever held across another acquisition,
+//! the lock graph has no cycle and the detector is deadlock-free by
+//! construction. Accesses that do not fault never take *any* detector
+//! lock — they only consult the simulated hardware, which is the whole
+//! point of the design (no per-access instrumentation); every detector
+//! lock counts its acquisitions so `tests/no_lock_overhead.rs` can assert
+//! exactly that via [`Kard::detector_lock_acquisitions`].
 
 use crate::assignment::{choose_key, Assignment};
 use crate::config::KardConfig;
@@ -20,17 +53,23 @@ use crate::interleave::{Interleaver, Observation, Verdict};
 use crate::keymap::KeyTable;
 use crate::report::{RaceFingerprint, RaceRecord, RaceSide};
 use crate::sections::SectionObjectMap;
-use crate::stats::DetectorStats;
+use crate::stats::{AtomicStats, DetectorStats};
+use crate::sync::{TrackedMutex, TrackedRwLock};
 use crate::types::{LockId, Perm, SectionId, SectionMode};
 use kard_alloc::{KardAlloc, ObjectId, ObjectInfo};
 use kard_sim::{
     AccessKind, CodeSite, GpFault, KeyLayout, Machine, Permission, Pkru, ProtectionKey, ThreadId,
     VirtAddr,
 };
-use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Number of independently locked shards of the object→domain map. Object
+/// ids are dense, so a simple modulo spreads neighboring objects across
+/// different locks.
+const DOMAIN_SHARDS: usize = 16;
 
 /// What the fault handler tells the access loop to do next.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,17 +98,23 @@ struct ThreadCtx {
     held: HashMap<ProtectionKey, Perm>,
 }
 
-struct State {
-    domains: HashMap<ObjectId, Domain>,
-    sections: SectionObjectMap,
-    keys: KeyTable,
-    interleaver: Interleaver,
-    threads: HashMap<ThreadId, ThreadCtx>,
+/// One registered thread's detector-private state.
+struct ThreadSlot {
+    /// Frames and held keys — touched only by the owning thread's
+    /// entry/exit calls and by the (serialized) fault path.
+    ctx: TrackedMutex<ThreadCtx>,
+    /// Number of *armed* protection interleavings this thread participates
+    /// in. Mirrors `Interleaver::has_armed_participant` so the delay
+    /// check at section exit is a single relaxed load (§5.5).
+    armed: AtomicUsize,
+}
+
+/// Race records plus the dedup fingerprints guarding them — one concern,
+/// one lock.
+#[derive(Default)]
+struct RecordStore {
     records: Vec<Option<RaceRecord>>,
     seen: HashSet<RaceFingerprint>,
-    stats: DetectorStats,
-    unique_sections: HashSet<SectionId>,
-    active_sections: u64,
 }
 
 /// The Kard dynamic data race detector. See the
@@ -79,7 +124,31 @@ pub struct Kard {
     alloc: Arc<KardAlloc>,
     config: KardConfig,
     layout: KeyLayout,
-    state: Mutex<State>,
+    /// Total lock acquisitions across every detector lock (see
+    /// [`Kard::detector_lock_acquisitions`]).
+    lock_acquisitions: Arc<AtomicU64>,
+    /// Serializes the fault path end-to-end. Only this lock is ever held
+    /// across other detector-lock acquisitions.
+    fault_mutex: TrackedMutex<()>,
+    /// Registered threads, indexed by dense `ThreadId`. Written only at
+    /// registration; read-locked just long enough to clone a slot `Arc`.
+    threads: TrackedRwLock<Vec<Arc<ThreadSlot>>>,
+    /// Object→domain map, sharded by object id.
+    domains: Vec<TrackedMutex<HashMap<ObjectId, Domain>>>,
+    /// The section-object map (§5.3, Figure 3a).
+    sections: TrackedRwLock<SectionObjectMap>,
+    /// The key-section map (§5.4, Figure 3b).
+    keys: TrackedMutex<KeyTable>,
+    /// The protection-interleaving engine (§5.5, Figure 4).
+    interleaver: TrackedMutex<Interleaver>,
+    /// Race records and dedup fingerprints (§5.5).
+    records: TrackedMutex<RecordStore>,
+    /// Distinct sections ever entered (feeds `stats.unique_sections`).
+    unique_sections: TrackedMutex<HashSet<SectionId>>,
+    /// Lock-free statistic counters.
+    stats: AtomicStats,
+    /// Critical sections currently in flight.
+    active_sections: AtomicU64,
 }
 
 impl Kard {
@@ -87,23 +156,26 @@ impl Kard {
     #[must_use]
     pub fn new(machine: Arc<Machine>, alloc: Arc<KardAlloc>, config: KardConfig) -> Kard {
         let layout = machine.key_layout();
+        let counter = Arc::new(AtomicU64::new(0));
+        let tracked = |c: &Arc<AtomicU64>| Arc::clone(c);
         Kard {
             machine,
             alloc,
             config,
             layout,
-            state: Mutex::new(State {
-                domains: HashMap::new(),
-                sections: SectionObjectMap::new(),
-                keys: KeyTable::new(&layout),
-                interleaver: Interleaver::new(),
-                threads: HashMap::new(),
-                records: Vec::new(),
-                seen: HashSet::new(),
-                stats: DetectorStats::default(),
-                unique_sections: HashSet::new(),
-                active_sections: 0,
-            }),
+            fault_mutex: TrackedMutex::new((), tracked(&counter)),
+            threads: TrackedRwLock::new(Vec::new(), tracked(&counter)),
+            domains: (0..DOMAIN_SHARDS)
+                .map(|_| TrackedMutex::new(HashMap::new(), tracked(&counter)))
+                .collect(),
+            sections: TrackedRwLock::new(SectionObjectMap::new(), tracked(&counter)),
+            keys: TrackedMutex::new(KeyTable::new(&layout), tracked(&counter)),
+            interleaver: TrackedMutex::new(Interleaver::new(), tracked(&counter)),
+            records: TrackedMutex::new(RecordStore::default(), tracked(&counter)),
+            unique_sections: TrackedMutex::new(HashSet::new(), tracked(&counter)),
+            stats: AtomicStats::default(),
+            active_sections: AtomicU64::new(0),
+            lock_acquisitions: counter,
         }
     }
 
@@ -125,6 +197,29 @@ impl Kard {
         self.config
     }
 
+    /// Total acquisitions of detector-internal locks so far. A fault-free
+    /// access contributes zero — the property `tests/no_lock_overhead.rs`
+    /// checks.
+    #[must_use]
+    pub fn detector_lock_acquisitions(&self) -> u64 {
+        self.lock_acquisitions.load(Ordering::Relaxed)
+    }
+
+    /// The slot of a registered thread.
+    fn slot(&self, t: ThreadId) -> Arc<ThreadSlot> {
+        Arc::clone(&self.threads.read()[t.0])
+    }
+
+    /// The slot of a thread that may not be registered.
+    fn try_slot(&self, t: ThreadId) -> Option<Arc<ThreadSlot>> {
+        self.threads.read().get(t.0).cloned()
+    }
+
+    /// The domain-map shard owning `id`.
+    fn domain_shard(&self, id: ObjectId) -> &TrackedMutex<HashMap<ObjectId, Domain>> {
+        &self.domains[id.0 as usize % DOMAIN_SHARDS]
+    }
+
     /// The PKRU policy for a thread outside any critical section: default
     /// key read-write, `k_ro` read-only (everyone can read the Read-only
     /// domain), `k_na` read-write (non-critical code touches Not-accessed
@@ -141,7 +236,16 @@ impl Kard {
     pub fn register_thread(&self) -> ThreadId {
         let t = self.machine.register_thread();
         self.machine.wrpkru(t, self.base_pkru());
-        self.state.lock().threads.insert(t, ThreadCtx::default());
+        let mut threads = self.threads.write();
+        if threads.len() <= t.0 {
+            let counter = Arc::clone(&self.lock_acquisitions);
+            threads.resize_with(t.0 + 1, || {
+                Arc::new(ThreadSlot {
+                    ctx: TrackedMutex::new(ThreadCtx::default(), Arc::clone(&counter)),
+                    armed: AtomicUsize::new(0),
+                })
+            });
+        }
         t
     }
 
@@ -152,7 +256,9 @@ impl Kard {
         self.alloc
             .protect(t, info.id, self.layout.not_accessed)
             .expect("k_na is always valid");
-        self.state.lock().domains.insert(info.id, Domain::NotAccessed);
+        self.domain_shard(info.id)
+            .lock()
+            .insert(info.id, Domain::NotAccessed);
         info
     }
 
@@ -163,19 +269,27 @@ impl Kard {
         self.alloc
             .protect(t, info.id, self.layout.not_accessed)
             .expect("k_na is always valid");
-        self.state.lock().domains.insert(info.id, Domain::NotAccessed);
+        self.domain_shard(info.id)
+            .lock()
+            .insert(info.id, Domain::NotAccessed);
         info
     }
 
     /// Intercepted `free`: all detector metadata for the object is dropped.
+    ///
+    /// Takes the fault mutex so a free cannot interleave with a fault
+    /// handler mid-flight on the same object (the handler re-protects
+    /// objects through the allocator, which panics on unknown ids).
     pub fn on_free(&self, t: ThreadId, id: ObjectId) {
-        {
-            let mut st = self.state.lock();
-            if let Some(Domain::ReadWrite(key)) = st.domains.remove(&id) {
-                st.keys.unassign_object(key, id);
-            }
-            st.sections.remove_object(id);
-            st.interleaver.forget(id);
+        let _serial = self.fault_mutex.lock();
+        let prev = self.domain_shard(id).lock().remove(&id);
+        if let Some(Domain::ReadWrite(key)) = prev {
+            self.keys.lock().unassign_object(key, id);
+        }
+        self.sections.write().remove_object(id);
+        let disarmed = self.interleaver.lock().forget(id);
+        for th in disarmed {
+            self.slot(th).armed.fetch_sub(1, Ordering::Relaxed);
         }
         self.alloc.free(t, id);
     }
@@ -195,13 +309,16 @@ impl Kard {
         self.machine.charge(t, cost.lock_op + cost.atomic_op);
         let section = SectionId(site);
 
-        let mut st = self.state.lock();
-        st.stats.cs_entries += 1;
-        st.unique_sections.insert(section);
-        st.stats.unique_sections = st.unique_sections.len() as u64;
-        st.active_sections += 1;
-        st.stats.max_concurrent_sections =
-            st.stats.max_concurrent_sections.max(st.active_sections);
+        AtomicStats::bump(&self.stats.cs_entries);
+        {
+            let mut unique = self.unique_sections.lock();
+            unique.insert(section);
+            self.stats
+                .unique_sections
+                .store(unique.len() as u64, Ordering::Relaxed);
+        }
+        let active = self.active_sections.fetch_add(1, Ordering::Relaxed) + 1;
+        AtomicStats::raise_to(&self.stats.max_concurrent_sections, active);
         // Internal-synchronization contention (§5.4: key acquisition is
         // protected by atomic operations): every program thread contends
         // on the runtime's shared state at each section entry — cache-line
@@ -229,39 +346,51 @@ impl Kard {
             acquired: Vec::new(),
         };
 
+        let slot = self.slot(t);
+        let mut held_updates: Vec<(ProtectionKey, Perm)> = Vec::new();
         if self.config.proactive_acquisition {
             // Figure 3b: look up the section-object map, then try to
-            // acquire each object's key from the key-section map.
-            let wanted = st.sections.objects_of(section);
+            // acquire each object's key from the key-section map. The
+            // wanted list and each object's domain are read under their
+            // own (briefly held) locks; the acquisitions then run under
+            // one key-table guard.
+            let wanted = self.sections.read().objects_of(section);
             self.machine
                 .charge(t, cost.map_op * (wanted.len() as u64 + 1));
+            let mut targets: Vec<(ProtectionKey, Perm)> = Vec::new();
             for (obj, perm) in wanted {
                 let perm = mode.cap(perm);
-                let Some(Domain::ReadWrite(key)) = st.domains.get(&obj).copied() else {
+                let Some(Domain::ReadWrite(key)) =
+                    self.domain_shard(obj).lock().get(&obj).copied()
+                else {
                     continue; // RO-domain objects need no key to read.
                 };
-                let prev = st.keys.holder_perm(key, t);
+                targets.push((key, perm));
+            }
+            let mut keys = self.keys.lock();
+            for (key, perm) in targets {
+                let prev = keys.holder_perm(key, t);
                 if prev.is_some_and(|p| p >= perm) {
                     continue; // Already held strongly enough (outer frame).
                 }
                 self.machine.charge(t, cost.map_op);
-                if st.keys.try_acquire(key, t, perm, section) {
-                    st.stats.proactive_acquisitions += 1;
+                if keys.try_acquire(key, t, perm, section) {
+                    AtomicStats::bump(&self.stats.proactive_acquisitions);
                     frame.acquired.push((key, prev));
-                    let eff = st.keys.holder_perm(key, t).expect("just acquired");
+                    let eff = keys.holder_perm(key, t).expect("just acquired");
                     new_pkru.set_permission(key, perm_to_permission(eff));
-                    let ctx = st.threads.get_mut(&t).expect("registered");
-                    ctx.held.insert(key, eff);
+                    held_updates.push((key, eff));
                 }
             }
         }
 
-        st.threads
-            .get_mut(&t)
-            .expect("thread must be registered")
-            .frames
-            .push(frame);
-        drop(st);
+        {
+            let mut ctx = slot.ctx.lock();
+            for (key, eff) in held_updates {
+                ctx.held.insert(key, eff);
+            }
+            ctx.frames.push(frame);
+        }
         // One WRPKRU installs k_na retraction plus all proactive grants.
         self.machine.wrpkru(t, new_pkru);
     }
@@ -272,64 +401,76 @@ impl Kard {
     ///
     /// Panics on unbalanced or mismatched lock/unlock pairs.
     pub fn lock_exit(&self, t: ThreadId, lock: LockId) {
+        let slot = self.slot(t);
         // Delay injection (§5.5): stall the exit while an interleaving
         // this thread participates in is still waiting for the counterpart
         // fault, so small critical sections do not slip away before the
-        // offset test can run.
-        if self.config.interleave_exit_delay > 0 {
-            let armed = self.state.lock().interleaver.has_armed_participant(t);
-            if armed {
-                self.machine.charge(t, self.config.interleave_exit_delay);
-                // On real OS threads, actually give the counterpart a
-                // chance to run; a no-op under single-threaded replay.
-                std::thread::yield_now();
-            }
+        // offset test can run. One relaxed load of the per-thread armed
+        // counter — the non-faulting exit path takes no detector-wide
+        // lock for this check.
+        if self.config.interleave_exit_delay > 0 && slot.armed.load(Ordering::Relaxed) > 0 {
+            self.machine.charge(t, self.config.interleave_exit_delay);
+            // On real OS threads, actually give the counterpart a
+            // chance to run; a no-op under single-threaded replay.
+            std::thread::yield_now();
         }
         let cost = *self.machine.cost_model();
         self.machine.charge(t, cost.lock_op + cost.atomic_op);
         let now = self.machine.rdtscp(t); // §5.4: timestamp key releases.
 
-        let mut st = self.state.lock();
-        let ctx = st.threads.get_mut(&t).expect("registered");
-        let frame = ctx.frames.pop().expect("unlock without lock");
-        assert_eq!(frame.lock, lock, "mismatched unlock");
-        let outside_now = ctx.frames.is_empty();
-
-        for &(key, prev) in frame.acquired.iter().rev() {
-            let ctx = st.threads.get_mut(&t).expect("registered");
-            match prev {
-                None => {
-                    ctx.held.remove(&key);
-                    st.keys.release(key, t, now);
-                }
-                Some(perm) => {
-                    ctx.held.insert(key, perm);
-                    st.keys.downgrade(key, t, perm);
+        let (frame, outside_now) = {
+            let mut ctx = slot.ctx.lock();
+            let frame = ctx.frames.pop().expect("unlock without lock");
+            assert_eq!(frame.lock, lock, "mismatched unlock");
+            for &(key, prev) in frame.acquired.iter().rev() {
+                match prev {
+                    None => {
+                        ctx.held.remove(&key);
+                    }
+                    Some(perm) => {
+                        ctx.held.insert(key, perm);
+                    }
                 }
             }
-            self.machine.charge(t, cost.map_op);
-        }
-        st.active_sections -= 1;
-
-        let finished = if outside_now {
-            st.interleaver.thread_left_critical_sections(t)
-        } else {
-            Vec::new()
+            let outside_now = ctx.frames.is_empty();
+            (frame, outside_now)
         };
-        for fin in finished {
-            // §5.5: restore the object's protection once every conflicting
-            // thread has left its critical section.
-            if self.alloc.object(fin.object).is_none() {
-                continue; // Freed while suspended.
+
+        {
+            let mut keys = self.keys.lock();
+            for &(key, prev) in frame.acquired.iter().rev() {
+                match prev {
+                    None => keys.release(key, t, now),
+                    Some(perm) => keys.downgrade(key, t, perm),
+                }
+                self.machine.charge(t, cost.map_op);
             }
-            st.keys.assign_object(fin.original_key, fin.object);
-            st.domains
-                .insert(fin.object, Domain::ReadWrite(fin.original_key));
-            self.alloc
-                .protect(t, fin.object, fin.original_key)
-                .expect("pool key is valid");
         }
-        drop(st);
+        self.active_sections.fetch_sub(1, Ordering::Relaxed);
+
+        if outside_now {
+            let (finished, armed_removed) =
+                self.interleaver.lock().thread_left_critical_sections(t);
+            if armed_removed > 0 {
+                slot.armed.fetch_sub(armed_removed, Ordering::Relaxed);
+            }
+            for fin in finished {
+                // §5.5: restore the object's protection once every
+                // conflicting thread has left its critical section.
+                if self.alloc.object(fin.object).is_none() {
+                    continue; // Freed while suspended.
+                }
+                self.keys
+                    .lock()
+                    .assign_object(fin.original_key, fin.object);
+                self.domain_shard(fin.object)
+                    .lock()
+                    .insert(fin.object, Domain::ReadWrite(fin.original_key));
+                self.alloc
+                    .protect(t, fin.object, fin.original_key)
+                    .expect("pool key is valid");
+            }
+        }
         self.machine.wrpkru(t, frame.saved_pkru);
     }
 
@@ -358,6 +499,8 @@ impl Kard {
 
     /// The custom #GP handler (§5.5): classify the fault by domain key and
     /// dispatch to identification, migration, interleaving, or race check.
+    /// The whole handler runs under the fault mutex — faults are rare, and
+    /// serializing them keeps every cross-component decision coherent.
     fn handle_fault(&self, fault: GpFault) -> FaultAction {
         self.machine.charge_fault_handling(fault.thread);
         let info = self
@@ -366,18 +509,20 @@ impl Kard {
             .unwrap_or_else(|| panic!("#GP on unmanaged memory: {fault}"));
         let offset = fault.addr.0.saturating_sub(info.base.0);
 
-        let mut st = self.state.lock();
+        let _serial = self.fault_mutex.lock();
         if fault.pkey == self.layout.not_accessed {
-            self.identify(&mut st, &fault, &info)
+            self.identify(&fault, &info)
         } else if fault.pkey == self.layout.read_only {
-            self.handle_read_only_write(&mut st, &fault, &info, offset)
+            self.handle_read_only_write(&fault, &info, offset)
         } else if self.layout.is_read_write_key(fault.pkey) {
-            if st.interleaver.is_armed(info.id)
-                && st.interleaver.interleaved_key(info.id) == Some(fault.pkey)
-            {
-                self.handle_interleave_fault(&mut st, &fault, &info, offset)
+            let interleaved = {
+                let il = self.interleaver.lock();
+                il.is_armed(info.id) && il.interleaved_key(info.id) == Some(fault.pkey)
+            };
+            if interleaved {
+                self.handle_interleave_fault(&fault, &info, offset)
             } else {
-                self.handle_pool_fault(&mut st, &fault, &info, offset)
+                self.handle_pool_fault(&fault, &info, offset)
             }
         } else {
             panic!("#GP with unexpected key {}: {fault}", fault.pkey);
@@ -386,25 +531,27 @@ impl Kard {
 
     /// §5.3 identification: first critical-section access to a
     /// Not-accessed object migrates it to a domain matching the access.
-    fn identify(&self, st: &mut State, fault: &GpFault, info: &ObjectInfo) -> FaultAction {
-        st.stats.identification_faults += 1;
-        st.stats.objects_identified += 1;
+    fn identify(&self, fault: &GpFault, info: &ObjectInfo) -> FaultAction {
+        AtomicStats::bump(&self.stats.identification_faults);
+        AtomicStats::bump(&self.stats.objects_identified);
         let t = fault.thread;
-        let section = self.current_section(st, t).unwrap_or_else(|| {
+        let section = self.current_section(t).unwrap_or_else(|| {
             panic!("k_na fault outside a critical section: {fault}")
         });
 
         match fault.access {
             AccessKind::Read => {
-                st.stats.read_only_migrations += 1;
-                st.domains.insert(info.id, Domain::ReadOnly);
-                st.sections.record(section, info.id, Perm::Read);
+                AtomicStats::bump(&self.stats.read_only_migrations);
+                self.domain_shard(info.id)
+                    .lock()
+                    .insert(info.id, Domain::ReadOnly);
+                self.sections.write().record(section, info.id, Perm::Read);
                 self.alloc
                     .protect(t, info.id, self.layout.read_only)
                     .expect("k_ro is valid");
             }
             AccessKind::Write => {
-                self.migrate_to_read_write(st, t, section, info);
+                self.migrate_to_read_write(t, section, info);
             }
         }
         FaultAction::Retry
@@ -415,17 +562,16 @@ impl Kard {
     /// potential race against the sections reading it.
     fn handle_read_only_write(
         &self,
-        st: &mut State,
         fault: &GpFault,
         info: &ObjectInfo,
         offset: u64,
     ) -> FaultAction {
         debug_assert_eq!(fault.access, AccessKind::Write, "k_ro only blocks writes");
         let t = fault.thread;
-        if let Some(section) = self.current_section(st, t) {
-            st.stats.migration_faults += 1;
-            st.sections.record(section, info.id, Perm::Write);
-            self.migrate_to_read_write(st, t, section, info);
+        if let Some(section) = self.current_section(t) {
+            AtomicStats::bump(&self.stats.migration_faults);
+            self.sections.write().record(section, info.id, Perm::Write);
+            self.migrate_to_read_write(t, section, info);
             return FaultAction::Retry;
         }
 
@@ -441,17 +587,30 @@ impl Kard {
         if !self.config.proactive_acquisition {
             return FaultAction::Emulated;
         }
-        st.stats.race_check_faults += 1;
-        let reader = st
-            .threads
-            .iter()
-            .filter(|(&other, _)| other != t)
-            .find_map(|(&other, ctx)| {
-                ctx.frames
+        AtomicStats::bump(&self.stats.race_check_faults);
+        // Snapshot every other thread's frame sections (each under its own
+        // slot lock), then evaluate them against the section-object map.
+        let frame_sections: Vec<(ThreadId, Vec<SectionId>)> = {
+            let threads = self.threads.read();
+            threads.iter().map(Arc::clone).collect::<Vec<_>>()
+        }
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| ThreadId(i) != t)
+        .map(|(i, slot)| {
+            let sections = slot.ctx.lock().frames.iter().map(|f| f.section).collect();
+            (ThreadId(i), sections)
+        })
+        .collect();
+        let reader = {
+            let map = self.sections.read();
+            frame_sections.iter().find_map(|(other, sections)| {
+                sections
                     .iter()
-                    .find(|f| st.sections.section_accesses(f.section, info.id))
-                    .map(|f| (other, f.section))
-            });
+                    .find(|&&s| map.section_accesses(s, info.id))
+                    .map(|&s| (*other, s))
+            })
+        };
         if let Some((holder_thread, holder_section)) = reader {
             let record = RaceRecord {
                 object: info.id,
@@ -470,7 +629,7 @@ impl Kard {
                 access: AccessKind::Write,
                 tsc: fault.tsc,
             };
-            self.push_record(st, record);
+            self.push_record(record);
         }
         // The write completes via emulation; the object stays read-only so
         // detection continues for later unlocked writers.
@@ -480,14 +639,13 @@ impl Kard {
     /// Counterpart fault during protection interleaving (§5.5, Figure 4).
     fn handle_interleave_fault(
         &self,
-        st: &mut State,
         fault: &GpFault,
         info: &ObjectInfo,
         offset: u64,
     ) -> FaultAction {
-        st.stats.interleave_faults += 1;
+        AtomicStats::bump(&self.stats.interleave_faults);
         let t = fault.thread;
-        let section = self.current_section(st, t);
+        let section = self.current_section(t);
         let obs = Observation {
             thread: t,
             section,
@@ -495,26 +653,37 @@ impl Kard {
             kind: fault.access,
             ip: fault.ip,
         };
-        let idx = st.interleaver.record_index(info.id).expect("armed");
-        let ikey = st.interleaver.interleaved_key(info.id).expect("armed");
-        let verdict = st.interleaver.observe(info.id, obs);
+        let (idx, ikey, verdict, disarmed) = {
+            let mut il = self.interleaver.lock();
+            let idx = il.record_index(info.id).expect("armed");
+            let ikey = il.interleaved_key(info.id).expect("armed");
+            let (verdict, disarmed) = il.observe(info.id, obs);
+            (idx, ikey, verdict, disarmed)
+        };
+        for th in disarmed {
+            self.slot(th).armed.fetch_sub(1, Ordering::Relaxed);
+        }
         match verdict {
             Verdict::Confirmed(_) => {
-                if let Some(record) = st.records[idx].as_mut() {
+                let mut store = self.records.lock();
+                if let Some(record) = store.records[idx].as_mut() {
                     record.holding.offset = Some(obs.offset);
                     record.holding.ip = obs.ip;
                 }
             }
             Verdict::PrunedDifferentOffset => {
-                if let Some(record) = st.records[idx].take() {
-                    st.seen.remove(&record.fingerprint());
-                    st.stats.races_pruned_offset += 1;
+                let mut store = self.records.lock();
+                if let Some(record) = store.records[idx].take() {
+                    store.seen.remove(&record.fingerprint());
+                    AtomicStats::bump(&self.stats.races_pruned_offset);
                 }
             }
         }
         // Suspend protection until the conflicting threads exit (§5.5).
-        st.keys.unassign_object(ikey, info.id);
-        st.domains.insert(info.id, Domain::Suspended);
+        self.keys.lock().unassign_object(ikey, info.id);
+        self.domain_shard(info.id)
+            .lock()
+            .insert(info.id, Domain::Suspended);
         self.alloc
             .protect(t, info.id, ProtectionKey::DEFAULT)
             .expect("default key is valid");
@@ -523,123 +692,82 @@ impl Kard {
 
     /// Faults on read-write pool keys: reactive acquisition or race
     /// detection (§5.4–§5.5, Figure 3c).
-    fn handle_pool_fault(
-        &self,
-        st: &mut State,
-        fault: &GpFault,
-        info: &ObjectInfo,
-        offset: u64,
-    ) -> FaultAction {
+    fn handle_pool_fault(&self, fault: &GpFault, info: &ObjectInfo, offset: u64) -> FaultAction {
         let t = fault.thread;
         let key = fault.pkey;
-        let section = self.current_section(st, t);
+        let section = self.current_section(t);
         let cost = *self.machine.cost_model();
         self.machine.charge(t, cost.map_op); // key-section map lookup
 
-        // Who conflicts? A read conflicts with a write holder; a write
-        // conflicts with any holder.
-        let key_state = st.keys.state(key);
-        let conflicting_holder: Option<(ThreadId, SectionId)> = match fault.access {
-            AccessKind::Read => key_state
-                .writer()
-                .filter(|&w| w != t)
-                .map(|w| (w, key_state.holders[&w].section)),
-            AccessKind::Write => key_state
-                .holders
-                .iter()
-                .filter(|(&h, _)| h != t)
-                .map(|(&h, i)| (h, i.section))
-                .min_by_key(|&(h, _)| h),
+        /// What the single key-table inspection decided.
+        enum PoolOutcome {
+            Conflict(ThreadId, SectionId),
+            RecentRelease(ThreadId),
+            AcquiredReactive,
+            NoSection,
+        }
+
+        let outcome = {
+            let mut keys = self.keys.lock();
+            let key_state = keys.state(key);
+            // Who conflicts? A read conflicts with a write holder; a write
+            // conflicts with any holder.
+            let conflicting_holder: Option<(ThreadId, SectionId)> = match fault.access {
+                AccessKind::Read => key_state
+                    .writer()
+                    .filter(|&w| w != t)
+                    .map(|w| (w, key_state.holders[&w].section)),
+                AccessKind::Write => key_state
+                    .holders
+                    .iter()
+                    .filter(|(&h, _)| h != t)
+                    .map(|(&h, i)| (h, i.section))
+                    .min_by_key(|&(h, _)| h),
+            };
+
+            // §5.5 timestamp check. The fault is raised at `fault.tsc` but
+            // the handler runs roughly one fault-handling delay later, so a
+            // holder may release the key in between. Kard compares the
+            // release stamp against the handler invocation time: a release
+            // within one average delay of handler entry means the key *was*
+            // held when the fault occurred — i.e. the release postdates
+            // `fault.tsc`.
+            let recent_release = self.config.timestamp_filter
+                && conflicting_holder.is_none()
+                && key_state.last_writer_release.is_some_and(|rel| {
+                    let handler_now = fault.tsc + cost.fault_handling;
+                    rel > fault.tsc && handler_now.saturating_sub(rel) < cost.fault_handling
+                });
+            if conflicting_holder.is_none()
+                && !recent_release
+                && key_state.last_writer_release.is_some()
+            {
+                AtomicStats::bump(&self.stats.races_filtered_timestamp);
+            }
+
+            if let Some((holder_thread, holder_section)) = conflicting_holder {
+                PoolOutcome::Conflict(holder_thread, holder_section)
+            } else if recent_release {
+                let holder = key_state
+                    .last_writer
+                    .expect("recent release implies a recorded releaser");
+                PoolOutcome::RecentRelease(holder)
+            } else if let Some(sec) = section {
+                // No conflict, inside a section: reactive acquisition
+                // (Algorithm 1 lines 13–18 / 22–26), under the same guard
+                // that just proved no conflicting holder exists.
+                let perm = perm_for(fault.access);
+                let ok = keys.try_acquire(key, t, perm, sec);
+                debug_assert!(ok, "no conflicting holder, acquisition must succeed");
+                PoolOutcome::AcquiredReactive
+            } else {
+                PoolOutcome::NoSection
+            }
         };
 
-        // §5.5 timestamp check. The fault is raised at `fault.tsc` but the
-        // handler runs roughly one fault-handling delay later, so a holder
-        // may release the key in between. Kard compares the release stamp
-        // against the handler invocation time: a release within one average
-        // delay of handler entry means the key *was* held when the fault
-        // occurred — i.e. the release postdates `fault.tsc`.
-        let recent_release = self.config.timestamp_filter
-            && conflicting_holder.is_none()
-            && key_state.last_writer_release.is_some_and(|rel| {
-                let handler_now = fault.tsc + cost.fault_handling;
-                rel > fault.tsc && handler_now.saturating_sub(rel) < cost.fault_handling
-            });
-        if conflicting_holder.is_none()
-            && !recent_release
-            && key_state.last_writer_release.is_some()
-        {
-            st.stats.races_filtered_timestamp += 1;
-        }
-
-        if let Some((holder_thread, holder_section)) = conflicting_holder {
-            st.stats.race_check_faults += 1;
-            let record = RaceRecord {
-                object: info.id,
-                faulting: RaceSide {
-                    thread: t,
-                    section,
-                    ip: fault.ip,
-                    offset: Some(offset),
-                },
-                holding: RaceSide {
-                    thread: holder_thread,
-                    section: Some(holder_section),
-                    ip: holder_section.0,
-                    offset: None,
-                },
-                access: fault.access,
-                tsc: fault.tsc,
-            };
-            let idx = self.push_record(st, record);
-
-            // Protection interleaving (Figure 4): only meaningful for a
-            // fresh record, when the faulter is inside a critical section
-            // (only there can it hold a key) and a key can be found.
-            if self.config.protection_interleaving && !st.interleaver.is_armed(info.id) {
-                if let (Some(idx), Some(sec)) = (idx, section) {
-                    if let Some(ikey) = self.pick_interleave_key(st, t) {
-                        st.keys.unassign_object(key, info.id);
-                        st.keys.assign_object(ikey, info.id);
-                        st.keys.force_acquire(ikey, t, perm_for(fault.access), sec);
-                        let prev = self.note_held(st, t, ikey, perm_for(fault.access));
-                        self.record_frame_acquisition(st, t, ikey, prev);
-                        st.domains.insert(info.id, Domain::ReadWrite(ikey));
-                        self.alloc.protect(t, info.id, ikey).expect("valid key");
-                        self.grant_in_context(st, t, ikey);
-                        st.interleaver.begin(
-                            info.id,
-                            idx,
-                            key,
-                            ikey,
-                            Observation {
-                                thread: t,
-                                section,
-                                offset,
-                                kind: fault.access,
-                                ip: fault.ip,
-                            },
-                            holder_thread,
-                        );
-                        return FaultAction::Retry;
-                    }
-                }
-            }
-            return FaultAction::Emulated;
-        }
-
-        if recent_release {
-            // The key holder released in the window between the fault and
-            // the handler running (§5.5's timestamp check): treat the key
-            // as held at fault time. The last write-releaser identifies
-            // the holding side; there is no live holder to interleave
-            // against, so report only.
-            st.stats.race_check_faults += 1;
-            let holder = st
-                .keys
-                .state(key)
-                .last_writer
-                .expect("recent release implies a recorded releaser");
-            if holder != t {
+        match outcome {
+            PoolOutcome::Conflict(holder_thread, holder_section) => {
+                AtomicStats::bump(&self.stats.race_check_faults);
                 let record = RaceRecord {
                     object: info.id,
                     faulting: RaceSide {
@@ -649,49 +777,113 @@ impl Kard {
                         offset: Some(offset),
                     },
                     holding: RaceSide {
-                        thread: holder,
-                        section: None, // Already exited its section.
-                        ip: CodeSite(0),
+                        thread: holder_thread,
+                        section: Some(holder_section),
+                        ip: holder_section.0,
                         offset: None,
                     },
                     access: fault.access,
                     tsc: fault.tsc,
                 };
-                self.push_record(st, record);
-            }
-            return FaultAction::Emulated;
-        }
+                let idx = self.push_record(record);
 
-        // No conflict. Inside a section: reactive acquisition (Algorithm 1
-        // lines 13–18 / 22–26). Outside: the access is unordered but the
-        // key is free — not an ILU race; emulate and move on.
-        if let Some(sec) = section {
-            let perm = perm_for(fault.access);
-            let ok = st.keys.try_acquire(key, t, perm, sec);
-            debug_assert!(ok, "no conflicting holder, acquisition must succeed");
-            st.stats.reactive_acquisitions += 1;
-            let prev = self.note_held(st, t, key, perm);
-            self.record_frame_acquisition(st, t, key, prev);
-            st.sections.record(sec, info.id, perm);
-            self.machine.charge(t, cost.map_op * 2);
-            self.grant_in_context(st, t, key);
-            FaultAction::Retry
-        } else {
-            FaultAction::Emulated
+                // Protection interleaving (Figure 4): only meaningful for a
+                // fresh record, when the faulter is inside a critical
+                // section (only there can it hold a key) and a key can be
+                // found.
+                if self.config.protection_interleaving
+                    && !self.interleaver.lock().is_armed(info.id)
+                {
+                    if let (Some(idx), Some(sec)) = (idx, section) {
+                        if let Some(ikey) = self.pick_interleave_key(t) {
+                            {
+                                let mut keys = self.keys.lock();
+                                keys.unassign_object(key, info.id);
+                                keys.assign_object(ikey, info.id);
+                                keys.force_acquire(ikey, t, perm_for(fault.access), sec);
+                            }
+                            self.note_held_and_record(t, ikey, perm_for(fault.access));
+                            self.domain_shard(info.id)
+                                .lock()
+                                .insert(info.id, Domain::ReadWrite(ikey));
+                            self.alloc.protect(t, info.id, ikey).expect("valid key");
+                            self.grant_in_context(t, ikey);
+                            self.interleaver.lock().begin(
+                                info.id,
+                                idx,
+                                key,
+                                ikey,
+                                Observation {
+                                    thread: t,
+                                    section,
+                                    offset,
+                                    kind: fault.access,
+                                    ip: fault.ip,
+                                },
+                                holder_thread,
+                            );
+                            // Arm both participants' exit-delay counters.
+                            self.slot(t).armed.fetch_add(1, Ordering::Relaxed);
+                            self.slot(holder_thread)
+                                .armed
+                                .fetch_add(1, Ordering::Relaxed);
+                            return FaultAction::Retry;
+                        }
+                    }
+                }
+                FaultAction::Emulated
+            }
+            PoolOutcome::RecentRelease(holder) => {
+                // The key holder released in the window between the fault
+                // and the handler running (§5.5's timestamp check): treat
+                // the key as held at fault time. The last write-releaser
+                // identifies the holding side; there is no live holder to
+                // interleave against, so report only.
+                AtomicStats::bump(&self.stats.race_check_faults);
+                if holder != t {
+                    let record = RaceRecord {
+                        object: info.id,
+                        faulting: RaceSide {
+                            thread: t,
+                            section,
+                            ip: fault.ip,
+                            offset: Some(offset),
+                        },
+                        holding: RaceSide {
+                            thread: holder,
+                            section: None, // Already exited its section.
+                            ip: CodeSite(0),
+                            offset: None,
+                        },
+                        access: fault.access,
+                        tsc: fault.tsc,
+                    };
+                    self.push_record(record);
+                }
+                FaultAction::Emulated
+            }
+            PoolOutcome::AcquiredReactive => {
+                let sec = section.expect("reactive acquisition implies a section");
+                AtomicStats::bump(&self.stats.reactive_acquisitions);
+                self.note_held_and_record(t, key, perm_for(fault.access));
+                self.sections
+                    .write()
+                    .record(sec, info.id, perm_for(fault.access));
+                self.machine.charge(t, cost.map_op * 2);
+                self.grant_in_context(t, key);
+                FaultAction::Retry
+            }
+            // Outside any section with a free key: the access is unordered
+            // but not an ILU race; emulate and move on.
+            PoolOutcome::NoSection => FaultAction::Emulated,
         }
     }
 
     /// §5.3 / §5.4: move an object into the Read-write domain, picking a
     /// key with the effective-assignment policy and acquiring it reactively.
-    fn migrate_to_read_write(
-        &self,
-        st: &mut State,
-        t: ThreadId,
-        section: SectionId,
-        info: &ObjectInfo,
-    ) {
+    fn migrate_to_read_write(&self, t: ThreadId, section: SectionId, info: &ObjectInfo) {
         let cost = *self.machine.cost_model();
-        st.stats.read_write_migrations += 1;
+        AtomicStats::bump(&self.stats.read_write_migrations);
 
         // Rule 1 candidates: keys the thread holds *for the current
         // section*. The paper says "one of the held protection keys"
@@ -699,153 +891,165 @@ impl Kard {
         // section keeps one key's objects under one lock's discipline —
         // reusing an outer (different-lock) key would alias objects across
         // locks and manufacture spurious conflicts under nesting.
-        let held: Vec<(ProtectionKey, Perm)> = {
-            let ctx = &st.threads[&t];
-            let mut v: Vec<_> = ctx
-                .held
-                .iter()
-                .filter(|(&k, _)| {
-                    st.keys.state(k).holders.get(&t).map(|h| h.section) == Some(section)
-                })
-                .map(|(&k, &p)| (k, p))
-                .collect();
-            v.sort_by_key(|&(k, _)| k);
-            v
+        let held_all: Vec<(ProtectionKey, Perm)> = {
+            let slot = self.slot(t);
+            let ctx = slot.ctx.lock();
+            ctx.held.iter().map(|(&k, &p)| (k, p)).collect::<Vec<_>>()
         };
-        // Precompute the sharing heuristic per key: the closure passed to
-        // `choose_key` must not alias the mutable key table.
-        let conflicts: HashMap<ProtectionKey, bool> = st
-            .keys
-            .pool()
-            .iter()
-            .map(|&k| {
-                (
-                    k,
-                    keys_holders_access_object(&st.keys, &st.sections, k, info.id),
-                )
-            })
-            .collect();
-        // `prefer_fresh_keys` (conformance mode): rule 1 is skipped while
-        // fresh keys remain, yielding key-per-object granularity.
-        let held_for_rule1: &[(ProtectionKey, Perm)] =
-            if self.config.prefer_fresh_keys && st.keys.unassigned_key().is_some() {
-                &[]
-            } else {
-                &held
-            };
-        let assignment = choose_key(
-            &mut st.keys,
-            t,
-            Perm::Write,
-            self.config.exhaustion,
-            held_for_rule1,
-            |candidate| conflicts.get(&candidate).copied().unwrap_or(false),
-        );
+        // Snapshot each pool key's holder sections, then evaluate the
+        // sharing heuristic against the section-object map — the closure
+        // passed to `choose_key` must not alias the mutable key table.
+        let (held, holder_sections) = {
+            let keys = self.keys.lock();
+            let mut held: Vec<(ProtectionKey, Perm)> = held_all
+                .into_iter()
+                .filter(|&(k, _)| {
+                    keys.state(k).holders.get(&t).map(|h| h.section) == Some(section)
+                })
+                .collect();
+            held.sort_by_key(|&(k, _)| k);
+            let holder_sections: Vec<(ProtectionKey, Vec<SectionId>)> = keys
+                .pool()
+                .iter()
+                .map(|&k| {
+                    (
+                        k,
+                        keys.state(k).holders.values().map(|h| h.section).collect(),
+                    )
+                })
+                .collect();
+            (held, holder_sections)
+        };
+        let conflicts: HashMap<ProtectionKey, bool> = {
+            let map = self.sections.read();
+            holder_sections
+                .into_iter()
+                .map(|(k, sections)| {
+                    (
+                        k,
+                        sections.iter().any(|&s| map.section_accesses(s, info.id)),
+                    )
+                })
+                .collect()
+        };
+
+        let (assignment, key) = {
+            let mut keys = self.keys.lock();
+            // `prefer_fresh_keys` (conformance mode): rule 1 is skipped
+            // while fresh keys remain, yielding key-per-object granularity.
+            let held_for_rule1: &[(ProtectionKey, Perm)] =
+                if self.config.prefer_fresh_keys && keys.unassigned_key().is_some() {
+                    &[]
+                } else {
+                    &held
+                };
+            let assignment = choose_key(
+                &mut keys,
+                t,
+                Perm::Write,
+                self.config.exhaustion,
+                held_for_rule1,
+                |candidate| conflicts.get(&candidate).copied().unwrap_or(false),
+            );
+            let key = assignment.key();
+            keys.assign_object(key, info.id);
+            // Reactive acquisition via the saved context (§5.4). A held key
+            // that is itself shared (other holders present) rejects
+            // exclusive acquisition; the object then simply joins the
+            // shared key, which is the sharing semantics already accounted
+            // for.
+            match assignment {
+                Assignment::Shared(_) => {
+                    keys.force_acquire(key, t, Perm::Write, section);
+                }
+                _ => {
+                    if !keys.try_acquire(key, t, Perm::Write, section) {
+                        keys.force_acquire(key, t, Perm::Write, section);
+                    }
+                }
+            }
+            (assignment, key)
+        };
         self.machine.charge(t, cost.map_op * 2);
 
         match &assignment {
             Assignment::HeldKey(_) | Assignment::FreshKey(_) => {}
             Assignment::Recycled { evicted, .. } => {
-                st.stats.key_recycles += 1;
+                AtomicStats::bump(&self.stats.key_recycles);
                 // Demote the recycled key's objects to the Read-only
                 // domain; their next write re-identifies them (§5.4).
                 for &obj in evicted {
                     if self.alloc.object(obj).is_some() {
-                        st.domains.insert(obj, Domain::ReadOnly);
+                        self.domain_shard(obj).lock().insert(obj, Domain::ReadOnly);
                         self.alloc
                             .protect(t, obj, self.layout.read_only)
                             .expect("k_ro is valid");
-                        st.stats.read_only_migrations += 1;
+                        AtomicStats::bump(&self.stats.read_only_migrations);
                     }
                 }
             }
             Assignment::Shared(_) => {
-                st.stats.key_shares += 1;
+                AtomicStats::bump(&self.stats.key_shares);
             }
         }
 
-        let key = assignment.key();
-        st.keys.assign_object(key, info.id);
-        st.domains.insert(info.id, Domain::ReadWrite(key));
-        st.sections.record(section, info.id, Perm::Write);
+        self.domain_shard(info.id)
+            .lock()
+            .insert(info.id, Domain::ReadWrite(key));
+        self.sections.write().record(section, info.id, Perm::Write);
         self.alloc.protect(t, info.id, key).expect("pool key valid");
 
-        // Reactive acquisition via the saved context (§5.4). A held key
-        // that is itself shared (other holders present) rejects exclusive
-        // acquisition; the object then simply joins the shared key, which
-        // is the sharing semantics already accounted for.
-        match assignment {
-            Assignment::Shared(_) => {
-                st.keys.force_acquire(key, t, Perm::Write, section);
-            }
-            _ => {
-                if !st.keys.try_acquire(key, t, Perm::Write, section) {
-                    st.keys.force_acquire(key, t, Perm::Write, section);
-                }
-            }
-        }
-        st.stats.reactive_acquisitions += 1;
-        let prev = self.note_held(st, t, key, Perm::Write);
-        self.record_frame_acquisition(st, t, key, prev);
-        self.grant_in_context(st, t, key);
+        AtomicStats::bump(&self.stats.reactive_acquisitions);
+        self.note_held_and_record(t, key, Perm::Write);
+        self.grant_in_context(t, key);
     }
 
     /// Record a race, respecting redundant-report pruning. Returns the
     /// record's index if it was (newly) stored.
-    fn push_record(&self, st: &mut State, record: RaceRecord) -> Option<usize> {
+    fn push_record(&self, record: RaceRecord) -> Option<usize> {
+        let mut store = self.records.lock();
         if self.config.prune_redundant {
             let fp = record.fingerprint();
-            if !st.seen.insert(fp) {
-                st.stats.races_pruned_redundant += 1;
+            if !store.seen.insert(fp) {
+                AtomicStats::bump(&self.stats.races_pruned_redundant);
                 return None;
             }
         }
-        st.records.push(Some(record));
-        Some(st.records.len() - 1)
+        store.records.push(Some(record));
+        Some(store.records.len() - 1)
     }
 
-    fn current_section(&self, st: &State, t: ThreadId) -> Option<SectionId> {
-        st.threads
-            .get(&t)
-            .and_then(|ctx| ctx.frames.last())
-            .map(|f| f.section)
+    fn current_section(&self, t: ThreadId) -> Option<SectionId> {
+        self.try_slot(t)
+            .and_then(|slot| slot.ctx.lock().frames.last().map(|f| f.section))
     }
 
-    /// Track `key` in the thread's held map, returning the previous perm.
-    fn note_held(
+    /// Track `key` in the thread's held map (joining permissions) and
+    /// remember the acquisition in the innermost frame so it is undone at
+    /// section exit. Returns the previous perm.
+    fn note_held_and_record(
         &self,
-        st: &mut State,
         t: ThreadId,
         key: ProtectionKey,
         perm: Perm,
     ) -> Option<Perm> {
-        let ctx = st.threads.get_mut(&t).expect("registered");
+        let slot = self.slot(t);
+        let mut ctx = slot.ctx.lock();
         let prev = ctx.held.get(&key).copied();
-        ctx.held.insert(key, prev.map_or(perm, |p| p.join(perm)));
-        prev
-    }
-
-    /// Remember the acquisition in the innermost frame so it is undone at
-    /// section exit.
-    fn record_frame_acquisition(
-        &self,
-        st: &mut State,
-        t: ThreadId,
-        key: ProtectionKey,
-        prev: Option<Perm>,
-    ) {
-        let ctx = st.threads.get_mut(&t).expect("registered");
+        let joined = prev.map_or(perm, |p| p.join(perm));
+        ctx.held.insert(key, joined);
         if let Some(frame) = ctx.frames.last_mut() {
-            if prev.map(|p| Some(p) == ctx.held.get(&key).copied()) != Some(true) {
+            if prev != Some(joined) {
                 frame.acquired.push((key, prev));
             }
         }
+        prev
     }
 
     /// Install the thread's current effective permission for `key` through
     /// its saved context (the fault-handler path, §5.4).
-    fn grant_in_context(&self, st: &State, t: ThreadId, key: ProtectionKey) {
-        let perm = st.threads[&t].held.get(&key).copied();
+    fn grant_in_context(&self, t: ThreadId, key: ProtectionKey) {
+        let perm = self.slot(t).ctx.lock().held.get(&key).copied();
         let mut pkru = self.machine.rdpkru(t);
         pkru.set_permission(
             key,
@@ -856,46 +1060,35 @@ impl Kard {
 
     /// A key the fault handler can re-protect an interleaved object with:
     /// one already held by `t`, else a fresh pool key (Figure 4, line 7).
-    fn pick_interleave_key(&self, st: &State, t: ThreadId) -> Option<ProtectionKey> {
-        let ctx = &st.threads[&t];
-        ctx.held
-            .keys()
-            .min()
-            .copied()
-            .or_else(|| st.keys.unassigned_key())
+    fn pick_interleave_key(&self, t: ThreadId) -> Option<ProtectionKey> {
+        let held_min = self.slot(t).ctx.lock().held.keys().min().copied();
+        held_min.or_else(|| self.keys.lock().unassigned_key())
     }
 
     /// Filtered race reports.
     #[must_use]
     pub fn reports(&self) -> Vec<RaceRecord> {
-        self.state
-            .lock()
-            .records
-            .iter()
-            .flatten()
-            .cloned()
-            .collect()
+        self.records.lock().records.iter().flatten().cloned().collect()
     }
 
     /// Statistics snapshot.
     #[must_use]
     pub fn stats(&self) -> DetectorStats {
-        let st = self.state.lock();
-        let mut stats = st.stats;
-        stats.races_reported = st.records.iter().flatten().count() as u64;
+        let mut stats = self.stats.snapshot();
+        stats.races_reported = self.records.lock().records.iter().flatten().count() as u64;
         stats
     }
 
     /// The current protection domain of an object, if tracked.
     #[must_use]
     pub fn domain_of(&self, id: ObjectId) -> Option<Domain> {
-        self.state.lock().domains.get(&id).copied()
+        self.domain_shard(id).lock().get(&id).copied()
     }
 
     /// Objects recorded for a section in the section-object map.
     #[must_use]
     pub fn section_objects(&self, section: SectionId) -> Vec<(ObjectId, Perm)> {
-        self.state.lock().sections.objects_of(section)
+        self.sections.read().objects_of(section)
     }
 }
 
@@ -921,21 +1114,6 @@ fn perm_to_permission(perm: Perm) -> Permission {
         Perm::Write => Permission::ReadWrite,
     }
 }
-
-/// Sharing heuristic (§5.4): do any current holders of `key` execute
-/// sections known to access `object`?
-fn keys_holders_access_object(
-    keys: &KeyTable,
-    sections: &SectionObjectMap,
-    key: ProtectionKey,
-    object: ObjectId,
-) -> bool {
-    keys.state(key)
-        .holders
-        .values()
-        .any(|info| sections.section_accesses(info.section, object))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -156,18 +156,30 @@ impl Interleaver {
         self.active.get(&object).map(|s| s.record_index)
     }
 
-    /// Feed the counterpart's fault. Returns the verdict and transitions
-    /// the object to the suspended phase (the detector unprotects it).
+    /// Feed the counterpart's fault. Returns the verdict plus the threads
+    /// *disarmed* by it — the participants of the (previously armed)
+    /// interleaving, whose per-thread armed counters the detector must
+    /// decrement — and transitions the object to the suspended phase (the
+    /// detector unprotects it).
+    ///
+    /// Armed-counter balance: every participant gains one armed count at
+    /// [`Interleaver::begin`] and loses it exactly once — here, in
+    /// [`Interleaver::thread_left_critical_sections`], or in
+    /// [`Interleaver::forget`]. The observing thread, if it was not already
+    /// a participant, joins only the (suspended) participant set and never
+    /// carries an armed count for this object.
     ///
     /// # Panics
     ///
     /// Panics if the object is not armed.
-    pub fn observe(&mut self, object: ObjectId, obs: Observation) -> Verdict {
+    pub fn observe(&mut self, object: ObjectId, obs: Observation) -> (Verdict, Vec<ThreadId>) {
         let state = self
             .active
             .get_mut(&object)
             .filter(|s| s.phase == Phase::Armed)
             .unwrap_or_else(|| panic!("object {object} is not armed"));
+        let mut disarmed: Vec<ThreadId> = state.participants.iter().copied().collect();
+        disarmed.sort();
         state.participants.insert(obs.thread);
 
         // Byte-level test: does any earlier observation from a different
@@ -183,19 +195,25 @@ impl Interleaver {
             .copied();
         state.observations.push(obs);
         state.phase = Phase::Suspended;
-        match confirmed {
+        let verdict = match confirmed {
             Some(prev) => Verdict::Confirmed(prev),
             None => Verdict::PrunedDifferentOffset,
-        }
+        };
+        (verdict, disarmed)
     }
 
     /// Notify that `thread` is no longer inside any critical section.
-    /// Returns the interleavings that thereby finished; the detector
-    /// restores each object's protection.
-    pub fn thread_left_critical_sections(&mut self, thread: ThreadId) -> Vec<Finished> {
+    /// Returns the interleavings that thereby finished (the detector
+    /// restores each object's protection) and the number of *armed*
+    /// interleavings `thread` was removed from (the detector decrements
+    /// the thread's armed counter by that many).
+    pub fn thread_left_critical_sections(&mut self, thread: ThreadId) -> (Vec<Finished>, usize) {
         let mut finished = Vec::new();
+        let mut armed_removed = 0;
         self.active.retain(|&object, state| {
-            state.participants.remove(&thread);
+            if state.participants.remove(&thread) && state.phase == Phase::Armed {
+                armed_removed += 1;
+            }
             if state.participants.is_empty() {
                 finished.push(Finished {
                     object,
@@ -209,13 +227,15 @@ impl Interleaver {
             }
         });
         finished.sort_by_key(|f| f.object);
-        finished
+        (finished, armed_removed)
     }
 
     /// Whether `thread` participates in any interleaving that is still
-    /// armed (waiting for the counterpart fault). Used by delay injection
-    /// (§5.5): such a thread's section exit can be stalled to give the
-    /// counterpart time to fault.
+    /// armed (waiting for the counterpart fault). Delay injection (§5.5)
+    /// needs this predicate, but the detector answers it from per-thread
+    /// atomic armed counters (mirroring this engine's deltas) so that a
+    /// section exit never takes the interleaver lock; this method remains
+    /// as the reference definition those counters are checked against.
     #[must_use]
     pub fn has_armed_participant(&self, thread: ThreadId) -> bool {
         self.active
@@ -224,8 +244,18 @@ impl Interleaver {
     }
 
     /// Drop any interleaving state for `object` (the object was freed).
-    pub fn forget(&mut self, object: ObjectId) {
-        self.active.remove(&object);
+    /// Returns the threads disarmed by this: the participants, if the
+    /// interleaving was still armed (see [`Interleaver::observe`] for the
+    /// armed-counter balance).
+    pub fn forget(&mut self, object: ObjectId) -> Vec<ThreadId> {
+        match self.active.remove(&object) {
+            Some(state) if state.phase == Phase::Armed => {
+                let mut disarmed: Vec<ThreadId> = state.participants.into_iter().collect();
+                disarmed.sort();
+                disarmed
+            }
+            _ => Vec::new(),
+        }
     }
 
     /// Number of objects currently under interleaving.
@@ -265,16 +295,21 @@ mod tests {
         let mut il = Interleaver::new();
         begin(&mut il);
         assert!(il.is_armed(ObjectId(1)));
-        let verdict = il.observe(ObjectId(1), obs(1, 8, AccessKind::Write));
+        let (verdict, disarmed) = il.observe(ObjectId(1), obs(1, 8, AccessKind::Write));
         assert_eq!(verdict, Verdict::Confirmed(obs(2, 8, AccessKind::Read)));
         assert!(!il.is_armed(ObjectId(1)), "suspended after verdict");
+        assert_eq!(
+            disarmed,
+            vec![ThreadId(1), ThreadId(2)],
+            "both armed participants are disarmed by the verdict"
+        );
     }
 
     #[test]
     fn different_offsets_prune() {
         let mut il = Interleaver::new();
         begin(&mut il);
-        let verdict = il.observe(ObjectId(1), obs(1, 16, AccessKind::Write));
+        let (verdict, _) = il.observe(ObjectId(1), obs(1, 16, AccessKind::Write));
         assert_eq!(verdict, Verdict::PrunedDifferentOffset);
     }
 
@@ -289,7 +324,7 @@ mod tests {
             obs(2, 8, AccessKind::Read),
             ThreadId(1),
         );
-        let verdict = il.observe(ObjectId(1), obs(1, 8, AccessKind::Read));
+        let (verdict, _) = il.observe(ObjectId(1), obs(1, 8, AccessKind::Read));
         assert_eq!(
             verdict,
             Verdict::PrunedDifferentOffset,
@@ -302,8 +337,10 @@ mod tests {
         let mut il = Interleaver::new();
         begin(&mut il);
         il.observe(ObjectId(1), obs(1, 8, AccessKind::Write));
-        assert!(il.thread_left_critical_sections(ThreadId(1)).is_empty());
-        let done = il.thread_left_critical_sections(ThreadId(2));
+        let (done, armed_removed) = il.thread_left_critical_sections(ThreadId(1));
+        assert!(done.is_empty());
+        assert_eq!(armed_removed, 0, "suspended objects carry no armed count");
+        let (done, armed_removed) = il.thread_left_critical_sections(ThreadId(2));
         assert_eq!(
             done,
             vec![Finished {
@@ -313,6 +350,7 @@ mod tests {
                 resolved: true,
             }]
         );
+        assert_eq!(armed_removed, 0);
         assert_eq!(il.active_count(), 0);
     }
 
@@ -322,9 +360,12 @@ mod tests {
         // without re-touching the object, so no verdict is delivered.
         let mut il = Interleaver::new();
         begin(&mut il);
-        il.thread_left_critical_sections(ThreadId(1));
-        let done = il.thread_left_critical_sections(ThreadId(2));
+        let (done, armed_removed) = il.thread_left_critical_sections(ThreadId(1));
+        assert!(done.is_empty());
+        assert_eq!(armed_removed, 1, "leaving an armed interleaving disarms");
+        let (done, armed_removed) = il.thread_left_critical_sections(ThreadId(2));
         assert_eq!(done.len(), 1);
+        assert_eq!(armed_removed, 1);
         assert!(!done[0].resolved, "no verdict: candidate stays reported");
     }
 
@@ -332,8 +373,13 @@ mod tests {
     fn third_thread_observation_compares_against_all() {
         let mut il = Interleaver::new();
         begin(&mut il); // t2 read at offset 8.
-        let verdict = il.observe(ObjectId(1), obs(3, 8, AccessKind::Write));
+        let (verdict, disarmed) = il.observe(ObjectId(1), obs(3, 8, AccessKind::Write));
         assert!(matches!(verdict, Verdict::Confirmed(_)));
+        assert_eq!(
+            disarmed,
+            vec![ThreadId(1), ThreadId(2)],
+            "the observer was not a participant, so it is not disarmed"
+        );
     }
 
     #[test]
@@ -354,9 +400,25 @@ mod tests {
     fn forget_discards_state() {
         let mut il = Interleaver::new();
         begin(&mut il);
-        il.forget(ObjectId(1));
+        let disarmed = il.forget(ObjectId(1));
         assert_eq!(il.active_count(), 0);
         assert!(!il.is_armed(ObjectId(1)));
+        assert_eq!(
+            disarmed,
+            vec![ThreadId(1), ThreadId(2)],
+            "forgetting an armed interleaving disarms its participants"
+        );
+    }
+
+    #[test]
+    fn forget_after_verdict_disarms_nobody() {
+        let mut il = Interleaver::new();
+        begin(&mut il);
+        il.observe(ObjectId(1), obs(1, 8, AccessKind::Write));
+        assert!(
+            il.forget(ObjectId(1)).is_empty(),
+            "the verdict already disarmed the participants"
+        );
     }
 
     #[test]

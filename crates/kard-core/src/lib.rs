@@ -59,6 +59,7 @@ pub mod keymap;
 pub mod report;
 pub mod sections;
 pub mod stats;
+pub mod sync;
 pub mod types;
 
 pub use config::{ExhaustionPolicy, KardConfig};

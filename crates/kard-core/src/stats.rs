@@ -1,6 +1,7 @@
 //! Runtime counters backing the paper's Tables 3 and 5.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Execution statistics of one detection run.
 ///
@@ -73,9 +74,110 @@ impl DetectorStats {
     }
 }
 
+/// Lock-free accumulator behind [`DetectorStats`].
+///
+/// The detector's hot paths (section entry/exit, every fault) bump these
+/// counters with relaxed atomic increments instead of taking any lock; a
+/// [`AtomicStats::snapshot`] materializes a plain [`DetectorStats`] for
+/// reporting. `races_reported` is not accumulated here — it is derived
+/// from the surviving race records at snapshot time, because pruning can
+/// retract a report after the fact.
+#[derive(Debug, Default)]
+pub struct AtomicStats {
+    /// See [`DetectorStats::cs_entries`].
+    pub cs_entries: AtomicU64,
+    /// See [`DetectorStats::unique_sections`].
+    pub unique_sections: AtomicU64,
+    /// See [`DetectorStats::max_concurrent_sections`].
+    pub max_concurrent_sections: AtomicU64,
+    /// See [`DetectorStats::objects_identified`].
+    pub objects_identified: AtomicU64,
+    /// See [`DetectorStats::read_only_migrations`].
+    pub read_only_migrations: AtomicU64,
+    /// See [`DetectorStats::read_write_migrations`].
+    pub read_write_migrations: AtomicU64,
+    /// See [`DetectorStats::key_recycles`].
+    pub key_recycles: AtomicU64,
+    /// See [`DetectorStats::key_shares`].
+    pub key_shares: AtomicU64,
+    /// See [`DetectorStats::identification_faults`].
+    pub identification_faults: AtomicU64,
+    /// See [`DetectorStats::migration_faults`].
+    pub migration_faults: AtomicU64,
+    /// See [`DetectorStats::race_check_faults`].
+    pub race_check_faults: AtomicU64,
+    /// See [`DetectorStats::interleave_faults`].
+    pub interleave_faults: AtomicU64,
+    /// See [`DetectorStats::races_pruned_offset`].
+    pub races_pruned_offset: AtomicU64,
+    /// See [`DetectorStats::races_pruned_redundant`].
+    pub races_pruned_redundant: AtomicU64,
+    /// See [`DetectorStats::races_filtered_timestamp`].
+    pub races_filtered_timestamp: AtomicU64,
+    /// See [`DetectorStats::proactive_acquisitions`].
+    pub proactive_acquisitions: AtomicU64,
+    /// See [`DetectorStats::reactive_acquisitions`].
+    pub reactive_acquisitions: AtomicU64,
+}
+
+impl AtomicStats {
+    /// Increment `counter` by one (relaxed; counters are monotone and
+    /// independent, so no ordering is needed).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raise `counter` to at least `value` (relaxed compare-and-max).
+    pub fn raise_to(counter: &AtomicU64, value: u64) {
+        counter.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A plain-value snapshot. `races_reported` is left at zero; the
+    /// detector fills it in from its record store.
+    #[must_use]
+    pub fn snapshot(&self) -> DetectorStats {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        DetectorStats {
+            cs_entries: get(&self.cs_entries),
+            unique_sections: get(&self.unique_sections),
+            max_concurrent_sections: get(&self.max_concurrent_sections),
+            objects_identified: get(&self.objects_identified),
+            read_only_migrations: get(&self.read_only_migrations),
+            read_write_migrations: get(&self.read_write_migrations),
+            key_recycles: get(&self.key_recycles),
+            key_shares: get(&self.key_shares),
+            identification_faults: get(&self.identification_faults),
+            migration_faults: get(&self.migration_faults),
+            race_check_faults: get(&self.race_check_faults),
+            interleave_faults: get(&self.interleave_faults),
+            races_reported: 0,
+            races_pruned_offset: get(&self.races_pruned_offset),
+            races_pruned_redundant: get(&self.races_pruned_redundant),
+            races_filtered_timestamp: get(&self.races_filtered_timestamp),
+            proactive_acquisitions: get(&self.proactive_acquisitions),
+            reactive_acquisitions: get(&self.reactive_acquisitions),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn atomic_stats_snapshot_carries_counters() {
+        let stats = AtomicStats::default();
+        AtomicStats::bump(&stats.cs_entries);
+        AtomicStats::bump(&stats.cs_entries);
+        AtomicStats::bump(&stats.key_shares);
+        AtomicStats::raise_to(&stats.max_concurrent_sections, 3);
+        AtomicStats::raise_to(&stats.max_concurrent_sections, 2);
+        let snap = stats.snapshot();
+        assert_eq!(snap.cs_entries, 2);
+        assert_eq!(snap.key_shares, 1);
+        assert_eq!(snap.max_concurrent_sections, 3, "raise_to keeps the max");
+        assert_eq!(snap.races_reported, 0, "derived by the detector");
+    }
 
     #[test]
     fn rates_are_zero_without_entries() {

@@ -83,7 +83,6 @@ impl Trace {
     /// Returns an error when the JSON is malformed or an event references
     /// a thread index out of range.
     pub fn from_json(json: &str) -> Result<Trace, serde_json::Error> {
-        use serde::de::Error;
         let trace: Trace = serde_json::from_str(json)?;
         if trace.events.iter().any(|e| e.thread >= trace.threads) {
             return Err(serde_json::Error::custom(

@@ -67,6 +67,37 @@ fn lock_free_workload_has_no_detection_overhead() {
     );
 }
 
+/// The sharded detector's structural guarantee, checked directly: a
+/// fault-free access takes **zero** detector-internal locks. Every lock
+/// inside [`kard_core::Kard`] counts its acquisitions; the counter must
+/// not move across a batch of plain reads and writes.
+#[test]
+fn fault_free_accesses_take_no_detector_locks() {
+    let program = lock_free_program(4, 50);
+    let trace = program.trace_seeded(7);
+    let session = Session::new();
+    let mut kard = KardExecutor::new(session.kard().clone());
+    replay(&trace, &mut kard);
+
+    // Setup (registration, allocation, domain tagging) may lock; steady
+    // state must not. Re-drive the per-thread access pattern directly.
+    let objects = session.alloc().live_objects();
+    let t = session.kard().register_thread();
+    let before = session.kard().detector_lock_acquisitions();
+    for i in 0..1000u64 {
+        let o = &objects[(i % 16) as usize];
+        session.kard().write(t, o.base.offset((i % 8) * 8), CodeSite(0x900));
+        session.kard().read(t, o.base.offset((i % 8) * 8), CodeSite(0x901));
+    }
+    let after = session.kard().detector_lock_acquisitions();
+    assert_eq!(session.machine().counters().faults, 0, "accesses stay fault-free");
+    assert_eq!(
+        after - before,
+        0,
+        "a fault-free access must acquire zero detector locks"
+    );
+}
+
 #[test]
 fn lock_free_objects_stay_not_accessed() {
     let program = lock_free_program(2, 50);

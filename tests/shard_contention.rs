@@ -1,0 +1,138 @@
+//! Stress the sharded detector from real OS threads: concurrent section
+//! entry/exit, allocation/free churn, and deterministic cross-lock
+//! conflicts must (a) never deadlock and (b) produce exactly the race
+//! reports a single-threaded execution of the same logical program
+//! produces.
+//!
+//! The determinism argument: each conflicting pair uses its own object and
+//! its own two locks, pair members are sequenced by barriers so the
+//! faulting write always happens while the holder is inside its section,
+//! and pair objects are allocated up front on the main thread so their
+//! [`ObjectId`]s — which participate in race fingerprints — are identical
+//! across runs. The surrounding churn (private allocations, empty
+//! sections, unlocked accesses) consumes no keys and reports nothing.
+
+use std::sync::{Arc, Barrier};
+
+use kard::core::report::RaceFingerprint;
+use kard::{Kard, KardConfig, LockId};
+use kard::alloc::KardAlloc;
+use kard::sim::{CodeSite, Machine, MachineConfig};
+
+const PAIRS: usize = 4;
+
+fn fresh_kard() -> Arc<Kard> {
+    let machine = Arc::new(Machine::new(MachineConfig::default()));
+    let alloc = Arc::new(KardAlloc::new(Arc::clone(&machine)));
+    Arc::new(Kard::new(machine, alloc, KardConfig::default()))
+}
+
+fn holder_site(pair: usize) -> CodeSite {
+    CodeSite(0x1000 + pair as u64)
+}
+
+fn faulter_site(pair: usize) -> CodeSite {
+    CodeSite(0x2000 + pair as u64)
+}
+
+fn fingerprints(kard: &Kard) -> Vec<RaceFingerprint> {
+    let mut fps: Vec<_> = kard.reports().iter().map(|r| r.fingerprint()).collect();
+    fps.sort_by_key(|fp| format!("{fp:?}"));
+    fps
+}
+
+/// The single-threaded reference: the same logical program, executed
+/// sequentially in pair order.
+fn reference_fingerprints() -> Vec<RaceFingerprint> {
+    let kard = fresh_kard();
+    let threads: Vec<_> = (0..2 * PAIRS).map(|_| kard.register_thread()).collect();
+    let objects: Vec<_> = (0..PAIRS).map(|_| kard.on_alloc(threads[0], 64)).collect();
+    for pair in 0..PAIRS {
+        let (holder, faulter) = (threads[2 * pair], threads[2 * pair + 1]);
+        let obj = &objects[pair];
+        kard.lock_enter(holder, LockId(2 * pair as u64), holder_site(pair));
+        kard.write(holder, obj.base, holder_site(pair));
+        kard.lock_enter(faulter, LockId(2 * pair as u64 + 1), faulter_site(pair));
+        kard.write(faulter, obj.base, faulter_site(pair));
+        kard.lock_exit(faulter, LockId(2 * pair as u64 + 1));
+        kard.lock_exit(holder, LockId(2 * pair as u64));
+    }
+    fingerprints(&kard)
+}
+
+#[test]
+fn concurrent_hammering_matches_single_threaded_reports() {
+    let kard = fresh_kard();
+    // Register threads and allocate the conflict objects on the main
+    // thread, in a fixed order, so ids match the reference run.
+    let threads: Vec<_> = (0..2 * PAIRS).map(|_| kard.register_thread()).collect();
+    let objects: Vec<_> = (0..PAIRS).map(|_| kard.on_alloc(threads[0], 64)).collect();
+
+    // Two barriers per pair: [0] holder-wrote → faulter may run;
+    // [1] faulter exited → holder may exit.
+    let barriers: Vec<_> = (0..PAIRS)
+        .map(|_| (Arc::new(Barrier::new(2)), Arc::new(Barrier::new(2))))
+        .collect();
+
+    std::thread::scope(|s| {
+        for pair in 0..PAIRS {
+            for role in 0..2 {
+                let kard = Arc::clone(&kard);
+                let t = threads[2 * pair + role];
+                let obj = objects[pair];
+                let (wrote, done) = (
+                    Arc::clone(&barriers[pair].0),
+                    Arc::clone(&barriers[pair].1),
+                );
+                s.spawn(move || {
+                    // Churn: private allocations, unlocked accesses, and
+                    // empty critical sections on a thread-private lock.
+                    // None of this consumes pool keys or produces reports,
+                    // but it exercises every shard class concurrently.
+                    let churn_lock = LockId(1000 + t.0 as u64);
+                    let churn_site = CodeSite(0x9000 + t.0 as u64);
+                    let churn = || {
+                        for i in 0..8u64 {
+                            let o = kard.on_alloc(t, 24 + (i % 3) * 32);
+                            kard.write(t, o.base, churn_site);
+                            kard.read(t, o.base.offset(8), churn_site);
+                            kard.lock_enter(t, churn_lock, churn_site);
+                            kard.lock_exit(t, churn_lock);
+                            kard.on_free(t, o.id);
+                        }
+                    };
+                    churn();
+                    if role == 0 {
+                        // Holder: write the pair object under lock 2p and
+                        // stay in the section until the faulter is done.
+                        kard.lock_enter(t, LockId(2 * pair as u64), holder_site(pair));
+                        kard.write(t, obj.base, holder_site(pair));
+                        wrote.wait();
+                        done.wait();
+                        kard.lock_exit(t, LockId(2 * pair as u64));
+                    } else {
+                        // Faulter: write the same object under a different
+                        // lock while the holder still holds its key — a
+                        // deterministic inconsistent-lock-usage conflict.
+                        wrote.wait();
+                        kard.lock_enter(t, LockId(2 * pair as u64 + 1), faulter_site(pair));
+                        kard.write(t, obj.base, faulter_site(pair));
+                        kard.lock_exit(t, LockId(2 * pair as u64 + 1));
+                        done.wait();
+                    }
+                    churn();
+                });
+            }
+        }
+    });
+
+    let got = fingerprints(&kard);
+    assert_eq!(got.len(), PAIRS, "exactly one report per conflicting pair");
+    assert_eq!(
+        got,
+        reference_fingerprints(),
+        "concurrent execution must report exactly the single-threaded races"
+    );
+    // The churn left nothing behind: every churn object was freed.
+    assert_eq!(kard.alloc().stats().live_objects as usize, PAIRS);
+}

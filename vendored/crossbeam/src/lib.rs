@@ -1,0 +1,57 @@
+//! Minimal vendored stand-in for the `crossbeam` crate: scoped threads
+//! implemented over `std::thread::scope` (the build environment has no
+//! network access, so only the API surface this workspace uses exists).
+
+#![warn(missing_docs)]
+
+use std::thread;
+
+/// Handle passed to the closure given to [`scope`]; spawns scoped threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread scoped to this scope. The closure receives the scope
+    /// again (crossbeam's signature), allowing nested spawns.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Create a scope for spawning threads that may borrow from the caller's
+/// stack. Returns `Ok` when every spawned thread completed without panic
+/// (panics propagate out of `std::thread::scope`, so an `Err` is never
+/// actually produced — matching how this workspace consumes the result).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    total.fetch_add(
+                        chunk.iter().sum::<u64>(),
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 10);
+    }
+}

@@ -1,0 +1,396 @@
+//! Minimal vendored `serde_derive` (offline build): derives the sibling
+//! `serde` stand-in's `Serialize`/`Deserialize` traits (which route through
+//! one dynamic `Value` tree rather than serde's visitor model).
+//!
+//! Supported shapes — everything this workspace derives on:
+//!
+//! * named-field structs (→ JSON object)
+//! * one-field tuple structs (→ the inner value, newtype style)
+//! * enums with unit variants (→ the variant name as a string)
+//! * enums with named-field or tuple variants (→ externally tagged object,
+//!   `{"Variant": ...}`)
+//!
+//! Generic types, `#[serde(...)]` attributes, and unions are not supported
+//! and fail loudly at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derive the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated impl parses")
+}
+
+enum Shape {
+    /// `struct S { a: T, b: U }` — field names in order.
+    NamedStruct(Vec<String>),
+    /// `struct S(T);`
+    NewtypeStruct,
+    /// `enum E { ... }` — variants with their field shape.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Skip a `#[...]` attribute if the iterator is positioned at its `#`.
+fn skip_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("expected attribute brackets after '#', got {other:?}"),
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs(&mut tokens);
+    skip_vis(&mut tokens);
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic type `{name}`");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                assert!(
+                    n == 1,
+                    "vendored serde_derive supports only 1-field tuple structs; \
+                     `{name}` has {n}"
+                );
+                Shape::NewtypeStruct
+            }
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream(), &name))
+            }
+            other => panic!("expected enum body for `{name}`, got {other:?}"),
+        },
+        other => panic!("vendored serde_derive cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+/// Field names of a named-field body: the ident directly before each
+/// top-level `:`. Commas inside generic arguments are skipped by tracking
+/// angle-bracket depth (delimited groups arrive as single tokens, so only
+/// `<`/`>` need counting).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_vis(&mut tokens);
+        let field = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field `{field}`, got {other:?}"),
+        }
+        fields.push(field);
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple body (top-level commas + 1).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tt in stream {
+        any = true;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        return 0;
+    }
+    commas + 1
+}
+
+fn parse_variants(stream: TokenStream, enum_name: &str) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs(&mut tokens);
+        let Some(tt) = tokens.next() else { break };
+        let name = match tt {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("expected variant name in `{enum_name}`, got {other:?}"),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                tokens.next();
+                VariantFields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                tokens.next();
+                VariantFields::Tuple(count_tuple_fields(g))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an optional discriminant, then the separating comma.
+        let mut angle_depth = 0i32;
+        while let Some(tt) = tokens.peek() {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        tokens.next();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            tokens.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut b = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                b.push_str(&format!(
+                    "m.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            b.push_str("::serde::Value::Object(m)");
+            b
+        }
+        Shape::NewtypeStruct => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantFields::Named(fields) => {
+                        let binders = fields.join(", ");
+                        let mut inner = String::from("let mut m = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "m.insert(\"{f}\".to_string(), \
+                                 ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binders} }} => {{\n{inner}\
+                             let mut outer = ::serde::Map::new();\n\
+                             outer.insert(\"{vn}\".to_string(), ::serde::Value::Object(m));\n\
+                             ::serde::Value::Object(outer)\n}}\n"
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("v{i}")).collect();
+                        let pat = binders.join(", ");
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(v0)".to_string()
+                        } else {
+                            format!(
+                                "::serde::Value::Array(vec![{}])",
+                                binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({pat}) => {{\n\
+                             let mut outer = ::serde::Map::new();\n\
+                             outer.insert(\"{vn}\".to_string(), {inner});\n\
+                             ::serde::Value::Object(outer)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut b = format!(
+                "let m = v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                b.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(m.get(\"{f}\").ok_or_else(|| \
+                     ::serde::Error::custom(\"missing field `{f}` in {name}\"))?)?,\n"
+                ));
+            }
+            b.push_str("})");
+            b
+        }
+        Shape::NewtypeStruct => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}),\n"
+                    )),
+                    VariantFields::Named(fields) => {
+                        let mut inner = format!(
+                            "let fm = inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {name}::{vn}\"))?;\n\
+                             Ok({name}::{vn} {{\n"
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(fm.get(\"{f}\")\
+                                 .ok_or_else(|| ::serde::Error::custom(\
+                                 \"missing field `{f}` in {name}::{vn}\"))?)?,\n"
+                            ));
+                        }
+                        inner.push_str("})");
+                        data_arms.push_str(&format!("\"{vn}\" => {{\n{inner}\n}}\n"));
+                    }
+                    VariantFields::Tuple(n) => {
+                        if *n == 1 {
+                            data_arms.push_str(&format!(
+                                "\"{vn}\" => Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(inner)?)),\n"
+                            ));
+                        } else {
+                            let mut inner = format!(
+                                "let a = inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n\
+                                 if a.len() != {n} {{ return Err(::serde::Error::custom(\
+                                 \"wrong arity for {name}::{vn}\")); }}\n\
+                                 Ok({name}::{vn}(\n"
+                            );
+                            for i in 0..*n {
+                                inner.push_str(&format!(
+                                    "::serde::Deserialize::from_value(&a[{i}])?,\n"
+                                ));
+                            }
+                            inner.push_str("))");
+                            data_arms.push_str(&format!("\"{vn}\" => {{\n{inner}\n}}\n"));
+                        }
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Object(m) => {{\n\
+                 let (tag, inner) = m.iter().next().ok_or_else(|| \
+                 ::serde::Error::custom(\"empty variant object for {name}\"))?;\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n}}\n}},\n\
+                 _ => Err(::serde::Error::custom(\"expected string or object for {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<{name}, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
