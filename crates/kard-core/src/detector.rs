@@ -32,15 +32,24 @@
 //!
 //! 1. the **fault path** is serialized end-to-end by `fault_mutex` —
 //!    faults are rare by design (§5.5), so one coarse lock there costs
-//!    nothing and gives the handler a stable view;
-//! 2. every other lock is a **leaf**: it is acquired, used, and released
+//!    nothing and gives the handler a stable view. Anything that must be
+//!    atomic with respect to a fault handler or an `on_free` (the free
+//!    itself, and `lock_exit`'s restoration of finished interleavings)
+//!    also serializes on it, always acquired while holding no other lock;
+//! 2. with `fault_mutex` held, the arming sequence in `handle_pool_fault`
+//!    holds the key-table guard across the interleaver and thread-registry
+//!    acquisitions (order: `keys` → `interleaver`/`threads`), so that a
+//!    holder's key release — the event that precedes its departure from
+//!    the interleaver — cannot interleave with `Interleaver::begin`;
+//! 3. every other lock is a **leaf**: it is acquired, used, and released
 //!    without taking any other detector lock while held (the thread-slot
 //!    registry read-guard, held only long enough to clone a slot `Arc`,
-//!    is the one deliberate exception and nests nothing under itself).
+//!    nests nothing under itself).
 //!
-//! Because only `fault_mutex` is ever held across another acquisition,
-//! the lock graph has no cycle and the detector is deadlock-free by
-//! construction. Accesses that do not fault never take *any* detector
+//! No path acquires the key table while holding the interleaver or the
+//! registry, and only `fault_mutex` is otherwise held across another
+//! acquisition, so the lock graph has no cycle and the detector is
+//! deadlock-free by construction. Accesses that do not fault never take *any* detector
 //! lock — they only consult the simulated hardware, which is the whole
 //! point of the design (no per-access instrumentation); every detector
 //! lock counts its acquisitions so `tests/no_lock_overhead.rs` can assert
@@ -289,7 +298,8 @@ impl Kard {
         self.sections.write().remove_object(id);
         let disarmed = self.interleaver.lock().forget(id);
         for th in disarmed {
-            self.slot(th).armed.fetch_sub(1, Ordering::Relaxed);
+            let prev = self.slot(th).armed.fetch_sub(1, Ordering::Relaxed);
+            debug_assert!(prev > 0, "armed counter underflow");
         }
         self.alloc.free(t, id);
     }
@@ -452,23 +462,33 @@ impl Kard {
             let (finished, armed_removed) =
                 self.interleaver.lock().thread_left_critical_sections(t);
             if armed_removed > 0 {
-                slot.armed.fetch_sub(armed_removed, Ordering::Relaxed);
+                let prev = slot.armed.fetch_sub(armed_removed, Ordering::Relaxed);
+                debug_assert!(prev >= armed_removed, "armed counter underflow");
             }
-            for fin in finished {
-                // §5.5: restore the object's protection once every
-                // conflicting thread has left its critical section.
-                if self.alloc.object(fin.object).is_none() {
-                    continue; // Freed while suspended.
+            if !finished.is_empty() {
+                // §5.5: restore each object's protection now that every
+                // conflicting thread has left its critical section. The
+                // restoration runs under the fault mutex: `on_free`
+                // serializes on it, so the liveness check and the
+                // re-protection below are atomic with respect to a
+                // concurrent free — without it, a free sneaking in between
+                // them would panic `alloc.protect` on an unknown object and
+                // leave ghost domain/key-table entries for a dead id.
+                let _serial = self.fault_mutex.lock();
+                for fin in finished {
+                    if self.alloc.object(fin.object).is_none() {
+                        continue; // Freed while suspended.
+                    }
+                    self.keys
+                        .lock()
+                        .assign_object(fin.original_key, fin.object);
+                    self.domain_shard(fin.object)
+                        .lock()
+                        .insert(fin.object, Domain::ReadWrite(fin.original_key));
+                    self.alloc
+                        .protect(t, fin.object, fin.original_key)
+                        .expect("pool key is valid");
                 }
-                self.keys
-                    .lock()
-                    .assign_object(fin.original_key, fin.object);
-                self.domain_shard(fin.object)
-                    .lock()
-                    .insert(fin.object, Domain::ReadWrite(fin.original_key));
-                self.alloc
-                    .protect(t, fin.object, fin.original_key)
-                    .expect("pool key is valid");
             }
         }
         self.machine.wrpkru(t, frame.saved_pkru);
@@ -503,13 +523,19 @@ impl Kard {
     /// serializing them keeps every cross-component decision coherent.
     fn handle_fault(&self, fault: GpFault) -> FaultAction {
         self.machine.charge_fault_handling(fault.thread);
+        // The mutex is taken *before* the faulting-object lookup: `on_free`
+        // serializes on it, so once it is held the object cannot be freed
+        // under the handler's feet. A lookup miss therefore genuinely means
+        // the program touched memory the detector never managed (or freed
+        // before the access — a use-after-free), never a free that won a
+        // race against a handler already holding an `ObjectInfo`.
+        let _serial = self.fault_mutex.lock();
         let info = self
             .alloc
             .object_at(fault.addr)
             .unwrap_or_else(|| panic!("#GP on unmanaged memory: {fault}"));
         let offset = fault.addr.0.saturating_sub(info.base.0);
 
-        let _serial = self.fault_mutex.lock();
         if fault.pkey == self.layout.not_accessed {
             self.identify(&fault, &info)
         } else if fault.pkey == self.layout.read_only {
@@ -661,7 +687,8 @@ impl Kard {
             (idx, ikey, verdict, disarmed)
         };
         for th in disarmed {
-            self.slot(th).armed.fetch_sub(1, Ordering::Relaxed);
+            let prev = self.slot(th).armed.fetch_sub(1, Ordering::Relaxed);
+            debug_assert!(prev > 0, "armed counter underflow");
         }
         match verdict {
             Verdict::Confirmed(_) => {
@@ -795,38 +822,75 @@ impl Kard {
                     && !self.interleaver.lock().is_armed(info.id)
                 {
                     if let (Some(idx), Some(sec)) = (idx, section) {
-                        if let Some(ikey) = self.pick_interleave_key(t) {
+                        // A key to re-protect the object with: one already
+                        // held by `t`, else a fresh pool key (Figure 4,
+                        // line 7). The held-key lookup happens before the
+                        // key-table guard below — `t` is mid-fault, so its
+                        // held set cannot change in between.
+                        let held_min =
+                            self.slot(t).ctx.lock().held.keys().min().copied();
+                        let armed_key = {
+                            let mut keys = self.keys.lock();
+                            // Re-validate the conflict: it was decided under
+                            // an earlier key-table guard, and `lock_exit`
+                            // does not take the fault mutex, so the holder
+                            // may have released the key — and even left all
+                            // its critical sections — in the window. Arming
+                            // against a departed holder would create an
+                            // interleaving that can never finish (no
+                            // `thread_left` event will ever remove it), so
+                            // abort the arming instead; the race record
+                            // already pushed above stands either way.
+                            if !keys.state(key).holders.contains_key(&holder_thread) {
+                                None
+                            } else if let Some(ikey) =
+                                held_min.or_else(|| keys.unassigned_key())
                             {
-                                let mut keys = self.keys.lock();
                                 keys.unassign_object(key, info.id);
                                 keys.assign_object(ikey, info.id);
                                 keys.force_acquire(ikey, t, perm_for(fault.access), sec);
+                                // Arm while still holding the key-table
+                                // guard: the holder cannot complete a key
+                                // release (and hence cannot reach
+                                // `thread_left_critical_sections`) until the
+                                // guard drops, so `begin` always records a
+                                // holder that is still inside its sections.
+                                // The armed counters are bumped inside the
+                                // interleaver critical section that
+                                // publishes the interleaving, so no exit or
+                                // free path can observe it and decrement a
+                                // counter before it was incremented.
+                                let mut il = self.interleaver.lock();
+                                il.begin(
+                                    info.id,
+                                    idx,
+                                    key,
+                                    ikey,
+                                    Observation {
+                                        thread: t,
+                                        section,
+                                        offset,
+                                        kind: fault.access,
+                                        ip: fault.ip,
+                                    },
+                                    holder_thread,
+                                );
+                                self.slot(t).armed.fetch_add(1, Ordering::Relaxed);
+                                self.slot(holder_thread)
+                                    .armed
+                                    .fetch_add(1, Ordering::Relaxed);
+                                Some(ikey)
+                            } else {
+                                None
                             }
+                        };
+                        if let Some(ikey) = armed_key {
                             self.note_held_and_record(t, ikey, perm_for(fault.access));
                             self.domain_shard(info.id)
                                 .lock()
                                 .insert(info.id, Domain::ReadWrite(ikey));
                             self.alloc.protect(t, info.id, ikey).expect("valid key");
                             self.grant_in_context(t, ikey);
-                            self.interleaver.lock().begin(
-                                info.id,
-                                idx,
-                                key,
-                                ikey,
-                                Observation {
-                                    thread: t,
-                                    section,
-                                    offset,
-                                    kind: fault.access,
-                                    ip: fault.ip,
-                                },
-                                holder_thread,
-                            );
-                            // Arm both participants' exit-delay counters.
-                            self.slot(t).armed.fetch_add(1, Ordering::Relaxed);
-                            self.slot(holder_thread)
-                                .armed
-                                .fetch_add(1, Ordering::Relaxed);
                             return FaultAction::Retry;
                         }
                     }
@@ -1056,13 +1120,6 @@ impl Kard {
             perm.map_or(Permission::NoAccess, perm_to_permission),
         );
         self.machine.set_pkru_in_saved_context(t, pkru);
-    }
-
-    /// A key the fault handler can re-protect an interleaved object with:
-    /// one already held by `t`, else a fresh pool key (Figure 4, line 7).
-    fn pick_interleave_key(&self, t: ThreadId) -> Option<ProtectionKey> {
-        let held_min = self.slot(t).ctx.lock().held.keys().min().copied();
-        held_min.or_else(|| self.keys.lock().unassigned_key())
     }
 
     /// Filtered race reports.
