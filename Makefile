@@ -1,4 +1,4 @@
-.PHONY: verify build test clippy bench-scalability
+.PHONY: verify build test clippy bench-scalability bench-fault-latency trace-demo
 
 verify: build test clippy
 
@@ -13,3 +13,9 @@ clippy:
 
 bench-scalability:
 	cargo bench -p kard-bench --bench bench_scalability
+
+bench-fault-latency:
+	cargo bench -p kard-bench --bench bench_fault_latency
+
+trace-demo:
+	cargo run --release --example telemetry

@@ -24,6 +24,7 @@
 
 use crate::metadata::{ObjectId, ObjectInfo, ObjectKind};
 use kard_sim::{Machine, PhysFrame, ProtectError, ProtectionKey, ThreadId, VirtAddr, VirtPage, PAGE_SIZE};
+use kard_telemetry::{EventKind, Telemetry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
@@ -114,6 +115,10 @@ pub struct KardAlloc {
     open_frame: Mutex<Option<(PhysFrame, u64)>>,
     next_id: AtomicU64,
     stats: AtomicAllocStats,
+    /// Shared telemetry hub. Created here (the allocator is the first
+    /// component a session builds) and adopted by the detector and the
+    /// runtime via [`KardAlloc::telemetry`].
+    telemetry: Arc<Telemetry>,
 }
 
 impl KardAlloc {
@@ -128,6 +133,7 @@ impl KardAlloc {
             open_frame: Mutex::new(None),
             next_id: AtomicU64::new(0),
             stats: AtomicAllocStats::default(),
+            telemetry: Arc::new(Telemetry::new()),
         }
     }
 
@@ -135,6 +141,22 @@ impl KardAlloc {
     #[must_use]
     pub fn machine(&self) -> &Arc<Machine> {
         &self.machine
+    }
+
+    /// The telemetry hub shared by every component built on this
+    /// allocator (the detector adopts it in `Kard::new`).
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Record an object-lifecycle event if telemetry is on.
+    #[inline]
+    fn emit(&self, thread: ThreadId, kind: EventKind, a: u64, b: u64) {
+        if self.telemetry.enabled() {
+            self.telemetry.ensure_thread(thread.0);
+            self.telemetry.record(thread.0, kind, self.machine.now(), a, b);
+        }
     }
 
     fn round_up(size: u64) -> u64 {
@@ -182,6 +204,7 @@ impl KardAlloc {
         self.stats
             .rounding_waste_bytes
             .fetch_add(info.rounded_size - info.size, Ordering::Relaxed);
+        self.emit(thread, EventKind::ObjectAlloc, info.id.0, info.size);
         info
     }
 
@@ -301,6 +324,7 @@ impl KardAlloc {
         self.stats
             .rounding_waste_bytes
             .fetch_add(info.rounded_size - info.size, Ordering::Relaxed);
+        self.emit(thread, EventKind::ObjectGlobal, info.id.0, info.size);
         info
     }
 
@@ -351,6 +375,7 @@ impl KardAlloc {
         self.stats
             .rounding_waste_bytes
             .fetch_sub(record.info.rounded_size - record.info.size, Ordering::Relaxed);
+        self.emit(thread, EventKind::ObjectFree, id.0, 0);
     }
 
     /// Metadata of the live object containing `addr`, if any.
@@ -402,8 +427,18 @@ impl KardAlloc {
         let info = self
             .object(id)
             .unwrap_or_else(|| panic!("protect of unknown object {id}"));
-        self.machine
-            .pkey_mprotect(thread, info.first_page, info.page_count, key)
+        let result = self
+            .machine
+            .pkey_mprotect(thread, info.first_page, info.page_count, key);
+        if result.is_ok() && self.telemetry.enabled() {
+            // Record the charged cost (deterministic under the virtual
+            // clock) so the distribution matches what threads actually pay.
+            self.telemetry
+                .histograms()
+                .mprotect
+                .record(self.machine.cost_model().pkey_mprotect);
+        }
+        result
     }
 
     /// Statistics snapshot.

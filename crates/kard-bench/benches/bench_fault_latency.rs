@@ -1,0 +1,127 @@
+//! Fault-path latency distribution, measured through the telemetry
+//! subsystem rather than ad-hoc instrumentation.
+//!
+//! A shared working set is handed around `threads` logical threads under
+//! one lock, so almost every write lands on an object keyed to the
+//! previous owner and takes the slow path: identification faults first,
+//! then ownership-change (pool) faults with reactive key grants on every
+//! handoff. With telemetry enabled the detector records the virtual-clock
+//! delay of each fault resolution into the `fault_delay` histogram; this
+//! bench drains the log-bucketed summaries and emits
+//! `BENCH_fault_latency.json` at the repository root.
+//!
+//! The headline number is `suggested_measured_fault_delay`: the p50
+//! fault-handling delay in cycles, suitable for
+//! `KardConfig::measured_fault_delay` so the §5.5 timestamp filter uses a
+//! measured threshold instead of the cost-model constant.
+//!
+//! Run with `cargo bench -p kard-bench --bench bench_fault_latency`.
+
+use kard_alloc::KardAlloc;
+use kard_core::{Kard, KardConfig, LockId};
+use kard_sim::{CodeSite, Machine, MachineConfig};
+use kard_telemetry::HistogramSummary;
+use std::sync::Arc;
+
+/// Rounds of lock-handoff per measured run.
+const ROUNDS: u64 = 2_000;
+/// Shared objects written inside every critical section.
+const SHARED_OBJECTS: usize = 8;
+
+struct Sample {
+    threads: usize,
+    faults: u64,
+    fault_delay: HistogramSummary,
+    mprotect: HistogramSummary,
+}
+
+fn run(threads: usize) -> Sample {
+    let machine = Arc::new(Machine::new(MachineConfig::default()));
+    let alloc = Arc::new(KardAlloc::new(Arc::clone(&machine)));
+    let kard = Arc::new(Kard::new(machine, alloc, KardConfig::default()));
+    kard.telemetry().set_enabled(true);
+
+    let tids: Vec<_> = (0..threads).map(|_| kard.register_thread()).collect();
+
+    // Each round, the producer thread allocates and initializes a fresh
+    // working set (identification faults), then the next thread in the
+    // rotation writes it under the lock (ownership-change faults with
+    // reactive key grants) before the set is freed. Every object therefore
+    // traverses the full fault path instead of settling into a shared key.
+    let lock = LockId(1);
+    for round in 0..ROUNDS {
+        let producer = tids[round as usize % threads];
+        let consumer = tids[(round as usize + 1) % threads];
+        let site = CodeSite(0x200 + (round % 4));
+
+        let objects: Vec<_> = (0..SHARED_OBJECTS)
+            .map(|_| kard.on_alloc(producer, 64))
+            .collect();
+        kard.lock_enter(producer, lock, site);
+        for o in &objects {
+            kard.write(producer, o.base, site);
+        }
+        kard.lock_exit(producer, lock);
+
+        kard.lock_enter(consumer, lock, site);
+        for o in &objects {
+            kard.write(consumer, o.base.offset((round % 8) * 8), site);
+        }
+        kard.lock_exit(consumer, lock);
+
+        for o in &objects {
+            kard.on_free(consumer, o.id);
+        }
+    }
+
+    let stats = kard.stats();
+    Sample {
+        threads,
+        faults: stats.identification_faults
+            + stats.migration_faults
+            + stats.race_check_faults
+            + stats.interleave_faults,
+        fault_delay: kard.telemetry().histograms().fault_delay.summary(),
+        mprotect: kard.telemetry().histograms().mprotect.summary(),
+    }
+}
+
+fn summary_json(s: &HistogramSummary) -> String {
+    serde_json::to_string(s).expect("serialize histogram summary")
+}
+
+fn main() {
+    let mut samples = Vec::new();
+    for threads in [2usize, 4, 8] {
+        let s = run(threads);
+        println!(
+            "{:>2} threads: {:>7} faults, delay p50={} p95={} p99={} cycles",
+            s.threads, s.faults, s.fault_delay.p50, s.fault_delay.p95, s.fault_delay.p99
+        );
+        samples.push(s);
+    }
+
+    // Calibrate the timestamp filter from the most contended run: the p50
+    // handling delay is the paper's "measured fault-handling delay".
+    let suggested = samples.last().map_or(0, |s| s.fault_delay.p50);
+
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"threads\": {}, \"faults\": {}, \"fault_delay\": {}, \"pkey_mprotect\": {}}}",
+                s.threads,
+                s.faults,
+                summary_json(&s.fault_delay),
+                summary_json(&s.mprotect)
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"fault_latency\",\n  \"workload\": \"producer/consumer handoff of fresh objects under one lock, {ROUNDS} rounds, {SHARED_OBJECTS} objects/round\",\n  \"unit\": \"virtual cycles\",\n  \"suggested_measured_fault_delay\": {suggested},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fault_latency.json");
+    std::fs::write(path, json).expect("write BENCH_fault_latency.json");
+    println!("wrote {path}");
+}

@@ -11,7 +11,9 @@
 //! (Table 3 / Figure 5); memory overheads are extrapolated back to full
 //! scale. The default (0.01) finishes in well under a minute; 1.0 replays
 //! the paper's full counts. `--json` emits machine-readable results
-//! instead of formatted tables.
+//! instead of formatted tables. `--stats-json PATH` additionally writes
+//! the final `DetectorStats` of an 8-thread memcached run to `PATH` as
+//! JSON (scaled by `--requests`).
 
 use kard_bench::{extras, figures, tables};
 use std::env;
@@ -22,6 +24,7 @@ struct Options {
     scale: f64,
     threads_scale_requests: u64,
     json: bool,
+    stats_json: Option<String>,
 }
 
 fn parse() -> Result<Options, String> {
@@ -30,6 +33,7 @@ fn parse() -> Result<Options, String> {
     let mut scale = 0.01;
     let mut requests = 60;
     let mut json = false;
+    let mut stats_json = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
@@ -44,6 +48,9 @@ fn parse() -> Result<Options, String> {
                 requests = v.parse().map_err(|e| format!("bad --requests: {e}"))?;
             }
             "--json" => json = true,
+            "--stats-json" => {
+                stats_json = Some(args.next().ok_or("--stats-json needs a path")?);
+            }
             other if command.is_none() => command = Some(other.to_string()),
             other => return Err(format!("unexpected argument: {other}")),
         }
@@ -53,6 +60,7 @@ fn parse() -> Result<Options, String> {
         scale,
         threads_scale_requests: requests,
         json,
+        stats_json,
     })
 }
 
@@ -61,12 +69,21 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: kard-tables [all|table1..table6|fig1..fig5|nginx|ilu|ablation] [--scale F] [--requests N]");
+            eprintln!("usage: kard-tables [all|table1..table6|fig1..fig5|nginx|ilu|ablation] [--scale F] [--requests N] [--stats-json PATH]");
             return ExitCode::FAILURE;
         }
     };
     let scale = opts.scale;
     let requests = opts.threads_scale_requests;
+    if let Some(path) = &opts.stats_json {
+        let stats = tables::final_stats(8, requests);
+        let body = serde_json::to_string_pretty(&stats).expect("serializable stats");
+        if let Err(e) = std::fs::write(path, body + "\n") {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote final detector stats to {path}");
+    }
     let run_json = |name: &str| -> Option<serde_json::Value> {
         let v = |r: serde_json::Result<serde_json::Value>| r.expect("serializable");
         match name {

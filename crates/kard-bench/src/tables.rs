@@ -526,6 +526,18 @@ pub fn table5(requests: u64) -> Vec<Table5Col> {
         .collect()
 }
 
+/// Final detector statistics for one memcached run — the machine-readable
+/// counterpart to Table 5's derived columns, exposed for
+/// `kard-tables --stats-json`.
+#[must_use]
+pub fn final_stats(threads: usize, requests: u64) -> kard_core::DetectorStats {
+    let model = apps::memcached(threads, requests);
+    let session = Session::new();
+    let mut exec = KardExecutor::new(session.kard().clone());
+    replay(&model.program.trace_seeded(5), &mut exec);
+    exec.stats()
+}
+
 /// Render Table 5.
 #[must_use]
 pub fn table5_text(requests: u64) -> String {

@@ -44,6 +44,14 @@ pub struct KardConfig {
     /// it makes the detector key-per-object — the granularity of the pure
     /// Algorithm 1 — which the conformance property tests rely on.
     pub prefer_fresh_keys: bool,
+    /// Measured average fault-handling delay in cycles, used by the
+    /// release-timestamp filter (§5.5) in place of the cost model's
+    /// *assumed* delay. The paper derives its 24,000-cycle threshold from
+    /// measurement on the evaluation machine; `kard-bench`'s fault-latency
+    /// benchmark produces the equivalent number for this reproduction
+    /// (BENCH_fault_latency.json) to feed back here. `None` falls back to
+    /// `CostModel::fault_handling`.
+    pub measured_fault_delay: Option<u64>,
 }
 
 impl KardConfig {
@@ -58,6 +66,7 @@ impl KardConfig {
             exhaustion: ExhaustionPolicy::RecycleThenShare,
             interleave_exit_delay: 0,
             prefer_fresh_keys: false,
+            measured_fault_delay: None,
         }
     }
 
@@ -76,6 +85,7 @@ impl KardConfig {
             exhaustion: ExhaustionPolicy::RecycleThenShare,
             interleave_exit_delay: 0,
             prefer_fresh_keys: true,
+            measured_fault_delay: None,
         }
     }
 }
@@ -100,6 +110,7 @@ mod tests {
         assert_eq!(c.exhaustion, ExhaustionPolicy::RecycleThenShare);
         assert!(!c.prefer_fresh_keys);
         assert_eq!(c.interleave_exit_delay, 0, "delay injection is opt-in");
+        assert_eq!(c.measured_fault_delay, None, "cost-model delay by default");
     }
 
     #[test]

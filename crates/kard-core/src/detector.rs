@@ -66,6 +66,8 @@ use crate::stats::{AtomicStats, DetectorStats};
 use crate::sync::{TrackedMutex, TrackedRwLock};
 use crate::types::{LockId, Perm, SectionId, SectionMode};
 use kard_alloc::{KardAlloc, ObjectId, ObjectInfo};
+use kard_telemetry::event::{pack_domains, DomainCode, GRANT_PROACTIVE, GRANT_REACTIVE};
+use kard_telemetry::{EventKind, Telemetry};
 use kard_sim::{
     AccessKind, CodeSite, GpFault, KeyLayout, Machine, Permission, Pkru, ProtectionKey, ThreadId,
     VirtAddr,
@@ -94,6 +96,8 @@ struct Frame {
     section: SectionId,
     lock: LockId,
     saved_pkru: Pkru,
+    /// Virtual-clock time of section entry (for the hold-time histogram).
+    entered: u64,
     /// Keys whose table state this frame changed: `(key, previous perm)` —
     /// `None` means newly acquired (release on exit), `Some(p)` means
     /// widened from `p` (downgrade on exit).
@@ -158,6 +162,11 @@ pub struct Kard {
     stats: AtomicStats,
     /// Critical sections currently in flight.
     active_sections: AtomicU64,
+    /// Telemetry hub (shared with the allocator and the runtime). Every
+    /// emission site gates on one relaxed enabled-load; recording itself
+    /// is lock-free and allocation-free, so no detector path changes
+    /// locking behaviour when tracing is on.
+    telemetry: Arc<Telemetry>,
 }
 
 impl Kard {
@@ -167,6 +176,7 @@ impl Kard {
         let layout = machine.key_layout();
         let counter = Arc::new(AtomicU64::new(0));
         let tracked = |c: &Arc<AtomicU64>| Arc::clone(c);
+        let telemetry = Arc::clone(alloc.telemetry());
         Kard {
             machine,
             alloc,
@@ -185,6 +195,22 @@ impl Kard {
             stats: AtomicStats::default(),
             active_sections: AtomicU64::new(0),
             lock_acquisitions: counter,
+            telemetry,
+        }
+    }
+
+    /// The telemetry hub shared with the allocator and runtime.
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Record a telemetry event on behalf of `t`, stamped with the global
+    /// virtual clock. One relaxed load when telemetry is disabled.
+    #[inline]
+    fn emit(&self, t: ThreadId, kind: EventKind, a: u64, b: u64) {
+        if self.telemetry.enabled() {
+            self.telemetry.record(t.0, kind, self.machine.now(), a, b);
         }
     }
 
@@ -255,6 +281,7 @@ impl Kard {
                 })
             });
         }
+        self.telemetry.ensure_thread(t.0);
         t
     }
 
@@ -297,6 +324,9 @@ impl Kard {
         }
         self.sections.write().remove_object(id);
         let disarmed = self.interleaver.lock().forget(id);
+        if !disarmed.is_empty() {
+            self.emit(t, EventKind::InterleaveExpire, id.0, 0);
+        }
         for th in disarmed {
             let prev = self.slot(th).armed.fetch_sub(1, Ordering::Relaxed);
             debug_assert!(prev > 0, "armed counter underflow");
@@ -329,6 +359,7 @@ impl Kard {
         }
         let active = self.active_sections.fetch_add(1, Ordering::Relaxed) + 1;
         AtomicStats::raise_to(&self.stats.max_concurrent_sections, active);
+        self.emit(t, EventKind::SectionEnter, section.0 .0, active);
         // Internal-synchronization contention (§5.4: key acquisition is
         // protected by atomic operations): every program thread contends
         // on the runtime's shared state at each section entry — cache-line
@@ -353,6 +384,7 @@ impl Kard {
             section,
             lock,
             saved_pkru,
+            entered: self.machine.now(),
             acquired: Vec::new(),
         };
 
@@ -386,6 +418,7 @@ impl Kard {
                 self.machine.charge(t, cost.map_op);
                 if keys.try_acquire(key, t, perm, section) {
                     AtomicStats::bump(&self.stats.proactive_acquisitions);
+                    self.emit(t, EventKind::KeyGrant, u64::from(key.0), GRANT_PROACTIVE);
                     frame.acquired.push((key, prev));
                     let eff = keys.holder_perm(key, t).expect("just acquired");
                     new_pkru.set_permission(key, perm_to_permission(eff));
@@ -457,6 +490,17 @@ impl Kard {
             }
         }
         self.active_sections.fetch_sub(1, Ordering::Relaxed);
+        if self.telemetry.enabled() {
+            let hold = self.machine.now().saturating_sub(frame.entered);
+            self.telemetry.record(
+                t.0,
+                EventKind::SectionExit,
+                self.machine.now(),
+                frame.section.0 .0,
+                hold,
+            );
+            self.telemetry.histograms().section_hold.record(hold);
+        }
 
         if outside_now {
             let (finished, armed_removed) =
@@ -488,6 +532,18 @@ impl Kard {
                     self.alloc
                         .protect(t, fin.object, fin.original_key)
                         .expect("pool key is valid");
+                    self.emit(
+                        t,
+                        EventKind::InterleaveFinish,
+                        fin.object.0,
+                        u64::from(fin.original_key.0),
+                    );
+                    self.emit(
+                        t,
+                        EventKind::DomainMigration,
+                        fin.object.0,
+                        pack_domains(DomainCode::Suspended, DomainCode::ReadWrite),
+                    );
                 }
             }
         }
@@ -535,8 +591,14 @@ impl Kard {
             .object_at(fault.addr)
             .unwrap_or_else(|| panic!("#GP on unmanaged memory: {fault}"));
         let offset = fault.addr.0.saturating_sub(info.base.0);
+        self.emit(
+            fault.thread,
+            EventKind::FaultEnter,
+            fault.addr.0,
+            u64::from(fault.pkey.0),
+        );
 
-        if fault.pkey == self.layout.not_accessed {
+        let action = if fault.pkey == self.layout.not_accessed {
             self.identify(&fault, &info)
         } else if fault.pkey == self.layout.read_only {
             self.handle_read_only_write(&fault, &info, offset)
@@ -552,7 +614,24 @@ impl Kard {
             }
         } else {
             panic!("#GP with unexpected key {}: {fault}", fault.pkey);
+        };
+
+        if self.telemetry.enabled() {
+            // Handling latency: fault raise to resolution on the virtual
+            // clock (covers the #GP delivery charge plus everything the
+            // handler itself charged). Its distribution feeds the §5.5
+            // delay-filter threshold via `measured_fault_delay`.
+            let latency = self.machine.now().saturating_sub(fault.tsc);
+            self.telemetry.record(
+                fault.thread.0,
+                EventKind::FaultResolve,
+                self.machine.now(),
+                latency,
+                matches!(action, FaultAction::Emulated) as u64,
+            );
+            self.telemetry.histograms().fault_delay.record(latency);
         }
+        action
     }
 
     /// §5.3 identification: first critical-section access to a
@@ -561,6 +640,12 @@ impl Kard {
         AtomicStats::bump(&self.stats.identification_faults);
         AtomicStats::bump(&self.stats.objects_identified);
         let t = fault.thread;
+        self.emit(
+            t,
+            EventKind::FaultIdentify,
+            info.id.0,
+            matches!(fault.access, AccessKind::Write) as u64,
+        );
         let section = self.current_section(t).unwrap_or_else(|| {
             panic!("k_na fault outside a critical section: {fault}")
         });
@@ -568,6 +653,12 @@ impl Kard {
         match fault.access {
             AccessKind::Read => {
                 AtomicStats::bump(&self.stats.read_only_migrations);
+                self.emit(
+                    t,
+                    EventKind::DomainMigration,
+                    info.id.0,
+                    pack_domains(DomainCode::NotAccessed, DomainCode::ReadOnly),
+                );
                 self.domain_shard(info.id)
                     .lock()
                     .insert(info.id, Domain::ReadOnly);
@@ -577,7 +668,7 @@ impl Kard {
                     .expect("k_ro is valid");
             }
             AccessKind::Write => {
-                self.migrate_to_read_write(t, section, info);
+                self.migrate_to_read_write(t, section, info, DomainCode::NotAccessed);
             }
         }
         FaultAction::Retry
@@ -596,8 +687,9 @@ impl Kard {
         let t = fault.thread;
         if let Some(section) = self.current_section(t) {
             AtomicStats::bump(&self.stats.migration_faults);
+            self.emit(t, EventKind::FaultMigrate, info.id.0, 0);
             self.sections.write().record(section, info.id, Perm::Write);
-            self.migrate_to_read_write(t, section, info);
+            self.migrate_to_read_write(t, section, info, DomainCode::ReadOnly);
             return FaultAction::Retry;
         }
 
@@ -614,6 +706,7 @@ impl Kard {
             return FaultAction::Emulated;
         }
         AtomicStats::bump(&self.stats.race_check_faults);
+        self.emit(t, EventKind::FaultRaceCheck, info.id.0, 0);
         // Snapshot every other thread's frame sections (each under its own
         // slot lock), then evaluate them against the section-object map.
         let frame_sections: Vec<(ThreadId, Vec<SectionId>)> = {
@@ -671,6 +764,7 @@ impl Kard {
     ) -> FaultAction {
         AtomicStats::bump(&self.stats.interleave_faults);
         let t = fault.thread;
+        self.emit(t, EventKind::FaultInterleave, info.id.0, 0);
         let section = self.current_section(t);
         let obs = Observation {
             thread: t,
@@ -703,10 +797,17 @@ impl Kard {
                 if let Some(record) = store.records[idx].take() {
                     store.seen.remove(&record.fingerprint());
                     AtomicStats::bump(&self.stats.races_pruned_offset);
+                    self.emit(t, EventKind::RacePruneOffset, record.object.0, 0);
                 }
             }
         }
         // Suspend protection until the conflicting threads exit (§5.5).
+        self.emit(
+            t,
+            EventKind::DomainMigration,
+            info.id.0,
+            pack_domains(DomainCode::ReadWrite, DomainCode::Suspended),
+        );
         self.keys.lock().unassign_object(ikey, info.id);
         self.domain_shard(info.id)
             .lock()
@@ -759,17 +860,25 @@ impl Kard {
             // within one average delay of handler entry means the key *was*
             // held when the fault occurred — i.e. the release postdates
             // `fault.tsc`.
+            // The window width is the *measured* average delay when the
+            // benchmark has fed one back (BENCH_fault_latency.json), else
+            // the cost model's assumed constant.
+            let fault_delay = self
+                .config
+                .measured_fault_delay
+                .unwrap_or(cost.fault_handling);
             let recent_release = self.config.timestamp_filter
                 && conflicting_holder.is_none()
                 && key_state.last_writer_release.is_some_and(|rel| {
-                    let handler_now = fault.tsc + cost.fault_handling;
-                    rel > fault.tsc && handler_now.saturating_sub(rel) < cost.fault_handling
+                    let handler_now = fault.tsc + fault_delay;
+                    rel > fault.tsc && handler_now.saturating_sub(rel) < fault_delay
                 });
             if conflicting_holder.is_none()
                 && !recent_release
                 && key_state.last_writer_release.is_some()
             {
                 AtomicStats::bump(&self.stats.races_filtered_timestamp);
+                self.emit(t, EventKind::TimestampFiltered, u64::from(key.0), 0);
             }
 
             if let Some((holder_thread, holder_section)) = conflicting_holder {
@@ -795,6 +904,7 @@ impl Kard {
         match outcome {
             PoolOutcome::Conflict(holder_thread, holder_section) => {
                 AtomicStats::bump(&self.stats.race_check_faults);
+                self.emit(t, EventKind::FaultRaceCheck, info.id.0, 1);
                 let record = RaceRecord {
                     object: info.id,
                     faulting: RaceSide {
@@ -879,6 +989,12 @@ impl Kard {
                                 self.slot(holder_thread)
                                     .armed
                                     .fetch_add(1, Ordering::Relaxed);
+                                self.emit(
+                                    t,
+                                    EventKind::InterleaveArm,
+                                    info.id.0,
+                                    u64::from(ikey.0),
+                                );
                                 Some(ikey)
                             } else {
                                 None
@@ -904,6 +1020,7 @@ impl Kard {
                 // identifies the holding side; there is no live holder to
                 // interleave against, so report only.
                 AtomicStats::bump(&self.stats.race_check_faults);
+                self.emit(t, EventKind::FaultRaceCheck, info.id.0, 2);
                 if holder != t {
                     let record = RaceRecord {
                         object: info.id,
@@ -929,6 +1046,7 @@ impl Kard {
             PoolOutcome::AcquiredReactive => {
                 let sec = section.expect("reactive acquisition implies a section");
                 AtomicStats::bump(&self.stats.reactive_acquisitions);
+                self.emit(t, EventKind::KeyGrant, u64::from(key.0), GRANT_REACTIVE);
                 self.note_held_and_record(t, key, perm_for(fault.access));
                 self.sections
                     .write()
@@ -945,9 +1063,22 @@ impl Kard {
 
     /// §5.3 / §5.4: move an object into the Read-write domain, picking a
     /// key with the effective-assignment policy and acquiring it reactively.
-    fn migrate_to_read_write(&self, t: ThreadId, section: SectionId, info: &ObjectInfo) {
+    /// `from` names the source domain, for the migration event.
+    fn migrate_to_read_write(
+        &self,
+        t: ThreadId,
+        section: SectionId,
+        info: &ObjectInfo,
+        from: DomainCode,
+    ) {
         let cost = *self.machine.cost_model();
         AtomicStats::bump(&self.stats.read_write_migrations);
+        self.emit(
+            t,
+            EventKind::DomainMigration,
+            info.id.0,
+            pack_domains(from, DomainCode::ReadWrite),
+        );
 
         // Rule 1 candidates: keys the thread holds *for the current
         // section*. The paper says "one of the held protection keys"
@@ -1040,6 +1171,12 @@ impl Kard {
             Assignment::HeldKey(_) | Assignment::FreshKey(_) => {}
             Assignment::Recycled { evicted, .. } => {
                 AtomicStats::bump(&self.stats.key_recycles);
+                self.emit(
+                    t,
+                    EventKind::KeyRecycle,
+                    u64::from(key.0),
+                    evicted.len() as u64,
+                );
                 // Demote the recycled key's objects to the Read-only
                 // domain; their next write re-identifies them (§5.4).
                 for &obj in evicted {
@@ -1049,11 +1186,18 @@ impl Kard {
                             .protect(t, obj, self.layout.read_only)
                             .expect("k_ro is valid");
                         AtomicStats::bump(&self.stats.read_only_migrations);
+                        self.emit(
+                            t,
+                            EventKind::DomainMigration,
+                            obj.0,
+                            pack_domains(DomainCode::ReadWrite, DomainCode::ReadOnly),
+                        );
                     }
                 }
             }
             Assignment::Shared(_) => {
                 AtomicStats::bump(&self.stats.key_shares);
+                self.emit(t, EventKind::KeyShare, u64::from(key.0), 0);
             }
         }
 
@@ -1064,6 +1208,7 @@ impl Kard {
         self.alloc.protect(t, info.id, key).expect("pool key valid");
 
         AtomicStats::bump(&self.stats.reactive_acquisitions);
+        self.emit(t, EventKind::KeyGrant, u64::from(key.0), GRANT_REACTIVE);
         self.note_held_and_record(t, key, Perm::Write);
         self.grant_in_context(t, key);
     }
@@ -1076,9 +1221,21 @@ impl Kard {
             let fp = record.fingerprint();
             if !store.seen.insert(fp) {
                 AtomicStats::bump(&self.stats.races_pruned_redundant);
+                self.emit(
+                    record.faulting.thread,
+                    EventKind::RacePruneRedundant,
+                    record.object.0,
+                    0,
+                );
                 return None;
             }
         }
+        self.emit(
+            record.faulting.thread,
+            EventKind::RaceReport,
+            record.object.0,
+            record.faulting.thread.0 as u64,
+        );
         store.records.push(Some(record));
         Some(store.records.len() - 1)
     }

@@ -1,6 +1,9 @@
 //! Runtime counters backing the paper's Tables 3 and 5.
 
+use kard_telemetry::event::{unpack_domains, DomainCode, GRANT_PROACTIVE, GRANT_REACTIVE};
+use kard_telemetry::{Event, EventKind};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Execution statistics of one detection run.
@@ -71,6 +74,64 @@ impl DetectorStats {
         } else {
             self.key_recycles as f64 / self.cs_entries as f64
         }
+    }
+
+    /// Rebuild the statistics by replaying a complete telemetry event
+    /// stream — the proof that the event vocabulary captures everything
+    /// the atomic counters do. Every counter has an exact event mapping:
+    ///
+    /// * one event kind per fault/prune/grant counter;
+    /// * domain-migration events carry `(from, to)` codes, so
+    ///   `read_only_migrations` counts migrations *into* Read-only and
+    ///   `read_write_migrations` counts migrations into Read-write from
+    ///   Not-accessed or Read-only (a §5.5 restoration from Suspended is
+    ///   not a migration);
+    /// * `races_reported` = reports minus offset-pruned retractions,
+    ///   mirroring how the detector derives it from surviving records.
+    ///
+    /// The stream must be complete (no ring overflow — check
+    /// [`kard_telemetry::Drained::dropped`]) or counts will fall short.
+    #[must_use]
+    pub fn from_events(events: &[Event]) -> DetectorStats {
+        let mut s = DetectorStats::default();
+        let mut sections: HashSet<u64> = HashSet::new();
+        for e in events {
+            match e.kind {
+                EventKind::SectionEnter => {
+                    s.cs_entries += 1;
+                    sections.insert(e.a);
+                    s.max_concurrent_sections = s.max_concurrent_sections.max(e.b);
+                }
+                EventKind::DomainMigration => match unpack_domains(e.b) {
+                    Some((_, DomainCode::ReadOnly)) => s.read_only_migrations += 1,
+                    Some((from, DomainCode::ReadWrite)) if from != DomainCode::Suspended => {
+                        s.read_write_migrations += 1;
+                    }
+                    _ => {}
+                },
+                EventKind::KeyGrant if e.b == GRANT_PROACTIVE => s.proactive_acquisitions += 1,
+                EventKind::KeyGrant if e.b == GRANT_REACTIVE => s.reactive_acquisitions += 1,
+                EventKind::KeyRecycle => s.key_recycles += 1,
+                EventKind::KeyShare => s.key_shares += 1,
+                EventKind::FaultIdentify => {
+                    s.identification_faults += 1;
+                    s.objects_identified += 1;
+                }
+                EventKind::FaultMigrate => s.migration_faults += 1,
+                EventKind::FaultRaceCheck => s.race_check_faults += 1,
+                EventKind::FaultInterleave => s.interleave_faults += 1,
+                EventKind::TimestampFiltered => s.races_filtered_timestamp += 1,
+                EventKind::RaceReport => s.races_reported += 1,
+                EventKind::RacePruneOffset => {
+                    s.races_pruned_offset += 1;
+                    s.races_reported = s.races_reported.saturating_sub(1);
+                }
+                EventKind::RacePruneRedundant => s.races_pruned_redundant += 1,
+                _ => {}
+            }
+        }
+        s.unique_sections = sections.len() as u64;
+        s
     }
 }
 
@@ -177,6 +238,59 @@ mod tests {
         assert_eq!(snap.key_shares, 1);
         assert_eq!(snap.max_concurrent_sections, 3, "raise_to keeps the max");
         assert_eq!(snap.races_reported, 0, "derived by the detector");
+    }
+
+    #[test]
+    fn from_events_replays_counters() {
+        use kard_telemetry::event::pack_domains;
+        let ev = |kind, a, b| Event {
+            tsc: 0,
+            thread: 0,
+            kind,
+            a,
+            b,
+        };
+        let events = vec![
+            ev(EventKind::SectionEnter, 0x10, 1),
+            ev(EventKind::SectionEnter, 0x20, 2),
+            ev(EventKind::SectionEnter, 0x10, 1),
+            ev(EventKind::FaultIdentify, 1, 0),
+            ev(
+                EventKind::DomainMigration,
+                1,
+                pack_domains(DomainCode::NotAccessed, DomainCode::ReadOnly),
+            ),
+            ev(EventKind::FaultMigrate, 1, 0),
+            ev(
+                EventKind::DomainMigration,
+                1,
+                pack_domains(DomainCode::ReadOnly, DomainCode::ReadWrite),
+            ),
+            ev(EventKind::KeyGrant, 3, GRANT_REACTIVE),
+            ev(EventKind::KeyGrant, 3, GRANT_PROACTIVE),
+            ev(EventKind::RaceReport, 1, 1),
+            ev(EventKind::RaceReport, 2, 1),
+            ev(EventKind::RacePruneOffset, 2, 0),
+            // Restoration after an interleaving: not a migration.
+            ev(
+                EventKind::DomainMigration,
+                1,
+                pack_domains(DomainCode::Suspended, DomainCode::ReadWrite),
+            ),
+        ];
+        let s = DetectorStats::from_events(&events);
+        assert_eq!(s.cs_entries, 3);
+        assert_eq!(s.unique_sections, 2);
+        assert_eq!(s.max_concurrent_sections, 2);
+        assert_eq!(s.identification_faults, 1);
+        assert_eq!(s.objects_identified, 1);
+        assert_eq!(s.read_only_migrations, 1);
+        assert_eq!(s.read_write_migrations, 1, "restoration not counted");
+        assert_eq!(s.migration_faults, 1);
+        assert_eq!(s.proactive_acquisitions, 1);
+        assert_eq!(s.reactive_acquisitions, 1);
+        assert_eq!(s.races_reported, 1, "one report retracted by pruning");
+        assert_eq!(s.races_pruned_offset, 1);
     }
 
     #[test]

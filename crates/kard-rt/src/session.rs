@@ -5,7 +5,10 @@ use crate::thread::SimThread;
 use kard_alloc::KardAlloc;
 use kard_core::{Kard, KardConfig};
 use kard_sim::{Machine, MachineConfig};
+use kard_telemetry::{export, Drained, Telemetry};
 use std::fmt;
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -87,6 +90,41 @@ impl Session {
             self.next_lock.fetch_add(1, Ordering::Relaxed),
         ))
     }
+
+    /// The telemetry hub shared by the allocator and the detector.
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        self.kard.telemetry()
+    }
+
+    /// Turn fault-path event tracing on or off for this session.
+    pub fn enable_telemetry(&self, on: bool) {
+        self.telemetry().set_enabled(on);
+    }
+
+    /// Drain all per-thread event rings into one timestamp-sorted batch
+    /// (the session-end collection step; takes only telemetry locks).
+    #[must_use]
+    pub fn drain_telemetry(&self) -> Drained {
+        self.telemetry().drain()
+    }
+
+    /// Drain the rings and write the run's trace files into `dir`:
+    /// `events.jsonl` (JSON-Lines, one event per line) and `trace.json`
+    /// (Chrome `trace_event` format, loadable in Perfetto or
+    /// `chrome://tracing`). Returns the drained batch for further
+    /// inspection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating `dir` or its files.
+    pub fn write_trace_files(&self, dir: &Path) -> io::Result<Drained> {
+        let drained = self.drain_telemetry();
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("events.jsonl"), export::json_lines(&drained.events))?;
+        std::fs::write(dir.join("trace.json"), export::chrome_trace(&drained.events))?;
+        Ok(drained)
+    }
 }
 
 impl Default for Session {
@@ -122,5 +160,63 @@ mod tests {
         let o = t.alloc(32);
         assert!(session.alloc().object(o.id).is_some());
         assert_eq!(session.machine().thread_count(), 1);
+    }
+
+    #[test]
+    fn telemetry_round_trip_through_session() {
+        use kard_sim::CodeSite;
+        use kard_telemetry::EventKind;
+
+        let session = Session::new();
+        session.enable_telemetry(true);
+        let t = session.spawn_thread();
+        let o = t.alloc(32);
+        let m = session.new_mutex();
+        {
+            let _g = t.enter(&m, CodeSite(0x10));
+            t.write(&o, 0, CodeSite(0x11));
+        }
+        let drained = session.drain_telemetry();
+        assert_eq!(drained.dropped, 0);
+        for kind in [
+            EventKind::ObjectAlloc,
+            EventKind::SectionEnter,
+            EventKind::FaultIdentify,
+            EventKind::SectionExit,
+        ] {
+            assert!(
+                drained.events.iter().any(|e| e.kind == kind),
+                "missing {kind:?} in {:?}",
+                drained.events
+            );
+        }
+        let tsc: Vec<u64> = drained.events.iter().map(|e| e.tsc).collect();
+        assert!(tsc.windows(2).all(|w| w[0] <= w[1]), "sorted by timestamp");
+    }
+
+    #[test]
+    fn write_trace_files_emits_both_formats() {
+        use kard_sim::CodeSite;
+
+        let session = Session::new();
+        session.enable_telemetry(true);
+        let t = session.spawn_thread();
+        let o = t.alloc(32);
+        let m = session.new_mutex();
+        {
+            let _g = t.enter(&m, CodeSite(0x10));
+            t.write(&o, 0, CodeSite(0x11));
+        }
+        let dir = std::env::temp_dir().join(format!(
+            "kard-trace-test-{}",
+            std::process::id()
+        ));
+        let drained = session.write_trace_files(&dir).expect("trace files");
+        assert!(!drained.events.is_empty());
+        let jsonl = std::fs::read_to_string(dir.join("events.jsonl")).unwrap();
+        assert_eq!(jsonl.lines().count(), drained.events.len());
+        let chrome = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+        assert!(chrome.starts_with("{\"traceEvents\":["));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,187 @@
+//! Log-bucketed latency histograms.
+//!
+//! libmpk's measurements (PAPERS.md) show MPK-layer operations have heavily
+//! skewed per-call costs that averages hide, so the telemetry layer keeps
+//! full distributions: 64 power-of-two buckets cover every `u64` cycle
+//! count, recording is one relaxed `fetch_add` per bucket plus the running
+//! count/sum/min/max — lock-free and allocation-free, safe to call from
+//! the fault handler.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets (bucket `i` holds values whose bit
+/// length is `i`; bucket 0 holds the value zero).
+pub const BUCKETS: usize = 65;
+
+/// A lock-free log₂-bucketed histogram of cycle counts.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of a value: its bit length (0 for the value zero).
+fn bucket_of(value: u64) -> usize {
+    match value.checked_ilog2() {
+        Some(log) => log as usize + 1,
+        None => 0,
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Record one value (relaxed atomics only).
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A plain-value summary with estimated percentiles.
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return HistogramSummary::default();
+        }
+        let min = self.min.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let quantile = |q: f64| -> u64 {
+            // Rank of the q-quantile (1-based), then the upper bound of the
+            // bucket containing that rank, clamped to the observed range.
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    let upper = if i == 0 { 0 } else { (1u64 << i).saturating_sub(1) };
+                    return upper.clamp(min, max);
+                }
+            }
+            max
+        };
+        HistogramSummary {
+            count,
+            min,
+            max,
+            mean: sum as f64 / count as f64,
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// Plain-value snapshot of a [`LatencyHistogram`]. Percentiles are bucket
+/// upper bounds (log₂ resolution), clamped to the observed min/max.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct HistogramSummary {
+    /// Values recorded.
+    pub count: u64,
+    /// Smallest value.
+    pub min: u64,
+    /// Largest value.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn bucket_of_is_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn summary_tracks_extremes_and_mean() {
+        let h = LatencyHistogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 40);
+        assert!((s.mean - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_respect_skew() {
+        // 90 small values and ten huge outliers: p50 stays small, p99 is
+        // pulled into the outlier's bucket — the skew averages hide.
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let s = h.summary();
+        assert!(s.p50 < 200, "median stays near the mass: {}", s.p50);
+        assert!(s.p99 >= 500_000, "p99 sees the outlier: {}", s.p99);
+        assert!(s.mean > 10_000.0, "the mean is distorted by the outlier");
+    }
+
+    #[test]
+    fn percentiles_clamp_to_observed_range() {
+        let h = LatencyHistogram::new();
+        h.record(24_000);
+        let s = h.summary();
+        assert_eq!((s.p50, s.p95, s.p99), (24_000, 24_000, 24_000));
+    }
+}

@@ -1,0 +1,67 @@
+//! Observability walkthrough: trace a web-server run and export it.
+//!
+//! Runs the NGINX model (§7.2, Table 6) with fault-path event tracing
+//! enabled, writes `target/trace-demo/events.jsonl` and
+//! `target/trace-demo/trace.json` (open the latter in Perfetto or
+//! `chrome://tracing`), and prints the latency histograms the detector
+//! recorded along the way — including the measured fault-handling delay
+//! that can seed [`kard::core::KardConfig::measured_fault_delay`].
+//!
+//! Run with: `cargo run --example telemetry` (or `make trace-demo`).
+
+use kard::rt::KardExecutor;
+use kard::telemetry::HistogramSummary;
+use kard::workloads::apps;
+use kard::Session;
+use kard_trace::replay::replay;
+use std::path::Path;
+
+fn print_summary(name: &str, s: &HistogramSummary) {
+    if s.count == 0 {
+        println!("  {name:<22} (no samples)");
+        return;
+    }
+    println!(
+        "  {name:<22} n={:<6} min={:<7} mean={:<9.0} p50={:<7} p95={:<7} p99={:<7} max={}",
+        s.count, s.min, s.mean, s.p50, s.p95, s.p99, s.max
+    );
+}
+
+fn main() {
+    let workers = 4;
+    let requests = 200;
+    let model = apps::nginx(workers, requests);
+    println!("Tracing the NGINX model: 1 master + {workers} workers, {requests} requests each\n");
+
+    let session = Session::new();
+    session.enable_telemetry(true);
+    let mut exec = KardExecutor::new(session.kard().clone());
+    replay(&model.program.trace_round_robin(), &mut exec);
+
+    let dir = Path::new("target/trace-demo");
+    let drained = session.write_trace_files(dir).expect("write trace files");
+    println!(
+        "Captured {} events ({} dropped) into {}/",
+        drained.events.len(),
+        drained.dropped,
+        dir.display()
+    );
+    println!("  events.jsonl  one JSON object per event");
+    println!("  trace.json    Chrome trace_event format (Perfetto / chrome://tracing)\n");
+
+    let hists = session.telemetry().histograms();
+    println!("Latency histograms (virtual cycles):");
+    print_summary("fault handling delay", &hists.fault_delay.summary());
+    print_summary("pkey_mprotect charge", &hists.mprotect.summary());
+    print_summary("section hold time", &hists.section_hold.summary());
+
+    let fault_delay = hists.fault_delay.summary();
+    println!(
+        "\nSuggested KardConfig::measured_fault_delay: {} cycles (p50)",
+        fault_delay.p50
+    );
+    println!(
+        "Races reported: {} (the paper's initialization race)",
+        exec.stats().races_reported
+    );
+}

@@ -17,6 +17,9 @@
 //!   automated pruning);
 //! * [`rt`] — the runtime API a monitored program uses ([`Session`],
 //!   [`SimThread`], [`KardMutex`]) and the trace-executor adapter;
+//! * [`telemetry`] — lock-free event tracing of the fault path:
+//!   per-thread bounded rings, log₂ latency histograms, and JSON-Lines /
+//!   Chrome `trace_event` exporters (see DESIGN.md §5d);
 //! * [`trace`] — deterministic program traces and interleaving schedules;
 //! * [`baselines`] — FastTrack (the TSan model) and Eraser lockset;
 //! * [`workloads`] — models of the paper's 19 evaluation programs
@@ -59,6 +62,7 @@ pub use kard_baselines as baselines;
 pub use kard_core as core;
 pub use kard_rt as rt;
 pub use kard_sim as sim;
+pub use kard_telemetry as telemetry;
 pub use kard_trace as trace;
 pub use kard_workloads as workloads;
 

@@ -9,6 +9,35 @@ use kard::workloads::native::AllocOnlyExecutor;
 use kard::{CodeSite, Session};
 use kard_trace::replay::replay;
 use kard_trace::{ObjectTag, PhasedProgram, ThreadProgram};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts heap allocations made while the current thread has opted in.
+/// Used to prove the disabled-telemetry access path never allocates.
+struct CountingAlloc;
+
+static SCOPED_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static COUNT_ALLOCS: Cell<bool> = const { Cell::new(false) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNT_ALLOCS.with(Cell::get) {
+            SCOPED_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn lock_free_program(threads: usize, iters: u64) -> PhasedProgram {
     let mut init = ThreadProgram::new();
@@ -95,6 +124,75 @@ fn fault_free_accesses_take_no_detector_locks() {
         after - before,
         0,
         "a fault-free access must acquire zero detector locks"
+    );
+}
+
+/// The telemetry subsystem's "disabled = one relaxed load" contract: with
+/// tracing off, a batch of fault-free accesses writes nothing into any
+/// event ring and performs **zero** heap allocations.
+#[test]
+fn disabled_telemetry_adds_no_ring_writes_or_allocations() {
+    let program = lock_free_program(4, 50);
+    let trace = program.trace_seeded(11);
+    let session = Session::new();
+    let mut kard = KardExecutor::new(session.kard().clone());
+    replay(&trace, &mut kard);
+    assert!(!session.telemetry().enabled(), "tracing is off by default");
+
+    let objects = session.alloc().live_objects();
+    let t = session.kard().register_thread();
+    // One warm-up pass so any lazy per-thread state exists before counting.
+    for (i, o) in objects.iter().enumerate() {
+        session.kard().write(t, o.base, CodeSite(0x900 + i as u64 % 2));
+    }
+
+    let allocs_before = SCOPED_ALLOCS.load(Ordering::Relaxed);
+    COUNT_ALLOCS.with(|f| f.set(true));
+    for i in 0..1000u64 {
+        let o = &objects[(i % 16) as usize];
+        session.kard().write(t, o.base.offset((i % 8) * 8), CodeSite(0x900));
+        session.kard().read(t, o.base.offset((i % 8) * 8), CodeSite(0x901));
+    }
+    COUNT_ALLOCS.with(|f| f.set(false));
+    let allocs = SCOPED_ALLOCS.load(Ordering::Relaxed) - allocs_before;
+
+    assert_eq!(allocs, 0, "fault-free accesses must not allocate");
+    assert_eq!(
+        session.telemetry().events_recorded(),
+        0,
+        "no ring writes while telemetry is disabled"
+    );
+}
+
+/// Telemetry enabled must not reintroduce detector locks: recording is
+/// per-thread relaxed atomics only, and draining takes telemetry locks,
+/// never detector locks.
+#[test]
+fn enabled_telemetry_keeps_fault_free_path_lock_free() {
+    let program = lock_free_program(4, 50);
+    let trace = program.trace_seeded(13);
+    let session = Session::new();
+    session.enable_telemetry(true);
+    let mut kard = KardExecutor::new(session.kard().clone());
+    replay(&trace, &mut kard);
+
+    let objects = session.alloc().live_objects();
+    let t = session.kard().register_thread();
+    let before = session.kard().detector_lock_acquisitions();
+    for i in 0..1000u64 {
+        let o = &objects[(i % 16) as usize];
+        session.kard().write(t, o.base.offset((i % 8) * 8), CodeSite(0x900));
+        session.kard().read(t, o.base.offset((i % 8) * 8), CodeSite(0x901));
+    }
+    let after = session.kard().detector_lock_acquisitions();
+    assert_eq!(after - before, 0, "recording must not take detector locks");
+
+    let drained = session.drain_telemetry();
+    assert_eq!(drained.dropped, 0);
+    assert_eq!(
+        session.kard().detector_lock_acquisitions(),
+        after,
+        "the collector may take only telemetry locks"
     );
 }
 

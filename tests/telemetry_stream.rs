@@ -1,0 +1,110 @@
+//! The event stream is a faithful journal of the detection run: replaying
+//! the drained events through [`DetectorStats::from_events`] must
+//! reproduce the detector's own atomic counters *exactly*, even when
+//! eight real OS threads hammered the detector concurrently.
+//!
+//! This is the strongest cheap check on the telemetry subsystem — if any
+//! emission site is missing, duplicated, or mis-payloaded, some counter
+//! diverges; if the per-thread rings tear or drop under concurrency, the
+//! drain reports it.
+
+use std::sync::{Arc, Barrier};
+
+use kard::alloc::KardAlloc;
+use kard::core::DetectorStats;
+use kard::sim::{CodeSite, Machine, MachineConfig};
+use kard::telemetry::export;
+use kard::{Kard, KardConfig, LockId};
+
+const PAIRS: usize = 4;
+
+/// Deterministic cross-lock conflicts plus allocation/section churn on
+/// 8 real threads — the same shape as the shard-contention stress, with
+/// telemetry enabled throughout.
+fn hammered_kard() -> Arc<Kard> {
+    let machine = Arc::new(Machine::new(MachineConfig::default()));
+    let alloc = Arc::new(KardAlloc::new(Arc::clone(&machine)));
+    let kard = Arc::new(Kard::new(machine, alloc, KardConfig::default()));
+    kard.telemetry().set_enabled(true);
+
+    let threads: Vec<_> = (0..2 * PAIRS).map(|_| kard.register_thread()).collect();
+    let objects: Vec<_> = (0..PAIRS).map(|_| kard.on_alloc(threads[0], 64)).collect();
+    let barriers: Vec<_> = (0..PAIRS)
+        .map(|_| (Arc::new(Barrier::new(2)), Arc::new(Barrier::new(2))))
+        .collect();
+
+    std::thread::scope(|s| {
+        for pair in 0..PAIRS {
+            for role in 0..2 {
+                let kard = Arc::clone(&kard);
+                let t = threads[2 * pair + role];
+                let obj = objects[pair];
+                let (wrote, done) = (
+                    Arc::clone(&barriers[pair].0),
+                    Arc::clone(&barriers[pair].1),
+                );
+                s.spawn(move || {
+                    let churn_lock = LockId(1000 + t.0 as u64);
+                    let churn_site = CodeSite(0x9000 + t.0 as u64);
+                    for i in 0..8u64 {
+                        let o = kard.on_alloc(t, 24 + (i % 3) * 32);
+                        kard.lock_enter(t, churn_lock, churn_site);
+                        kard.write(t, o.base, churn_site);
+                        kard.lock_exit(t, churn_lock);
+                        kard.on_free(t, o.id);
+                    }
+                    let site = CodeSite(0x1000 + (2 * pair + role) as u64);
+                    if role == 0 {
+                        kard.lock_enter(t, LockId(2 * pair as u64), site);
+                        kard.write(t, obj.base, site);
+                        wrote.wait();
+                        done.wait();
+                        kard.lock_exit(t, LockId(2 * pair as u64));
+                    } else {
+                        wrote.wait();
+                        kard.lock_enter(t, LockId(2 * pair as u64 + 1), site);
+                        kard.write(t, obj.base, site);
+                        kard.lock_exit(t, LockId(2 * pair as u64 + 1));
+                        done.wait();
+                    }
+                });
+            }
+        }
+    });
+    kard
+}
+
+#[test]
+fn replayed_events_reproduce_detector_stats() {
+    let kard = hammered_kard();
+    let drained = kard.telemetry().drain();
+    assert_eq!(drained.dropped, 0, "rings must not overflow in this run");
+    assert!(!drained.events.is_empty());
+
+    let replayed = DetectorStats::from_events(&drained.events);
+    assert_eq!(
+        replayed,
+        kard.stats(),
+        "aggregating the event stream must equal the atomic counters"
+    );
+}
+
+#[test]
+fn exported_traces_are_well_formed() {
+    let kard = hammered_kard();
+    let drained = kard.telemetry().drain();
+
+    let chrome = export::chrome_trace(&drained.events);
+    let v: serde_json::Value = serde_json::from_str(&chrome).expect("valid chrome trace JSON");
+    let events = v
+        .as_object()
+        .and_then(|o| o.get("traceEvents"))
+        .and_then(serde_json::Value::as_array)
+        .expect("traceEvents array");
+    assert!(events.len() >= drained.events.len(), "B/E pairs + instants");
+
+    for line in export::json_lines(&drained.events).lines() {
+        let e: serde_json::Value = serde_json::from_str(line).expect("valid JSON-Lines row");
+        assert!(e.as_object().is_some_and(|o| o.contains_key("kind")));
+    }
+}
