@@ -1,6 +1,6 @@
-.PHONY: verify build test clippy bench-scalability bench-fault-latency trace-demo
+.PHONY: verify build test clippy doc bench-scalability bench-fault-latency bench-key-pressure trace-demo
 
-verify: build test clippy
+verify: build test clippy doc
 
 build:
 	cargo build --release
@@ -11,11 +11,17 @@ test:
 clippy:
 	cargo clippy --all-targets -- -D warnings
 
+doc:
+	RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
 bench-scalability:
 	cargo bench -p kard-bench --bench bench_scalability
 
 bench-fault-latency:
 	cargo bench -p kard-bench --bench bench_fault_latency
+
+bench-key-pressure:
+	cargo bench -p kard-bench --bench bench_key_pressure
 
 trace-demo:
 	cargo run --release --example telemetry

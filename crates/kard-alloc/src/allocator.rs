@@ -441,6 +441,48 @@ impl KardAlloc {
         result
     }
 
+    /// Retag all pages of every object in `ids` with `key` through one
+    /// grouped `pkey_mprotect` call ([`Machine::pkey_mprotect_batch`]).
+    /// Key-cache evictions and revivals re-tag whole shared-object groups
+    /// at once, paying the syscall once plus a marginal per-object cost.
+    /// A no-op for an empty batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the key is invalid for the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id in `ids` is not live.
+    pub fn protect_batch(
+        &self,
+        thread: ThreadId,
+        ids: &[ObjectId],
+        key: ProtectionKey,
+    ) -> Result<(), ProtectError> {
+        if ids.is_empty() {
+            return Ok(());
+        }
+        let ranges: Vec<(VirtPage, u64)> = ids
+            .iter()
+            .map(|&id| {
+                let info = self
+                    .object(id)
+                    .unwrap_or_else(|| panic!("protect of unknown object {id}"));
+                (info.first_page, info.page_count)
+            })
+            .collect();
+        let result = self.machine.pkey_mprotect_batch(thread, &ranges, key);
+        if result.is_ok() && self.telemetry.enabled() {
+            let cost = self.machine.cost_model();
+            self.telemetry.histograms().mprotect.record(
+                cost.pkey_mprotect
+                    + cost.pkey_mprotect_batch_extra * (ranges.len() as u64 - 1),
+            );
+        }
+        result
+    }
+
     /// Statistics snapshot.
     #[must_use]
     pub fn stats(&self) -> AllocStats {

@@ -1,0 +1,162 @@
+//! Detection rate and overhead under protection-key pressure: direct §5.4
+//! key assignment versus the virtualized eviction cache (`kard_core::vkey`).
+//!
+//! The workload plants one ILU race per shared-object group. `G` threads
+//! each allocate an object, enter a private critical section, and write
+//! their own object — `G` simultaneously live, *held* groups. Every thread
+//! then writes a pseudo-randomly chosen other thread's object from inside
+//! its own section: object `A_p` is written under two different locks,
+//! which is exactly one plantable race per group.
+//!
+//! Below the 13-key ceiling every mode detects every race. Above it the
+//! direct detector must fall back to rule-3 key *sharing* (recycling is
+//! impossible — every key is held), and a cross-write whose faulting thread
+//! already holds the victim object's aliased key never faults: the race is
+//! silently missed (§7.3). The virtualized detector never shares — it
+//! evicts, demotes, and revives groups, and the revival logical-holder
+//! check reports the conflict the alias would have hidden.
+//!
+//! Run with `cargo bench -p kard-bench --bench bench_key_pressure`; emits
+//! `BENCH_key_pressure.json` at the repository root.
+
+use kard_alloc::KardAlloc;
+use kard_core::{ExhaustionPolicy, Kard, KardConfig, LockId, VKeyStats};
+use kard_sim::{CodeSite, Machine, MachineConfig};
+use std::sync::Arc;
+
+/// Concurrent shared-object group counts to sweep.
+const SCALES: [usize; 4] = [8, 16, 64, 256];
+
+/// The cross-write partner of group `g`: fixed pseudo-random stride, so the
+/// direct detector's cyclic shared-key assignment aliases some — but not
+/// all — (writer, victim) pairs. `7g + 3` is coprime-ish mixing; for the
+/// even `G` values used here it never maps a group onto itself.
+fn partner(g: usize, groups: usize) -> usize {
+    (g * 7 + 3) % groups
+}
+
+struct Sample {
+    groups: usize,
+    mode: &'static str,
+    key_mode: String,
+    races_planted: u64,
+    races_reported: u64,
+    total_cycles: u64,
+    faults: u64,
+    wrpkru: u64,
+    pkey_mprotect: u64,
+    vkeys: Option<VKeyStats>,
+}
+
+fn run(groups: usize, mode: &'static str, config: KardConfig) -> Sample {
+    let machine = Arc::new(Machine::new(MachineConfig::default()));
+    let alloc = Arc::new(KardAlloc::new(Arc::clone(&machine)));
+    let kard = Arc::new(Kard::new(Arc::clone(&machine), alloc, config));
+
+    let tids: Vec<_> = (0..groups).map(|_| kard.register_thread()).collect();
+    let objects: Vec<_> = tids.iter().map(|&t| kard.on_alloc(t, 64)).collect();
+
+    // Phase 1: every thread enters its private section and writes its own
+    // object — `groups` live groups, every pool key (or cache slot) held.
+    for (g, &t) in tids.iter().enumerate() {
+        kard.lock_enter(t, LockId(g as u64 + 1), CodeSite(0x100 + g as u64));
+    }
+    for (g, &t) in tids.iter().enumerate() {
+        kard.write(t, objects[g].base, CodeSite(0x1000 + g as u64));
+    }
+
+    // Phase 2: the planted races — each thread writes its partner's object
+    // from inside its own (different) critical section.
+    for (g, &t) in tids.iter().enumerate() {
+        let p = partner(g, groups);
+        kard.write(t, objects[p].base, CodeSite(0x2000 + g as u64));
+    }
+
+    for (g, &t) in tids.iter().enumerate() {
+        kard.lock_exit(t, LockId(g as u64 + 1));
+    }
+
+    let stats = kard.stats();
+    let counters = machine.counters();
+    Sample {
+        groups,
+        mode,
+        key_mode: kard.key_mode(),
+        races_planted: groups as u64,
+        races_reported: stats.races_reported,
+        total_cycles: tids.iter().map(|&t| machine.thread_cycles(t)).sum(),
+        faults: stats.identification_faults
+            + stats.migration_faults
+            + stats.race_check_faults
+            + stats.interleave_faults,
+        wrpkru: counters.wrpkru,
+        pkey_mprotect: counters.pkey_mprotect,
+        vkeys: config.virtual_keys.then(|| kard.vkey_stats()),
+    }
+}
+
+fn configs() -> Vec<(&'static str, KardConfig)> {
+    let direct = KardConfig::paper();
+    let mut direct_share = KardConfig::paper();
+    direct_share.exhaustion = ExhaustionPolicy::ShareOnly;
+    let mut virtualized = KardConfig::paper();
+    virtualized.virtual_keys = true;
+    vec![
+        ("direct", direct),
+        ("direct_share", direct_share),
+        ("virtualized", virtualized),
+    ]
+}
+
+fn main() {
+    let mut samples = Vec::new();
+    for groups in SCALES {
+        for (mode, config) in configs() {
+            let s = run(groups, mode, config);
+            println!(
+                "{:>3} groups, {:<12} {:>3}/{:<3} races, {:>9} cycles, {:>4} faults{}",
+                s.groups,
+                s.mode,
+                s.races_reported,
+                s.races_planted,
+                s.total_cycles,
+                s.faults,
+                s.vkeys.map_or(String::new(), |v| format!(
+                    ", {} evictions ({} synced), {} revivals",
+                    v.evictions, v.synced_evictions, v.revivals
+                )),
+            );
+            samples.push(s);
+        }
+    }
+
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            let vkeys = s.vkeys.map_or("null".to_string(), |v| {
+                serde_json::to_string(&v).expect("serialize vkey stats")
+            });
+            format!(
+                "    {{\"groups\": {}, \"mode\": \"{}\", \"key_mode\": \"{}\", \"races_planted\": {}, \"races_reported\": {}, \"detection_rate\": {:.4}, \"total_cycles\": {}, \"faults\": {}, \"wrpkru\": {}, \"pkey_mprotect\": {}, \"vkeys\": {}}}",
+                s.groups,
+                s.mode,
+                s.key_mode,
+                s.races_planted,
+                s.races_reported,
+                s.races_reported as f64 / s.races_planted as f64,
+                s.total_cycles,
+                s.faults,
+                s.wrpkru,
+                s.pkey_mprotect,
+                vkeys
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"key_pressure\",\n  \"workload\": \"G held groups, one cross-section write (planted race) per group, partner = (7g+3) mod G\",\n  \"scales\": {SCALES:?},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_key_pressure.json");
+    std::fs::write(path, json).expect("write BENCH_key_pressure.json");
+    println!("wrote {path}");
+}

@@ -148,13 +148,22 @@ fn main() -> ExitCode {
         );
         return ExitCode::SUCCESS;
     }
+    // Experiment output should state which key-assignment policy produced
+    // it; the tables all run the default configuration.
+    let pool = kard_sim::MachineConfig::default()
+        .key_layout
+        .read_write_pool()
+        .count();
+    let key_mode = kard_core::KardConfig::default().key_mode_description(pool);
     if opts.command == "all" {
+        println!("key mode: {key_mode}\n");
         for name in ALL {
             println!("{}", run(name).expect("known name"));
             println!("{}", "=".repeat(100));
         }
         ExitCode::SUCCESS
     } else if let Some(text) = run(&opts.command) {
+        println!("key mode: {key_mode}\n");
         println!("{text}");
         ExitCode::SUCCESS
     } else {

@@ -22,6 +22,7 @@
 use crate::config::ExhaustionPolicy;
 use crate::keymap::KeyTable;
 use crate::types::Perm;
+use crate::vkey::{LogicalHolder, VKeyTable, VirtualKey};
 use kard_alloc::ObjectId;
 use kard_sim::{ProtectionKey, ThreadId};
 
@@ -104,6 +105,212 @@ pub fn choose_key(
         .find(|&k| !holder_sections_access_object(k))
         .unwrap_or(candidates[0]);
     Assignment::Shared(key)
+}
+
+/// A victim group pushed out of the hardware-key cache to make room.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Eviction {
+    /// The group that lost its hardware key.
+    pub victim: VirtualKey,
+    /// Its member objects, already drained from the key-section map; the
+    /// detector demotes them to the Read-only domain with one grouped
+    /// `pkey_mprotect`.
+    pub demoted: Vec<ObjectId>,
+    /// Threads that still held the hardware key, now recorded as the
+    /// victim's logical holders. The detector must strip the key from each
+    /// one's context (libmpk-style key synchronization, `pkey_sync` each).
+    pub stripped: Vec<LogicalHolder>,
+}
+
+/// The decision made for an object under key virtualization
+/// ([`crate::KardConfig::virtual_keys`]). Mirrors [`Assignment`], with the
+/// §5.4 rules recast as cache operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VAssignment {
+    /// The object already belongs to a resident group: pure translation.
+    Hit {
+        /// The object's group.
+        vkey: VirtualKey,
+        /// The hardware key backing it.
+        key: ProtectionKey,
+    },
+    /// Rule 1 recast: the object joins the resident group backed by a key
+    /// the faulting thread already holds (a cache hit — no hardware-key
+    /// traffic).
+    Join {
+        /// The group joined.
+        vkey: VirtualKey,
+        /// The held hardware key backing it.
+        key: ProtectionKey,
+    },
+    /// A new group bound to a hardware key (rules 2 and 3a recast: a free
+    /// key when one exists, otherwise an eviction makes one).
+    Fill {
+        /// The freshly minted group.
+        vkey: VirtualKey,
+        /// The hardware key it was bound to.
+        key: ProtectionKey,
+        /// The eviction that freed `key`, when the cache was full.
+        evicted: Option<Eviction>,
+    },
+    /// The object's group was evicted earlier and this fault brings it
+    /// back. The detector re-checks the access against `logical` holders
+    /// still inside their sections — the conflicts a shared or stripped
+    /// key can no longer raise as hardware faults.
+    Revive {
+        /// The revived group.
+        vkey: VirtualKey,
+        /// The hardware key it was rebound to.
+        key: ProtectionKey,
+        /// The eviction that freed `key`, when the cache was full.
+        evicted: Option<Eviction>,
+        /// Holder snapshot taken when the group itself was evicted.
+        logical: Vec<LogicalHolder>,
+    },
+    /// Safety net: every hardware key is held *and* backs no group, so
+    /// nothing can be evicted; fall back to §5.4 rule 3b sharing. With
+    /// assignments flowing through the cache this state is unreachable in
+    /// practice, and the key-pressure benchmark asserts it stays so.
+    Shared {
+        /// The group (newly minted) the object joins.
+        vkey: VirtualKey,
+        /// The shared hardware key.
+        key: ProtectionKey,
+    },
+}
+
+impl VAssignment {
+    /// The hardware key chosen, whatever the cache outcome.
+    #[must_use]
+    pub fn key(&self) -> ProtectionKey {
+        match self {
+            VAssignment::Hit { key, .. }
+            | VAssignment::Join { key, .. }
+            | VAssignment::Fill { key, .. }
+            | VAssignment::Revive { key, .. }
+            | VAssignment::Shared { key, .. } => *key,
+        }
+    }
+
+    /// The virtual key chosen, whatever the cache outcome.
+    #[must_use]
+    pub fn vkey(&self) -> VirtualKey {
+        match self {
+            VAssignment::Hit { vkey, .. }
+            | VAssignment::Join { vkey, .. }
+            | VAssignment::Fill { vkey, .. }
+            | VAssignment::Revive { vkey, .. }
+            | VAssignment::Shared { vkey, .. } => *vkey,
+        }
+    }
+}
+
+/// Find a hardware key for a group that needs one: a free key if the pool
+/// has one (evicting a stale empty resident binding for free), otherwise
+/// evict the deterministic victim. Returns `None` only in the unreachable
+/// all-held-and-unbound state.
+fn claim_hardware_key(vkeys: &mut VKeyTable, table: &mut KeyTable) -> Option<(ProtectionKey, Option<Eviction>)> {
+    if let Some(key) = table.unassigned_key() {
+        // An emptied group can linger bound to an object-free, holder-free
+        // key; reclaim the binding silently — there is nothing to demote
+        // or strip, so this is not an eviction in any observable sense.
+        if let Some(stale) = vkeys.resident_vkey(key) {
+            vkeys.evict(stale, Vec::new());
+        }
+        return Some((key, None));
+    }
+    let victim = vkeys.victim(|k| table.state(k).holders.len())?;
+    let key = vkeys.binding(victim).expect("victims are resident");
+    let mut stripped: Vec<LogicalHolder> = table
+        .state(key)
+        .holders
+        .iter()
+        .map(|(&thread, info)| LogicalHolder {
+            thread,
+            section: info.section,
+            perm: info.perm,
+        })
+        .collect();
+    stripped.sort_by_key(|h| h.thread.0);
+    let demoted = table.take_objects(key);
+    vkeys.evict(victim, stripped.clone());
+    Some((
+        key,
+        Some(Eviction {
+            victim,
+            demoted,
+            stripped,
+        }),
+    ))
+}
+
+/// Pick a key for `object` under virtualization. The counterpart of
+/// [`choose_key`]: the same rule-1 held-key predicate keeps the two
+/// policies byte-identical while at most 13 groups are live, and the
+/// fill/evict/revive arms take over where the direct policy would recycle
+/// or share. Updates both tables' bindings and membership; the detector
+/// applies the side effects (migrations, grouped `pkey_mprotect`, holder
+/// strips, PKRU updates) and bumps the telemetry counters.
+pub fn choose_virtual(
+    vkeys: &mut VKeyTable,
+    table: &mut KeyTable,
+    thread: ThreadId,
+    object: ObjectId,
+    perm: Perm,
+    prefer_fresh: bool,
+    held_keys: &[(ProtectionKey, Perm)],
+) -> VAssignment {
+    // The object may already belong to a group: resident means pure
+    // translation, evicted means revival.
+    if let Some(vkey) = vkeys.vkey_of(object) {
+        if let Some(key) = vkeys.binding(vkey) {
+            vkeys.touch(vkey);
+            return VAssignment::Hit { vkey, key };
+        }
+        if let Some((key, evicted)) = claim_hardware_key(vkeys, table) {
+            let logical = vkeys.drain_logical(vkey);
+            vkeys.bind(vkey, key);
+            return VAssignment::Revive {
+                vkey,
+                key,
+                evicted,
+                logical,
+            };
+        }
+    } else {
+        // Rule 1 recast: join the group backed by a key the thread already
+        // holds. Same usability predicate as `choose_key`, same
+        // `prefer_fresh_keys` escape hatch.
+        if !(prefer_fresh && table.unassigned_key().is_some()) {
+            let usable_held = held_keys.iter().find(|&&(k, p)| match perm {
+                Perm::Read => p >= Perm::Read,
+                Perm::Write => p == Perm::Write || !table.state(k).held_by_other(thread),
+            });
+            if let Some(&(key, _)) = usable_held {
+                if let Some(vkey) = vkeys.resident_vkey(key) {
+                    vkeys.touch(vkey);
+                    vkeys.add_member(vkey, object);
+                    return VAssignment::Join { vkey, key };
+                }
+            }
+        }
+        if let Some((key, evicted)) = claim_hardware_key(vkeys, table) {
+            let vkey = vkeys.create();
+            vkeys.bind(vkey, key);
+            vkeys.add_member(vkey, object);
+            return VAssignment::Fill { vkey, key, evicted };
+        }
+    }
+
+    // Safety net: nothing evictable. Share the least-contended key, like
+    // §5.4 rule 3b with no section heuristic (no group to consult).
+    let key = table.keys_by_holder_count()[0];
+    let vkey = vkeys.vkey_of(object).unwrap_or_else(|| {
+        let v = vkeys.create();
+        vkeys.add_member(v, object);
+        v
+    });
+    VAssignment::Shared { vkey, key }
 }
 
 #[cfg(test)]
@@ -274,6 +481,114 @@ mod tests {
         );
         // ...but ShareOnly shares anyway (ablation mode).
         assert!(matches!(a, Assignment::Shared(_)));
+    }
+
+    #[test]
+    fn virtual_rule1_joins_resident_group_of_held_key() {
+        let mut t = table();
+        let mut v = VKeyTable::new(crate::vkey::KeyCachePolicy::Lru);
+        // Seed a resident group on k1 via a fill.
+        let a = choose_virtual(&mut v, &mut t, ThreadId(0), ObjectId(0), Perm::Write, false, &[]);
+        let (vkey, key) = match a {
+            VAssignment::Fill { vkey, key, evicted: None } => (vkey, key),
+            other => panic!("expected a fill, got {other:?}"),
+        };
+        assert_eq!(key, ProtectionKey(1), "same fresh key as the direct rule 2");
+        t.assign_object(key, ObjectId(0));
+        t.try_acquire(key, ThreadId(0), Perm::Write, s(1));
+        // A second object faulted by the same thread joins the held group.
+        let b = choose_virtual(
+            &mut v,
+            &mut t,
+            ThreadId(0),
+            ObjectId(1),
+            Perm::Write,
+            false,
+            &[(key, Perm::Write)],
+        );
+        assert_eq!(b, VAssignment::Join { vkey, key });
+        assert_eq!(v.vkey_of(ObjectId(1)), Some(vkey));
+    }
+
+    #[test]
+    fn virtual_refault_on_resident_group_is_a_pure_hit() {
+        let mut t = table();
+        let mut v = VKeyTable::new(crate::vkey::KeyCachePolicy::Lru);
+        let a = choose_virtual(&mut v, &mut t, ThreadId(0), ObjectId(0), Perm::Write, false, &[]);
+        let b = choose_virtual(&mut v, &mut t, ThreadId(1), ObjectId(0), Perm::Write, false, &[]);
+        assert_eq!(
+            b,
+            VAssignment::Hit {
+                vkey: a.vkey(),
+                key: a.key()
+            }
+        );
+    }
+
+    #[test]
+    fn virtual_full_cache_evicts_unheld_lru_victim_then_revives_it() {
+        let mut t = table();
+        let mut v = VKeyTable::new(crate::vkey::KeyCachePolicy::Lru);
+        // Fill all 13 cache slots with one-object groups.
+        let mut vkeys = Vec::new();
+        for i in 0..13u64 {
+            let a = choose_virtual(&mut v, &mut t, ThreadId(0), ObjectId(i), Perm::Write, true, &[]);
+            t.assign_object(a.key(), ObjectId(i));
+            vkeys.push(a.vkey());
+        }
+        // Group 14: no free key, no holders anywhere — evict the LRU
+        // victim (the first-filled group) without synchronization.
+        let a = choose_virtual(&mut v, &mut t, ThreadId(1), ObjectId(13), Perm::Write, true, &[]);
+        match &a {
+            VAssignment::Fill { key, evicted: Some(ev), .. } => {
+                assert_eq!(*key, ProtectionKey(1));
+                assert_eq!(ev.victim, vkeys[0]);
+                assert_eq!(ev.demoted, vec![ObjectId(0)]);
+                assert!(ev.stripped.is_empty());
+            }
+            other => panic!("expected an eviction fill, got {other:?}"),
+        }
+        t.assign_object(a.key(), ObjectId(13));
+        // Object 0 faults again: its group revives, evicting the next LRU
+        // victim (group 2 on k2).
+        let r = choose_virtual(&mut v, &mut t, ThreadId(0), ObjectId(0), Perm::Write, true, &[]);
+        match r {
+            VAssignment::Revive { vkey, key, evicted: Some(ev), logical } => {
+                assert_eq!(vkey, vkeys[0]);
+                assert_eq!(key, ProtectionKey(2));
+                assert_eq!(ev.victim, vkeys[1]);
+                assert!(logical.is_empty(), "victim 1 had no holders to remember");
+            }
+            other => panic!("expected a revival, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn virtual_eviction_of_held_key_records_logical_holders() {
+        let mut t = table();
+        let mut v = VKeyTable::new(crate::vkey::KeyCachePolicy::Lru);
+        for i in 0..13u64 {
+            let a = choose_virtual(&mut v, &mut t, ThreadId(i as usize), ObjectId(i), Perm::Write, true, &[]);
+            t.assign_object(a.key(), ObjectId(i));
+            t.try_acquire(a.key(), ThreadId(i as usize), Perm::Write, s(i));
+        }
+        // Every key held: the victim is still the LRU group, and its
+        // holder is snapshotted for the revival re-check.
+        let a = choose_virtual(&mut v, &mut t, ThreadId(13), ObjectId(13), Perm::Write, true, &[]);
+        match a {
+            VAssignment::Fill { key, evicted: Some(ev), .. } => {
+                assert_eq!(key, ProtectionKey(1));
+                assert_eq!(
+                    ev.stripped,
+                    vec![LogicalHolder {
+                        thread: ThreadId(0),
+                        section: s(0),
+                        perm: Perm::Write,
+                    }]
+                );
+            }
+            other => panic!("expected a synchronized eviction, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Detector configuration, including the ablation switches DESIGN.md lists.
 
+use crate::vkey::KeyCachePolicy;
+
 /// Behaviour of the key-assignment policy when every read-write pool key is
 /// already assigned (§5.4, rule three).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,6 +54,18 @@ pub struct KardConfig {
     /// (BENCH_fault_latency.json) to feed back here. `None` falls back to
     /// `CostModel::fault_handling`.
     pub measured_fault_delay: Option<u64>,
+    /// Virtualize protection keys (see [`crate::vkey`]): give every
+    /// shared-object group its own unbounded virtual key and run the 13
+    /// hardware pool keys as an eviction cache over them. Off by default —
+    /// the paper's §5.4 policy works directly on hardware keys; turning
+    /// this on removes the 13-group ceiling (and the §7.3 sharing
+    /// false-negative exposure) at the cost of eviction traffic under key
+    /// pressure. With at most 13 live groups the virtualized detector is
+    /// behaviourally identical to the direct one.
+    pub virtual_keys: bool,
+    /// Replacement policy of the hardware-key cache; only consulted when
+    /// [`KardConfig::virtual_keys`] is on.
+    pub key_cache_policy: KeyCachePolicy,
 }
 
 impl KardConfig {
@@ -67,6 +81,8 @@ impl KardConfig {
             interleave_exit_delay: 0,
             prefer_fresh_keys: false,
             measured_fault_delay: None,
+            virtual_keys: false,
+            key_cache_policy: KeyCachePolicy::Lru,
         }
     }
 
@@ -86,6 +102,30 @@ impl KardConfig {
             interleave_exit_delay: 0,
             prefer_fresh_keys: true,
             measured_fault_delay: None,
+            virtual_keys: false,
+            key_cache_policy: KeyCachePolicy::Lru,
+        }
+    }
+
+    /// A human-readable description of the active key mode, printed by the
+    /// report tables and examples so experiment output states which policy
+    /// produced it. `pool` is the hardware read-write pool size.
+    #[must_use]
+    pub fn key_mode_description(&self, pool: usize) -> String {
+        if self.virtual_keys {
+            format!(
+                "virtualized ({pool}-key {policy} cache over unbounded virtual keys)",
+                policy = match self.key_cache_policy {
+                    KeyCachePolicy::Lru => "LRU",
+                    KeyCachePolicy::Fifo => "FIFO",
+                }
+            )
+        } else {
+            let exhaustion = match self.exhaustion {
+                ExhaustionPolicy::RecycleThenShare => "recycle-then-share",
+                ExhaustionPolicy::ShareOnly => "share-only",
+            };
+            format!("direct ({pool} hardware keys, {exhaustion})")
         }
     }
 }
@@ -111,6 +151,23 @@ mod tests {
         assert!(!c.prefer_fresh_keys);
         assert_eq!(c.interleave_exit_delay, 0, "delay injection is opt-in");
         assert_eq!(c.measured_fault_delay, None, "cost-model delay by default");
+        assert!(!c.virtual_keys, "the paper's detector works on raw keys");
+        assert_eq!(c.key_cache_policy, KeyCachePolicy::Lru);
+    }
+
+    #[test]
+    fn key_mode_descriptions_name_the_policy() {
+        let mut c = KardConfig::paper();
+        assert_eq!(c.key_mode_description(13), "direct (13 hardware keys, recycle-then-share)");
+        c.exhaustion = ExhaustionPolicy::ShareOnly;
+        assert_eq!(c.key_mode_description(13), "direct (13 hardware keys, share-only)");
+        c.virtual_keys = true;
+        assert_eq!(
+            c.key_mode_description(13),
+            "virtualized (13-key LRU cache over unbounded virtual keys)"
+        );
+        c.key_cache_policy = KeyCachePolicy::Fifo;
+        assert!(c.key_mode_description(13).contains("FIFO"));
     }
 
     #[test]

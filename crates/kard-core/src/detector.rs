@@ -41,6 +41,10 @@
 //!    acquisitions (order: `keys` → `interleaver`/`threads`), so that a
 //!    holder's key release — the event that precedes its departure from
 //!    the interleaver — cannot interleave with `Interleaver::begin`;
+//!    likewise the virtualized assignment path holds the key-table guard
+//!    across the vkey-table acquisition (order: `keys` → `vkeys`, never
+//!    the reverse) so a cache decision and the key-section map it was
+//!    made against stay coherent;
 //! 3. every other lock is a **leaf**: it is acquired, used, and released
 //!    without taking any other detector lock while held (the thread-slot
 //!    registry read-guard, held only long enough to clone a slot `Arc`,
@@ -55,7 +59,7 @@
 //! lock counts its acquisitions so `tests/no_lock_overhead.rs` can assert
 //! exactly that via [`Kard::detector_lock_acquisitions`].
 
-use crate::assignment::{choose_key, Assignment};
+use crate::assignment::{choose_key, choose_virtual, Assignment, Eviction, VAssignment};
 use crate::config::KardConfig;
 use crate::domains::Domain;
 use crate::interleave::{Interleaver, Observation, Verdict};
@@ -65,6 +69,7 @@ use crate::sections::SectionObjectMap;
 use crate::stats::{AtomicStats, DetectorStats};
 use crate::sync::{TrackedMutex, TrackedRwLock};
 use crate::types::{LockId, Perm, SectionId, SectionMode};
+use crate::vkey::{LogicalHolder, VKeyStats, VKeyTable};
 use kard_alloc::{KardAlloc, ObjectId, ObjectInfo};
 use kard_telemetry::event::{pack_domains, DomainCode, GRANT_PROACTIVE, GRANT_REACTIVE};
 use kard_telemetry::{EventKind, Telemetry};
@@ -152,6 +157,11 @@ pub struct Kard {
     sections: TrackedRwLock<SectionObjectMap>,
     /// The key-section map (§5.4, Figure 3b).
     keys: TrackedMutex<KeyTable>,
+    /// The virtual→hardware key cache (see [`crate::vkey`]); consulted
+    /// only when [`KardConfig::virtual_keys`] is on. When held together
+    /// with `keys`, `keys` is always acquired first (order: `keys` →
+    /// `vkeys`, never the reverse).
+    vkeys: TrackedMutex<VKeyTable>,
     /// The protection-interleaving engine (§5.5, Figure 4).
     interleaver: TrackedMutex<Interleaver>,
     /// Race records and dedup fingerprints (§5.5).
@@ -189,6 +199,10 @@ impl Kard {
                 .collect(),
             sections: TrackedRwLock::new(SectionObjectMap::new(), tracked(&counter)),
             keys: TrackedMutex::new(KeyTable::new(&layout), tracked(&counter)),
+            vkeys: TrackedMutex::new(
+                VKeyTable::new(config.key_cache_policy),
+                tracked(&counter),
+            ),
             interleaver: TrackedMutex::new(Interleaver::new(), tracked(&counter)),
             records: TrackedMutex::new(RecordStore::default(), tracked(&counter)),
             unique_sections: TrackedMutex::new(HashSet::new(), tracked(&counter)),
@@ -321,6 +335,12 @@ impl Kard {
         let prev = self.domain_shard(id).lock().remove(&id);
         if let Some(Domain::ReadWrite(key)) = prev {
             self.keys.lock().unassign_object(key, id);
+        }
+        if self.config.virtual_keys {
+            // Group membership outlives domain demotion (an evicted
+            // object is Read-only but still grouped), so the free must
+            // drop it explicitly.
+            self.vkeys.lock().remove_member(id);
         }
         self.sections.write().remove_object(id);
         let disarmed = self.interleaver.lock().forget(id);
@@ -523,27 +543,61 @@ impl Kard {
                     if self.alloc.object(fin.object).is_none() {
                         continue; // Freed while suspended.
                     }
-                    self.keys
-                        .lock()
-                        .assign_object(fin.original_key, fin.object);
-                    self.domain_shard(fin.object)
-                        .lock()
-                        .insert(fin.object, Domain::ReadWrite(fin.original_key));
-                    self.alloc
-                        .protect(t, fin.object, fin.original_key)
-                        .expect("pool key is valid");
-                    self.emit(
-                        t,
-                        EventKind::InterleaveFinish,
-                        fin.object.0,
-                        u64::from(fin.original_key.0),
-                    );
-                    self.emit(
-                        t,
-                        EventKind::DomainMigration,
-                        fin.object.0,
-                        pack_domains(DomainCode::Suspended, DomainCode::ReadWrite),
-                    );
+                    // Under virtualization the object's *group* owns the
+                    // binding, and the cache may have moved on while the
+                    // interleaving wound down: restore onto the group's
+                    // current hardware key, or — if the group was evicted
+                    // while suspended — demote to the Read-only domain and
+                    // let the next write revive the group. The direct
+                    // detector restores the remembered key unconditionally,
+                    // which can alias a key that was since re-assigned.
+                    let target = if self.config.virtual_keys {
+                        let vkeys = self.vkeys.lock();
+                        vkeys.vkey_of(fin.object).and_then(|v| vkeys.binding(v))
+                    } else {
+                        Some(fin.original_key)
+                    };
+                    if let Some(key) = target {
+                        self.keys.lock().assign_object(key, fin.object);
+                        self.domain_shard(fin.object)
+                            .lock()
+                            .insert(fin.object, Domain::ReadWrite(key));
+                        self.alloc
+                            .protect(t, fin.object, key)
+                            .expect("pool key is valid");
+                        self.emit(
+                            t,
+                            EventKind::InterleaveFinish,
+                            fin.object.0,
+                            u64::from(key.0),
+                        );
+                        self.emit(
+                            t,
+                            EventKind::DomainMigration,
+                            fin.object.0,
+                            pack_domains(DomainCode::Suspended, DomainCode::ReadWrite),
+                        );
+                    } else {
+                        self.domain_shard(fin.object)
+                            .lock()
+                            .insert(fin.object, Domain::ReadOnly);
+                        self.alloc
+                            .protect(t, fin.object, self.layout.read_only)
+                            .expect("k_ro is valid");
+                        AtomicStats::bump(&self.stats.read_only_migrations);
+                        self.emit(
+                            t,
+                            EventKind::InterleaveFinish,
+                            fin.object.0,
+                            u64::from(self.layout.read_only.0),
+                        );
+                        self.emit(
+                            t,
+                            EventKind::DomainMigration,
+                            fin.object.0,
+                            pack_domains(DomainCode::Suspended, DomainCode::ReadOnly),
+                        );
+                    }
                 }
             }
         }
@@ -668,7 +722,7 @@ impl Kard {
                     .expect("k_ro is valid");
             }
             AccessKind::Write => {
-                self.migrate_to_read_write(t, section, info, DomainCode::NotAccessed);
+                self.migrate_to_read_write(fault, section, info, DomainCode::NotAccessed);
             }
         }
         FaultAction::Retry
@@ -689,7 +743,7 @@ impl Kard {
             AtomicStats::bump(&self.stats.migration_faults);
             self.emit(t, EventKind::FaultMigrate, info.id.0, 0);
             self.sections.write().record(section, info.id, Perm::Write);
-            self.migrate_to_read_write(t, section, info, DomainCode::ReadOnly);
+            self.migrate_to_read_write(fault, section, info, DomainCode::ReadOnly);
             return FaultAction::Retry;
         }
 
@@ -1062,15 +1116,17 @@ impl Kard {
     }
 
     /// §5.3 / §5.4: move an object into the Read-write domain, picking a
-    /// key with the effective-assignment policy and acquiring it reactively.
-    /// `from` names the source domain, for the migration event.
+    /// key with the effective-assignment policy (direct or virtualized)
+    /// and acquiring it reactively. `from` names the source domain, for
+    /// the migration event.
     fn migrate_to_read_write(
         &self,
-        t: ThreadId,
+        fault: &GpFault,
         section: SectionId,
         info: &ObjectInfo,
         from: DomainCode,
     ) {
+        let t = fault.thread;
         let cost = *self.machine.cost_model();
         AtomicStats::bump(&self.stats.read_write_migrations);
         self.emit(
@@ -1091,10 +1147,7 @@ impl Kard {
             let ctx = slot.ctx.lock();
             ctx.held.iter().map(|(&k, &p)| (k, p)).collect::<Vec<_>>()
         };
-        // Snapshot each pool key's holder sections, then evaluate the
-        // sharing heuristic against the section-object map — the closure
-        // passed to `choose_key` must not alias the mutable key table.
-        let (held, holder_sections) = {
+        let held: Vec<(ProtectionKey, Perm)> = {
             let keys = self.keys.lock();
             let mut held: Vec<(ProtectionKey, Perm)> = held_all
                 .into_iter()
@@ -1103,8 +1156,42 @@ impl Kard {
                 })
                 .collect();
             held.sort_by_key(|&(k, _)| k);
-            let holder_sections: Vec<(ProtectionKey, Vec<SectionId>)> = keys
-                .pool()
+            held
+        };
+
+        let key = if self.config.virtual_keys {
+            self.assign_virtual_key(fault, section, info, &held)
+        } else {
+            self.assign_direct_key(t, section, info, &held)
+        };
+        self.machine.charge(t, cost.map_op * 2);
+
+        self.domain_shard(info.id)
+            .lock()
+            .insert(info.id, Domain::ReadWrite(key));
+        self.sections.write().record(section, info.id, Perm::Write);
+        self.alloc.protect(t, info.id, key).expect("pool key valid");
+
+        AtomicStats::bump(&self.stats.reactive_acquisitions);
+        self.emit(t, EventKind::KeyGrant, u64::from(key.0), GRANT_REACTIVE);
+        self.note_held_and_record(t, key, Perm::Write);
+        self.grant_in_context(t, key);
+    }
+
+    /// The paper's §5.4 effective-assignment policy on raw hardware keys.
+    fn assign_direct_key(
+        &self,
+        t: ThreadId,
+        section: SectionId,
+        info: &ObjectInfo,
+        held: &[(ProtectionKey, Perm)],
+    ) -> ProtectionKey {
+        // Snapshot each pool key's holder sections, then evaluate the
+        // sharing heuristic against the section-object map — the closure
+        // passed to `choose_key` must not alias the mutable key table.
+        let holder_sections: Vec<(ProtectionKey, Vec<SectionId>)> = {
+            let keys = self.keys.lock();
+            keys.pool()
                 .iter()
                 .map(|&k| {
                     (
@@ -1112,8 +1199,7 @@ impl Kard {
                         keys.state(k).holders.values().map(|h| h.section).collect(),
                     )
                 })
-                .collect();
-            (held, holder_sections)
+                .collect()
         };
         let conflicts: HashMap<ProtectionKey, bool> = {
             let map = self.sections.read();
@@ -1136,7 +1222,7 @@ impl Kard {
                 if self.config.prefer_fresh_keys && keys.unassigned_key().is_some() {
                     &[]
                 } else {
-                    &held
+                    held
                 };
             let assignment = choose_key(
                 &mut keys,
@@ -1165,7 +1251,6 @@ impl Kard {
             }
             (assignment, key)
         };
-        self.machine.charge(t, cost.map_op * 2);
 
         match &assignment {
             Assignment::HeldKey(_) | Assignment::FreshKey(_) => {}
@@ -1200,17 +1285,213 @@ impl Kard {
                 self.emit(t, EventKind::KeyShare, u64::from(key.0), 0);
             }
         }
+        key
+    }
 
-        self.domain_shard(info.id)
-            .lock()
-            .insert(info.id, Domain::ReadWrite(key));
-        self.sections.write().record(section, info.id, Perm::Write);
-        self.alloc.protect(t, info.id, key).expect("pool key valid");
+    /// The virtualized assignment path ([`crate::vkey`]): decide under the
+    /// `keys` → `vkeys` guards, then apply eviction and revival side
+    /// effects. On the hit/fill paths this charges exactly what the direct
+    /// policy charges, which is what keeps the two modes byte-identical
+    /// while at most 13 groups are live.
+    fn assign_virtual_key(
+        &self,
+        fault: &GpFault,
+        section: SectionId,
+        info: &ObjectInfo,
+        held: &[(ProtectionKey, Perm)],
+    ) -> ProtectionKey {
+        let t = fault.thread;
 
-        AtomicStats::bump(&self.stats.reactive_acquisitions);
-        self.emit(t, EventKind::KeyGrant, u64::from(key.0), GRANT_REACTIVE);
-        self.note_held_and_record(t, key, Perm::Write);
-        self.grant_in_context(t, key);
+        let (va, pressure) = {
+            let mut keys = self.keys.lock();
+            let mut vkeys = self.vkeys.lock();
+            let va = choose_virtual(
+                &mut vkeys,
+                &mut keys,
+                t,
+                info.id,
+                Perm::Write,
+                self.config.prefer_fresh_keys,
+                held,
+            );
+            let key = va.key();
+            // Key synchronization, map half: a still-held victim key is
+            // revoked from its holders *before* the new acquisition, so
+            // the exclusivity check below sees a clean key. The context
+            // half (PKRU and frame surgery) happens outside the guards.
+            if let VAssignment::Fill { evicted: Some(ev), .. }
+            | VAssignment::Revive { evicted: Some(ev), .. } = &va
+            {
+                for h in &ev.stripped {
+                    keys.strip_holder(key, h.thread);
+                }
+            }
+            keys.assign_object(key, info.id);
+            match &va {
+                VAssignment::Shared { .. } => {
+                    keys.force_acquire(key, t, Perm::Write, section);
+                }
+                _ => {
+                    if !keys.try_acquire(key, t, Perm::Write, section) {
+                        keys.force_acquire(key, t, Perm::Write, section);
+                    }
+                }
+            }
+            let pressure = vkeys.note_pressure();
+            let stats = vkeys.stats_mut();
+            match &va {
+                VAssignment::Hit { .. } | VAssignment::Join { .. } => stats.hits += 1,
+                VAssignment::Fill { evicted, .. } => {
+                    stats.fills += 1;
+                    if let Some(ev) = evicted {
+                        stats.evictions += 1;
+                        if !ev.stripped.is_empty() {
+                            stats.synced_evictions += 1;
+                        }
+                    }
+                }
+                VAssignment::Revive { evicted, .. } => {
+                    stats.revivals += 1;
+                    if let Some(ev) = evicted {
+                        stats.evictions += 1;
+                        if !ev.stripped.is_empty() {
+                            stats.synced_evictions += 1;
+                        }
+                    }
+                }
+                VAssignment::Shared { .. } => stats.shares += 1,
+            }
+            (va, pressure)
+        };
+        if self.telemetry.enabled() {
+            self.telemetry.histograms().key_pressure.record(pressure);
+        }
+
+        let key = va.key();
+        let vkey = va.vkey();
+        match &va {
+            VAssignment::Hit { .. } | VAssignment::Join { .. } => {
+                self.emit(t, EventKind::VKeyHit, vkey.0, u64::from(key.0));
+            }
+            VAssignment::Fill { evicted, .. } => {
+                self.emit(t, EventKind::VKeyMiss, vkey.0, u64::from(key.0));
+                if let Some(ev) = evicted {
+                    self.apply_eviction(t, key, ev);
+                }
+            }
+            VAssignment::Revive { evicted, logical, .. } => {
+                self.emit(t, EventKind::VKeyMiss, vkey.0, u64::from(key.0));
+                if let Some(ev) = evicted {
+                    self.apply_eviction(t, key, ev);
+                }
+                self.check_logical_holders(fault, section, info, logical);
+            }
+            VAssignment::Shared { .. } => {
+                AtomicStats::bump(&self.stats.key_shares);
+                self.emit(t, EventKind::KeyShare, u64::from(key.0), 0);
+            }
+        }
+        key
+    }
+
+    /// Apply an eviction's side effects: strip the freed hardware key from
+    /// every context that still held it (the libmpk IPI, `pkey_sync` per
+    /// holder, charged to the evictor) and demote the victim group's
+    /// members to the Read-only domain with one grouped `pkey_mprotect`.
+    fn apply_eviction(&self, t: ThreadId, key: ProtectionKey, ev: &Eviction) {
+        let cost = *self.machine.cost_model();
+        self.emit(
+            t,
+            EventKind::VKeyEvict,
+            ev.victim.0,
+            ev.demoted.len() as u64,
+        );
+        for h in &ev.stripped {
+            self.strip_holder_context(h.thread, key);
+            self.machine.charge(t, cost.pkey_sync);
+        }
+        let live: Vec<ObjectId> = ev
+            .demoted
+            .iter()
+            .copied()
+            .filter(|&obj| self.alloc.object(obj).is_some())
+            .collect();
+        for &obj in &live {
+            self.domain_shard(obj).lock().insert(obj, Domain::ReadOnly);
+            AtomicStats::bump(&self.stats.read_only_migrations);
+            self.emit(
+                t,
+                EventKind::DomainMigration,
+                obj.0,
+                pack_domains(DomainCode::ReadWrite, DomainCode::ReadOnly),
+            );
+        }
+        self.alloc
+            .protect_batch(t, &live, self.layout.read_only)
+            .expect("k_ro is valid");
+    }
+
+    /// The context half of key synchronization: erase every trace of the
+    /// revoked `key` from `h`'s detector context — the held map, each
+    /// frame's acquisition journal (its keymap entries are already gone)
+    /// and saved PKRU, and the live PKRU, so `h` faults on its next access
+    /// to the rebound key instead of silently reaching the new group.
+    fn strip_holder_context(&self, h: ThreadId, key: ProtectionKey) {
+        if let Some(slot) = self.try_slot(h) {
+            let mut ctx = slot.ctx.lock();
+            ctx.held.remove(&key);
+            for frame in &mut ctx.frames {
+                frame.acquired.retain(|&(k, _)| k != key);
+                frame.saved_pkru.set_permission(key, Permission::NoAccess);
+            }
+        }
+        let mut pkru = self.machine.rdpkru(h);
+        pkru.set_permission(key, Permission::NoAccess);
+        self.machine.set_pkru_in_saved_context(h, pkru);
+    }
+
+    /// The revival race re-check: an evicted group's stripped holders can
+    /// no longer raise hardware conflicts, so when a fault brings the
+    /// group back, test the faulting access against each logical holder
+    /// still inside the section it held the key for. This restores exactly
+    /// the detection that §5.4 key *sharing* silently drops (§7.3).
+    fn check_logical_holders(
+        &self,
+        fault: &GpFault,
+        section: SectionId,
+        info: &ObjectInfo,
+        logical: &[LogicalHolder],
+    ) {
+        let t = fault.thread;
+        let Some(holder) = logical.iter().find(|h| {
+            h.thread != t
+                && self.try_slot(h.thread).is_some_and(|slot| {
+                    slot.ctx.lock().frames.iter().any(|f| f.section == h.section)
+                })
+        }) else {
+            return;
+        };
+        AtomicStats::bump(&self.stats.race_check_faults);
+        self.emit(t, EventKind::FaultRaceCheck, info.id.0, 3);
+        let offset = fault.addr.0.saturating_sub(info.base.0);
+        let record = RaceRecord {
+            object: info.id,
+            faulting: RaceSide {
+                thread: t,
+                section: Some(section),
+                ip: fault.ip,
+                offset: Some(offset),
+            },
+            holding: RaceSide {
+                thread: holder.thread,
+                section: Some(holder.section),
+                ip: holder.section.0,
+                offset: None,
+            },
+            access: fault.access,
+            tsc: fault.tsc,
+        };
+        self.push_record(record);
     }
 
     /// Record a race, respecting redundant-report pruning. Returns the
@@ -1291,6 +1572,21 @@ impl Kard {
         let mut stats = self.stats.snapshot();
         stats.races_reported = self.records.lock().records.iter().flatten().count() as u64;
         stats
+    }
+
+    /// Key-virtualization statistics snapshot. All-zero unless
+    /// [`KardConfig::virtual_keys`] is on.
+    #[must_use]
+    pub fn vkey_stats(&self) -> VKeyStats {
+        self.vkeys.lock().stats()
+    }
+
+    /// Human-readable description of the active key mode (direct vs.
+    /// virtualized), for experiment-output headers.
+    #[must_use]
+    pub fn key_mode(&self) -> String {
+        self.config
+            .key_mode_description(self.layout.read_write_pool().count())
     }
 
     /// The current protection domain of an object, if tracked.

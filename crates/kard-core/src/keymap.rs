@@ -155,18 +155,22 @@ impl KeyTable {
     }
 
     /// Narrow `t`'s hold on `key` back to `perm` (restoring an outer
-    /// critical-section frame's permission on nested-section exit).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `t` does not hold `key`.
+    /// critical-section frame's permission on nested-section exit). A no-op
+    /// when `t` no longer holds `key` — key-cache eviction can revoke a
+    /// key out from under its holder (see [`KeyTable::strip_holder`]), and
+    /// the holder's later section exit must not trip over the revocation.
     pub fn downgrade(&mut self, key: ProtectionKey, t: ThreadId, perm: Perm) {
-        let state = self.state_mut(key);
-        let info = state
-            .holders
-            .get_mut(&t)
-            .unwrap_or_else(|| panic!("{t} does not hold {key}"));
-        info.perm = perm;
+        if let Some(info) = self.state_mut(key).holders.get_mut(&t) {
+            info.perm = perm;
+        }
+    }
+
+    /// Remove `t`'s hold on `key` *without* stamping a release time.
+    /// Key-cache eviction revokes keys libmpk-style rather than observing
+    /// a program release, and the §5.5 timestamp filter must not mistake a
+    /// revocation for a recent release by the program.
+    pub fn strip_holder(&mut self, key: ProtectionKey, t: ThreadId) {
+        self.state_mut(key).holders.remove(&t);
     }
 
     /// Release `t`'s hold on `key`, stamping `now` (RDTSCP at release,

@@ -47,7 +47,7 @@
 //! assert_eq!(kard.reports().len(), 1);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod algorithm;
 pub mod assignment;
@@ -61,6 +61,7 @@ pub mod sections;
 pub mod stats;
 pub mod sync;
 pub mod types;
+pub mod vkey;
 
 pub use config::{ExhaustionPolicy, KardConfig};
 pub use detector::Kard;
@@ -68,3 +69,4 @@ pub use domains::Domain;
 pub use report::{render_report, RaceRecord, RaceSide};
 pub use stats::DetectorStats;
 pub use types::{LockId, Perm, SectionId, SectionMode};
+pub use vkey::{KeyCachePolicy, VKeyStats, VirtualKey};

@@ -68,6 +68,13 @@ impl Session {
         &self.kard
     }
 
+    /// Human-readable description of the detector's key mode (direct vs.
+    /// virtualized), for experiment-output headers.
+    #[must_use]
+    pub fn key_mode(&self) -> String {
+        self.kard.key_mode()
+    }
+
     /// Spawn a monitored thread. The handle is `Send`, so it can be moved
     /// onto a real OS thread.
     #[must_use]

@@ -36,6 +36,16 @@ pub struct CostModel {
     pub rdtscp: CycleCount,
     /// A `pkey_mprotect()` system call (page-table walk + key update).
     pub pkey_mprotect: CycleCount,
+    /// Marginal cost of each additional page range folded into one grouped
+    /// `pkey_mprotect` call (the libmpk-style batched update used by
+    /// key-cache evictions and revivals): syscall entry and TLB shootdown
+    /// are paid once for the group, so each extra range pays only its
+    /// page-table walk.
+    pub pkey_mprotect_batch_extra: CycleCount,
+    /// Revoking a hardware key from one *other* thread when the key cache
+    /// evicts a key that is still held (libmpk-style key synchronization:
+    /// an IPI plus the remote PKRU fix-up).
+    pub pkey_sync: CycleCount,
     /// An `mmap()` system call creating one shared mapping.
     pub mmap: CycleCount,
     /// An `munmap()` system call.
@@ -79,6 +89,8 @@ impl CostModel {
             rdpkru: 1,
             rdtscp: 30,
             pkey_mprotect: 1_200,
+            pkey_mprotect_batch_extra: 300,
+            pkey_sync: 3_000,
             mmap: 2_500,
             munmap: 1_800,
             ftruncate: 1_500,

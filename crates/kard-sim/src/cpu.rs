@@ -341,6 +341,43 @@ impl Machine {
         Ok(())
     }
 
+    /// Grouped `pkey_mprotect()`: retag several `(first, count)` page
+    /// ranges with `key` through one batched kernel call, the way libmpk
+    /// groups the page-table updates of a key eviction. The full syscall
+    /// cost is charged once plus a marginal per-extra-range cost
+    /// ([`crate::cost::CostModel::pkey_mprotect_batch_extra`]), and the
+    /// batch counts as a single `pkey_mprotect` syscall. A no-op for an
+    /// empty batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid keys or unmapped pages; earlier ranges
+    /// of a failing batch stay retagged (as with a partially applied
+    /// `mprotect`).
+    pub fn pkey_mprotect_batch(
+        &self,
+        thread: ThreadId,
+        ranges: &[(VirtPage, u64)],
+        key: ProtectionKey,
+    ) -> Result<(), ProtectError> {
+        if ranges.is_empty() {
+            return Ok(());
+        }
+        self.counters.pkey_mprotect.fetch_add(1, Ordering::Relaxed);
+        self.charge(
+            thread,
+            self.config.cost.pkey_mprotect
+                + self.config.cost.pkey_mprotect_batch_extra * (ranges.len() as u64 - 1),
+        );
+        for &(first, count) in ranges {
+            self.aspace.write().pkey_mprotect(first, count, key)?;
+            for i in 0..count {
+                self.invalidate_tlbs(first.add(i));
+            }
+        }
+        Ok(())
+    }
+
     /// Single-page convenience wrapper over [`Machine::pkey_mprotect`].
     ///
     /// # Errors

@@ -72,7 +72,7 @@ pub fn unpack_domains(b: u64) -> Option<(DomainCode, DomainCode)> {
 /// | `FaultResolve` | handling latency in cycles | 0 retry / 1 emulated |
 /// | `FaultIdentify` | object id | 0 read / 1 write |
 /// | `FaultMigrate` | object id | — |
-/// | `FaultRaceCheck` | object id | 0 unlocked-RO / 1 pool conflict / 2 recent release |
+/// | `FaultRaceCheck` | object id | 0 unlocked-RO / 1 pool conflict / 2 recent release / 3 revival logical-holder |
 /// | `FaultInterleave` | object id | — |
 /// | `TimestampFiltered` | key | — |
 /// | `InterleaveArm` | object id | interleaved key |
@@ -81,6 +81,9 @@ pub fn unpack_domains(b: u64) -> Option<(DomainCode, DomainCode)> {
 /// | `RaceReport` | object id | faulting thread |
 /// | `RacePruneOffset` | object id | — |
 /// | `RacePruneRedundant` | object id | — |
+/// | `VKeyHit` | virtual key | hardware key |
+/// | `VKeyMiss` | virtual key | hardware key bound (fill or revival) |
+/// | `VKeyEvict` | evicted virtual key | objects demoted |
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u8)]
 #[allow(missing_docs)] // The table above is the per-variant documentation.
@@ -107,11 +110,14 @@ pub enum EventKind {
     RaceReport = 19,
     RacePruneOffset = 20,
     RacePruneRedundant = 21,
+    VKeyHit = 22,
+    VKeyMiss = 23,
+    VKeyEvict = 24,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 22] = [
+    pub const ALL: [EventKind; 25] = [
         EventKind::SectionEnter,
         EventKind::SectionExit,
         EventKind::ObjectAlloc,
@@ -134,6 +140,9 @@ impl EventKind {
         EventKind::RaceReport,
         EventKind::RacePruneOffset,
         EventKind::RacePruneRedundant,
+        EventKind::VKeyHit,
+        EventKind::VKeyMiss,
+        EventKind::VKeyEvict,
     ];
 
     /// Decode a raw discriminant, if valid.
@@ -168,6 +177,9 @@ impl EventKind {
             EventKind::RaceReport => "race_report",
             EventKind::RacePruneOffset => "race_prune_offset",
             EventKind::RacePruneRedundant => "race_prune_redundant",
+            EventKind::VKeyHit => "vkey_hit",
+            EventKind::VKeyMiss => "vkey_miss",
+            EventKind::VKeyEvict => "vkey_evict",
         }
     }
 }

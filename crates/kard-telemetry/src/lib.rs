@@ -20,7 +20,7 @@
 //! the payload vocabulary) so the dependency points from the detector to
 //! its telemetry, never back.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod event;
 pub mod export;
@@ -44,16 +44,23 @@ pub const MAX_THREADS: usize = 512;
 /// Default per-thread ring capacity (events).
 pub const DEFAULT_RING_CAPACITY: usize = 1 << 15;
 
-/// The three fault-path latency distributions the issue calls for.
+/// The log-bucketed distributions recorded alongside the event stream.
 #[derive(Debug, Default)]
 pub struct Histograms {
     /// Fault-handling delay: virtual cycles from fault raise to resolve.
     /// Its p99 feeds the §5.5 timestamp-filter threshold.
     pub fault_delay: LatencyHistogram,
-    /// Per-call `pkey_mprotect` charge (cycles).
+    /// Per-call `pkey_mprotect` charge (cycles; one grouped call records
+    /// its whole batched charge).
     pub mprotect: LatencyHistogram,
     /// Critical-section hold time (cycles between lock enter and exit).
     pub section_hold: LatencyHistogram,
+    /// Key pressure: the number of live shared-object groups (virtual
+    /// keys) observed at each virtualized key assignment. A distribution
+    /// wholly below 14 means the 13 hardware pool keys were never
+    /// oversubscribed; the tail above it measures how hard the eviction
+    /// cache is working.
+    pub key_pressure: LatencyHistogram,
 }
 
 /// A drained batch of events plus how many were lost to ring overflow.

@@ -7,10 +7,16 @@
 use kard::workloads::runner::run_workload;
 use kard::workloads::synth::SynthConfig;
 use kard::workloads::table3;
+use kard::{KardConfig, MachineConfig};
 
 fn main() {
     let scale = 2e-3;
-    println!("Kard overhead vs thread count (scale {scale})\n");
+    let pool = MachineConfig::default()
+        .key_layout
+        .read_write_pool()
+        .count();
+    println!("Kard overhead vs thread count (scale {scale})");
+    println!("key mode: {}\n", KardConfig::default().key_mode_description(pool));
     println!(
         "{:<16} {:>8} {:>10} {:>10} {:>10} {:>9}",
         "benchmark", "threads", "baseline", "kard", "overhead", "faults"
