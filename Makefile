@@ -1,4 +1,4 @@
-.PHONY: verify build test clippy doc bench-scalability bench-fault-latency bench-key-pressure trace-demo
+.PHONY: verify build test clippy doc bench-alloc bench-scalability bench-fault-latency bench-key-pressure bench-smoke trace-demo
 
 verify: build test clippy doc
 
@@ -6,7 +6,7 @@ build:
 	cargo build --release
 
 test:
-	cargo test -q
+	cargo test -q --workspace
 
 clippy:
 	cargo clippy --all-targets -- -D warnings
@@ -22,6 +22,20 @@ bench-fault-latency:
 
 bench-key-pressure:
 	cargo bench -p kard-bench --bench bench_key_pressure
+
+bench-alloc:
+	cargo bench -p kard-bench --bench bench_alloc
+
+# Short smoke runs of every JSON-emitting bench (KARD_BENCH_SMOKE trims
+# iteration counts; the JSON shape is identical to a full run), then a
+# validity check on each emitted file. Full-size runs overwrite these.
+bench-smoke:
+	KARD_BENCH_SMOKE=1 cargo bench -p kard-bench --bench bench_alloc
+	KARD_BENCH_SMOKE=1 cargo bench -p kard-bench --bench bench_scalability
+	KARD_BENCH_SMOKE=1 cargo bench -p kard-bench --bench bench_fault_latency
+	KARD_BENCH_SMOKE=1 cargo bench -p kard-bench --bench bench_key_pressure
+	for f in BENCH_alloc.json BENCH_scalability.json BENCH_fault_latency.json BENCH_key_pressure.json; do \
+		python3 -m json.tool $$f > /dev/null || exit 1; echo "$$f: valid JSON"; done
 
 trace-demo:
 	cargo run --release --example telemetry

@@ -1,35 +1,60 @@
 //! The consolidated unique-page allocator itself.
 //!
-//! # Concurrency
+//! # Concurrency: the three-tier hot path
 //!
-//! The allocator sits on every managed allocation and free, so like the
-//! detector it avoids one global lock. Its state is decomposed:
+//! The allocator sits on every managed allocation and free, so its hot
+//! path takes **zero shared locks** on the owning thread:
 //!
-//! * object records and the page→object index are each split across
-//!   [`ALLOC_SHARDS`] independently locked shards (by object id and by
-//!   page number respectively);
-//! * free consolidation slots are sharded by size class, so different-size
-//!   frees and allocations never contend;
-//! * the open bump-allocation frame keeps one small dedicated mutex — it
-//!   is genuinely global state (Figure 2's packing guarantee depends on
-//!   it) and the critical section is a few arithmetic ops;
-//! * object ids and statistics are lock-free atomics.
+//! 1. **Per-thread magazines** ([`crate::magazine`]): each thread keeps a
+//!    per-size-class stock of prepared slots (page reserved + mapped +
+//!    pre-tagged with the provision key). Owning-thread alloc pops a
+//!    slot and publishes metadata into lock-free tables; owning-thread
+//!    free pushes the slot onto the thread's dirty list. Neither touches
+//!    shared state beyond a handful of atomics.
+//! 2. **Size-class slab refills**: when a class runs dry the owner
+//!    drains its remote-free queue, retires dirty pages with one batched
+//!    `munmap`, and provisions a whole batch of fresh slots with one
+//!    batched `mmap` + one batched `pkey_mprotect` — the per-slot
+//!    syscall cost is amortized B-fold (B adapts from
+//!    [`AllocConfig::initial_batch`] up to [`AllocConfig::max_batch`]).
+//!    Only here may the sharded global pool and the open bump frame
+//!    (both behind acquisition-counted locks) be consulted.
+//! 3. **Lock-free remote free** ([`crate::remote_free`]): a free on a
+//!    non-owning thread claims the object from the lock-free table and
+//!    pushes the slot onto the owner's Treiber queue. The owner drains
+//!    it at refill; thread exit closes the queue and flushes everything
+//!    to the global pool, so no slot is stranded.
 //!
-//! Every lock here is a leaf: no allocator lock is held while taking
-//! another allocator lock (the open-frame mutex is held across
-//! `Machine::alloc_frame`, which synchronizes only machine-internal state
-//! and never calls back into the allocator). Virtual pages are never
-//! shared between objects and never reused, so the page index alone fully
-//! resolves faulting addresses — no ordered base-address map is needed.
+//! Object metadata lives in publish-once lock-free tables
+//! ([`crate::table`]) indexed by the dense, never-reused object ids and
+//! virtual page numbers, so the fault handler resolves any thread's
+//! objects without locks. Dedicated (≥ page) objects and globals are
+//! rare and keep sharded-map records. With
+//! [`AllocConfig::magazines`] off ([`KardAlloc::sharded`]) every
+//! allocation takes the PR 1 sharded path — the paper's per-allocation
+//! `mmap` model — which the benchmarks use as the baseline and the
+//! paper-semantics tests use for exact-count assertions.
+//!
+//! # Lock ordering
+//!
+//! `fault_mutex` (detector) → magazine engage → allocator shard locks
+//! (free-slot pool, open frame, sharded maps) → machine internals. Every
+//! allocator lock is a leaf with respect to the others; the magazine
+//! engage flag is not a lock (concurrent entry panics rather than
+//! blocks) but sits above the shard locks because refills run engaged.
 
+use crate::magazine::{class_of, class_size, MagInner, Magazine, PreparedSlot};
 use crate::metadata::{ObjectId, ObjectInfo, ObjectKind};
-use kard_sim::{Machine, PhysFrame, ProtectError, ProtectionKey, ThreadId, VirtAddr, VirtPage, PAGE_SIZE};
-use kard_telemetry::{EventKind, Telemetry};
-use parking_lot::Mutex;
+use crate::remote_free::RetiredSlot;
+use crate::table::{ConsRecord, ConsTable, PageIndex};
+use kard_sim::{
+    Machine, PhysFrame, ProtectError, ProtectionKey, ThreadId, VirtAddr, VirtPage, PAGE_SIZE,
+};
+use kard_telemetry::{EventKind, Telemetry, TrackedMutex};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Allocation granule: Kard's allocator "returns a multiple of 32 B to each
 /// memory allocation request" (§6).
@@ -37,6 +62,36 @@ pub const ALLOC_GRANULE: u64 = 32;
 
 /// Number of independently locked shards for each allocator index.
 pub const ALLOC_SHARDS: usize = 16;
+
+/// Upper bound on magazine-owning thread ids (matches the telemetry
+/// ring table; threads beyond it fall back to the sharded path).
+pub const MAX_MAGAZINES: usize = kard_telemetry::MAX_THREADS;
+
+/// Tuning knobs for the three-tier allocator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocConfig {
+    /// Use per-thread magazines (tier 1). Off = the PR 1 sharded
+    /// baseline: every allocation pays its own `mmap` and shard lock.
+    pub magazines: bool,
+    /// First refill batch per size class (slots).
+    pub initial_batch: usize,
+    /// Ceiling the adaptive refill batch doubles up to (slots).
+    pub max_batch: usize,
+    /// Dirty-list length that triggers a batched page retirement outside
+    /// refills.
+    pub retire_batch: usize,
+}
+
+impl Default for AllocConfig {
+    fn default() -> AllocConfig {
+        AllocConfig {
+            magazines: true,
+            initial_batch: 4,
+            max_batch: 32,
+            retire_batch: 32,
+        }
+    }
+}
 
 /// Allocator statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -51,8 +106,20 @@ pub struct AllocStats {
     pub globals: u64,
     /// Bytes wasted to granule rounding across live objects.
     pub rounding_waste_bytes: u64,
-    /// Consolidation slot reuses (a freed slot served a new allocation).
+    /// Consolidation slot reuses (a freed slot's physical extent served
+    /// a new allocation — directly in sharded mode, via a refill in
+    /// magazine mode).
     pub slot_reuses: u64,
+    /// Allocations served from a non-empty magazine (no refill needed).
+    pub fast_path_hits: u64,
+    /// Magazine refills (each one batched provisioning).
+    pub slab_refills: u64,
+    /// Frees pushed onto another thread's remote-free queue.
+    pub remote_free_pushes: u64,
+    /// Slots drained from remote-free queues by their owners.
+    pub remote_free_drained: u64,
+    /// Dead virtual pages unmapped (batched retirement + sharded frees).
+    pub pages_retired: u64,
 }
 
 /// Lock-free accumulator behind [`AllocStats`].
@@ -64,6 +131,11 @@ struct AtomicAllocStats {
     globals: AtomicU64,
     rounding_waste_bytes: AtomicU64,
     slot_reuses: AtomicU64,
+    fast_path_hits: AtomicU64,
+    slab_refills: AtomicU64,
+    remote_free_pushes: AtomicU64,
+    remote_free_drained: AtomicU64,
+    pages_retired: AtomicU64,
 }
 
 impl AtomicAllocStats {
@@ -76,6 +148,11 @@ impl AtomicAllocStats {
             globals: get(&self.globals),
             rounding_waste_bytes: get(&self.rounding_waste_bytes),
             slot_reuses: get(&self.slot_reuses),
+            fast_path_hits: get(&self.fast_path_hits),
+            slab_refills: get(&self.slab_refills),
+            remote_free_pushes: get(&self.remote_free_pushes),
+            remote_free_drained: get(&self.remote_free_drained),
+            pages_retired: get(&self.pages_retired),
         }
     }
 }
@@ -101,18 +178,32 @@ type SlotMap = HashMap<u64, Vec<(PhysFrame, u64)>>;
 /// The consolidated unique-page allocator (see [crate docs](crate)).
 pub struct KardAlloc {
     machine: Arc<Machine>,
-    /// Object records, sharded by object id.
-    objects: Vec<Mutex<HashMap<ObjectId, ObjectRecord>>>,
-    /// Page→object index, sharded by page number. At most one object owns
-    /// a virtual page, and pages are never reused, so this alone resolves
-    /// faulting addresses.
-    pages: Vec<Mutex<HashMap<VirtPage, ObjectId>>>,
-    /// Free consolidation slots, sharded by size class (rounded size).
-    free_slots: Vec<Mutex<SlotMap>>,
+    config: AllocConfig,
+    /// Lock-free metadata for consolidated objects (any thread's
+    /// magazine), resolvable from the fault handler without locks.
+    cons: ConsTable,
+    /// Lock-free page→object index over the dense reservation sequence.
+    page_index: PageIndex,
+    /// Per-thread magazines, materialized on first use (same fixed
+    /// `OnceLock` table shape as the telemetry rings).
+    magazines: Box<[OnceLock<Arc<Magazine>>]>,
+    /// Sharded records for dedicated objects, globals, and any
+    /// consolidated object outside the lock-free tables' capacity.
+    objects: Vec<TrackedMutex<HashMap<ObjectId, ObjectRecord>>>,
+    /// Page→object fallback for pages outside the lock-free index.
+    pages: Vec<TrackedMutex<HashMap<VirtPage, ObjectId>>>,
+    /// Free consolidation slots, sharded by size class (rounded size) —
+    /// the tier-2 global pool magazines refill from.
+    free_slots: Vec<TrackedMutex<SlotMap>>,
     /// Currently open frame for bump allocation and its fill level —
     /// global by design: consolidation packs all small objects into one
     /// open frame at a time (Figure 2).
-    open_frame: Mutex<Option<(PhysFrame, u64)>>,
+    open_frame: TrackedMutex<Option<(PhysFrame, u64)>>,
+    /// Key every provisioned slot is pre-tagged with at refill (the
+    /// detector's Not-accessed key); see [`KardAlloc::set_provision_key`].
+    provision_key: OnceLock<ProtectionKey>,
+    /// Shared acquisition counter behind every allocator lock.
+    lock_acquisitions: Arc<AtomicU64>,
     next_id: AtomicU64,
     stats: AtomicAllocStats,
     /// Shared telemetry hub. Created here (the allocator is the first
@@ -122,18 +213,62 @@ pub struct KardAlloc {
 }
 
 impl KardAlloc {
-    /// A fresh allocator over `machine` (conceptually: `memfd_create`).
+    /// A fresh allocator over `machine` (conceptually: `memfd_create`)
+    /// with the default three-tier configuration (magazines on).
     #[must_use]
     pub fn new(machine: Arc<Machine>) -> KardAlloc {
-        KardAlloc {
+        KardAlloc::with_config(machine, AllocConfig::default())
+    }
+
+    /// The PR 1 sharded baseline: no magazines, every allocation pays
+    /// its own `mmap` and shard lock. This is the paper's literal §5.3
+    /// model — the exact-count paper-semantics tests and the benchmark
+    /// baseline run here.
+    #[must_use]
+    pub fn sharded(machine: Arc<Machine>) -> KardAlloc {
+        KardAlloc::with_config(
             machine,
-            objects: (0..ALLOC_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            pages: (0..ALLOC_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            free_slots: (0..ALLOC_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            open_frame: Mutex::new(None),
+            AllocConfig {
+                magazines: false,
+                ..AllocConfig::default()
+            },
+        )
+    }
+
+    /// An allocator with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical batch bounds (zero, or max < initial).
+    #[must_use]
+    pub fn with_config(machine: Arc<Machine>, config: AllocConfig) -> KardAlloc {
+        assert!(
+            config.initial_batch > 0 && config.max_batch >= config.initial_batch,
+            "batch bounds must satisfy 0 < initial_batch <= max_batch"
+        );
+        let lock_acquisitions = Arc::new(AtomicU64::new(0));
+        let tracked = |_: usize| -> TrackedMutex<HashMap<ObjectId, ObjectRecord>> {
+            TrackedMutex::new(HashMap::new(), Arc::clone(&lock_acquisitions))
+        };
+        KardAlloc {
+            config,
+            cons: ConsTable::new(),
+            page_index: PageIndex::new(),
+            magazines: (0..MAX_MAGAZINES).map(|_| OnceLock::new()).collect(),
+            objects: (0..ALLOC_SHARDS).map(tracked).collect(),
+            pages: (0..ALLOC_SHARDS)
+                .map(|_| TrackedMutex::new(HashMap::new(), Arc::clone(&lock_acquisitions)))
+                .collect(),
+            free_slots: (0..ALLOC_SHARDS)
+                .map(|_| TrackedMutex::new(HashMap::new(), Arc::clone(&lock_acquisitions)))
+                .collect(),
+            open_frame: TrackedMutex::new(None, Arc::clone(&lock_acquisitions)),
+            provision_key: OnceLock::new(),
+            lock_acquisitions,
             next_id: AtomicU64::new(0),
             stats: AtomicAllocStats::default(),
             telemetry: Arc::new(Telemetry::new()),
+            machine,
         }
     }
 
@@ -143,11 +278,55 @@ impl KardAlloc {
         &self.machine
     }
 
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> AllocConfig {
+        self.config
+    }
+
     /// The telemetry hub shared by every component built on this
     /// allocator (the detector adopts it in `Kard::new`).
     #[must_use]
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
+    }
+
+    /// Total acquisitions of every shared allocator lock (sharded maps,
+    /// free-slot pool, open frame). The owning-thread magazine path must
+    /// not move this counter in steady state — `tests/no_lock_overhead.rs`
+    /// asserts exactly that.
+    #[must_use]
+    pub fn alloc_lock_acquisitions(&self) -> u64 {
+        self.lock_acquisitions.load(Ordering::Relaxed)
+    }
+
+    /// Declare that every slot the allocator hands out must already be
+    /// tagged with `key` (the detector's Not-accessed key). Magazine
+    /// refills then fold the tagging into their batched `pkey_mprotect`;
+    /// the sharded path tags per object at allocation. The detector
+    /// checks [`KardAlloc::provision_key`] and skips its own per-object
+    /// `protect` when it matches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any object has already been allocated (already-prepared
+    /// slots would carry the wrong key), or if a *different* key was
+    /// already declared.
+    pub fn set_provision_key(&self, key: ProtectionKey) {
+        let stats = self.stats();
+        assert_eq!(
+            stats.allocations + stats.globals,
+            0,
+            "provision key must be declared before any allocation"
+        );
+        let set = self.provision_key.get_or_init(|| key);
+        assert_eq!(*set, key, "conflicting provision keys declared");
+    }
+
+    /// The declared provision key, if any.
+    #[must_use]
+    pub fn provision_key(&self) -> Option<ProtectionKey> {
+        self.provision_key.get().copied()
     }
 
     /// Record an object-lifecycle event if telemetry is on.
@@ -164,25 +343,31 @@ impl KardAlloc {
         size.div_ceil(ALLOC_GRANULE) * ALLOC_GRANULE
     }
 
-    fn object_shard(&self, id: ObjectId) -> &Mutex<HashMap<ObjectId, ObjectRecord>> {
+    fn object_shard(&self, id: ObjectId) -> &TrackedMutex<HashMap<ObjectId, ObjectRecord>> {
         &self.objects[id.0 as usize % ALLOC_SHARDS]
     }
 
-    fn page_shard(&self, page: VirtPage) -> &Mutex<HashMap<VirtPage, ObjectId>> {
+    fn page_shard(&self, page: VirtPage) -> &TrackedMutex<HashMap<VirtPage, ObjectId>> {
         &self.pages[page.0 as usize % ALLOC_SHARDS]
     }
 
-    fn slot_shard(&self, rounded: u64) -> &Mutex<SlotMap> {
+    fn slot_shard(&self, rounded: u64) -> &TrackedMutex<SlotMap> {
         &self.free_slots[(rounded / ALLOC_GRANULE) as usize % ALLOC_SHARDS]
+    }
+
+    /// This thread's magazine, materialized on first use.
+    fn magazine(&self, thread: ThreadId) -> &Arc<Magazine> {
+        self.magazines[thread.0].get_or_init(|| Arc::new(Magazine::new()))
     }
 
     /// Allocate a heap object of `size` bytes on behalf of `thread`.
     ///
     /// Small objects (< one page) are consolidated into shared physical
     /// frames; objects of a page or more get dedicated frames. Either way
-    /// the object is the sole owner of its virtual page(s), initially tagged
-    /// with the default key (the caller — Kard's runtime — immediately
-    /// retags heap objects with the Not-accessed key).
+    /// the object is the sole owner of its virtual page(s). With a
+    /// provision key declared the pages come back already tagged with it;
+    /// otherwise they carry the default key (and the caller — Kard's
+    /// runtime — immediately retags heap objects itself).
     ///
     /// # Panics
     ///
@@ -192,6 +377,14 @@ impl KardAlloc {
         let rounded = Self::round_up(size);
         let id = ObjectId(self.next_id.fetch_add(1, Ordering::Relaxed));
 
+        if self.config.magazines
+            && rounded < PAGE_SIZE
+            && thread.0 < MAX_MAGAZINES
+            && self.cons.fits(id)
+        {
+            return self.alloc_magazine(thread, id, size, rounded);
+        }
+
         let record = if rounded < PAGE_SIZE {
             self.alloc_consolidated(thread, id, size, rounded)
         } else {
@@ -199,6 +392,7 @@ impl KardAlloc {
         };
         let info = record.info;
         self.index(record);
+        self.pretag(thread, info);
         self.stats.allocations.fetch_add(1, Ordering::Relaxed);
         self.stats.live_objects.fetch_add(1, Ordering::Relaxed);
         self.stats
@@ -206,6 +400,203 @@ impl KardAlloc {
             .fetch_add(info.rounded_size - info.size, Ordering::Relaxed);
         self.emit(thread, EventKind::ObjectAlloc, info.id.0, info.size);
         info
+    }
+
+    /// Tier-1 fast path: pop a prepared slot from the owning thread's
+    /// magazine and publish the object's metadata lock-free.
+    fn alloc_magazine(&self, thread: ThreadId, id: ObjectId, size: u64, rounded: u64) -> ObjectInfo {
+        let mag = Arc::clone(self.magazine(thread));
+        let guard = mag.engage();
+        let inner = guard.inner();
+        let class = class_of(rounded);
+        let fast = !inner.classes[class].prepared.is_empty();
+        if !fast {
+            self.refill(thread, inner, &mag, class, rounded);
+        }
+        let slot = inner.classes[class]
+            .prepared
+            .pop()
+            .expect("refill provisions at least one slot");
+        let remaining = inner.classes[class].prepared.len() as u64;
+        drop(guard);
+
+        let rec = ConsRecord {
+            id,
+            base: slot.page.base_addr().offset(slot.offset),
+            size,
+            rounded,
+            frame: slot.frame,
+            offset: slot.offset,
+            owner: thread,
+        };
+        // Publish order matters: metadata first, page index second, so a
+        // concurrent fault-handler lookup that finds the page always
+        // finds a live record behind it.
+        self.cons.publish(&rec);
+        self.page_index.insert(slot.page, id);
+
+        self.stats.allocations.fetch_add(1, Ordering::Relaxed);
+        self.stats.live_objects.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .rounding_waste_bytes
+            .fetch_add(rounded - size, Ordering::Relaxed);
+        if fast {
+            self.stats.fast_path_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.telemetry.enabled() {
+            self.telemetry.histograms().magazine_occupancy.record(remaining);
+            if fast {
+                self.emit(thread, EventKind::AllocFastHit, id.0, rounded);
+            }
+        }
+        self.emit(thread, EventKind::ObjectAlloc, id.0, size);
+        rec.info()
+    }
+
+    /// Tier-2 slow path: drain remote frees, retire dirty pages, and
+    /// provision a fresh batch of prepared slots for `class` with one
+    /// batched `mmap` (+ one batched `pkey_mprotect` when a provision
+    /// key is declared).
+    fn refill(
+        &self,
+        thread: ThreadId,
+        inner: &mut MagInner,
+        mag: &Magazine,
+        class: usize,
+        rounded: u64,
+    ) {
+        let drained = mag.remote.drain();
+        if !drained.is_empty() {
+            self.stats
+                .remote_free_drained
+                .fetch_add(drained.len() as u64, Ordering::Relaxed);
+            let pages = drained.len() as u64 + inner.dirty.len() as u64;
+            self.emit(thread, EventKind::RemoteFreeDrain, drained.len() as u64, pages);
+            inner.dirty.extend(drained);
+        }
+        self.flush_dirty(thread, inner);
+
+        let cache = &mut inner.classes[class];
+        let batch = cache.next_batch.max(self.config.initial_batch);
+        cache.next_batch = (batch * 2).min(self.config.max_batch);
+
+        // Source physical extents: class-local raw cache, then the
+        // sharded global pool, then bump allocation in the open frame.
+        let mut raws: Vec<(PhysFrame, u64)> = Vec::with_capacity(batch);
+        let reused_local = cache.raw.len().min(batch);
+        raws.extend(cache.raw.drain(cache.raw.len() - reused_local..));
+        if raws.len() < batch {
+            let mut pool = self.slot_shard(rounded).lock();
+            if let Some(slots) = pool.get_mut(&rounded) {
+                while raws.len() < batch {
+                    let Some(slot) = slots.pop() else { break };
+                    raws.push(slot);
+                }
+            }
+        }
+        self.stats
+            .slot_reuses
+            .fetch_add(raws.len() as u64, Ordering::Relaxed);
+        if raws.len() < batch {
+            let mut open = self.open_frame.lock();
+            while raws.len() < batch {
+                match *open {
+                    Some((frame, fill)) if fill + rounded <= PAGE_SIZE => {
+                        *open = Some((frame, fill + rounded));
+                        raws.push((frame, fill));
+                    }
+                    _ => {
+                        let frame = self.machine.alloc_frame(thread);
+                        *open = Some((frame, 0));
+                    }
+                }
+            }
+        }
+
+        // Provision: fresh pages (never reused), one batched mmap, one
+        // batched pkey_mprotect.
+        let first = self.machine.reserve_pages(raws.len() as u64);
+        let pairs: Vec<(VirtPage, PhysFrame)> = raws
+            .iter()
+            .enumerate()
+            .map(|(i, &(frame, _))| (first.add(i as u64), frame))
+            .collect();
+        self.machine
+            .map_pages_batch(thread, &pairs)
+            .expect("fresh pages cannot be mapped already");
+        if let Some(key) = self.provision_key() {
+            let ranges: Vec<(VirtPage, u64)> = pairs.iter().map(|&(p, _)| (p, 1)).collect();
+            self.machine
+                .pkey_mprotect_batch(thread, &ranges, key)
+                .expect("provision key must be valid for the machine");
+            if self.telemetry.enabled() {
+                let cost = self.machine.cost_model();
+                self.telemetry.histograms().mprotect.record(
+                    cost.pkey_mprotect
+                        + cost.pkey_mprotect_batch_extra * (ranges.len() as u64 - 1),
+                );
+            }
+        }
+        let cache = &mut inner.classes[class];
+        cache.prepared.extend(
+            raws.into_iter()
+                .enumerate()
+                .map(|(i, (frame, offset))| PreparedSlot {
+                    page: first.add(i as u64),
+                    frame,
+                    offset,
+                }),
+        );
+        self.stats.slab_refills.fetch_add(1, Ordering::Relaxed);
+        self.emit(
+            thread,
+            EventKind::AllocSlabRefill,
+            rounded,
+            cache.prepared.len() as u64,
+        );
+    }
+
+    /// Batch-unmap every dirty page and recycle the physical extents
+    /// into the per-class raw caches (overflow goes to the global pool).
+    fn flush_dirty(&self, thread: ThreadId, inner: &mut MagInner) {
+        if inner.dirty.is_empty() {
+            return;
+        }
+        let pages: Vec<VirtPage> = inner.dirty.iter().map(|s| s.page).collect();
+        self.machine
+            .unmap_pages_batch(thread, &pages)
+            .expect("retired pages must be mapped");
+        self.stats
+            .pages_retired
+            .fetch_add(pages.len() as u64, Ordering::Relaxed);
+        let raw_cap = self.config.max_batch * 2;
+        for slot in inner.dirty.drain(..) {
+            let cache = &mut inner.classes[class_of(slot.rounded)];
+            if cache.raw.len() < raw_cap {
+                cache.raw.push((slot.frame, slot.offset));
+            } else {
+                self.slot_shard(slot.rounded)
+                    .lock()
+                    .entry(slot.rounded)
+                    .or_default()
+                    .push((slot.frame, slot.offset));
+            }
+        }
+    }
+
+    /// Retire one slot immediately (no magazine available: the owner's
+    /// queue is closed or the owner is out of magazine range): unmap its
+    /// page and return the extent to the global pool.
+    fn retire_now(&self, thread: ThreadId, slot: RetiredSlot) {
+        self.machine
+            .unmap_page(thread, slot.page)
+            .expect("retired page must be mapped");
+        self.stats.pages_retired.fetch_add(1, Ordering::Relaxed);
+        self.slot_shard(slot.rounded)
+            .lock()
+            .entry(slot.rounded)
+            .or_default()
+            .push((slot.frame, slot.offset));
     }
 
     fn alloc_consolidated(
@@ -297,9 +688,22 @@ impl KardAlloc {
         let info = record.info;
         for i in 0..info.page_count {
             let page = info.first_page.add(i);
-            self.page_shard(page).lock().insert(page, info.id);
+            if self.page_index.fits(page) {
+                self.page_index.insert(page, info.id);
+            } else {
+                self.page_shard(page).lock().insert(page, info.id);
+            }
         }
         self.object_shard(info.id).lock().insert(info.id, record);
+    }
+
+    /// Tag a freshly indexed object with the provision key, if declared
+    /// (the sharded path's per-object equivalent of the refill batch).
+    fn pretag(&self, thread: ThreadId, info: ObjectInfo) {
+        if self.provision_key().is_some() {
+            self.protect(thread, info.id, self.provision_key().expect("checked above"))
+                .expect("provision key must be valid for the machine");
+        }
     }
 
     /// Register a global variable of `size` bytes.
@@ -319,6 +723,7 @@ impl KardAlloc {
         let record = self.alloc_dedicated(thread, id, size, rounded, ObjectKind::Global);
         let info = record.info;
         self.index(record);
+        self.pretag(thread, info);
         self.stats.globals.fetch_add(1, Ordering::Relaxed);
         self.stats.live_objects.fetch_add(1, Ordering::Relaxed);
         self.stats
@@ -328,14 +733,25 @@ impl KardAlloc {
         info
     }
 
-    /// Free a heap object, unmapping its virtual pages and recycling its
-    /// consolidation slot (or dedicated frames).
+    /// Free a heap object.
+    ///
+    /// Magazine-owned objects are claimed from the lock-free table:
+    /// exactly one free wins, the page index entry is cleared, and the
+    /// slot either joins the freeing thread's own dirty list (owner
+    /// free — zero shared locks) or travels to the owner's remote-free
+    /// queue (cross-thread free — one lock-free push). Sharded-mode
+    /// objects are unmapped immediately and their slot recycled, as in
+    /// the paper's model.
     ///
     /// # Panics
     ///
     /// Panics on double free, unknown ids, or attempts to free globals —
     /// all of which are program errors Kard's wrapper would also reject.
     pub fn free(&self, thread: ThreadId, id: ObjectId) {
+        if let Some(rec) = self.cons.claim_free(id) {
+            self.free_magazine(thread, rec);
+            return;
+        }
         let record = self
             .object_shard(id)
             .lock()
@@ -348,7 +764,11 @@ impl KardAlloc {
         );
         for i in 0..record.info.page_count {
             let page = record.info.first_page.add(i);
-            self.page_shard(page).lock().remove(&page);
+            if self.page_index.fits(page) {
+                self.page_index.clear(page);
+            } else {
+                self.page_shard(page).lock().remove(&page);
+            }
             self.machine
                 .unmap_page(thread, page)
                 .expect("object pages must be mapped");
@@ -370,12 +790,112 @@ impl KardAlloc {
                 }
             }
         }
+        self.finish_free(thread, record.info.id, record.info.rounded_size, record.info.size);
+    }
+
+    /// Free of a lock-free-table object: route the slot to its owner.
+    fn free_magazine(&self, thread: ThreadId, rec: ConsRecord) {
+        self.page_index.clear(rec.base.page());
+        let slot = RetiredSlot {
+            page: rec.base.page(),
+            frame: rec.frame,
+            offset: rec.offset,
+            rounded: rec.rounded,
+        };
+        if rec.owner == thread {
+            let mag = Arc::clone(self.magazine(thread));
+            let guard = mag.engage();
+            let inner = guard.inner();
+            inner.dirty.push(slot);
+            if inner.dirty.len() >= self.config.retire_batch {
+                self.flush_dirty(thread, inner);
+            }
+        } else {
+            let pushed = self
+                .magazines
+                .get(rec.owner.0)
+                .and_then(OnceLock::get)
+                .is_some_and(|m| m.remote.push(slot));
+            if pushed {
+                self.stats.remote_free_pushes.fetch_add(1, Ordering::Relaxed);
+                self.emit(
+                    thread,
+                    EventKind::RemoteFreePush,
+                    rec.id.0,
+                    rec.owner.0 as u64,
+                );
+            } else {
+                // Owner exited (queue closed) or never had a magazine:
+                // retire straight to the global pool so nothing strands.
+                self.retire_now(thread, slot);
+            }
+        }
+        self.finish_free(thread, rec.id, rec.rounded, rec.size);
+    }
+
+    fn finish_free(&self, thread: ThreadId, id: ObjectId, rounded: u64, size: u64) {
         self.stats.frees.fetch_add(1, Ordering::Relaxed);
         self.stats.live_objects.fetch_sub(1, Ordering::Relaxed);
         self.stats
             .rounding_waste_bytes
-            .fetch_sub(record.info.rounded_size - record.info.size, Ordering::Relaxed);
+            .fetch_sub(rounded - size, Ordering::Relaxed);
         self.emit(thread, EventKind::ObjectFree, id.0, 0);
+    }
+
+    /// Flush a departing thread's allocation state: drain **and close**
+    /// its remote-free queue, retire every dirty and prepared page, and
+    /// hand all recycled extents to the global pool. After this, remote
+    /// frees targeting the thread fall back to the global pool directly,
+    /// so no slot is ever stranded. Kard's runtime calls this from the
+    /// thread-exit hook; it is idempotent and the thread may even
+    /// allocate again afterwards (with a fresh, open-pool-backed
+    /// magazine whose remote queue stays closed).
+    pub fn on_thread_exit(&self, thread: ThreadId) {
+        if !self.config.magazines || thread.0 >= MAX_MAGAZINES {
+            return;
+        }
+        let Some(mag) = self.magazines[thread.0].get().map(Arc::clone) else {
+            return;
+        };
+        let guard = mag.engage();
+        let inner = guard.inner();
+        let drained = mag.remote.close();
+        if !drained.is_empty() {
+            self.stats
+                .remote_free_drained
+                .fetch_add(drained.len() as u64, Ordering::Relaxed);
+            self.emit(
+                thread,
+                EventKind::RemoteFreeDrain,
+                drained.len() as u64,
+                (drained.len() + inner.dirty.len()) as u64,
+            );
+            inner.dirty.extend(drained);
+        }
+        self.flush_dirty(thread, inner);
+        for (class, cache) in inner.classes.iter_mut().enumerate() {
+            let rounded = class_size(class);
+            if !cache.prepared.is_empty() {
+                let pages: Vec<VirtPage> = cache.prepared.iter().map(|s| s.page).collect();
+                self.machine
+                    .unmap_pages_batch(thread, &pages)
+                    .expect("prepared pages must be mapped");
+                self.stats
+                    .pages_retired
+                    .fetch_add(pages.len() as u64, Ordering::Relaxed);
+                cache
+                    .raw
+                    .extend(cache.prepared.drain(..).map(|s| (s.frame, s.offset)));
+            }
+            if !cache.raw.is_empty() {
+                self.slot_shard(rounded)
+                    .lock()
+                    .entry(rounded)
+                    .or_default()
+                    .append(&mut cache.raw);
+            }
+            cache.next_batch = self.config.initial_batch;
+        }
     }
 
     /// Metadata of the live object containing `addr`, if any.
@@ -384,27 +904,37 @@ impl KardAlloc {
     /// Every object exclusively owns its virtual page(s) and pages are
     /// never reused, so the page index resolves *any* address within an
     /// object's pages (even where the object's bytes do not cover them).
+    /// For magazine-owned objects the lookup is entirely lock-free, so
+    /// the fault handler resolves slots owned by any thread's magazine
+    /// without touching that magazine.
     #[must_use]
     pub fn object_at(&self, addr: VirtAddr) -> Option<ObjectInfo> {
         let page = addr.page();
-        let id = *self.page_shard(page).lock().get(&page)?;
+        let id = match self.page_index.get(page) {
+            Ok(hit) => hit?,
+            Err(()) => *self.page_shard(page).lock().get(&page)?,
+        };
         self.object(id)
     }
 
     /// Metadata of a live object by id.
     #[must_use]
     pub fn object(&self, id: ObjectId) -> Option<ObjectInfo> {
+        if let Some(rec) = self.cons.live(id) {
+            return Some(rec.info());
+        }
         self.object_shard(id).lock().get(&id).map(|r| r.info)
     }
 
     /// All live objects (snapshot), in allocation order.
     #[must_use]
     pub fn live_objects(&self) -> Vec<ObjectInfo> {
-        let mut objs: Vec<ObjectInfo> = self
-            .objects
-            .iter()
-            .flat_map(|shard| shard.lock().values().map(|r| r.info).collect::<Vec<_>>())
-            .collect();
+        let mut objs: Vec<ObjectInfo> = self.cons.live_objects();
+        objs.extend(
+            self.objects
+                .iter()
+                .flat_map(|shard| shard.lock().values().map(|r| r.info).collect::<Vec<_>>()),
+        );
         objs.sort_by_key(|o| o.id);
         objs
     }
@@ -503,7 +1033,17 @@ mod tests {
     use super::*;
     use kard_sim::{AccessKind, CodeSite, MachineConfig};
 
+    /// Paper-semantics fixture: the sharded baseline, whose per-object
+    /// `mmap` and strict bump order are what Figure 2 describes.
     fn setup() -> (Arc<Machine>, ThreadId, KardAlloc) {
+        let machine = Arc::new(Machine::new(MachineConfig::default()));
+        let thread = machine.register_thread();
+        let alloc = KardAlloc::sharded(Arc::clone(&machine));
+        (machine, thread, alloc)
+    }
+
+    /// Three-tier fixture: the production default.
+    fn setup_magazine() -> (Arc<Machine>, ThreadId, KardAlloc) {
         let machine = Arc::new(Machine::new(MachineConfig::default()));
         let thread = machine.register_thread();
         let alloc = KardAlloc::new(Arc::clone(&machine));
@@ -694,6 +1234,213 @@ mod tests {
                     for id in live {
                         alloc.free(t, id);
                     }
+                });
+            }
+        });
+        let s = alloc.stats();
+        assert_eq!(s.allocations, 4 * 64);
+        assert_eq!(s.frees, 4 * 64);
+        assert_eq!(s.live_objects, 0);
+        assert_eq!(s.rounding_waste_bytes, 0);
+    }
+
+    // ----- magazine-mode behaviour -----
+
+    #[test]
+    fn magazine_fast_path_hits_after_first_refill() {
+        let (_, t, alloc) = setup_magazine();
+        let infos: Vec<_> = (0..16).map(|_| alloc.alloc(t, 32)).collect();
+        let s = alloc.stats();
+        assert_eq!(s.allocations, 16);
+        // Adaptive batches 4+8+16 cover 16 allocations in 3 refills;
+        // only the refill-triggering allocation misses the fast path.
+        assert_eq!(s.slab_refills, 3);
+        assert_eq!(s.fast_path_hits, 13);
+        // Every object resolves through the lock-free tables.
+        for o in &infos {
+            assert_eq!(alloc.object_at(o.base).unwrap().id, o.id);
+        }
+        // Distinct pages, consolidated offsets.
+        let mut pages: Vec<_> = infos.iter().map(|i| i.first_page).collect();
+        pages.sort();
+        pages.dedup();
+        assert_eq!(pages.len(), 16);
+    }
+
+    #[test]
+    fn magazine_refill_batches_mmap_syscalls() {
+        let (machine, t, alloc) = setup_magazine();
+        let before = machine.counters().mmap;
+        for _ in 0..28 {
+            let _ = alloc.alloc(t, 32);
+        }
+        // 28 allocations ride 3 batched refills (4 + 8 + 16).
+        assert_eq!(machine.counters().mmap - before, 3);
+    }
+
+    #[test]
+    fn magazine_owner_free_recycles_through_refill() {
+        let (_, t, alloc) = setup_magazine();
+        let ids: Vec<_> = (0..64).map(|_| alloc.alloc(t, 64).id).collect();
+        for id in ids {
+            alloc.free(t, id);
+        }
+        let before = alloc.stats();
+        // Churn past the leftover prepared stock: the next refill must
+        // feed on the recycled raw extents.
+        for _ in 0..64 {
+            let o = alloc.alloc(t, 64);
+            assert_eq!(alloc.object_at(o.base).unwrap().id, o.id);
+        }
+        let after = alloc.stats();
+        assert!(after.slot_reuses > before.slot_reuses, "refill reused recycled extents");
+    }
+
+    #[test]
+    fn magazine_pages_are_never_reused() {
+        let (_, t, alloc) = setup_magazine();
+        let a = alloc.alloc(t, 32);
+        alloc.free(t, a.id);
+        assert_eq!(alloc.object_at(a.base), None, "freed address resolves to nothing");
+        for _ in 0..64 {
+            let b = alloc.alloc(t, 32);
+            assert_ne!(b.first_page, a.first_page, "virtual pages are never reused");
+        }
+        assert_eq!(alloc.object_at(a.base), None);
+    }
+
+    #[test]
+    fn remote_free_travels_to_owner_queue_and_drains() {
+        let (machine, t_owner, alloc) = setup_magazine();
+        let t_free = machine.register_thread();
+        let ids: Vec<_> = (0..8).map(|_| alloc.alloc(t_owner, 32).id).collect();
+        for id in &ids {
+            alloc.free(t_free, *id);
+        }
+        let s = alloc.stats();
+        assert_eq!(s.remote_free_pushes, 8);
+        assert_eq!(s.frees, 8);
+        assert_eq!(s.remote_free_drained, 0, "not yet drained");
+        // The owner's next refill drains the queue.
+        for _ in 0..32 {
+            let _ = alloc.alloc(t_owner, 32);
+        }
+        assert_eq!(alloc.stats().remote_free_drained, 8);
+    }
+
+    #[test]
+    fn thread_exit_flushes_magazine_and_closes_queue() {
+        let (machine, t_owner, alloc) = setup_magazine();
+        let t_free = machine.register_thread();
+        let keep: Vec<_> = (0..4).map(|_| alloc.alloc(t_owner, 32).id).collect();
+        alloc.free(t_owner, keep[0]);
+        alloc.on_thread_exit(t_owner);
+        // Prepared + dirty pages are all retired; live objects remain live.
+        for id in &keep[1..] {
+            assert!(alloc.object(*id).is_some());
+        }
+        // A remote free after exit routes to the global pool immediately.
+        let retired_before = alloc.stats().pages_retired;
+        alloc.free(t_free, keep[1]);
+        let s = alloc.stats();
+        assert_eq!(s.remote_free_pushes, 0, "closed queue refuses the push");
+        assert_eq!(s.pages_retired, retired_before + 1);
+        // The extent is reusable from the global pool.
+        let o = alloc.alloc(t_free, 32);
+        assert_eq!(alloc.object_at(o.base).unwrap().id, o.id);
+    }
+
+    #[test]
+    fn magazine_free_before_refill_then_exit_strands_nothing() {
+        let (machine, t, alloc) = setup_magazine();
+        let a = alloc.alloc(t, 96);
+        let mapped_live = machine.mapped_pages();
+        alloc.free(t, a.id);
+        alloc.on_thread_exit(t);
+        // Every page the magazine ever mapped is unmapped again.
+        assert_eq!(machine.mapped_pages(), 0, "was {mapped_live} while live");
+        assert_eq!(alloc.stats().live_objects, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-freed")]
+    fn magazine_double_free_panics() {
+        let (_, t, alloc) = setup_magazine();
+        let o = alloc.alloc(t, 32);
+        alloc.free(t, o.id);
+        alloc.free(t, o.id);
+    }
+
+    #[test]
+    fn provision_key_pretags_magazine_and_sharded_objects() {
+        for sharded in [false, true] {
+            let machine = Arc::new(Machine::new(MachineConfig::default()));
+            let t = machine.register_thread();
+            let alloc = if sharded {
+                KardAlloc::sharded(Arc::clone(&machine))
+            } else {
+                KardAlloc::new(Arc::clone(&machine))
+            };
+            alloc.set_provision_key(ProtectionKey(15));
+            let o = alloc.alloc(t, 32);
+            assert_eq!(machine.page_key(o.first_page), Some(ProtectionKey(15)));
+            let g = alloc.register_global(t, 8);
+            assert_eq!(machine.page_key(g.first_page), Some(ProtectionKey(15)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before any allocation")]
+    fn provision_key_after_alloc_panics() {
+        let (_, t, alloc) = setup_magazine();
+        let _ = alloc.alloc(t, 32);
+        alloc.set_provision_key(ProtectionKey(15));
+    }
+
+    #[test]
+    fn owning_thread_churn_takes_no_shared_locks_in_steady_state() {
+        let (_, t, alloc) = setup_magazine();
+        // Warm up: grow the batch to its ceiling and prime raw caches.
+        let mut live: Vec<ObjectId> = (0..256).map(|_| alloc.alloc(t, 32).id).collect();
+        for _ in 0..256 {
+            alloc.free(t, live.pop().unwrap());
+            live.push(alloc.alloc(t, 32).id);
+        }
+        let before = alloc.alloc_lock_acquisitions();
+        for _ in 0..1000 {
+            alloc.free(t, live.pop().unwrap());
+            live.push(alloc.alloc(t, 32).id);
+        }
+        assert_eq!(
+            alloc.alloc_lock_acquisitions(),
+            before,
+            "steady-state owner churn crossed a shared allocator lock"
+        );
+    }
+
+    #[test]
+    fn concurrent_magazine_alloc_free_is_coherent() {
+        let (_, _, alloc) = setup_magazine();
+        let machine = Arc::clone(alloc.machine());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let alloc = &alloc;
+                let machine = &machine;
+                s.spawn(move || {
+                    let t = machine.register_thread();
+                    let mut live = Vec::new();
+                    for i in 0..64u64 {
+                        let o = alloc.alloc(t, 24 + (i % 4) * 32);
+                        assert_eq!(alloc.object_at(o.base).unwrap().id, o.id);
+                        live.push(o.id);
+                        if i % 3 == 0 {
+                            alloc.free(t, live.swap_remove(0));
+                        }
+                    }
+                    for id in live {
+                        alloc.free(t, id);
+                    }
+                    alloc.on_thread_exit(t);
                 });
             }
         });

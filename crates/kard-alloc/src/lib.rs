@@ -48,7 +48,10 @@
 #![warn(missing_docs)]
 
 pub mod allocator;
+pub mod magazine;
 pub mod metadata;
+pub mod remote_free;
+pub mod table;
 
-pub use allocator::{AllocStats, KardAlloc, ALLOC_GRANULE};
+pub use allocator::{AllocConfig, AllocStats, KardAlloc, ALLOC_GRANULE, MAX_MAGAZINES};
 pub use metadata::{ObjectId, ObjectInfo, ObjectKind};

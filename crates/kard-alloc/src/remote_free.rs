@@ -1,0 +1,228 @@
+//! Lock-free cross-thread free queues (Treiber stacks).
+//!
+//! When a thread frees an object whose slot belongs to another thread's
+//! magazine, it must not reach into that magazine (magazines are
+//! single-owner and unlocked). Instead it pushes the retired slot onto
+//! the owner's `RemoteFreeQueue` — a Treiber stack supporting only
+//! `push` and whole-stack `swap` drains, which sidesteps the classic
+//! ABA problem (no `pop` of interior nodes ever happens; a drain takes
+//! the entire chain).
+//!
+//! The owner drains its queue at every magazine refill and at thread
+//! exit. Exit also *closes* the queue (head becomes a sentinel), after
+//! which `push` refuses and the freeing thread routes the slot to the
+//! global pool instead — no slot is ever stranded on a dead thread's
+//! queue.
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+/// One retired consolidation slot travelling between threads.
+///
+/// The virtual page is still mapped when the slot is queued (pages are
+/// retired — batch-unmapped — by the owner, never by the freeing
+/// thread); the physical `(frame, offset)` extent is what gets reused.
+#[derive(Clone, Copy, Debug)]
+pub struct RetiredSlot {
+    /// The dead object's virtual page (to be batch-unmapped).
+    pub page: kard_sim::VirtPage,
+    /// Shared physical frame of the slot.
+    pub frame: kard_sim::PhysFrame,
+    /// Byte offset of the slot within the frame.
+    pub offset: u64,
+    /// Rounded size class of the slot.
+    pub rounded: u64,
+}
+
+struct Node {
+    slot: RetiredSlot,
+    next: *mut Node,
+}
+
+/// Sentinel head marking a closed queue. Never dereferenced; aligned so
+/// it cannot collide with a real `Box` allocation.
+fn closed_sentinel() -> *mut Node {
+    static SENTINEL: AtomicU64 = AtomicU64::new(0);
+    std::ptr::from_ref(&SENTINEL).cast_mut().cast::<Node>()
+}
+
+/// A push-only Treiber stack of retired slots with whole-stack drains.
+pub struct RemoteFreeQueue {
+    head: AtomicPtr<Node>,
+    /// Approximate queued-slot count (relaxed; drains reset it).
+    len: AtomicU64,
+}
+
+impl RemoteFreeQueue {
+    /// An empty, open queue.
+    #[must_use]
+    pub fn new() -> RemoteFreeQueue {
+        RemoteFreeQueue {
+            head: AtomicPtr::new(ptr::null_mut()),
+            len: AtomicU64::new(0),
+        }
+    }
+
+    /// Approximate number of queued slots (exact at quiescence).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the queue currently holds no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Push one slot. Returns `false` (slot not queued) if the queue was
+    /// closed by thread exit — the caller must route the slot to the
+    /// global pool instead.
+    pub fn push(&self, slot: RetiredSlot) -> bool {
+        let node = Box::into_raw(Box::new(Node {
+            slot,
+            next: ptr::null_mut(),
+        }));
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            if head == closed_sentinel() {
+                // SAFETY: the node was just boxed above and never shared.
+                drop(unsafe { Box::from_raw(node) });
+                return false;
+            }
+            // SAFETY: `node` is exclusively ours until the CAS publishes it.
+            unsafe { (*node).next = head };
+            if self
+                .head
+                .compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.len.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+    }
+
+    fn take_chain(&self, replacement: *mut Node) -> Vec<RetiredSlot> {
+        // CAS rather than swap: a drain that finds the queue closed must
+        // leave the sentinel in place without ever exposing an open head
+        // (a swap-then-restore window would let a racing push enqueue a
+        // node that the restore then leaks).
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            if head == closed_sentinel() {
+                return Vec::new();
+            }
+            match self.head.compare_exchange_weak(
+                head,
+                replacement,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(current) => head = current,
+            }
+        }
+        let mut out = Vec::new();
+        while !head.is_null() {
+            // SAFETY: the swap made the whole chain exclusively ours.
+            let node = unsafe { Box::from_raw(head) };
+            out.push(node.slot);
+            head = node.next;
+        }
+        self.len.fetch_sub(out.len() as u64, Ordering::Relaxed);
+        // LIFO chain → restore push order (oldest first) for determinism.
+        out.reverse();
+        out
+    }
+
+    /// Atomically take every queued slot, leaving the queue open.
+    #[must_use]
+    pub fn drain(&self) -> Vec<RetiredSlot> {
+        self.take_chain(ptr::null_mut())
+    }
+
+    /// Atomically take every queued slot and close the queue; subsequent
+    /// pushes return `false`. Idempotent.
+    #[must_use]
+    pub fn close(&self) -> Vec<RetiredSlot> {
+        self.take_chain(closed_sentinel())
+    }
+}
+
+impl Default for RemoteFreeQueue {
+    fn default() -> Self {
+        RemoteFreeQueue::new()
+    }
+}
+
+impl Drop for RemoteFreeQueue {
+    fn drop(&mut self) {
+        let _ = self.close();
+    }
+}
+
+// SAFETY: the queue is a standard lock-free stack — all shared state is
+// behind atomics, and node ownership transfers atomically at push/drain.
+unsafe impl Send for RemoteFreeQueue {}
+unsafe impl Sync for RemoteFreeQueue {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kard_sim::{PhysFrame, VirtPage};
+
+    fn slot(offset: u64) -> RetiredSlot {
+        RetiredSlot {
+            page: VirtPage(100 + offset),
+            frame: PhysFrame(1),
+            offset,
+            rounded: 32,
+        }
+    }
+
+    #[test]
+    fn push_drain_preserves_push_order() {
+        let q = RemoteFreeQueue::new();
+        for i in 0..5 {
+            assert!(q.push(slot(i)));
+        }
+        assert_eq!(q.len(), 5);
+        let got: Vec<u64> = q.drain().iter().map(|s| s.offset).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+        assert!(q.push(slot(9)), "drain leaves the queue open");
+    }
+
+    #[test]
+    fn close_refuses_later_pushes() {
+        let q = RemoteFreeQueue::new();
+        assert!(q.push(slot(1)));
+        let drained = q.close();
+        assert_eq!(drained.len(), 1);
+        assert!(!q.push(slot(2)), "closed queue refuses slots");
+        assert!(q.close().is_empty(), "close is idempotent");
+        assert!(q.drain().is_empty(), "drain after close stays closed");
+        assert!(!q.push(slot(3)));
+    }
+
+    #[test]
+    fn concurrent_pushes_lose_nothing() {
+        let q = std::sync::Arc::new(RemoteFreeQueue::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let q = std::sync::Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        assert!(q.push(slot(t * 1000 + i)));
+                    }
+                });
+            }
+        });
+        let mut got: Vec<u64> = q.drain().iter().map(|s| s.offset).collect();
+        got.sort_unstable();
+        assert_eq!(got.len(), 4000);
+        got.dedup();
+        assert_eq!(got.len(), 4000, "no slot duplicated");
+    }
+}

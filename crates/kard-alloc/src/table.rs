@@ -1,0 +1,378 @@
+//! Lock-free metadata tables for consolidated objects.
+//!
+//! The magazine fast path must publish object metadata without taking a
+//! shared lock, and the fault handler must resolve a faulting address to
+//! that metadata no matter which thread's magazine produced the object.
+//! Two structural facts of the allocator make a lock-free design simple:
+//!
+//! * **Object ids are dense and never reused** (`next_id` is a bump
+//!   counter), so a chunked array indexed by id can hold one write-once
+//!   cell per consolidated object — no hashing, no ABA.
+//! * **Virtual pages are never reused** and are themselves a dense bump
+//!   sequence from [`kard_sim::MMAP_BASE_PAGE`], so a chunked array of
+//!   atomic words indexed by `page - base` is a complete page→object
+//!   index.
+//!
+//! A cell's payload fields are written exactly once, *before* the cell is
+//! published by storing [`STATE_LIVE`] with release ordering; readers
+//! acquire-load the state first, so a `LIVE` observation orders all
+//! payload reads after the writes. After publication only the state word
+//! ever changes (`LIVE → DEAD`, claimed by compare-and-swap so exactly
+//! one `free` wins and a second free is detected), and the payload stays
+//! intact forever — a racing reader that loads fields while the state
+//! flips still reads consistent values.
+//!
+//! Chunks are `OnceLock`-materialized so an idle table costs only the
+//! spine. Ids or pages beyond the fixed capacity fall back to the
+//! allocator's sharded maps (the caller checks [`ConsTable::fits`] /
+//! [`PageIndex::fits`]); capacity is sized so the fallback is never hit
+//! by the workloads in this repository.
+
+use crate::metadata::{ObjectId, ObjectInfo, ObjectKind};
+use kard_sim::{PhysFrame, ThreadId, VirtAddr, VirtPage, MMAP_BASE_PAGE};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Cell is unpublished (or the id was never a consolidated object).
+pub const STATE_EMPTY: u64 = 0;
+/// Cell is published and the object is live.
+pub const STATE_LIVE: u64 = 1;
+/// The object has been freed (payload remains readable but stale).
+pub const STATE_DEAD: u64 = 2;
+
+const CHUNK: usize = 1 << 10;
+const CHUNKS: usize = 1 << 12; // capacity: 4Mi consolidated objects
+
+/// Immutable snapshot of one consolidated object's metadata.
+#[derive(Clone, Copy, Debug)]
+pub struct ConsRecord {
+    /// The object.
+    pub id: ObjectId,
+    /// Base address (page base shifted by the consolidation offset).
+    pub base: VirtAddr,
+    /// Requested size in bytes.
+    pub size: u64,
+    /// Size rounded to the 32 B granule.
+    pub rounded: u64,
+    /// Shared physical frame backing the slot.
+    pub frame: PhysFrame,
+    /// Byte offset of the slot within the frame.
+    pub offset: u64,
+    /// Thread whose magazine produced the object (remote frees push to
+    /// this thread's queue).
+    pub owner: ThreadId,
+}
+
+impl ConsRecord {
+    /// The public metadata view of this record.
+    #[must_use]
+    pub fn info(&self) -> ObjectInfo {
+        ObjectInfo {
+            id: self.id,
+            base: self.base,
+            size: self.size,
+            rounded_size: self.rounded,
+            first_page: self.base.page(),
+            page_count: 1,
+            kind: ObjectKind::Heap,
+        }
+    }
+}
+
+struct ConsCell {
+    state: AtomicU64,
+    base: AtomicU64,
+    size: AtomicU64,
+    rounded: AtomicU64,
+    frame: AtomicU64,
+    offset: AtomicU64,
+    owner: AtomicU64,
+}
+
+impl ConsCell {
+    fn zeroed() -> ConsCell {
+        ConsCell {
+            state: AtomicU64::new(STATE_EMPTY),
+            base: AtomicU64::new(0),
+            size: AtomicU64::new(0),
+            rounded: AtomicU64::new(0),
+            frame: AtomicU64::new(0),
+            offset: AtomicU64::new(0),
+            owner: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, id: ObjectId) -> ConsRecord {
+        ConsRecord {
+            id,
+            base: VirtAddr(self.base.load(Ordering::Relaxed)),
+            size: self.size.load(Ordering::Relaxed),
+            rounded: self.rounded.load(Ordering::Relaxed),
+            frame: PhysFrame(self.frame.load(Ordering::Relaxed)),
+            offset: self.offset.load(Ordering::Relaxed),
+            owner: ThreadId(self.owner.load(Ordering::Relaxed) as usize),
+        }
+    }
+}
+
+/// Publish-once table of consolidated objects, indexed by dense id.
+pub struct ConsTable {
+    chunks: Box<[OnceLock<Box<[ConsCell]>>]>,
+}
+
+impl ConsTable {
+    /// An empty table (allocates only the chunk spine).
+    #[must_use]
+    pub fn new() -> ConsTable {
+        ConsTable {
+            chunks: (0..CHUNKS).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Whether `id` is within the table's fixed capacity.
+    #[must_use]
+    pub fn fits(&self, id: ObjectId) -> bool {
+        (id.0 as usize) < CHUNK * CHUNKS
+    }
+
+    fn cell(&self, id: ObjectId) -> &ConsCell {
+        let idx = id.0 as usize;
+        let chunk = self.chunks[idx / CHUNK]
+            .get_or_init(|| (0..CHUNK).map(|_| ConsCell::zeroed()).collect());
+        &chunk[idx % CHUNK]
+    }
+
+    /// Publish a freshly allocated object. The release store of
+    /// [`STATE_LIVE`] is the linearization point; callers must index the
+    /// page *after* this returns so a page-index hit always finds a live
+    /// cell.
+    pub fn publish(&self, rec: &ConsRecord) {
+        let cell = self.cell(rec.id);
+        debug_assert_eq!(cell.state.load(Ordering::Relaxed), STATE_EMPTY);
+        cell.base.store(rec.base.0, Ordering::Relaxed);
+        cell.size.store(rec.size, Ordering::Relaxed);
+        cell.rounded.store(rec.rounded, Ordering::Relaxed);
+        cell.frame.store(rec.frame.0, Ordering::Relaxed);
+        cell.offset.store(rec.offset, Ordering::Relaxed);
+        cell.owner.store(rec.owner.0 as u64, Ordering::Relaxed);
+        cell.state.store(STATE_LIVE, Ordering::Release);
+    }
+
+    /// The record of `id` if it is a live consolidated object.
+    #[must_use]
+    pub fn live(&self, id: ObjectId) -> Option<ConsRecord> {
+        if !self.fits(id) {
+            return None;
+        }
+        let cell = self.chunks[id.0 as usize / CHUNK].get()?;
+        let cell = &cell[id.0 as usize % CHUNK];
+        if cell.state.load(Ordering::Acquire) == STATE_LIVE {
+            Some(cell.record(id))
+        } else {
+            None
+        }
+    }
+
+    /// Claim `id` for freeing: exactly one caller wins the `LIVE → DEAD`
+    /// transition and receives the record. Returns `None` when the id
+    /// was never published here (the caller falls back to the sharded
+    /// maps, which also own the unknown-id diagnostic).
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free of a consolidated object.
+    pub fn claim_free(&self, id: ObjectId) -> Option<ConsRecord> {
+        if !self.fits(id) {
+            return None;
+        }
+        let cell = self.chunks[id.0 as usize / CHUNK].get()?;
+        let cell = &cell[id.0 as usize % CHUNK];
+        match cell.state.compare_exchange(
+            STATE_LIVE,
+            STATE_DEAD,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => Some(cell.record(id)),
+            Err(STATE_EMPTY) => None,
+            Err(_) => panic!("free of unknown or already-freed object {id}"),
+        }
+    }
+
+    /// Metadata of every live object in the table, in id order (the ids
+    /// are the index, so no sort is needed).
+    #[must_use]
+    pub fn live_objects(&self) -> Vec<ObjectInfo> {
+        let mut out = Vec::new();
+        for (c, chunk) in self.chunks.iter().enumerate() {
+            let Some(cells) = chunk.get() else { continue };
+            for (i, cell) in cells.iter().enumerate() {
+                if cell.state.load(Ordering::Acquire) == STATE_LIVE {
+                    let id = ObjectId((c * CHUNK + i) as u64);
+                    out.push(cell.record(id).info());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for ConsTable {
+    fn default() -> Self {
+        ConsTable::new()
+    }
+}
+
+const PAGE_CHUNK: usize = 1 << 12;
+const PAGE_CHUNKS: usize = 1 << 12; // capacity: 16Mi pages (64 GiB of VA)
+
+/// Lock-free page→object index over the dense reservation sequence.
+///
+/// Each slot holds `object id + 1` (`0` = no owner). Pages are never
+/// reused, so a slot goes `0 → id+1 → 0` at most once and a stale read
+/// can only misreport during the instants around publication/teardown —
+/// both of which are ordered against the [`ConsTable`] state transitions
+/// by the insert-after-publish / clear-before-claim protocol documented
+/// on the allocator.
+pub struct PageIndex {
+    chunks: Box<[OnceLock<Box<[AtomicU64]>>]>,
+}
+
+impl PageIndex {
+    /// An empty index (allocates only the chunk spine).
+    #[must_use]
+    pub fn new() -> PageIndex {
+        PageIndex {
+            chunks: (0..PAGE_CHUNKS).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    fn slot_index(page: VirtPage) -> Option<usize> {
+        let dense = page.0.checked_sub(MMAP_BASE_PAGE.0)? as usize;
+        (dense < PAGE_CHUNK * PAGE_CHUNKS).then_some(dense)
+    }
+
+    /// Whether `page` is within the index's fixed capacity.
+    #[must_use]
+    pub fn fits(&self, page: VirtPage) -> bool {
+        Self::slot_index(page).is_some()
+    }
+
+    fn slot(&self, idx: usize) -> &AtomicU64 {
+        let chunk = self.chunks[idx / PAGE_CHUNK]
+            .get_or_init(|| (0..PAGE_CHUNK).map(|_| AtomicU64::new(0)).collect());
+        &chunk[idx % PAGE_CHUNK]
+    }
+
+    /// Record `page → id`. The caller must have published the object's
+    /// metadata first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is outside the index capacity (callers gate on
+    /// [`PageIndex::fits`] and keep such objects in the sharded maps).
+    pub fn insert(&self, page: VirtPage, id: ObjectId) {
+        let idx = Self::slot_index(page).expect("page outside index capacity");
+        self.slot(idx).store(id.0 + 1, Ordering::Release);
+    }
+
+    /// Remove the owner of `page` (on free).
+    pub fn clear(&self, page: VirtPage) {
+        if let Some(idx) = Self::slot_index(page) {
+            self.slot(idx).store(0, Ordering::Release);
+        }
+    }
+
+    /// The object owning `page`, if the index covers it and an owner is
+    /// recorded. `Ok(None)` means "no owner"; `Err(())` means the page is
+    /// outside the index capacity and the caller must consult the
+    /// sharded fallback map.
+    #[allow(clippy::result_unit_err)] // Err is purely "not covered here".
+    pub fn get(&self, page: VirtPage) -> Result<Option<ObjectId>, ()> {
+        let Some(idx) = Self::slot_index(page) else {
+            return Err(());
+        };
+        let Some(chunk) = self.chunks[idx / PAGE_CHUNK].get() else {
+            return Ok(None);
+        };
+        match chunk[idx % PAGE_CHUNK].load(Ordering::Acquire) {
+            0 => Ok(None),
+            raw => Ok(Some(ObjectId(raw - 1))),
+        }
+    }
+}
+
+impl Default for PageIndex {
+    fn default() -> Self {
+        PageIndex::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, page: u64) -> ConsRecord {
+        ConsRecord {
+            id: ObjectId(id),
+            base: VirtPage(MMAP_BASE_PAGE.0 + page).base_addr().offset(64),
+            size: 24,
+            rounded: 32,
+            frame: PhysFrame(7),
+            offset: 64,
+            owner: ThreadId(3),
+        }
+    }
+
+    #[test]
+    fn publish_then_live_round_trips() {
+        let t = ConsTable::new();
+        let r = rec(5, 0);
+        t.publish(&r);
+        let got = t.live(ObjectId(5)).unwrap();
+        assert_eq!(got.base, r.base);
+        assert_eq!(got.owner, ThreadId(3));
+        assert_eq!(got.info().first_page, r.base.page());
+        assert!(t.live(ObjectId(4)).is_none(), "unpublished id");
+    }
+
+    #[test]
+    fn claim_free_is_exclusive_and_final() {
+        let t = ConsTable::new();
+        t.publish(&rec(9, 0));
+        assert!(t.claim_free(ObjectId(9)).is_some());
+        assert!(t.live(ObjectId(9)).is_none(), "dead after claim");
+        assert!(t.claim_free(ObjectId(1234)).is_none(), "empty cell defers");
+    }
+
+    #[test]
+    #[should_panic(expected = "already-freed")]
+    fn double_claim_panics() {
+        let t = ConsTable::new();
+        t.publish(&rec(2, 0));
+        let _ = t.claim_free(ObjectId(2));
+        let _ = t.claim_free(ObjectId(2));
+    }
+
+    #[test]
+    fn live_objects_in_id_order() {
+        let t = ConsTable::new();
+        for id in [7u64, 3, 5] {
+            t.publish(&rec(id, id));
+        }
+        let ids: Vec<u64> = t.live_objects().iter().map(|o| o.id.0).collect();
+        assert_eq!(ids, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn page_index_insert_get_clear() {
+        let idx = PageIndex::new();
+        let page = VirtPage(MMAP_BASE_PAGE.0 + 17);
+        assert_eq!(idx.get(page), Ok(None));
+        idx.insert(page, ObjectId(0));
+        assert_eq!(idx.get(page), Ok(Some(ObjectId(0))));
+        idx.clear(page);
+        assert_eq!(idx.get(page), Ok(None));
+        assert!(idx.get(VirtPage(0)).is_err(), "below base is not covered");
+    }
+}

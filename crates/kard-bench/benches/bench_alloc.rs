@@ -1,95 +1,290 @@
-//! Allocator benchmarks (Figure 2 context): consolidated unique-page
-//! allocation vs the packed native model, allocation/free churn, and
-//! faulting-address metadata lookup.
+//! Allocator fast-path benchmark: a thread sweep over allocation mixes,
+//! magazine (three-tier) mode versus the PR 1 sharded baseline.
+//!
+//! Three mixes exercise the three tiers:
+//!
+//! * `private` — every thread churns a resident set of its own objects
+//!   (owning-thread alloc and free: the magazine fast path);
+//! * `producer_consumer` — producer threads allocate, paired consumer
+//!   threads free (every free is a remote free onto the producer's
+//!   queue, drained by the producer's refills);
+//! * `all_remote` — threads form a ring; each frees only objects its
+//!   predecessor allocated (worst case: no free is owner-local).
+//!
+//! Costs are **virtual cycles** from the simulated cost model (syscalls
+//! dominate: `mmap`, `munmap`, `pkey_mprotect`, batched variants), so the
+//! comparison is deterministic and machine-independent; wall time is
+//! reported for orientation only. A warm-up phase runs before each
+//! measurement so steady-state magazine churn is measured, not cold
+//! batch growth.
+//!
+//! Run with `cargo bench -p kard-bench --bench bench_alloc`; emits
+//! `BENCH_alloc.json` at the repository root. Set `KARD_BENCH_SMOKE=1`
+//! for a short smoke run with the same JSON shape.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use kard_alloc::KardAlloc;
-use kard_sim::{Machine, MachineConfig};
-use std::sync::Arc;
-use std::time::Duration;
+use kard_alloc::{KardAlloc, ObjectId};
+use kard_sim::{Machine, MachineConfig, ThreadId};
+use std::collections::VecDeque;
+use std::sync::{mpsc, Arc, Barrier};
+use std::time::Instant;
 
-fn setup() -> (Arc<Machine>, kard_sim::ThreadId, KardAlloc) {
+/// Objects kept live per thread during churn.
+const RESIDENT: usize = 256;
+
+/// Allocation size (bytes) used by every mix: one consolidated class.
+const SIZE: u64 = 64;
+
+fn ops_per_thread() -> u64 {
+    if std::env::var_os("KARD_BENCH_SMOKE").is_some() {
+        2_000
+    } else {
+        50_000
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Sharded,
+    Magazine,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Sharded => "sharded",
+            Mode::Magazine => "magazine",
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mix {
+    Private,
+    ProducerConsumer,
+    AllRemote,
+}
+
+impl Mix {
+    fn name(self) -> &'static str {
+        match self {
+            Mix::Private => "private",
+            Mix::ProducerConsumer => "producer_consumer",
+            Mix::AllRemote => "all_remote",
+        }
+    }
+}
+
+struct Sample {
+    mix: &'static str,
+    mode: &'static str,
+    threads: usize,
+    total_ops: u64,
+    virtual_cycles: u64,
+    cycles_per_op: f64,
+    wall_seconds: f64,
+    fast_path_hit_rate: f64,
+    alloc_lock_acquisitions: u64,
+    locks_per_op: f64,
+    slab_refills: u64,
+    remote_free_pushes: u64,
+    remote_free_drained: u64,
+}
+
+/// Owner-local churn: keep `RESIDENT` objects live, free-then-alloc.
+fn churn(alloc: &KardAlloc, t: ThreadId, live: &mut VecDeque<ObjectId>, iters: u64) {
+    for _ in 0..iters {
+        if live.len() >= RESIDENT {
+            alloc.free(t, live.pop_front().expect("resident set non-empty"));
+        }
+        live.push_back(alloc.alloc(t, SIZE).id);
+    }
+}
+
+fn run(mix: Mix, threads: usize, mode: Mode) -> Sample {
     let machine = Arc::new(Machine::new(MachineConfig::default()));
-    let t = machine.register_thread();
-    let alloc = KardAlloc::new(Arc::clone(&machine));
-    (machine, t, alloc)
-}
+    let alloc = Arc::new(match mode {
+        Mode::Sharded => KardAlloc::sharded(Arc::clone(&machine)),
+        Mode::Magazine => KardAlloc::new(Arc::clone(&machine)),
+    });
+    let tids: Vec<ThreadId> = (0..threads).map(|_| machine.register_thread()).collect();
+    let ops = ops_per_thread();
+    // Long enough that the adaptive refill batch reaches its maximum and
+    // the raw slot cache settles into its steady oscillation.
+    let warmup = RESIDENT as u64 * 8 + ops / 4;
 
-fn bench_alloc_small(c: &mut Criterion) {
-    let mut group = c.benchmark_group("alloc");
-    group.bench_function("small_32B", |b| {
-        b.iter_batched(
-            setup,
-            |(_m, t, alloc)| {
-                for _ in 0..64 {
-                    let _ = alloc.alloc(t, 32);
+    // Ring of channels: thread i sends object ids to thread (i+1) mod n
+    // (producer_consumer pairs producers with consumers the same way when
+    // n > 1; with one thread both mixes degenerate to self-free).
+    let (mut txs, mut rxs): (Vec<_>, Vec<_>) = (0..threads).map(|_| mpsc::channel()).unzip();
+    rxs.rotate_left(1);
+
+    // Workers warm up, park at the barrier so the main thread can
+    // snapshot the counters, run the measured phase, then park again so
+    // the closing snapshot excludes teardown (resident-set frees and
+    // thread exit are not part of the measured mix).
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let (stats_before, stats_after) = std::thread::scope(|s| {
+        for (i, &t) in tids.iter().enumerate() {
+            let alloc = Arc::clone(&alloc);
+            let barrier = Arc::clone(&barrier);
+            let tx = txs.remove(0);
+            let rx = rxs.remove(0);
+            let producer = mix != Mix::ProducerConsumer || threads == 1 || i % 2 == 0;
+            s.spawn(move || {
+                let mut live = VecDeque::new();
+                churn(&alloc, t, &mut live, warmup);
+                barrier.wait(); // counters snapshotted here
+                barrier.wait();
+                match mix {
+                    Mix::Private => churn(&alloc, t, &mut live, ops),
+                    Mix::ProducerConsumer | Mix::AllRemote => {
+                        // Drain the warm-up residue first so measured frees
+                        // are exactly the cross-thread ones.
+                        for id in live.drain(..) {
+                            alloc.free(t, id);
+                        }
+                        if producer {
+                            for _ in 0..ops {
+                                let id = alloc.alloc(t, SIZE).id;
+                                if tx.send(id).is_err() {
+                                    alloc.free(t, id);
+                                }
+                                // Opportunistically free whatever arrived.
+                                while let Ok(other) = rx.try_recv() {
+                                    alloc.free(t, other);
+                                }
+                            }
+                        }
+                        drop(tx);
+                        // Blocking drain until every upstream sender is gone.
+                        while let Ok(other) = rx.recv() {
+                            alloc.free(t, other);
+                        }
+                    }
                 }
-                alloc
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    group.bench_function("large_16KiB", |b| {
-        b.iter_batched(
-            setup,
-            |(_m, t, alloc)| {
-                for _ in 0..16 {
-                    let _ = alloc.alloc(t, 16 * 1024);
+                barrier.wait(); // measured phase ends; counters snapshotted
+                barrier.wait();
+                for id in live.drain(..) {
+                    alloc.free(t, id);
                 }
-                alloc
-            },
-            BatchSize::SmallInput,
+                alloc.on_thread_exit(t);
+            });
+        }
+        barrier.wait();
+        let before = (
+            machine.now(),
+            alloc.alloc_lock_acquisitions(),
+            alloc.stats(),
+            Instant::now(),
         );
-    });
-    group.bench_function("churn_alloc_free", |b| {
-        b.iter_batched(
-            setup,
-            |(_m, t, alloc)| {
-                for _ in 0..64 {
-                    let o = alloc.alloc(t, 64);
-                    alloc.free(t, o.id);
-                }
-                alloc
-            },
-            BatchSize::SmallInput,
+        barrier.wait();
+        barrier.wait();
+        let after = (
+            machine.now(),
+            alloc.alloc_lock_acquisitions(),
+            alloc.stats(),
+            before.3.elapsed().as_secs_f64(),
         );
+        barrier.wait();
+        (before, after)
     });
-    group.finish();
+
+    let (cycles0, locks0, s0, _wall0) = stats_before;
+    let (cycles1, locks1, stats, wall) = stats_after;
+    let virtual_cycles = cycles1 - cycles0;
+    let allocs = stats.allocations - s0.allocations;
+    let frees = stats.frees - s0.frees;
+    let total_ops = allocs + frees;
+    let locks = locks1 - locks0;
+    let fast_hits = stats.fast_path_hits - s0.fast_path_hits;
+
+    Sample {
+        mix: mix.name(),
+        mode: mode.name(),
+        threads,
+        total_ops,
+        virtual_cycles,
+        cycles_per_op: virtual_cycles as f64 / total_ops as f64,
+        wall_seconds: wall,
+        fast_path_hit_rate: if allocs == 0 {
+            0.0
+        } else {
+            fast_hits as f64 / allocs as f64
+        },
+        alloc_lock_acquisitions: locks,
+        locks_per_op: locks as f64 / total_ops as f64,
+        slab_refills: stats.slab_refills - s0.slab_refills,
+        remote_free_pushes: stats.remote_free_pushes - s0.remote_free_pushes,
+        remote_free_drained: stats.remote_free_drained - s0.remote_free_drained,
+    }
 }
 
-fn bench_metadata_lookup(c: &mut Criterion) {
-    let (_m, t, alloc) = setup();
-    let infos: Vec<_> = (0..1024).map(|_| alloc.alloc(t, 48)).collect();
-    let probe = infos[512].base.offset(17);
-    c.bench_function("alloc/object_at_lookup_1024_live", |b| {
-        b.iter(|| alloc.object_at(std::hint::black_box(probe)));
-    });
-}
+fn main() {
+    let mut samples = Vec::new();
+    for mode in [Mode::Sharded, Mode::Magazine] {
+        for mix in [Mix::Private, Mix::ProducerConsumer, Mix::AllRemote] {
+            for threads in [1usize, 2, 4, 8] {
+                let s = run(mix, threads, mode);
+                println!(
+                    "{:<8} {:<17} {} threads: {:>7} ops, {:>7.1} cycles/op, \
+                     fast-path {:>5.1}%, {:.4} locks/op",
+                    s.mode,
+                    s.mix,
+                    s.threads,
+                    s.total_ops,
+                    s.cycles_per_op,
+                    s.fast_path_hit_rate * 100.0,
+                    s.locks_per_op
+                );
+                samples.push(s);
+            }
+        }
+    }
 
-fn bench_protect(c: &mut Criterion) {
-    let (_m, t, alloc) = setup();
-    let o = alloc.alloc(t, 32);
-    let layout = kard_sim::KeyLayout::mpk();
-    c.bench_function("alloc/pkey_mprotect_object", |b| {
-        let mut flip = false;
-        b.iter(|| {
-            let key = if flip { layout.read_only } else { layout.not_accessed };
-            flip = !flip;
-            alloc.protect(t, o.id, key).unwrap();
-        });
-    });
-}
+    let cycles_at = |mode: &str, mix: &str, threads: usize| {
+        samples
+            .iter()
+            .find(|s| s.mode == mode && s.mix == mix && s.threads == threads)
+            .map(|s| s.cycles_per_op)
+            .expect("sample present")
+    };
+    let speedup = cycles_at("sharded", "private", 8) / cycles_at("magazine", "private", 8);
+    println!("private 8-thread speedup (sharded / magazine cycles per op): {speedup:.2}x");
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(600))
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"mix\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \
+                 \"total_ops\": {}, \"virtual_cycles\": {}, \"cycles_per_op\": {:.2}, \
+                 \"wall_seconds\": {:.6}, \"fast_path_hit_rate\": {:.4}, \
+                 \"alloc_lock_acquisitions\": {}, \"locks_per_op\": {:.5}, \
+                 \"slab_refills\": {}, \"remote_free_pushes\": {}, \"remote_free_drained\": {}}}",
+                s.mix,
+                s.mode,
+                s.threads,
+                s.total_ops,
+                s.virtual_cycles,
+                s.cycles_per_op,
+                s.wall_seconds,
+                s.fast_path_hit_rate,
+                s.alloc_lock_acquisitions,
+                s.locks_per_op,
+                s.slab_refills,
+                s.remote_free_pushes,
+                s.remote_free_drained
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"alloc\",\n  \"workload\": \"{} ops/thread churn of {SIZE} B objects, \
+         resident set {RESIDENT}, mixes private/producer_consumer/all_remote, \
+         modes sharded/magazine\",\n  \"private_8t_speedup\": {:.3},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        ops_per_thread(),
+        speedup,
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_alloc.json");
+    std::fs::write(path, json).expect("write BENCH_alloc.json");
+    println!("wrote {path}");
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_alloc_small, bench_metadata_lookup, bench_protect
-}
-criterion_main!(benches);

@@ -24,7 +24,14 @@ use kard_telemetry::HistogramSummary;
 use std::sync::Arc;
 
 /// Rounds of lock-handoff per measured run.
-const ROUNDS: u64 = 2_000;
+/// `KARD_BENCH_SMOKE` selects a short run with the same JSON shape.
+fn rounds() -> u64 {
+    if std::env::var_os("KARD_BENCH_SMOKE").is_some() {
+        200
+    } else {
+        2_000
+    }
+}
 /// Shared objects written inside every critical section.
 const SHARED_OBJECTS: usize = 8;
 
@@ -49,7 +56,7 @@ fn run(threads: usize) -> Sample {
     // reactive key grants) before the set is freed. Every object therefore
     // traverses the full fault path instead of settling into a shared key.
     let lock = LockId(1);
-    for round in 0..ROUNDS {
+    for round in 0..rounds() {
         let producer = tids[round as usize % threads];
         let consumer = tids[(round as usize + 1) % threads];
         let site = CodeSite(0x200 + (round % 4));
@@ -118,7 +125,8 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"fault_latency\",\n  \"workload\": \"producer/consumer handoff of fresh objects under one lock, {ROUNDS} rounds, {SHARED_OBJECTS} objects/round\",\n  \"unit\": \"virtual cycles\",\n  \"suggested_measured_fault_delay\": {suggested},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"fault_latency\",\n  \"workload\": \"producer/consumer handoff of fresh objects under one lock, {} rounds, {SHARED_OBJECTS} objects/round\",\n  \"unit\": \"virtual cycles\",\n  \"suggested_measured_fault_delay\": {suggested},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        rounds(),
         rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fault_latency.json");

@@ -20,7 +20,14 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Critical-section entries per thread per measured run.
-const ENTRIES: u64 = 10_000;
+/// `KARD_BENCH_SMOKE` selects a short run with the same JSON shape.
+fn entries() -> u64 {
+    if std::env::var_os("KARD_BENCH_SMOKE").is_some() {
+        500
+    } else {
+        10_000
+    }
+}
 /// Objects written inside each critical section.
 const OBJECTS_PER_THREAD: usize = 4;
 
@@ -58,6 +65,7 @@ fn run(threads: usize) -> Sample {
         })
         .collect();
 
+    let entries = entries();
     let locks_before = kard.detector_lock_acquisitions();
     let start = Instant::now();
     std::thread::scope(|s| {
@@ -67,7 +75,7 @@ fn run(threads: usize) -> Sample {
             s.spawn(move || {
                 let lock = LockId(t.0 as u64);
                 let site = CodeSite(0x100 + t.0 as u64);
-                for n in 0..ENTRIES {
+                for n in 0..entries {
                     kard.lock_enter(t, lock, site);
                     let o = &objs[n as usize % OBJECTS_PER_THREAD];
                     kard.write(t, o.base.offset((n % 8) * 8), site);
@@ -79,7 +87,7 @@ fn run(threads: usize) -> Sample {
     let wall = start.elapsed().as_secs_f64();
     let locks = kard.detector_lock_acquisitions() - locks_before;
 
-    let total = ENTRIES * threads as u64;
+    let total = entries * threads as u64;
     Sample {
         threads,
         total_entries: total,
@@ -116,7 +124,8 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"scalability\",\n  \"workload\": \"section-heavy, per-thread private locks and objects, {ENTRIES} entries/thread, {OBJECTS_PER_THREAD} objects/thread\",\n  \"samples\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"scalability\",\n  \"workload\": \"section-heavy, per-thread private locks and objects, {} entries/thread, {OBJECTS_PER_THREAD} objects/thread\",\n  \"samples\": [\n{}\n  ]\n}}\n",
+        entries(),
         rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scalability.json");

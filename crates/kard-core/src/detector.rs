@@ -48,7 +48,12 @@
 //! 3. every other lock is a **leaf**: it is acquired, used, and released
 //!    without taking any other detector lock while held (the thread-slot
 //!    registry read-guard, held only long enough to clone a slot `Arc`,
-//!    nests nothing under itself).
+//!    nests nothing under itself);
+//! 4. the allocator's own synchronization nests strictly *under* the
+//!    detector's: `on_free` and `on_thread_exit` hold `fault_mutex` while
+//!    calling into the allocator, whose order is magazine engage check →
+//!    allocator shard locks → machine internals, and no allocator path
+//!    ever calls back into a detector lock.
 //!
 //! No path acquires the key table while holding the interleaver or the
 //! registry, and only `fault_mutex` is otherwise held across another
@@ -184,6 +189,16 @@ impl Kard {
     #[must_use]
     pub fn new(machine: Arc<Machine>, alloc: Arc<KardAlloc>, config: KardConfig) -> Kard {
         let layout = machine.key_layout();
+        // Declare `k_na` as the allocator's provision key: magazine refills
+        // then fold the Not-accessed tagging of a whole slab batch into one
+        // batched `pkey_mprotect`, and the sharded path pretags per object,
+        // so `on_alloc`/`on_global` can skip the detector's own per-object
+        // protect. Only possible while the allocator is fresh; over a
+        // pre-used allocator the detector falls back to per-object tagging.
+        let pre = alloc.stats();
+        if pre.allocations + pre.globals == 0 {
+            alloc.set_provision_key(layout.not_accessed);
+        }
         let counter = Arc::new(AtomicU64::new(0));
         let tracked = |c: &Arc<AtomicU64>| Arc::clone(c);
         let telemetry = Arc::clone(alloc.telemetry());
@@ -303,9 +318,11 @@ impl Kard {
     /// domain, protected by `k_na`.
     pub fn on_alloc(&self, t: ThreadId, size: u64) -> ObjectInfo {
         let info = self.alloc.alloc(t, size);
-        self.alloc
-            .protect(t, info.id, self.layout.not_accessed)
-            .expect("k_na is always valid");
+        if self.alloc.provision_key() != Some(self.layout.not_accessed) {
+            self.alloc
+                .protect(t, info.id, self.layout.not_accessed)
+                .expect("k_na is always valid");
+        }
         self.domain_shard(info.id)
             .lock()
             .insert(info.id, Domain::NotAccessed);
@@ -316,9 +333,11 @@ impl Kard {
     /// not consolidated (§6).
     pub fn on_global(&self, t: ThreadId, size: u64) -> ObjectInfo {
         let info = self.alloc.register_global(t, size);
-        self.alloc
-            .protect(t, info.id, self.layout.not_accessed)
-            .expect("k_na is always valid");
+        if self.alloc.provision_key() != Some(self.layout.not_accessed) {
+            self.alloc
+                .protect(t, info.id, self.layout.not_accessed)
+                .expect("k_na is always valid");
+        }
         self.domain_shard(info.id)
             .lock()
             .insert(info.id, Domain::NotAccessed);
@@ -352,6 +371,19 @@ impl Kard {
             debug_assert!(prev > 0, "armed counter underflow");
         }
         self.alloc.free(t, id);
+    }
+
+    /// Program-thread exit: flush the thread's allocation magazine —
+    /// drain and close its remote-free queue (late cross-thread frees
+    /// then route to the global pool instead of stranding slots), retire
+    /// its dirty pages, and return its cached slots to the pool.
+    ///
+    /// Takes the fault mutex: retirement unmaps pages, and a fault
+    /// handler mid-resolution must never observe a mapping disappear
+    /// underneath it.
+    pub fn on_thread_exit(&self, t: ThreadId) {
+        let _serial = self.fault_mutex.lock();
+        self.alloc.on_thread_exit(t);
     }
 
     /// Critical-section entry: called *after* the program's lock is

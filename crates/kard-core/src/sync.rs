@@ -1,102 +1,12 @@
 //! Acquisition-counting lock wrappers for the detector's sharded state.
 //!
-//! Kard's headline property is that an access which does not fault costs
-//! nothing: no instrumentation, no detector lock (§4, §7.2). To make that
-//! claim *testable* rather than aspirational, every lock inside the
-//! detector is wrapped so that acquisitions increment a shared counter.
-//! [`crate::Kard::detector_lock_acquisitions`] exposes the total, and
-//! `tests/no_lock_overhead.rs` asserts that the counter does not move
-//! across a batch of fault-free accesses.
-//!
-//! The wrappers are thin: one relaxed atomic increment per acquisition,
-//! delegating everything else to `parking_lot`.
+//! The wrappers themselves live in [`kard_telemetry::sync`] so that the
+//! allocator (which cannot depend on this crate) shares the same
+//! machinery; this module re-exports them under their historical path.
+//! See the telemetry module for the rationale: every shared lock inside
+//! the detector increments a counter exposed by
+//! [`crate::Kard::detector_lock_acquisitions`], which is what lets
+//! `tests/no_lock_overhead.rs` assert that fault-free accesses take no
+//! detector lock (§4, §7.2).
 
-use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
-/// A mutex that counts every acquisition into a shared counter.
-pub struct TrackedMutex<T> {
-    inner: Mutex<T>,
-    counter: Arc<AtomicU64>,
-}
-
-impl<T> TrackedMutex<T> {
-    /// A new mutex whose acquisitions increment `counter`.
-    pub fn new(value: T, counter: Arc<AtomicU64>) -> TrackedMutex<T> {
-        TrackedMutex {
-            inner: Mutex::new(value),
-            counter,
-        }
-    }
-
-    /// Acquire the lock, recording the acquisition.
-    pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.counter.fetch_add(1, Ordering::Relaxed);
-        self.inner.lock()
-    }
-}
-
-/// A reader-writer lock that counts every acquisition (read or write) into
-/// a shared counter.
-pub struct TrackedRwLock<T> {
-    inner: RwLock<T>,
-    counter: Arc<AtomicU64>,
-}
-
-impl<T> TrackedRwLock<T> {
-    /// A new rwlock whose acquisitions increment `counter`.
-    pub fn new(value: T, counter: Arc<AtomicU64>) -> TrackedRwLock<T> {
-        TrackedRwLock {
-            inner: RwLock::new(value),
-            counter,
-        }
-    }
-
-    /// Acquire a shared read guard, recording the acquisition.
-    pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.counter.fetch_add(1, Ordering::Relaxed);
-        self.inner.read()
-    }
-
-    /// Acquire an exclusive write guard, recording the acquisition.
-    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.counter.fetch_add(1, Ordering::Relaxed);
-        self.inner.write()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn mutex_counts_acquisitions() {
-        let counter = Arc::new(AtomicU64::new(0));
-        let m = TrackedMutex::new(0u32, Arc::clone(&counter));
-        *m.lock() += 1;
-        *m.lock() += 1;
-        assert_eq!(counter.load(Ordering::Relaxed), 2);
-        assert_eq!(*m.lock(), 2);
-    }
-
-    #[test]
-    fn rwlock_counts_reads_and_writes() {
-        let counter = Arc::new(AtomicU64::new(0));
-        let l = TrackedRwLock::new(5u32, Arc::clone(&counter));
-        assert_eq!(*l.read(), 5);
-        *l.write() = 7;
-        assert_eq!(*l.read(), 7);
-        assert_eq!(counter.load(Ordering::Relaxed), 3);
-    }
-
-    #[test]
-    fn locks_share_one_counter() {
-        let counter = Arc::new(AtomicU64::new(0));
-        let a = TrackedMutex::new((), Arc::clone(&counter));
-        let b = TrackedRwLock::new((), Arc::clone(&counter));
-        drop(a.lock());
-        drop(b.read());
-        assert_eq!(counter.load(Ordering::Relaxed), 2);
-    }
-}
+pub use kard_telemetry::sync::{TrackedMutex, TrackedRwLock};

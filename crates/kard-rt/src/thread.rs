@@ -72,6 +72,15 @@ impl SimThread {
     }
 }
 
+impl Drop for SimThread {
+    /// Thread exit (intercepted `pthread_exit`): flushes the thread's
+    /// allocation magazine so no cached slot or queued remote free is
+    /// stranded — the allocator's flush-on-exit guarantee.
+    fn drop(&mut self) {
+        self.kard.on_thread_exit(self.id);
+    }
+}
+
 impl fmt::Debug for SimThread {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SimThread").field("id", &self.id).finish()

@@ -48,8 +48,17 @@ pub struct CostModel {
     pub pkey_sync: CycleCount,
     /// An `mmap()` system call creating one shared mapping.
     pub mmap: CycleCount,
+    /// Marginal cost of each additional page folded into one grouped
+    /// `mmap` call (magazine refills provision a whole batch of slab
+    /// pages at once: syscall entry and VMA bookkeeping are paid once,
+    /// each extra page pays only its PTE install).
+    pub mmap_batch_extra: CycleCount,
     /// An `munmap()` system call.
     pub munmap: CycleCount,
+    /// Marginal cost of each additional page folded into one grouped
+    /// `munmap` call (magazine retirement unmaps dead slab pages in
+    /// batches; the TLB shootdown IPI is paid once for the group).
+    pub munmap_batch_extra: CycleCount,
     /// An `ftruncate()` call growing or shrinking the in-memory file.
     pub ftruncate: CycleCount,
     /// End-to-end #GP delivery + handler entry/exit (§5.5: 24,000 cycles).
@@ -92,7 +101,9 @@ impl CostModel {
             pkey_mprotect_batch_extra: 300,
             pkey_sync: 3_000,
             mmap: 2_500,
+            mmap_batch_extra: 400,
             munmap: 1_800,
+            munmap_batch_extra: 250,
             ftruncate: 1_500,
             fault_handling: 24_000,
             mem_access: 4,

@@ -286,6 +286,37 @@ impl Machine {
         Ok(())
     }
 
+    /// Grouped `mmap(MAP_SHARED)`: map several `(page, frame)` pairs
+    /// through one batched kernel call, the way a slab refill provisions a
+    /// whole magazine batch at once. The full syscall cost is charged once
+    /// plus a marginal per-extra-page cost
+    /// ([`crate::cost::CostModel::mmap_batch_extra`]), and the batch counts
+    /// as a single `mmap` syscall. A no-op for an empty batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any page is already mapped; earlier pages of a
+    /// failing batch stay mapped (as with a partially applied `mmap`).
+    pub fn map_pages_batch(
+        &self,
+        thread: ThreadId,
+        pairs: &[(VirtPage, PhysFrame)],
+    ) -> Result<(), MapError> {
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        self.counters.mmap.fetch_add(1, Ordering::Relaxed);
+        self.charge(
+            thread,
+            self.config.cost.mmap + self.config.cost.mmap_batch_extra * (pairs.len() as u64 - 1),
+        );
+        for &(page, frame) in pairs {
+            self.aspace.write().map(page, frame)?;
+            self.phys.lock().add_mapping(frame);
+        }
+        Ok(())
+    }
+
     /// `munmap`: unmap `page`, returning the frame it referenced.
     ///
     /// # Errors
@@ -298,6 +329,35 @@ impl Machine {
         self.phys.lock().remove_mapping(mapping.frame);
         self.invalidate_tlbs(page);
         Ok(mapping.frame)
+    }
+
+    /// Grouped `munmap`: unmap several pages through one batched kernel
+    /// call (magazine retirement returns dead slab pages in bulk). The
+    /// full syscall cost is charged once plus a marginal per-extra-page
+    /// cost ([`crate::cost::CostModel::munmap_batch_extra`]), and the
+    /// batch counts as a single `munmap` syscall. A no-op for an empty
+    /// batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any page is not mapped; earlier pages of a
+    /// failing batch stay unmapped.
+    pub fn unmap_pages_batch(&self, thread: ThreadId, pages: &[VirtPage]) -> Result<(), MapError> {
+        if pages.is_empty() {
+            return Ok(());
+        }
+        self.counters.munmap.fetch_add(1, Ordering::Relaxed);
+        self.charge(
+            thread,
+            self.config.cost.munmap
+                + self.config.cost.munmap_batch_extra * (pages.len() as u64 - 1),
+        );
+        for &page in pages {
+            let mapping = self.aspace.write().unmap(page)?;
+            self.phys.lock().remove_mapping(mapping.frame);
+            self.invalidate_tlbs(page);
+        }
+        Ok(())
     }
 
     /// Convenience for tests and examples: allocate a frame and map a fresh

@@ -79,7 +79,7 @@ pub use fault::{AccessKind, CodeSite, GpFault};
 pub use keys::{KeyLayout, ProtectionKey};
 pub use mem::{PhysFrame, VirtAddr, VirtPage, PAGE_SIZE};
 pub use native::{probe_mpk, MpkSupport};
-pub use page_table::{AddressSpace, MapError, Mapping, ProtectError};
+pub use page_table::{AddressSpace, MapError, Mapping, ProtectError, MMAP_BASE_PAGE};
 pub use phys::{MemStats, PhysMemory};
 pub use pkru::{Permission, Pkru};
 pub use tlb::{Tlb, TlbConfig, TlbStats};

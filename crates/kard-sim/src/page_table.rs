@@ -79,8 +79,10 @@ pub struct AddressSpace {
     peak_accessed_pages: u64,
 }
 
-/// Base of the simulated mmap region (arbitrary, heap-like).
-const MMAP_BASE_PAGE: VirtPage = VirtPage(0x0007_f000_0000 >> 2);
+/// Base of the simulated mmap region (arbitrary, heap-like). Public so
+/// that allocator-side indexes can key pages densely from this origin
+/// (reservations are a bump allocation starting here).
+pub const MMAP_BASE_PAGE: VirtPage = VirtPage(0x0007_f000_0000 >> 2);
 
 impl AddressSpace {
     /// An empty address space for hardware with `total_keys` keys.

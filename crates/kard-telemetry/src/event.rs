@@ -84,6 +84,10 @@ pub fn unpack_domains(b: u64) -> Option<(DomainCode, DomainCode)> {
 /// | `VKeyHit` | virtual key | hardware key |
 /// | `VKeyMiss` | virtual key | hardware key bound (fill or revival) |
 /// | `VKeyEvict` | evicted virtual key | objects demoted |
+/// | `AllocFastHit` | object id | rounded size in bytes |
+/// | `AllocSlabRefill` | rounded size in bytes | slots provisioned |
+/// | `RemoteFreePush` | object id | owning thread |
+/// | `RemoteFreeDrain` | slots drained | pages retired |
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u8)]
 #[allow(missing_docs)] // The table above is the per-variant documentation.
@@ -113,11 +117,15 @@ pub enum EventKind {
     VKeyHit = 22,
     VKeyMiss = 23,
     VKeyEvict = 24,
+    AllocFastHit = 25,
+    AllocSlabRefill = 26,
+    RemoteFreePush = 27,
+    RemoteFreeDrain = 28,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 25] = [
+    pub const ALL: [EventKind; 29] = [
         EventKind::SectionEnter,
         EventKind::SectionExit,
         EventKind::ObjectAlloc,
@@ -143,6 +151,10 @@ impl EventKind {
         EventKind::VKeyHit,
         EventKind::VKeyMiss,
         EventKind::VKeyEvict,
+        EventKind::AllocFastHit,
+        EventKind::AllocSlabRefill,
+        EventKind::RemoteFreePush,
+        EventKind::RemoteFreeDrain,
     ];
 
     /// Decode a raw discriminant, if valid.
@@ -180,6 +192,10 @@ impl EventKind {
             EventKind::VKeyHit => "vkey_hit",
             EventKind::VKeyMiss => "vkey_miss",
             EventKind::VKeyEvict => "vkey_evict",
+            EventKind::AllocFastHit => "alloc_fast_hit",
+            EventKind::AllocSlabRefill => "alloc_slab_refill",
+            EventKind::RemoteFreePush => "remote_free_push",
+            EventKind::RemoteFreeDrain => "remote_free_drain",
         }
     }
 }

@@ -26,10 +26,12 @@ pub mod event;
 pub mod export;
 pub mod hist;
 pub mod ring;
+pub mod sync;
 
 pub use event::{Event, EventKind};
 pub use hist::{HistogramSummary, LatencyHistogram};
 pub use ring::EventRing;
+pub use sync::{TrackedMutex, TrackedRwLock};
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -61,6 +63,12 @@ pub struct Histograms {
     /// oversubscribed; the tail above it measures how hard the eviction
     /// cache is working.
     pub key_pressure: LatencyHistogram,
+    /// Magazine occupancy: prepared slots remaining in the owning
+    /// thread's magazine class at each fast-path allocation. A
+    /// distribution hugging zero means refills are too small (every
+    /// allocation rides the refill slow path); mass in the upper buckets
+    /// means the batch size has adapted to the allocation rate.
+    pub magazine_occupancy: LatencyHistogram,
 }
 
 /// A drained batch of events plus how many were lost to ring overflow.

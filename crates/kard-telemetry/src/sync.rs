@@ -1,0 +1,109 @@
+//! Acquisition-counting lock wrappers shared by the detector and the
+//! allocator.
+//!
+//! Kard's headline property is that the hot paths cost nothing shared: an
+//! access that does not fault takes no detector lock (§4, §7.2), and an
+//! owning-thread allocation or free is served entirely from the thread's
+//! magazine. To make those claims *testable* rather than aspirational,
+//! every shared lock inside the detector and the allocator is wrapped so
+//! that acquisitions increment a shared counter.
+//! `Kard::detector_lock_acquisitions` and
+//! `KardAlloc::alloc_lock_acquisitions` expose the totals, and
+//! `tests/no_lock_overhead.rs` asserts that the counters do not move
+//! across a batch of fault-free accesses (detector) or a steady-state
+//! churn of owning-thread alloc/free pairs (allocator).
+//!
+//! The wrappers are thin: one relaxed atomic increment per acquisition,
+//! delegating everything else to `parking_lot`. They live here — in the
+//! leaf telemetry crate — so that both `kard-core` and `kard-alloc` can
+//! use them without a dependency cycle.
+
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A mutex that counts every acquisition into a shared counter.
+pub struct TrackedMutex<T> {
+    inner: Mutex<T>,
+    counter: Arc<AtomicU64>,
+}
+
+impl<T> TrackedMutex<T> {
+    /// A new mutex whose acquisitions increment `counter`.
+    pub fn new(value: T, counter: Arc<AtomicU64>) -> TrackedMutex<T> {
+        TrackedMutex {
+            inner: Mutex::new(value),
+            counter,
+        }
+    }
+
+    /// Acquire the lock, recording the acquisition.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.counter.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock()
+    }
+}
+
+/// A reader-writer lock that counts every acquisition (read or write) into
+/// a shared counter.
+pub struct TrackedRwLock<T> {
+    inner: RwLock<T>,
+    counter: Arc<AtomicU64>,
+}
+
+impl<T> TrackedRwLock<T> {
+    /// A new rwlock whose acquisitions increment `counter`.
+    pub fn new(value: T, counter: Arc<AtomicU64>) -> TrackedRwLock<T> {
+        TrackedRwLock {
+            inner: RwLock::new(value),
+            counter,
+        }
+    }
+
+    /// Acquire a shared read guard, recording the acquisition.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.counter.fetch_add(1, Ordering::Relaxed);
+        self.inner.read()
+    }
+
+    /// Acquire an exclusive write guard, recording the acquisition.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.counter.fetch_add(1, Ordering::Relaxed);
+        self.inner.write()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_counts_acquisitions() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let m = TrackedMutex::new(0u32, Arc::clone(&counter));
+        *m.lock() += 1;
+        *m.lock() += 1;
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+        assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn rwlock_counts_reads_and_writes() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let l = TrackedRwLock::new(5u32, Arc::clone(&counter));
+        assert_eq!(*l.read(), 5);
+        *l.write() = 7;
+        assert_eq!(*l.read(), 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn locks_share_one_counter() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let a = TrackedMutex::new((), Arc::clone(&counter));
+        let b = TrackedRwLock::new((), Arc::clone(&counter));
+        drop(a.lock());
+        drop(b.read());
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+}

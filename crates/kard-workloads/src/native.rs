@@ -201,11 +201,13 @@ pub struct AllocOnlyExecutor {
 }
 
 impl AllocOnlyExecutor {
-    /// A fresh machine with Kard's allocator mounted.
+    /// A fresh machine with Kard's allocator mounted. Pins the sharded
+    /// (demand-exact) path: the paper's "Alloc" configuration charges one
+    /// `mmap` per allocation, which the magazine path batches away.
     #[must_use]
     pub fn new() -> AllocOnlyExecutor {
         let machine = Arc::new(Machine::new(MachineConfig::default()));
-        let alloc = Arc::new(KardAlloc::new(Arc::clone(&machine)));
+        let alloc = Arc::new(KardAlloc::sharded(Arc::clone(&machine)));
         AllocOnlyExecutor {
             machine,
             alloc,

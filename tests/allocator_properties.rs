@@ -1,9 +1,16 @@
 //! Property-based tests for the consolidated unique-page allocator
 //! (Figure 2): arbitrary allocate/free sequences preserve the invariants
 //! every other component relies on.
+//!
+//! Exact physical-usage counts (one mapping per allocation, file bytes
+//! equal to demand) are properties of the *sharded* slow path, so those
+//! tests pin [`KardAlloc::sharded`]. The magazine fast path provisions
+//! slots in batches ahead of demand; its tests assert the batch-aware
+//! bounds instead, plus the cross-thread ownership protocol (remote
+//! frees, refill drains, flush-on-exit).
 
-use kard::alloc::{KardAlloc, ObjectId, ALLOC_GRANULE};
-use kard::sim::{Machine, MachineConfig, PAGE_SIZE};
+use kard::alloc::{AllocConfig, KardAlloc, ObjectId, ALLOC_GRANULE};
+use kard::sim::{Machine, MachineConfig, ThreadId, PAGE_SIZE};
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -32,7 +39,7 @@ proptest! {
     fn allocator_invariants_hold(actions in prop::collection::vec(action_strategy(), 1..80)) {
         let machine = Arc::new(Machine::new(MachineConfig::default()));
         let t = machine.register_thread();
-        let alloc = KardAlloc::new(Arc::clone(&machine));
+        let alloc = KardAlloc::sharded(Arc::clone(&machine));
 
         let mut live_heap: Vec<ObjectId> = Vec::new();
         // The in-memory file never shrinks (consolidation slots are reused,
@@ -101,7 +108,7 @@ proptest! {
     fn small_object_physical_usage_is_consolidated(count in 1u64..400) {
         let machine = Arc::new(Machine::new(MachineConfig::default()));
         let t = machine.register_thread();
-        let alloc = KardAlloc::new(Arc::clone(&machine));
+        let alloc = KardAlloc::sharded(Arc::clone(&machine));
         for _ in 0..count {
             let _ = alloc.alloc(t, 32);
         }
@@ -111,10 +118,33 @@ proptest! {
     }
 
     #[test]
-    fn churn_does_not_grow_physical_file(rounds in 1u64..60, size in 1u64..100) {
+    fn magazine_overprovisioning_is_bounded(count in 1u64..400) {
+        // The magazine path provisions slots in adaptive batches, so it may
+        // run ahead of demand — but never by more than one maximum batch
+        // per size class, and physical frames stay consolidated.
         let machine = Arc::new(Machine::new(MachineConfig::default()));
         let t = machine.register_thread();
         let alloc = KardAlloc::new(Arc::clone(&machine));
+        let slack = AllocConfig::default().max_batch as u64;
+        for _ in 0..count {
+            let _ = alloc.alloc(t, 32);
+        }
+        let mapped = machine.mapped_pages() as u64;
+        prop_assert!(mapped >= count, "every live object has its own page");
+        prop_assert!(
+            mapped < count + slack,
+            "provisioning overshoot {} exceeds one max batch",
+            mapped - count
+        );
+        let frame_bound = (count + slack).div_ceil(PAGE_SIZE / 32) * PAGE_SIZE;
+        prop_assert!(machine.mem_stats().file_bytes <= frame_bound);
+    }
+
+    #[test]
+    fn churn_does_not_grow_physical_file(rounds in 1u64..60, size in 1u64..100) {
+        let machine = Arc::new(Machine::new(MachineConfig::default()));
+        let t = machine.register_thread();
+        let alloc = KardAlloc::sharded(Arc::clone(&machine));
         // One warm-up allocation fixes the file size for this class.
         let first = alloc.alloc(t, size);
         alloc.free(t, first.id);
@@ -127,6 +157,112 @@ proptest! {
             machine.mem_stats().file_bytes,
             baseline,
             "slot reuse must keep the file size flat"
+        );
+    }
+}
+
+/// One step of a multi-thread magazine schedule. Frees name the freeing
+/// thread independently of the object's owner, so arbitrary interleavings
+/// of owner frees, remote frees, refill drains, and thread exits arise.
+#[derive(Clone, Debug)]
+enum MagAction {
+    Alloc { thread: usize, size: u64 },
+    Free { thread: usize, nth: usize },
+    Exit { thread: usize },
+}
+
+fn mag_action_strategy(threads: usize) -> impl Strategy<Value = MagAction> {
+    prop_oneof![
+        5 => (0..threads, 1u64..300).prop_map(|(thread, size)| MagAction::Alloc { thread, size }),
+        1 => (0..threads, 4096u64..12_000)
+            .prop_map(|(thread, size)| MagAction::Alloc { thread, size }),
+        4 => (0..threads, any::<usize>()).prop_map(|(thread, nth)| MagAction::Free { thread, nth }),
+        1 => (0..threads).prop_map(|thread| MagAction::Exit { thread }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The ownership protocol under arbitrary interleavings of
+    /// owner-alloc, owner-free, remote-free, refill drains, and thread
+    /// exit: the live set always matches a reference model exactly (no
+    /// slot double-assignment, no lost object), every live object stays
+    /// resolvable, and after freeing everything and exiting every thread
+    /// nothing remains mapped — no slot is stranded on a dead thread's
+    /// queue.
+    #[test]
+    fn magazine_ownership_protocol_holds(
+        actions in prop::collection::vec(mag_action_strategy(4), 1..120)
+    ) {
+        const THREADS: usize = 4;
+        let machine = Arc::new(Machine::new(MachineConfig::default()));
+        let threads: Vec<ThreadId> = (0..THREADS).map(|_| machine.register_thread()).collect();
+        let alloc = KardAlloc::new(Arc::clone(&machine));
+
+        let mut model: HashMap<ObjectId, u64> = HashMap::new();
+        let mut order: Vec<ObjectId> = Vec::new();
+        let mut exited = [false; THREADS];
+
+        for action in actions {
+            match action {
+                MagAction::Alloc { thread, size } => {
+                    if exited[thread] {
+                        continue; // an exited thread allocates nothing
+                    }
+                    let info = alloc.alloc(threads[thread], size);
+                    prop_assert!(
+                        model.insert(info.id, info.rounded_size).is_none(),
+                        "object id handed out twice"
+                    );
+                    order.push(info.id);
+                }
+                MagAction::Free { thread, nth } => {
+                    if order.is_empty() {
+                        continue;
+                    }
+                    // Frees are legal from any thread, exited or not:
+                    // remote frees to a closed queue fall back to the pool.
+                    let id = order.remove(nth % order.len());
+                    alloc.free(threads[thread], id);
+                    model.remove(&id);
+                }
+                MagAction::Exit { thread } => {
+                    alloc.on_thread_exit(threads[thread]);
+                    exited[thread] = true;
+                }
+            }
+
+            // The live set matches the model exactly: no leak, no loss.
+            let live = alloc.live_objects();
+            prop_assert_eq!(live.len(), model.len());
+            let mut pages = HashMap::new();
+            for o in &live {
+                prop_assert_eq!(model.get(&o.id).copied(), Some(o.rounded_size));
+                prop_assert_eq!(alloc.object_at(o.base).map(|i| i.id), Some(o.id));
+                for i in 0..o.page_count {
+                    prop_assert_eq!(
+                        pages.insert(o.first_page.add(i), o.id),
+                        None,
+                        "virtual page shared between live objects"
+                    );
+                }
+            }
+        }
+
+        // Drain: free every survivor from one thread (exercising remote
+        // frees into possibly-closed queues), then exit everyone.
+        for id in order {
+            alloc.free(threads[0], id);
+        }
+        for t in &threads {
+            alloc.on_thread_exit(*t);
+        }
+        prop_assert!(alloc.live_objects().is_empty());
+        prop_assert_eq!(
+            machine.mapped_pages(),
+            0,
+            "flush-on-exit must strand no slot or page"
         );
     }
 }

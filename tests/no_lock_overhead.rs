@@ -81,10 +81,20 @@ fn lock_free_workload_has_no_detection_overhead() {
     assert!(kard.reports().is_empty());
 
     // Kard's only additions over Alloc: one WRPKRU per registered thread
-    // (the baseline PKRU policy) and one pkey_mprotect per allocation
-    // (the k_na tagging). Both are fixed, not per-operation.
+    // (the baseline PKRU policy) and the k_na tagging, which the magazine
+    // allocator folds into one batched pkey_mprotect per slab refill —
+    // strictly fewer syscalls than one per allocation, and still fixed,
+    // not per-operation.
     assert_eq!(kard_counters.wrpkru as usize, trace.thread_count());
-    assert_eq!(kard_counters.pkey_mprotect, 16);
+    assert_eq!(
+        kard_counters.pkey_mprotect,
+        session.alloc().stats().slab_refills,
+        "k_na tagging is one batched mprotect per slab refill"
+    );
+    assert!(
+        kard_counters.pkey_mprotect < 16,
+        "batched provisioning must tag 16 objects in fewer than 16 syscalls"
+    );
 
     let kard_cycles = session.machine().now();
     let alloc_cycles = alloc_only.machine().now();
@@ -193,6 +203,37 @@ fn enabled_telemetry_keeps_fault_free_path_lock_free() {
         session.kard().detector_lock_acquisitions(),
         after,
         "the collector may take only telemetry locks"
+    );
+}
+
+/// The allocator's structural guarantee, checked through the full
+/// detector API: steady-state owning-thread allocation and free run
+/// entirely inside the thread's magazine — **zero** acquisitions of any
+/// allocator `TrackedMutex`/`TrackedRwLock`. (Warm-up may lock: the
+/// magazine grows its adaptive batch and raw cache first.)
+#[test]
+fn owning_thread_alloc_free_takes_no_allocator_locks() {
+    let session = Session::new();
+    let kard = session.kard().clone();
+    let t = kard.register_thread();
+
+    // Warm up to steady state: grow the refill batch to its maximum and
+    // fill the raw slot cache, then churn a resident working set.
+    let mut live: Vec<_> = (0..256).map(|_| kard.on_alloc(t, 64).id).collect();
+    for _ in 0..256 {
+        kard.on_free(t, live.pop().unwrap());
+        live.push(kard.on_alloc(t, 64).id);
+    }
+
+    let before = session.alloc().alloc_lock_acquisitions();
+    for _ in 0..1000 {
+        kard.on_free(t, live.pop().unwrap());
+        live.push(kard.on_alloc(t, 64).id);
+    }
+    assert_eq!(
+        session.alloc().alloc_lock_acquisitions() - before,
+        0,
+        "steady-state owning-thread alloc/free must take zero shared allocator locks"
     );
 }
 
