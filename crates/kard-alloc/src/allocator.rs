@@ -37,11 +37,12 @@
 //!
 //! # Lock ordering
 //!
-//! `fault_mutex` (detector) → magazine engage → allocator shard locks
-//! (free-slot pool, open frame, sharded maps) → machine internals. Every
-//! allocator lock is a leaf with respect to the others; the magazine
-//! engage flag is not a lock (concurrent entry panics rather than
-//! blocks) but sits above the shard locks because refills run engaged.
+//! Fault shards (detector, the faulted object's shard — all shards for
+//! thread exit) → magazine engage → allocator shard locks (free-slot
+//! pool, open frame, sharded maps) → machine internals. Every allocator
+//! lock is a leaf with respect to the others; the magazine engage flag
+//! is not a lock (concurrent entry panics rather than blocks) but sits
+//! above the shard locks because refills run engaged.
 
 use crate::magazine::{class_of, class_size, MagInner, Magazine, PreparedSlot};
 use crate::metadata::{ObjectId, ObjectInfo, ObjectKind};
@@ -94,7 +95,7 @@ impl Default for AllocConfig {
 }
 
 /// Allocator statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct AllocStats {
     /// Total allocations performed (heap only).
     pub allocations: u64,

@@ -86,7 +86,7 @@ fn bench_interleaving(c: &mut Criterion) {
                     ..KardConfig::default()
                 };
                 b.iter(|| {
-                    let session = Session::with_config(MachineConfig::default(), config);
+                    let session = Session::builder().config(config).build();
                     let mut exec = KardExecutor::new(session.kard().clone());
                     replay(&trace, &mut exec);
                     exec.reports().len()

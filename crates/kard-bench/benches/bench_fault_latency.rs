@@ -15,6 +15,15 @@
 //! `KardConfig::measured_fault_delay` so the §5.5 timestamp filter uses a
 //! measured threshold instead of the cost-model constant.
 //!
+//! A second section measures the **disjoint fault storm**: real OS
+//! threads faulting on unrelated objects at 1/2/4/8 threads, once with
+//! the sharded fault path and once with the `serial_fault_path` ablation
+//! (every entry locks all shards — the old global fault mutex). The
+//! p50/p95/p99 of the faulting write on the thread's own virtual clock —
+//! including the §5.5 shard-queueing charge — is the latency a thread
+//! observes; the serial/sharded p95 ratio at 8 threads is the headline
+//! scalability number.
+//!
 //! Run with `cargo bench -p kard-bench --bench bench_fault_latency`.
 
 use kard_alloc::KardAlloc;
@@ -97,6 +106,85 @@ fn summary_json(s: &HistogramSummary) -> String {
     serde_json::to_string(s).expect("serialize histogram summary")
 }
 
+/// One disjoint-fault-storm measurement: `threads` logical threads, each
+/// faulting every round on its *own* object inside its *own* critical
+/// section (proactive acquisition off, so every section entry reacquires
+/// the key through a reactive-acquisition fault). Threads are driven
+/// round-robin, so their per-thread virtual clocks advance in lockstep —
+/// every round, `threads` handler intervals overlap in virtual time, the
+/// overlap a real multicore would produce. Under the serial ablation
+/// each handler queues behind every overlapping one (§5.5 virtual-clock
+/// serialization charge); with the sharded fault path the objects live in
+/// distinct shards and nothing queues. Latency is the faulting write's
+/// cost on the thread's own clock, including that queueing.
+struct StormSample {
+    threads: usize,
+    mode: &'static str,
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    faults: u64,
+    queued_cycles: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx]
+}
+
+fn storm(threads: usize, serial: bool) -> StormSample {
+    let machine = Arc::new(Machine::new(MachineConfig::default()));
+    let alloc = Arc::new(KardAlloc::new(Arc::clone(&machine)));
+    let kard = Arc::new(Kard::new(
+        machine,
+        alloc,
+        KardConfig::default()
+            .proactive_acquisition(false)
+            .serial_fault_path(serial),
+    ));
+    let tids: Vec<_> = (0..threads).map(|_| kard.register_thread()).collect();
+    // One private object and lock per thread; consecutive object ids land
+    // in distinct fault shards for any thread count up to the shard count.
+    let objects: Vec<_> = (0..threads).map(|k| kard.on_alloc(tids[k], 64)).collect();
+
+    let round = |k: usize| {
+        let t = tids[k];
+        let site = CodeSite(0x4000 + k as u64);
+        kard.lock_enter(t, LockId(500 + k as u64), site);
+        let before = kard.machine().thread_cycles(t);
+        kard.write(t, objects[k].base, site); // reacquisition fault
+        let latency = kard.machine().thread_cycles(t) - before;
+        kard.lock_exit(t, LockId(500 + k as u64));
+        latency
+    };
+
+    // Warm-up round: identification faults. Steady-state rounds then all
+    // take the same reactive-reacquisition fault on the same shard.
+    for k in 0..threads {
+        round(k);
+    }
+    let mut latencies = Vec::with_capacity(threads * rounds() as usize);
+    for _ in 0..rounds() {
+        for k in 0..threads {
+            latencies.push(round(k));
+        }
+    }
+    latencies.sort_unstable();
+
+    StormSample {
+        threads,
+        mode: if serial { "serial" } else { "sharded" },
+        p50: percentile(&latencies, 50.0),
+        p95: percentile(&latencies, 95.0),
+        p99: percentile(&latencies, 99.0),
+        faults: kard.stats().reactive_acquisitions,
+        queued_cycles: kard.fault_shard_stats().queued_cycles,
+    }
+}
+
 fn main() {
     let mut samples = Vec::new();
     for threads in [2usize, 4, 8] {
@@ -112,6 +200,37 @@ fn main() {
     // handling delay is the paper's "measured fault-handling delay".
     let suggested = samples.last().map_or(0, |s| s.fault_delay.p50);
 
+    // Disjoint fault storm: serial ablation vs sharded, 1..8 OS threads.
+    let mut storms = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        for serial in [true, false] {
+            let s = storm(threads, serial);
+            println!(
+                "storm {:>2} threads {:>7}: {:>7} faults, p50={} p95={} p99={} cycles (queued {} cycles total)",
+                s.threads, s.mode, s.faults, s.p50, s.p95, s.p99, s.queued_cycles
+            );
+            storms.push(s);
+        }
+    }
+    let p95_of = |threads: usize, mode: &str| {
+        storms
+            .iter()
+            .find(|s| s.threads == threads && s.mode == mode)
+            .map_or(0, |s| s.p95)
+    };
+    let speedup = p95_of(8, "serial") as f64 / p95_of(8, "sharded").max(1) as f64;
+    println!("storm p95 speedup at 8 threads (serial/sharded): {speedup:.2}x");
+
+    let storm_rows: Vec<String> = storms
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"threads\": {}, \"mode\": \"{}\", \"faults\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"queued_cycles\": {}}}",
+                s.threads, s.mode, s.faults, s.p50, s.p95, s.p99, s.queued_cycles
+            )
+        })
+        .collect();
+
     let rows: Vec<String> = samples
         .iter()
         .map(|s| {
@@ -125,9 +244,11 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"fault_latency\",\n  \"workload\": \"producer/consumer handoff of fresh objects under one lock, {} rounds, {SHARED_OBJECTS} objects/round\",\n  \"unit\": \"virtual cycles\",\n  \"suggested_measured_fault_delay\": {suggested},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"fault_latency\",\n  \"workload\": \"producer/consumer handoff of fresh objects under one lock, {} rounds, {SHARED_OBJECTS} objects/round\",\n  \"unit\": \"virtual cycles\",\n  \"suggested_measured_fault_delay\": {suggested},\n  \"samples\": [\n{}\n  ],\n  \"storm_workload\": \"disjoint fault storm: per-thread private objects and locks, one reactive-reacquisition fault per round, {} rounds/thread, per-thread virtual cycles incl. shard queueing\",\n  \"storm_p95_speedup_8t\": {speedup:.2},\n  \"storm\": [\n{}\n  ]\n}}\n",
         rounds(),
-        rows.join(",\n")
+        rows.join(",\n"),
+        rounds(),
+        storm_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fault_latency.json");
     std::fs::write(path, json).expect("write BENCH_fault_latency.json");

@@ -201,7 +201,7 @@ pub fn ablation(scale: f64) -> Vec<AblationRow> {
             key_layout: KeyLayout::with_total_keys(total_keys),
             ..MachineConfig::default()
         };
-        let session = Session::with_config(mc, KardConfig::default());
+        let session = Session::builder().machine(mc).build();
         let mut exec = KardExecutor::new(session.kard().clone());
         replay(&model.program.trace_seeded(5), &mut exec);
         let stats = exec.stats();
@@ -222,7 +222,7 @@ pub fn ablation(scale: f64) -> Vec<AblationRow> {
             exhaustion: policy,
             ..KardConfig::default()
         };
-        let session = Session::with_config(MachineConfig::default(), config);
+        let session = Session::builder().config(config).build();
         let mut exec = KardExecutor::new(session.kard().clone());
         replay(&model.program.trace_seeded(5), &mut exec);
         let stats = exec.stats();
@@ -268,7 +268,7 @@ pub fn ablation(scale: f64) -> Vec<AblationRow> {
             protection_interleaving: interleaving,
             ..KardConfig::default()
         };
-        let session = Session::with_config(MachineConfig::default(), config);
+        let session = Session::builder().config(config).build();
         let kard = session.kard().clone();
         let t1 = kard.register_thread();
         let t2 = kard.register_thread();

@@ -373,7 +373,7 @@ pub fn table4() -> Vec<Table4Row> {
             protection_interleaving: interleaving,
             ..KardConfig::default()
         };
-        let session = Session::with_config(MachineConfig::default(), config);
+        let session = Session::builder().config(config).build();
         let kard = session.kard().clone();
         let t1 = kard.register_thread();
         let t2 = kard.register_thread();
@@ -399,7 +399,7 @@ pub fn table4() -> Vec<Table4Row> {
             protection_interleaving: interleaving,
             ..KardConfig::default()
         };
-        let session = Session::with_config(MachineConfig::default(), config);
+        let session = Session::builder().config(config).build();
         let kard = session.kard().clone();
         let t1 = kard.register_thread();
         let t2 = kard.register_thread();
@@ -430,7 +430,7 @@ pub fn table4() -> Vec<Table4Row> {
             key_layout: KeyLayout::with_total_keys(total_keys),
             ..MachineConfig::default()
         };
-        let session = Session::with_config(mc, KardConfig::default());
+        let session = Session::builder().machine(mc).build();
         let kard = session.kard().clone();
         let t1 = kard.register_thread();
         let t2 = kard.register_thread();

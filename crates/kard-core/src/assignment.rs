@@ -64,6 +64,13 @@ impl Assignment {
 /// `k` is executing a section known to access the object — the §5.4 sharing
 /// heuristic. The function mutates the table only for the recycling case
 /// (draining the recycled key's objects).
+///
+/// `claim_objects` is the fault-shard claiming hook for rule 3a: a
+/// recycling candidate is committed only once the shards of the objects
+/// it would demote are claimed, so a demotion can never interleave with a
+/// fault in flight on one of them. Refused candidates fall through to the
+/// next; if none is claimable, rule 3b sharing takes over. An
+/// always-accepting closure reproduces the serial detector exactly.
 pub fn choose_key(
     table: &mut KeyTable,
     thread: ThreadId,
@@ -71,6 +78,7 @@ pub fn choose_key(
     policy: ExhaustionPolicy,
     held_keys: &[(ProtectionKey, Perm)],
     holder_sections_access_object: impl Fn(ProtectionKey) -> bool,
+    mut claim_objects: impl FnMut(&[ObjectId]) -> bool,
 ) -> Assignment {
     // Rule 1: reuse a key the faulting thread holds. For a write need the
     // key must be write-held (or upgradeable, i.e. no other holder) so the
@@ -88,11 +96,14 @@ pub fn choose_key(
         return Assignment::FreshKey(key);
     }
 
-    // Rule 3a: recycle an assigned-but-unheld key.
+    // Rule 3a: recycle an assigned-but-unheld key — the first candidate
+    // whose objects' fault shards can be claimed.
     if policy == ExhaustionPolicy::RecycleThenShare {
-        if let Some(key) = table.unheld_assigned_key() {
-            let evicted = table.take_objects(key);
-            return Assignment::Recycled { key, evicted };
+        for key in table.unheld_assigned_keys() {
+            if claim_objects(&table.objects_of(key)) {
+                let evicted = table.take_objects(key);
+                return Assignment::Recycled { key, evicted };
+            }
         }
     }
 
@@ -207,9 +218,15 @@ impl VAssignment {
 
 /// Find a hardware key for a group that needs one: a free key if the pool
 /// has one (evicting a stale empty resident binding for free), otherwise
-/// evict the deterministic victim. Returns `None` only in the unreachable
-/// all-held-and-unbound state.
-fn claim_hardware_key(vkeys: &mut VKeyTable, table: &mut KeyTable) -> Option<(ProtectionKey, Option<Eviction>)> {
+/// evict the deterministic victim whose members' fault shards
+/// `claim_objects` can claim. Returns `None` only in the unreachable
+/// all-held-and-unbound state (or, transiently, when every candidate
+/// victim has a fault in flight — the caller falls through to sharing).
+fn claim_hardware_key(
+    vkeys: &mut VKeyTable,
+    table: &mut KeyTable,
+    claim_objects: &mut impl FnMut(&[ObjectId]) -> bool,
+) -> Option<(ProtectionKey, Option<Eviction>)> {
     if let Some(key) = table.unassigned_key() {
         // An emptied group can linger bound to an object-free, holder-free
         // key; reclaim the binding silently — there is nothing to demote
@@ -219,7 +236,7 @@ fn claim_hardware_key(vkeys: &mut VKeyTable, table: &mut KeyTable) -> Option<(Pr
         }
         return Some((key, None));
     }
-    let victim = vkeys.victim(|k| table.state(k).holders.len())?;
+    let victim = vkeys.victim(|k| table.state(k).holders.len(), &mut *claim_objects)?;
     let key = vkeys.binding(victim).expect("victims are resident");
     let mut stripped: Vec<LogicalHolder> = table
         .state(key)
@@ -251,6 +268,10 @@ fn claim_hardware_key(vkeys: &mut VKeyTable, table: &mut KeyTable) -> Option<(Pr
 /// or share. Updates both tables' bindings and membership; the detector
 /// applies the side effects (migrations, grouped `pkey_mprotect`, holder
 /// strips, PKRU updates) and bumps the telemetry counters.
+///
+/// `claim_objects` plays the same role as in [`choose_key`]: an eviction
+/// victim is committed only once its members' fault shards are claimed.
+#[allow(clippy::too_many_arguments)] // a policy decision needs the full fault context
 pub fn choose_virtual(
     vkeys: &mut VKeyTable,
     table: &mut KeyTable,
@@ -259,6 +280,7 @@ pub fn choose_virtual(
     perm: Perm,
     prefer_fresh: bool,
     held_keys: &[(ProtectionKey, Perm)],
+    mut claim_objects: impl FnMut(&[ObjectId]) -> bool,
 ) -> VAssignment {
     // The object may already belong to a group: resident means pure
     // translation, evicted means revival.
@@ -267,7 +289,7 @@ pub fn choose_virtual(
             vkeys.touch(vkey);
             return VAssignment::Hit { vkey, key };
         }
-        if let Some((key, evicted)) = claim_hardware_key(vkeys, table) {
+        if let Some((key, evicted)) = claim_hardware_key(vkeys, table, &mut claim_objects) {
             let logical = vkeys.drain_logical(vkey);
             vkeys.bind(vkey, key);
             return VAssignment::Revive {
@@ -294,7 +316,7 @@ pub fn choose_virtual(
                 }
             }
         }
-        if let Some((key, evicted)) = claim_hardware_key(vkeys, table) {
+        if let Some((key, evicted)) = claim_hardware_key(vkeys, table, &mut claim_objects) {
             let vkey = vkeys.create();
             vkeys.bind(vkey, key);
             vkeys.add_member(vkey, object);
@@ -340,6 +362,7 @@ mod tests {
             ExhaustionPolicy::RecycleThenShare,
             &[(ProtectionKey(4), Perm::Write)],
             NO_CONFLICT,
+            |_| true,
         );
         assert_eq!(a, Assignment::HeldKey(ProtectionKey(4)));
     }
@@ -357,6 +380,7 @@ mod tests {
             ExhaustionPolicy::RecycleThenShare,
             &[(ProtectionKey(4), Perm::Read)],
             NO_CONFLICT,
+            |_| true,
         );
         assert_eq!(a, Assignment::FreshKey(ProtectionKey(1)));
     }
@@ -372,6 +396,7 @@ mod tests {
             ExhaustionPolicy::RecycleThenShare,
             &[(ProtectionKey(4), Perm::Read)],
             NO_CONFLICT,
+            |_| true,
         );
         assert_eq!(a, Assignment::HeldKey(ProtectionKey(4)), "upgradeable");
     }
@@ -387,6 +412,7 @@ mod tests {
             ExhaustionPolicy::RecycleThenShare,
             &[],
             NO_CONFLICT,
+            |_| true,
         );
         assert_eq!(a, Assignment::FreshKey(ProtectionKey(2)));
     }
@@ -414,6 +440,7 @@ mod tests {
             ExhaustionPolicy::RecycleThenShare,
             &[],
             NO_CONFLICT,
+            |_| true,
         );
         assert_eq!(
             a,
@@ -441,6 +468,7 @@ mod tests {
             ExhaustionPolicy::RecycleThenShare,
             &[],
             conflict,
+            |_| true,
         );
         assert_eq!(a, Assignment::Shared(ProtectionKey(3)));
     }
@@ -460,6 +488,7 @@ mod tests {
             ExhaustionPolicy::RecycleThenShare,
             &[],
             |_| true,
+            |_| true,
         );
         // Every key conflicts; pick the least-contended (k2, since k1 has
         // two holders and the rest tie at one, ordered by index).
@@ -478,6 +507,7 @@ mod tests {
             ExhaustionPolicy::ShareOnly,
             &[],
             NO_CONFLICT,
+            |_| true,
         );
         // ...but ShareOnly shares anyway (ablation mode).
         assert!(matches!(a, Assignment::Shared(_)));
@@ -488,7 +518,7 @@ mod tests {
         let mut t = table();
         let mut v = VKeyTable::new(crate::vkey::KeyCachePolicy::Lru);
         // Seed a resident group on k1 via a fill.
-        let a = choose_virtual(&mut v, &mut t, ThreadId(0), ObjectId(0), Perm::Write, false, &[]);
+        let a = choose_virtual(&mut v, &mut t, ThreadId(0), ObjectId(0), Perm::Write, false, &[], |_| true);
         let (vkey, key) = match a {
             VAssignment::Fill { vkey, key, evicted: None } => (vkey, key),
             other => panic!("expected a fill, got {other:?}"),
@@ -505,6 +535,7 @@ mod tests {
             Perm::Write,
             false,
             &[(key, Perm::Write)],
+            |_| true,
         );
         assert_eq!(b, VAssignment::Join { vkey, key });
         assert_eq!(v.vkey_of(ObjectId(1)), Some(vkey));
@@ -514,8 +545,8 @@ mod tests {
     fn virtual_refault_on_resident_group_is_a_pure_hit() {
         let mut t = table();
         let mut v = VKeyTable::new(crate::vkey::KeyCachePolicy::Lru);
-        let a = choose_virtual(&mut v, &mut t, ThreadId(0), ObjectId(0), Perm::Write, false, &[]);
-        let b = choose_virtual(&mut v, &mut t, ThreadId(1), ObjectId(0), Perm::Write, false, &[]);
+        let a = choose_virtual(&mut v, &mut t, ThreadId(0), ObjectId(0), Perm::Write, false, &[], |_| true);
+        let b = choose_virtual(&mut v, &mut t, ThreadId(1), ObjectId(0), Perm::Write, false, &[], |_| true);
         assert_eq!(
             b,
             VAssignment::Hit {
@@ -532,13 +563,13 @@ mod tests {
         // Fill all 13 cache slots with one-object groups.
         let mut vkeys = Vec::new();
         for i in 0..13u64 {
-            let a = choose_virtual(&mut v, &mut t, ThreadId(0), ObjectId(i), Perm::Write, true, &[]);
+            let a = choose_virtual(&mut v, &mut t, ThreadId(0), ObjectId(i), Perm::Write, true, &[], |_| true);
             t.assign_object(a.key(), ObjectId(i));
             vkeys.push(a.vkey());
         }
         // Group 14: no free key, no holders anywhere — evict the LRU
         // victim (the first-filled group) without synchronization.
-        let a = choose_virtual(&mut v, &mut t, ThreadId(1), ObjectId(13), Perm::Write, true, &[]);
+        let a = choose_virtual(&mut v, &mut t, ThreadId(1), ObjectId(13), Perm::Write, true, &[], |_| true);
         match &a {
             VAssignment::Fill { key, evicted: Some(ev), .. } => {
                 assert_eq!(*key, ProtectionKey(1));
@@ -551,7 +582,7 @@ mod tests {
         t.assign_object(a.key(), ObjectId(13));
         // Object 0 faults again: its group revives, evicting the next LRU
         // victim (group 2 on k2).
-        let r = choose_virtual(&mut v, &mut t, ThreadId(0), ObjectId(0), Perm::Write, true, &[]);
+        let r = choose_virtual(&mut v, &mut t, ThreadId(0), ObjectId(0), Perm::Write, true, &[], |_| true);
         match r {
             VAssignment::Revive { vkey, key, evicted: Some(ev), logical } => {
                 assert_eq!(vkey, vkeys[0]);
@@ -568,13 +599,13 @@ mod tests {
         let mut t = table();
         let mut v = VKeyTable::new(crate::vkey::KeyCachePolicy::Lru);
         for i in 0..13u64 {
-            let a = choose_virtual(&mut v, &mut t, ThreadId(i as usize), ObjectId(i), Perm::Write, true, &[]);
+            let a = choose_virtual(&mut v, &mut t, ThreadId(i as usize), ObjectId(i), Perm::Write, true, &[], |_| true);
             t.assign_object(a.key(), ObjectId(i));
             t.try_acquire(a.key(), ThreadId(i as usize), Perm::Write, s(i));
         }
         // Every key held: the victim is still the LRU group, and its
         // holder is snapshotted for the revival re-check.
-        let a = choose_virtual(&mut v, &mut t, ThreadId(13), ObjectId(13), Perm::Write, true, &[]);
+        let a = choose_virtual(&mut v, &mut t, ThreadId(13), ObjectId(13), Perm::Write, true, &[], |_| true);
         match a {
             VAssignment::Fill { key, evicted: Some(ev), .. } => {
                 assert_eq!(key, ProtectionKey(1));

@@ -66,6 +66,13 @@ pub struct KardConfig {
     /// Replacement policy of the hardware-key cache; only consulted when
     /// [`KardConfig::virtual_keys`] is on.
     pub key_cache_policy: KeyCachePolicy,
+    /// Ablation: serialize the whole fault path behind every fault shard
+    /// at once, reproducing the old global fault-mutex behaviour. Off by
+    /// default — faults on unrelated objects then run in parallel, each
+    /// serialized only by its object's own fault shard
+    /// ([`crate::faultshard`]). The fault-latency benchmark runs both
+    /// modes to measure what sharding buys.
+    pub serial_fault_path: bool,
 }
 
 impl KardConfig {
@@ -83,6 +90,7 @@ impl KardConfig {
             measured_fault_delay: None,
             virtual_keys: false,
             key_cache_policy: KeyCachePolicy::Lru,
+            serial_fault_path: false,
         }
     }
 
@@ -104,7 +112,85 @@ impl KardConfig {
             measured_fault_delay: None,
             virtual_keys: false,
             key_cache_policy: KeyCachePolicy::Lru,
+            serial_fault_path: false,
         }
+    }
+
+    /// Builder-style setter for [`KardConfig::proactive_acquisition`].
+    #[must_use]
+    pub fn proactive_acquisition(mut self, on: bool) -> KardConfig {
+        self.proactive_acquisition = on;
+        self
+    }
+
+    /// Builder-style setter for [`KardConfig::protection_interleaving`].
+    #[must_use]
+    pub fn protection_interleaving(mut self, on: bool) -> KardConfig {
+        self.protection_interleaving = on;
+        self
+    }
+
+    /// Builder-style setter for [`KardConfig::timestamp_filter`].
+    #[must_use]
+    pub fn timestamp_filter(mut self, on: bool) -> KardConfig {
+        self.timestamp_filter = on;
+        self
+    }
+
+    /// Builder-style setter for [`KardConfig::prune_redundant`].
+    #[must_use]
+    pub fn prune_redundant(mut self, on: bool) -> KardConfig {
+        self.prune_redundant = on;
+        self
+    }
+
+    /// Builder-style setter for [`KardConfig::exhaustion`].
+    #[must_use]
+    pub fn exhaustion(mut self, policy: ExhaustionPolicy) -> KardConfig {
+        self.exhaustion = policy;
+        self
+    }
+
+    /// Builder-style setter for [`KardConfig::interleave_exit_delay`].
+    #[must_use]
+    pub fn interleave_exit_delay(mut self, cycles: u64) -> KardConfig {
+        self.interleave_exit_delay = cycles;
+        self
+    }
+
+    /// Builder-style setter for [`KardConfig::prefer_fresh_keys`].
+    #[must_use]
+    pub fn prefer_fresh_keys(mut self, on: bool) -> KardConfig {
+        self.prefer_fresh_keys = on;
+        self
+    }
+
+    /// Builder-style setter for [`KardConfig::measured_fault_delay`].
+    #[must_use]
+    pub fn measured_fault_delay(mut self, cycles: Option<u64>) -> KardConfig {
+        self.measured_fault_delay = cycles;
+        self
+    }
+
+    /// Builder-style setter for [`KardConfig::virtual_keys`].
+    #[must_use]
+    pub fn virtual_keys(mut self, on: bool) -> KardConfig {
+        self.virtual_keys = on;
+        self
+    }
+
+    /// Builder-style setter for [`KardConfig::key_cache_policy`].
+    #[must_use]
+    pub fn key_cache_policy(mut self, policy: KeyCachePolicy) -> KardConfig {
+        self.key_cache_policy = policy;
+        self
+    }
+
+    /// Builder-style setter for [`KardConfig::serial_fault_path`].
+    #[must_use]
+    pub fn serial_fault_path(mut self, on: bool) -> KardConfig {
+        self.serial_fault_path = on;
+        self
     }
 
     /// A human-readable description of the active key mode, printed by the
@@ -153,6 +239,27 @@ mod tests {
         assert_eq!(c.measured_fault_delay, None, "cost-model delay by default");
         assert!(!c.virtual_keys, "the paper's detector works on raw keys");
         assert_eq!(c.key_cache_policy, KeyCachePolicy::Lru);
+        assert!(!c.serial_fault_path, "the sharded fault path is the default");
+    }
+
+    #[test]
+    fn builder_setters_compose_over_presets() {
+        let c = KardConfig::paper()
+            .virtual_keys(true)
+            .key_cache_policy(KeyCachePolicy::Fifo)
+            .interleave_exit_delay(500)
+            .measured_fault_delay(Some(24_000))
+            .exhaustion(ExhaustionPolicy::ShareOnly)
+            .serial_fault_path(true)
+            .timestamp_filter(false);
+        assert!(c.virtual_keys);
+        assert_eq!(c.key_cache_policy, KeyCachePolicy::Fifo);
+        assert_eq!(c.interleave_exit_delay, 500);
+        assert_eq!(c.measured_fault_delay, Some(24_000));
+        assert_eq!(c.exhaustion, ExhaustionPolicy::ShareOnly);
+        assert!(c.serial_fault_path);
+        assert!(!c.timestamp_filter);
+        assert!(c.proactive_acquisition, "untouched fields keep the preset");
     }
 
     #[test]

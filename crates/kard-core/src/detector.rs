@@ -30,13 +30,17 @@
 //!
 //! Locking discipline (see DESIGN.md for the full argument):
 //!
-//! 1. the **fault path** is serialized end-to-end by `fault_mutex` —
-//!    faults are rare by design (§5.5), so one coarse lock there costs
-//!    nothing and gives the handler a stable view. Anything that must be
-//!    atomic with respect to a fault handler or an `on_free` (the free
-//!    itself, and `lock_exit`'s restoration of finished interleavings)
-//!    also serializes on it, always acquired while holding no other lock;
-//! 2. with `fault_mutex` held, the arming sequence in `handle_pool_fault`
+//! 1. the **fault path** is serialized *per object* by the fault shards
+//!    ([`crate::faultshard`]): the fault handler, `on_free`, and
+//!    `lock_exit`'s restoration of a finished interleaving each lock the
+//!    affected object's shard, so faults on unrelated objects run fully
+//!    in parallel while every operation racing on the *same* object
+//!    keeps mutual exclusion. `on_thread_exit` (whose page retirement
+//!    can affect any object) locks all shards in ascending index order,
+//!    as does every entry under the `serial_fault_path` ablation. The
+//!    shards sit at the **top** of the lock order: a blocking shard
+//!    acquisition is legal only while holding no other detector lock;
+//! 2. with a fault shard held, the arming sequence in `handle_pool_fault`
 //!    holds the key-table guard across the interleaver and thread-registry
 //!    acquisitions (order: `keys` → `interleaver`/`threads`), so that a
 //!    holder's key release — the event that precedes its departure from
@@ -45,20 +49,29 @@
 //!    across the vkey-table acquisition (order: `keys` → `vkeys`, never
 //!    the reverse) so a cache decision and the key-section map it was
 //!    made against stay coherent;
-//! 3. every other lock is a **leaf**: it is acquired, used, and released
+//! 3. key recycling and vkey eviction demote *other* objects than the
+//!    faulted one, so those paths extend their mutual exclusion to the
+//!    victims with [`crate::faultshard::ShardClaims`] — secondary shard
+//!    locks taken with `try_lock` only, while the inner guards of rule 2
+//!    are held. A refused claim selects a different victim (falling
+//!    through to §5.4 rule-3b sharing if none is claimable) instead of
+//!    waiting, so no lock-order cycle can form;
+//! 4. every other lock is a **leaf**: it is acquired, used, and released
 //!    without taking any other detector lock while held (the thread-slot
 //!    registry read-guard, held only long enough to clone a slot `Arc`,
 //!    nests nothing under itself);
-//! 4. the allocator's own synchronization nests strictly *under* the
-//!    detector's: `on_free` and `on_thread_exit` hold `fault_mutex` while
+//! 5. the allocator's own synchronization nests strictly *under* the
+//!    detector's: `on_free` and `on_thread_exit` hold fault shards while
 //!    calling into the allocator, whose order is magazine engage check →
 //!    allocator shard locks → machine internals, and no allocator path
 //!    ever calls back into a detector lock.
 //!
 //! No path acquires the key table while holding the interleaver or the
-//! registry, and only `fault_mutex` is otherwise held across another
-//! acquisition, so the lock graph has no cycle and the detector is
-//! deadlock-free by construction. Accesses that do not fault never take *any* detector
+//! registry, blocking shard acquisitions happen only at fault-path entry
+//! (rule 1), and the only other cross-lock holds are rule 2's guard
+//! chains and rule 3's non-blocking claims, so the lock graph has no
+//! cycle and the detector is deadlock-free by construction. Accesses
+//! that do not fault never take *any* detector
 //! lock — they only consult the simulated hardware, which is the whole
 //! point of the design (no per-access instrumentation); every detector
 //! lock counts its acquisitions so `tests/no_lock_overhead.rs` can assert
@@ -67,11 +80,13 @@
 use crate::assignment::{choose_key, choose_virtual, Assignment, Eviction, VAssignment};
 use crate::config::KardConfig;
 use crate::domains::Domain;
+use crate::error::KardError;
+use crate::faultshard::{FaultPathGuard, FaultShardStats, FaultShards};
 use crate::interleave::{Interleaver, Observation, Verdict};
 use crate::keymap::KeyTable;
 use crate::report::{RaceFingerprint, RaceRecord, RaceSide};
 use crate::sections::SectionObjectMap;
-use crate::stats::{AtomicStats, DetectorStats};
+use crate::stats::{AtomicStats, DetectorStats, KardSnapshot};
 use crate::sync::{TrackedMutex, TrackedRwLock};
 use crate::types::{LockId, Perm, SectionId, SectionMode};
 use crate::vkey::{LogicalHolder, VKeyStats, VKeyTable};
@@ -150,9 +165,10 @@ pub struct Kard {
     /// Total lock acquisitions across every detector lock (see
     /// [`Kard::detector_lock_acquisitions`]).
     lock_acquisitions: Arc<AtomicU64>,
-    /// Serializes the fault path end-to-end. Only this lock is ever held
-    /// across other detector-lock acquisitions.
-    fault_mutex: TrackedMutex<()>,
+    /// Per-object fault serialization (see [`crate::faultshard`]). Only
+    /// fault-shard guards (and the rule-2 guard chains under them) are
+    /// ever held across other detector-lock acquisitions.
+    fault_shards: FaultShards,
     /// Registered threads, indexed by dense `ThreadId`. Written only at
     /// registration; read-locked just long enough to clone a slot `Arc`.
     threads: TrackedRwLock<Vec<Arc<ThreadSlot>>>,
@@ -207,7 +223,7 @@ impl Kard {
             alloc,
             config,
             layout,
-            fault_mutex: TrackedMutex::new((), tracked(&counter)),
+            fault_shards: FaultShards::new(config.serial_fault_path),
             threads: TrackedRwLock::new(Vec::new(), tracked(&counter)),
             domains: (0..DOMAIN_SHARDS)
                 .map(|_| TrackedMutex::new(HashMap::new(), tracked(&counter)))
@@ -261,12 +277,49 @@ impl Kard {
         self.config
     }
 
-    /// Total acquisitions of detector-internal locks so far. A fault-free
-    /// access contributes zero — the property `tests/no_lock_overhead.rs`
-    /// checks.
+    /// Total acquisitions of detector-internal locks so far, fault shards
+    /// included. A fault-free access contributes zero — the property
+    /// `tests/no_lock_overhead.rs` checks.
     #[must_use]
     pub fn detector_lock_acquisitions(&self) -> u64 {
         self.lock_acquisitions.load(Ordering::Relaxed)
+            + self.fault_shards.stats().acquisitions
+    }
+
+    /// Fault-shard counters: total acquisitions, contended entries, and
+    /// the peak number of fault-path operations in flight at once.
+    #[must_use]
+    pub fn fault_shard_stats(&self) -> FaultShardStats {
+        self.fault_shards.stats()
+    }
+
+    /// Per-shard fault-lock acquisition counts, indexed by shard (see
+    /// [`crate::faultshard::shard_of`]). Lets tests assert that a fault
+    /// on one object never touches an unrelated object's shard.
+    #[must_use]
+    pub fn fault_shard_acquisitions(&self) -> Vec<u64> {
+        self.fault_shards.per_shard_acquisitions()
+    }
+
+    /// Telemetry for a fault-path entry: feed the concurrency histogram,
+    /// and emit a contention event when the entry had to wait for a shard
+    /// — exactly the waits the old global fault mutex imposed on *every*
+    /// concurrent fault.
+    fn note_fault_entry(&self, t: ThreadId, guard: &FaultPathGuard<'_>) {
+        if self.telemetry.enabled() {
+            self.telemetry
+                .histograms()
+                .fault_concurrency
+                .record(guard.concurrency());
+        }
+        if guard.contended() {
+            self.emit(
+                t,
+                EventKind::FaultShardContended,
+                guard.held_indices().first().copied().unwrap_or(0) as u64,
+                guard.concurrency(),
+            );
+        }
     }
 
     /// The slot of a registered thread.
@@ -346,11 +399,14 @@ impl Kard {
 
     /// Intercepted `free`: all detector metadata for the object is dropped.
     ///
-    /// Takes the fault mutex so a free cannot interleave with a fault
-    /// handler mid-flight on the same object (the handler re-protects
-    /// objects through the allocator, which panics on unknown ids).
+    /// Takes the object's fault shard so the free cannot interleave with
+    /// a fault handler mid-flight on the same object (the handler
+    /// re-protects objects through the allocator, which panics on unknown
+    /// ids); frees of objects in other shards, and faults on them,
+    /// proceed in parallel.
     pub fn on_free(&self, t: ThreadId, id: ObjectId) {
-        let _serial = self.fault_mutex.lock();
+        let shard = self.fault_shards.enter_object(id);
+        self.note_fault_entry(t, &shard);
         let prev = self.domain_shard(id).lock().remove(&id);
         if let Some(Domain::ReadWrite(key)) = prev {
             self.keys.lock().unassign_object(key, id);
@@ -378,11 +434,13 @@ impl Kard {
     /// then route to the global pool instead of stranding slots), retire
     /// its dirty pages, and return its cached slots to the pool.
     ///
-    /// Takes the fault mutex: retirement unmaps pages, and a fault
-    /// handler mid-resolution must never observe a mapping disappear
-    /// underneath it.
+    /// Takes every fault shard (ascending, the multi-shard ordering
+    /// rule): retirement unmaps pages, and a fault handler mid-resolution
+    /// on *any* object must never observe a mapping disappear underneath
+    /// it.
     pub fn on_thread_exit(&self, t: ThreadId) {
-        let _serial = self.fault_mutex.lock();
+        let shard = self.fault_shards.enter_all();
+        self.note_fault_entry(t, &shard);
         self.alloc.on_thread_exit(t);
     }
 
@@ -563,15 +621,18 @@ impl Kard {
             }
             if !finished.is_empty() {
                 // §5.5: restore each object's protection now that every
-                // conflicting thread has left its critical section. The
-                // restoration runs under the fault mutex: `on_free`
-                // serializes on it, so the liveness check and the
-                // re-protection below are atomic with respect to a
+                // conflicting thread has left its critical section. Each
+                // restoration runs under that object's fault shard:
+                // `on_free` serializes on it, so the liveness check and
+                // the re-protection below are atomic with respect to a
                 // concurrent free — without it, a free sneaking in between
                 // them would panic `alloc.protect` on an unknown object and
                 // leave ghost domain/key-table entries for a dead id.
-                let _serial = self.fault_mutex.lock();
+                // Restorations of objects in other shards, and unrelated
+                // fault handlers, proceed in parallel.
                 for fin in finished {
+                    let shard = self.fault_shards.enter_object(fin.object);
+                    self.note_fault_entry(t, &shard);
                     if self.alloc.object(fin.object).is_none() {
                         continue; // Freed while suspended.
                     }
@@ -637,45 +698,99 @@ impl Kard {
     }
 
     /// A read by `t` at `addr` from program location `ip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any error [`Kard::try_read`] reports.
     pub fn read(&self, t: ThreadId, addr: VirtAddr, ip: CodeSite) {
-        self.access(t, addr, AccessKind::Read, ip);
+        self.try_read(t, addr, ip).unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// A write by `t` at `addr` from program location `ip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any error [`Kard::try_write`] reports.
     pub fn write(&self, t: ThreadId, addr: VirtAddr, ip: CodeSite) {
-        self.access(t, addr, AccessKind::Write, ip);
+        self.try_write(t, addr, ip).unwrap_or_else(|e| panic!("{e}"));
     }
 
-    fn access(&self, t: ThreadId, addr: VirtAddr, kind: AccessKind, ip: CodeSite) {
+    /// Fallible variant of [`Kard::read`]: a monitored-program bug —
+    /// touching unmanaged or freed memory, or an access that never
+    /// converges — comes back as a [`KardError`] instead of a panic, for
+    /// hosts embedding the detector.
+    pub fn try_read(&self, t: ThreadId, addr: VirtAddr, ip: CodeSite) -> Result<(), KardError> {
+        self.access(t, addr, AccessKind::Read, ip)
+    }
+
+    /// Fallible variant of [`Kard::write`]; see [`Kard::try_read`].
+    pub fn try_write(&self, t: ThreadId, addr: VirtAddr, ip: CodeSite) -> Result<(), KardError> {
+        self.access(t, addr, AccessKind::Write, ip)
+    }
+
+    fn access(
+        &self,
+        t: ThreadId,
+        addr: VirtAddr,
+        kind: AccessKind,
+        ip: CodeSite,
+    ) -> Result<(), KardError> {
         for _attempt in 0..8 {
             match self.machine.access(t, addr, kind, ip) {
-                Ok(()) => return,
-                Err(fault) => match self.handle_fault(fault) {
+                Ok(()) => return Ok(()),
+                Err(fault) => match self.handle_fault(fault)? {
                     FaultAction::Retry => continue,
-                    FaultAction::Emulated => return,
+                    FaultAction::Emulated => return Ok(()),
                 },
             }
         }
-        panic!("access by {t} at {addr} did not converge after 8 faults");
+        Err(KardError::FaultLoop { addr })
     }
 
     /// The custom #GP handler (§5.5): classify the fault by domain key and
     /// dispatch to identification, migration, interleaving, or race check.
-    /// The whole handler runs under the fault mutex — faults are rare, and
-    /// serializing them keeps every cross-component decision coherent.
-    fn handle_fault(&self, fault: GpFault) -> FaultAction {
+    /// The handler runs under the faulted *object's* fault shard — faults
+    /// on unrelated objects proceed in parallel, while faults, frees, and
+    /// restorations of the same object serialize.
+    fn handle_fault(&self, fault: GpFault) -> Result<FaultAction, KardError> {
+        // The thread's clock at #GP delivery: the handler's virtual
+        // execution interval starts here (the delivery + execution lump
+        // charged next covers work done while the shard is held), and the
+        // §5.5 serialization charge below queues the whole interval
+        // behind overlapping same-shard handlers.
+        let entered = self.machine.thread_cycles(fault.thread);
         self.machine.charge_fault_handling(fault.thread);
-        // The mutex is taken *before* the faulting-object lookup: `on_free`
-        // serializes on it, so once it is held the object cannot be freed
-        // under the handler's feet. A lookup miss therefore genuinely means
-        // the program touched memory the detector never managed (or freed
-        // before the access — a use-after-free), never a free that won a
-        // race against a handler already holding an `ObjectInfo`.
-        let _serial = self.fault_mutex.lock();
-        let info = self
-            .alloc
-            .object_at(fault.addr)
-            .unwrap_or_else(|| panic!("#GP on unmanaged memory: {fault}"));
+        // Picking the shard needs the faulted object's id, but that
+        // lookup necessarily runs before any shard is held, so a
+        // concurrent free could retire the object — and a new object
+        // could even reuse the address with a different id — between
+        // lookup and lock. The loop re-validates under the guard: only
+        // when the object at the address still carries the id whose
+        // shard was locked does the handler proceed. Once the right
+        // shard is held `on_free` serializes on it, so a lookup miss
+        // genuinely means the program touched memory the detector never
+        // managed (or freed before the access — a use-after-free).
+        let (shard, info) = loop {
+            let hint = self
+                .alloc
+                .object_at(fault.addr)
+                .ok_or(KardError::UnmanagedAccess { addr: fault.addr })?;
+            let guard = self.fault_shards.enter_object(hint.id);
+            match self.alloc.object_at(fault.addr) {
+                None => return Err(KardError::UnmanagedAccess { addr: fault.addr }),
+                Some(info) if info.id == hint.id => break (guard, info),
+                Some(_) => {} // Address reused mid-acquisition; re-resolve.
+            }
+        };
+        self.note_fault_entry(fault.thread, &shard);
+        // §5.5 serialization charge: queue (in virtual time) behind any
+        // earlier handler of a held shard whose interval overlaps this
+        // fault's delivery on the thread's own clock. Single-threaded
+        // runs never pay this — one clock cannot overlap itself.
+        let wait = shard.queue_wait(entered);
+        if wait > 0 {
+            self.machine.charge(fault.thread, wait);
+        }
         let offset = fault.addr.0.saturating_sub(info.base.0);
         self.emit(
             fault.thread,
@@ -685,9 +800,9 @@ impl Kard {
         );
 
         let action = if fault.pkey == self.layout.not_accessed {
-            self.identify(&fault, &info)
+            self.identify(&fault, &info, &shard)
         } else if fault.pkey == self.layout.read_only {
-            self.handle_read_only_write(&fault, &info, offset)
+            self.handle_read_only_write(&fault, &info, offset, &shard)
         } else if self.layout.is_read_write_key(fault.pkey) {
             let interleaved = {
                 let il = self.interleaver.lock();
@@ -702,6 +817,7 @@ impl Kard {
             panic!("#GP with unexpected key {}: {fault}", fault.pkey);
         };
 
+        shard.release_at(self.machine.thread_cycles(fault.thread));
         if self.telemetry.enabled() {
             // Handling latency: fault raise to resolution on the virtual
             // clock (covers the #GP delivery charge plus everything the
@@ -717,12 +833,17 @@ impl Kard {
             );
             self.telemetry.histograms().fault_delay.record(latency);
         }
-        action
+        Ok(action)
     }
 
     /// §5.3 identification: first critical-section access to a
     /// Not-accessed object migrates it to a domain matching the access.
-    fn identify(&self, fault: &GpFault, info: &ObjectInfo) -> FaultAction {
+    fn identify(
+        &self,
+        fault: &GpFault,
+        info: &ObjectInfo,
+        shard: &FaultPathGuard<'_>,
+    ) -> FaultAction {
         AtomicStats::bump(&self.stats.identification_faults);
         AtomicStats::bump(&self.stats.objects_identified);
         let t = fault.thread;
@@ -754,7 +875,7 @@ impl Kard {
                     .expect("k_ro is valid");
             }
             AccessKind::Write => {
-                self.migrate_to_read_write(fault, section, info, DomainCode::NotAccessed);
+                self.migrate_to_read_write(fault, section, info, DomainCode::NotAccessed, shard);
             }
         }
         FaultAction::Retry
@@ -768,6 +889,7 @@ impl Kard {
         fault: &GpFault,
         info: &ObjectInfo,
         offset: u64,
+        shard: &FaultPathGuard<'_>,
     ) -> FaultAction {
         debug_assert_eq!(fault.access, AccessKind::Write, "k_ro only blocks writes");
         let t = fault.thread;
@@ -775,7 +897,7 @@ impl Kard {
             AtomicStats::bump(&self.stats.migration_faults);
             self.emit(t, EventKind::FaultMigrate, info.id.0, 0);
             self.sections.write().record(section, info.id, Perm::Write);
-            self.migrate_to_read_write(fault, section, info, DomainCode::ReadOnly);
+            self.migrate_to_read_write(fault, section, info, DomainCode::ReadOnly, shard);
             return FaultAction::Retry;
         }
 
@@ -1157,6 +1279,7 @@ impl Kard {
         section: SectionId,
         info: &ObjectInfo,
         from: DomainCode,
+        shard: &FaultPathGuard<'_>,
     ) {
         let t = fault.thread;
         let cost = *self.machine.cost_model();
@@ -1192,9 +1315,9 @@ impl Kard {
         };
 
         let key = if self.config.virtual_keys {
-            self.assign_virtual_key(fault, section, info, &held)
+            self.assign_virtual_key(fault, section, info, &held, shard)
         } else {
-            self.assign_direct_key(t, section, info, &held)
+            self.assign_direct_key(t, section, info, &held, shard)
         };
         self.machine.charge(t, cost.map_op * 2);
 
@@ -1217,6 +1340,7 @@ impl Kard {
         section: SectionId,
         info: &ObjectInfo,
         held: &[(ProtectionKey, Perm)],
+        shard: &FaultPathGuard<'_>,
     ) -> ProtectionKey {
         // Snapshot each pool key's holder sections, then evaluate the
         // sharing heuristic against the section-object map — the closure
@@ -1246,6 +1370,12 @@ impl Kard {
                 .collect()
         };
 
+        // Rule 3a demotes the recycled key's objects, and a demotion must
+        // not interleave with a fault in flight on one of them: a
+        // candidate is committed only after a non-blocking claim of its
+        // objects' fault shards (module-doc rule 3). The claims stay held
+        // until the demotions below are applied.
+        let mut claims = self.fault_shards.claims(shard);
         let (assignment, key) = {
             let mut keys = self.keys.lock();
             // `prefer_fresh_keys` (conformance mode): rule 1 is skipped
@@ -1263,6 +1393,7 @@ impl Kard {
                 self.config.exhaustion,
                 held_for_rule1,
                 |candidate| conflicts.get(&candidate).copied().unwrap_or(false),
+                |members| claims.claim(members),
             );
             let key = assignment.key();
             keys.assign_object(key, info.id);
@@ -1331,9 +1462,16 @@ impl Kard {
         section: SectionId,
         info: &ObjectInfo,
         held: &[(ProtectionKey, Perm)],
+        shard: &FaultPathGuard<'_>,
     ) -> ProtectionKey {
         let t = fault.thread;
 
+        // An eviction demotes the victim group's members, so a victim is
+        // committed only after a non-blocking claim of its members' fault
+        // shards (module-doc rule 3) — a refused claim makes the cache
+        // pick the next candidate. The claims stay held until
+        // `apply_eviction` below has finished the demotions.
+        let mut claims = self.fault_shards.claims(shard);
         let (va, pressure) = {
             let mut keys = self.keys.lock();
             let mut vkeys = self.vkeys.lock();
@@ -1345,6 +1483,7 @@ impl Kard {
                 Perm::Write,
                 self.config.prefer_fresh_keys,
                 held,
+                |members| claims.claim(members),
             );
             let key = va.key();
             // Key synchronization, map half: a still-held victim key is
@@ -1611,6 +1750,20 @@ impl Kard {
     #[must_use]
     pub fn vkey_stats(&self) -> VKeyStats {
         self.vkeys.lock().stats()
+    }
+
+    /// One coherent picture of the run: detector, virtual-key, allocator,
+    /// and fault-shard statistics plus the lock-acquisition total, in a
+    /// single serializable value.
+    #[must_use]
+    pub fn snapshot(&self) -> KardSnapshot {
+        KardSnapshot {
+            detector: self.stats(),
+            vkeys: self.vkey_stats(),
+            alloc: self.alloc.stats(),
+            fault_shards: self.fault_shards.stats(),
+            lock_acquisitions: self.detector_lock_acquisitions(),
+        }
     }
 
     /// Human-readable description of the active key mode (direct vs.

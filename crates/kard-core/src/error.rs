@@ -1,0 +1,71 @@
+//! Typed errors for the detector's fallible entry points.
+//!
+//! The panicking API ([`crate::Kard::read`], [`crate::Kard::write`],
+//! [`crate::Kard::on_alloc`]) treats every failure as a monitored-program
+//! bug and aborts loudly — right for tests and replay, wrong for a host
+//! embedding the detector. The `try_` variants return [`KardError`]
+//! instead, and the panicking wrappers are defined in terms of them.
+
+use kard_alloc::ObjectId;
+use kard_sim::VirtAddr;
+use std::fmt;
+
+/// An error from a fallible detector entry point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KardError {
+    /// Every read-write pool key is assigned and held, and the active
+    /// [`crate::ExhaustionPolicy`] refused to recycle or share one.
+    KeyPoolExhausted {
+        /// Size of the hardware read-write key pool.
+        pool: usize,
+    },
+    /// The monitored program touched memory the detector never managed
+    /// (or freed before the access — a use-after-free).
+    UnmanagedAccess {
+        /// The faulting address.
+        addr: VirtAddr,
+    },
+    /// An access kept faulting without converging on a stable protection
+    /// state — a detector invariant violation, surfaced instead of
+    /// looping forever.
+    FaultLoop {
+        /// The address whose faults did not converge.
+        addr: VirtAddr,
+    },
+    /// A free (or protect) named an object the allocator does not know.
+    UnknownObject(ObjectId),
+}
+
+impl fmt::Display for KardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KardError::KeyPoolExhausted { pool } => {
+                write!(f, "all {pool} read-write pool keys are assigned and held")
+            }
+            KardError::UnmanagedAccess { addr } => {
+                write!(f, "#GP on unmanaged memory at {addr}")
+            }
+            KardError::FaultLoop { addr } => {
+                write!(f, "access at {addr} did not converge after 8 faults")
+            }
+            KardError::UnknownObject(id) => {
+                write!(f, "unknown or already-freed object {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KardError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = KardError::KeyPoolExhausted { pool: 13 };
+        assert!(e.to_string().contains("13"));
+        let e = KardError::UnknownObject(ObjectId(7));
+        assert!(e.to_string().contains('7'));
+    }
+}

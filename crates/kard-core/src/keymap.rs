@@ -227,6 +227,27 @@ impl KeyTable {
             .find(|k| self.states[k].assigned() && self.states[k].holders.is_empty())
     }
 
+    /// Every recycling candidate (assigned, unheld), in pool order. Rule
+    /// 3a tries them in turn: a candidate whose objects' fault shards
+    /// cannot all be claimed is skipped for the next.
+    #[must_use]
+    pub fn unheld_assigned_keys(&self) -> Vec<ProtectionKey> {
+        self.pool
+            .iter()
+            .copied()
+            .filter(|k| self.states[k].assigned() && self.states[k].holders.is_empty())
+            .collect()
+    }
+
+    /// The objects bound to `key`, in ascending id order, without
+    /// draining them — the recycle path peeks at a candidate's objects to
+    /// claim their fault shards before committing via
+    /// [`KeyTable::take_objects`].
+    #[must_use]
+    pub fn objects_of(&self, key: ProtectionKey) -> Vec<ObjectId> {
+        self.states[&key].objects.iter().copied().collect()
+    }
+
     /// Keys ordered by current holder count (ascending) — used to pick the
     /// least-contended key when sharing is unavoidable.
     #[must_use]

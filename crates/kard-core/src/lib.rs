@@ -54,6 +54,8 @@ pub mod assignment;
 pub mod config;
 pub mod detector;
 pub mod domains;
+pub mod error;
+pub mod faultshard;
 pub mod interleave;
 pub mod keymap;
 pub mod report;
@@ -66,7 +68,9 @@ pub mod vkey;
 pub use config::{ExhaustionPolicy, KardConfig};
 pub use detector::Kard;
 pub use domains::Domain;
+pub use error::KardError;
+pub use faultshard::{FaultShardStats, FAULT_SHARDS};
 pub use report::{render_report, RaceRecord, RaceSide};
-pub use stats::DetectorStats;
+pub use stats::{DetectorStats, KardSnapshot};
 pub use types::{LockId, Perm, SectionId, SectionMode};
 pub use vkey::{KeyCachePolicy, VKeyStats, VirtualKey};

@@ -1,5 +1,8 @@
 //! Runtime counters backing the paper's Tables 3 and 5.
 
+use crate::faultshard::FaultShardStats;
+use crate::vkey::VKeyStats;
+use kard_alloc::AllocStats;
 use kard_telemetry::event::{unpack_domains, DomainCode, GRANT_PROACTIVE, GRANT_REACTIVE};
 use kard_telemetry::{Event, EventKind};
 use serde::{Deserialize, Serialize};
@@ -133,6 +136,34 @@ impl DetectorStats {
         s.unique_sections = sections.len() as u64;
         s
     }
+}
+
+/// One coherent picture of a run: every statistics surface the stack
+/// exposes, gathered by [`crate::Kard::snapshot`] in a single call.
+///
+/// Before this existed a caller assembling a run report had to query the
+/// detector, the virtual-key cache, and the allocator separately (and had
+/// no way at all to see the fault-shard counters). The snapshot is plain
+/// data — `Serialize` so experiment harnesses can dump it straight into
+/// their JSON result files.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KardSnapshot {
+    /// Detection counters (Tables 3–6): sections, migrations, faults,
+    /// races reported and pruned.
+    pub detector: DetectorStats,
+    /// Virtual-key cache counters; all zero when
+    /// [`crate::KardConfig::virtual_keys`] is off.
+    pub vkeys: VKeyStats,
+    /// Allocator counters: allocations, frees, fast-path hits, remote
+    /// frees, rounding waste.
+    pub alloc: AllocStats,
+    /// Fault-shard counters: acquisitions, contended entries, and the
+    /// peak number of faults in flight at once.
+    pub fault_shards: FaultShardStats,
+    /// Total detector lock acquisitions (per-concern locks plus fault
+    /// shards) — the §5-bookkeeping cost figure the no-lock-overhead
+    /// tests bound.
+    pub lock_acquisitions: u64,
 }
 
 /// Lock-free accumulator behind [`DetectorStats`].

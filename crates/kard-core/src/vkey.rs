@@ -275,18 +275,28 @@ impl VKeyTable {
     }
 
     /// Pick the eviction victim among resident groups, or `None` when the
-    /// cache holds no resident group. `holder_count` reports how many
-    /// threads currently hold a hardware key; unheld victims are preferred
-    /// (they evict without key synchronization — §5.4's recycle rule as an
-    /// eviction priority), then empty groups (nothing to demote), then the
-    /// policy stamp, with the virtual key id as the final tie-break so
-    /// selection is deterministic.
+    /// cache holds no resident (and claimable) group. `holder_count`
+    /// reports how many threads currently hold a hardware key; unheld
+    /// victims are preferred (they evict without key synchronization —
+    /// §5.4's recycle rule as an eviction priority), then empty groups
+    /// (nothing to demote), then the policy stamp, with the virtual key id
+    /// as the final tie-break so selection is deterministic.
+    ///
+    /// `claim_members` is the fault-shard claiming hook: candidates are
+    /// offered in preference order, and the first whose member set the
+    /// closure accepts wins. Refusing a candidate (its members have a
+    /// fault in flight on another thread) moves selection to the next; a
+    /// closure that always accepts reproduces the unclaimed behaviour
+    /// exactly, which is what keeps single-threaded victim selection
+    /// byte-identical to the serial detector.
     #[must_use]
     pub fn victim(
         &self,
         holder_count: impl Fn(ProtectionKey) -> usize,
+        mut claim_members: impl FnMut(&[ObjectId]) -> bool,
     ) -> Option<VirtualKey> {
-        self.resident
+        let mut candidates: Vec<_> = self
+            .resident
             .iter()
             .map(|(&key, &v)| {
                 let group = &self.groups[&v];
@@ -296,8 +306,12 @@ impl VKeyTable {
                 };
                 (holder_count(key) > 0, !group.members.is_empty(), stamp, v.0, v)
             })
-            .min()
+            .collect();
+        candidates.sort();
+        candidates
+            .into_iter()
             .map(|(_, _, _, _, v)| v)
+            .find(|&v| claim_members(&self.members_of(v)))
     }
 
     /// Number of live (non-empty) shared-object groups — the key pressure
@@ -381,7 +395,7 @@ mod tests {
         // Still resident: the binding keeps the group alive...
         assert_eq!(t.resident_vkey(ProtectionKey(1)), Some(v));
         // ...and it is the preferred (free) victim.
-        assert_eq!(t.victim(holder_free), Some(v));
+        assert_eq!(t.victim(holder_free, |_| true), Some(v));
         let key = t.evict(v, Vec::new());
         assert_eq!(key, ProtectionKey(1));
         assert_eq!(t.resident_vkey(ProtectionKey(1)), None);
@@ -397,7 +411,7 @@ mod tests {
         t.bind(a, ProtectionKey(1));
         t.bind(b, ProtectionKey(2));
         t.touch(a); // b is now the LRU group.
-        assert_eq!(t.victim(holder_free), Some(b));
+        assert_eq!(t.victim(holder_free, |_| true), Some(b));
     }
 
     #[test]
@@ -410,7 +424,7 @@ mod tests {
         t.bind(a, ProtectionKey(1));
         t.bind(b, ProtectionKey(2));
         t.touch(a);
-        assert_eq!(t.victim(holder_free), Some(a), "bound first, evicted first");
+        assert_eq!(t.victim(holder_free, |_| true), Some(a), "bound first, evicted first");
     }
 
     #[test]
@@ -424,7 +438,25 @@ mod tests {
         t.bind(b, ProtectionKey(2));
         // a is older (better LRU victim) but its key is held; b wins.
         let held = |k: ProtectionKey| usize::from(k == ProtectionKey(1));
-        assert_eq!(t.victim(held), Some(b));
+        assert_eq!(t.victim(held, |_| true), Some(b));
+    }
+
+    #[test]
+    fn refused_victims_fall_through_to_the_next_candidate() {
+        let mut t = VKeyTable::new(KeyCachePolicy::Lru);
+        let a = t.create();
+        let b = t.create();
+        t.add_member(a, ObjectId(1));
+        t.add_member(b, ObjectId(2));
+        t.bind(a, ProtectionKey(1));
+        t.bind(b, ProtectionKey(2));
+        // `a` is the preferred (older) victim, but its member's fault
+        // shard cannot be claimed: selection moves on to `b`.
+        let got = t.victim(holder_free, |members| !members.contains(&ObjectId(1)));
+        assert_eq!(got, Some(b));
+        // Nothing claimable at all: no victim, the caller falls back to
+        // rule-3b sharing instead of blocking.
+        assert_eq!(t.victim(holder_free, |_| false), None);
     }
 
     #[test]

@@ -56,6 +56,6 @@ pub mod thread;
 pub use executor::KardExecutor;
 pub use mutex::{KardMutex, SectionGuard};
 pub use rwlock::{KardRwLock, ReadSectionGuard, WriteSectionGuard};
-pub use session::Session;
+pub use session::{Session, SessionBuilder};
 pub use shared::{Element, SharedArray};
 pub use thread::SimThread;

@@ -3,7 +3,7 @@
 use crate::mutex::KardMutex;
 use crate::thread::SimThread;
 use kard_alloc::KardAlloc;
-use kard_core::{Kard, KardConfig};
+use kard_core::{Kard, KardConfig, KardSnapshot};
 use kard_sim::{Machine, MachineConfig};
 use kard_telemetry::{export, Drained, Telemetry};
 use std::fmt;
@@ -11,6 +11,76 @@ use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Assembles a [`Session`] from named parts.
+///
+/// The builder replaces the old positional
+/// `Session::with_config(MachineConfig, KardConfig)` constructor — two
+/// config structs in a fixed order read poorly at call sites and left no
+/// room for session-scoped switches like telemetry. Every part has a
+/// default, so callers state only what they change:
+///
+/// ```
+/// use kard_rt::Session;
+/// use kard_core::KardConfig;
+///
+/// let session = Session::builder()
+///     .config(KardConfig::paper().virtual_keys(true))
+///     .telemetry(true)
+///     .build();
+/// assert!(session.kard().config().virtual_keys);
+/// ```
+#[derive(Clone, Debug, Default)]
+#[must_use = "a builder does nothing until `build` is called"]
+pub struct SessionBuilder {
+    machine: MachineConfig,
+    config: KardConfig,
+    telemetry: bool,
+}
+
+impl SessionBuilder {
+    /// The simulated machine's configuration (key layout, cost model).
+    pub fn machine(mut self, machine: MachineConfig) -> SessionBuilder {
+        self.machine = machine;
+        self
+    }
+
+    /// The detector's configuration.
+    pub fn config(mut self, config: KardConfig) -> SessionBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Start the session with fault-path event tracing already enabled
+    /// (equivalent to calling [`Session::enable_telemetry`] right after
+    /// construction, but declared with the rest of the setup).
+    pub fn telemetry(mut self, on: bool) -> SessionBuilder {
+        self.telemetry = on;
+        self
+    }
+
+    /// Wire machine, allocator, and detector together.
+    #[must_use]
+    pub fn build(self) -> Session {
+        let machine = Arc::new(Machine::new(self.machine));
+        let alloc = Arc::new(KardAlloc::new(Arc::clone(&machine)));
+        let kard = Arc::new(Kard::new(
+            Arc::clone(&machine),
+            Arc::clone(&alloc),
+            self.config,
+        ));
+        let session = Session {
+            machine,
+            alloc,
+            kard,
+            next_lock: AtomicU64::new(1),
+        };
+        if self.telemetry {
+            session.enable_telemetry(true);
+        }
+        session
+    }
+}
 
 /// One monitored program execution.
 ///
@@ -29,25 +99,26 @@ impl Session {
     /// A session with default machine (16-key MPK) and paper configuration.
     #[must_use]
     pub fn new() -> Session {
-        Session::with_config(MachineConfig::default(), KardConfig::default())
+        Session::builder().build()
+    }
+
+    /// A [`SessionBuilder`] with default machine, paper configuration,
+    /// and telemetry off.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
     }
 
     /// A session with explicit machine and detector configuration.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Session::builder().machine(..).config(..).build()`"
+    )]
     #[must_use]
     pub fn with_config(machine_config: MachineConfig, kard_config: KardConfig) -> Session {
-        let machine = Arc::new(Machine::new(machine_config));
-        let alloc = Arc::new(KardAlloc::new(Arc::clone(&machine)));
-        let kard = Arc::new(Kard::new(
-            Arc::clone(&machine),
-            Arc::clone(&alloc),
-            kard_config,
-        ));
-        Session {
-            machine,
-            alloc,
-            kard,
-            next_lock: AtomicU64::new(1),
-        }
+        Session::builder()
+            .machine(machine_config)
+            .config(kard_config)
+            .build()
     }
 
     /// The simulated machine.
@@ -73,6 +144,15 @@ impl Session {
     #[must_use]
     pub fn key_mode(&self) -> String {
         self.kard.key_mode()
+    }
+
+    /// One coherent statistics picture of the run so far: detection
+    /// counters, virtual-key cache counters, allocator counters,
+    /// fault-shard counters, and the detector-lock total, as a single
+    /// serializable [`KardSnapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> KardSnapshot {
+        self.kard.snapshot()
     }
 
     /// Spawn a monitored thread. The handle is `Send`, so it can be moved
@@ -158,6 +238,55 @@ mod tests {
         let a = session.new_mutex();
         let b = session.new_mutex();
         assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn builder_composes_machine_config_and_telemetry() {
+        use kard_sim::KeyLayout;
+
+        let session = Session::builder()
+            .machine(MachineConfig {
+                key_layout: KeyLayout::with_total_keys(34),
+                ..MachineConfig::default()
+            })
+            .config(KardConfig::paper().serial_fault_path(true))
+            .telemetry(true)
+            .build();
+        assert_eq!(session.machine().key_layout().total_keys, 34);
+        assert!(session.kard().config().serial_fault_path);
+        assert!(session.telemetry().enabled(), "telemetry pre-enabled");
+        let defaults = Session::builder().build();
+        assert!(!defaults.telemetry().enabled(), "off unless requested");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn with_config_shim_still_builds_an_equivalent_session() {
+        let session =
+            Session::with_config(MachineConfig::default(), KardConfig::algorithm_fidelity());
+        assert_eq!(session.kard().config(), KardConfig::algorithm_fidelity());
+    }
+
+    #[test]
+    fn snapshot_bundles_every_statistics_surface() {
+        use kard_sim::CodeSite;
+
+        let session = Session::new();
+        let t = session.spawn_thread();
+        let o = t.alloc(32);
+        let m = session.new_mutex();
+        {
+            let _g = t.enter(&m, CodeSite(0x10));
+            t.write(&o, 0, CodeSite(0x11));
+        }
+        let snap = session.snapshot();
+        assert_eq!(snap.detector.cs_entries, 1);
+        assert_eq!(snap.detector.identification_faults, 1);
+        assert_eq!(snap.alloc.allocations, 1);
+        assert!(snap.fault_shards.acquisitions >= 1, "the fault took a shard");
+        assert!(snap.lock_acquisitions >= snap.fault_shards.acquisitions);
+        let json = serde_json::to_string(&snap).expect("snapshot serializes");
+        assert!(json.contains("\"fault_shards\""));
     }
 
     #[test]

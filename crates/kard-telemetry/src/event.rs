@@ -88,6 +88,7 @@ pub fn unpack_domains(b: u64) -> Option<(DomainCode, DomainCode)> {
 /// | `AllocSlabRefill` | rounded size in bytes | slots provisioned |
 /// | `RemoteFreePush` | object id | owning thread |
 /// | `RemoteFreeDrain` | slots drained | pages retired |
+/// | `FaultShardContended` | fault-shard index | faults in flight (incl. this) |
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u8)]
 #[allow(missing_docs)] // The table above is the per-variant documentation.
@@ -121,11 +122,12 @@ pub enum EventKind {
     AllocSlabRefill = 26,
     RemoteFreePush = 27,
     RemoteFreeDrain = 28,
+    FaultShardContended = 29,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 29] = [
+    pub const ALL: [EventKind; 30] = [
         EventKind::SectionEnter,
         EventKind::SectionExit,
         EventKind::ObjectAlloc,
@@ -155,6 +157,7 @@ impl EventKind {
         EventKind::AllocSlabRefill,
         EventKind::RemoteFreePush,
         EventKind::RemoteFreeDrain,
+        EventKind::FaultShardContended,
     ];
 
     /// Decode a raw discriminant, if valid.
@@ -196,6 +199,7 @@ impl EventKind {
             EventKind::AllocSlabRefill => "alloc_slab_refill",
             EventKind::RemoteFreePush => "remote_free_push",
             EventKind::RemoteFreeDrain => "remote_free_drain",
+            EventKind::FaultShardContended => "fault_shard_contended",
         }
     }
 }

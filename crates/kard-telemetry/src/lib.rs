@@ -69,6 +69,12 @@ pub struct Histograms {
     /// allocation rides the refill slow path); mass in the upper buckets
     /// means the batch size has adapted to the allocation rate.
     pub magazine_occupancy: LatencyHistogram,
+    /// Fault concurrency: how many fault-path operations were in flight
+    /// (across all fault shards, including this one) when each fault
+    /// handler entered. Mass above 1 is parallelism the per-group fault
+    /// shards provide and a single global fault lock would have
+    /// serialized away.
+    pub fault_concurrency: LatencyHistogram,
 }
 
 /// A drained batch of events plus how many were lost to ring overflow.

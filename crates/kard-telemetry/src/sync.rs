@@ -42,6 +42,17 @@ impl<T> TrackedMutex<T> {
         self.counter.fetch_add(1, Ordering::Relaxed);
         self.inner.lock()
     }
+
+    /// Acquire the lock only if it is free right now. Counts the
+    /// acquisition on success; a failed attempt costs nothing and is not
+    /// recorded (the counters measure lock *traffic*, and a refused try
+    /// touches no shared state). The fault-shard claiming protocol relies
+    /// on this never blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let guard = self.inner.try_lock()?;
+        self.counter.fetch_add(1, Ordering::Relaxed);
+        Some(guard)
+    }
 }
 
 /// A reader-writer lock that counts every acquisition (read or write) into

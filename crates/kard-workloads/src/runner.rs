@@ -144,7 +144,7 @@ pub fn run_workload_configured(
     replay(&trace, &mut alloc_only);
     let alloc_metrics = alloc_only.metrics();
 
-    let session = Session::with_config(machine_config, kard_config);
+    let session = Session::builder().machine(machine_config).config(kard_config).build();
     let mut kard_exec = KardExecutor::new(session.kard().clone());
     replay(&trace, &mut kard_exec);
     let kard_metrics = metrics_of(session.machine());

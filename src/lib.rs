@@ -67,9 +67,24 @@ pub use kard_trace as trace;
 pub use kard_workloads as workloads;
 
 pub use kard_alloc::{ObjectId, ObjectInfo};
-pub use kard_core::{Kard, KardConfig, LockId, RaceRecord, SectionId};
-pub use kard_rt::{KardExecutor, KardMutex, Session, SimThread};
+pub use kard_core::{
+    FaultShardStats, Kard, KardConfig, KardError, KardSnapshot, LockId, RaceRecord, SectionId,
+};
+pub use kard_rt::{KardExecutor, KardMutex, Session, SessionBuilder, SimThread};
 pub use kard_sim::{CodeSite, Machine, MachineConfig, ProtectionKey, ThreadId};
+
+/// The names most programs need, importable in one line:
+/// `use kard::prelude::*;`.
+///
+/// Covers session assembly ([`Session`], [`SessionBuilder`],
+/// [`KardConfig`], [`MachineConfig`]), the thread-side API
+/// ([`SimThread`], [`KardMutex`], [`CodeSite`]), and the result surface
+/// ([`KardSnapshot`], [`KardError`], [`RaceRecord`]).
+pub mod prelude {
+    pub use kard_core::{KardConfig, KardError, KardSnapshot, RaceRecord};
+    pub use kard_rt::{KardMutex, Session, SessionBuilder, SimThread};
+    pub use kard_sim::{CodeSite, MachineConfig};
+}
 
 #[cfg(test)]
 mod tests {

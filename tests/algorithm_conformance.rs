@@ -111,7 +111,7 @@ fn run_detector(trace: &kard_trace::Trace) -> BTreeSet<u64> {
         key_layout: KeyLayout::with_total_keys(64),
         ..MachineConfig::default()
     };
-    let session = Session::with_config(mc, KardConfig::algorithm_fidelity());
+    let session = Session::builder().machine(mc).config(KardConfig::algorithm_fidelity()).build();
     let mut exec = KardExecutor::new(session.kard().clone());
     replay(trace, &mut exec);
     exec.reports().iter().map(|r| r.object.0).collect()

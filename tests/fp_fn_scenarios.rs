@@ -10,7 +10,7 @@ fn session_with(total_keys: u16, config: KardConfig) -> Session {
         key_layout: KeyLayout::with_total_keys(total_keys),
         ..MachineConfig::default()
     };
-    Session::with_config(mc, config)
+    Session::builder().machine(mc).config(config).build()
 }
 
 /// The sharing false negative (Table 4 row 1): with one pool key, two

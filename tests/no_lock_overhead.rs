@@ -237,6 +237,39 @@ fn owning_thread_alloc_free_takes_no_allocator_locks() {
     );
 }
 
+/// Shard isolation: a fault on object A serializes on A's shard only.
+/// Object B's shard — and every other shard — must stay untouched, which
+/// is the structural fact that lets unrelated faults run in parallel.
+#[test]
+fn fault_on_one_object_never_touches_another_objects_shard() {
+    use kard::core::faultshard::shard_of;
+    use kard::LockId;
+
+    let session = Session::new();
+    let kard = session.kard();
+    let t = kard.register_thread();
+    let a = kard.on_alloc(t, 64);
+    let b = kard.on_alloc(t, 64);
+    let (sa, sb) = (shard_of(a.id), shard_of(b.id));
+    assert_ne!(sa, sb, "consecutive ids land in different shards");
+
+    let before = kard.fault_shard_acquisitions();
+    kard.lock_enter(t, LockId(1), CodeSite(0x50));
+    kard.write(t, a.base, CodeSite(0x51)); // identification fault on A
+    kard.lock_exit(t, LockId(1));
+    let after = kard.fault_shard_acquisitions();
+
+    assert!(after[sa] > before[sa], "the fault took A's shard");
+    for idx in 0..after.len() {
+        if idx != sa {
+            assert_eq!(
+                after[idx], before[idx],
+                "shard {idx} (incl. B's shard {sb}) must stay cold for a fault on A"
+            );
+        }
+    }
+}
+
 #[test]
 fn lock_free_objects_stay_not_accessed() {
     let program = lock_free_program(2, 50);

@@ -99,7 +99,7 @@ fn build_program(per_thread: &[Vec<Step>]) -> kard_trace::PhasedProgram {
 }
 
 fn kard_raced_objects(trace: &kard_trace::Trace, config: KardConfig) -> BTreeSet<u64> {
-    let session = Session::with_config(Default::default(), config);
+    let session = Session::builder().config(config).build();
     let mut exec = KardExecutor::new(session.kard().clone());
     replay(trace, &mut exec);
     let reports = exec.reports();

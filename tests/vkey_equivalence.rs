@@ -23,7 +23,7 @@ use kard::core::{DetectorStats, KeyCachePolicy, VKeyStats};
 use kard::trace::replay::replay;
 use kard::trace::schedule::interleave_round_robin;
 use kard::trace::{ObjectTag, ThreadProgram, Trace};
-use kard::{CodeSite, KardConfig, KardExecutor, LockId, MachineConfig, RaceRecord, Session, ThreadId};
+use kard::{CodeSite, KardConfig, KardExecutor, LockId, RaceRecord, Session, ThreadId};
 use proptest::prelude::*;
 
 fn direct(interleaving: bool) -> KardConfig {
@@ -39,7 +39,7 @@ fn virtualized(interleaving: bool) -> KardConfig {
 }
 
 fn run(trace: &Trace, config: KardConfig) -> (Vec<RaceRecord>, DetectorStats, VKeyStats) {
-    let session = Session::with_config(MachineConfig::default(), config);
+    let session = Session::builder().config(config).build();
     let mut exec = KardExecutor::new(session.kard().clone());
     replay(trace, &mut exec);
     (exec.reports(), exec.stats(), session.kard().vkey_stats())
