@@ -73,6 +73,14 @@ pub struct KardConfig {
     /// ([`crate::faultshard`]). The fault-latency benchmark runs both
     /// modes to measure what sharding buys.
     pub serial_fault_path: bool,
+    /// Take the lock-free section entry/exit fast path: a no-conflict
+    /// `lock_enter`/`lock_exit` pair then costs zero shared lock
+    /// acquisitions (generation-validated per-thread section caches, a CAS
+    /// on the key's holder word, per-thread bookkeeping). On by default;
+    /// turning it off restores the fully locked path as the
+    /// ablation/reference — both modes produce byte-identical reports and
+    /// stats. See the locking-discipline notes in [`crate::detector`].
+    pub lock_free_sections: bool,
 }
 
 impl KardConfig {
@@ -91,6 +99,7 @@ impl KardConfig {
             virtual_keys: false,
             key_cache_policy: KeyCachePolicy::Lru,
             serial_fault_path: false,
+            lock_free_sections: true,
         }
     }
 
@@ -113,6 +122,7 @@ impl KardConfig {
             virtual_keys: false,
             key_cache_policy: KeyCachePolicy::Lru,
             serial_fault_path: false,
+            lock_free_sections: true,
         }
     }
 
@@ -193,6 +203,13 @@ impl KardConfig {
         self
     }
 
+    /// Builder-style setter for [`KardConfig::lock_free_sections`].
+    #[must_use]
+    pub fn lock_free_sections(mut self, on: bool) -> KardConfig {
+        self.lock_free_sections = on;
+        self
+    }
+
     /// A human-readable description of the active key mode, printed by the
     /// report tables and examples so experiment output states which policy
     /// produced it. `pool` is the hardware read-write pool size.
@@ -240,6 +257,7 @@ mod tests {
         assert!(!c.virtual_keys, "the paper's detector works on raw keys");
         assert_eq!(c.key_cache_policy, KeyCachePolicy::Lru);
         assert!(!c.serial_fault_path, "the sharded fault path is the default");
+        assert!(c.lock_free_sections, "the zero-lock section path is the default");
     }
 
     #[test]
@@ -251,6 +269,7 @@ mod tests {
             .measured_fault_delay(Some(24_000))
             .exhaustion(ExhaustionPolicy::ShareOnly)
             .serial_fault_path(true)
+            .lock_free_sections(false)
             .timestamp_filter(false);
         assert!(c.virtual_keys);
         assert_eq!(c.key_cache_policy, KeyCachePolicy::Fifo);
@@ -258,6 +277,7 @@ mod tests {
         assert_eq!(c.measured_fault_delay, Some(24_000));
         assert_eq!(c.exhaustion, ExhaustionPolicy::ShareOnly);
         assert!(c.serial_fault_path);
+        assert!(!c.lock_free_sections, "locked ablation mode selectable");
         assert!(!c.timestamp_filter);
         assert!(c.proactive_acquisition, "untouched fields keep the preset");
     }

@@ -15,18 +15,47 @@
 //! operations synchronize independently:
 //!
 //! * **per-thread state** ([`ThreadSlot`]): each thread's critical-section
-//!   frames and held keys live in that thread's own slot, so section
-//!   entry/exit on distinct threads never contend on a shared context;
+//!   frames, held keys, unique-section set, and section-plan cache live in
+//!   that thread's own slot — published once into a lock-free
+//!   [`SlotRegistry`] and guarded by an [`OwnedCell`] engage CAS, so
+//!   neither finding nor opening a thread's own state takes any shared
+//!   lock;
 //! * **sharded domains**: the object→domain map is split across
 //!   [`DOMAIN_SHARDS`] independently locked shards keyed by object id;
 //! * **per-concern locks**: the key-section map, the section-object map,
-//!   the interleaver, the race-record store, and the unique-section set
-//!   each have their own narrow lock;
+//!   the interleaver, and the race-record store each have their own
+//!   narrow lock — but under [`KardConfig::lock_free_sections`] the
+//!   *common* (no-conflict) section entry/exit never reaches any of them:
+//!   proactive key acquisition rides a per-thread plan cache validated by
+//!   a global generation counter plus one CAS on the key's holder word
+//!   ([`KeyWords`]), and key release is one CAS the same way. Any
+//!   mismatch — stale generation, contended key, multi-key plan — falls
+//!   back to the locked slow path, which stays byte-equivalent;
 //! * **lock-free counters**: statistics and the active-section count are
 //!   relaxed atomics ([`AtomicStats`]);
-//! * **per-thread armed flag**: delay injection (§5.5) consults a relaxed
-//!   per-thread atomic counter mirroring the interleaver's armed
-//!   participation, so a section exit never takes the interleaver lock.
+//! * **per-thread armed/participating flags**: delay injection (§5.5) and
+//!   the exit-time interleaver check consult relaxed per-thread atomic
+//!   counters mirroring the interleaver's participation, so a section
+//!   exit takes the interleaver lock only when this thread is actually
+//!   inside an interleaving.
+//!
+//! The lock-free read side is governed by two published words (the full
+//! memory-ordering protocol is documented in DESIGN.md §5c):
+//!
+//! * `cache_gen`, a global generation counter bumped (SeqCst) *after*
+//!   every mutation that can invalidate a cached section plan — domain
+//!   migrations, section-map growth, key recycling and eviction, arming,
+//!   suspension/restoration, and frees. A plan snapshots the counter
+//!   *before* reading the maps and re-validates it after committing its
+//!   key CAS, so a plan built from a torn read can never validate
+//!   (seqlock-style: writers bump after, readers load before);
+//! * per-key holder words ([`KeyWords`]): `EMPTY` means *no holder
+//!   anywhere* — fast acquire/release is a CAS on the word. Every
+//!   key-table guard first parks the words at `SLOW` and materializes
+//!   fast holders into the table ([`KeyWords::sync`]), and republishes
+//!   `EMPTY` for unheld keys on drop ([`KeyWords::republish`]), so the
+//!   locked world always sees a complete table and the two faces never
+//!   disagree.
 //!
 //! Locking discipline (see DESIGN.md for the full argument):
 //!
@@ -57,9 +86,11 @@
 //!    through to §5.4 rule-3b sharing if none is claimable) instead of
 //!    waiting, so no lock-order cycle can form;
 //! 4. every other lock is a **leaf**: it is acquired, used, and released
-//!    without taking any other detector lock while held (the thread-slot
-//!    registry read-guard, held only long enough to clone a slot `Arc`,
-//!    nests nothing under itself);
+//!    without taking any other detector lock while held. The per-thread
+//!    [`OwnedCell`] contexts follow the same rule from the other side:
+//!    a context is never engaged while `keys`, `vkeys`, or the
+//!    interleaver is held, and an engaged closure never acquires any
+//!    detector lock, so the engage spin is bounded and cycle-free;
 //! 5. the allocator's own synchronization nests strictly *under* the
 //!    detector's: `on_free` and `on_thread_exit` hold fault shards while
 //!    calling into the allocator, whose order is magazine engage check →
@@ -83,7 +114,8 @@ use crate::domains::Domain;
 use crate::error::KardError;
 use crate::faultshard::{FaultPathGuard, FaultShardStats, FaultShards};
 use crate::interleave::{Interleaver, Observation, Verdict};
-use crate::keymap::KeyTable;
+use crate::keymap::{KeyTable, KeyWords};
+use crate::registry::{FastBuildHasher, OwnedCell, SlotRegistry};
 use crate::report::{RaceFingerprint, RaceRecord, RaceSide};
 use crate::sections::SectionObjectMap;
 use crate::stats::{AtomicStats, DetectorStats, KardSnapshot};
@@ -94,11 +126,13 @@ use kard_alloc::{KardAlloc, ObjectId, ObjectInfo};
 use kard_telemetry::event::{pack_domains, DomainCode, GRANT_PROACTIVE, GRANT_REACTIVE};
 use kard_telemetry::{EventKind, Telemetry};
 use kard_sim::{
-    AccessKind, CodeSite, GpFault, KeyLayout, Machine, Permission, Pkru, ProtectionKey, ThreadId,
-    VirtAddr,
+    AccessKind, CodeSite, CostModel, GpFault, KeyLayout, Machine, Permission, Pkru, ProtectionKey,
+    ThreadId, VirtAddr,
 };
+use parking_lot::MutexGuard;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -116,6 +150,47 @@ enum FaultAction {
     Emulated,
 }
 
+/// A one-element-inline vector: the common section acquires zero or one
+/// key, and the entry/exit fast path must not heap-allocate for it. Only
+/// multi-key sections spill.
+#[derive(Clone, Debug)]
+struct TinyVec<T> {
+    first: Option<T>,
+    rest: Vec<T>,
+}
+
+impl<T> TinyVec<T> {
+    fn new() -> TinyVec<T> {
+        TinyVec {
+            first: None,
+            rest: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, value: T) {
+        if self.first.is_none() {
+            self.first = Some(value);
+        } else {
+            self.rest.push(value);
+        }
+    }
+
+    fn iter(&self) -> impl DoubleEndedIterator<Item = &T> {
+        self.first.iter().chain(self.rest.iter())
+    }
+
+    fn retain(&mut self, mut f: impl FnMut(&T) -> bool) {
+        self.rest.retain(&mut f);
+        if self.first.as_ref().is_some_and(|v| !f(v)) {
+            self.first = if self.rest.is_empty() {
+                None
+            } else {
+                Some(self.rest.remove(0))
+            };
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 struct Frame {
     section: SectionId,
@@ -126,25 +201,95 @@ struct Frame {
     /// Keys whose table state this frame changed: `(key, previous perm)` —
     /// `None` means newly acquired (release on exit), `Some(p)` means
     /// widened from `p` (downgrade on exit).
-    acquired: Vec<(ProtectionKey, Option<Perm>)>,
+    acquired: TinyVec<(ProtectionKey, Option<Perm>)>,
 }
 
-#[derive(Clone, Debug, Default)]
+/// A memoized proactive-acquisition plan for one `(section, mode)` pair:
+/// what the locked entry path computed the last time it ran, replayable
+/// without locks while `gen` still matches the global `cache_gen`.
+#[derive(Clone, Copy, Debug)]
+struct CachedEntry {
+    /// `cache_gen` snapshot taken *before* the maps were read; a bump
+    /// after any invalidating mutation makes the entry unreplayable.
+    gen: u64,
+    /// Length of the section's wanted list (for the map-lookup charge).
+    wanted_len: u64,
+    /// The single key+permission to acquire, when `fast`.
+    target: Option<(ProtectionKey, Perm)>,
+    /// Replayable with one CAS: at most one acquisition step. Multi-key
+    /// and permission-widening plans always take the locked path.
+    fast: bool,
+}
+
+/// What a fast section entry is about to replay (resolved from the cache
+/// or trivially, under the thread's own context cell).
+#[derive(Clone, Copy, Debug)]
+struct FastPlan {
+    /// Replay proactive-path charges (`false` when proactive acquisition
+    /// is disabled — the slow path charges nothing for maps then either).
+    proactive: bool,
+    gen: u64,
+    wanted_len: u64,
+    target: Option<(ProtectionKey, Perm)>,
+}
+
+#[derive(Debug, Default)]
 struct ThreadCtx {
     frames: Vec<Frame>,
-    /// Read-write pool keys this thread holds, with permissions.
-    held: HashMap<ProtectionKey, Perm>,
+    /// Read-write pool keys this thread holds, with permissions. Thread-
+    /// private, so the cheap [`FastBuildHasher`] is safe here and in the
+    /// two maps below.
+    held: HashMap<ProtectionKey, Perm, FastBuildHasher>,
+    /// Distinct sections this thread ever entered; [`Kard::stats`] takes
+    /// the union across threads, so section entry never touches a shared
+    /// set.
+    unique_sections: HashSet<SectionId, FastBuildHasher>,
+    /// Memoized entry plans, one per `(section, mode)` this thread has
+    /// entered through the slow path.
+    section_cache: HashMap<(SectionId, SectionMode), CachedEntry, FastBuildHasher>,
 }
 
 /// One registered thread's detector-private state.
 struct ThreadSlot {
-    /// Frames and held keys — touched only by the owning thread's
-    /// entry/exit calls and by the (serialized) fault path.
-    ctx: TrackedMutex<ThreadCtx>,
+    /// Frames, held keys, and per-thread caches — engaged by the owning
+    /// thread's entry/exit calls, the (serialized) fault path, and rare
+    /// cross-thread visitors (eviction stripping, stats merging).
+    ctx: OwnedCell<ThreadCtx>,
     /// Number of *armed* protection interleavings this thread participates
     /// in. Mirrors `Interleaver::has_armed_participant` so the delay
     /// check at section exit is a single relaxed load (§5.5).
     armed: AtomicUsize,
+    /// Number of interleavings (armed or suspended) whose participant set
+    /// contains this thread. Zero means
+    /// `Interleaver::thread_left_critical_sections` would be a no-op, so
+    /// the lock-free exit path skips the interleaver lock entirely.
+    participating: AtomicUsize,
+    /// Section entries by this thread. Written only by the owning thread
+    /// and summed into [`DetectorStats::cs_entries`] at snapshot time, so
+    /// the entry path never touches a shared stats cache line.
+    cs_entries: AtomicU64,
+    /// Proactive key grants performed by this thread's entries (summed
+    /// into [`DetectorStats::proactive_acquisitions`]).
+    proactive_acquisitions: AtomicU64,
+    /// Section-plan cache hits (fast entries replayed from the cache).
+    cache_hits: AtomicU64,
+    /// Section-plan cache misses (eligible entries that fell back to the
+    /// locked path: cold cache, stale generation, or contended key).
+    cache_misses: AtomicU64,
+}
+
+impl ThreadSlot {
+    fn new() -> ThreadSlot {
+        ThreadSlot {
+            ctx: OwnedCell::new(ThreadCtx::default()),
+            armed: AtomicUsize::new(0),
+            participating: AtomicUsize::new(0),
+            cs_entries: AtomicU64::new(0),
+            proactive_acquisitions: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Race records plus the dedup fingerprints guarding them — one concern,
@@ -155,6 +300,35 @@ struct RecordStore {
     seen: HashSet<RaceFingerprint>,
 }
 
+/// The `keys` mutex guard with the lock-free holder words kept coherent:
+/// created via [`Kard::lock_keys`] (which syncs fast holders into the
+/// table), dereferences to the [`KeyTable`], and republishes the fast
+/// path on drop — while the mutex is still held, so no fast CAS can slip
+/// in between the republish and the release.
+struct KeysGuard<'a> {
+    table: MutexGuard<'a, KeyTable>,
+    words: &'a KeyWords,
+}
+
+impl Deref for KeysGuard<'_> {
+    type Target = KeyTable;
+    fn deref(&self) -> &KeyTable {
+        &self.table
+    }
+}
+
+impl DerefMut for KeysGuard<'_> {
+    fn deref_mut(&mut self) -> &mut KeyTable {
+        &mut self.table
+    }
+}
+
+impl Drop for KeysGuard<'_> {
+    fn drop(&mut self) {
+        self.words.republish(&self.table);
+    }
+}
+
 /// The Kard dynamic data race detector. See the
 /// [crate-level example](crate) for typical usage.
 pub struct Kard {
@@ -162,6 +336,10 @@ pub struct Kard {
     alloc: Arc<KardAlloc>,
     config: KardConfig,
     layout: KeyLayout,
+    /// Copy of the machine's (immutable) cost model, so hot paths read
+    /// the charge constants without re-copying the whole struct from the
+    /// machine on every section entry and exit.
+    cost: CostModel,
     /// Total lock acquisitions across every detector lock (see
     /// [`Kard::detector_lock_acquisitions`]).
     lock_acquisitions: Arc<AtomicU64>,
@@ -169,15 +347,25 @@ pub struct Kard {
     /// fault-shard guards (and the rule-2 guard chains under them) are
     /// ever held across other detector-lock acquisitions.
     fault_shards: FaultShards,
-    /// Registered threads, indexed by dense `ThreadId`. Written only at
-    /// registration; read-locked just long enough to clone a slot `Arc`.
-    threads: TrackedRwLock<Vec<Arc<ThreadSlot>>>,
+    /// Registered threads, indexed by dense `ThreadId`. Published once at
+    /// registration; lookup and iteration are lock-free.
+    threads: SlotRegistry<ThreadSlot>,
     /// Object→domain map, sharded by object id.
     domains: Vec<TrackedMutex<HashMap<ObjectId, Domain>>>,
     /// The section-object map (§5.3, Figure 3a).
     sections: TrackedRwLock<SectionObjectMap>,
-    /// The key-section map (§5.4, Figure 3b).
+    /// The key-section map (§5.4, Figure 3b). Acquired only through
+    /// [`Kard::lock_keys`], which keeps the lock-free holder words and
+    /// the table coherent.
     keys: TrackedMutex<KeyTable>,
+    /// The pool keys' lock-free face: CAS-published holder words that let
+    /// an uncontended acquire/release skip the `keys` mutex entirely.
+    words: KeyWords,
+    /// Generation counter over everything a cached section plan depends
+    /// on (section-object map, domains, key assignment). Bumped *after*
+    /// each invalidating mutation; plans snapshot it *before* reading
+    /// and re-validate after committing, so torn reads never validate.
+    cache_gen: AtomicU64,
     /// The virtual→hardware key cache (see [`crate::vkey`]); consulted
     /// only when [`KardConfig::virtual_keys`] is on. When held together
     /// with `keys`, `keys` is always acquired first (order: `keys` →
@@ -187,8 +375,6 @@ pub struct Kard {
     interleaver: TrackedMutex<Interleaver>,
     /// Race records and dedup fingerprints (§5.5).
     records: TrackedMutex<RecordStore>,
-    /// Distinct sections ever entered (feeds `stats.unique_sections`).
-    unique_sections: TrackedMutex<HashSet<SectionId>>,
     /// Lock-free statistic counters.
     stats: AtomicStats,
     /// Critical sections currently in flight.
@@ -219,24 +405,26 @@ impl Kard {
         let tracked = |c: &Arc<AtomicU64>| Arc::clone(c);
         let telemetry = Arc::clone(alloc.telemetry());
         Kard {
+            cost: *machine.cost_model(),
             machine,
             alloc,
             config,
             layout,
             fault_shards: FaultShards::new(config.serial_fault_path),
-            threads: TrackedRwLock::new(Vec::new(), tracked(&counter)),
+            threads: SlotRegistry::new(),
             domains: (0..DOMAIN_SHARDS)
                 .map(|_| TrackedMutex::new(HashMap::new(), tracked(&counter)))
                 .collect(),
             sections: TrackedRwLock::new(SectionObjectMap::new(), tracked(&counter)),
             keys: TrackedMutex::new(KeyTable::new(&layout), tracked(&counter)),
+            words: KeyWords::new(&layout),
+            cache_gen: AtomicU64::new(0),
             vkeys: TrackedMutex::new(
                 VKeyTable::new(config.key_cache_policy),
                 tracked(&counter),
             ),
             interleaver: TrackedMutex::new(Interleaver::new(), tracked(&counter)),
             records: TrackedMutex::new(RecordStore::default(), tracked(&counter)),
-            unique_sections: TrackedMutex::new(HashSet::new(), tracked(&counter)),
             stats: AtomicStats::default(),
             active_sections: AtomicU64::new(0),
             lock_acquisitions: counter,
@@ -322,14 +510,44 @@ impl Kard {
         }
     }
 
-    /// The slot of a registered thread.
-    fn slot(&self, t: ThreadId) -> Arc<ThreadSlot> {
-        Arc::clone(&self.threads.read()[t.0])
+    /// The slot of a registered thread. Lock-free: two acquire loads.
+    fn slot(&self, t: ThreadId) -> &ThreadSlot {
+        self.threads.get(t.0).expect("unregistered thread")
     }
 
     /// The slot of a thread that may not be registered.
-    fn try_slot(&self, t: ThreadId) -> Option<Arc<ThreadSlot>> {
-        self.threads.read().get(t.0).cloned()
+    fn try_slot(&self, t: ThreadId) -> Option<&ThreadSlot> {
+        self.threads.get(t.0).map(Arc::as_ref)
+    }
+
+    /// Acquire the key table with the lock-free holder words folded in.
+    ///
+    /// Every locked use of the key-section map goes through here: on
+    /// acquisition [`KeyWords::sync`] parks the holder words and
+    /// materializes fast holders into the table (making it authoritative
+    /// for the duration), and on drop [`KeyWords::republish`] re-opens
+    /// the fast path for keys the table shows as unheld.
+    fn lock_keys(&self) -> KeysGuard<'_> {
+        let mut table = self.keys.lock();
+        self.words.sync(&mut table);
+        KeysGuard {
+            table,
+            words: &self.words,
+        }
+    }
+
+    /// Section-plan cache counters: `(hits, misses)`. Hits are entries
+    /// replayed without any shared lock; misses are entries that were
+    /// eligible but fell back to the locked path. Scheduling-dependent,
+    /// so exposed separately from [`DetectorStats`].
+    #[must_use]
+    pub fn section_cache_stats(&self) -> (u64, u64) {
+        let (mut hits, mut misses) = (0, 0);
+        for (_, slot) in self.threads.iter() {
+            hits += slot.cache_hits.load(Ordering::Relaxed);
+            misses += slot.cache_misses.load(Ordering::Relaxed);
+        }
+        (hits, misses)
     }
 
     /// The domain-map shard owning `id`.
@@ -353,16 +571,7 @@ impl Kard {
     pub fn register_thread(&self) -> ThreadId {
         let t = self.machine.register_thread();
         self.machine.wrpkru(t, self.base_pkru());
-        let mut threads = self.threads.write();
-        if threads.len() <= t.0 {
-            let counter = Arc::clone(&self.lock_acquisitions);
-            threads.resize_with(t.0 + 1, || {
-                Arc::new(ThreadSlot {
-                    ctx: TrackedMutex::new(ThreadCtx::default(), Arc::clone(&counter)),
-                    armed: AtomicUsize::new(0),
-                })
-            });
-        }
+        self.threads.publish(t.0, Arc::new(ThreadSlot::new()));
         self.telemetry.ensure_thread(t.0);
         t
     }
@@ -409,7 +618,7 @@ impl Kard {
         self.note_fault_entry(t, &shard);
         let prev = self.domain_shard(id).lock().remove(&id);
         if let Some(Domain::ReadWrite(key)) = prev {
-            self.keys.lock().unassign_object(key, id);
+            self.lock_keys().unassign_object(key, id);
         }
         if self.config.virtual_keys {
             // Group membership outlives domain demotion (an evicted
@@ -418,13 +627,22 @@ impl Kard {
             self.vkeys.lock().remove_member(id);
         }
         self.sections.write().remove_object(id);
-        let disarmed = self.interleaver.lock().forget(id);
-        if !disarmed.is_empty() {
-            self.emit(t, EventKind::InterleaveExpire, id.0, 0);
-        }
-        for th in disarmed {
-            let prev = self.slot(th).armed.fetch_sub(1, Ordering::Relaxed);
-            debug_assert!(prev > 0, "armed counter underflow");
+        // Every map this free mutated is plan-relevant: invalidate cached
+        // section plans *after* the mutations above are applied.
+        self.cache_gen.fetch_add(1, Ordering::SeqCst);
+        if let Some(gone) = self.interleaver.lock().forget(id) {
+            if gone.was_armed && !gone.participants.is_empty() {
+                self.emit(t, EventKind::InterleaveExpire, id.0, 0);
+            }
+            for &th in &gone.participants {
+                let slot = self.slot(th);
+                let prev = slot.participating.fetch_sub(1, Ordering::Relaxed);
+                debug_assert!(prev > 0, "participating counter underflow");
+                if gone.was_armed {
+                    let prev = slot.armed.fetch_sub(1, Ordering::Relaxed);
+                    debug_assert!(prev > 0, "armed counter underflow");
+                }
+            }
         }
         self.alloc.free(t, id);
     }
@@ -455,24 +673,18 @@ impl Kard {
     /// capped at read-only permission so that concurrent readers of the
     /// same section can all hold them.
     pub fn lock_enter_mode(&self, t: ThreadId, lock: LockId, site: CodeSite, mode: SectionMode) {
-        let cost = *self.machine.cost_model();
-        self.machine.charge(t, cost.lock_op + cost.atomic_op);
+        let cost = &self.cost;
         let section = SectionId(site);
+        let slot = self.slot(t);
 
-        AtomicStats::bump(&self.stats.cs_entries);
-        {
-            let mut unique = self.unique_sections.lock();
-            unique.insert(section);
-            self.stats
-                .unique_sections
-                .store(unique.len() as u64, Ordering::Relaxed);
-        }
+        slot.cs_entries.fetch_add(1, Ordering::Relaxed);
         let active = self.active_sections.fetch_add(1, Ordering::Relaxed) + 1;
         AtomicStats::raise_to(&self.stats.max_concurrent_sections, active);
         self.emit(t, EventKind::SectionEnter, section.0 .0, active);
-        // Internal-synchronization contention (§5.4: key acquisition is
-        // protected by atomic operations): every program thread contends
-        // on the runtime's shared state at each section entry — cache-line
+        // One charge covers the entry bookkeeping plus internal-
+        // synchronization contention (§5.4: key acquisition is protected
+        // by atomic operations): every program thread contends on the
+        // runtime's shared state at each section entry — cache-line
         // transfers and lock hand-offs grow with the thread count even
         // when lock diversity bounds how many sections overlap. This is
         // the dominant reason Kard's overhead rises with threads (§7.4).
@@ -481,7 +693,9 @@ impl Kard {
             .min(64);
         self.machine.charge(
             t,
-            cost.atomic_op * contenders
+            cost.lock_op
+                + cost.atomic_op
+                + cost.atomic_op * contenders
                 + cost.contended_handoff * contenders * contenders.isqrt(),
         );
 
@@ -489,26 +703,81 @@ impl Kard {
         let mut new_pkru = saved_pkru.clone();
         // Retract k_na: first accesses to Not-accessed objects must fault.
         new_pkru.set_permission(self.layout.not_accessed, Permission::NoAccess);
+        let entered = self.machine.now();
+
+        if self.config.lock_free_sections {
+            // Plan the entry under the thread's own cell. Eligible only at
+            // nesting depth zero with nothing held, so the cached plan's
+            // empty-context simulation matches reality. `None` = nested
+            // (not the fast path's business); `Some(None)` = eligible but
+            // no replayable plan.
+            let plan: Option<Option<FastPlan>> = slot.ctx.with(|ctx| {
+                if !ctx.frames.is_empty() || !ctx.held.is_empty() {
+                    return None;
+                }
+                if !self.config.proactive_acquisition {
+                    // Nothing to look up or acquire: the slow path would
+                    // charge and grant nothing either.
+                    return Some(Some(FastPlan {
+                        proactive: false,
+                        gen: 0,
+                        wanted_len: 0,
+                        target: None,
+                    }));
+                }
+                let gen = self.cache_gen.load(Ordering::SeqCst);
+                Some(match ctx.section_cache.get(&(section, mode)) {
+                    Some(e) if e.fast && e.gen == gen => Some(FastPlan {
+                        proactive: true,
+                        gen,
+                        wanted_len: e.wanted_len,
+                        target: e.target,
+                    }),
+                    _ => None,
+                })
+            });
+            if let Some(eligible) = plan {
+                let committed = eligible.is_some_and(|plan| {
+                    self.commit_fast_enter(
+                        t, slot, section, lock, &saved_pkru, &mut new_pkru, entered, plan,
+                    )
+                });
+                if committed {
+                    if self.config.proactive_acquisition {
+                        slot.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return;
+                }
+                if self.config.proactive_acquisition {
+                    slot.cache_misses.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
 
         let mut frame = Frame {
             section,
             lock,
             saved_pkru,
-            entered: self.machine.now(),
-            acquired: Vec::new(),
+            entered,
+            acquired: TinyVec::new(),
         };
 
-        let slot = self.slot(t);
         let mut held_updates: Vec<(ProtectionKey, Perm)> = Vec::new();
+        let mut cache_update: Option<CachedEntry> = None;
         if self.config.proactive_acquisition {
             // Figure 3b: look up the section-object map, then try to
             // acquire each object's key from the key-section map. The
             // wanted list and each object's domain are read under their
             // own (briefly held) locks; the acquisitions then run under
-            // one key-table guard.
+            // one key-table guard. The generation is snapshotted *before*
+            // the map reads (seqlock read protocol): if any invalidating
+            // mutation lands while we read, its bump postdates `gen` and
+            // the cached plan below can never validate.
+            let gen = self.cache_gen.load(Ordering::SeqCst);
             let wanted = self.sections.read().objects_of(section);
             self.machine
                 .charge(t, cost.map_op * (wanted.len() as u64 + 1));
+            let wanted_len = wanted.len() as u64;
             let mut targets: Vec<(ProtectionKey, Perm)> = Vec::new();
             for (obj, perm) in wanted {
                 let perm = mode.cap(perm);
@@ -519,7 +788,10 @@ impl Kard {
                 };
                 targets.push((key, perm));
             }
-            let mut keys = self.keys.lock();
+            if self.config.lock_free_sections {
+                cache_update = Some(Self::plan_from_targets(gen, wanted_len, &targets));
+            }
+            let mut keys = self.lock_keys();
             for (key, perm) in targets {
                 let prev = keys.holder_perm(key, t);
                 if prev.is_some_and(|p| p >= perm) {
@@ -527,7 +799,7 @@ impl Kard {
                 }
                 self.machine.charge(t, cost.map_op);
                 if keys.try_acquire(key, t, perm, section) {
-                    AtomicStats::bump(&self.stats.proactive_acquisitions);
+                    slot.proactive_acquisitions.fetch_add(1, Ordering::Relaxed);
                     self.emit(t, EventKind::KeyGrant, u64::from(key.0), GRANT_PROACTIVE);
                     frame.acquired.push((key, prev));
                     let eff = keys.holder_perm(key, t).expect("just acquired");
@@ -537,15 +809,116 @@ impl Kard {
             }
         }
 
-        {
-            let mut ctx = slot.ctx.lock();
+        slot.ctx.with(|ctx| {
             for (key, eff) in held_updates {
                 ctx.held.insert(key, eff);
             }
+            ctx.unique_sections.insert(section);
+            if let Some(entry) = cache_update {
+                ctx.section_cache.insert((section, mode), entry);
+            }
             ctx.frames.push(frame);
-        }
+        });
         // One WRPKRU installs k_na retraction plus all proactive grants.
         self.machine.wrpkru(t, new_pkru);
+    }
+
+    /// Simulate the locked entry path's acquisition fold from an empty
+    /// context: per-key effective permission, counting strict-widening
+    /// acquisition steps. The plan is replayable (`fast`) only when the
+    /// whole fold is at most one step — one key, no widening — so the
+    /// replay is exactly one CAS with exactly the slow path's charges,
+    /// grant event, and stat bump.
+    fn plan_from_targets(
+        gen: u64,
+        wanted_len: u64,
+        targets: &[(ProtectionKey, Perm)],
+    ) -> CachedEntry {
+        let mut sim: HashMap<ProtectionKey, Perm> = HashMap::new();
+        let mut grants = 0u64;
+        for &(key, perm) in targets {
+            let cur = sim.get(&key).copied();
+            if cur.is_none_or(|p| p < perm) {
+                grants += 1;
+                sim.insert(key, cur.map_or(perm, |p| p.join(perm)));
+            }
+        }
+        let fast = grants <= 1;
+        CachedEntry {
+            gen,
+            wanted_len,
+            target: if fast { sim.into_iter().next() } else { None },
+            fast,
+        }
+    }
+
+    /// Attempt the zero-shared-lock section entry: acquire the plan's key
+    /// (if any) with one CAS on its holder word, re-validate the
+    /// generation, replay the slow path's charges and events, and commit
+    /// the frame under the thread's own cell. Returns `false` — having
+    /// undone any partial effect — when the locked path must run instead.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_fast_enter(
+        &self,
+        t: ThreadId,
+        slot: &ThreadSlot,
+        section: SectionId,
+        lock: LockId,
+        saved_pkru: &Pkru,
+        new_pkru: &mut Pkru,
+        entered: u64,
+        plan: FastPlan,
+    ) -> bool {
+        if let Some((key, perm)) = plan.target {
+            if !self.words.try_fast_acquire(key, t, perm, section) {
+                return false; // Held, mid-publish, or parked: contended.
+            }
+            // The plan matched `cache_gen` before the CAS, but an
+            // invalidating mutation (say, the key recycled to different
+            // objects) may have landed in between. Re-check after the
+            // acquire is visible; on mismatch retract it as if it never
+            // happened.
+            if self.cache_gen.load(Ordering::SeqCst) != plan.gen {
+                if !self.words.undo_fast_acquire(key, t, perm) {
+                    // A concurrent guard already materialized the hold
+                    // into the table; strip it through the mutex.
+                    self.lock_keys().strip_holder(key, t);
+                }
+                return false;
+            }
+        }
+        let cost = &self.cost;
+        if plan.proactive {
+            // Replay exactly the locked path's map charges, grant event,
+            // and stat bump for this plan (folded into one charge), so
+            // both modes account the same machine work for the same
+            // logical entry.
+            let mut map_ops = plan.wanted_len + 1;
+            if let Some((key, perm)) = plan.target {
+                map_ops += 1;
+                slot.proactive_acquisitions.fetch_add(1, Ordering::Relaxed);
+                self.emit(t, EventKind::KeyGrant, u64::from(key.0), GRANT_PROACTIVE);
+                new_pkru.set_permission(key, perm_to_permission(perm));
+            }
+            self.machine.charge(t, cost.map_op * map_ops);
+        }
+        slot.ctx.with(|ctx| {
+            let mut acquired = TinyVec::new();
+            if let Some((key, perm)) = plan.target {
+                ctx.held.insert(key, perm);
+                acquired.push((key, None));
+            }
+            ctx.unique_sections.insert(section);
+            ctx.frames.push(Frame {
+                section,
+                lock,
+                saved_pkru: saved_pkru.clone(),
+                entered,
+                acquired,
+            });
+        });
+        self.machine.wrpkru(t, new_pkru.clone());
+        true
     }
 
     /// Critical-section exit: called *before* the program's unlock.
@@ -567,36 +940,55 @@ impl Kard {
             // chance to run; a no-op under single-threaded replay.
             std::thread::yield_now();
         }
-        let cost = *self.machine.cost_model();
-        self.machine.charge(t, cost.lock_op + cost.atomic_op);
-        let now = self.machine.rdtscp(t); // §5.4: timestamp key releases.
+        let cost = &self.cost;
+        // One charge covers the exit bookkeeping plus the RDTSCP that
+        // timestamps key releases (§5.4); the clock is read after the
+        // fold, so the stamp matches what separate charges would yield.
+        self.machine
+            .charge(t, cost.lock_op + cost.atomic_op + cost.rdtscp);
+        let now = self.machine.now();
 
-        let (frame, outside_now) = {
-            let mut ctx = slot.ctx.lock();
+        let (frame, releases, outside_now) = slot.ctx.with(|ctx| {
             let frame = ctx.frames.pop().expect("unlock without lock");
             assert_eq!(frame.lock, lock, "mismatched unlock");
+            // Restore the held map, remembering each key's effective
+            // permission during the section (`eff`) — a fast release must
+            // CAS against exactly the permission the holder word carries.
+            let mut releases: TinyVec<(ProtectionKey, Option<Perm>, Option<Perm>)> =
+                TinyVec::new();
             for &(key, prev) in frame.acquired.iter().rev() {
-                match prev {
-                    None => {
-                        ctx.held.remove(&key);
-                    }
-                    Some(perm) => {
-                        ctx.held.insert(key, perm);
-                    }
-                }
+                let eff = match prev {
+                    None => ctx.held.remove(&key),
+                    Some(perm) => ctx.held.insert(key, perm),
+                };
+                releases.push((key, prev, eff));
             }
             let outside_now = ctx.frames.is_empty();
-            (frame, outside_now)
-        };
+            (frame, releases, outside_now)
+        });
 
-        {
-            let mut keys = self.keys.lock();
-            for &(key, prev) in frame.acquired.iter().rev() {
+        // Undo the frame's key-table changes. A newly-acquired key whose
+        // holder word is still fast-published releases with one CAS
+        // (stamping the §5.4 release time into the word's side slots);
+        // everything else — downgrades, materialized holds, the entire
+        // ablation mode — batches under one key-table guard.
+        let mut slow_releases: Vec<(ProtectionKey, Option<Perm>)> = Vec::new();
+        for &(key, prev, eff) in releases.iter() {
+            self.machine.charge(t, cost.map_op);
+            let fast_done = self.config.lock_free_sections
+                && prev.is_none()
+                && eff.is_some_and(|perm| self.words.try_fast_release(key, t, perm, now));
+            if !fast_done {
+                slow_releases.push((key, prev));
+            }
+        }
+        if !slow_releases.is_empty() {
+            let mut keys = self.lock_keys();
+            for &(key, prev) in &slow_releases {
                 match prev {
                     None => keys.release(key, t, now),
                     Some(perm) => keys.downgrade(key, t, perm),
                 }
-                self.machine.charge(t, cost.map_op);
             }
         }
         self.active_sections.fetch_sub(1, Ordering::Relaxed);
@@ -612,12 +1004,25 @@ impl Kard {
             self.telemetry.histograms().section_hold.record(hold);
         }
 
-        if outside_now {
-            let (finished, armed_removed) =
+        // The interleaver cares about this exit only if this thread is a
+        // recorded participant of some interleaving. The relaxed counter
+        // mirrors exactly that membership (every bump happens under the
+        // guards that publish the participation, every decrement under
+        // the removal), so when it reads zero
+        // `thread_left_critical_sections` would be a no-op and the
+        // lock-free mode skips the interleaver lock entirely.
+        let consult_interleaver =
+            !self.config.lock_free_sections || slot.participating.load(Ordering::Relaxed) > 0;
+        if outside_now && consult_interleaver {
+            let (finished, armed_removed, removed) =
                 self.interleaver.lock().thread_left_critical_sections(t);
             if armed_removed > 0 {
                 let prev = slot.armed.fetch_sub(armed_removed, Ordering::Relaxed);
                 debug_assert!(prev >= armed_removed, "armed counter underflow");
+            }
+            if removed > 0 {
+                let prev = slot.participating.fetch_sub(removed, Ordering::Relaxed);
+                debug_assert!(prev >= removed, "participating counter underflow");
             }
             if !finished.is_empty() {
                 // §5.5: restore each object's protection now that every
@@ -651,7 +1056,7 @@ impl Kard {
                         Some(fin.original_key)
                     };
                     if let Some(key) = target {
-                        self.keys.lock().assign_object(key, fin.object);
+                        self.lock_keys().assign_object(key, fin.object);
                         self.domain_shard(fin.object)
                             .lock()
                             .insert(fin.object, Domain::ReadWrite(key));
@@ -692,6 +1097,10 @@ impl Kard {
                         );
                     }
                 }
+                // The restorations above rebound objects to keys and
+                // migrated domains: invalidate cached section plans now
+                // that every mutation is applied.
+                self.cache_gen.fetch_add(1, Ordering::SeqCst);
             }
         }
         self.machine.wrpkru(t, frame.saved_pkru);
@@ -873,6 +1282,9 @@ impl Kard {
                 self.alloc
                     .protect(t, info.id, self.layout.read_only)
                     .expect("k_ro is valid");
+                // The section-object map grew: invalidate cached plans
+                // after the mutation is applied.
+                self.cache_gen.fetch_add(1, Ordering::SeqCst);
             }
             AccessKind::Write => {
                 self.migrate_to_read_write(fault, section, info, DomainCode::NotAccessed, shard);
@@ -916,19 +1328,18 @@ impl Kard {
         AtomicStats::bump(&self.stats.race_check_faults);
         self.emit(t, EventKind::FaultRaceCheck, info.id.0, 0);
         // Snapshot every other thread's frame sections (each under its own
-        // slot lock), then evaluate them against the section-object map.
-        let frame_sections: Vec<(ThreadId, Vec<SectionId>)> = {
-            let threads = self.threads.read();
-            threads.iter().map(Arc::clone).collect::<Vec<_>>()
-        }
-        .iter()
-        .enumerate()
-        .filter(|&(i, _)| ThreadId(i) != t)
-        .map(|(i, slot)| {
-            let sections = slot.ctx.lock().frames.iter().map(|f| f.section).collect();
-            (ThreadId(i), sections)
-        })
-        .collect();
+        // context cell), then evaluate them against the section-object map.
+        let frame_sections: Vec<(ThreadId, Vec<SectionId>)> = self
+            .threads
+            .iter()
+            .filter(|&(i, _)| ThreadId(i) != t)
+            .map(|(i, slot)| {
+                let sections = slot
+                    .ctx
+                    .with(|ctx| ctx.frames.iter().map(|f| f.section).collect());
+                (ThreadId(i), sections)
+            })
+            .collect();
         let reader = {
             let map = self.sections.read();
             frame_sections.iter().find_map(|(other, sections)| {
@@ -985,7 +1396,13 @@ impl Kard {
             let mut il = self.interleaver.lock();
             let idx = il.record_index(info.id).expect("armed");
             let ikey = il.interleaved_key(info.id).expect("armed");
-            let (verdict, disarmed) = il.observe(info.id, obs);
+            let (verdict, disarmed, joined) = il.observe(info.id, obs);
+            if joined {
+                // Published while the interleaver guard is still held, so
+                // no exit or free can observe the membership before the
+                // counter reflects it.
+                self.slot(t).participating.fetch_add(1, Ordering::Relaxed);
+            }
             (idx, ikey, verdict, disarmed)
         };
         for th in disarmed {
@@ -1016,13 +1433,16 @@ impl Kard {
             info.id.0,
             pack_domains(DomainCode::ReadWrite, DomainCode::Suspended),
         );
-        self.keys.lock().unassign_object(ikey, info.id);
+        self.lock_keys().unassign_object(ikey, info.id);
         self.domain_shard(info.id)
             .lock()
             .insert(info.id, Domain::Suspended);
         self.alloc
             .protect(t, info.id, ProtectionKey::DEFAULT)
             .expect("default key is valid");
+        // The object left the Read-write domain: invalidate cached plans
+        // after the suspension is applied.
+        self.cache_gen.fetch_add(1, Ordering::SeqCst);
         FaultAction::Retry
     }
 
@@ -1032,7 +1452,7 @@ impl Kard {
         let t = fault.thread;
         let key = fault.pkey;
         let section = self.current_section(t);
-        let cost = *self.machine.cost_model();
+        let cost = &self.cost;
         self.machine.charge(t, cost.map_op); // key-section map lookup
 
         /// What the single key-table inspection decided.
@@ -1044,7 +1464,7 @@ impl Kard {
         }
 
         let outcome = {
-            let mut keys = self.keys.lock();
+            let mut keys = self.lock_keys();
             let key_state = keys.state(key);
             // Who conflicts? A read conflicts with a write holder; a write
             // conflicts with any holder.
@@ -1145,10 +1565,12 @@ impl Kard {
                         // line 7). The held-key lookup happens before the
                         // key-table guard below — `t` is mid-fault, so its
                         // held set cannot change in between.
-                        let held_min =
-                            self.slot(t).ctx.lock().held.keys().min().copied();
+                        let held_min = self
+                            .slot(t)
+                            .ctx
+                            .with(|ctx| ctx.held.keys().min().copied());
                         let armed_key = {
-                            let mut keys = self.keys.lock();
+                            let mut keys = self.lock_keys();
                             // Re-validate the conflict: it was decided under
                             // an earlier key-table guard, and `lock_exit`
                             // does not take the fault mutex, so the holder
@@ -1193,10 +1615,12 @@ impl Kard {
                                     },
                                     holder_thread,
                                 );
-                                self.slot(t).armed.fetch_add(1, Ordering::Relaxed);
-                                self.slot(holder_thread)
-                                    .armed
-                                    .fetch_add(1, Ordering::Relaxed);
+                                let faulter = self.slot(t);
+                                faulter.armed.fetch_add(1, Ordering::Relaxed);
+                                faulter.participating.fetch_add(1, Ordering::Relaxed);
+                                let holder = self.slot(holder_thread);
+                                holder.armed.fetch_add(1, Ordering::Relaxed);
+                                holder.participating.fetch_add(1, Ordering::Relaxed);
                                 self.emit(
                                     t,
                                     EventKind::InterleaveArm,
@@ -1215,6 +1639,10 @@ impl Kard {
                                 .insert(info.id, Domain::ReadWrite(ikey));
                             self.alloc.protect(t, info.id, ikey).expect("valid key");
                             self.grant_in_context(t, ikey);
+                            // Arming rebound the object to the interleaved
+                            // key: invalidate cached plans now that the
+                            // rebinding is applied.
+                            self.cache_gen.fetch_add(1, Ordering::SeqCst);
                             return FaultAction::Retry;
                         }
                     }
@@ -1259,6 +1687,9 @@ impl Kard {
                 self.sections
                     .write()
                     .record(sec, info.id, perm_for(fault.access));
+                // The section-object map grew: invalidate cached plans
+                // after the record is applied.
+                self.cache_gen.fetch_add(1, Ordering::SeqCst);
                 self.machine.charge(t, cost.map_op * 2);
                 self.grant_in_context(t, key);
                 FaultAction::Retry
@@ -1282,7 +1713,7 @@ impl Kard {
         shard: &FaultPathGuard<'_>,
     ) {
         let t = fault.thread;
-        let cost = *self.machine.cost_model();
+        let cost = &self.cost;
         AtomicStats::bump(&self.stats.read_write_migrations);
         self.emit(
             t,
@@ -1297,13 +1728,12 @@ impl Kard {
         // section keeps one key's objects under one lock's discipline —
         // reusing an outer (different-lock) key would alias objects across
         // locks and manufacture spurious conflicts under nesting.
-        let held_all: Vec<(ProtectionKey, Perm)> = {
-            let slot = self.slot(t);
-            let ctx = slot.ctx.lock();
-            ctx.held.iter().map(|(&k, &p)| (k, p)).collect::<Vec<_>>()
-        };
+        let held_all: Vec<(ProtectionKey, Perm)> = self
+            .slot(t)
+            .ctx
+            .with(|ctx| ctx.held.iter().map(|(&k, &p)| (k, p)).collect());
         let held: Vec<(ProtectionKey, Perm)> = {
-            let keys = self.keys.lock();
+            let keys = self.lock_keys();
             let mut held: Vec<(ProtectionKey, Perm)> = held_all
                 .into_iter()
                 .filter(|&(k, _)| {
@@ -1331,6 +1761,11 @@ impl Kard {
         self.emit(t, EventKind::KeyGrant, u64::from(key.0), GRANT_REACTIVE);
         self.note_held_and_record(t, key, Perm::Write);
         self.grant_in_context(t, key);
+        // The migration (and any recycling or eviction inside the
+        // assignment) changed domains, the section-object map, and key
+        // bindings: invalidate cached plans now that everything above is
+        // applied.
+        self.cache_gen.fetch_add(1, Ordering::SeqCst);
     }
 
     /// The paper's §5.4 effective-assignment policy on raw hardware keys.
@@ -1346,7 +1781,7 @@ impl Kard {
         // sharing heuristic against the section-object map — the closure
         // passed to `choose_key` must not alias the mutable key table.
         let holder_sections: Vec<(ProtectionKey, Vec<SectionId>)> = {
-            let keys = self.keys.lock();
+            let keys = self.lock_keys();
             keys.pool()
                 .iter()
                 .map(|&k| {
@@ -1377,7 +1812,7 @@ impl Kard {
         // until the demotions below are applied.
         let mut claims = self.fault_shards.claims(shard);
         let (assignment, key) = {
-            let mut keys = self.keys.lock();
+            let mut keys = self.lock_keys();
             // `prefer_fresh_keys` (conformance mode): rule 1 is skipped
             // while fresh keys remain, yielding key-per-object granularity.
             let held_for_rule1: &[(ProtectionKey, Perm)] =
@@ -1473,7 +1908,7 @@ impl Kard {
         // `apply_eviction` below has finished the demotions.
         let mut claims = self.fault_shards.claims(shard);
         let (va, pressure) = {
-            let mut keys = self.keys.lock();
+            let mut keys = self.lock_keys();
             let mut vkeys = self.vkeys.lock();
             let va = choose_virtual(
                 &mut vkeys,
@@ -1570,7 +2005,7 @@ impl Kard {
     /// holder, charged to the evictor) and demote the victim group's
     /// members to the Read-only domain with one grouped `pkey_mprotect`.
     fn apply_eviction(&self, t: ThreadId, key: ProtectionKey, ev: &Eviction) {
-        let cost = *self.machine.cost_model();
+        let cost = &self.cost;
         self.emit(
             t,
             EventKind::VKeyEvict,
@@ -1609,12 +2044,13 @@ impl Kard {
     /// to the rebound key instead of silently reaching the new group.
     fn strip_holder_context(&self, h: ThreadId, key: ProtectionKey) {
         if let Some(slot) = self.try_slot(h) {
-            let mut ctx = slot.ctx.lock();
-            ctx.held.remove(&key);
-            for frame in &mut ctx.frames {
-                frame.acquired.retain(|&(k, _)| k != key);
-                frame.saved_pkru.set_permission(key, Permission::NoAccess);
-            }
+            slot.ctx.with(|ctx| {
+                ctx.held.remove(&key);
+                for frame in &mut ctx.frames {
+                    frame.acquired.retain(|&(k, _)| k != key);
+                    frame.saved_pkru.set_permission(key, Permission::NoAccess);
+                }
+            });
         }
         let mut pkru = self.machine.rdpkru(h);
         pkru.set_permission(key, Permission::NoAccess);
@@ -1637,7 +2073,8 @@ impl Kard {
         let Some(holder) = logical.iter().find(|h| {
             h.thread != t
                 && self.try_slot(h.thread).is_some_and(|slot| {
-                    slot.ctx.lock().frames.iter().any(|f| f.section == h.section)
+                    slot.ctx
+                        .with(|ctx| ctx.frames.iter().any(|f| f.section == h.section))
                 })
         }) else {
             return;
@@ -1694,7 +2131,7 @@ impl Kard {
 
     fn current_section(&self, t: ThreadId) -> Option<SectionId> {
         self.try_slot(t)
-            .and_then(|slot| slot.ctx.lock().frames.last().map(|f| f.section))
+            .and_then(|slot| slot.ctx.with(|ctx| ctx.frames.last().map(|f| f.section)))
     }
 
     /// Track `key` in the thread's held map (joining permissions) and
@@ -1706,23 +2143,23 @@ impl Kard {
         key: ProtectionKey,
         perm: Perm,
     ) -> Option<Perm> {
-        let slot = self.slot(t);
-        let mut ctx = slot.ctx.lock();
-        let prev = ctx.held.get(&key).copied();
-        let joined = prev.map_or(perm, |p| p.join(perm));
-        ctx.held.insert(key, joined);
-        if let Some(frame) = ctx.frames.last_mut() {
-            if prev != Some(joined) {
-                frame.acquired.push((key, prev));
+        self.slot(t).ctx.with(|ctx| {
+            let prev = ctx.held.get(&key).copied();
+            let joined = prev.map_or(perm, |p| p.join(perm));
+            ctx.held.insert(key, joined);
+            if let Some(frame) = ctx.frames.last_mut() {
+                if prev != Some(joined) {
+                    frame.acquired.push((key, prev));
+                }
             }
-        }
-        prev
+            prev
+        })
     }
 
     /// Install the thread's current effective permission for `key` through
     /// its saved context (the fault-handler path, §5.4).
     fn grant_in_context(&self, t: ThreadId, key: ProtectionKey) {
-        let perm = self.slot(t).ctx.lock().held.get(&key).copied();
+        let perm = self.slot(t).ctx.with(|ctx| ctx.held.get(&key).copied());
         let mut pkru = self.machine.rdpkru(t);
         pkru.set_permission(
             key,
@@ -1737,11 +2174,21 @@ impl Kard {
         self.records.lock().records.iter().flatten().cloned().collect()
     }
 
-    /// Statistics snapshot.
+    /// Statistics snapshot. The unique-section count is the union of the
+    /// per-thread section sets, and the entry/grant totals are sums over
+    /// the per-thread slots — entries never touch a shared stats line.
     #[must_use]
     pub fn stats(&self) -> DetectorStats {
         let mut stats = self.stats.snapshot();
         stats.races_reported = self.records.lock().records.iter().flatten().count() as u64;
+        let mut unique: HashSet<SectionId> = HashSet::new();
+        for (_, slot) in self.threads.iter() {
+            slot.ctx
+                .with(|ctx| unique.extend(ctx.unique_sections.iter().copied()));
+            stats.cs_entries += slot.cs_entries.load(Ordering::Relaxed);
+            stats.proactive_acquisitions += slot.proactive_acquisitions.load(Ordering::Relaxed);
+        }
+        stats.unique_sections = unique.len() as u64;
         stats
     }
 

@@ -88,6 +88,18 @@ pub struct Finished {
     pub resolved: bool,
 }
 
+/// State discarded by [`Interleaver::forget`] (the object was freed
+/// mid-interleaving), returned so the detector can settle the per-thread
+/// armed and participating counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Forgotten {
+    /// The participants of the discarded interleaving, in thread order.
+    pub participants: Vec<ThreadId>,
+    /// Whether it was still armed (participants then also carry an armed
+    /// count for it).
+    pub was_armed: bool,
+}
+
 /// The protection-interleaving engine: at most one active interleaving per
 /// object.
 #[derive(Clone, Debug, Default)]
@@ -156,23 +168,28 @@ impl Interleaver {
         self.active.get(&object).map(|s| s.record_index)
     }
 
-    /// Feed the counterpart's fault. Returns the verdict plus the threads
+    /// Feed the counterpart's fault. Returns the verdict, the threads
     /// *disarmed* by it — the participants of the (previously armed)
     /// interleaving, whose per-thread armed counters the detector must
-    /// decrement — and transitions the object to the suspended phase (the
-    /// detector unprotects it).
+    /// decrement — and whether the observer *newly joined* the participant
+    /// set (the detector then increments its participating counter), and
+    /// transitions the object to the suspended phase (the detector
+    /// unprotects it).
     ///
-    /// Armed-counter balance: every participant gains one armed count at
+    /// Counter balance: every participant gains one armed count at
     /// [`Interleaver::begin`] and loses it exactly once — here, in
     /// [`Interleaver::thread_left_critical_sections`], or in
     /// [`Interleaver::forget`]. The observing thread, if it was not already
     /// a participant, joins only the (suspended) participant set and never
-    /// carries an armed count for this object.
+    /// carries an armed count for this object. Participating counts mirror
+    /// the participant sets the same way: gained at `begin` or on joining
+    /// here, lost on removal in `thread_left_critical_sections` or
+    /// `forget`.
     ///
     /// # Panics
     ///
     /// Panics if the object is not armed.
-    pub fn observe(&mut self, object: ObjectId, obs: Observation) -> (Verdict, Vec<ThreadId>) {
+    pub fn observe(&mut self, object: ObjectId, obs: Observation) -> (Verdict, Vec<ThreadId>, bool) {
         let state = self
             .active
             .get_mut(&object)
@@ -180,7 +197,7 @@ impl Interleaver {
             .unwrap_or_else(|| panic!("object {object} is not armed"));
         let mut disarmed: Vec<ThreadId> = state.participants.iter().copied().collect();
         disarmed.sort();
-        state.participants.insert(obs.thread);
+        let joined = state.participants.insert(obs.thread);
 
         // Byte-level test: does any earlier observation from a different
         // thread overlap this one, with at least one write involved?
@@ -199,20 +216,29 @@ impl Interleaver {
             Some(prev) => Verdict::Confirmed(prev),
             None => Verdict::PrunedDifferentOffset,
         };
-        (verdict, disarmed)
+        (verdict, disarmed, joined)
     }
 
     /// Notify that `thread` is no longer inside any critical section.
     /// Returns the interleavings that thereby finished (the detector
-    /// restores each object's protection) and the number of *armed*
+    /// restores each object's protection), the number of *armed*
     /// interleavings `thread` was removed from (the detector decrements
-    /// the thread's armed counter by that many).
-    pub fn thread_left_critical_sections(&mut self, thread: ThreadId) -> (Vec<Finished>, usize) {
+    /// the thread's armed counter by that many), and the total number of
+    /// participant sets it was removed from (the participating-counter
+    /// decrement — see [`Interleaver::observe`] for the balance).
+    pub fn thread_left_critical_sections(
+        &mut self,
+        thread: ThreadId,
+    ) -> (Vec<Finished>, usize, usize) {
         let mut finished = Vec::new();
         let mut armed_removed = 0;
+        let mut removed = 0;
         self.active.retain(|&object, state| {
-            if state.participants.remove(&thread) && state.phase == Phase::Armed {
-                armed_removed += 1;
+            if state.participants.remove(&thread) {
+                removed += 1;
+                if state.phase == Phase::Armed {
+                    armed_removed += 1;
+                }
             }
             if state.participants.is_empty() {
                 finished.push(Finished {
@@ -227,7 +253,7 @@ impl Interleaver {
             }
         });
         finished.sort_by_key(|f| f.object);
-        (finished, armed_removed)
+        (finished, armed_removed, removed)
     }
 
     /// Whether `thread` participates in any interleaving that is still
@@ -244,18 +270,20 @@ impl Interleaver {
     }
 
     /// Drop any interleaving state for `object` (the object was freed).
-    /// Returns the threads disarmed by this: the participants, if the
-    /// interleaving was still armed (see [`Interleaver::observe`] for the
-    /// armed-counter balance).
-    pub fn forget(&mut self, object: ObjectId) -> Vec<ThreadId> {
-        match self.active.remove(&object) {
-            Some(state) if state.phase == Phase::Armed => {
-                let mut disarmed: Vec<ThreadId> = state.participants.into_iter().collect();
-                disarmed.sort();
-                disarmed
+    /// Returns the discarded state's participants and whether it was still
+    /// armed, so the detector can settle both per-thread counters: every
+    /// participant loses one participating count, and — when the
+    /// interleaving was still armed — one armed count (see
+    /// [`Interleaver::observe`] for the balance).
+    pub fn forget(&mut self, object: ObjectId) -> Option<Forgotten> {
+        self.active.remove(&object).map(|state| {
+            let mut participants: Vec<ThreadId> = state.participants.into_iter().collect();
+            participants.sort();
+            Forgotten {
+                participants,
+                was_armed: state.phase == Phase::Armed,
             }
-            _ => Vec::new(),
-        }
+        })
     }
 
     /// Number of objects currently under interleaving.
@@ -295,7 +323,7 @@ mod tests {
         let mut il = Interleaver::new();
         begin(&mut il);
         assert!(il.is_armed(ObjectId(1)));
-        let (verdict, disarmed) = il.observe(ObjectId(1), obs(1, 8, AccessKind::Write));
+        let (verdict, disarmed, joined) = il.observe(ObjectId(1), obs(1, 8, AccessKind::Write));
         assert_eq!(verdict, Verdict::Confirmed(obs(2, 8, AccessKind::Read)));
         assert!(!il.is_armed(ObjectId(1)), "suspended after verdict");
         assert_eq!(
@@ -303,13 +331,14 @@ mod tests {
             vec![ThreadId(1), ThreadId(2)],
             "both armed participants are disarmed by the verdict"
         );
+        assert!(!joined, "the holder was already a participant");
     }
 
     #[test]
     fn different_offsets_prune() {
         let mut il = Interleaver::new();
         begin(&mut il);
-        let (verdict, _) = il.observe(ObjectId(1), obs(1, 16, AccessKind::Write));
+        let (verdict, _, _) = il.observe(ObjectId(1), obs(1, 16, AccessKind::Write));
         assert_eq!(verdict, Verdict::PrunedDifferentOffset);
     }
 
@@ -324,7 +353,7 @@ mod tests {
             obs(2, 8, AccessKind::Read),
             ThreadId(1),
         );
-        let (verdict, _) = il.observe(ObjectId(1), obs(1, 8, AccessKind::Read));
+        let (verdict, _, _) = il.observe(ObjectId(1), obs(1, 8, AccessKind::Read));
         assert_eq!(
             verdict,
             Verdict::PrunedDifferentOffset,
@@ -337,10 +366,11 @@ mod tests {
         let mut il = Interleaver::new();
         begin(&mut il);
         il.observe(ObjectId(1), obs(1, 8, AccessKind::Write));
-        let (done, armed_removed) = il.thread_left_critical_sections(ThreadId(1));
+        let (done, armed_removed, removed) = il.thread_left_critical_sections(ThreadId(1));
         assert!(done.is_empty());
         assert_eq!(armed_removed, 0, "suspended objects carry no armed count");
-        let (done, armed_removed) = il.thread_left_critical_sections(ThreadId(2));
+        assert_eq!(removed, 1, "but the participant set still shrinks");
+        let (done, armed_removed, removed) = il.thread_left_critical_sections(ThreadId(2));
         assert_eq!(
             done,
             vec![Finished {
@@ -351,6 +381,7 @@ mod tests {
             }]
         );
         assert_eq!(armed_removed, 0);
+        assert_eq!(removed, 1);
         assert_eq!(il.active_count(), 0);
     }
 
@@ -360,12 +391,14 @@ mod tests {
         // without re-touching the object, so no verdict is delivered.
         let mut il = Interleaver::new();
         begin(&mut il);
-        let (done, armed_removed) = il.thread_left_critical_sections(ThreadId(1));
+        let (done, armed_removed, removed) = il.thread_left_critical_sections(ThreadId(1));
         assert!(done.is_empty());
         assert_eq!(armed_removed, 1, "leaving an armed interleaving disarms");
-        let (done, armed_removed) = il.thread_left_critical_sections(ThreadId(2));
+        assert_eq!(removed, 1);
+        let (done, armed_removed, removed) = il.thread_left_critical_sections(ThreadId(2));
         assert_eq!(done.len(), 1);
         assert_eq!(armed_removed, 1);
+        assert_eq!(removed, 1);
         assert!(!done[0].resolved, "no verdict: candidate stays reported");
     }
 
@@ -373,13 +406,14 @@ mod tests {
     fn third_thread_observation_compares_against_all() {
         let mut il = Interleaver::new();
         begin(&mut il); // t2 read at offset 8.
-        let (verdict, disarmed) = il.observe(ObjectId(1), obs(3, 8, AccessKind::Write));
+        let (verdict, disarmed, joined) = il.observe(ObjectId(1), obs(3, 8, AccessKind::Write));
         assert!(matches!(verdict, Verdict::Confirmed(_)));
         assert_eq!(
             disarmed,
             vec![ThreadId(1), ThreadId(2)],
             "the observer was not a participant, so it is not disarmed"
         );
+        assert!(joined, "the third thread newly joined the participant set");
     }
 
     #[test]
@@ -400,14 +434,16 @@ mod tests {
     fn forget_discards_state() {
         let mut il = Interleaver::new();
         begin(&mut il);
-        let disarmed = il.forget(ObjectId(1));
+        let gone = il.forget(ObjectId(1)).expect("state existed");
         assert_eq!(il.active_count(), 0);
         assert!(!il.is_armed(ObjectId(1)));
         assert_eq!(
-            disarmed,
+            gone.participants,
             vec![ThreadId(1), ThreadId(2)],
-            "forgetting an armed interleaving disarms its participants"
+            "forgetting returns the participants for counter settlement"
         );
+        assert!(gone.was_armed, "still armed: participants also disarm");
+        assert!(il.forget(ObjectId(1)).is_none(), "nothing left to forget");
     }
 
     #[test]
@@ -415,10 +451,12 @@ mod tests {
         let mut il = Interleaver::new();
         begin(&mut il);
         il.observe(ObjectId(1), obs(1, 8, AccessKind::Write));
+        let gone = il.forget(ObjectId(1)).expect("state existed");
         assert!(
-            il.forget(ObjectId(1)).is_empty(),
+            !gone.was_armed,
             "the verdict already disarmed the participants"
         );
+        assert_eq!(gone.participants, vec![ThreadId(1), ThreadId(2)]);
     }
 
     #[test]

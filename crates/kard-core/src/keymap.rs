@@ -1,11 +1,22 @@
 //! The **key-section map** (paper §5.4, Figure 3b): which sections and
 //! threads currently hold each read-write pool key, which objects each key
 //! protects, and when keys were last released (for the timestamp filter).
+//!
+//! Since PR 6 the table has two faces. The [`KeyTable`] under the detector's
+//! `keys` mutex remains the authoritative map, but the *uncontended* hold
+//! and release of a key — the entire life of a private-lock critical
+//! section — goes through [`KeyWords`]: one CAS-published holder word per
+//! pool key, living outside the mutex. Every acquisition of the `keys`
+//! mutex synchronizes the two ([`KeyWords::sync`] materializes fast holders
+//! into the table and parks every word) and republishes free keys on
+//! release ([`KeyWords::republish`]), so slow-path code continues to see
+//! exactly the single coherent table it always has.
 
 use crate::types::{Perm, SectionId};
 use kard_alloc::ObjectId;
-use kard_sim::{KeyLayout, ProtectionKey, ThreadId};
+use kard_sim::{CodeSite, KeyLayout, ProtectionKey, ThreadId};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One holder's entry in the key-section map.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -258,6 +269,213 @@ impl KeyTable {
     }
 }
 
+/// Holder word states. `EMPTY` is only ever published when the table shows
+/// no holder for the key, so winning the `EMPTY → BUSY` CAS establishes
+/// sole holdership without consulting the table.
+const WORD_EMPTY: u64 = 0;
+/// Transient state while the winning acquirer publishes its section site;
+/// [`KeyWords::sync`] spins through it (the owner is wait-free inside).
+const WORD_BUSY: u64 = 1;
+/// The key's state lives in the locked table; every fast CAS fails until
+/// a mutex release republishes `EMPTY`.
+const WORD_SLOW: u64 = u64::MAX;
+
+fn pack_fast(t: ThreadId, perm: Perm) -> u64 {
+    let perm_bits = match perm {
+        Perm::Read => 1,
+        Perm::Write => 2,
+    };
+    ((t.0 as u64 + 1) << 3) | perm_bits
+}
+
+fn unpack_fast(word: u64) -> (ThreadId, Perm) {
+    let perm = match word & 0b111 {
+        1 => Perm::Read,
+        2 => Perm::Write,
+        bits => unreachable!("corrupt holder word permission bits {bits}"),
+    };
+    (ThreadId(((word >> 3) - 1) as usize), perm)
+}
+
+/// One pool key's lock-free face: its holder word plus side slots for the
+/// data the slow path would have written into the table.
+struct KeyWord {
+    /// `WORD_EMPTY`, `WORD_BUSY`, `WORD_SLOW`, or a packed `(thread, perm)`.
+    state: AtomicU64,
+    /// Section site of the current fast holder. Written only between the
+    /// `EMPTY → BUSY` and `BUSY → FAST` transitions, so it is stable
+    /// whenever the state reads as a fast holder.
+    section: AtomicU64,
+    /// Pending `last_writer_release` stamp (+1; 0 = none), written by fast
+    /// write-permission releases and folded into the table on `sync`.
+    release_stamp: AtomicU64,
+    /// Thread (+1) of the pending release stamp.
+    release_writer: AtomicU64,
+}
+
+/// CAS-published holder words for the read-write pool (§5.4 key-section
+/// map, lock-free face).
+///
+/// Protocol invariant: a word reads `WORD_EMPTY` **iff** the table has no
+/// holder for that key *and* no fast holder exists, so:
+///
+/// * fast acquire = one `EMPTY → BUSY → FAST(t, perm)` transition, fast
+///   release = stamp slots + one `FAST(t, perm) → EMPTY` CAS — zero locks;
+/// * any slow-path code that takes the `keys` mutex first calls [`sync`],
+///   which parks every word at `WORD_SLOW` (failing all fast CASes for the
+///   duration) and force-acquires fast holders into the table, then on
+///   guard drop [`republish`]es `EMPTY` for keys with no table holders.
+///
+/// [`sync`]: KeyWords::sync
+/// [`republish`]: KeyWords::republish
+pub struct KeyWords {
+    words: Vec<KeyWord>,
+    first: u16,
+}
+
+impl KeyWords {
+    /// Words for `layout`'s read-write pool, all starting `EMPTY`.
+    #[must_use]
+    pub fn new(layout: &KeyLayout) -> KeyWords {
+        let pool: Vec<_> = layout.read_write_pool().collect();
+        let first = pool.first().map_or(0, |k| k.0);
+        debug_assert!(
+            pool.iter().enumerate().all(|(i, k)| k.0 == first + i as u16),
+            "read-write pool keys must be contiguous"
+        );
+        KeyWords {
+            words: pool
+                .iter()
+                .map(|_| KeyWord {
+                    state: AtomicU64::new(WORD_EMPTY),
+                    section: AtomicU64::new(0),
+                    release_stamp: AtomicU64::new(0),
+                    release_writer: AtomicU64::new(0),
+                })
+                .collect(),
+            first,
+        }
+    }
+
+    fn word(&self, key: ProtectionKey) -> &KeyWord {
+        &self.words[(key.0 - self.first) as usize]
+    }
+
+    /// Try to make `t` the sole holder of `key` with `perm` without
+    /// touching the table. Fails (returns `false`) when the key has any
+    /// holder, is mid-transition, or is parked at `WORD_SLOW`.
+    pub fn try_fast_acquire(
+        &self,
+        key: ProtectionKey,
+        t: ThreadId,
+        perm: Perm,
+        section: SectionId,
+    ) -> bool {
+        let word = self.word(key);
+        if word
+            .state
+            .compare_exchange(WORD_EMPTY, WORD_BUSY, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return false;
+        }
+        word.section.store(section.0 .0, Ordering::SeqCst);
+        word.state.store(pack_fast(t, perm), Ordering::SeqCst);
+        true
+    }
+
+    /// Release a fast hold, stamping the write-release time into the side
+    /// slots exactly as [`KeyTable::release`] would into the table. Fails
+    /// when the word was parked by a concurrent `sync` (the hold was
+    /// materialized into the table; release via the mutex instead).
+    pub fn try_fast_release(&self, key: ProtectionKey, t: ThreadId, perm: Perm, now: u64) -> bool {
+        let word = self.word(key);
+        if perm == Perm::Write {
+            word.release_writer.store(t.0 as u64 + 1, Ordering::SeqCst);
+            word.release_stamp.store(now + 1, Ordering::SeqCst);
+        }
+        word.state
+            .compare_exchange(pack_fast(t, perm), WORD_EMPTY, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Retract a fast acquire that must not become visible (the entry
+    /// cache turned out to be stale), leaving no release stamp. Fails when
+    /// a concurrent `sync` already materialized the hold.
+    pub fn undo_fast_acquire(&self, key: ProtectionKey, t: ThreadId, perm: Perm) -> bool {
+        self.word(key)
+            .state
+            .compare_exchange(pack_fast(t, perm), WORD_EMPTY, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Park every word at `WORD_SLOW` and make `table` authoritative:
+    /// fast holders are force-acquired into it, pending release stamps are
+    /// folded in (the clock is global and monotone, so newest-wins). Must
+    /// be called with the `keys` mutex held, before the table is read.
+    pub fn sync(&self, table: &mut KeyTable) {
+        for (i, word) in self.words.iter().enumerate() {
+            let key = ProtectionKey(self.first + i as u16);
+            loop {
+                let cur = word.state.load(Ordering::SeqCst);
+                if cur == WORD_SLOW {
+                    break;
+                }
+                if cur == WORD_BUSY {
+                    std::hint::spin_loop();
+                    continue;
+                }
+                if word
+                    .state
+                    .compare_exchange(cur, WORD_SLOW, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_err()
+                {
+                    continue;
+                }
+                if cur != WORD_EMPTY {
+                    let (holder, perm) = unpack_fast(cur);
+                    let section = SectionId(CodeSite(word.section.load(Ordering::SeqCst)));
+                    table.force_acquire(key, holder, perm, section);
+                }
+                let stamp = word.release_stamp.load(Ordering::SeqCst);
+                if stamp != 0 {
+                    let stamp = stamp - 1;
+                    let state = table.state_mut(key);
+                    if state.last_writer_release.is_none_or(|r| r < stamp) {
+                        state.last_writer_release = Some(stamp);
+                        state.last_writer = word
+                            .release_writer
+                            .load(Ordering::SeqCst)
+                            .checked_sub(1)
+                            .map(|raw| ThreadId(raw as usize));
+                    }
+                }
+                break;
+            }
+        }
+    }
+
+    /// Re-open the fast path for every key the table shows as unheld.
+    /// Must be called as the `keys` mutex is released, after every table
+    /// mutation of the critical section is complete.
+    pub fn republish(&self, table: &KeyTable) {
+        for (i, word) in self.words.iter().enumerate() {
+            let key = ProtectionKey(self.first + i as u16);
+            if table.state(key).holders.is_empty() {
+                word.state.store(WORD_EMPTY, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for KeyWords {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyWords")
+            .field("keys", &self.words.len())
+            .finish_non_exhaustive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,5 +584,80 @@ mod tests {
     fn non_pool_key_rejected() {
         let table = table();
         let _ = table.state(ProtectionKey(14));
+    }
+
+    #[test]
+    fn fast_acquire_is_exclusive_and_release_reopens() {
+        let words = KeyWords::new(&KeyLayout::mpk());
+        let k = ProtectionKey(3);
+        assert!(words.try_fast_acquire(k, ThreadId(0), Perm::Write, s(9)));
+        assert!(
+            !words.try_fast_acquire(k, ThreadId(1), Perm::Write, s(10)),
+            "held word refuses a second holder"
+        );
+        assert!(words.try_fast_release(k, ThreadId(0), Perm::Write, 500));
+        assert!(words.try_fast_acquire(k, ThreadId(1), Perm::Write, s(10)));
+    }
+
+    #[test]
+    fn sync_materializes_fast_holders_and_parks_words() {
+        let mut table = table();
+        let words = KeyWords::new(&KeyLayout::mpk());
+        let k = ProtectionKey(2);
+        assert!(words.try_fast_acquire(k, ThreadId(4), Perm::Write, s(77)));
+        words.sync(&mut table);
+        let info = table.state(k).holders[&ThreadId(4)];
+        assert_eq!(info.perm, Perm::Write);
+        assert_eq!(info.section, s(77));
+        // Parked: the materialized holder must release via the table.
+        assert!(!words.try_fast_release(k, ThreadId(4), Perm::Write, 100));
+        assert!(!words.try_fast_acquire(ProtectionKey(5), ThreadId(0), Perm::Read, s(1)));
+        // Republish after the table-side release re-opens the fast path.
+        table.release(k, ThreadId(4), 200);
+        words.republish(&table);
+        assert!(words.try_fast_acquire(k, ThreadId(0), Perm::Read, s(1)));
+    }
+
+    #[test]
+    fn sync_folds_fast_release_stamps_newest_wins() {
+        let mut table = table();
+        let words = KeyWords::new(&KeyLayout::mpk());
+        let k = ProtectionKey(1);
+        assert!(words.try_fast_acquire(k, ThreadId(2), Perm::Write, s(5)));
+        assert!(words.try_fast_release(k, ThreadId(2), Perm::Write, 400));
+        words.sync(&mut table);
+        assert_eq!(table.state(k).last_writer_release, Some(400));
+        assert_eq!(table.state(k).last_writer, Some(ThreadId(2)));
+        // A newer table-side stamp is not clobbered by the stale slot.
+        table.try_acquire(k, ThreadId(3), Perm::Write, s(6));
+        table.release(k, ThreadId(3), 900);
+        words.republish(&table);
+        let mut table2 = table.clone();
+        words.sync(&mut table2);
+        assert_eq!(table2.state(k).last_writer_release, Some(900));
+        assert_eq!(table2.state(k).last_writer, Some(ThreadId(3)));
+    }
+
+    #[test]
+    fn undo_retracts_without_stamping() {
+        let mut table = table();
+        let words = KeyWords::new(&KeyLayout::mpk());
+        let k = ProtectionKey(7);
+        assert!(words.try_fast_acquire(k, ThreadId(1), Perm::Write, s(2)));
+        assert!(words.undo_fast_acquire(k, ThreadId(1), Perm::Write));
+        words.sync(&mut table);
+        assert!(table.state(k).holders.is_empty());
+        assert_eq!(table.state(k).last_writer_release, None);
+    }
+
+    #[test]
+    fn read_holds_do_not_stamp_release_times() {
+        let mut table = table();
+        let words = KeyWords::new(&KeyLayout::mpk());
+        let k = ProtectionKey(4);
+        assert!(words.try_fast_acquire(k, ThreadId(0), Perm::Read, s(3)));
+        assert!(words.try_fast_release(k, ThreadId(0), Perm::Read, 123));
+        words.sync(&mut table);
+        assert_eq!(table.state(k).last_writer_release, None);
     }
 }

@@ -58,6 +58,7 @@ pub mod error;
 pub mod faultshard;
 pub mod interleave;
 pub mod keymap;
+pub mod registry;
 pub mod report;
 pub mod sections;
 pub mod stats;

@@ -171,15 +171,15 @@ pub struct KardSnapshot {
 /// The detector's hot paths (section entry/exit, every fault) bump these
 /// counters with relaxed atomic increments instead of taking any lock; a
 /// [`AtomicStats::snapshot`] materializes a plain [`DetectorStats`] for
-/// reporting. `races_reported` is not accumulated here — it is derived
-/// from the surviving race records at snapshot time, because pruning can
-/// retract a report after the fact.
+/// reporting. Two counters are not accumulated here: `races_reported` is
+/// derived from the surviving race records at snapshot time (pruning can
+/// retract a report after the fact), and `unique_sections` is the merge of
+/// per-thread section sets (a shared distinct-set would need a lock on the
+/// entry path).
 #[derive(Debug, Default)]
 pub struct AtomicStats {
     /// See [`DetectorStats::cs_entries`].
     pub cs_entries: AtomicU64,
-    /// See [`DetectorStats::unique_sections`].
-    pub unique_sections: AtomicU64,
     /// See [`DetectorStats::max_concurrent_sections`].
     pub max_concurrent_sections: AtomicU64,
     /// See [`DetectorStats::objects_identified`].
@@ -224,14 +224,18 @@ impl AtomicStats {
         counter.fetch_max(value, Ordering::Relaxed);
     }
 
-    /// A plain-value snapshot. `races_reported` is left at zero; the
-    /// detector fills it in from its record store.
+    /// A plain-value snapshot. `races_reported` and `unique_sections` are
+    /// left at zero; the detector fills them in from its record store and
+    /// from the union of the per-thread section sets (the distinct-section
+    /// tally moved off the entry path in PR 6 — each thread records the
+    /// sections it has entered in its own slot, merged only here, at
+    /// snapshot time).
     #[must_use]
     pub fn snapshot(&self) -> DetectorStats {
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         DetectorStats {
             cs_entries: get(&self.cs_entries),
-            unique_sections: get(&self.unique_sections),
+            unique_sections: 0,
             max_concurrent_sections: get(&self.max_concurrent_sections),
             objects_identified: get(&self.objects_identified),
             read_only_migrations: get(&self.read_only_migrations),

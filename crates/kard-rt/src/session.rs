@@ -108,19 +108,6 @@ impl Session {
         SessionBuilder::default()
     }
 
-    /// A session with explicit machine and detector configuration.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Session::builder().machine(..).config(..).build()`"
-    )]
-    #[must_use]
-    pub fn with_config(machine_config: MachineConfig, kard_config: KardConfig) -> Session {
-        Session::builder()
-            .machine(machine_config)
-            .config(kard_config)
-            .build()
-    }
-
     /// The simulated machine.
     #[must_use]
     pub fn machine(&self) -> &Arc<Machine> {
@@ -257,14 +244,6 @@ mod tests {
         assert!(session.telemetry().enabled(), "telemetry pre-enabled");
         let defaults = Session::builder().build();
         assert!(!defaults.telemetry().enabled(), "off unless requested");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn with_config_shim_still_builds_an_equivalent_session() {
-        let session =
-            Session::with_config(MachineConfig::default(), KardConfig::algorithm_fidelity());
-        assert_eq!(session.kard().config(), KardConfig::algorithm_fidelity());
     }
 
     #[test]

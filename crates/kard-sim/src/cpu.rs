@@ -13,10 +13,11 @@ use crate::page_table::{AddressSpace, MapError, ProtectError};
 use crate::phys::{MemStats, PhysMemory};
 use crate::pkru::Pkru;
 use crate::tlb::{Tlb, TlbConfig, TlbStats};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Identifier of a simulated thread, assigned by [`Machine::register_thread`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
@@ -63,9 +64,168 @@ pub struct MachineConfig {
 }
 
 struct ThreadState {
-    pkru: Pkru,
     tlb: Tlb,
-    cycles: CycleCount,
+}
+
+/// A thread's PKRU as the machine stores it. Layouts whose bits fit one
+/// word — real 16-key MPK and everything up to 32 keys — live in an
+/// atomic, so `RDPKRU`, `WRPKRU`, and the per-access permission check
+/// are single loads and stores, exactly as cheap as the real register.
+/// Only the §8 wide-register ablation pays for a mutex.
+enum PkruCell {
+    Narrow { bits: AtomicU64, num_keys: u16 },
+    Wide(Mutex<Pkru>),
+}
+
+impl PkruCell {
+    fn new(pkru: Pkru) -> PkruCell {
+        match pkru.to_bits64() {
+            Some(bits) => PkruCell::Narrow {
+                bits: AtomicU64::new(bits),
+                num_keys: pkru.num_keys(),
+            },
+            None => PkruCell::Wide(Mutex::new(pkru)),
+        }
+    }
+
+    fn load(&self) -> Pkru {
+        match self {
+            PkruCell::Narrow { bits, num_keys } => {
+                Pkru::from_bits64(bits.load(Ordering::Acquire), *num_keys)
+            }
+            PkruCell::Wide(pkru) => pkru.lock().clone(),
+        }
+    }
+
+    fn store(&self, pkru: Pkru) {
+        match self {
+            PkruCell::Narrow { bits, .. } => bits.store(
+                pkru.to_bits64().expect("narrow cell holds a narrow layout"),
+                Ordering::Release,
+            ),
+            PkruCell::Wide(cell) => *cell.lock() = pkru,
+        }
+    }
+
+    fn allows(&self, key: ProtectionKey, kind: AccessKind) -> bool {
+        match self {
+            PkruCell::Narrow { bits, .. } => {
+                Pkru::bits64_allow(bits.load(Ordering::Acquire), key, kind)
+            }
+            PkruCell::Wide(pkru) => pkru.lock().allows(key, kind),
+        }
+    }
+}
+
+/// One registered thread: the TLB behind its own (uncontended) mutex,
+/// the PKRU in a [`PkruCell`], and the cycle counter as a bare atomic so
+/// [`Machine::charge`] — executed for every simulated instruction —
+/// never takes even that mutex. The per-thread cycle counters double as
+/// the virtual clock: [`Machine::now`] sums them, so no global clock
+/// word exists to contend on. Aligned so no two threads' counters share
+/// a cache line.
+#[repr(align(128))]
+struct ThreadEntry {
+    state: Mutex<ThreadState>,
+    pkru: PkruCell,
+    cycles: AtomicU64,
+}
+
+const THREAD_CHUNK: usize = 64;
+const THREAD_CHUNKS: usize = 64;
+
+/// One published chunk of the thread table.
+type ThreadChunk = Box<[OnceLock<ThreadEntry>]>;
+
+/// Publish-once thread table: a chunked `OnceLock` tree in the style of
+/// the allocator's cons tables. Reaching a registered thread's state is
+/// two lock-free loads plus that thread's own (uncontended) mutex;
+/// registration — the cold path — appends under a small lock. The
+/// reader-writer lock this replaces turned *every* simulated
+/// instruction's cycle charge into a shared atomic update, which is
+/// exactly the internal-synchronization scaling cost the detector's
+/// lock-free section path exists to avoid.
+struct ThreadTable {
+    chunks: Box<[OnceLock<ThreadChunk>]>,
+    len: AtomicUsize,
+    reg: Mutex<()>,
+}
+
+impl ThreadTable {
+    fn new() -> ThreadTable {
+        ThreadTable {
+            chunks: (0..THREAD_CHUNKS).map(|_| OnceLock::new()).collect(),
+            len: AtomicUsize::new(0),
+            reg: Mutex::new(()),
+        }
+    }
+
+    fn push(&self, state: ThreadState, pkru: Pkru) -> usize {
+        let _reg = self.reg.lock();
+        let index = self.len.load(Ordering::Relaxed);
+        let (chunk, slot) = (index / THREAD_CHUNK, index % THREAD_CHUNK);
+        assert!(chunk < THREAD_CHUNKS, "thread capacity exhausted");
+        let chunk = self.chunks[chunk]
+            .get_or_init(|| (0..THREAD_CHUNK).map(|_| OnceLock::new()).collect());
+        let entry = ThreadEntry {
+            state: Mutex::new(state),
+            pkru: PkruCell::new(pkru),
+            cycles: AtomicU64::new(0),
+        };
+        assert!(chunk[slot].set(entry).is_ok(), "slot taken");
+        self.len.store(index + 1, Ordering::Release);
+        index
+    }
+
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    fn get(&self, index: usize) -> Option<&ThreadEntry> {
+        // No length check: an unpublished slot's `OnceLock` is empty, so
+        // out-of-range indices already resolve to `None`.
+        self.chunks
+            .get(index / THREAD_CHUNK)?
+            .get()?
+            .get(index % THREAD_CHUNK)?
+            .get()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &ThreadEntry> {
+        // Walk published chunks directly instead of re-resolving every
+        // index through `get` — `now()` sums this on the detector's hot
+        // path. `take(len)` bounds the walk to entries published before
+        // the call even if registrations land concurrently.
+        let len = self.len();
+        self.chunks
+            .iter()
+            .take(len.div_ceil(THREAD_CHUNK).max(1))
+            .filter_map(|chunk| chunk.get())
+            .flat_map(|chunk| chunk.iter())
+            .filter_map(|slot| slot.get())
+            .take(len)
+    }
+}
+
+const COUNTER_SHARDS: usize = 16;
+
+/// One padded shard of the operation counters, written only by the
+/// threads that hash to it (`ThreadId % COUNTER_SHARDS`), so counter
+/// bumps stay on thread-local cache lines. Readers sum the shards:
+/// every field only grows, and per-location coherence makes each summed
+/// read monotonic for the reading thread.
+#[repr(align(128))]
+#[derive(Default)]
+struct CounterShard {
+    wrpkru: AtomicU64,
+    rdpkru: AtomicU64,
+    pkey_mprotect: AtomicU64,
+    mmap: AtomicU64,
+    munmap: AtomicU64,
+    ftruncate: AtomicU64,
+    accesses: AtomicU64,
+    faults: AtomicU64,
+    context_pkru_updates: AtomicU64,
 }
 
 /// Operation counters, readable at any time via [`Machine::counters`].
@@ -91,28 +251,14 @@ pub struct MachineCounters {
     pub context_pkru_updates: u64,
 }
 
-#[derive(Default)]
-struct AtomicCounters {
-    wrpkru: AtomicU64,
-    rdpkru: AtomicU64,
-    pkey_mprotect: AtomicU64,
-    mmap: AtomicU64,
-    munmap: AtomicU64,
-    ftruncate: AtomicU64,
-    accesses: AtomicU64,
-    faults: AtomicU64,
-    context_pkru_updates: AtomicU64,
-}
-
 /// The simulated machine. See the [crate-level documentation](crate) for an
 /// end-to-end example.
 pub struct Machine {
     config: MachineConfig,
     phys: Mutex<PhysMemory>,
-    aspace: RwLock<AddressSpace>,
-    threads: RwLock<Vec<Mutex<ThreadState>>>,
-    clock: AtomicU64,
-    counters: AtomicCounters,
+    aspace: parking_lot::RwLock<AddressSpace>,
+    threads: ThreadTable,
+    shards: Box<[CounterShard]>,
 }
 
 impl Machine {
@@ -123,11 +269,14 @@ impl Machine {
         Machine {
             config,
             phys: Mutex::new(PhysMemory::new()),
-            aspace: RwLock::new(AddressSpace::new(total_keys)),
-            threads: RwLock::new(Vec::new()),
-            clock: AtomicU64::new(0),
-            counters: AtomicCounters::default(),
+            aspace: parking_lot::RwLock::new(AddressSpace::new(total_keys)),
+            threads: ThreadTable::new(),
+            shards: (0..COUNTER_SHARDS).map(|_| CounterShard::default()).collect(),
         }
+    }
+
+    fn shard(&self, thread: ThreadId) -> &CounterShard {
+        &self.shards[thread.0 % COUNTER_SHARDS]
     }
 
     /// The machine's key layout.
@@ -145,41 +294,44 @@ impl Machine {
     /// Register a new thread. Its PKRU starts fully permissive, matching
     /// the architectural reset state (PKRU = 0).
     pub fn register_thread(&self) -> ThreadId {
-        let mut threads = self.threads.write();
-        let id = ThreadId(threads.len());
-        threads.push(Mutex::new(ThreadState {
-            pkru: Pkru::allow_all(&self.config.key_layout),
-            tlb: Tlb::new(self.config.tlb),
-            cycles: 0,
-        }));
-        id
+        ThreadId(self.threads.push(
+            ThreadState {
+                tlb: Tlb::new(self.config.tlb),
+            },
+            Pkru::allow_all(&self.config.key_layout),
+        ))
     }
 
     /// Number of registered threads.
     #[must_use]
     pub fn thread_count(&self) -> usize {
-        self.threads.read().len()
+        self.threads.len()
     }
 
-    fn with_thread<R>(&self, thread: ThreadId, f: impl FnOnce(&mut ThreadState) -> R) -> R {
-        let threads = self.threads.read();
-        let state = threads
+    fn entry(&self, thread: ThreadId) -> &ThreadEntry {
+        self.threads
             .get(thread.0)
-            .unwrap_or_else(|| panic!("unregistered thread {thread}"));
-        let mut guard = state.lock();
-        f(&mut guard)
+            .unwrap_or_else(|| panic!("unregistered thread {thread}"))
     }
 
-    /// Charge `cycles` to `thread` and advance the global clock.
+    /// Charge `cycles` to `thread` and advance the global clock: one
+    /// relaxed addition to a counter only this thread writes — no lock
+    /// and no shared clock word, which matters because every simulated
+    /// instruction lands here.
     pub fn charge(&self, thread: ThreadId, cycles: CycleCount) {
-        self.with_thread(thread, |state| state.cycles += cycles);
-        self.clock.fetch_add(cycles, Ordering::Relaxed);
+        self.entry(thread).cycles.fetch_add(cycles, Ordering::Relaxed);
     }
 
-    /// Current value of the global virtual clock (no cost charged).
+    /// Current value of the global virtual clock (no cost charged): the
+    /// sum of the per-thread cycle counters. Monotonic for any observer —
+    /// the counters only grow, and coherence keeps repeated reads of each
+    /// one non-decreasing.
     #[must_use]
     pub fn now(&self) -> u64 {
-        self.clock.load(Ordering::Relaxed)
+        self.threads
+            .iter()
+            .map(|e| e.cycles.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// `RDTSCP`: read the timestamp counter, charging its cost.
@@ -190,9 +342,9 @@ impl Machine {
 
     /// `RDPKRU`: read `thread`'s protection-key rights register.
     pub fn rdpkru(&self, thread: ThreadId) -> Pkru {
-        self.counters.rdpkru.fetch_add(1, Ordering::Relaxed);
+        self.shard(thread).rdpkru.fetch_add(1, Ordering::Relaxed);
         self.charge(thread, self.config.cost.rdpkru);
-        self.with_thread(thread, |state| state.pkru.clone())
+        self.entry(thread).pkru.load()
     }
 
     /// `WRPKRU`: install a new PKRU for `thread`.
@@ -203,26 +355,26 @@ impl Machine {
     /// permission changed costs a page-table update and the thread's TLB
     /// is flushed, modelling the §8 software schemes.
     pub fn wrpkru(&self, thread: ThreadId, pkru: Pkru) {
-        self.counters.wrpkru.fetch_add(1, Ordering::Relaxed);
+        self.shard(thread).wrpkru.fetch_add(1, Ordering::Relaxed);
         match self.config.mechanism {
             ProtectionMechanism::Mpk => {
                 self.charge(thread, self.config.cost.wrpkru);
-                self.with_thread(thread, |state| state.pkru = pkru);
+                self.entry(thread).pkru.store(pkru);
             }
             ProtectionMechanism::MprotectFallback => {
+                let entry = self.entry(thread);
+                let old = entry.pkru.load();
                 let mut changed = 0u64;
-                self.with_thread(thread, |state| {
-                    for raw in 0..self.config.key_layout.total_keys {
-                        let key = ProtectionKey(raw);
-                        if state.pkru.permission(key) != pkru.permission(key) {
-                            changed += 1;
-                        }
+                for raw in 0..self.config.key_layout.total_keys {
+                    let key = ProtectionKey(raw);
+                    if old.permission(key) != pkru.permission(key) {
+                        changed += 1;
                     }
-                    state.pkru = pkru;
-                    if changed > 0 {
-                        state.tlb.flush();
-                    }
-                });
+                }
+                entry.pkru.store(pkru);
+                if changed > 0 {
+                    entry.state.lock().tlb.flush();
+                }
                 self.charge(
                     thread,
                     self.config.cost.wrpkru + changed * self.config.cost.pkey_mprotect,
@@ -236,10 +388,10 @@ impl Machine {
     /// cannot execute `WRPKRU` on behalf of the interrupted thread). The
     /// cost is folded into the fault-handling charge, so none is added here.
     pub fn set_pkru_in_saved_context(&self, thread: ThreadId, pkru: Pkru) {
-        self.counters
+        self.shard(thread)
             .context_pkru_updates
             .fetch_add(1, Ordering::Relaxed);
-        self.with_thread(thread, |state| state.pkru = pkru);
+        self.entry(thread).pkru.store(pkru);
     }
 
     /// Charge the end-to-end cost of one #GP delivery + handler execution.
@@ -252,7 +404,7 @@ impl Machine {
     pub fn alloc_frame(&self, thread: ThreadId) -> PhysFrame {
         let (frame, grew) = self.phys.lock().alloc_frame();
         if grew {
-            self.counters.ftruncate.fetch_add(1, Ordering::Relaxed);
+            self.shard(thread).ftruncate.fetch_add(1, Ordering::Relaxed);
             self.charge(thread, self.config.cost.ftruncate);
         }
         frame
@@ -279,7 +431,7 @@ impl Machine {
         page: VirtPage,
         frame: PhysFrame,
     ) -> Result<(), MapError> {
-        self.counters.mmap.fetch_add(1, Ordering::Relaxed);
+        self.shard(thread).mmap.fetch_add(1, Ordering::Relaxed);
         self.charge(thread, self.config.cost.mmap);
         self.aspace.write().map(page, frame)?;
         self.phys.lock().add_mapping(frame);
@@ -305,7 +457,7 @@ impl Machine {
         if pairs.is_empty() {
             return Ok(());
         }
-        self.counters.mmap.fetch_add(1, Ordering::Relaxed);
+        self.shard(thread).mmap.fetch_add(1, Ordering::Relaxed);
         self.charge(
             thread,
             self.config.cost.mmap + self.config.cost.mmap_batch_extra * (pairs.len() as u64 - 1),
@@ -323,7 +475,7 @@ impl Machine {
     ///
     /// Returns an error if the page is not mapped.
     pub fn unmap_page(&self, thread: ThreadId, page: VirtPage) -> Result<PhysFrame, MapError> {
-        self.counters.munmap.fetch_add(1, Ordering::Relaxed);
+        self.shard(thread).munmap.fetch_add(1, Ordering::Relaxed);
         self.charge(thread, self.config.cost.munmap);
         let mapping = self.aspace.write().unmap(page)?;
         self.phys.lock().remove_mapping(mapping.frame);
@@ -346,7 +498,7 @@ impl Machine {
         if pages.is_empty() {
             return Ok(());
         }
-        self.counters.munmap.fetch_add(1, Ordering::Relaxed);
+        self.shard(thread).munmap.fetch_add(1, Ordering::Relaxed);
         self.charge(
             thread,
             self.config.cost.munmap
@@ -368,7 +520,7 @@ impl Machine {
     /// Propagates mapping errors (which indicate simulator bugs here).
     pub fn mmap_one_page(&self) -> Result<VirtPage, MapError> {
         let thread = ThreadId(0);
-        let threads_empty = self.threads.read().is_empty();
+        let threads_empty = self.threads.len() == 0;
         if threads_empty {
             let _ = self.register_thread();
         }
@@ -392,7 +544,7 @@ impl Machine {
         count: u64,
         key: ProtectionKey,
     ) -> Result<(), ProtectError> {
-        self.counters.pkey_mprotect.fetch_add(1, Ordering::Relaxed);
+        self.shard(thread).pkey_mprotect.fetch_add(1, Ordering::Relaxed);
         self.charge(thread, self.config.cost.pkey_mprotect);
         self.aspace.write().pkey_mprotect(first, count, key)?;
         for i in 0..count {
@@ -423,7 +575,7 @@ impl Machine {
         if ranges.is_empty() {
             return Ok(());
         }
-        self.counters.pkey_mprotect.fetch_add(1, Ordering::Relaxed);
+        self.shard(thread).pkey_mprotect.fetch_add(1, Ordering::Relaxed);
         self.charge(
             thread,
             self.config.cost.pkey_mprotect
@@ -448,9 +600,8 @@ impl Machine {
     }
 
     fn invalidate_tlbs(&self, page: VirtPage) {
-        let threads = self.threads.read();
-        for state in threads.iter() {
-            state.lock().tlb.invalidate(page);
+        for entry in self.threads.iter() {
+            entry.state.lock().tlb.invalidate(page);
         }
     }
 
@@ -481,34 +632,54 @@ impl Machine {
         kind: AccessKind,
         ip: CodeSite,
     ) -> Result<(), GpFault> {
-        self.counters.accesses.fetch_add(1, Ordering::Relaxed);
+        self.shard(thread).accesses.fetch_add(1, Ordering::Relaxed);
         let page = addr.page();
-        let mapping = self
-            .aspace
-            .read()
-            .translate(addr)
-            .unwrap_or_else(|| panic!("access to unmapped address {addr} by {thread}"));
-
         let mut cost = self.config.cost.mem_access;
-        let allowed = self.with_thread(thread, |state| {
-            if !state.tlb.lookup(page) {
+
+        // Fast path: a dTLB hit yields the page's protection key from the
+        // thread's own TLB, so the PKU check completes without touching the
+        // shared address space at all — the same reason hardware PKU is
+        // cheap. Only a miss walks the (reader-locked) page table; the walk
+        // also performs the sticky first-touch bookkeeping, which a hit can
+        // safely skip because an entry is only installed by an *allowed*
+        // walk, which already marked the page accessed.
+        let entry = self.entry(thread);
+        let probed = entry.state.lock().tlb.probe(page);
+        let (pkey, allowed) = match probed {
+            Some(pkey) => (pkey, entry.pkru.allows(pkey, kind)),
+            None => {
                 cost += self.config.cost.dtlb_miss;
+                let mapping = self
+                    .aspace
+                    .read()
+                    .translate(addr)
+                    .unwrap_or_else(|| panic!("access to unmapped address {addr} by {thread}"));
+                let allowed = entry.pkru.allows(mapping.pkey, kind);
+                if allowed {
+                    entry.state.lock().tlb.install(page, mapping.pkey);
+                }
+                // Residency and the PTE accessed bit are sticky until the
+                // page is unmapped, so only the *first* allowed touch of a
+                // page needs the global physical-memory and address-space
+                // locks.
+                if allowed && !mapping.accessed {
+                    self.phys.lock().touch(mapping.frame);
+                    self.aspace.write().mark_accessed(page);
+                }
+                (mapping.pkey, allowed)
             }
-            state.pkru.allows(mapping.pkey, kind)
-        });
+        };
         self.charge(thread, cost);
 
         if allowed {
-            self.phys.lock().touch(mapping.frame);
-            self.aspace.write().mark_accessed(page);
             Ok(())
         } else {
-            self.counters.faults.fetch_add(1, Ordering::Relaxed);
+            self.shard(thread).faults.fetch_add(1, Ordering::Relaxed);
             Err(GpFault {
                 thread,
                 addr,
                 page,
-                pkey: mapping.pkey,
+                pkey,
                 access: kind,
                 ip,
                 tsc: self.now(),
@@ -516,35 +687,36 @@ impl Machine {
         }
     }
 
-    /// Snapshot of the operation counters.
+    /// Snapshot of the operation counters (summed over the shards).
     #[must_use]
     pub fn counters(&self) -> MachineCounters {
-        MachineCounters {
-            wrpkru: self.counters.wrpkru.load(Ordering::Relaxed),
-            rdpkru: self.counters.rdpkru.load(Ordering::Relaxed),
-            pkey_mprotect: self.counters.pkey_mprotect.load(Ordering::Relaxed),
-            mmap: self.counters.mmap.load(Ordering::Relaxed),
-            munmap: self.counters.munmap.load(Ordering::Relaxed),
-            ftruncate: self.counters.ftruncate.load(Ordering::Relaxed),
-            accesses: self.counters.accesses.load(Ordering::Relaxed),
-            faults: self.counters.faults.load(Ordering::Relaxed),
-            context_pkru_updates: self.counters.context_pkru_updates.load(Ordering::Relaxed),
+        let mut total = MachineCounters::default();
+        for s in self.shards.iter() {
+            total.wrpkru += s.wrpkru.load(Ordering::Relaxed);
+            total.rdpkru += s.rdpkru.load(Ordering::Relaxed);
+            total.pkey_mprotect += s.pkey_mprotect.load(Ordering::Relaxed);
+            total.mmap += s.mmap.load(Ordering::Relaxed);
+            total.munmap += s.munmap.load(Ordering::Relaxed);
+            total.ftruncate += s.ftruncate.load(Ordering::Relaxed);
+            total.accesses += s.accesses.load(Ordering::Relaxed);
+            total.faults += s.faults.load(Ordering::Relaxed);
+            total.context_pkru_updates += s.context_pkru_updates.load(Ordering::Relaxed);
         }
+        total
     }
 
     /// Cycles charged to one thread so far.
     #[must_use]
     pub fn thread_cycles(&self, thread: ThreadId) -> CycleCount {
-        self.with_thread(thread, |state| state.cycles)
+        self.entry(thread).cycles.load(Ordering::Relaxed)
     }
 
     /// Sum of all threads' dTLB statistics.
     #[must_use]
     pub fn tlb_stats(&self) -> TlbStats {
-        let threads = self.threads.read();
         let mut total = TlbStats::default();
-        for state in threads.iter() {
-            total.merge(state.lock().tlb.stats());
+        for entry in self.threads.iter() {
+            total.merge(entry.state.lock().tlb.stats());
         }
         total
     }

@@ -51,10 +51,24 @@ impl Permission {
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Pkru {
-    /// Two bits per key, AD in the even bit and WD in the odd bit,
-    /// packed little-endian into 64-bit words.
-    words: Vec<u64>,
+    words: Words,
     num_keys: u16,
+}
+
+/// Backing storage for the register bits: two bits per key, AD in the
+/// even bit and WD in the odd bit, packed little-endian into 64-bit
+/// words.
+///
+/// Registers covering up to 64 keys — real 16-key MPK and every
+/// plausible near-term hardware — live inline, so the snapshot copies
+/// the detector takes on each section entry (`rdpkru`, the saved frame
+/// register, the `wrpkru` install) are plain 24-byte memcpys instead of
+/// heap allocations. Only the §8 wide-register ablation (up to 1024
+/// keys) spills to the heap.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Words {
+    Inline([u64; 2]),
+    Heap(Vec<u64>),
 }
 
 impl Pkru {
@@ -62,8 +76,13 @@ impl Pkru {
     #[must_use]
     pub fn allow_all(layout: &KeyLayout) -> Pkru {
         let bits = 2 * usize::from(layout.total_keys);
+        let num_words = bits.div_ceil(64);
         Pkru {
-            words: vec![0; bits.div_ceil(64)],
+            words: if num_words <= 2 {
+                Words::Inline([0; 2])
+            } else {
+                Words::Heap(vec![0; num_words])
+            },
             num_keys: layout.total_keys,
         }
     }
@@ -86,12 +105,22 @@ impl Pkru {
         self.num_keys
     }
 
+    fn words(&self) -> &[u64] {
+        match &self.words {
+            Words::Inline(words) => words,
+            Words::Heap(words) => words,
+        }
+    }
+
     fn bit(&self, idx: usize) -> bool {
-        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+        (self.words()[idx / 64] >> (idx % 64)) & 1 == 1
     }
 
     fn set_bit(&mut self, idx: usize, value: bool) {
-        let word = &mut self.words[idx / 64];
+        let word = match &mut self.words {
+            Words::Inline(words) => &mut words[idx / 64],
+            Words::Heap(words) => &mut words[idx / 64],
+        };
         if value {
             *word |= 1 << (idx % 64);
         } else {
@@ -160,7 +189,31 @@ impl Pkru {
             self.num_keys <= 16,
             "raw PKRU encoding only exists for <= 16 keys"
         );
-        self.words[0] as u32
+        self.words()[0] as u32
+    }
+
+    /// The register's bits as one word, when they fit (≤ 32 keys) — the
+    /// form [`crate::Machine`] keeps per thread so `RDPKRU`/`WRPKRU`
+    /// are single atomic operations instead of lock round-trips.
+    pub(crate) fn to_bits64(&self) -> Option<u64> {
+        (self.num_keys <= 32).then(|| self.words()[0])
+    }
+
+    /// Rebuild a register from [`Pkru::to_bits64`] storage.
+    pub(crate) fn from_bits64(bits: u64, num_keys: u16) -> Pkru {
+        debug_assert!(num_keys <= 32);
+        Pkru {
+            words: Words::Inline([bits, 0]),
+            num_keys,
+        }
+    }
+
+    /// Permission check straight off the packed [`Pkru::to_bits64`] word:
+    /// `AD` in bit `2k`, `WD` in bit `2k + 1`.
+    pub(crate) fn bits64_allow(bits: u64, key: ProtectionKey, kind: AccessKind) -> bool {
+        let ad = (bits >> (2 * key.index())) & 1 == 1;
+        let wd = (bits >> (2 * key.index() + 1)) & 1 == 1;
+        !ad && (kind == AccessKind::Read || !wd)
     }
 }
 
@@ -258,6 +311,31 @@ mod tests {
     fn out_of_range_key_panics() {
         let pkru = Pkru::allow_all(&layout());
         let _ = pkru.permission(ProtectionKey(16));
+    }
+
+    #[test]
+    fn bits64_round_trip_and_packed_checks() {
+        let mut pkru = Pkru::allow_all(&layout());
+        pkru.set_permission(ProtectionKey(3), Permission::ReadOnly);
+        pkru.set_permission(ProtectionKey(7), Permission::NoAccess);
+        let bits = pkru.to_bits64().expect("16-key register packs");
+        assert_eq!(Pkru::from_bits64(bits, pkru.num_keys()), pkru);
+        for raw in 0..16 {
+            let key = ProtectionKey(raw);
+            for kind in [AccessKind::Read, AccessKind::Write] {
+                assert_eq!(
+                    Pkru::bits64_allow(bits, key, kind),
+                    pkru.allows(key, kind),
+                    "packed check must match the decoded register for {key}/{kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bits64_unavailable_for_wide_registers() {
+        let wide = Pkru::allow_all(&KeyLayout::with_total_keys(1024));
+        assert_eq!(wide.to_bits64(), None);
     }
 
     #[test]

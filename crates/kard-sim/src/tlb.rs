@@ -10,6 +10,7 @@
 //! The replacement policy is LRU within each set, which is close enough to
 //! the pseudo-LRU used by real cores for miss-*rate* reproduction.
 
+use crate::keys::ProtectionKey;
 use crate::mem::VirtPage;
 use serde::{Deserialize, Serialize};
 
@@ -73,11 +74,18 @@ impl TlbStats {
 }
 
 /// A set-associative TLB with per-set LRU replacement.
+///
+/// Each entry caches the page's protection key alongside the
+/// translation, the way real PTEs carry the pkey bits into the TLB: a
+/// hit lets [`crate::Machine::access`] check PKU rights without walking
+/// the (shared, locked) page table at all. Key retags and unmaps
+/// invalidate the affected entries, so a cached key is never staler than
+/// hardware's would be between shootdowns.
 #[derive(Clone, Debug)]
 pub struct Tlb {
     config: TlbConfig,
-    /// `sets[s]` holds up to `ways` pages, most recently used last.
-    sets: Vec<Vec<VirtPage>>,
+    /// `sets[s]` holds up to `ways` entries, most recently used last.
+    sets: Vec<Vec<(VirtPage, ProtectionKey)>>,
     stats: TlbStats,
 }
 
@@ -106,31 +114,56 @@ impl Tlb {
         (page.0 as usize) % self.sets.len()
     }
 
-    /// Look up `page`; returns `true` on hit. A miss installs the page,
-    /// evicting the least recently used entry of its set if needed.
-    pub fn lookup(&mut self, page: VirtPage) -> bool {
+    /// Probe for `page`: on a hit, refresh its LRU position and return
+    /// the cached protection key; a miss only records the miss — the
+    /// caller walks the page table and [`Tlb::install`]s the result.
+    pub fn probe(&mut self, page: VirtPage) -> Option<ProtectionKey> {
         let idx = self.set_index(page);
         let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|&p| p == page) {
-            // Refresh LRU position.
-            let p = set.remove(pos);
-            set.push(p);
+        if let Some(pos) = set.iter().position(|&(p, _)| p == page) {
             self.stats.hits += 1;
-            true
-        } else {
-            if set.len() == self.config.ways {
-                set.remove(0);
+            // Refresh LRU position (already freshest on a repeat hit).
+            if pos + 1 != set.len() {
+                let entry = set.remove(pos);
+                set.push(entry);
             }
-            set.push(page);
+            Some(set[set.len() - 1].1)
+        } else {
             self.stats.misses += 1;
-            false
+            None
+        }
+    }
+
+    /// Install a walked translation, evicting the least recently used
+    /// entry of its set if needed. No statistics change — the miss was
+    /// counted by the [`Tlb::probe`] that preceded the walk.
+    pub fn install(&mut self, page: VirtPage, pkey: ProtectionKey) {
+        let idx = self.set_index(page);
+        let set = &mut self.sets[idx];
+        if set.len() == self.config.ways {
+            set.remove(0);
+        }
+        set.push((page, pkey));
+    }
+
+    /// Look up `page`; returns `true` on hit. A miss installs the page
+    /// (with a placeholder key — use [`Tlb::probe`]/[`Tlb::install`] when
+    /// the cached key matters), evicting the least recently used entry of
+    /// its set if needed.
+    pub fn lookup(&mut self, page: VirtPage) -> bool {
+        match self.probe(page) {
+            Some(_) => true,
+            None => {
+                self.install(page, ProtectionKey(0));
+                false
+            }
         }
     }
 
     /// Invalidate one page (on `pkey_mprotect`/`munmap` of that page).
     pub fn invalidate(&mut self, page: VirtPage) {
         let idx = self.set_index(page);
-        self.sets[idx].retain(|&p| p != page);
+        self.sets[idx].retain(|&(p, _)| p != page);
     }
 
     /// Invalidate everything (full TLB flush, as plain `mprotect` causes —

@@ -21,10 +21,14 @@ use kard::sim::{CodeSite, Machine, MachineConfig};
 
 const PAIRS: usize = 4;
 
-fn fresh_kard() -> Arc<Kard> {
+fn fresh_kard_with(config: KardConfig) -> Arc<Kard> {
     let machine = Arc::new(Machine::new(MachineConfig::default()));
     let alloc = Arc::new(KardAlloc::new(Arc::clone(&machine)));
-    Arc::new(Kard::new(machine, alloc, KardConfig::default()))
+    Arc::new(Kard::new(machine, alloc, config))
+}
+
+fn fresh_kard() -> Arc<Kard> {
+    fresh_kard_with(KardConfig::default())
 }
 
 fn holder_site(pair: usize) -> CodeSite {
@@ -216,4 +220,133 @@ fn concurrent_hammering_matches_single_threaded_reports() {
     );
     // The churn left nothing behind: every churn object was freed.
     assert_eq!(kard.alloc().stats().live_objects as usize, PAIRS);
+}
+
+/// One thread's private half of the mixed storm: section rounds on a
+/// thread-private lock and object. Race-free, but every round exercises
+/// allocation, identification faults, and plan (in)validation.
+fn private_churn(kard: &Kard, t: kard::ThreadId) {
+    let lock = LockId(500 + t.0 as u64);
+    let site = CodeSite(0x5000 + t.0 as u64);
+    for _ in 0..16 {
+        storm_round(kard, t, lock, site);
+    }
+}
+
+/// The deterministic shared half: pair `p`'s holder writes the pair
+/// object under lock `2p`, the faulter writes it under lock `2p + 1`
+/// while the holder is still inside — an inconsistent-lock-usage race.
+/// `sync` sequences the two threads when they really run concurrently.
+fn pair_conflict(
+    kard: &Kard,
+    t: kard::ThreadId,
+    pair: usize,
+    role: usize,
+    obj: &kard::alloc::ObjectInfo,
+    sync: Option<&(Arc<Barrier>, Arc<Barrier>)>,
+) {
+    if role == 0 {
+        kard.lock_enter(t, LockId(2 * pair as u64), holder_site(pair));
+        kard.write(t, obj.base, holder_site(pair));
+        if let Some((wrote, done)) = sync {
+            wrote.wait();
+            done.wait();
+        }
+        kard.lock_exit(t, LockId(2 * pair as u64));
+    } else {
+        if let Some((wrote, _)) = sync {
+            wrote.wait();
+        }
+        kard.lock_enter(t, LockId(2 * pair as u64 + 1), faulter_site(pair));
+        kard.write(t, obj.base, faulter_site(pair));
+        kard.lock_exit(t, LockId(2 * pair as u64 + 1));
+        if let Some((_, done)) = sync {
+            done.wait();
+        }
+    }
+}
+
+/// Run the mixed private/shared storm on `kard`; returns the sorted race
+/// fingerprints and the detector stats with the only legitimately
+/// schedule-dependent counter (`max_concurrent_sections`) scrubbed.
+fn mixed_storm(
+    kard: &Arc<Kard>,
+    concurrent: bool,
+) -> (Vec<RaceFingerprint>, kard::core::DetectorStats) {
+    let threads: Vec<_> = (0..STORM_THREADS).map(|_| kard.register_thread()).collect();
+    // Conflict objects come from the main thread, in a fixed order, so
+    // their ids — which feed the fingerprints — match across modes.
+    let objects: Vec<_> = (0..PAIRS).map(|_| kard.on_alloc(threads[0], 64)).collect();
+
+    if concurrent {
+        let barriers: Vec<_> = (0..PAIRS)
+            .map(|_| (Arc::new(Barrier::new(2)), Arc::new(Barrier::new(2))))
+            .collect();
+        std::thread::scope(|s| {
+            for (k, &t) in threads.iter().enumerate() {
+                let kard = Arc::clone(kard);
+                let (pair, role) = (k / 2, k % 2);
+                let obj = objects.get(pair).copied();
+                let sync = (pair < PAIRS).then(|| {
+                    (Arc::clone(&barriers[pair].0), Arc::clone(&barriers[pair].1))
+                });
+                s.spawn(move || {
+                    private_churn(&kard, t);
+                    if let Some(obj) = obj.filter(|_| k < 2 * PAIRS) {
+                        pair_conflict(&kard, t, pair, role, &obj, sync.as_ref());
+                    }
+                    private_churn(&kard, t);
+                });
+            }
+        });
+    } else {
+        // The same logical program, hand-scheduled on one OS thread: all
+        // leading churn, the pair conflicts in the order the barriers
+        // force, then all trailing churn.
+        for &t in &threads {
+            private_churn(kard, t);
+        }
+        for pair in 0..PAIRS {
+            let (holder, faulter) = (threads[2 * pair], threads[2 * pair + 1]);
+            let obj = &objects[pair];
+            kard.lock_enter(holder, LockId(2 * pair as u64), holder_site(pair));
+            kard.write(holder, obj.base, holder_site(pair));
+            pair_conflict(kard, faulter, pair, 1, obj, None);
+            kard.lock_exit(holder, LockId(2 * pair as u64));
+        }
+        for &t in &threads {
+            private_churn(kard, t);
+        }
+    }
+
+    let mut stats = kard.stats();
+    stats.max_concurrent_sections = 0;
+    (fingerprints(kard), stats)
+}
+
+/// The lock-free entry/exit path is an *optimization*, not a semantics
+/// change: the same mixed private/shared storm must produce byte-identical
+/// race fingerprints and detector stats whether sections enter through
+/// the epoch-validated fast path, the locked ablation path, or a
+/// single-threaded hand-scheduled run.
+#[test]
+fn storm_reports_identically_across_section_entry_modes() {
+    let fast = fresh_kard_with(KardConfig::default().lock_free_sections(true));
+    let (fast_fps, fast_stats) = mixed_storm(&fast, true);
+
+    let locked = fresh_kard_with(KardConfig::default().lock_free_sections(false));
+    let (locked_fps, locked_stats) = mixed_storm(&locked, true);
+
+    let sequential = fresh_kard_with(KardConfig::default().lock_free_sections(true));
+    let (seq_fps, seq_stats) = mixed_storm(&sequential, false);
+
+    assert_eq!(fast_fps.len(), PAIRS, "one report per conflicting pair");
+    assert_eq!(fast_fps, locked_fps, "fast path == locked ablation");
+    assert_eq!(fast_fps, seq_fps, "fast path == sequential reference");
+    assert_eq!(fast_stats, locked_stats, "stats: fast == locked");
+    assert_eq!(fast_stats, seq_stats, "stats: fast == sequential");
+    assert!(
+        fast_stats.identification_faults >= (STORM_THREADS as u64) * 32 + PAIRS as u64,
+        "every churn round and every holder write must have identified an object"
+    );
 }
