@@ -1,4 +1,4 @@
-.PHONY: verify build test clippy doc bench-alloc bench-scalability bench-fault-latency bench-key-pressure bench-smoke trace-demo
+.PHONY: verify build test clippy doc bench-alloc bench-scalability bench-fault-latency bench-key-pressure bench-firehose bench-smoke trace-demo serve
 
 verify: build test clippy doc
 
@@ -26,6 +26,14 @@ bench-key-pressure:
 bench-alloc:
 	cargo bench -p kard-bench --bench bench_alloc
 
+bench-firehose:
+	cargo bench -p kard-bench --bench bench_firehose
+
+# Run the firehose daemon on the default TCP port (see
+# `kard-server --help` for sockets, shard counts, and stats streaming).
+serve:
+	cargo run --release -p kard-server -- --telemetry
+
 # Short smoke runs of every JSON-emitting bench (KARD_BENCH_SMOKE trims
 # iteration counts; the JSON shape is identical to a full run), then a
 # validity check on each emitted file. Full-size runs overwrite these.
@@ -34,7 +42,8 @@ bench-smoke:
 	KARD_BENCH_SMOKE=1 cargo bench -p kard-bench --bench bench_scalability
 	KARD_BENCH_SMOKE=1 cargo bench -p kard-bench --bench bench_fault_latency
 	KARD_BENCH_SMOKE=1 cargo bench -p kard-bench --bench bench_key_pressure
-	for f in BENCH_alloc.json BENCH_scalability.json BENCH_fault_latency.json BENCH_key_pressure.json; do \
+	KARD_BENCH_SMOKE=1 cargo bench -p kard-bench --bench bench_firehose
+	for f in BENCH_alloc.json BENCH_scalability.json BENCH_fault_latency.json BENCH_key_pressure.json BENCH_firehose.json; do \
 		python3 -m json.tool $$f > /dev/null || exit 1; echo "$$f: valid JSON"; done
 
 trace-demo:

@@ -1,0 +1,283 @@
+//! Firehose ingest throughput: concurrent client sessions blasting storm
+//! traffic at a running `kard-server` over real loopback TCP.
+//!
+//! Two experiments:
+//!
+//! * **Sweep** — for each shard count (1/2/4/8), `2 x shards` sessions
+//!   (pinned evenly across shards by name choice) replay pre-encoded
+//!   storm bursts and flush; the figure of merit is aggregate applied
+//!   events per wall second, plus the worst per-shard p99 queue→apply
+//!   latency from `/statsz`.
+//! * **Overload** — one session offers twice its queue budget against a
+//!   throttled shard; the server must shed the excess fail-open, and the
+//!   bench records the measured drop rate.
+//!
+//! Run with `cargo bench -p kard-bench --bench bench_firehose`; emits
+//! `BENCH_firehose.json` at the repository root. In full mode, exits
+//! nonzero if the 8-shard sweep sustains less than 150k events/sec — the
+//! CI regression gate for ingest throughput. `KARD_BENCH_SMOKE` selects
+//! a short run with the same JSON shape and no throughput gate (the
+//! smoke workload is too small to time meaningfully).
+
+use kard_server::{shard_for, FirehoseClient, Server, ServerConfig};
+use kard_workloads::storm::{self, StormConfig};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Throughput the 8-shard sweep must sustain (full mode).
+const GATE_MIN_EVENTS_PER_SEC: f64 = 150_000.0;
+/// Sessions per shard in every sweep.
+const SESSIONS_PER_SHARD: usize = 2;
+
+fn smoke() -> bool {
+    std::env::var_os("KARD_BENCH_SMOKE").is_some()
+}
+
+/// Critical-section entries per thread per burst.
+fn entries_per_burst() -> usize {
+    if smoke() {
+        20
+    } else {
+        320
+    }
+}
+
+/// A session name that `shard_for` routes to `shard`.
+fn name_on_shard(prefix: &str, shard: usize, shards: usize) -> String {
+    (0u32..)
+        .map(|salt| format!("{prefix}-{salt}"))
+        .find(|name| shard_for(name, shards) == shard)
+        .expect("some salt lands on every shard")
+}
+
+/// Storm sessions for one sweep point, pinned evenly across shards, with
+/// every burst pre-encoded to a request payload (encode cost is the
+/// client's problem, not the ingest path under test).
+struct PreparedSession {
+    name: String,
+    payloads: Vec<String>,
+    events: u64,
+}
+
+fn prepare_sessions(shards: usize) -> Vec<PreparedSession> {
+    let count = shards * SESSIONS_PER_SHARD;
+    let cfg = StormConfig {
+        sessions: count,
+        bursts: 4,
+        entries_per_burst: entries_per_burst(),
+        racy_sessions: 0,
+        ..StormConfig::default()
+    };
+    storm::sessions(&cfg)
+        .into_iter()
+        .enumerate()
+        .map(|(i, session)| PreparedSession {
+            name: name_on_shard(&format!("fh-{i}"), i % shards, shards),
+            events: session.total_events() as u64,
+            payloads: session
+                .bursts
+                .iter()
+                .map(|burst| {
+                    format!("{{\"Batch\":{}}}", kard_trace::wire::encode_batch(burst))
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+struct SweepSample {
+    shards: usize,
+    sessions: usize,
+    events: u64,
+    wall_seconds: f64,
+    events_per_sec: f64,
+    p99_ingest_latency_ns: u64,
+    dropped: u64,
+}
+
+/// Replay one prepared session and return its applied count.
+fn play(addr: SocketAddr, session: &PreparedSession) -> (u64, u64) {
+    let mut client = FirehoseClient::connect(addr, &session.name).expect("client connects");
+    for payload in &session.payloads {
+        client.send_payload(payload).expect("payload sends");
+    }
+    let summary = client.flush().expect("flush answers");
+    client.bye().expect("bye answers");
+    (summary.applied, summary.dropped)
+}
+
+fn run_sweep(shards: usize) -> SweepSample {
+    let server = Server::start(ServerConfig {
+        shards,
+        // The sweep measures throughput, not shedding: budget far above
+        // the offered backlog so nothing drops.
+        queue_bound: 1 << 20,
+        idle_timeout: None,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.tcp_addr().unwrap();
+    let sessions = prepare_sessions(shards);
+
+    let start = Instant::now();
+    let (applied, dropped) = std::thread::scope(|scope| {
+        let handles: Vec<_> = sessions
+            .iter()
+            .map(|session| scope.spawn(move || play(addr, session)))
+            .collect();
+        handles.into_iter().fold((0u64, 0u64), |(a, d), h| {
+            let (applied, dropped) = h.join().expect("client thread");
+            (a + applied, d + dropped)
+        })
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let offered: u64 = sessions.iter().map(|s| s.events).sum();
+    assert_eq!(applied + dropped, offered, "conservation across the sweep");
+
+    let stats = server.statsz();
+    let p99 = stats
+        .shards
+        .iter()
+        .map(|s| s.ingest_latency_ns.p99)
+        .max()
+        .unwrap_or(0);
+    server.shutdown();
+    server.join();
+
+    SweepSample {
+        shards,
+        sessions: sessions.len(),
+        events: applied,
+        wall_seconds: wall,
+        events_per_sec: applied as f64 / wall,
+        p99_ingest_latency_ns: p99,
+        dropped,
+    }
+}
+
+struct OverloadSample {
+    queue_bound: u64,
+    throttle_us: u64,
+    sent: u64,
+    applied: u64,
+    dropped: u64,
+    drop_rate: f64,
+}
+
+/// Offer exactly 2x the queue budget against a throttled shard and
+/// measure how much the server sheds.
+fn run_overload() -> OverloadSample {
+    let queue_bound: usize = if smoke() { 256 } else { 2048 };
+    let throttle = Duration::from_micros(100);
+    let server = Server::start(ServerConfig {
+        shards: 2,
+        queue_bound,
+        apply_throttle: throttle,
+        idle_timeout: None,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.tcp_addr().unwrap();
+
+    let name = name_on_shard("overload", 0, 2);
+    let mut client = FirehoseClient::connect(addr, &name).expect("client connects");
+    client
+        .send_batch(&[kard_trace::Event {
+            thread: 0,
+            op: kard_trace::Op::Alloc { tag: kard_trace::ObjectTag(1), size: 64 },
+        }])
+        .expect("alloc batch");
+    client.flush().expect("alloc applied");
+
+    // 2x overload: the queue budget's worth of events, twice, in
+    // bound/8-event batches, offered as fast as loopback allows.
+    let per_batch = queue_bound / 8;
+    let sent = (2 * queue_bound) as u64;
+    for b in 0..16 {
+        let batch: Vec<kard_trace::Event> = (0..per_batch)
+            .map(|i| kard_trace::Event {
+                thread: 0,
+                op: kard_trace::Op::Write {
+                    tag: kard_trace::ObjectTag(1),
+                    offset: (i as u64 % 8) * 8,
+                    ip: kard_sim::CodeSite(0x9000 + b),
+                },
+            })
+            .collect();
+        client.send_batch(&batch).expect("overload batch");
+    }
+    let summary = client.flush().expect("overload flush");
+    client.bye().expect("bye answers");
+    server.shutdown();
+    server.join();
+
+    assert_eq!(summary.applied + summary.dropped, sent + 1, "conservation");
+    OverloadSample {
+        queue_bound: queue_bound as u64,
+        throttle_us: throttle.as_micros() as u64,
+        sent,
+        applied: summary.applied - 1,
+        dropped: summary.dropped,
+        drop_rate: summary.dropped as f64 / sent as f64,
+    }
+}
+
+fn sweep_row(s: &SweepSample) -> String {
+    format!(
+        "    {{\"shards\": {}, \"sessions\": {}, \"events\": {}, \"wall_seconds\": {:.6}, \"events_per_sec\": {:.1}, \"p99_ingest_latency_ns\": {}, \"dropped\": {}}}",
+        s.shards, s.sessions, s.events, s.wall_seconds, s.events_per_sec, s.p99_ingest_latency_ns, s.dropped
+    )
+}
+
+fn main() {
+    let mut samples = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let s = run_sweep(shards);
+        println!(
+            "{:>2} shards, {:>2} sessions: {:>8} events in {:.3}s = {:>10.0} events/s, p99 ingest {:>9} ns",
+            s.shards, s.sessions, s.events, s.wall_seconds, s.events_per_sec, s.p99_ingest_latency_ns
+        );
+        samples.push(s);
+    }
+
+    let overload = run_overload();
+    println!(
+        "overload 2x: sent {} against bound {} at {}us/event -> dropped {} (rate {:.2})",
+        overload.sent, overload.queue_bound, overload.throttle_us, overload.dropped, overload.drop_rate
+    );
+
+    let at_8 = samples
+        .iter()
+        .find(|s| s.shards == 8)
+        .expect("8-shard sweep ran");
+    let gate_failed = !smoke() && at_8.events_per_sec < GATE_MIN_EVENTS_PER_SEC;
+
+    let rows: Vec<String> = samples.iter().map(sweep_row).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"firehose\",\n  \"workload\": \"storm sessions ({} sessions/shard, 4 bursts, {} section entries/thread/burst) replayed over loopback TCP as pre-encoded Batch frames; overload offers 2x the per-session queue budget against a {}us/event throttled shard\",\n  \"smoke\": {},\n  \"sweep\": [\n{}\n  ],\n  \"overload\": {{\n    \"queue_bound\": {},\n    \"throttle_us\": {},\n    \"sent\": {},\n    \"applied\": {},\n    \"dropped\": {},\n    \"drop_rate\": {:.4}\n  }},\n  \"events_per_sec_at_8_shards\": {:.1},\n  \"gate_min_events_per_sec\": {:.0}\n}}\n",
+        SESSIONS_PER_SHARD,
+        entries_per_burst(),
+        overload.throttle_us,
+        smoke(),
+        rows.join(",\n"),
+        overload.queue_bound,
+        overload.throttle_us,
+        overload.sent,
+        overload.applied,
+        overload.dropped,
+        overload.drop_rate,
+        at_8.events_per_sec,
+        GATE_MIN_EVENTS_PER_SEC
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_firehose.json");
+    std::fs::write(path, json).expect("write BENCH_firehose.json");
+    println!("wrote {path}");
+
+    if gate_failed {
+        eprintln!(
+            "GATE FAILED: 8-shard ingest sustained {:.0} events/s (limit {:.0}) — the firehose ingest path has regressed",
+            at_8.events_per_sec, GATE_MIN_EVENTS_PER_SEC
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,556 @@
+//! The server front end: listeners, connection threads, shard routing,
+//! `/statsz`, and graceful drain.
+//!
+//! Threading model: one acceptor per listener, one reader thread plus
+//! one writer thread per connection, one shard thread per shard. The
+//! accept and reader loops never block on a shard — events either fit
+//! the session's queue budget and are enqueued, or are dropped and
+//! counted (fail-open). The only blocking edges are reader→queue push
+//! (a short mutex) and writer→outbox pop, both of which shut down
+//! cleanly when the session ends.
+
+use crate::proto::{
+    parse_request, response_line, Request, Response, ShardStatsz, Statsz,
+};
+use crate::shard::{SessionHandle, ShardEngine, ShardShared, Work};
+use kard_core::KardConfig;
+use kard_telemetry::Telemetry;
+use kard_trace::wire::{read_frame, WireError};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything tunable about a server.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Number of detector shards (one OS thread + one detector each).
+    pub shards: usize,
+    /// Per-session ingest budget, in events. A batch that would push the
+    /// session past this bound is dropped whole and counted.
+    pub queue_bound: usize,
+    /// Per-session cap on live allocated bytes.
+    pub max_session_bytes: u64,
+    /// Per-session cap on live objects.
+    pub max_session_objects: usize,
+    /// Per-session cap on logical threads.
+    pub max_session_threads: usize,
+    /// Evict sessions idle this long (`None` disables eviction).
+    pub idle_timeout: Option<Duration>,
+    /// Artificial per-event apply cost, for overload tests and benches
+    /// (`Duration::ZERO` disables it).
+    pub apply_throttle: Duration,
+    /// Detector configuration for every shard. Defaults to the paper
+    /// configuration with virtualized keys, so detection quality does
+    /// not depend on how many sessions share a shard's key pool.
+    pub detector: KardConfig,
+    /// Enable fault-path telemetry rings (feeds the `/statsz` cycle
+    /// histograms, at some per-event cost).
+    pub telemetry: bool,
+    /// TCP listen address (`None` disables TCP). Use port 0 to let the
+    /// OS pick; [`Server::tcp_addr`] reports the bound address.
+    pub tcp: Option<String>,
+    /// Unix socket path (`None` disables the Unix listener). A stale
+    /// socket file at the path is removed at startup.
+    pub unix: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            shards: 4,
+            queue_bound: 16_384,
+            max_session_bytes: 64 << 20,
+            max_session_objects: 65_536,
+            max_session_threads: 64,
+            idle_timeout: Some(Duration::from_secs(60)),
+            apply_throttle: Duration::ZERO,
+            detector: KardConfig::paper().virtual_keys(true),
+            telemetry: false,
+            tcp: Some("127.0.0.1:0".to_string()),
+            unix: None,
+        }
+    }
+}
+
+/// The session shard a client name routes to: `hash(name) % shards`.
+/// `DefaultHasher::new()` is keyed with fixed constants, so routing is
+/// stable across processes and the tests can place sessions on chosen
+/// shards.
+#[must_use]
+pub fn shard_for(client: &str, shards: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    client.hash(&mut h);
+    (h.finish() % shards.max(1) as u64) as usize
+}
+
+/// A connection's transport, erased over TCP and Unix sockets.
+enum Sock {
+    /// TCP transport.
+    Tcp(TcpStream),
+    /// Unix-domain transport.
+    Unix(UnixStream),
+}
+
+impl Sock {
+    fn try_clone(&self) -> io::Result<Sock> {
+        Ok(match self {
+            Sock::Tcp(s) => Sock::Tcp(s.try_clone()?),
+            Sock::Unix(s) => Sock::Unix(s.try_clone()?),
+        })
+    }
+
+    fn shutdown(&self) {
+        let _ = match self {
+            Sock::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            Sock::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for Sock {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Sock::Tcp(s) => s.read(buf),
+            Sock::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Sock {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Sock::Tcp(s) => s.write(buf),
+            Sock::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Sock::Tcp(s) => s.flush(),
+            Sock::Unix(s) => s.flush(),
+        }
+    }
+}
+
+struct ServerInner {
+    config: ServerConfig,
+    shards: Vec<Arc<ShardShared>>,
+    telemetry: Vec<Arc<Telemetry>>,
+    shutdown: AtomicBool,
+    next_serial: AtomicU64,
+    sessions_total: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl ServerInner {
+    /// Flip the shutdown switch once: accepting stops, every shard
+    /// queue closes (drain-then-exit), readers drop late events.
+    fn trigger_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            for shard in &self.shards {
+                shard.queue.close();
+            }
+        }
+    }
+
+    fn statsz(&self) -> Statsz {
+        let mut out = Statsz {
+            sessions_total: self.sessions_total.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            ..Statsz::default()
+        };
+        for (i, shard) in self.shards.iter().enumerate() {
+            let hists = self.telemetry[i].histograms();
+            let block = ShardStatsz {
+                shard: i,
+                active_sessions: shard.active_sessions.load(Ordering::Relaxed),
+                queue_depth: shard.queue_depth.load(Ordering::Relaxed),
+                applied: shard.applied.load(Ordering::Relaxed),
+                dropped: shard.dropped.load(Ordering::Relaxed),
+                rejected: shard.rejected.load(Ordering::Relaxed),
+                races: shard.races.load(Ordering::Relaxed),
+                evictions: shard.evictions.load(Ordering::Relaxed),
+                ingest_latency_ns: shard.ingest_latency.summary(),
+                fault_delay_cycles: hists.fault_delay.summary(),
+                section_hold_cycles: hists.section_hold.summary(),
+            };
+            out.active_sessions += block.active_sessions;
+            out.applied += block.applied;
+            out.dropped += block.dropped;
+            out.rejected += block.rejected;
+            out.races += block.races;
+            out.shards.push(block);
+        }
+        out
+    }
+}
+
+/// A running firehose server. Dropping the handle does **not** stop the
+/// server; call [`Server::shutdown`] (or send a [`Request::Shutdown`])
+/// and then [`Server::join`].
+pub struct Server {
+    inner: Arc<ServerInner>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+    threads: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind the configured listeners, spawn the shard threads, and start
+    /// accepting sessions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when a listener address is unusable.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let shards: Vec<Arc<ShardShared>> = (0..config.shards.max(1))
+            .map(|_| Arc::new(ShardShared::default()))
+            .collect();
+        let mut telemetry = Vec::with_capacity(shards.len());
+        let mut threads = Vec::new();
+        for shared in &shards {
+            let rt = kard_rt::Session::builder()
+                .config(config.detector)
+                .telemetry(config.telemetry)
+                .build();
+            telemetry.push(Arc::clone(rt.telemetry()));
+            let engine = ShardEngine::new(rt, Arc::clone(shared), config.clone());
+            threads.push(std::thread::spawn(move || engine.run()));
+        }
+        let inner = Arc::new(ServerInner {
+            config,
+            shards,
+            telemetry,
+            shutdown: AtomicBool::new(false),
+            next_serial: AtomicU64::new(1),
+            sessions_total: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let mut tcp_addr = None;
+        if let Some(addr) = inner.config.tcp.clone() {
+            let listener = TcpListener::bind(&addr)?;
+            listener.set_nonblocking(true)?;
+            tcp_addr = Some(listener.local_addr()?);
+            let inner2 = Arc::clone(&inner);
+            let conns2 = Arc::clone(&conns);
+            threads.push(std::thread::spawn(move || {
+                accept_loop(&inner2, &conns2, || {
+                    listener.accept().map(|(s, _)| {
+                        let _ = s.set_nodelay(true);
+                        let _ = s.set_nonblocking(false);
+                        Sock::Tcp(s)
+                    })
+                });
+            }));
+        }
+        let mut unix_path = None;
+        if let Some(path) = inner.config.unix.clone() {
+            let _ = std::fs::remove_file(&path);
+            let listener = UnixListener::bind(&path)?;
+            listener.set_nonblocking(true)?;
+            unix_path = Some(path);
+            let inner2 = Arc::clone(&inner);
+            let conns2 = Arc::clone(&conns);
+            threads.push(std::thread::spawn(move || {
+                accept_loop(&inner2, &conns2, || {
+                    listener.accept().map(|(s, _)| {
+                        let _ = s.set_nonblocking(false);
+                        Sock::Unix(s)
+                    })
+                });
+            }));
+        }
+
+        Ok(Server {
+            inner,
+            tcp_addr,
+            unix_path,
+            threads,
+            conns,
+        })
+    }
+
+    /// The bound TCP address, when TCP is enabled.
+    #[must_use]
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound Unix socket path, when the Unix listener is enabled.
+    #[must_use]
+    pub fn unix_path(&self) -> Option<&Path> {
+        self.unix_path.as_deref()
+    }
+
+    /// A `/statsz` snapshot, taken without disturbing the shards.
+    #[must_use]
+    pub fn statsz(&self) -> Statsz {
+        self.inner.statsz()
+    }
+
+    /// A detachable stats handle, usable from other threads while
+    /// [`Server::join`] consumes the server itself.
+    #[must_use]
+    pub fn stats_handle(&self) -> StatsHandle {
+        StatsHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Begin graceful drain: stop accepting, close the shard queues,
+    /// flush and end every session. Equivalent to a client sending
+    /// [`Request::Shutdown`].
+    pub fn shutdown(&self) {
+        self.inner.trigger_shutdown();
+    }
+
+    /// Wait for the drain to finish: blocks until shutdown is triggered
+    /// (by [`Server::shutdown`] or a client), then joins every shard,
+    /// acceptor, and connection thread.
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        // Acceptors are down; no new connection threads can appear.
+        let pending = std::mem::take(&mut *self.conns.lock().expect("conn registry poisoned"));
+        for t in pending {
+            let _ = t.join();
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// A cloneable view of a running server's counters: `/statsz` snapshots
+/// and the drain switch, without ownership of the server.
+#[derive(Clone)]
+pub struct StatsHandle {
+    inner: Arc<ServerInner>,
+}
+
+impl StatsHandle {
+    /// A `/statsz` snapshot.
+    #[must_use]
+    pub fn statsz(&self) -> Statsz {
+        self.inner.statsz()
+    }
+
+    /// True once the server has begun draining.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Poll one nonblocking listener until shutdown, spawning a connection
+/// thread per accepted socket.
+fn accept_loop<F>(inner: &Arc<ServerInner>, conns: &Arc<Mutex<Vec<JoinHandle<()>>>>, mut accept: F)
+where
+    F: FnMut() -> io::Result<Sock>,
+{
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match accept() {
+            Ok(sock) => {
+                let inner2 = Arc::clone(inner);
+                let handle = std::thread::spawn(move || serve_connection(&inner2, sock));
+                conns.lock().expect("conn registry poisoned").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Write one response line straight to a socket (pre-session errors
+/// only; everything after Hello goes through the outbox).
+fn write_direct(sock: &Sock, response: &Response) {
+    if let Ok(mut w) = sock.try_clone() {
+        let mut line = response_line(response);
+        line.push('\n');
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.flush();
+    }
+}
+
+/// The reader side of one connection: frames in, work items out.
+fn serve_connection(inner: &Arc<ServerInner>, sock: Sock) {
+    let Ok(read_half) = sock.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+
+    // The first frame must be Hello; anything else is a protocol error.
+    let client = match read_frame(&mut reader) {
+        Ok(Some(payload)) => match parse_request(&payload) {
+            Ok(Request::Hello { client }) => client,
+            Ok(Request::Shutdown) => {
+                inner.trigger_shutdown();
+                return;
+            }
+            Ok(Request::Stats) => {
+                write_direct(&sock, &Response::Stats(inner.statsz()));
+                return;
+            }
+            Ok(_) => {
+                inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                write_direct(
+                    &sock,
+                    &Response::Error {
+                        message: "expected Hello as the first request".to_string(),
+                    },
+                );
+                return;
+            }
+            Err(why) => {
+                inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                write_direct(&sock, &Response::Error { message: why });
+                return;
+            }
+        },
+        Ok(None) | Err(_) => return,
+    };
+
+    if inner.shutdown.load(Ordering::SeqCst) {
+        write_direct(
+            &sock,
+            &Response::Error {
+                message: "server is draining".to_string(),
+            },
+        );
+        return;
+    }
+
+    let serial = inner.next_serial.fetch_add(1, Ordering::Relaxed);
+    inner.sessions_total.fetch_add(1, Ordering::Relaxed);
+    let shard_index = shard_for(&client, inner.config.shards);
+    let shard = Arc::clone(&inner.shards[shard_index]);
+    let handle = Arc::new(SessionHandle::new(serial));
+    handle.outbox.push(response_line(&Response::Hello {
+        session: serial,
+        shard: shard_index,
+    }));
+    shard.queue.push(Work::Attach(Arc::clone(&handle)));
+
+    // The writer owns the socket from here: it drains the outbox and
+    // shuts the socket down once the session ends, which is also what
+    // unblocks this reader if it is parked in `read_frame`.
+    let writer = {
+        let handle = Arc::clone(&handle);
+        std::thread::spawn(move || {
+            let mut w = BufWriter::new(match sock.try_clone() {
+                Ok(s) => s,
+                Err(_) => {
+                    sock.shutdown();
+                    return;
+                }
+            });
+            while let Some(mut line) = handle.outbox.pop() {
+                line.push('\n');
+                if w.write_all(line.as_bytes()).is_err() {
+                    break;
+                }
+                if w.flush().is_err() {
+                    break;
+                }
+            }
+            let _ = w.flush();
+            sock.shutdown();
+        })
+    };
+
+    let mut detach_sent = false;
+    loop {
+        if handle.done.load(Ordering::Acquire) {
+            break;
+        }
+        match read_frame(&mut reader) {
+            Ok(Some(payload)) => match parse_request(&payload) {
+                Ok(Request::Event(event)) => {
+                    enqueue_events(inner, &shard, &handle, vec![event]);
+                }
+                Ok(Request::Batch(events)) => enqueue_events(inner, &shard, &handle, events),
+                Ok(Request::Flush) => shard.queue.push(Work::Flush { session: serial }),
+                Ok(Request::Stats) => {
+                    handle
+                        .outbox
+                        .push(response_line(&Response::Stats(inner.statsz())));
+                }
+                Ok(Request::Bye) => {
+                    shard.queue.push(Work::Detach { session: serial });
+                    detach_sent = true;
+                    break;
+                }
+                Ok(Request::Shutdown) => inner.trigger_shutdown(),
+                Ok(Request::Hello { .. }) => {
+                    inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    handle.outbox.push(response_line(&Response::Error {
+                        message: "session already established".to_string(),
+                    }));
+                    break;
+                }
+                Err(why) => {
+                    inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    handle
+                        .outbox
+                        .push(response_line(&Response::Error { message: why }));
+                    break;
+                }
+            },
+            Ok(None) => break,
+            Err(WireError::Oversize { len }) => {
+                inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                handle.outbox.push(response_line(&Response::Error {
+                    message: format!("frame of {len} bytes exceeds the frame limit"),
+                }));
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+    if !detach_sent && !handle.done.load(Ordering::Acquire) {
+        shard.queue.push(Work::Detach { session: serial });
+    }
+    let _ = writer.join();
+}
+
+/// Enqueue a batch within the session's queue budget, or drop it whole
+/// and count it (fail-open — the reader never blocks on a full shard).
+fn enqueue_events(
+    inner: &Arc<ServerInner>,
+    shard: &Arc<ShardShared>,
+    handle: &Arc<SessionHandle>,
+    events: Vec<kard_trace::Event>,
+) {
+    let n = events.len() as u64;
+    if n == 0 {
+        return;
+    }
+    if inner.shutdown.load(Ordering::SeqCst)
+        || handle.done.load(Ordering::Acquire)
+        || handle.queued.load(Ordering::Relaxed) + n > inner.config.queue_bound as u64
+    {
+        handle.dropped.fetch_add(n, Ordering::Relaxed);
+        shard.dropped.fetch_add(n, Ordering::Relaxed);
+        return;
+    }
+    handle.queued.fetch_add(n, Ordering::Relaxed);
+    shard.queue_depth.fetch_add(n, Ordering::Relaxed);
+    shard.queue.push(Work::Events {
+        session: handle.serial,
+        events,
+        enqueued: Instant::now(),
+    });
+}

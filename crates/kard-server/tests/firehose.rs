@@ -1,0 +1,292 @@
+//! End-to-end tests of the firehose server over real sockets.
+
+use kard_server::{shard_for, FirehoseClient, Server, ServerConfig};
+use kard_sim::CodeSite;
+use kard_trace::{Event, ObjectTag, Op};
+use kard_workloads::storm::{self, StormConfig};
+use std::time::Duration;
+
+fn start(config: ServerConfig) -> Server {
+    Server::start(config).expect("server starts")
+}
+
+fn racy_storm() -> StormConfig {
+    StormConfig {
+        racy_sessions: 1,
+        ..StormConfig::default()
+    }
+}
+
+/// Replay one storm session through a connected client, flushing after
+/// every burst, and return the final summary.
+fn play(
+    client: &mut FirehoseClient,
+    session: &storm::StormSession,
+) -> kard_server::SessionSummary {
+    for burst in &session.bursts {
+        client.send_batch(burst).expect("batch sends");
+    }
+    client.flush().expect("flush answers")
+}
+
+#[test]
+fn racy_session_reports_in_client_vocabulary() {
+    let server = start(ServerConfig::default());
+    let addr = server.tcp_addr().unwrap();
+    let session = storm::session(&racy_storm(), 0);
+
+    let mut client = FirehoseClient::connect(addr, &session.name).unwrap();
+    let summary = play(&mut client, &session);
+    assert_eq!(summary.applied, session.total_events() as u64);
+    assert_eq!(summary.dropped, 0);
+    assert_eq!(summary.rejected, 0);
+    assert_eq!(summary.races, 1);
+
+    let races = client.races();
+    assert_eq!(races.len(), 1);
+    let race = &races[0];
+    // The report speaks the client's vocabulary: the storm's shared
+    // object tag (threads * objects_per_thread) and the storm's own lock
+    // sites, not the server's namespaced ids.
+    assert_eq!(race.object, 8, "shared object tag");
+    for side in [&race.faulting, &race.holding] {
+        assert!(side.thread < 2, "client thread index: {}", side.thread);
+        let section = side.section.expect("both sides are locked");
+        assert!(
+            section == 0xaaa0 || section == 0xbbb0,
+            "client lock site: {section:#x}"
+        );
+    }
+    assert_ne!(race.faulting.section, race.holding.section);
+
+    let final_summary = client.bye().unwrap();
+    assert_eq!(final_summary.races, 1);
+    assert!(!final_summary.evicted);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn identical_traffic_yields_byte_identical_reports() {
+    // Two servers, one busy with extra sessions — the observed session's
+    // report lines must match byte for byte.
+    let cfg = StormConfig {
+        sessions: 3,
+        racy_sessions: 3,
+        ..StormConfig::default()
+    };
+    let sessions = storm::sessions(&cfg);
+    let observed = &sessions[0];
+
+    let mut runs = Vec::new();
+    for busy in [false, true] {
+        let server = start(ServerConfig {
+            shards: 2,
+            ..ServerConfig::default()
+        });
+        let addr = server.tcp_addr().unwrap();
+        if busy {
+            for other in &sessions[1..] {
+                let mut c = FirehoseClient::connect(addr, &other.name).unwrap();
+                play(&mut c, other);
+                c.bye().unwrap();
+            }
+        }
+        let mut client = FirehoseClient::connect(addr, &observed.name).unwrap();
+        let summary = play(&mut client, observed);
+        assert_eq!(summary.races, 1);
+        runs.push(client.race_lines().to_vec());
+        client.bye().unwrap();
+        server.shutdown();
+        server.join();
+    }
+    assert_eq!(runs[0], runs[1], "report lines must not depend on load");
+}
+
+#[test]
+fn invalid_events_are_rejected_never_fatal() {
+    let server = start(ServerConfig::default());
+    let addr = server.tcp_addr().unwrap();
+    let mut client = FirehoseClient::connect(addr, "hostile").unwrap();
+
+    let bad = vec![
+        // Access to a tag that was never allocated.
+        Event { thread: 0, op: Op::Write { tag: ObjectTag(9), offset: 0, ip: CodeSite(1) } },
+        // Unlock of a lock that is not held.
+        Event { thread: 0, op: Op::Unlock { lock: kard_core::LockId(5) } },
+        // Allocation far beyond the per-session memory cap.
+        Event { thread: 0, op: Op::Alloc { tag: ObjectTag(1), size: u64::MAX / 2 } },
+        // Zero-size allocation.
+        Event { thread: 0, op: Op::Alloc { tag: ObjectTag(2), size: 0 } },
+        // Free of an unknown tag.
+        Event { thread: 0, op: Op::Free { tag: ObjectTag(3) } },
+    ];
+    client.send_batch(&bad).unwrap();
+    let summary = client.flush().unwrap();
+    assert_eq!(summary.rejected, bad.len() as u64);
+    assert_eq!(summary.applied, 0);
+
+    // The session still works after every rejection.
+    client
+        .send_batch(&[
+            Event { thread: 0, op: Op::Alloc { tag: ObjectTag(1), size: 64 } },
+            Event { thread: 0, op: Op::Write { tag: ObjectTag(1), offset: 0, ip: CodeSite(2) } },
+        ])
+        .unwrap();
+    let summary = client.bye().unwrap();
+    assert_eq!(summary.applied, 2);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn out_of_bounds_offsets_are_rejected() {
+    let server = start(ServerConfig::default());
+    let addr = server.tcp_addr().unwrap();
+    let mut client = FirehoseClient::connect(addr, "bounds").unwrap();
+    client
+        .send_batch(&[
+            Event { thread: 0, op: Op::Alloc { tag: ObjectTag(1), size: 64 } },
+            Event { thread: 0, op: Op::Read { tag: ObjectTag(1), offset: 1 << 40, ip: CodeSite(3) } },
+        ])
+        .unwrap();
+    let summary = client.bye().unwrap();
+    assert_eq!(summary.applied, 1);
+    assert_eq!(summary.rejected, 1);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn malformed_frames_end_the_connection_with_an_error() {
+    let server = start(ServerConfig::default());
+    let addr = server.tcp_addr().unwrap();
+
+    let mut client = FirehoseClient::connect(addr, "soon-broken").unwrap();
+    client.send_payload("this is not json").unwrap();
+    // The server answers Error and closes; the next blocking read sees it.
+    let err = client.flush().unwrap_err();
+    assert!(
+        err.kind() == std::io::ErrorKind::InvalidData
+            || err.kind() == std::io::ErrorKind::UnexpectedEof
+            || err.kind() == std::io::ErrorKind::BrokenPipe,
+        "unexpected error kind: {err:?}"
+    );
+
+    // The server itself is unharmed and counted the violation.
+    let mut probe = FirehoseClient::connect(addr, "probe").unwrap();
+    let stats = probe.stats().unwrap();
+    assert_eq!(stats.protocol_errors, 1);
+    probe.bye().unwrap();
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn idle_sessions_are_evicted_with_reports_flushed() {
+    let server = start(ServerConfig {
+        idle_timeout: Some(Duration::from_millis(120)),
+        ..ServerConfig::default()
+    });
+    let addr = server.tcp_addr().unwrap();
+    let session = storm::session(&racy_storm(), 0);
+    let mut client = FirehoseClient::connect(addr, &session.name).unwrap();
+    for burst in &session.bursts {
+        client.send_batch(burst).unwrap();
+    }
+    // No Flush, no Bye: the eviction must deliver the pending report.
+    let summary = client.wait_bye().expect("server ends the idle session");
+    assert!(summary.evicted);
+    assert_eq!(summary.applied, session.total_events() as u64);
+    assert_eq!(summary.races, 1);
+    assert_eq!(client.races().len(), 1);
+
+    let mut probe = FirehoseClient::connect(addr, "probe").unwrap();
+    let stats = probe.stats().unwrap();
+    let evictions: u64 = stats.shards.iter().map(|s| s.evictions).sum();
+    assert_eq!(evictions, 1);
+    probe.bye().unwrap();
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn unix_socket_transport_works() {
+    let path = std::env::temp_dir().join(format!("kard-firehose-test-{}.sock", std::process::id()));
+    let server = start(ServerConfig {
+        tcp: None,
+        unix: Some(path.clone()),
+        ..ServerConfig::default()
+    });
+    assert_eq!(server.unix_path(), Some(path.as_path()));
+    let session = storm::session(&racy_storm(), 0);
+    let mut client = FirehoseClient::connect_unix(&path, &session.name).unwrap();
+    let summary = play(&mut client, &session);
+    assert_eq!(summary.races, 1);
+    client.bye().unwrap();
+    server.shutdown();
+    server.join();
+    assert!(!path.exists(), "socket file removed on shutdown");
+}
+
+#[test]
+fn shutdown_drains_queued_work_and_flushes_every_session() {
+    let cfg = StormConfig {
+        sessions: 4,
+        racy_sessions: 4,
+        ..StormConfig::default()
+    };
+    let server = start(ServerConfig {
+        shards: 2,
+        ..ServerConfig::default()
+    });
+    let addr = server.tcp_addr().unwrap();
+    let sessions = storm::sessions(&cfg);
+    let mut clients = Vec::new();
+    for session in &sessions {
+        let mut client = FirehoseClient::connect(addr, &session.name).unwrap();
+        for burst in &session.bursts {
+            client.send_batch(burst).unwrap();
+        }
+        clients.push(client);
+    }
+    // An in-order Stats round trip per connection proves every batch
+    // frame was consumed (enqueued) before we pull the plug.
+    for client in &mut clients {
+        client.stats().unwrap();
+    }
+    clients[0].shutdown_server().unwrap();
+    for (client, session) in clients.iter_mut().zip(&sessions) {
+        let summary = client.wait_bye().expect("drain delivers Bye");
+        assert!(summary.evicted, "server-initiated end");
+        assert_eq!(summary.applied, session.total_events() as u64, "{}", session.name);
+        assert_eq!(summary.dropped, 0);
+        assert_eq!(summary.races, 1, "{}", session.name);
+    }
+    server.join();
+}
+
+#[test]
+fn statsz_aggregates_match_session_counters() {
+    let server = start(ServerConfig {
+        shards: 3,
+        ..ServerConfig::default()
+    });
+    let addr = server.tcp_addr().unwrap();
+    let session = storm::session(&StormConfig::default(), 0);
+    let mut client = FirehoseClient::connect(addr, &session.name).unwrap();
+    assert_eq!(client.shard(), shard_for(&session.name, 3));
+    let summary = play(&mut client, &session);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.shards.len(), 3);
+    assert_eq!(stats.sessions_total, 1);
+    assert_eq!(stats.active_sessions, 1);
+    assert_eq!(stats.applied, summary.applied);
+    let shard = &stats.shards[client.shard()];
+    assert_eq!(shard.applied, summary.applied);
+    assert!(shard.ingest_latency_ns.count > 0, "latency was recorded");
+    client.bye().unwrap();
+    server.shutdown();
+    server.join();
+}

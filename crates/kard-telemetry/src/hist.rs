@@ -7,7 +7,7 @@
 //! count/sum/min/max — lock-free and allocation-free, safe to call from
 //! the fault handler.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of power-of-two buckets (bucket `i` holds values whose bit
@@ -109,7 +109,9 @@ impl LatencyHistogram {
 
 /// Plain-value snapshot of a [`LatencyHistogram`]. Percentiles are bucket
 /// upper bounds (log₂ resolution), clamped to the observed min/max.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+/// (De)serializable so the firehose `/statsz` response can carry it over
+/// the wire and clients can parse it back.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSummary {
     /// Values recorded.
     pub count: u64,

@@ -14,7 +14,10 @@
 //!   into a trace (round-robin, seeded-random, serial, and explicit);
 //! * [`replay::Executor`] — the sink interface; `kard-rt` adapts the Kard
 //!   detector to it and `kard-baselines` adapts FastTrack and lockset, so
-//!   identical schedules drive every detector in comparisons.
+//!   identical schedules drive every detector in comparisons;
+//! * [`wire`] — the firehose wire codec: length-prefixed frames and a
+//!   fast JSON event (de)serializer byte-compatible with the serde path,
+//!   used by `kard-server` and its clients.
 
 #![warn(missing_docs)]
 
@@ -22,6 +25,7 @@ pub mod event;
 pub mod program;
 pub mod replay;
 pub mod schedule;
+pub mod wire;
 
 pub use event::{Event, ObjectTag, Op};
 pub use program::ThreadProgram;

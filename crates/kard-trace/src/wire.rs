@@ -1,0 +1,479 @@
+//! The firehose wire codec: framing and a fast event (de)serializer.
+//!
+//! `kard-server` streams [`Event`]s over sockets. Requests travel as
+//! **length-prefixed JSON frames** (a 4-byte big-endian payload length,
+//! then that many bytes of JSON), which keeps message boundaries explicit
+//! and lets a reader reject oversized or truncated input before parsing
+//! it. Responses travel back as JSON-Lines and need no special support.
+//!
+//! Two codecs produce byte-identical JSON for events:
+//!
+//! * the derived serde path (`serde_json::to_string` / `from_str`) — the
+//!   source of truth for the wire shape;
+//! * [`encode_event`] / [`decode_event`] — a specialized fast path that
+//!   writes and scans the known shapes directly, with no intermediate
+//!   `Value` tree. The decoder falls back to the serde path for any
+//!   input it does not recognize, so it accepts everything serde accepts.
+//!
+//! The equivalence of the two paths is property-tested in
+//! `tests/serde_roundtrip.rs`.
+
+use crate::event::{Event, Op};
+use crate::ObjectTag;
+use kard_core::LockId;
+use kard_sim::CodeSite;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on a frame payload. Large enough for a several-thousand
+/// event batch, small enough that a corrupt length prefix cannot make a
+/// reader allocate gigabytes.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Decode/framing failure.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket/file error.
+    Io(io::Error),
+    /// A frame announced a payload larger than [`MAX_FRAME`].
+    Oversize {
+        /// Announced payload length.
+        len: usize,
+    },
+    /// The stream ended inside a frame (mid-length or mid-payload).
+    Truncated,
+    /// The payload was not valid JSON for the expected type.
+    Malformed(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Oversize { len } => {
+                write!(f, "frame of {len} bytes exceeds MAX_FRAME ({MAX_FRAME})")
+            }
+            WireError::Truncated => write!(f, "stream ended mid-frame"),
+            WireError::Malformed(msg) => write!(f, "malformed payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+/// Write one length-prefixed frame.
+///
+/// # Errors
+///
+/// [`WireError::Oversize`] if `payload` exceeds [`MAX_FRAME`], otherwise
+/// any i/o error from `w`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME {
+        return Err(WireError::Oversize { len: payload.len() });
+    }
+    let len = u32::try_from(payload.len()).expect("MAX_FRAME fits in u32");
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Read one length-prefixed frame.
+///
+/// Returns `Ok(None)` on a clean end of stream (EOF exactly at a frame
+/// boundary); EOF inside a frame is [`WireError::Truncated`].
+///
+/// # Errors
+///
+/// [`WireError::Oversize`] for a length prefix beyond [`MAX_FRAME`],
+/// [`WireError::Truncated`] for mid-frame EOF, or the underlying i/o
+/// error.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(WireError::Truncated)
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Oversize { len });
+    }
+    let mut payload = vec![0u8; len];
+    match r.read_exact(&mut payload) {
+        Ok(()) => Ok(Some(payload)),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(WireError::Truncated),
+        Err(e) => Err(WireError::Io(e)),
+    }
+}
+
+/// Append one event's JSON to `out`, byte-identical to the serde path
+/// (`serde_json::to_string(&event)`): object keys in lexicographic order,
+/// compact separators.
+pub fn encode_event(event: &Event, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push_str("{\"op\":");
+    match event.op {
+        Op::Alloc { tag, size } => {
+            let _ = write!(out, "{{\"Alloc\":{{\"size\":{},\"tag\":{}}}}}", size, tag.0);
+        }
+        Op::Global { tag, size } => {
+            let _ = write!(out, "{{\"Global\":{{\"size\":{},\"tag\":{}}}}}", size, tag.0);
+        }
+        Op::Free { tag } => {
+            let _ = write!(out, "{{\"Free\":{{\"tag\":{}}}}}", tag.0);
+        }
+        Op::Lock { lock, site } => {
+            let _ = write!(out, "{{\"Lock\":{{\"lock\":{},\"site\":{}}}}}", lock.0, site.0);
+        }
+        Op::Unlock { lock } => {
+            let _ = write!(out, "{{\"Unlock\":{{\"lock\":{}}}}}", lock.0);
+        }
+        Op::Read { tag, offset, ip } => {
+            let _ = write!(
+                out,
+                "{{\"Read\":{{\"ip\":{},\"offset\":{},\"tag\":{}}}}}",
+                ip.0, offset, tag.0
+            );
+        }
+        Op::Write { tag, offset, ip } => {
+            let _ = write!(
+                out,
+                "{{\"Write\":{{\"ip\":{},\"offset\":{},\"tag\":{}}}}}",
+                ip.0, offset, tag.0
+            );
+        }
+        Op::Compute { cycles } => {
+            let _ = write!(out, "{{\"Compute\":{{\"cycles\":{cycles}}}}}");
+        }
+    }
+    let _ = write!(out, ",\"thread\":{}}}", event.thread);
+}
+
+/// Encode a batch of events as a JSON array (the payload of a `Batch`
+/// request frame).
+#[must_use]
+pub fn encode_batch(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 48 + 2);
+    out.push('[');
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        encode_event(e, &mut out);
+    }
+    out.push(']');
+    out
+}
+
+/// Decode one event. Tries the specialized scanner first and falls back
+/// to the serde path, so any JSON serde accepts is accepted here.
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] when the text is not a valid event.
+pub fn decode_event(text: &str) -> Result<Event, WireError> {
+    let mut s = Scanner::new(text.as_bytes());
+    if let Some(e) = s.event() {
+        if s.at_end() {
+            return Ok(e);
+        }
+    }
+    serde_json::from_str(text).map_err(|e| WireError::Malformed(e.to_string()))
+}
+
+/// Decode a JSON array of events (a `Batch` payload).
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] when the text is not a valid event array.
+pub fn decode_batch(text: &str) -> Result<Vec<Event>, WireError> {
+    let mut s = Scanner::new(text.as_bytes());
+    if let Some(events) = s.batch() {
+        if s.at_end() {
+            return Ok(events);
+        }
+    }
+    serde_json::from_str(text).map_err(|e| WireError::Malformed(e.to_string()))
+}
+
+/// Byte scanner for the exact shapes [`encode_event`] (and the stub
+/// serde path) produce: compact separators, lexicographic keys, optional
+/// whitespace between tokens. Any mismatch returns `None` and the caller
+/// falls back to serde.
+struct Scanner<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(b: &'a [u8]) -> Scanner<'a> {
+        Scanner { b, i: 0 }
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.ws();
+        self.i == self.b.len()
+    }
+
+    fn tok(&mut self, t: &str) -> Option<()> {
+        self.ws();
+        if self.b[self.i..].starts_with(t.as_bytes()) {
+            self.i += t.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.ws();
+        let start = self.i;
+        while matches!(self.b.get(self.i), Some(b) if b.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return None;
+        }
+        std::str::from_utf8(&self.b[start..self.i]).ok()?.parse().ok()
+    }
+
+    fn batch(&mut self) -> Option<Vec<Event>> {
+        self.tok("[")?;
+        self.ws();
+        let mut events = Vec::new();
+        if self.tok("]").is_some() {
+            return Some(events);
+        }
+        loop {
+            events.push(self.event()?);
+            self.ws();
+            if self.tok(",").is_some() {
+                continue;
+            }
+            self.tok("]")?;
+            return Some(events);
+        }
+    }
+
+    fn event(&mut self) -> Option<Event> {
+        self.tok("{")?;
+        self.tok("\"op\"")?;
+        self.tok(":")?;
+        let op = self.op()?;
+        self.tok(",")?;
+        self.tok("\"thread\"")?;
+        self.tok(":")?;
+        let thread = usize::try_from(self.u64()?).ok()?;
+        self.tok("}")?;
+        Some(Event { thread, op })
+    }
+
+    fn op(&mut self) -> Option<Op> {
+        self.tok("{")?;
+        self.ws();
+        let op = if self.tok("\"Alloc\"").is_some() {
+            let (size, tag) = self.size_tag()?;
+            Op::Alloc { tag, size }
+        } else if self.tok("\"Global\"").is_some() {
+            let (size, tag) = self.size_tag()?;
+            Op::Global { tag, size }
+        } else if self.tok("\"Free\"").is_some() {
+            self.tok(":")?;
+            self.tok("{")?;
+            self.tok("\"tag\"")?;
+            self.tok(":")?;
+            let tag = ObjectTag(self.u64()?);
+            self.tok("}")?;
+            Op::Free { tag }
+        } else if self.tok("\"Lock\"").is_some() {
+            self.tok(":")?;
+            self.tok("{")?;
+            self.tok("\"lock\"")?;
+            self.tok(":")?;
+            let lock = LockId(self.u64()?);
+            self.tok(",")?;
+            self.tok("\"site\"")?;
+            self.tok(":")?;
+            let site = CodeSite(self.u64()?);
+            self.tok("}")?;
+            Op::Lock { lock, site }
+        } else if self.tok("\"Unlock\"").is_some() {
+            self.tok(":")?;
+            self.tok("{")?;
+            self.tok("\"lock\"")?;
+            self.tok(":")?;
+            let lock = LockId(self.u64()?);
+            self.tok("}")?;
+            Op::Unlock { lock }
+        } else if self.tok("\"Read\"").is_some() {
+            let (ip, offset, tag) = self.ip_offset_tag()?;
+            Op::Read { tag, offset, ip }
+        } else if self.tok("\"Write\"").is_some() {
+            let (ip, offset, tag) = self.ip_offset_tag()?;
+            Op::Write { tag, offset, ip }
+        } else if self.tok("\"Compute\"").is_some() {
+            self.tok(":")?;
+            self.tok("{")?;
+            self.tok("\"cycles\"")?;
+            self.tok(":")?;
+            let cycles = self.u64()?;
+            self.tok("}")?;
+            Op::Compute { cycles }
+        } else {
+            return None;
+        };
+        self.tok("}")?;
+        Some(op)
+    }
+
+    fn size_tag(&mut self) -> Option<(u64, ObjectTag)> {
+        self.tok(":")?;
+        self.tok("{")?;
+        self.tok("\"size\"")?;
+        self.tok(":")?;
+        let size = self.u64()?;
+        self.tok(",")?;
+        self.tok("\"tag\"")?;
+        self.tok(":")?;
+        let tag = ObjectTag(self.u64()?);
+        self.tok("}")?;
+        Some((size, tag))
+    }
+
+    fn ip_offset_tag(&mut self) -> Option<(CodeSite, u64, ObjectTag)> {
+        self.tok(":")?;
+        self.tok("{")?;
+        self.tok("\"ip\"")?;
+        self.tok(":")?;
+        let ip = CodeSite(self.u64()?);
+        self.tok(",")?;
+        self.tok("\"offset\"")?;
+        self.tok(":")?;
+        let offset = self.u64()?;
+        self.tok(",")?;
+        self.tok("\"tag\"")?;
+        self.tok(":")?;
+        let tag = ObjectTag(self.u64()?);
+        self.tok("}")?;
+        Some((ip, offset, tag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event { thread: 0, op: Op::Alloc { tag: ObjectTag(3), size: 64 } },
+            Event { thread: 1, op: Op::Global { tag: ObjectTag(4), size: 8 } },
+            Event {
+                thread: 2,
+                op: Op::Lock { lock: LockId(7), site: CodeSite(0x10) },
+            },
+            Event {
+                thread: 2,
+                op: Op::Write { tag: ObjectTag(3), offset: 8, ip: CodeSite(0x11) },
+            },
+            Event {
+                thread: 2,
+                op: Op::Read { tag: ObjectTag(3), offset: 16, ip: CodeSite(0x12) },
+            },
+            Event { thread: 2, op: Op::Unlock { lock: LockId(7) } },
+            Event { thread: 0, op: Op::Compute { cycles: 1234 } },
+            Event { thread: 0, op: Op::Free { tag: ObjectTag(3) } },
+        ]
+    }
+
+    #[test]
+    fn fast_encoder_matches_serde_bytes() {
+        for e in sample_events() {
+            let mut fast = String::new();
+            encode_event(&e, &mut fast);
+            assert_eq!(fast, serde_json::to_string(&e).unwrap());
+        }
+    }
+
+    #[test]
+    fn fast_decoder_round_trips_batches() {
+        let events = sample_events();
+        let text = encode_batch(&events);
+        assert_eq!(decode_batch(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn decoder_accepts_whitespace_via_fallback() {
+        let e = Event { thread: 9, op: Op::Compute { cycles: 5 } };
+        let spaced = "{ \"op\" : { \"Compute\" : { \"cycles\" : 5 } } , \"thread\" : 9 }";
+        assert_eq!(decode_event(spaced).unwrap(), e);
+    }
+
+    #[test]
+    fn malformed_events_are_rejected() {
+        for bad in [
+            "",
+            "null",
+            "{}",
+            "{\"op\":{\"Explode\":{}},\"thread\":0}",
+            "{\"op\":{\"Compute\":{\"cycles\":-4}},\"thread\":0}",
+            "{\"op\":{\"Compute\":{\"cycles\":1}},\"thread\":0} trailing",
+            "{\"op\":{\"Compute\":{\"cycles\":1}}}",
+        ] {
+            assert!(decode_event(bad).is_err(), "accepted {bad:?}");
+        }
+        assert!(decode_batch("[{]").is_err());
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_and_oversize_frames_are_rejected() {
+        // EOF inside the length prefix.
+        let mut r: &[u8] = &[0, 0];
+        assert!(matches!(read_frame(&mut r), Err(WireError::Truncated)));
+        // EOF inside the payload.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut r = &buf[..buf.len() - 2];
+        assert!(matches!(read_frame(&mut r), Err(WireError::Truncated)));
+        // A length prefix beyond MAX_FRAME never allocates its payload.
+        let huge = (MAX_FRAME as u32 + 1).to_be_bytes();
+        let mut r = &huge[..];
+        assert!(matches!(read_frame(&mut r), Err(WireError::Oversize { .. })));
+        assert!(matches!(
+            write_frame(&mut Vec::new(), &vec![0u8; MAX_FRAME + 1]),
+            Err(WireError::Oversize { .. })
+        ));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the wire shape of the event vocabulary: the
+//! firehose protocol (`kard-server`) depends on `encode → decode` being
+//! the identity for every [`Op`]/[`Event`], on the fast codec in
+//! [`kard_trace::wire`] agreeing byte-for-byte with the serde path, and
+//! on malformed input being rejected rather than misread.
+
+use kard_core::LockId;
+use kard_sim::CodeSite;
+use kard_trace::{wire, Event, ObjectTag, Op};
+use proptest::prelude::*;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..u64::MAX, 0..u64::MAX)
+            .prop_map(|(tag, size)| Op::Alloc { tag: ObjectTag(tag), size }),
+        (0..u64::MAX, 0..u64::MAX)
+            .prop_map(|(tag, size)| Op::Global { tag: ObjectTag(tag), size }),
+        (0..u64::MAX).prop_map(|tag| Op::Free { tag: ObjectTag(tag) }),
+        (0..u64::MAX, 0..u64::MAX)
+            .prop_map(|(lock, site)| Op::Lock { lock: LockId(lock), site: CodeSite(site) }),
+        (0..u64::MAX).prop_map(|lock| Op::Unlock { lock: LockId(lock) }),
+        (0..u64::MAX, 0..u64::MAX, 0..u64::MAX).prop_map(|(tag, offset, ip)| Op::Read {
+            tag: ObjectTag(tag),
+            offset,
+            ip: CodeSite(ip),
+        }),
+        (0..u64::MAX, 0..u64::MAX, 0..u64::MAX).prop_map(|(tag, offset, ip)| Op::Write {
+            tag: ObjectTag(tag),
+            offset,
+            ip: CodeSite(ip),
+        }),
+        (0..u64::MAX).prop_map(|cycles| Op::Compute { cycles }),
+    ]
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    (0..1024usize, op_strategy()).prop_map(|(thread, op)| Event { thread, op })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn serde_round_trip_is_identity(event in event_strategy()) {
+        let text = serde_json::to_string(&event).unwrap();
+        let back: Event = serde_json::from_str(&text).unwrap();
+        prop_assert_eq!(back, event);
+    }
+
+    #[test]
+    fn fast_codec_matches_serde_bytes(event in event_strategy()) {
+        let mut fast = String::new();
+        wire::encode_event(&event, &mut fast);
+        let via_serde = serde_json::to_string(&event).unwrap();
+        prop_assert_eq!(&fast, &via_serde);
+        // And both texts decode back to the event through the fast path.
+        prop_assert_eq!(wire::decode_event(&fast).unwrap(), event);
+    }
+
+    #[test]
+    fn batches_round_trip(events in prop::collection::vec(event_strategy(), 0..64)) {
+        let text = wire::encode_batch(&events);
+        prop_assert_eq!(wire::decode_batch(&text).unwrap(), events.clone());
+        // The batch text is exactly the serde encoding of the vector.
+        prop_assert_eq!(text, serde_json::to_string(&events).unwrap());
+    }
+
+    #[test]
+    fn corrupting_one_byte_never_misreads(event in event_strategy(), pos in 0..4096usize) {
+        // Flipping a structural byte must yield either a decode error or a
+        // *valid* decode of exactly the corrupted text via the serde
+        // fallback — never a panic, never an out-of-bounds read.
+        let mut text = serde_json::to_string(&event).unwrap().into_bytes();
+        let i = pos % text.len();
+        text[i] = text[i].wrapping_add(1);
+        if let Ok(s) = std::str::from_utf8(&text) {
+            let _ = wire::decode_event(s);
+        }
+    }
+
+    #[test]
+    fn truncated_json_is_rejected(event in event_strategy(), cut in 1..64usize) {
+        let text = serde_json::to_string(&event).unwrap();
+        let cut = cut.min(text.len() - 1);
+        let truncated = &text[..text.len() - cut];
+        prop_assert!(wire::decode_event(truncated).is_err(), "accepted {truncated:?}");
+    }
+}
+
+#[test]
+fn unknown_variants_and_shape_mismatches_are_rejected() {
+    for bad in [
+        // Unknown op variant.
+        r#"{"op":{"Jump":{"to":3}},"thread":0}"#,
+        // Missing field.
+        r#"{"op":{"Alloc":{"size":8}},"thread":0}"#,
+        // Wrong payload type.
+        r#"{"op":{"Compute":{"cycles":"many"}},"thread":0}"#,
+        // Thread index out of range for usize semantics (negative).
+        r#"{"op":{"Compute":{"cycles":1}},"thread":-2}"#,
+        // Op is not an object.
+        r#"{"op":7,"thread":0}"#,
+    ] {
+        assert!(
+            serde_json::from_str::<Event>(bad).is_err(),
+            "serde accepted {bad:?}"
+        );
+        assert!(
+            wire::decode_event(bad).is_err(),
+            "wire codec accepted {bad:?}"
+        );
+    }
+}

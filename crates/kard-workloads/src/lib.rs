@@ -18,7 +18,9 @@
 //! Baseline / Alloc / Kard / TSan-model configurations and reports
 //! overheads; [`apps`] models NGINX, memcached, pigz, and Aget including
 //! their documented real races (Table 6); [`racegen`] generates the random
-//! race corpus behind the §3.1 ILU-share analysis.
+//! race corpus behind the §3.1 ILU-share analysis; [`storm`] generates
+//! the connect/blast/disconnect session traffic that drives the
+//! `kard-server` firehose benchmarks and overload tests.
 
 #![warn(missing_docs)]
 
@@ -27,6 +29,7 @@ pub mod native;
 pub mod racegen;
 pub mod runner;
 pub mod spec;
+pub mod storm;
 pub mod synth;
 pub mod table3;
 

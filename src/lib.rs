@@ -22,6 +22,9 @@
 //!   Chrome `trace_event` exporters (see DESIGN.md §5d);
 //! * [`trace`] — deterministic program traces and interleaving schedules;
 //! * [`baselines`] — FastTrack (the TSan model) and Eraser lockset;
+//! * [`server`] — the `kard-server` firehose daemon: sharded concurrent
+//!   sessions streaming trace events over TCP/Unix sockets, with race
+//!   reports and `/statsz` telemetry streamed back as JSON-Lines;
 //! * [`workloads`] — models of the paper's 19 evaluation programs
 //!   (Table 3) and the four real applications with their documented races
 //!   (Table 6).
@@ -61,6 +64,7 @@ pub use kard_alloc as alloc;
 pub use kard_baselines as baselines;
 pub use kard_core as core;
 pub use kard_rt as rt;
+pub use kard_server as server;
 pub use kard_sim as sim;
 pub use kard_telemetry as telemetry;
 pub use kard_trace as trace;

@@ -1,0 +1,234 @@
+//! Graceful-degradation tests for the `kard-server` firehose: drive one
+//! session at a multiple of its queue budget and prove the overload is
+//! (a) fail-open with accurate counters, (b) invisible to sessions on
+//! other shards — byte-identical reports against an unloaded run — and
+//! (c) fully drained and flushed by shutdown.
+
+use kard::server::{shard_for, FirehoseClient, Server, ServerConfig, SessionSummary};
+use kard::sim::CodeSite;
+use kard::trace::{Event, ObjectTag, Op};
+use kard::workloads::storm::{self, StormConfig, StormSession};
+use std::time::Duration;
+
+const SHARDS: usize = 2;
+/// Per-session queue budget, in events. Large enough that an observer
+/// session's whole storm (~400 events) fits — only the flood, at 4x this
+/// bound, can overflow.
+const QUEUE_BOUND: usize = 1024;
+/// Artificial per-event apply cost: slow enough that a blast of
+/// 4x`QUEUE_BOUND` events outruns the shard deterministically.
+const THROTTLE: Duration = Duration::from_micros(150);
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        shards: SHARDS,
+        queue_bound: QUEUE_BOUND,
+        apply_throttle: THROTTLE,
+        idle_timeout: None,
+        ..ServerConfig::default()
+    }
+}
+
+/// A session name that routes to `shard` (the hash is process-stable, so
+/// the tests can place traffic deliberately).
+fn name_on_shard(prefix: &str, shard: usize) -> String {
+    (0u32..)
+        .map(|salt| format!("{prefix}-{salt}"))
+        .find(|name| shard_for(name, SHARDS) == shard)
+        .expect("some salt lands on every shard")
+}
+
+/// Racy storm sessions, renamed to route to `shard`.
+fn observers_on_shard(count: usize, shard: usize) -> Vec<StormSession> {
+    let cfg = StormConfig {
+        sessions: count,
+        racy_sessions: count,
+        ..StormConfig::default()
+    };
+    storm::sessions(&cfg)
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut s)| {
+            s.name = name_on_shard(&format!("observer-{i}"), shard);
+            s
+        })
+        .collect()
+}
+
+/// The flood traffic: one allocation, then `4 * QUEUE_BOUND` writes in
+/// `QUEUE_BOUND / 4`-event batches. Returns (batches, total events).
+fn flood_batches() -> (Vec<Vec<Event>>, u64) {
+    let per_batch = QUEUE_BOUND / 4;
+    let mut batches = vec![vec![Event {
+        thread: 0,
+        op: Op::Alloc { tag: ObjectTag(1), size: 64 },
+    }]];
+    for b in 0..16 {
+        batches.push(
+            (0..per_batch)
+                .map(|i| Event {
+                    thread: 0,
+                    op: Op::Write {
+                        tag: ObjectTag(1),
+                        offset: (i as u64 % 8) * 8,
+                        ip: CodeSite(0x9000 + b),
+                    },
+                })
+                .collect(),
+        );
+    }
+    let total = batches.iter().map(Vec::len).sum::<usize>() as u64;
+    (batches, total)
+}
+
+/// Blast the flood at the server from a session pinned to `shard`.
+/// The allocation batch is flushed first so it can never be dropped —
+/// every later drop is then a clean, countable write batch.
+fn run_flood(addr: std::net::SocketAddr, shard: usize) -> (SessionSummary, u64) {
+    let name = name_on_shard("flood", shard);
+    let mut client = FirehoseClient::connect(addr, &name).expect("flood connects");
+    let (batches, total) = flood_batches();
+    client.send_batch(&batches[0]).expect("alloc batch");
+    client.flush().expect("alloc applied");
+    for batch in &batches[1..] {
+        client.send_batch(batch).expect("flood batch");
+    }
+    let summary = client.flush().expect("flood flush");
+    client.bye().expect("flood bye");
+    (summary, total)
+}
+
+/// Play every observer session concurrently (one thread each), flushing
+/// and collecting the raw race report lines. Returns per-session lines.
+fn run_observers(addr: std::net::SocketAddr, observers: &[StormSession]) -> Vec<Vec<String>> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = observers
+            .iter()
+            .map(|session| {
+                scope.spawn(move || {
+                    let mut client =
+                        FirehoseClient::connect(addr, &session.name).expect("observer connects");
+                    for burst in &session.bursts {
+                        client.send_batch(burst).expect("observer batch");
+                    }
+                    let summary = client.flush().expect("observer flush");
+                    assert_eq!(summary.dropped, 0, "{} was never overloaded", session.name);
+                    assert_eq!(summary.races, session.expected_races as u64);
+                    let lines = client.race_lines().to_vec();
+                    client.bye().expect("observer bye");
+                    lines
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("observer thread")).collect()
+    })
+}
+
+#[test]
+fn overload_drops_fail_open_with_accurate_counters() {
+    let flood_shard = 0;
+    let server = Server::start(config()).expect("server starts");
+    let addr = server.tcp_addr().unwrap();
+
+    let (summary, sent) = run_flood(addr, flood_shard);
+    assert!(summary.dropped > 0, "4x the queue budget must overflow it");
+    assert_eq!(summary.rejected, 0);
+    assert_eq!(
+        summary.applied + summary.dropped,
+        sent,
+        "every event is either applied or counted as dropped"
+    );
+
+    // The drop counters surface per shard in /statsz too.
+    let stats = server.statsz();
+    assert_eq!(stats.dropped, summary.dropped);
+    assert_eq!(stats.shards[flood_shard].dropped, summary.dropped);
+    assert_eq!(stats.shards[1 - flood_shard].dropped, 0);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn overload_on_one_shard_is_invisible_to_the_other() {
+    let flood_shard = 0;
+    let observers = observers_on_shard(2, 1 - flood_shard);
+
+    // Unloaded baseline.
+    let server = Server::start(config()).expect("server starts");
+    let baseline = run_observers(server.tcp_addr().unwrap(), &observers);
+    server.shutdown();
+    server.join();
+
+    // Loaded run: the flood hammers shard 0 while the observers run on
+    // shard 1.
+    let server = Server::start(config()).expect("server starts");
+    let addr = server.tcp_addr().unwrap();
+    let loaded = std::thread::scope(|scope| {
+        let flood = scope.spawn(move || run_flood(addr, flood_shard));
+        let lines = run_observers(addr, &observers);
+        let (summary, _) = flood.join().expect("flood thread");
+        assert!(summary.dropped > 0, "the flood really overloaded its shard");
+        lines
+    });
+    server.shutdown();
+    server.join();
+
+    assert_eq!(
+        baseline, loaded,
+        "observer race reports must be byte-identical under cross-shard overload"
+    );
+}
+
+#[test]
+fn shutdown_drains_overloaded_queues_and_flushes_pending_reports() {
+    let flood_shard = 0;
+    let server = Server::start(config()).expect("server starts");
+    let addr = server.tcp_addr().unwrap();
+    let stats = server.stats_handle();
+
+    // A racy session parks un-flushed work on the quiet shard.
+    let pending_session = &observers_on_shard(1, 1 - flood_shard)[0];
+    let mut pending = FirehoseClient::connect(addr, &pending_session.name).unwrap();
+    for burst in &pending_session.bursts {
+        pending.send_batch(burst).unwrap();
+    }
+
+    // The flood fills shard 0's queue, then pulls the plug while the
+    // backlog is still deep.
+    let name = name_on_shard("flood", flood_shard);
+    let mut flood = FirehoseClient::connect(addr, &name).unwrap();
+    let (batches, sent) = flood_batches();
+    flood.send_batch(&batches[0]).unwrap();
+    flood.flush().unwrap();
+    for batch in &batches[1..] {
+        flood.send_batch(batch).unwrap();
+    }
+    flood.shutdown_server().unwrap();
+
+    let flood_summary = flood.wait_bye().expect("drain ends the flood session");
+    assert!(flood_summary.evicted, "server-initiated end");
+    assert_eq!(
+        flood_summary.applied + flood_summary.dropped,
+        sent,
+        "drain applies everything that was queued; the rest was counted dropped"
+    );
+
+    let pending_summary = pending.wait_bye().expect("drain ends the pending session");
+    assert!(pending_summary.evicted);
+    assert_eq!(
+        pending_summary.applied,
+        pending_session.total_events() as u64,
+        "nothing the quiet session sent was lost"
+    );
+    assert_eq!(pending_summary.races, 1, "pending report flushed at drain");
+    assert_eq!(pending.races().len(), 1);
+
+    server.join();
+    let final_stats = stats.statsz();
+    assert_eq!(
+        final_stats.shards.iter().map(|s| s.queue_depth).sum::<u64>(),
+        0,
+        "every queue fully drained"
+    );
+    assert_eq!(final_stats.active_sessions, 0);
+}
