@@ -11,8 +11,10 @@ test:
 clippy:
 	cargo clippy --all-targets -- -D warnings
 
+# Workspace-wide so every crate's #![deny(missing_docs)] and intra-doc
+# links are checked, not just the umbrella crate's.
 doc:
-	RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+	RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
 bench-scalability:
 	cargo bench -p kard-bench --bench bench_scalability
@@ -45,6 +47,7 @@ bench-smoke:
 	KARD_BENCH_SMOKE=1 cargo bench -p kard-bench --bench bench_firehose
 	for f in BENCH_alloc.json BENCH_scalability.json BENCH_fault_latency.json BENCH_key_pressure.json BENCH_firehose.json; do \
 		python3 -m json.tool $$f > /dev/null || exit 1; echo "$$f: valid JSON"; done
+	python3 -c "import json; s = [r for r in json.load(open('BENCH_key_pressure.json'))['samples'] if r['policy'] == 'hotness' and r['groups'] == 64]; assert s and all(r['vkeys']['hits'] > 0 for r in s), 'hotness policy produced no vkey cache hits at 64 groups'; print('key-pressure gate: hotness hits at 64 groups =', s[0]['vkeys']['hits'])"
 
 trace-demo:
 	cargo run --release --example telemetry

@@ -47,7 +47,7 @@
 use crate::magazine::{class_of, class_size, MagInner, Magazine, PreparedSlot};
 use crate::metadata::{ObjectId, ObjectInfo, ObjectKind};
 use crate::remote_free::RetiredSlot;
-use crate::table::{ConsRecord, ConsTable, PageIndex};
+use crate::table::{ConsRecord, ConsTable, ObjPages, PageIndex};
 use kard_sim::{
     Machine, PhysFrame, ProtectError, ProtectionKey, ThreadId, VirtAddr, VirtPage, PAGE_SIZE,
 };
@@ -185,6 +185,10 @@ pub struct KardAlloc {
     cons: ConsTable,
     /// Lock-free page→object index over the dense reservation sequence.
     page_index: PageIndex,
+    /// Lock-free object→pages index (the reverse of `page_index`),
+    /// registered on every map and cleared on unmap. Detector-side flat
+    /// metadata resolves object extents through this without locks.
+    obj_pages: ObjPages,
     /// Per-thread magazines, materialized on first use (same fixed
     /// `OnceLock` table shape as the telemetry rings).
     magazines: Box<[OnceLock<Arc<Magazine>>]>,
@@ -255,6 +259,7 @@ impl KardAlloc {
             config,
             cons: ConsTable::new(),
             page_index: PageIndex::new(),
+            obj_pages: ObjPages::new(),
             magazines: (0..MAX_MAGAZINES).map(|_| OnceLock::new()).collect(),
             objects: (0..ALLOC_SHARDS).map(tracked).collect(),
             pages: (0..ALLOC_SHARDS)
@@ -435,6 +440,7 @@ impl KardAlloc {
         // finds a live record behind it.
         self.cons.publish(&rec);
         self.page_index.insert(slot.page, id);
+        self.obj_pages.insert(id, slot.page, 1);
 
         self.stats.allocations.fetch_add(1, Ordering::Relaxed);
         self.stats.live_objects.fetch_add(1, Ordering::Relaxed);
@@ -695,6 +701,7 @@ impl KardAlloc {
                 self.page_shard(page).lock().insert(page, info.id);
             }
         }
+        self.obj_pages.insert(info.id, info.first_page, info.page_count);
         self.object_shard(info.id).lock().insert(info.id, record);
     }
 
@@ -774,6 +781,7 @@ impl KardAlloc {
                 .unmap_page(thread, page)
                 .expect("object pages must be mapped");
         }
+        self.obj_pages.clear(record.info.id);
         match record.backing {
             Backing::Consolidated { frame, offset } => {
                 // The slot returns to the pool; frames holding consolidated
@@ -797,6 +805,7 @@ impl KardAlloc {
     /// Free of a lock-free-table object: route the slot to its owner.
     fn free_magazine(&self, thread: ThreadId, rec: ConsRecord) {
         self.page_index.clear(rec.base.page());
+        self.obj_pages.clear(rec.id);
         let slot = RetiredSlot {
             page: rec.base.page(),
             frame: rec.frame,
@@ -925,6 +934,16 @@ impl KardAlloc {
             return Some(rec.info());
         }
         self.object_shard(id).lock().get(&id).map(|r| r.info)
+    }
+
+    /// The page extent `(first_page, page_count)` of object `id`, resolved
+    /// entirely lock-free from the object→pages index — the detector's
+    /// side-metadata tables key on this without touching allocator shard
+    /// locks. `None` for freed, unknown, or out-of-capacity objects (the
+    /// caller falls back to a locked [`KardAlloc::object`] lookup).
+    #[must_use]
+    pub fn pages_of(&self, id: ObjectId) -> Option<(VirtPage, u64)> {
+        self.obj_pages.get(id)
     }
 
     /// All live objects (snapshot), in allocation order.

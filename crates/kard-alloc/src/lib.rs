@@ -45,7 +45,7 @@
 //! assert_eq!(hit.id, b.id);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod allocator;
 pub mod magazine;

@@ -29,7 +29,7 @@
 //! by the workloads in this repository.
 
 use crate::metadata::{ObjectId, ObjectInfo, ObjectKind};
-use kard_sim::{PhysFrame, ThreadId, VirtAddr, VirtPage, MMAP_BASE_PAGE};
+use kard_sim::{dense_page_index, PhysFrame, ThreadId, VirtAddr, VirtPage, MMAP_BASE_PAGE};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
@@ -248,7 +248,7 @@ impl PageIndex {
     }
 
     fn slot_index(page: VirtPage) -> Option<usize> {
-        let dense = page.0.checked_sub(MMAP_BASE_PAGE.0)? as usize;
+        let dense = dense_page_index(page)? as usize;
         (dense < PAGE_CHUNK * PAGE_CHUNKS).then_some(dense)
     }
 
@@ -308,6 +308,89 @@ impl Default for PageIndex {
     }
 }
 
+/// Lock-free object→pages index over the dense object-id sequence — the
+/// reverse of [`PageIndex`].
+///
+/// Each slot packs an object's page extent into one `u64`:
+/// `page_count << 40 | (dense first page + 1)`, where `0` means "not
+/// registered". Detector-side flat metadata (the side-metadata tables of
+/// `kard-core`) needs object→page resolution on paths that must not take
+/// the allocator's sharded locks — section entry, victim scoring — and
+/// every registered object's extent is immutable for its lifetime, so a
+/// release-published word per id suffices. Ids beyond the fixed capacity
+/// (or pages beyond the dense region) simply stay unregistered; readers
+/// fall back to the locked metadata maps.
+pub struct ObjPages {
+    chunks: Box<[OnceLock<Box<[AtomicU64]>>]>,
+}
+
+const PAGES_SHIFT: u32 = 40;
+
+impl ObjPages {
+    /// An empty index (allocates only the chunk spine).
+    #[must_use]
+    pub fn new() -> ObjPages {
+        ObjPages {
+            chunks: (0..CHUNKS).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    fn pack(first: VirtPage, count: u64) -> Option<u64> {
+        let dense = dense_page_index(first)?;
+        (dense + 1 < (1 << PAGES_SHIFT) && count < (1 << (64 - PAGES_SHIFT)))
+            .then_some(count << PAGES_SHIFT | (dense + 1))
+    }
+
+    fn slot(&self, id: ObjectId) -> Option<&AtomicU64> {
+        let idx = id.0 as usize;
+        if idx >= CHUNK * CHUNKS {
+            return None;
+        }
+        let chunk = self.chunks[idx / CHUNK]
+            .get_or_init(|| (0..CHUNK).map(|_| AtomicU64::new(0)).collect());
+        Some(&chunk[idx % CHUNK])
+    }
+
+    /// Record `id → (first, count)`. A no-op when the id or page range is
+    /// outside the dense capacity (readers then fall back to the locked
+    /// maps, same contract as [`PageIndex`]).
+    pub fn insert(&self, id: ObjectId, first: VirtPage, count: u64) {
+        if let (Some(slot), Some(packed)) = (self.slot(id), Self::pack(first, count)) {
+            slot.store(packed, Ordering::Release);
+        }
+    }
+
+    /// Forget `id` (on free).
+    pub fn clear(&self, id: ObjectId) {
+        if let Some(slot) = self.slot(id) {
+            slot.store(0, Ordering::Release);
+        }
+    }
+
+    /// The page extent registered for `id`, if any.
+    #[must_use]
+    pub fn get(&self, id: ObjectId) -> Option<(VirtPage, u64)> {
+        let idx = id.0 as usize;
+        if idx >= CHUNK * CHUNKS {
+            return None;
+        }
+        let chunk = self.chunks[idx / CHUNK].get()?;
+        match chunk[idx % CHUNK].load(Ordering::Acquire) {
+            0 => None,
+            raw => Some((
+                VirtPage(MMAP_BASE_PAGE.0 + (raw & ((1 << PAGES_SHIFT) - 1)) - 1),
+                raw >> PAGES_SHIFT,
+            )),
+        }
+    }
+}
+
+impl Default for ObjPages {
+    fn default() -> Self {
+        ObjPages::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +445,20 @@ mod tests {
         }
         let ids: Vec<u64> = t.live_objects().iter().map(|o| o.id.0).collect();
         assert_eq!(ids, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn obj_pages_round_trips_extents() {
+        let idx = ObjPages::new();
+        let first = VirtPage(MMAP_BASE_PAGE.0 + 9);
+        assert_eq!(idx.get(ObjectId(4)), None);
+        idx.insert(ObjectId(4), first, 3);
+        assert_eq!(idx.get(ObjectId(4)), Some((first, 3)));
+        idx.clear(ObjectId(4));
+        assert_eq!(idx.get(ObjectId(4)), None);
+        // Pages below the dense region are silently not registered.
+        idx.insert(ObjectId(5), VirtPage(0), 1);
+        assert_eq!(idx.get(ObjectId(5)), None);
     }
 
     #[test]

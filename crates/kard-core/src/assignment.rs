@@ -225,6 +225,7 @@ impl VAssignment {
 fn claim_hardware_key(
     vkeys: &mut VKeyTable,
     table: &mut KeyTable,
+    group_hotness: &impl Fn(&[ObjectId]) -> u64,
     claim_objects: &mut impl FnMut(&[ObjectId]) -> bool,
 ) -> Option<(ProtectionKey, Option<Eviction>)> {
     if let Some(key) = table.unassigned_key() {
@@ -236,7 +237,11 @@ fn claim_hardware_key(
         }
         return Some((key, None));
     }
-    let victim = vkeys.victim(|k| table.state(k).holders.len(), &mut *claim_objects)?;
+    let victim = vkeys.victim(
+        |k| table.state(k).holders.len(),
+        group_hotness,
+        &mut *claim_objects,
+    )?;
     let key = vkeys.binding(victim).expect("victims are resident");
     let mut stripped: Vec<LogicalHolder> = table
         .state(key)
@@ -271,6 +276,10 @@ fn claim_hardware_key(
 ///
 /// `claim_objects` plays the same role as in [`choose_key`]: an eviction
 /// victim is committed only once its members' fault shards are claimed.
+/// `group_hotness` scores a candidate victim's member set for the
+/// [`KeyCachePolicy::Hotness`](crate::vkey::KeyCachePolicy::Hotness)
+/// policy (the detector reads [`crate::sidemeta`] counters); it is never
+/// called under Lru or Fifo, so `|_| 0` is the ablation-exact stub.
 #[allow(clippy::too_many_arguments)] // a policy decision needs the full fault context
 pub fn choose_virtual(
     vkeys: &mut VKeyTable,
@@ -280,6 +289,7 @@ pub fn choose_virtual(
     perm: Perm,
     prefer_fresh: bool,
     held_keys: &[(ProtectionKey, Perm)],
+    group_hotness: impl Fn(&[ObjectId]) -> u64,
     mut claim_objects: impl FnMut(&[ObjectId]) -> bool,
 ) -> VAssignment {
     // The object may already belong to a group: resident means pure
@@ -289,7 +299,7 @@ pub fn choose_virtual(
             vkeys.touch(vkey);
             return VAssignment::Hit { vkey, key };
         }
-        if let Some((key, evicted)) = claim_hardware_key(vkeys, table, &mut claim_objects) {
+        if let Some((key, evicted)) = claim_hardware_key(vkeys, table, &group_hotness, &mut claim_objects) {
             let logical = vkeys.drain_logical(vkey);
             vkeys.bind(vkey, key);
             return VAssignment::Revive {
@@ -316,7 +326,7 @@ pub fn choose_virtual(
                 }
             }
         }
-        if let Some((key, evicted)) = claim_hardware_key(vkeys, table, &mut claim_objects) {
+        if let Some((key, evicted)) = claim_hardware_key(vkeys, table, &group_hotness, &mut claim_objects) {
             let vkey = vkeys.create();
             vkeys.bind(vkey, key);
             vkeys.add_member(vkey, object);
@@ -518,7 +528,7 @@ mod tests {
         let mut t = table();
         let mut v = VKeyTable::new(crate::vkey::KeyCachePolicy::Lru);
         // Seed a resident group on k1 via a fill.
-        let a = choose_virtual(&mut v, &mut t, ThreadId(0), ObjectId(0), Perm::Write, false, &[], |_| true);
+        let a = choose_virtual(&mut v, &mut t, ThreadId(0), ObjectId(0), Perm::Write, false, &[], |_| 0, |_| true);
         let (vkey, key) = match a {
             VAssignment::Fill { vkey, key, evicted: None } => (vkey, key),
             other => panic!("expected a fill, got {other:?}"),
@@ -535,6 +545,7 @@ mod tests {
             Perm::Write,
             false,
             &[(key, Perm::Write)],
+            |_| 0,
             |_| true,
         );
         assert_eq!(b, VAssignment::Join { vkey, key });
@@ -545,8 +556,8 @@ mod tests {
     fn virtual_refault_on_resident_group_is_a_pure_hit() {
         let mut t = table();
         let mut v = VKeyTable::new(crate::vkey::KeyCachePolicy::Lru);
-        let a = choose_virtual(&mut v, &mut t, ThreadId(0), ObjectId(0), Perm::Write, false, &[], |_| true);
-        let b = choose_virtual(&mut v, &mut t, ThreadId(1), ObjectId(0), Perm::Write, false, &[], |_| true);
+        let a = choose_virtual(&mut v, &mut t, ThreadId(0), ObjectId(0), Perm::Write, false, &[], |_| 0, |_| true);
+        let b = choose_virtual(&mut v, &mut t, ThreadId(1), ObjectId(0), Perm::Write, false, &[], |_| 0, |_| true);
         assert_eq!(
             b,
             VAssignment::Hit {
@@ -563,13 +574,13 @@ mod tests {
         // Fill all 13 cache slots with one-object groups.
         let mut vkeys = Vec::new();
         for i in 0..13u64 {
-            let a = choose_virtual(&mut v, &mut t, ThreadId(0), ObjectId(i), Perm::Write, true, &[], |_| true);
+            let a = choose_virtual(&mut v, &mut t, ThreadId(0), ObjectId(i), Perm::Write, true, &[], |_| 0, |_| true);
             t.assign_object(a.key(), ObjectId(i));
             vkeys.push(a.vkey());
         }
         // Group 14: no free key, no holders anywhere — evict the LRU
         // victim (the first-filled group) without synchronization.
-        let a = choose_virtual(&mut v, &mut t, ThreadId(1), ObjectId(13), Perm::Write, true, &[], |_| true);
+        let a = choose_virtual(&mut v, &mut t, ThreadId(1), ObjectId(13), Perm::Write, true, &[], |_| 0, |_| true);
         match &a {
             VAssignment::Fill { key, evicted: Some(ev), .. } => {
                 assert_eq!(*key, ProtectionKey(1));
@@ -582,7 +593,7 @@ mod tests {
         t.assign_object(a.key(), ObjectId(13));
         // Object 0 faults again: its group revives, evicting the next LRU
         // victim (group 2 on k2).
-        let r = choose_virtual(&mut v, &mut t, ThreadId(0), ObjectId(0), Perm::Write, true, &[], |_| true);
+        let r = choose_virtual(&mut v, &mut t, ThreadId(0), ObjectId(0), Perm::Write, true, &[], |_| 0, |_| true);
         match r {
             VAssignment::Revive { vkey, key, evicted: Some(ev), logical } => {
                 assert_eq!(vkey, vkeys[0]);
@@ -599,13 +610,13 @@ mod tests {
         let mut t = table();
         let mut v = VKeyTable::new(crate::vkey::KeyCachePolicy::Lru);
         for i in 0..13u64 {
-            let a = choose_virtual(&mut v, &mut t, ThreadId(i as usize), ObjectId(i), Perm::Write, true, &[], |_| true);
+            let a = choose_virtual(&mut v, &mut t, ThreadId(i as usize), ObjectId(i), Perm::Write, true, &[], |_| 0, |_| true);
             t.assign_object(a.key(), ObjectId(i));
             t.try_acquire(a.key(), ThreadId(i as usize), Perm::Write, s(i));
         }
         // Every key held: the victim is still the LRU group, and its
         // holder is snapshotted for the revival re-check.
-        let a = choose_virtual(&mut v, &mut t, ThreadId(13), ObjectId(13), Perm::Write, true, &[], |_| true);
+        let a = choose_virtual(&mut v, &mut t, ThreadId(13), ObjectId(13), Perm::Write, true, &[], |_| 0, |_| true);
         match a {
             VAssignment::Fill { key, evicted: Some(ev), .. } => {
                 assert_eq!(key, ProtectionKey(1));

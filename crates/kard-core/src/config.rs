@@ -1,4 +1,8 @@
 //! Detector configuration, including the ablation switches DESIGN.md lists.
+//!
+//! `docs/TUNING.md` in the repository root is the one-page operator guide:
+//! per knob, what it changes, which benchmark validates it, and how to
+//! pick a value.
 
 use crate::vkey::KeyCachePolicy;
 
@@ -81,6 +85,18 @@ pub struct KardConfig {
     /// ablation/reference — both modes produce byte-identical reports and
     /// stats. See the locking-discipline notes in [`crate::detector`].
     pub lock_free_sections: bool,
+    /// Resolve object→domain and object→virtual-key metadata through the
+    /// flat side-metadata tables ([`crate::sidemeta`]) on the fast paths:
+    /// section-entry planning reads domains with one acquire load per
+    /// object instead of a domain-shard lock, and the free path skips the
+    /// vkey-table lock for objects that never joined a group. On by
+    /// default; turning it off restores the mutexed-table reads as the
+    /// ablation/reference — both modes produce byte-identical reports and
+    /// stats (`tests/sidemeta_equivalence.rs`). Writes always go through
+    /// the mutexed tables (the source of truth) with the side-metadata
+    /// words updated under the same locks, so this switch gates only who
+    /// answers reads.
+    pub side_metadata: bool,
 }
 
 impl KardConfig {
@@ -100,6 +116,7 @@ impl KardConfig {
             key_cache_policy: KeyCachePolicy::Lru,
             serial_fault_path: false,
             lock_free_sections: true,
+            side_metadata: true,
         }
     }
 
@@ -123,6 +140,7 @@ impl KardConfig {
             key_cache_policy: KeyCachePolicy::Lru,
             serial_fault_path: false,
             lock_free_sections: true,
+            side_metadata: true,
         }
     }
 
@@ -210,6 +228,13 @@ impl KardConfig {
         self
     }
 
+    /// Builder-style setter for [`KardConfig::side_metadata`].
+    #[must_use]
+    pub fn side_metadata(mut self, on: bool) -> KardConfig {
+        self.side_metadata = on;
+        self
+    }
+
     /// A human-readable description of the active key mode, printed by the
     /// report tables and examples so experiment output states which policy
     /// produced it. `pool` is the hardware read-write pool size.
@@ -221,6 +246,7 @@ impl KardConfig {
                 policy = match self.key_cache_policy {
                     KeyCachePolicy::Lru => "LRU",
                     KeyCachePolicy::Fifo => "FIFO",
+                    KeyCachePolicy::Hotness => "hotness",
                 }
             )
         } else {
@@ -258,6 +284,7 @@ mod tests {
         assert_eq!(c.key_cache_policy, KeyCachePolicy::Lru);
         assert!(!c.serial_fault_path, "the sharded fault path is the default");
         assert!(c.lock_free_sections, "the zero-lock section path is the default");
+        assert!(c.side_metadata, "flat metadata reads are the default");
     }
 
     #[test]
@@ -270,6 +297,7 @@ mod tests {
             .exhaustion(ExhaustionPolicy::ShareOnly)
             .serial_fault_path(true)
             .lock_free_sections(false)
+            .side_metadata(false)
             .timestamp_filter(false);
         assert!(c.virtual_keys);
         assert_eq!(c.key_cache_policy, KeyCachePolicy::Fifo);
@@ -278,6 +306,7 @@ mod tests {
         assert_eq!(c.exhaustion, ExhaustionPolicy::ShareOnly);
         assert!(c.serial_fault_path);
         assert!(!c.lock_free_sections, "locked ablation mode selectable");
+        assert!(!c.side_metadata, "mutexed-table ablation mode selectable");
         assert!(!c.timestamp_filter);
         assert!(c.proactive_acquisition, "untouched fields keep the preset");
     }
@@ -295,6 +324,8 @@ mod tests {
         );
         c.key_cache_policy = KeyCachePolicy::Fifo;
         assert!(c.key_mode_description(13).contains("FIFO"));
+        c.key_cache_policy = KeyCachePolicy::Hotness;
+        assert!(c.key_mode_description(13).contains("hotness"));
     }
 
     #[test]

@@ -14,14 +14,14 @@
 //! this version decomposes the state by concern so that independent
 //! operations synchronize independently:
 //!
-//! * **per-thread state** ([`ThreadSlot`]): each thread's critical-section
+//! * **per-thread state** (`ThreadSlot`): each thread's critical-section
 //!   frames, held keys, unique-section set, and section-plan cache live in
 //!   that thread's own slot — published once into a lock-free
 //!   [`SlotRegistry`] and guarded by an [`OwnedCell`] engage CAS, so
 //!   neither finding nor opening a thread's own state takes any shared
 //!   lock;
 //! * **sharded domains**: the object→domain map is split across
-//!   [`DOMAIN_SHARDS`] independently locked shards keyed by object id;
+//!   `DOMAIN_SHARDS` independently locked shards keyed by object id;
 //! * **per-concern locks**: the key-section map, the section-object map,
 //!   the interleaver, and the race-record store each have their own
 //!   narrow lock — but under [`KardConfig::lock_free_sections`] the
@@ -118,16 +118,17 @@ use crate::keymap::{KeyTable, KeyWords};
 use crate::registry::{FastBuildHasher, OwnedCell, SlotRegistry};
 use crate::report::{RaceFingerprint, RaceRecord, RaceSide};
 use crate::sections::SectionObjectMap;
+use crate::sidemeta::SideMetadata;
 use crate::stats::{AtomicStats, DetectorStats, KardSnapshot};
 use crate::sync::{TrackedMutex, TrackedRwLock};
 use crate::types::{LockId, Perm, SectionId, SectionMode};
-use crate::vkey::{LogicalHolder, VKeyStats, VKeyTable};
+use crate::vkey::{LogicalHolder, VKeyStats, VKeyTable, VirtualKey};
 use kard_alloc::{KardAlloc, ObjectId, ObjectInfo};
 use kard_telemetry::event::{pack_domains, DomainCode, GRANT_PROACTIVE, GRANT_REACTIVE};
 use kard_telemetry::{EventKind, Telemetry};
 use kard_sim::{
     AccessKind, CodeSite, CostModel, GpFault, KeyLayout, Machine, Permission, Pkru, ProtectionKey,
-    ThreadId, VirtAddr,
+    ThreadId, VirtAddr, VirtPage,
 };
 use parking_lot::MutexGuard;
 use std::collections::{HashMap, HashSet};
@@ -371,6 +372,16 @@ pub struct Kard {
     /// with `keys`, `keys` is always acquired first (order: `keys` →
     /// `vkeys`, never the reverse).
     vkeys: TrackedMutex<VKeyTable>,
+    /// Flat page-granular side metadata (see [`crate::sidemeta`]): the
+    /// lock-free mirror of the domain shards and vkey membership, plus the
+    /// hotness counters that drive
+    /// [`KeyCachePolicy::Hotness`](crate::vkey::KeyCachePolicy::Hotness)
+    /// eviction.
+    /// Written through (under the same locks as the maps it mirrors,
+    /// before the `cache_gen` bump); read on the fast path only when
+    /// [`KardConfig::side_metadata`] is on. Hotness counters are bumped in
+    /// both modes so the eviction policy is mode-independent.
+    sidemeta: SideMetadata,
     /// The protection-interleaving engine (§5.5, Figure 4).
     interleaver: TrackedMutex<Interleaver>,
     /// Race records and dedup fingerprints (§5.5).
@@ -423,6 +434,7 @@ impl Kard {
                 VKeyTable::new(config.key_cache_policy),
                 tracked(&counter),
             ),
+            sidemeta: SideMetadata::new(),
             interleaver: TrackedMutex::new(Interleaver::new(), tracked(&counter)),
             records: TrackedMutex::new(RecordStore::default(), tracked(&counter)),
             stats: AtomicStats::default(),
@@ -445,6 +457,83 @@ impl Kard {
         if self.telemetry.enabled() {
             self.telemetry.record(t.0, kind, self.machine.now(), a, b);
         }
+    }
+
+    // ---- side-metadata write-through -----------------------------------
+    //
+    // Each helper mirrors one authoritative-map mutation into the flat
+    // side-metadata tables. Callers invoke them while still holding the
+    // lock that guards the map being mirrored (domain shard, `vkeys`),
+    // and *before* the `cache_gen` bump for that mutation, so the seqlock
+    // protocol that already protects cached section plans also covers
+    // side-metadata staleness: a plan built from a stale metadata read
+    // fails generation re-validation exactly like one built from a stale
+    // map read.
+
+    /// Mirror `id`'s domain into the side metadata (every page; objects
+    /// span `pages_of(id).1` consecutive virtual pages).
+    fn meta_set_domain(&self, id: ObjectId, domain: Domain) {
+        if let Some((first, count)) = self.alloc.pages_of(id) {
+            for i in 0..count {
+                self.sidemeta.set_domain(VirtPage(first.0 + i), domain);
+            }
+        }
+    }
+
+    /// Mirror `id`'s group membership into the side metadata.
+    fn meta_set_vkey(&self, id: ObjectId, vkey: Option<VirtualKey>) {
+        if let Some((first, count)) = self.alloc.pages_of(id) {
+            for i in 0..count {
+                self.sidemeta.set_vkey(VirtPage(first.0 + i), vkey);
+            }
+        }
+    }
+
+    /// Drop every side-metadata word for a freed object. Must run before
+    /// the allocator forgets the object's page extent.
+    fn meta_clear(&self, id: ObjectId) {
+        if let Some((first, count)) = self.alloc.pages_of(id) {
+            for i in 0..count {
+                let page = VirtPage(first.0 + i);
+                self.sidemeta.clear_domain(page);
+                self.sidemeta.set_vkey(page, None);
+                self.sidemeta.reset_hot(page);
+            }
+        }
+    }
+
+    /// Bump `id`'s hotness (first page only — group heat takes the max
+    /// over members, so one representative page per object suffices).
+    /// Called in *both* side-metadata modes so the `Hotness` eviction
+    /// policy behaves identically under the `side_metadata(false)`
+    /// ablation.
+    fn meta_bump_hot(&self, id: ObjectId) {
+        if let Some((first, _)) = self.alloc.pages_of(id) {
+            self.sidemeta.bump_hot(first);
+        }
+    }
+
+    /// Score a candidate victim group for [`KeyCachePolicy::Hotness`]:
+    /// the heat of its hottest member (a group stays resident as long as
+    /// *any* member is hot).
+    fn group_heat(&self, members: &[ObjectId]) -> u64 {
+        members
+            .iter()
+            .filter_map(|&id| self.alloc.pages_of(id))
+            .map(|(first, _)| self.sidemeta.hot(first))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Lock-free domain read from the side metadata. `None` means the
+    /// metadata has no verdict (object unknown, or the mode is off) and
+    /// the caller must fall back to the locked shard.
+    fn meta_domain(&self, id: ObjectId) -> Option<Domain> {
+        if !self.config.side_metadata {
+            return None;
+        }
+        let (first, _) = self.alloc.pages_of(id)?;
+        self.sidemeta.domain(first)
     }
 
     /// The simulated machine under this detector.
@@ -585,9 +674,11 @@ impl Kard {
                 .protect(t, info.id, self.layout.not_accessed)
                 .expect("k_na is always valid");
         }
-        self.domain_shard(info.id)
-            .lock()
-            .insert(info.id, Domain::NotAccessed);
+        {
+            let mut shard = self.domain_shard(info.id).lock();
+            shard.insert(info.id, Domain::NotAccessed);
+            self.meta_set_domain(info.id, Domain::NotAccessed);
+        }
         info
     }
 
@@ -600,9 +691,11 @@ impl Kard {
                 .protect(t, info.id, self.layout.not_accessed)
                 .expect("k_na is always valid");
         }
-        self.domain_shard(info.id)
-            .lock()
-            .insert(info.id, Domain::NotAccessed);
+        {
+            let mut shard = self.domain_shard(info.id).lock();
+            shard.insert(info.id, Domain::NotAccessed);
+            self.meta_set_domain(info.id, Domain::NotAccessed);
+        }
         info
     }
 
@@ -616,11 +709,28 @@ impl Kard {
     pub fn on_free(&self, t: ThreadId, id: ObjectId) {
         let shard = self.fault_shards.enter_object(id);
         self.note_fault_entry(t, &shard);
-        let prev = self.domain_shard(id).lock().remove(&id);
+        // Read the mirrored membership word *before* scrubbing the
+        // metadata: with side metadata on, a never-grouped object can
+        // skip the `vkeys` mutex below. Safe because this object's
+        // membership only ever changes under its fault shard, held here.
+        let mirror_grouped = self.config.side_metadata
+            && self
+                .alloc
+                .pages_of(id)
+                .is_some_and(|(first, _)| self.sidemeta.vkey(first).is_some());
+        let prev = {
+            let mut shard = self.domain_shard(id).lock();
+            let prev = shard.remove(&id);
+            // Scrub every side-metadata word now, while the allocator
+            // still remembers the object's page extent (`alloc.free`
+            // below forgets it).
+            self.meta_clear(id);
+            prev
+        };
         if let Some(Domain::ReadWrite(key)) = prev {
             self.lock_keys().unassign_object(key, id);
         }
-        if self.config.virtual_keys {
+        if self.config.virtual_keys && (mirror_grouped || !self.config.side_metadata) {
             // Group membership outlives domain demotion (an evicted
             // object is Read-only but still grouped), so the free must
             // drop it explicitly.
@@ -781,9 +891,19 @@ impl Kard {
             let mut targets: Vec<(ProtectionKey, Perm)> = Vec::new();
             for (obj, perm) in wanted {
                 let perm = mode.cap(perm);
-                let Some(Domain::ReadWrite(key)) =
-                    self.domain_shard(obj).lock().get(&obj).copied()
-                else {
+                // This section is about to touch `obj`: feed the hotness
+                // counter that keeps its group resident under the
+                // `Hotness` eviction policy. Bumped in both side-metadata
+                // modes so the policy is mode-independent.
+                self.meta_bump_hot(obj);
+                // Domain read: side metadata answers lock-free when the
+                // mode is on; a miss (or the ablation) falls back to the
+                // authoritative locked shard. Staleness is covered by the
+                // `gen` snapshot above either way.
+                let domain = self
+                    .meta_domain(obj)
+                    .or_else(|| self.domain_shard(obj).lock().get(&obj).copied());
+                let Some(Domain::ReadWrite(key)) = domain else {
                     continue; // RO-domain objects need no key to read.
                 };
                 targets.push((key, perm));
@@ -1057,9 +1177,11 @@ impl Kard {
                     };
                     if let Some(key) = target {
                         self.lock_keys().assign_object(key, fin.object);
-                        self.domain_shard(fin.object)
-                            .lock()
-                            .insert(fin.object, Domain::ReadWrite(key));
+                        {
+                            let mut dshard = self.domain_shard(fin.object).lock();
+                            dshard.insert(fin.object, Domain::ReadWrite(key));
+                            self.meta_set_domain(fin.object, Domain::ReadWrite(key));
+                        }
                         self.alloc
                             .protect(t, fin.object, key)
                             .expect("pool key is valid");
@@ -1076,9 +1198,11 @@ impl Kard {
                             pack_domains(DomainCode::Suspended, DomainCode::ReadWrite),
                         );
                     } else {
-                        self.domain_shard(fin.object)
-                            .lock()
-                            .insert(fin.object, Domain::ReadOnly);
+                        {
+                            let mut dshard = self.domain_shard(fin.object).lock();
+                            dshard.insert(fin.object, Domain::ReadOnly);
+                            self.meta_set_domain(fin.object, Domain::ReadOnly);
+                        }
                         self.alloc
                             .protect(t, fin.object, self.layout.read_only)
                             .expect("k_ro is valid");
@@ -1201,6 +1325,10 @@ impl Kard {
             self.machine.charge(fault.thread, wait);
         }
         let offset = fault.addr.0.saturating_sub(info.base.0);
+        // Every fault is a demonstrated touch: feed the hotness counter
+        // so the faulted object's group competes for hardware-key
+        // residency under the `Hotness` eviction policy.
+        self.meta_bump_hot(info.id);
         self.emit(
             fault.thread,
             EventKind::FaultEnter,
@@ -1275,9 +1403,11 @@ impl Kard {
                     info.id.0,
                     pack_domains(DomainCode::NotAccessed, DomainCode::ReadOnly),
                 );
-                self.domain_shard(info.id)
-                    .lock()
-                    .insert(info.id, Domain::ReadOnly);
+                {
+                    let mut shard = self.domain_shard(info.id).lock();
+                    shard.insert(info.id, Domain::ReadOnly);
+                    self.meta_set_domain(info.id, Domain::ReadOnly);
+                }
                 self.sections.write().record(section, info.id, Perm::Read);
                 self.alloc
                     .protect(t, info.id, self.layout.read_only)
@@ -1434,9 +1564,11 @@ impl Kard {
             pack_domains(DomainCode::ReadWrite, DomainCode::Suspended),
         );
         self.lock_keys().unassign_object(ikey, info.id);
-        self.domain_shard(info.id)
-            .lock()
-            .insert(info.id, Domain::Suspended);
+        {
+            let mut shard = self.domain_shard(info.id).lock();
+            shard.insert(info.id, Domain::Suspended);
+            self.meta_set_domain(info.id, Domain::Suspended);
+        }
         self.alloc
             .protect(t, info.id, ProtectionKey::DEFAULT)
             .expect("default key is valid");
@@ -1634,9 +1766,11 @@ impl Kard {
                         };
                         if let Some(ikey) = armed_key {
                             self.note_held_and_record(t, ikey, perm_for(fault.access));
-                            self.domain_shard(info.id)
-                                .lock()
-                                .insert(info.id, Domain::ReadWrite(ikey));
+                            {
+                                let mut dshard = self.domain_shard(info.id).lock();
+                                dshard.insert(info.id, Domain::ReadWrite(ikey));
+                                self.meta_set_domain(info.id, Domain::ReadWrite(ikey));
+                            }
                             self.alloc.protect(t, info.id, ikey).expect("valid key");
                             self.grant_in_context(t, ikey);
                             // Arming rebound the object to the interleaved
@@ -1751,9 +1885,11 @@ impl Kard {
         };
         self.machine.charge(t, cost.map_op * 2);
 
-        self.domain_shard(info.id)
-            .lock()
-            .insert(info.id, Domain::ReadWrite(key));
+        {
+            let mut dshard = self.domain_shard(info.id).lock();
+            dshard.insert(info.id, Domain::ReadWrite(key));
+            self.meta_set_domain(info.id, Domain::ReadWrite(key));
+        }
         self.sections.write().record(section, info.id, Perm::Write);
         self.alloc.protect(t, info.id, key).expect("pool key valid");
 
@@ -1864,7 +2000,11 @@ impl Kard {
                 // domain; their next write re-identifies them (§5.4).
                 for &obj in evicted {
                     if self.alloc.object(obj).is_some() {
-                        self.domain_shard(obj).lock().insert(obj, Domain::ReadOnly);
+                        {
+                            let mut dshard = self.domain_shard(obj).lock();
+                            dshard.insert(obj, Domain::ReadOnly);
+                            self.meta_set_domain(obj, Domain::ReadOnly);
+                        }
                         self.alloc
                             .protect(t, obj, self.layout.read_only)
                             .expect("k_ro is valid");
@@ -1918,6 +2058,7 @@ impl Kard {
                 Perm::Write,
                 self.config.prefer_fresh_keys,
                 held,
+                |members| self.group_heat(members),
                 |members| claims.claim(members),
             );
             let key = va.key();
@@ -1967,6 +2108,11 @@ impl Kard {
                 }
                 VAssignment::Shared { .. } => stats.shares += 1,
             }
+            // Mirror the (possibly new) group membership while the vkey
+            // table is still locked: the membership word answers the
+            // lock-free "was this object ever grouped?" question on the
+            // free path. Idempotent on hits.
+            self.meta_set_vkey(info.id, Some(va.vkey()));
             (va, pressure)
         };
         if self.telemetry.enabled() {
@@ -2023,7 +2169,11 @@ impl Kard {
             .filter(|&obj| self.alloc.object(obj).is_some())
             .collect();
         for &obj in &live {
-            self.domain_shard(obj).lock().insert(obj, Domain::ReadOnly);
+            {
+                let mut dshard = self.domain_shard(obj).lock();
+                dshard.insert(obj, Domain::ReadOnly);
+                self.meta_set_domain(obj, Domain::ReadOnly);
+            }
             AtomicStats::bump(&self.stats.read_only_migrations);
             self.emit(
                 t,
@@ -2032,6 +2182,7 @@ impl Kard {
                 pack_domains(DomainCode::ReadWrite, DomainCode::ReadOnly),
             );
         }
+        self.emit(t, EventKind::VKeyDemoteBatch, ev.victim.0, live.len() as u64);
         self.alloc
             .protect_batch(t, &live, self.layout.read_only)
             .expect("k_ro is valid");
@@ -2076,6 +2227,14 @@ impl Kard {
                     slot.ctx
                         .with(|ctx| ctx.frames.iter().any(|f| f.section == h.section))
                 })
+                // A logical holder held the *group's* key, which covers
+                // sibling objects the holder never touched. Only a holder
+                // whose section is known to access the faulting object
+                // (§5.3's section-object map) can actually conflict on
+                // it; without this filter, reviving a group via a
+                // private member would re-report against every sibling's
+                // holder.
+                && self.sections.read().section_accesses(h.section, info.id)
         }) else {
             return;
         };

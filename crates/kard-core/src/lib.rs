@@ -61,6 +61,7 @@ pub mod keymap;
 pub mod registry;
 pub mod report;
 pub mod sections;
+pub mod sidemeta;
 pub mod stats;
 pub mod sync;
 pub mod types;
@@ -72,6 +73,7 @@ pub use domains::Domain;
 pub use error::KardError;
 pub use faultshard::{FaultShardStats, FAULT_SHARDS};
 pub use report::{render_report, RaceRecord, RaceSide};
+pub use sidemeta::SideMetadata;
 pub use stats::{DetectorStats, KardSnapshot};
 pub use types::{LockId, Perm, SectionId, SectionMode};
 pub use vkey::{KeyCachePolicy, VKeyStats, VirtualKey};

@@ -66,6 +66,15 @@ pub enum KeyCachePolicy {
     /// Evict the least-recently-*bound* group, ignoring hits. Cheaper to
     /// reason about; kept as an ablation of how much recency matters.
     Fifo,
+    /// Evict the *coldest* group: candidates are scored by the saturating
+    /// side-metadata hotness counters of their member pages
+    /// ([`crate::sidemeta`], bumped on section entry and fault handling),
+    /// and the group whose hottest member is coldest loses its key. Hot
+    /// groups therefore stay resident across repeated visits — where LRU
+    /// thrashes under a scan of cold groups — and demotions land on pages
+    /// unlikely to re-fault soon. Ties fall back to the LRU stamp, so
+    /// with uniform hotness this degenerates to LRU exactly.
+    Hotness,
 }
 
 /// A thread that held a group's hardware key at eviction time, remembered
@@ -279,8 +288,14 @@ impl VKeyTable {
     /// reports how many threads currently hold a hardware key; unheld
     /// victims are preferred (they evict without key synchronization —
     /// §5.4's recycle rule as an eviction priority), then empty groups
-    /// (nothing to demote), then the policy stamp, with the virtual key id
+    /// (nothing to demote), then the policy score, with the virtual key id
     /// as the final tie-break so selection is deterministic.
+    ///
+    /// `group_hotness` scores a candidate's member set — under
+    /// [`KeyCachePolicy::Hotness`] the detector supplies the maximum
+    /// side-metadata hotness over the members' pages and the *coldest*
+    /// group evicts first (LRU stamp breaking ties); the other policies
+    /// never call it, so `|_| 0` reproduces them exactly.
     ///
     /// `claim_members` is the fault-shard claiming hook: candidates are
     /// offered in preference order, and the first whose member set the
@@ -293,6 +308,7 @@ impl VKeyTable {
     pub fn victim(
         &self,
         holder_count: impl Fn(ProtectionKey) -> usize,
+        group_hotness: impl Fn(&[ObjectId]) -> u64,
         mut claim_members: impl FnMut(&[ObjectId]) -> bool,
     ) -> Option<VirtualKey> {
         let mut candidates: Vec<_> = self
@@ -301,16 +317,20 @@ impl VKeyTable {
             .map(|(&key, &v)| {
                 let group = &self.groups[&v];
                 let stamp = match self.policy {
-                    KeyCachePolicy::Lru => group.touched_at,
+                    KeyCachePolicy::Lru | KeyCachePolicy::Hotness => group.touched_at,
                     KeyCachePolicy::Fifo => group.bound_at,
                 };
-                (holder_count(key) > 0, !group.members.is_empty(), stamp, v.0, v)
+                let heat = match self.policy {
+                    KeyCachePolicy::Hotness => group_hotness(&self.members_of(v)),
+                    KeyCachePolicy::Lru | KeyCachePolicy::Fifo => 0,
+                };
+                (holder_count(key) > 0, !group.members.is_empty(), heat, stamp, v.0, v)
             })
             .collect();
         candidates.sort();
         candidates
             .into_iter()
-            .map(|(_, _, _, _, v)| v)
+            .map(|(_, _, _, _, _, v)| v)
             .find(|&v| claim_members(&self.members_of(v)))
     }
 
@@ -395,7 +415,7 @@ mod tests {
         // Still resident: the binding keeps the group alive...
         assert_eq!(t.resident_vkey(ProtectionKey(1)), Some(v));
         // ...and it is the preferred (free) victim.
-        assert_eq!(t.victim(holder_free, |_| true), Some(v));
+        assert_eq!(t.victim(holder_free, |_| 0, |_| true), Some(v));
         let key = t.evict(v, Vec::new());
         assert_eq!(key, ProtectionKey(1));
         assert_eq!(t.resident_vkey(ProtectionKey(1)), None);
@@ -411,7 +431,7 @@ mod tests {
         t.bind(a, ProtectionKey(1));
         t.bind(b, ProtectionKey(2));
         t.touch(a); // b is now the LRU group.
-        assert_eq!(t.victim(holder_free, |_| true), Some(b));
+        assert_eq!(t.victim(holder_free, |_| 0, |_| true), Some(b));
     }
 
     #[test]
@@ -424,7 +444,25 @@ mod tests {
         t.bind(a, ProtectionKey(1));
         t.bind(b, ProtectionKey(2));
         t.touch(a);
-        assert_eq!(t.victim(holder_free, |_| true), Some(a), "bound first, evicted first");
+        assert_eq!(t.victim(holder_free, |_| 0, |_| true), Some(a), "bound first, evicted first");
+    }
+
+    #[test]
+    fn hotness_victim_is_the_coldest_group() {
+        let mut t = VKeyTable::new(KeyCachePolicy::Hotness);
+        let a = t.create();
+        let b = t.create();
+        t.add_member(a, ObjectId(1));
+        t.add_member(b, ObjectId(2));
+        t.bind(a, ProtectionKey(1));
+        t.bind(b, ProtectionKey(2));
+        // b was touched last (the LRU survivor), but a's member pages are
+        // hot: hotness overrides recency and evicts the cold group b.
+        t.touch(b);
+        let heat = |members: &[ObjectId]| u64::from(members.contains(&ObjectId(1))) * 100;
+        assert_eq!(t.victim(holder_free, heat, |_| true), Some(b));
+        // With uniform hotness the tie falls back to the LRU stamp.
+        assert_eq!(t.victim(holder_free, |_| 0, |_| true), Some(a));
     }
 
     #[test]
@@ -438,7 +476,7 @@ mod tests {
         t.bind(b, ProtectionKey(2));
         // a is older (better LRU victim) but its key is held; b wins.
         let held = |k: ProtectionKey| usize::from(k == ProtectionKey(1));
-        assert_eq!(t.victim(held, |_| true), Some(b));
+        assert_eq!(t.victim(held, |_| 0, |_| true), Some(b));
     }
 
     #[test]
@@ -452,11 +490,11 @@ mod tests {
         t.bind(b, ProtectionKey(2));
         // `a` is the preferred (older) victim, but its member's fault
         // shard cannot be claimed: selection moves on to `b`.
-        let got = t.victim(holder_free, |members| !members.contains(&ObjectId(1)));
+        let got = t.victim(holder_free, |_| 0, |members| !members.contains(&ObjectId(1)));
         assert_eq!(got, Some(b));
         // Nothing claimable at all: no victim, the caller falls back to
         // rule-3b sharing instead of blocking.
-        assert_eq!(t.victim(holder_free, |_| false), None);
+        assert_eq!(t.victim(holder_free, |_| 0, |_| false), None);
     }
 
     #[test]

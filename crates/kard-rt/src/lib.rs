@@ -44,7 +44,7 @@
 //! assert!(session.kard().reports().is_empty());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod executor;
 pub mod mutex;

@@ -60,7 +60,7 @@
 //! assert_eq!(fault.pkey, layout.not_accessed);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cost;
 pub mod cpu;
@@ -79,7 +79,7 @@ pub use fault::{AccessKind, CodeSite, GpFault};
 pub use keys::{KeyLayout, ProtectionKey};
 pub use mem::{PhysFrame, VirtAddr, VirtPage, PAGE_SIZE};
 pub use native::{probe_mpk, MpkSupport};
-pub use page_table::{AddressSpace, MapError, Mapping, ProtectError, MMAP_BASE_PAGE};
+pub use page_table::{dense_page_index, AddressSpace, MapError, Mapping, ProtectError, MMAP_BASE_PAGE};
 pub use phys::{MemStats, PhysMemory};
 pub use pkru::{Permission, Pkru};
 pub use tlb::{Tlb, TlbConfig, TlbStats};

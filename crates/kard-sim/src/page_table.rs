@@ -84,6 +84,16 @@ pub struct AddressSpace {
 /// (reservations are a bump allocation starting here).
 pub const MMAP_BASE_PAGE: VirtPage = VirtPage(0x0007_f000_0000 >> 2);
 
+/// Dense index of `page` within the simulated mmap region: pages are a
+/// bump sequence from [`MMAP_BASE_PAGE`], so `page - MMAP_BASE_PAGE` keys
+/// flat side-metadata tables (the allocator's page→object index, the
+/// detector's domain/key/hotness metadata) with no hashing. `None` means
+/// the page is below the region base and cannot be a reservation.
+#[must_use]
+pub fn dense_page_index(page: VirtPage) -> Option<u64> {
+    page.0.checked_sub(MMAP_BASE_PAGE.0)
+}
+
 impl AddressSpace {
     /// An empty address space for hardware with `total_keys` keys.
     #[must_use]
@@ -224,6 +234,13 @@ impl fmt::Debug for AddressSpace {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dense_page_index_offsets_from_the_region_base() {
+        assert_eq!(dense_page_index(MMAP_BASE_PAGE), Some(0));
+        assert_eq!(dense_page_index(MMAP_BASE_PAGE.add(17)), Some(17));
+        assert_eq!(dense_page_index(VirtPage(0)), None, "below the region");
+    }
 
     #[test]
     fn map_translate_unmap() {

@@ -89,6 +89,7 @@ pub fn unpack_domains(b: u64) -> Option<(DomainCode, DomainCode)> {
 /// | `RemoteFreePush` | object id | owning thread |
 /// | `RemoteFreeDrain` | slots drained | pages retired |
 /// | `FaultShardContended` | fault-shard index | faults in flight (incl. this) |
+/// | `VKeyDemoteBatch` | evicted virtual key | live objects demoted in the grouped `pkey_mprotect` |
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u8)]
 #[allow(missing_docs)] // The table above is the per-variant documentation.
@@ -123,11 +124,12 @@ pub enum EventKind {
     RemoteFreePush = 27,
     RemoteFreeDrain = 28,
     FaultShardContended = 29,
+    VKeyDemoteBatch = 30,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 30] = [
+    pub const ALL: [EventKind; 31] = [
         EventKind::SectionEnter,
         EventKind::SectionExit,
         EventKind::ObjectAlloc,
@@ -158,6 +160,7 @@ impl EventKind {
         EventKind::RemoteFreePush,
         EventKind::RemoteFreeDrain,
         EventKind::FaultShardContended,
+        EventKind::VKeyDemoteBatch,
     ];
 
     /// Decode a raw discriminant, if valid.
@@ -200,6 +203,7 @@ impl EventKind {
             EventKind::RemoteFreePush => "remote_free_push",
             EventKind::RemoteFreeDrain => "remote_free_drain",
             EventKind::FaultShardContended => "fault_shard_contended",
+            EventKind::VKeyDemoteBatch => "vkey_demote_batch",
         }
     }
 }

@@ -19,7 +19,7 @@
 //!   fast JSON event (de)serializer byte-compatible with the serde path,
 //!   used by `kard-server` and its clients.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod event;
 pub mod program;

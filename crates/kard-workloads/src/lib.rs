@@ -22,7 +22,7 @@
 //! the connect/blast/disconnect session traffic that drives the
 //! `kard-server` firehose benchmarks and overload tests.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod apps;
 pub mod native;

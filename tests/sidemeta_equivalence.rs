@@ -1,0 +1,348 @@
+//! The side-metadata tables (`kard::core::sidemeta`) are an *optimization*,
+//! not a semantics change: with [`KardConfig::side_metadata`] on, the
+//! detector answers fast-path domain and membership questions from flat
+//! publish-once atomic tables instead of the mutexed maps — and every
+//! observable output must stay byte-identical to the mutexed ablation.
+//!
+//! Three claims are checked:
+//!
+//! 1. **Storm equivalence.** The shard-contention mixed storm (private
+//!    churn + deterministic cross-lock conflict pairs, from real OS
+//!    threads) produces identical race fingerprints and detector stats in
+//!    both modes, concurrently and single-threaded.
+//! 2. **Program equivalence (property).** Random locked/unlocked/padded
+//!    programs replayed deterministically report byte-identical races and
+//!    stats in both modes — under the direct §5.4 policy and under the
+//!    hotness-policy virtualized cache (whose heat counters are fed in
+//!    both modes precisely so this holds).
+//! 3. **Lock economy.** Side-metadata reads really are lock-free: a warmed
+//!    section entry/exit takes zero shared-lock acquisitions, and a
+//!    section-plan rebuild over identified objects takes strictly fewer
+//!    lock acquisitions than the mutexed ablation (it skips every
+//!    domain-shard lock).
+
+use std::sync::{Arc, Barrier};
+
+use kard::alloc::KardAlloc;
+use kard::core::report::RaceFingerprint;
+use kard::core::{DetectorStats, KeyCachePolicy};
+use kard::sim::{CodeSite, Machine, MachineConfig};
+use kard::trace::replay::replay;
+use kard::trace::schedule::interleave_round_robin;
+use kard::trace::{ObjectTag, ThreadProgram, Trace};
+use kard::{Kard, KardConfig, KardExecutor, LockId, Session};
+use proptest::prelude::*;
+
+fn fresh_kard_with(config: KardConfig) -> Arc<Kard> {
+    let machine = Arc::new(Machine::new(MachineConfig::default()));
+    let alloc = Arc::new(KardAlloc::new(Arc::clone(&machine)));
+    Arc::new(Kard::new(machine, alloc, config))
+}
+
+fn fingerprints(kard: &Kard) -> Vec<RaceFingerprint> {
+    let mut fps: Vec<_> = kard.reports().iter().map(|r| r.fingerprint()).collect();
+    fps.sort_by_key(|fp| format!("{fp:?}"));
+    fps
+}
+
+// --- 1. The shard-contention mixed storm, both modes ------------------------
+
+const PAIRS: usize = 4;
+const STORM_THREADS: usize = 8;
+
+fn holder_site(pair: usize) -> CodeSite {
+    CodeSite(0x1000 + pair as u64)
+}
+
+fn faulter_site(pair: usize) -> CodeSite {
+    CodeSite(0x2000 + pair as u64)
+}
+
+/// One churn round: a fresh private object written inside a section on a
+/// private lock, then freed — race-free, but the full fault path runs.
+fn storm_round(kard: &Kard, t: kard::ThreadId, lock: LockId, site: CodeSite) {
+    let obj = kard.on_alloc(t, 64);
+    kard.lock_enter(t, lock, site);
+    kard.write(t, obj.base, site);
+    kard.read(t, obj.base.offset(8), site);
+    kard.lock_exit(t, lock);
+    kard.on_free(t, obj.id);
+}
+
+fn private_churn(kard: &Kard, t: kard::ThreadId) {
+    let lock = LockId(500 + t.0 as u64);
+    let site = CodeSite(0x5000 + t.0 as u64);
+    for _ in 0..16 {
+        storm_round(kard, t, lock, site);
+    }
+}
+
+/// Pair `p`'s holder writes the pair object under lock `2p`; the faulter
+/// writes it under lock `2p + 1` while the holder is still inside — a
+/// deterministic inconsistent-lock-usage race.
+fn pair_conflict(
+    kard: &Kard,
+    t: kard::ThreadId,
+    pair: usize,
+    role: usize,
+    obj: &kard::alloc::ObjectInfo,
+    sync: Option<&(Arc<Barrier>, Arc<Barrier>)>,
+) {
+    if role == 0 {
+        kard.lock_enter(t, LockId(2 * pair as u64), holder_site(pair));
+        kard.write(t, obj.base, holder_site(pair));
+        if let Some((wrote, done)) = sync {
+            wrote.wait();
+            done.wait();
+        }
+        kard.lock_exit(t, LockId(2 * pair as u64));
+    } else {
+        if let Some((wrote, _)) = sync {
+            wrote.wait();
+        }
+        kard.lock_enter(t, LockId(2 * pair as u64 + 1), faulter_site(pair));
+        kard.write(t, obj.base, faulter_site(pair));
+        kard.lock_exit(t, LockId(2 * pair as u64 + 1));
+        if let Some((_, done)) = sync {
+            done.wait();
+        }
+    }
+}
+
+/// Run the mixed private/shared storm; returns sorted fingerprints and the
+/// stats with the only schedule-dependent counter scrubbed.
+fn mixed_storm(kard: &Arc<Kard>, concurrent: bool) -> (Vec<RaceFingerprint>, DetectorStats) {
+    let threads: Vec<_> = (0..STORM_THREADS).map(|_| kard.register_thread()).collect();
+    let objects: Vec<_> = (0..PAIRS).map(|_| kard.on_alloc(threads[0], 64)).collect();
+
+    if concurrent {
+        let barriers: Vec<_> = (0..PAIRS)
+            .map(|_| (Arc::new(Barrier::new(2)), Arc::new(Barrier::new(2))))
+            .collect();
+        std::thread::scope(|s| {
+            for (k, &t) in threads.iter().enumerate() {
+                let kard = Arc::clone(kard);
+                let (pair, role) = (k / 2, k % 2);
+                let obj = objects.get(pair).copied();
+                let sync = (pair < PAIRS)
+                    .then(|| (Arc::clone(&barriers[pair].0), Arc::clone(&barriers[pair].1)));
+                s.spawn(move || {
+                    private_churn(&kard, t);
+                    if let Some(obj) = obj.filter(|_| k < 2 * PAIRS) {
+                        pair_conflict(&kard, t, pair, role, &obj, sync.as_ref());
+                    }
+                    private_churn(&kard, t);
+                });
+            }
+        });
+    } else {
+        for &t in &threads {
+            private_churn(kard, t);
+        }
+        for pair in 0..PAIRS {
+            let (holder, faulter) = (threads[2 * pair], threads[2 * pair + 1]);
+            let obj = &objects[pair];
+            kard.lock_enter(holder, LockId(2 * pair as u64), holder_site(pair));
+            kard.write(holder, obj.base, holder_site(pair));
+            pair_conflict(kard, faulter, pair, 1, obj, None);
+            kard.lock_exit(holder, LockId(2 * pair as u64));
+        }
+        for &t in &threads {
+            private_churn(kard, t);
+        }
+    }
+
+    let mut stats = kard.stats();
+    stats.max_concurrent_sections = 0;
+    (fingerprints(kard), stats)
+}
+
+#[test]
+fn storm_reports_identically_with_and_without_side_metadata() {
+    let meta = fresh_kard_with(KardConfig::default().side_metadata(true));
+    let (meta_fps, meta_stats) = mixed_storm(&meta, true);
+
+    let mutexed = fresh_kard_with(KardConfig::default().side_metadata(false));
+    let (mutexed_fps, mutexed_stats) = mixed_storm(&mutexed, true);
+
+    let sequential = fresh_kard_with(KardConfig::default().side_metadata(true));
+    let (seq_fps, seq_stats) = mixed_storm(&sequential, false);
+
+    assert_eq!(meta_fps.len(), PAIRS, "one report per conflicting pair");
+    assert_eq!(meta_fps, mutexed_fps, "side metadata == mutexed ablation");
+    assert_eq!(meta_fps, seq_fps, "side metadata == sequential reference");
+    assert_eq!(meta_stats, mutexed_stats, "stats: side metadata == mutexed");
+    assert_eq!(meta_stats, seq_stats, "stats: side metadata == sequential");
+}
+
+// --- 2. Property: replayed programs are byte-identical across modes ---------
+
+const OBJECTS: u64 = 6;
+
+#[derive(Clone, Debug)]
+enum Step {
+    Locked { o: u64, lock: u64, write: bool },
+    UnlockedRead(u64),
+    Pad,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..OBJECTS, 0..3u64, any::<bool>())
+            .prop_map(|(o, lock, write)| Step::Locked { o, lock, write }),
+        (0..OBJECTS).prop_map(Step::UnlockedRead),
+        Just(Step::Pad),
+    ]
+}
+
+fn build(per_thread: &[Vec<Step>]) -> Vec<ThreadProgram> {
+    per_thread
+        .iter()
+        .enumerate()
+        .map(|(t, steps)| {
+            let mut p = ThreadProgram::new();
+            // Thread 0 allocates everything; the others pad one op per
+            // allocation so no access precedes its allocation under
+            // round-robin scheduling.
+            if t == 0 {
+                for o in 0..OBJECTS {
+                    p.alloc(ObjectTag(o), 32);
+                }
+            } else {
+                for _ in 0..OBJECTS {
+                    p.compute(1);
+                }
+            }
+            for (i, step) in steps.iter().enumerate() {
+                let ip = CodeSite(0x1000 * (t as u64 + 1) + i as u64);
+                match *step {
+                    Step::Locked { o, lock, write } => {
+                        p.lock(LockId(lock + 1), CodeSite(0x100 + lock));
+                        if write {
+                            p.write(ObjectTag(o), 0, ip);
+                        } else {
+                            p.read(ObjectTag(o), 0, ip);
+                        }
+                        p.unlock(LockId(lock + 1));
+                    }
+                    Step::UnlockedRead(o) => {
+                        p.read(ObjectTag(o), 0, ip);
+                    }
+                    Step::Pad => {
+                        p.compute(3);
+                    }
+                }
+            }
+            p
+        })
+        .collect()
+}
+
+fn replay_with(trace: &Trace, config: KardConfig) -> (Vec<kard::RaceRecord>, DetectorStats) {
+    let session = Session::builder().config(config).build();
+    let mut exec = KardExecutor::new(session.kard().clone());
+    replay(trace, &mut exec);
+    (exec.reports(), exec.stats())
+}
+
+fn hotness_virtualized(side_metadata: bool) -> KardConfig {
+    let mut c = KardConfig::paper();
+    c.virtual_keys = true;
+    c.key_cache_policy = KeyCachePolicy::Hotness;
+    c.side_metadata = side_metadata;
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every race report and every statistic must be byte-identical
+    /// between the side-metadata and mutexed modes — under the direct
+    /// policy and under the hotness-policy virtualized cache (the
+    /// policy's heat counters are deliberately fed in both modes so the
+    /// eviction order cannot diverge).
+    #[test]
+    fn side_metadata_mode_is_byte_identical(
+        a in prop::collection::vec(step_strategy(), 1..20),
+        b in prop::collection::vec(step_strategy(), 1..20),
+        c in prop::collection::vec(step_strategy(), 1..20),
+    ) {
+        let trace = interleave_round_robin(&build(&[a, b, c]));
+
+        let (mr, ms) = replay_with(&trace, KardConfig::paper().side_metadata(true));
+        let (xr, xs) = replay_with(&trace, KardConfig::paper().side_metadata(false));
+        prop_assert_eq!(mr, xr, "direct-policy race reports diverged");
+        prop_assert_eq!(ms, xs, "direct-policy statistics diverged");
+
+        let (hr, hs) = replay_with(&trace, hotness_virtualized(true));
+        let (gr, gs) = replay_with(&trace, hotness_virtualized(false));
+        prop_assert_eq!(hr, gr, "hotness-policy race reports diverged");
+        prop_assert_eq!(hs, gs, "hotness-policy statistics diverged");
+    }
+}
+
+// --- 3. Lock economy --------------------------------------------------------
+
+#[test]
+fn warmed_sidemeta_entry_takes_zero_shared_locks() {
+    let kard = fresh_kard_with(
+        KardConfig::default()
+            .lock_free_sections(true)
+            .side_metadata(true),
+    );
+    let t = kard.register_thread();
+    let obj = kard.on_alloc(t, 64);
+    let (lock, site) = (LockId(1), CodeSite(0x10));
+    // Warm up: identify the object, build and validate the section plan.
+    for _ in 0..3 {
+        kard.lock_enter(t, lock, site);
+        kard.write(t, obj.base, site);
+        kard.lock_exit(t, lock);
+    }
+    let before = kard.detector_lock_acquisitions();
+    kard.lock_enter(t, lock, site);
+    kard.write(t, obj.base, site);
+    kard.lock_exit(t, lock);
+    assert_eq!(
+        kard.detector_lock_acquisitions(),
+        before,
+        "a warmed side-metadata entry/exit must take no shared locks"
+    );
+}
+
+/// With the plan cache disabled every entry rebuilds its plan by reading
+/// each wanted object's domain: the side-metadata mode answers those reads
+/// from the flat tables and must skip every domain-shard lock the mutexed
+/// ablation takes.
+#[test]
+fn plan_rebuild_skips_domain_shard_locks_under_side_metadata() {
+    const OBJS: usize = 8;
+    let rebuild_locks = |side_metadata: bool| {
+        let kard = fresh_kard_with(
+            KardConfig::default()
+                .lock_free_sections(false)
+                .side_metadata(side_metadata),
+        );
+        let t = kard.register_thread();
+        let (lock, site) = (LockId(1), CodeSite(0x10));
+        let objs: Vec<_> = (0..OBJS).map(|_| kard.on_alloc(t, 64)).collect();
+        kard.lock_enter(t, lock, site);
+        for o in &objs {
+            kard.write(t, o.base, site);
+        }
+        kard.lock_exit(t, lock);
+        // Re-entry: the section-object map lists all OBJS objects, so the
+        // plan rebuild reads OBJS domains.
+        let before = kard.detector_lock_acquisitions();
+        kard.lock_enter(t, lock, site);
+        kard.lock_exit(t, lock);
+        kard.detector_lock_acquisitions() - before
+    };
+    let with_meta = rebuild_locks(true);
+    let without = rebuild_locks(false);
+    assert!(
+        with_meta + OBJS as u64 <= without,
+        "side metadata must skip all {OBJS} domain-shard reads: \
+         {with_meta} locks with, {without} without"
+    );
+}

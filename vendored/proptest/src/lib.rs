@@ -225,7 +225,7 @@ impl<T> Strategy for Union<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Element-count bounds for [`vec`].
+    /// Element-count bounds for [`vec()`].
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         min: usize,
@@ -261,7 +261,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy produced by [`vec`].
+    /// Strategy produced by [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,
