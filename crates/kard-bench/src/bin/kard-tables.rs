@@ -77,7 +77,7 @@ fn main() -> ExitCode {
     let requests = opts.threads_scale_requests;
     if let Some(path) = &opts.stats_json {
         let stats = tables::final_stats(8, requests);
-        let body = serde_json::to_string_pretty(&stats).expect("serializable stats");
+        let body = serde_json::to_string_pretty(&stats.to_json()).expect("serializable stats");
         if let Err(e) = std::fs::write(path, body + "\n") {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::FAILURE;

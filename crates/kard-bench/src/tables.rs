@@ -526,16 +526,52 @@ pub fn table5(requests: u64) -> Vec<Table5Col> {
         .collect()
 }
 
+/// The `kard-tables --stats-json` payload: the detector counters plus
+/// the production-mode controller counters, so operators watching a
+/// budgeted deployment see sampling decisions next to detection counts.
+#[derive(Clone, Debug)]
+pub struct FinalStats {
+    /// Detector counters (field names are stable).
+    pub detector: kard_core::DetectorStats,
+    /// Overhead-budget controller counters (all-default when production
+    /// mode is off).
+    pub production: kard_core::ProductionStats,
+}
+
+impl FinalStats {
+    /// The JSON shape written by `--stats-json`: the detector counters
+    /// flat at the top level exactly as before, with the controller
+    /// counters added as a `production` block.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice — both halves always serialize.
+    #[must_use]
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut v = serde_json::to_value(&self.detector).expect("stats serialize");
+        if let serde_json::Value::Object(map) = &mut v {
+            map.insert(
+                "production".to_string(),
+                serde_json::to_value(self.production).expect("production serializes"),
+            );
+        }
+        v
+    }
+}
+
 /// Final detector statistics for one memcached run — the machine-readable
 /// counterpart to Table 5's derived columns, exposed for
 /// `kard-tables --stats-json`.
 #[must_use]
-pub fn final_stats(threads: usize, requests: u64) -> kard_core::DetectorStats {
+pub fn final_stats(threads: usize, requests: u64) -> FinalStats {
     let model = apps::memcached(threads, requests);
     let session = Session::new();
     let mut exec = KardExecutor::new(session.kard().clone());
     replay(&model.program.trace_seeded(5), &mut exec);
-    exec.stats()
+    FinalStats {
+        detector: exec.stats(),
+        production: session.kard().production_stats(),
+    }
 }
 
 /// Render Table 5.

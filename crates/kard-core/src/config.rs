@@ -97,6 +97,28 @@ pub struct KardConfig {
     /// words updated under the same locks, so this switch gates only who
     /// answers reads.
     pub side_metadata: bool,
+    /// Production mode ([`crate::budget`]): run the overhead-budget
+    /// controller. When on, newly identified sharable objects are
+    /// sampled/skipped per the controller's current policy and
+    /// [`crate::KardSnapshot::production`] reports the estimated
+    /// detection-rate cost. Off by default — the paper's detector
+    /// monitors everything.
+    pub production: bool,
+    /// Cycle-overhead budget for production mode, in permille of elapsed
+    /// virtual cycles (e.g. `Some(50)` = stay under 5% overhead). `None`
+    /// leaves the budget unbounded: the controller observes and reports
+    /// overhead but never narrows protection, so detection is identical
+    /// to full mode. Ignored unless [`KardConfig::production`] is on.
+    pub overhead_budget: Option<u32>,
+    /// Initial sample target for production mode: the permille of newly
+    /// identified sharable objects to keep monitoring (1000 = all). The
+    /// controller adjusts it at runtime when a budget is set; with no
+    /// budget it stays fixed, giving a plain static-sampling mode.
+    pub sample_permille: u32,
+    /// Seed of the deterministic sampling hash. Two runs with the same
+    /// seed (and config) monitor the same objects; vary it across
+    /// production deployments so different hosts cover different samples.
+    pub sample_seed: u64,
 }
 
 impl KardConfig {
@@ -117,6 +139,10 @@ impl KardConfig {
             serial_fault_path: false,
             lock_free_sections: true,
             side_metadata: true,
+            production: false,
+            overhead_budget: None,
+            sample_permille: 1000,
+            sample_seed: 0,
         }
     }
 
@@ -141,6 +167,10 @@ impl KardConfig {
             serial_fault_path: false,
             lock_free_sections: true,
             side_metadata: true,
+            production: false,
+            overhead_budget: None,
+            sample_permille: 1000,
+            sample_seed: 0,
         }
     }
 
@@ -235,6 +265,34 @@ impl KardConfig {
         self
     }
 
+    /// Builder-style setter for [`KardConfig::production`].
+    #[must_use]
+    pub fn production(mut self, on: bool) -> KardConfig {
+        self.production = on;
+        self
+    }
+
+    /// Builder-style setter for [`KardConfig::overhead_budget`].
+    #[must_use]
+    pub fn overhead_budget(mut self, permille: Option<u32>) -> KardConfig {
+        self.overhead_budget = permille;
+        self
+    }
+
+    /// Builder-style setter for [`KardConfig::sample_permille`].
+    #[must_use]
+    pub fn sample_permille(mut self, permille: u32) -> KardConfig {
+        self.sample_permille = permille;
+        self
+    }
+
+    /// Builder-style setter for [`KardConfig::sample_seed`].
+    #[must_use]
+    pub fn sample_seed(mut self, seed: u64) -> KardConfig {
+        self.sample_seed = seed;
+        self
+    }
+
     /// A human-readable description of the active key mode, printed by the
     /// report tables and examples so experiment output states which policy
     /// produced it. `pool` is the hardware read-write pool size.
@@ -285,6 +343,10 @@ mod tests {
         assert!(!c.serial_fault_path, "the sharded fault path is the default");
         assert!(c.lock_free_sections, "the zero-lock section path is the default");
         assert!(c.side_metadata, "flat metadata reads are the default");
+        assert!(!c.production, "the paper's detector monitors everything");
+        assert_eq!(c.overhead_budget, None, "no budget until asked for one");
+        assert_eq!(c.sample_permille, 1000, "full-width sample by default");
+        assert_eq!(c.sample_seed, 0);
     }
 
     #[test]
@@ -298,8 +360,16 @@ mod tests {
             .serial_fault_path(true)
             .lock_free_sections(false)
             .side_metadata(false)
-            .timestamp_filter(false);
+            .timestamp_filter(false)
+            .production(true)
+            .overhead_budget(Some(50))
+            .sample_permille(250)
+            .sample_seed(0xfeed);
         assert!(c.virtual_keys);
+        assert!(c.production);
+        assert_eq!(c.overhead_budget, Some(50));
+        assert_eq!(c.sample_permille, 250);
+        assert_eq!(c.sample_seed, 0xfeed);
         assert_eq!(c.key_cache_policy, KeyCachePolicy::Fifo);
         assert_eq!(c.interleave_exit_delay, 500);
         assert_eq!(c.measured_fault_delay, Some(24_000));

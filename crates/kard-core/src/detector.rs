@@ -109,6 +109,7 @@
 //! exactly that via [`Kard::detector_lock_acquisitions`].
 
 use crate::assignment::{choose_key, choose_virtual, Assignment, Eviction, VAssignment};
+use crate::budget::{BudgetController, BudgetDecision, BudgetTick, ProductionStats};
 use crate::config::KardConfig;
 use crate::domains::Domain;
 use crate::error::KardError;
@@ -395,6 +396,12 @@ pub struct Kard {
     /// is lock-free and allocation-free, so no detector path changes
     /// locking behaviour when tracing is on.
     telemetry: Arc<Telemetry>,
+    /// Production-mode overhead-budget controller (see [`crate::budget`]).
+    /// Inert (one plain bool test per gated site) unless
+    /// [`KardConfig::production`] is on; its decisions are relaxed atomic
+    /// loads, and its control loop runs only in [`Kard::production_tick`]
+    /// on the drain side.
+    budget: BudgetController,
 }
 
 impl Kard {
@@ -441,6 +448,7 @@ impl Kard {
             active_sections: AtomicU64::new(0),
             lock_acquisitions: counter,
             telemetry,
+            budget: BudgetController::new(&config),
         }
     }
 
@@ -523,6 +531,15 @@ impl Kard {
             .map(|(first, _)| self.sidemeta.hot(first))
             .max()
             .unwrap_or(0)
+    }
+
+    /// Current side-metadata heat of an object (first page, like
+    /// [`Kard::meta_bump_hot`]): the signal the budget controller's
+    /// hotness-promotion override reads. One relaxed load.
+    fn object_heat(&self, id: ObjectId) -> u64 {
+        self.alloc
+            .pages_of(id)
+            .map_or(0, |(first, _)| self.sidemeta.hot(first))
     }
 
     /// Lock-free domain read from the side metadata. `None` means the
@@ -1286,12 +1303,14 @@ impl Kard {
     /// on unrelated objects proceed in parallel, while faults, frees, and
     /// restorations of the same object serialize.
     fn handle_fault(&self, fault: GpFault) -> Result<FaultAction, KardError> {
-        // The thread's clock at #GP delivery: the handler's virtual
-        // execution interval starts here (the delivery + execution lump
-        // charged next covers work done while the shard is held), and the
-        // §5.5 serialization charge below queues the whole interval
-        // behind overlapping same-shard handlers.
-        let entered = self.machine.thread_cycles(fault.thread);
+        // The thread's timeline position at #GP delivery: the handler's
+        // virtual execution interval starts here (the delivery + execution
+        // lump charged next covers work done while the shard is held), and
+        // the §5.5 serialization charge below queues the whole interval
+        // behind overlapping same-shard handlers. Timelines — not raw
+        // per-thread cycle counters — because the previous holder may be a
+        // thread born earlier; only birth-offset clocks are comparable.
+        let entered = self.machine.thread_timeline(fault.thread);
         self.machine.charge_fault_handling(fault.thread);
         // Picking the shard needs the faulted object's id, but that
         // lookup necessarily runs before any shard is held, so a
@@ -1354,7 +1373,7 @@ impl Kard {
             panic!("#GP with unexpected key {}: {fault}", fault.pkey);
         };
 
-        shard.release_at(self.machine.thread_cycles(fault.thread));
+        shard.release_at(self.machine.thread_timeline(fault.thread));
         if self.telemetry.enabled() {
             // Handling latency: fault raise to resolution on the virtual
             // clock (covers the #GP delivery charge plus everything the
@@ -1381,18 +1400,36 @@ impl Kard {
         info: &ObjectInfo,
         shard: &FaultPathGuard<'_>,
     ) -> FaultAction {
+        let t = fault.thread;
+        let section = self.current_section(t).unwrap_or_else(|| {
+            panic!("k_na fault outside a critical section: {fault}")
+        });
+        // Production mode (ROADMAP item 4): the §5.3 identification point
+        // is where monitoring an object starts costing cycles, so it is
+        // where the overhead-budget controller rules whether to monitor at
+        // all. A skipped object is retagged to the always-readable default
+        // key `k0`: it never faults again (the page dies with the object —
+        // frees unmap, and reuse re-provisions with `k_na`), no domain or
+        // section-map entry is created, and none of the §5.3 counters move
+        // — the skip is accounted only by the controller and its event.
+        if self.budget.active() {
+            let heat = self.object_heat(info.id);
+            if self.budget.decide(info.id.0, heat) == BudgetDecision::Skipped {
+                self.emit(t, EventKind::BudgetSkip, info.id.0, heat);
+                self.alloc
+                    .protect(t, info.id, self.layout.default)
+                    .expect("k0 is valid");
+                return FaultAction::Retry;
+            }
+        }
         AtomicStats::bump(&self.stats.identification_faults);
         AtomicStats::bump(&self.stats.objects_identified);
-        let t = fault.thread;
         self.emit(
             t,
             EventKind::FaultIdentify,
             info.id.0,
             matches!(fault.access, AccessKind::Write) as u64,
         );
-        let section = self.current_section(t).unwrap_or_else(|| {
-            panic!("k_na fault outside a critical section: {fault}")
-        });
 
         match fault.access {
             AccessKind::Read => {
@@ -1436,6 +1473,24 @@ impl Kard {
         debug_assert_eq!(fault.access, AccessKind::Write, "k_ro only blocks writes");
         let t = fault.thread;
         if let Some(section) = self.current_section(t) {
+            // Production mode: the read-only → read-write migration is the
+            // second (and costlier — it allocates a key) monitoring
+            // escalation point, so the controller re-rules here with its
+            // *current* policy. An object sampled in at identification can
+            // be dropped here after the controller narrowed; its pages go
+            // to `k0` and its Read-only domain entry stays behind as an
+            // inert record (plans never acquire keys for Read-only
+            // objects, so nothing downstream reads it again).
+            if self.budget.active() {
+                let heat = self.object_heat(info.id);
+                if self.budget.decide(info.id.0, heat) == BudgetDecision::Skipped {
+                    self.emit(t, EventKind::BudgetSkip, info.id.0, heat);
+                    self.alloc
+                        .protect(t, info.id, self.layout.default)
+                        .expect("k0 is valid");
+                    return FaultAction::Retry;
+                }
+            }
             AtomicStats::bump(&self.stats.migration_faults);
             self.emit(t, EventKind::FaultMigrate, info.id.0, 0);
             self.sections.write().record(section, info.id, Perm::Write);
@@ -1689,6 +1744,11 @@ impl Kard {
                 // section (only there can it hold a key) and a key can be
                 // found.
                 if self.config.protection_interleaving
+                    // Production mode backs off arming first under a fault
+                    // storm: interleavings are the most delay-expensive
+                    // detection stage (§5.5 exit stalls), and suppressing
+                    // them sheds load without touching what is monitored.
+                    && !self.budget.suppress_arming()
                     && !self.interleaver.lock().is_armed(info.id)
                 {
                     if let (Some(idx), Some(sec)) = (idx, section) {
@@ -2369,7 +2429,60 @@ impl Kard {
             alloc: self.alloc.stats(),
             fault_shards: self.fault_shards.stats(),
             lock_acquisitions: self.detector_lock_acquisitions(),
+            production: self.production_stats(),
         }
+    }
+
+    /// Production-mode controller counters (see [`crate::budget`]).
+    /// `enabled` is false (and every decision counter zero) unless
+    /// [`KardConfig::production`] is on.
+    #[must_use]
+    pub fn production_stats(&self) -> ProductionStats {
+        self.budget.stats()
+    }
+
+    /// Drain-side control step of production mode: integrate the
+    /// fault-delay and `pkey_mprotect` cycle histograms into the observed
+    /// overhead since the last tick and let the budget controller steer
+    /// (narrow/widen the sample, move the hotness threshold, flip the
+    /// arming backoff). Returns `None` when production mode is off or no
+    /// virtual time has elapsed.
+    ///
+    /// Call it wherever telemetry is drained — `Session::drain_telemetry`
+    /// and the firehose shard loops do. The work integral only grows while
+    /// telemetry is enabled (the cycle histograms gate on it), so a
+    /// production run that wants *adaptive* budgeting must record
+    /// telemetry; without it the controller still applies the static
+    /// [`KardConfig::sample_permille`] but observes zero overhead.
+    pub fn production_tick(&self) -> Option<BudgetTick> {
+        if !self.budget.active() {
+            return None;
+        }
+        let hists = self.telemetry.histograms();
+        let work = hists.fault_delay.sum().saturating_add(hists.mprotect.sum());
+        let tick = self.budget.tick(self.machine.now(), work)?;
+        hists.overhead.record(tick.observed_permille);
+        if self.telemetry.enabled() {
+            if let Some((target, threshold)) = tick.adjusted {
+                self.telemetry.record(
+                    0,
+                    EventKind::BudgetAdjust,
+                    self.machine.now(),
+                    u64::from(target),
+                    threshold,
+                );
+            }
+            if let Some(entering) = tick.backoff {
+                self.telemetry.record(
+                    0,
+                    EventKind::BudgetBackoff,
+                    self.machine.now(),
+                    u64::from(entering),
+                    tick.observed_permille,
+                );
+            }
+        }
+        Some(tick)
     }
 
     /// Human-readable description of the active key mode (direct vs.

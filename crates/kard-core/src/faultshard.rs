@@ -93,13 +93,16 @@ pub struct FaultShards {
     max_in_flight: AtomicU64,
     /// Entries whose first lock attempt found the shard held.
     contended: AtomicU64,
-    /// Per-shard release times on the per-thread virtual clocks: the
-    /// §5.5 delay bookkeeping, one atomic per shard instead of a global
-    /// point. A handler arriving (on its own clock) before the previous
-    /// same-shard handler released queues for the difference — the
-    /// conservative-simulation model of fault serialization, which holds
-    /// even when the host has too few cores to overlap handlers in real
-    /// time. See [`FaultPathGuard::queue_wait`].
+    /// Per-shard release times on the common virtual timeline
+    /// (birth-offset per-thread clocks): the §5.5 delay bookkeeping, one
+    /// atomic per shard instead of a global point. A handler arriving
+    /// (on its thread's timeline) before the previous same-shard handler
+    /// released queues for the difference — the conservative-simulation
+    /// model of fault serialization, which holds even when the host has
+    /// too few cores to overlap handlers in real time. Raw per-thread
+    /// cycle counters would not do here: a thread registered long after
+    /// a release starts its counter at zero and would queue behind work
+    /// that finished before it existed. See [`FaultPathGuard::queue_wait`].
     free_at: Vec<AtomicU64>,
     /// Total cycles charged through [`FaultPathGuard::queue_wait`].
     queued: AtomicU64,

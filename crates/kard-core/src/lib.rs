@@ -51,6 +51,7 @@
 
 pub mod algorithm;
 pub mod assignment;
+pub mod budget;
 pub mod config;
 pub mod detector;
 pub mod domains;
@@ -67,6 +68,7 @@ pub mod sync;
 pub mod types;
 pub mod vkey;
 
+pub use budget::{BudgetController, BudgetDecision, ProductionStats};
 pub use config::{ExhaustionPolicy, KardConfig};
 pub use detector::Kard;
 pub use domains::Domain;

@@ -164,6 +164,11 @@ pub struct KardSnapshot {
     /// shards) — the §5-bookkeeping cost figure the no-lock-overhead
     /// tests bound.
     pub lock_acquisitions: u64,
+    /// Production-mode controller counters: sampling decisions, throttle
+    /// transitions, observed overhead, and the estimated detection-rate
+    /// cost. All defaults (with `enabled = false`) when
+    /// [`crate::KardConfig::production`] is off.
+    pub production: crate::budget::ProductionStats,
 }
 
 /// Lock-free accumulator behind [`DetectorStats`].

@@ -59,6 +59,18 @@ impl SessionBuilder {
         self
     }
 
+    /// Run this session in production mode under `budget` (permille of
+    /// elapsed cycles; `None` = observe-only, never narrow). Convenience
+    /// over setting [`KardConfig::production`]/
+    /// [`KardConfig::overhead_budget`] by hand; also enables telemetry,
+    /// because the controller's overhead observations come from the cycle
+    /// histograms, which only record while telemetry is on.
+    pub fn production(mut self, budget: Option<u32>) -> SessionBuilder {
+        self.config = self.config.production(true).overhead_budget(budget);
+        self.telemetry = true;
+        self
+    }
+
     /// Wire machine, allocator, and detector together.
     #[must_use]
     pub fn build(self) -> Session {
@@ -178,9 +190,14 @@ impl Session {
 
     /// Drain all per-thread event rings into one timestamp-sorted batch
     /// (the session-end collection step; takes only telemetry locks).
+    /// In production mode this is also the controller's heartbeat: each
+    /// drain runs one [`Kard::production_tick`] so the overhead budget is
+    /// steered at the same cadence telemetry is collected.
     #[must_use]
     pub fn drain_telemetry(&self) -> Drained {
-        self.telemetry().drain()
+        let drained = self.telemetry().drain();
+        self.kard.production_tick();
+        drained
     }
 
     /// Drain the rings and write the run's trace files into `dir`:
@@ -244,6 +261,21 @@ mod tests {
         assert!(session.telemetry().enabled(), "telemetry pre-enabled");
         let defaults = Session::builder().build();
         assert!(!defaults.telemetry().enabled(), "off unless requested");
+    }
+
+    #[test]
+    fn production_builder_enables_controller_and_telemetry() {
+        let session = Session::builder().production(Some(50)).build();
+        assert!(session.kard().config().production);
+        assert_eq!(session.kard().config().overhead_budget, Some(50));
+        assert!(session.telemetry().enabled(), "controller needs histograms");
+        let snap = session.snapshot();
+        assert!(snap.production.enabled);
+        assert_eq!(snap.production.budget_permille, Some(50));
+        assert_eq!(snap.production.sample_permille, 1000, "starts full-width");
+        assert_eq!(snap.production.estimated_detection_permille, 1000);
+        let json = serde_json::to_string(&snap).expect("snapshot serializes");
+        assert!(json.contains("\"production\""));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! produce byte-identical report lines regardless of what other sessions
 //! shared the server, which is what the isolation tests assert.
 
+use kard_core::ProductionStats;
 use kard_sim::AccessKind;
 use kard_telemetry::HistogramSummary;
 use kard_trace::Event;
@@ -167,6 +168,10 @@ pub struct ShardStatsz {
     /// Critical-section hold-time distribution, virtual cycles
     /// (all-zero unless the server runs with telemetry enabled).
     pub section_hold_cycles: HistogramSummary,
+    /// Production-mode overhead-budget controller state and counters
+    /// (all-default unless the server runs with an
+    /// [`overhead_budget`](crate::ServerConfig::overhead_budget)).
+    pub production: ProductionStats,
 }
 
 /// The `/statsz` snapshot: per-shard blocks plus server totals.

@@ -53,6 +53,13 @@ pub struct ServerConfig {
     /// Enable fault-path telemetry rings (feeds the `/statsz` cycle
     /// histograms, at some per-event cost).
     pub telemetry: bool,
+    /// Run every shard's detector in production mode under this overhead
+    /// budget (permille of elapsed virtual cycles; `Some(0)` is a valid,
+    /// maximally aggressive budget). `None` leaves production mode off
+    /// and the detector exactly as `detector` describes. Setting a budget
+    /// forces `telemetry` on, because the controller's overhead
+    /// observations come from the cycle histograms.
+    pub overhead_budget: Option<u32>,
     /// TCP listen address (`None` disables TCP). Use port 0 to let the
     /// OS pick; [`Server::tcp_addr`] reports the bound address.
     pub tcp: Option<String>,
@@ -73,6 +80,7 @@ impl Default for ServerConfig {
             apply_throttle: Duration::ZERO,
             detector: KardConfig::paper().virtual_keys(true),
             telemetry: false,
+            overhead_budget: None,
             tcp: Some("127.0.0.1:0".to_string()),
             unix: None,
         }
@@ -143,6 +151,9 @@ struct ServerInner {
     config: ServerConfig,
     shards: Vec<Arc<ShardShared>>,
     telemetry: Vec<Arc<Telemetry>>,
+    /// Per-shard detector handles, kept so `/statsz` can read the
+    /// production-mode controller counters without disturbing the shard.
+    detectors: Vec<Arc<kard_core::Kard>>,
     shutdown: AtomicBool,
     next_serial: AtomicU64,
     sessions_total: AtomicU64,
@@ -180,6 +191,7 @@ impl ServerInner {
                 ingest_latency_ns: shard.ingest_latency.summary(),
                 fault_delay_cycles: hists.fault_delay.summary(),
                 section_hold_cycles: hists.section_hold.summary(),
+                production: self.detectors[i].production_stats(),
             };
             out.active_sessions += block.active_sessions;
             out.applied += block.applied;
@@ -215,13 +227,18 @@ impl Server {
             .map(|_| Arc::new(ShardShared::default()))
             .collect();
         let mut telemetry = Vec::with_capacity(shards.len());
+        let mut detectors = Vec::with_capacity(shards.len());
         let mut threads = Vec::new();
         for shared in &shards {
-            let rt = kard_rt::Session::builder()
+            let mut builder = kard_rt::Session::builder()
                 .config(config.detector)
-                .telemetry(config.telemetry)
-                .build();
+                .telemetry(config.telemetry);
+            if let Some(budget) = config.overhead_budget {
+                builder = builder.production(Some(budget));
+            }
+            let rt = builder.build();
             telemetry.push(Arc::clone(rt.telemetry()));
+            detectors.push(Arc::clone(rt.kard()));
             let engine = ShardEngine::new(rt, Arc::clone(shared), config.clone());
             threads.push(std::thread::spawn(move || engine.run()));
         }
@@ -229,6 +246,7 @@ impl Server {
             config,
             shards,
             telemetry,
+            detectors,
             shutdown: AtomicBool::new(false),
             next_serial: AtomicU64::new(1),
             sessions_total: AtomicU64::new(0),

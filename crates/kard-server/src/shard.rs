@@ -347,6 +347,11 @@ impl ShardEngine {
                 Poll::Drained => break,
             }
             self.evict_idle();
+            // In production mode this doubles as the overhead-budget
+            // controller's heartbeat: one tick per work item or idle
+            // wake, so the sampling width tracks the shard's actual
+            // apply-side overhead. A no-op when production mode is off.
+            self.rt.kard().production_tick();
         }
         let serials: Vec<u64> = self.sessions.keys().copied().collect();
         for serial in serials {

@@ -286,6 +286,44 @@ fn statsz_aggregates_match_session_counters() {
     let shard = &stats.shards[client.shard()];
     assert_eq!(shard.applied, summary.applied);
     assert!(shard.ingest_latency_ns.count > 0, "latency was recorded");
+    assert!(
+        !shard.production.enabled,
+        "production mode off unless a budget is configured"
+    );
+    client.bye().unwrap();
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn overhead_budget_knob_surfaces_controller_state_in_statsz() {
+    // A generous budget (100% of elapsed cycles) never narrows the
+    // sample, so detection is untouched — the racy session still reports
+    // its race — while `/statsz` exposes the controller's counters.
+    let server = start(ServerConfig {
+        overhead_budget: Some(1000),
+        ..ServerConfig::default()
+    });
+    let addr = server.tcp_addr().unwrap();
+    let session = storm::session(&racy_storm(), 0);
+    let mut client = FirehoseClient::connect(addr, &session.name).unwrap();
+    let summary = play(&mut client, &session);
+    assert_eq!(summary.races, 1, "full-width sampling keeps detection");
+
+    let stats = client.stats().unwrap();
+    let shard = &stats.shards[client.shard()];
+    assert!(shard.production.enabled, "budget knob turns the controller on");
+    assert_eq!(shard.production.budget_permille, Some(1000));
+    assert!(shard.production.sampled_objects > 0, "decisions were counted");
+    assert_eq!(shard.production.skipped_objects, 0, "nothing skipped");
+    assert_eq!(
+        shard.production.estimated_detection_permille, 1000,
+        "estimated detection stays at 100%"
+    );
+    assert!(
+        shard.fault_delay_cycles.count > 0,
+        "budget knob forces telemetry on"
+    );
     client.bye().unwrap();
     server.shutdown();
     server.join();

@@ -129,6 +129,14 @@ struct ThreadEntry {
     state: Mutex<ThreadState>,
     pkru: PkruCell,
     cycles: AtomicU64,
+    /// Virtual time at which the thread was registered: the maximum
+    /// timeline (`birth + cycles`) over the threads alive at that moment.
+    /// `cycles` alone counts work *executed by this thread* and is only
+    /// comparable to another thread's counter when both threads were
+    /// born together; `birth + cycles` is a TSC-like common timeline —
+    /// a thread spawned later can never appear to run *before* work its
+    /// parent had already completed.
+    birth: u64,
 }
 
 const THREAD_CHUNK: usize = 64;
@@ -162,6 +170,14 @@ impl ThreadTable {
 
     fn push(&self, state: ThreadState, pkru: Pkru) -> usize {
         let _reg = self.reg.lock();
+        // Stamp the newcomer's birth at the frontier of every live
+        // thread's timeline (under the registration lock, so two
+        // concurrent registrations cannot miss each other).
+        let birth = self
+            .iter()
+            .map(|e| e.birth + e.cycles.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0);
         let index = self.len.load(Ordering::Relaxed);
         let (chunk, slot) = (index / THREAD_CHUNK, index % THREAD_CHUNK);
         assert!(chunk < THREAD_CHUNKS, "thread capacity exhausted");
@@ -171,6 +187,7 @@ impl ThreadTable {
             state: Mutex::new(state),
             pkru: PkruCell::new(pkru),
             cycles: AtomicU64::new(0),
+            birth,
         };
         assert!(chunk[slot].set(entry).is_ok(), "slot taken");
         self.len.store(index + 1, Ordering::Release);
@@ -711,6 +728,20 @@ impl Machine {
         self.entry(thread).cycles.load(Ordering::Relaxed)
     }
 
+    /// `thread`'s position on the common virtual timeline: its birth
+    /// time (the timeline frontier when it registered) plus the cycles
+    /// it has executed since. Unlike [`Self::thread_cycles`] — which
+    /// starts at zero for every thread — timelines of *different*
+    /// threads are comparable, which is what the fault-path §5.5
+    /// serialization bookkeeping needs: a thread registered after a
+    /// fault handler released cannot be charged a spurious queue wait
+    /// against work that finished before it existed.
+    #[must_use]
+    pub fn thread_timeline(&self, thread: ThreadId) -> u64 {
+        let entry = self.entry(thread);
+        entry.birth + entry.cycles.load(Ordering::Relaxed)
+    }
+
     /// Sum of all threads' dTLB statistics.
     #[must_use]
     pub fn tlb_stats(&self) -> TlbStats {
@@ -773,6 +804,27 @@ mod tests {
         assert_eq!(t0, ThreadId(0));
         assert_eq!(t1, ThreadId(1));
         assert_eq!(m.rdpkru(t0).to_raw_u32(), 0);
+    }
+
+    #[test]
+    fn late_registered_thread_is_born_at_the_timeline_frontier() {
+        let m = machine();
+        let t0 = m.register_thread();
+        m.charge(t0, 1_000_000);
+        let t1 = m.register_thread();
+        // t1 has executed nothing, but on the common timeline it starts
+        // *after* the million cycles t0 already ran — it cannot race work
+        // that finished before it existed.
+        assert_eq!(m.thread_cycles(t1), 0);
+        assert!(m.thread_timeline(t1) >= m.thread_timeline(t0));
+        assert!(m.thread_timeline(t1) >= 1_000_000);
+        // Executing work advances the timeline at the same rate as the
+        // per-thread counter.
+        m.charge(t1, 500);
+        assert_eq!(m.thread_timeline(t1) - m.thread_cycles(t1), m.thread_timeline(t1) - 500);
+        // The global clock still counts executed work only: birth offsets
+        // do not inflate it.
+        assert_eq!(m.now(), 1_000_500);
     }
 
     #[test]

@@ -90,6 +90,9 @@ pub fn unpack_domains(b: u64) -> Option<(DomainCode, DomainCode)> {
 /// | `RemoteFreeDrain` | slots drained | pages retired |
 /// | `FaultShardContended` | fault-shard index | faults in flight (incl. this) |
 /// | `VKeyDemoteBatch` | evicted virtual key | live objects demoted in the grouped `pkey_mprotect` |
+/// | `BudgetSkip` | object id left unprotected | side-metadata heat at decision time |
+/// | `BudgetAdjust` | new sample permille | new hotness threshold |
+/// | `BudgetBackoff` | 1 entering / 0 leaving backoff | observed overhead in permille |
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u8)]
 #[allow(missing_docs)] // The table above is the per-variant documentation.
@@ -125,11 +128,14 @@ pub enum EventKind {
     RemoteFreeDrain = 28,
     FaultShardContended = 29,
     VKeyDemoteBatch = 30,
+    BudgetSkip = 31,
+    BudgetAdjust = 32,
+    BudgetBackoff = 33,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 31] = [
+    pub const ALL: [EventKind; 34] = [
         EventKind::SectionEnter,
         EventKind::SectionExit,
         EventKind::ObjectAlloc,
@@ -161,6 +167,9 @@ impl EventKind {
         EventKind::RemoteFreeDrain,
         EventKind::FaultShardContended,
         EventKind::VKeyDemoteBatch,
+        EventKind::BudgetSkip,
+        EventKind::BudgetAdjust,
+        EventKind::BudgetBackoff,
     ];
 
     /// Decode a raw discriminant, if valid.
@@ -204,6 +213,9 @@ impl EventKind {
             EventKind::RemoteFreeDrain => "remote_free_drain",
             EventKind::FaultShardContended => "fault_shard_contended",
             EventKind::VKeyDemoteBatch => "vkey_demote_batch",
+            EventKind::BudgetSkip => "budget_skip",
+            EventKind::BudgetAdjust => "budget_adjust",
+            EventKind::BudgetBackoff => "budget_backoff",
         }
     }
 }

@@ -66,6 +66,14 @@ impl LatencyHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Running sum of every recorded value. For the cycle histograms this
+    /// is the total cycles charged so far, which is what the overhead
+    /// budget controller integrates between drains.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
     /// A plain-value summary with estimated percentiles.
     #[must_use]
     pub fn summary(&self) -> HistogramSummary {

@@ -75,6 +75,11 @@ pub struct Histograms {
     /// shards provide and a single global fault lock would have
     /// serialized away.
     pub fault_concurrency: LatencyHistogram,
+    /// Observed detection overhead in permille of elapsed virtual cycles,
+    /// recorded once per overhead-budget controller tick (drain side only;
+    /// nothing on the recording path writes here). The distribution shows
+    /// how tightly the controller tracked its budget over the run.
+    pub overhead: LatencyHistogram,
 }
 
 /// A drained batch of events plus how many were lost to ring overflow.

@@ -20,7 +20,10 @@
 //! their documented real races (Table 6); [`racegen`] generates the random
 //! race corpus behind the §3.1 ILU-share analysis; [`storm`] generates
 //! the connect/blast/disconnect session traffic that drives the
-//! `kard-server` firehose benchmarks and overload tests.
+//! `kard-server` firehose benchmarks and overload tests; [`work_steal`]
+//! adds work-stealing deque and async task-pool shapes (plus the
+//! [`work_steal::TrafficShape`] registry) so scheduler-style traffic rides
+//! the same storm-session harnesses.
 
 #![deny(missing_docs)]
 
@@ -32,6 +35,8 @@ pub mod spec;
 pub mod storm;
 pub mod synth;
 pub mod table3;
+pub mod work_steal;
 
 pub use runner::{ComparisonResult, VariantResult};
 pub use spec::{Suite, WorkloadSpec};
+pub use work_steal::TrafficShape;

@@ -363,6 +363,55 @@ fn plan_cache_misses_exactly_once_after_invalidation() {
     );
 }
 
+/// The overhead-budget controller's zero-cost contract: with production
+/// mode on (controller live, telemetry forced on by the builder), the
+/// fault-free access path still takes zero detector locks and performs
+/// zero heap allocations — `decide` runs only at identification faults,
+/// and `tick` runs only on the drain side.
+#[test]
+fn production_controller_keeps_fault_free_path_lock_and_alloc_free() {
+    let program = lock_free_program(4, 50);
+    let trace = program.trace_seeded(17);
+    let session = kard::rt::Session::builder()
+        .config(kard::KardConfig::paper().sample_permille(700).sample_seed(9))
+        .production(Some(100))
+        .build();
+    assert!(session.telemetry().enabled(), "production forces telemetry");
+    let mut kard = KardExecutor::new(session.kard().clone());
+    replay(&trace, &mut kard);
+
+    let objects = session.alloc().live_objects();
+    let t = session.kard().register_thread();
+    // Warm-up pass so lazy per-thread state exists before counting.
+    for (i, o) in objects.iter().enumerate() {
+        session.kard().write(t, o.base, CodeSite(0x900 + i as u64 % 2));
+    }
+
+    let before = session.kard().detector_lock_acquisitions();
+    let allocs_before = SCOPED_ALLOCS.load(Ordering::Relaxed);
+    COUNT_ALLOCS.with(|f| f.set(true));
+    for i in 0..1000u64 {
+        let o = &objects[(i % 16) as usize];
+        session.kard().write(t, o.base.offset((i % 8) * 8), CodeSite(0x900));
+        session.kard().read(t, o.base.offset((i % 8) * 8), CodeSite(0x901));
+    }
+    COUNT_ALLOCS.with(|f| f.set(false));
+    let allocs = SCOPED_ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    let after = session.kard().detector_lock_acquisitions();
+
+    assert_eq!(after - before, 0, "the controller must not add detector locks");
+    assert_eq!(allocs, 0, "the controller must not allocate on the access path");
+
+    // The drain-side heartbeat is equally lock-free on the detector side
+    // (it reads histograms and swaps controller atomics only).
+    let _ = session.kard().production_tick();
+    assert_eq!(
+        session.kard().detector_lock_acquisitions(),
+        after,
+        "a controller tick must take no detector locks"
+    );
+}
+
 #[test]
 fn lock_free_objects_stay_not_accessed() {
     let program = lock_free_program(2, 50);
