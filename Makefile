@@ -1,4 +1,4 @@
-.PHONY: verify build test clippy doc bench-alloc bench-scalability bench-fault-latency bench-key-pressure bench-firehose bench-production bench-smoke trace-demo serve
+.PHONY: verify build test clippy doc bench-alloc bench-scalability bench-fault-latency bench-key-pressure bench-firehose bench-production bench-anomaly bench-smoke trace-demo serve
 
 verify: build test clippy doc
 
@@ -36,6 +36,13 @@ bench-firehose:
 bench-production:
 	cargo bench -p kard-bench --bench bench_production_mode
 
+# Injected-regression detection gates for the drain-side anomaly
+# analyzer (EXPERIMENTS.md "Anomaly detection"): every regression
+# flagged on its expected metric, <= 1 false positive on the clean
+# control. Gates run inside the bench.
+bench-anomaly:
+	cargo bench -p kard-bench --bench bench_anomaly
+
 # Run the firehose daemon on the default TCP port (see
 # `kard-server --help` for sockets, shard counts, and stats streaming).
 serve:
@@ -51,7 +58,8 @@ bench-smoke:
 	KARD_BENCH_SMOKE=1 cargo bench -p kard-bench --bench bench_key_pressure
 	KARD_BENCH_SMOKE=1 cargo bench -p kard-bench --bench bench_firehose
 	KARD_BENCH_SMOKE=1 cargo bench -p kard-bench --bench bench_production_mode
-	for f in BENCH_alloc.json BENCH_scalability.json BENCH_fault_latency.json BENCH_key_pressure.json BENCH_firehose.json BENCH_production_mode.json; do \
+	KARD_BENCH_SMOKE=1 cargo bench -p kard-bench --bench bench_anomaly
+	for f in BENCH_alloc.json BENCH_scalability.json BENCH_fault_latency.json BENCH_key_pressure.json BENCH_firehose.json BENCH_production_mode.json BENCH_anomaly.json; do \
 		python3 -m json.tool $$f > /dev/null || exit 1; echo "$$f: valid JSON"; done
 	python3 -c "import json; s = [r for r in json.load(open('BENCH_key_pressure.json'))['samples'] if r['policy'] == 'hotness' and r['groups'] == 64]; assert s and all(r['vkeys']['hits'] > 0 for r in s), 'hotness policy produced no vkey cache hits at 64 groups'; print('key-pressure gate: hotness hits at 64 groups =', s[0]['vkeys']['hits'])"
 

@@ -1,0 +1,217 @@
+//! Detection-quality gates for the drain-side anomaly analyzer
+//! ([`kard_telemetry::analyze`]): injected regressions over the
+//! [`kard_workloads::regress`] shapes, judged like a change-point
+//! detection benchmark — did each injected regression get flagged on
+//! its expected metric after the injection point, and how many false
+//! positives did the clean control raise?
+//!
+//! Every scenario replays the same windowed protocol: one
+//! [`kard_rt::Session`] per scenario, one [`Session::drain`] after each
+//! window (exactly the firehose shard cadence), signals collected via
+//! [`kard_core::Kard::take_anomaly_signals`]. The analyzer runs its
+//! default sensitivity knobs — the gates hold with the shipping
+//! configuration, not a tuned one.
+//!
+//! CI gates:
+//!
+//! - every injected regression (fault storm, key thrash, latency creep)
+//!   fires its expected metric at or after its injection window;
+//! - the clean control raises at most one signal across the whole run;
+//! - no injected scenario fires its expected metric *before* injection.
+//!
+//! Run with `cargo bench -p kard-bench --bench bench_anomaly`; emits
+//! `BENCH_anomaly.json` at the repository root. Set `KARD_BENCH_SMOKE=1`
+//! for the CI smoke run (fewer windows, same gates).
+
+use kard_core::KardConfig;
+use kard_rt::{KardExecutor, Session};
+use kard_telemetry::{AnomalySignal, MetricKind};
+use kard_trace::replay::replay;
+use kard_workloads::regress::{self, RegressConfig, RegressWorkload, Regression};
+
+/// The clean control may raise at most this many signals.
+const MAX_CLEAN_FALSE_POSITIVES: usize = 1;
+
+fn config() -> RegressConfig {
+    if std::env::var_os("KARD_BENCH_SMOKE").is_some() {
+        RegressConfig {
+            windows: 16,
+            inject_at: 8,
+            ..RegressConfig::default()
+        }
+    } else {
+        RegressConfig::default()
+    }
+}
+
+/// One signal, tagged with the bench window it fired in.
+struct Fired {
+    bench_window: usize,
+    signal: AnomalySignal,
+}
+
+struct ScenarioResult {
+    name: &'static str,
+    expected: Option<MetricKind>,
+    inject_at: Option<usize>,
+    windows: usize,
+    fired: Vec<Fired>,
+    /// Bench window where the expected metric first fired at/after
+    /// injection.
+    detected_at: Option<usize>,
+    /// Expected-metric signals before the injection window (must be 0).
+    premature: usize,
+}
+
+/// Replay one workload window by window, draining after each window so
+/// the analyzer sees one sample per window.
+fn run(workload: &RegressWorkload, cfg: &RegressConfig) -> ScenarioResult {
+    let session = Session::builder()
+        .config(KardConfig::paper().virtual_keys(true))
+        .telemetry(true)
+        .build();
+    let mut exec = KardExecutor::new(session.kard().clone());
+    let mut fired = Vec::new();
+    let debug = std::env::var_os("KARD_BENCH_ANOMALY_DEBUG").is_some();
+    for (bench_window, trace) in workload.windows.iter().enumerate() {
+        replay(trace, &mut exec);
+        let _ = session.drain();
+        if debug {
+            let stats = session.kard().anomaly_stats();
+            let vals: Vec<(&str, u64, u64, u64)> = MetricKind::ALL
+                .iter()
+                .map(|&m| {
+                    let s = stats.metrics[m as usize];
+                    (m.name(), s.last_value, s.baseline, s.cusum_permille)
+                })
+                .collect();
+            eprintln!("{} w{bench_window}: {vals:?}", workload.name);
+        }
+        for signal in session.kard().take_anomaly_signals() {
+            fired.push(Fired { bench_window, signal });
+        }
+    }
+    let expected = workload.regression.map(Regression::expected_metric);
+    let inject_at = workload.regression.map(|_| cfg.inject_at);
+    let detected_at = expected.and_then(|metric| {
+        fired
+            .iter()
+            .find(|f| f.signal.metric == metric && Some(f.bench_window) >= inject_at)
+            .map(|f| f.bench_window)
+    });
+    let premature = expected.map_or(0, |metric| {
+        fired
+            .iter()
+            .filter(|f| f.signal.metric == metric && Some(f.bench_window) < inject_at)
+            .count()
+    });
+    ScenarioResult {
+        name: workload.name,
+        expected,
+        inject_at,
+        windows: workload.windows.len(),
+        fired,
+        detected_at,
+        premature,
+    }
+}
+
+fn main() {
+    let cfg = config();
+    let mut results = Vec::new();
+    results.push(run(&regress::clean(&cfg), &cfg));
+    for shape in Regression::ALL {
+        results.push(run(&regress::injected(&cfg, shape), &cfg));
+    }
+
+    for r in &results {
+        let verdict = match (r.expected, r.detected_at) {
+            (None, _) => format!("{} signals (control)", r.fired.len()),
+            (Some(m), Some(w)) => format!(
+                "{} flagged at window {w} (injected at {}, latency {} windows)",
+                m.name(),
+                r.inject_at.unwrap_or(0),
+                w - r.inject_at.unwrap_or(0)
+            ),
+            (Some(m), None) => format!("{} NOT flagged", m.name()),
+        };
+        println!("{:<14} {verdict}", r.name);
+    }
+
+    // --- CI gates (see EXPERIMENTS.md "Anomaly detection") ------------------
+    let clean = &results[0];
+    assert!(
+        clean.fired.len() <= MAX_CLEAN_FALSE_POSITIVES,
+        "clean control raised {} signals (max {MAX_CLEAN_FALSE_POSITIVES}): {:?}",
+        clean.fired.len(),
+        clean
+            .fired
+            .iter()
+            .map(|f| (f.bench_window, f.signal.metric.name()))
+            .collect::<Vec<_>>()
+    );
+    for r in &results[1..] {
+        assert!(
+            r.detected_at.is_some(),
+            "{}: expected metric {} never fired after injection",
+            r.name,
+            r.expected.map_or("?", MetricKind::name)
+        );
+        assert_eq!(
+            r.premature, 0,
+            "{}: expected metric fired before injection",
+            r.name
+        );
+    }
+
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            let signals: Vec<String> = r
+                .fired
+                .iter()
+                .map(|f| {
+                    format!(
+                        "      {{\"window\": {}, \"metric\": \"{}\", \"value\": {}, \"baseline\": {}, \"score_permille\": {}, \"suspected_thread\": {}}}",
+                        f.bench_window,
+                        f.signal.metric.name(),
+                        f.signal.value,
+                        f.signal.baseline,
+                        f.signal.score,
+                        f.signal
+                            .suspected_thread
+                            .map_or("null".to_string(), |t| t.to_string()),
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\"scenario\": \"{}\", \"expected_metric\": {}, \"inject_at_window\": {}, \"windows\": {}, \"flagged_at_window\": {}, \"detection_latency_windows\": {}, \"premature_expected_signals\": {}, \"signals_total\": {}, \"signals\": [\n{}\n    ]}}",
+                r.name,
+                r.expected
+                    .map_or("null".to_string(), |m| format!("\"{}\"", m.name())),
+                r.inject_at.map_or("null".to_string(), |w| w.to_string()),
+                r.windows,
+                r.detected_at.map_or("null".to_string(), |w| w.to_string()),
+                r.detected_at
+                    .and_then(|w| r.inject_at.map(|i| w - i))
+                    .map_or("null".to_string(), |l| l.to_string()),
+                r.premature,
+                r.fired.len(),
+                signals.join(",\n"),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"anomaly\",\n  \"workload\": \"windowed regression injection over {} threads: {} windows per scenario, regression injected at window {}; one drain per window; analyzer at default sensitivity\",\n  \"analyzer\": {},\n  \"gates\": {{\"all_injected_flagged\": true, \"max_clean_false_positives\": {MAX_CLEAN_FALSE_POSITIVES}, \"clean_false_positives\": {}}},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        cfg.threads,
+        cfg.windows,
+        cfg.inject_at,
+        serde_json::to_string(&kard_core::AnalyzerConfig::default())
+            .expect("config serializes"),
+        results[0].fired.len(),
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_anomaly.json");
+    std::fs::write(path, json).expect("write BENCH_anomaly.json");
+    println!("wrote {path}");
+}

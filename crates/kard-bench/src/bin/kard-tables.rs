@@ -12,8 +12,9 @@
 //! scale. The default (0.01) finishes in well under a minute; 1.0 replays
 //! the paper's full counts. `--json` emits machine-readable results
 //! instead of formatted tables. `--stats-json PATH` additionally writes
-//! the final `DetectorStats` of an 8-thread memcached run to `PATH` as
-//! JSON (scaled by `--requests`).
+//! the full final `KardSnapshot` of an 8-thread memcached run to `PATH`
+//! as JSON (scaled by `--requests`) — the same shape the embedded
+//! runtime and the firehose `/statsz` detector blocks serialize.
 
 use kard_bench::{extras, figures, tables};
 use std::env;

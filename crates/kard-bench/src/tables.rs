@@ -526,36 +526,30 @@ pub fn table5(requests: u64) -> Vec<Table5Col> {
         .collect()
 }
 
-/// The `kard-tables --stats-json` payload: the detector counters plus
-/// the production-mode controller counters, so operators watching a
-/// budgeted deployment see sampling decisions next to detection counts.
-#[derive(Clone, Debug)]
+/// The `kard-tables --stats-json` payload: one full
+/// [`KardSnapshot`](kard_core::KardSnapshot), serialized exactly as the
+/// embedded runtime's `Session::snapshot` and the firehose `/statsz`
+/// per-shard `detector` block serialize it. All three stats surfaces
+/// emit one shape instead of each hand-assembling overlapping JSON; the
+/// field-for-field agreement is round-trip tested in
+/// `tests/stats_surfaces.rs`.
+#[derive(Clone, Copy, Debug)]
 pub struct FinalStats {
-    /// Detector counters (field names are stable).
-    pub detector: kard_core::DetectorStats,
-    /// Overhead-budget controller counters (all-default when production
-    /// mode is off).
-    pub production: kard_core::ProductionStats,
+    /// The run's full detector snapshot: detection counters, virtual-key
+    /// cache, allocator, fault shards, production-mode controller, and
+    /// the drain-side anomaly analyzer.
+    pub snapshot: kard_core::KardSnapshot,
 }
 
 impl FinalStats {
-    /// The JSON shape written by `--stats-json`: the detector counters
-    /// flat at the top level exactly as before, with the controller
-    /// counters added as a `production` block.
+    /// The JSON shape written by `--stats-json`.
     ///
     /// # Panics
     ///
-    /// Never in practice — both halves always serialize.
+    /// Never in practice — the snapshot always serializes.
     #[must_use]
     pub fn to_json(&self) -> serde_json::Value {
-        let mut v = serde_json::to_value(&self.detector).expect("stats serialize");
-        if let serde_json::Value::Object(map) = &mut v {
-            map.insert(
-                "production".to_string(),
-                serde_json::to_value(self.production).expect("production serializes"),
-            );
-        }
-        v
+        serde_json::to_value(self.snapshot).expect("snapshot serializes")
     }
 }
 
@@ -569,8 +563,7 @@ pub fn final_stats(threads: usize, requests: u64) -> FinalStats {
     let mut exec = KardExecutor::new(session.kard().clone());
     replay(&model.program.trace_seeded(5), &mut exec);
     FinalStats {
-        detector: exec.stats(),
-        production: session.kard().production_stats(),
+        snapshot: session.snapshot(),
     }
 }
 

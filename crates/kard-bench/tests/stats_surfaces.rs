@@ -1,0 +1,98 @@
+//! The stats-consolidation satellite: the three stats surfaces — the
+//! embedded runtime's `Session::snapshot`, the `kard-tables
+//! --stats-json` payload, and the firehose `/statsz` per-shard
+//! `detector` block — all serialize one [`KardSnapshot`] shape.
+//!
+//! "Agree field for field" is checked structurally (every surface's
+//! JSON exposes exactly the same key paths) and by round trip (each
+//! surface's JSON deserializes back to the identical snapshot value),
+//! so no surface can drift by hand-assembling its own overlapping JSON
+//! again.
+
+use kard_core::KardSnapshot;
+use kard_server::{Server, ServerConfig};
+use serde_json::Value;
+
+/// Collect every key path in a JSON tree, `dot.separated`, with arrays
+/// and scalars as leaves. Two surfaces expose the same schema iff their
+/// path sets are equal.
+fn key_paths(value: &Value, prefix: &str, out: &mut Vec<String>) {
+    if let Some(map) = value.as_object() {
+        for (k, v) in map {
+            let path = if prefix.is_empty() {
+                k.clone()
+            } else {
+                format!("{prefix}.{k}")
+            };
+            key_paths(v, &path, out);
+        }
+    } else {
+        out.push(prefix.to_string());
+    }
+}
+
+fn paths_of(snapshot_json: &Value) -> Vec<String> {
+    let mut paths = Vec::new();
+    key_paths(snapshot_json, "", &mut paths);
+    paths.sort();
+    paths
+}
+
+fn round_trip(json: &Value) -> KardSnapshot {
+    let text = serde_json::to_string(json).expect("value serializes");
+    serde_json::from_str(&text).expect("snapshot deserializes")
+}
+
+#[test]
+fn three_stats_surfaces_agree_field_for_field() {
+    // Surface 1: the embedded runtime. Run a little real work so the
+    // snapshot is not all-default.
+    let session = kard_rt::Session::new();
+    let kard = session.kard();
+    let t = kard.register_thread();
+    let obj = kard.on_alloc(t, 64);
+    kard.lock_enter(t, kard_core::LockId(1), kard_sim::CodeSite(0x10));
+    kard.write(t, obj.base, kard_sim::CodeSite(0x11));
+    kard.lock_exit(t, kard_core::LockId(1));
+    let embedded_snapshot = session.snapshot();
+    let embedded = serde_json::to_value(embedded_snapshot).expect("snapshot serializes");
+    assert_eq!(
+        round_trip(&embedded),
+        embedded_snapshot,
+        "embedded surface round-trips"
+    );
+
+    // Surface 2: the `kard-tables --stats-json` payload (a tiny
+    // memcached run).
+    let cli = kard_bench::tables::final_stats(2, 5);
+    let cli_json = cli.to_json();
+    assert_eq!(
+        round_trip(&cli_json),
+        cli.snapshot,
+        "kard-tables surface round-trips to the exact snapshot it wraps"
+    );
+
+    // Surface 3: the firehose `/statsz` per-shard detector block.
+    let server = Server::start(ServerConfig {
+        shards: 1,
+        tcp: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let statsz = server.statsz();
+    let shard_detector = statsz.shards[0].detector;
+    let server_json = serde_json::to_value(shard_detector).expect("snapshot serializes");
+    assert_eq!(
+        round_trip(&server_json),
+        shard_detector,
+        "/statsz surface round-trips"
+    );
+    server.shutdown();
+    server.join();
+
+    // Field-for-field agreement: identical key paths on all three.
+    let embedded_paths = paths_of(&embedded);
+    assert!(!embedded_paths.is_empty());
+    assert_eq!(embedded_paths, paths_of(&cli_json), "kard-tables schema drifted");
+    assert_eq!(embedded_paths, paths_of(&server_json), "/statsz schema drifted");
+}

@@ -5,6 +5,7 @@
 //! pick a value.
 
 use crate::vkey::KeyCachePolicy;
+use kard_telemetry::AnalyzerConfig;
 
 /// Behaviour of the key-assignment policy when every read-write pool key is
 /// already assigned (§5.4, rule three).
@@ -119,6 +120,17 @@ pub struct KardConfig {
     /// seed (and config) monitor the same objects; vary it across
     /// production deployments so different hosts cover different samples.
     pub sample_seed: u64,
+    /// Run the drain-side anomaly analyzer ([`kard_telemetry::analyze`]):
+    /// CUSUM + EWMA detectors over per-drain aggregates that learn the
+    /// workload's baselines and emit [`kard_telemetry::AnomalySignal`]s
+    /// into [`crate::KardSnapshot::anomaly`]. On by default — the
+    /// analyzer is a pure telemetry consumer with zero recording-path
+    /// cost (`tests/no_lock_overhead.rs`), so it is cheap enough to
+    /// leave on; it only does work when drains happen.
+    pub anomaly_detection: bool,
+    /// Sensitivity knobs of the anomaly analyzer (warmup, EWMA weight,
+    /// CUSUM slack/threshold). See docs/TUNING.md.
+    pub anomaly: AnalyzerConfig,
 }
 
 impl KardConfig {
@@ -143,6 +155,8 @@ impl KardConfig {
             overhead_budget: None,
             sample_permille: 1000,
             sample_seed: 0,
+            anomaly_detection: true,
+            anomaly: AnalyzerConfig::default(),
         }
     }
 
@@ -171,6 +185,8 @@ impl KardConfig {
             overhead_budget: None,
             sample_permille: 1000,
             sample_seed: 0,
+            anomaly_detection: true,
+            anomaly: AnalyzerConfig::default(),
         }
     }
 
@@ -293,6 +309,20 @@ impl KardConfig {
         self
     }
 
+    /// Builder-style setter for [`KardConfig::anomaly_detection`].
+    #[must_use]
+    pub fn anomaly_detection(mut self, on: bool) -> KardConfig {
+        self.anomaly_detection = on;
+        self
+    }
+
+    /// Builder-style setter for [`KardConfig::anomaly`].
+    #[must_use]
+    pub fn anomaly(mut self, knobs: AnalyzerConfig) -> KardConfig {
+        self.anomaly = knobs;
+        self
+    }
+
     /// A human-readable description of the active key mode, printed by the
     /// report tables and examples so experiment output states which policy
     /// produced it. `pool` is the hardware read-write pool size.
@@ -347,6 +377,8 @@ mod tests {
         assert_eq!(c.overhead_budget, None, "no budget until asked for one");
         assert_eq!(c.sample_permille, 1000, "full-width sample by default");
         assert_eq!(c.sample_seed, 0);
+        assert!(c.anomaly_detection, "the analyzer is cheap enough to leave on");
+        assert_eq!(c.anomaly, AnalyzerConfig::default());
     }
 
     #[test]

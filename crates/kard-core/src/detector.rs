@@ -126,7 +126,7 @@ use crate::types::{LockId, Perm, SectionId, SectionMode};
 use crate::vkey::{LogicalHolder, VKeyStats, VKeyTable, VirtualKey};
 use kard_alloc::{KardAlloc, ObjectId, ObjectInfo};
 use kard_telemetry::event::{pack_domains, DomainCode, GRANT_PROACTIVE, GRANT_REACTIVE};
-use kard_telemetry::{EventKind, Telemetry};
+use kard_telemetry::{Analyzer, AnomalySignal, AnomalyStats, Drained, EventKind, Telemetry};
 use kard_sim::{
     AccessKind, CodeSite, CostModel, GpFault, KeyLayout, Machine, Permission, Pkru, ProtectionKey,
     ThreadId, VirtAddr, VirtPage,
@@ -402,6 +402,15 @@ pub struct Kard {
     /// loads, and its control loop runs only in [`Kard::production_tick`]
     /// on the drain side.
     budget: BudgetController,
+    /// Drain-side anomaly analyzer ([`kard_telemetry::analyze`]); `None`
+    /// when [`KardConfig::anomaly_detection`] is off. Pure telemetry
+    /// consumer: it runs only in [`Kard::observe_drained`], holds an
+    /// untracked drain-side mutex, and never touches the recording path.
+    analyzer: Option<Analyzer>,
+    /// Signals fired but not yet collected by
+    /// [`Kard::take_anomaly_signals`] (the firehose server drains these
+    /// to attribute suspects to sessions). Drain-side only.
+    pending_anomalies: parking_lot::Mutex<Vec<AnomalySignal>>,
 }
 
 impl Kard {
@@ -449,6 +458,8 @@ impl Kard {
             lock_acquisitions: counter,
             telemetry,
             budget: BudgetController::new(&config),
+            analyzer: config.anomaly_detection.then(|| Analyzer::new(config.anomaly)),
+            pending_anomalies: parking_lot::Mutex::new(Vec::new()),
         }
     }
 
@@ -2430,7 +2441,64 @@ impl Kard {
             fault_shards: self.fault_shards.stats(),
             lock_acquisitions: self.detector_lock_acquisitions(),
             production: self.production_stats(),
+            anomaly: self.anomaly_stats(),
         }
+    }
+
+    /// Anomaly-analyzer state (baselines, CUSUM accumulations, fired
+    /// signals). All defaults when [`KardConfig::anomaly_detection`] is
+    /// off.
+    #[must_use]
+    pub fn anomaly_stats(&self) -> AnomalyStats {
+        self.analyzer
+            .as_ref()
+            .map(Analyzer::stats)
+            .unwrap_or_default()
+    }
+
+    /// Run the anomaly analyzer over one drained batch. The drain-side
+    /// half of ROADMAP item 5: reduce the batch (plus histogram deltas)
+    /// to a window sample, advance every CUSUM/EWMA detector, and feed
+    /// whatever fires back into the budget controller
+    /// ([`BudgetController::note_anomaly`]) so a thrashing workload
+    /// narrows its own sample before the work integral blows the global
+    /// budget. Fired signals are returned *and* queued for
+    /// [`Kard::take_anomaly_signals`].
+    ///
+    /// No-op (empty vec) when [`KardConfig::anomaly_detection`] is off.
+    /// Touches only drain-side state — no detector lock, no ring write,
+    /// no allocation on any recording path.
+    pub fn observe_drained(&self, batch: &Drained) -> Vec<AnomalySignal> {
+        let Some(analyzer) = self.analyzer.as_ref() else {
+            return Vec::new();
+        };
+        let now = self.machine.now();
+        let signals = analyzer.observe(batch, self.telemetry.histograms(), now);
+        if signals.is_empty() {
+            return signals;
+        }
+        for signal in &signals {
+            self.budget.note_anomaly(signal);
+            if self.telemetry.enabled() {
+                self.telemetry.record(
+                    0,
+                    EventKind::AnomalySignal,
+                    now,
+                    signal.metric as u64,
+                    signal.score,
+                );
+            }
+        }
+        self.pending_anomalies.lock().extend_from_slice(&signals);
+        signals
+    }
+
+    /// Collect (and clear) the signals fired since the last call. The
+    /// firehose server uses this to enrich suspects with session identity
+    /// and apply its eviction policy; embedded sessions can read the same
+    /// state via [`Kard::anomaly_stats`].
+    pub fn take_anomaly_signals(&self) -> Vec<AnomalySignal> {
+        std::mem::take(&mut *self.pending_anomalies.lock())
     }
 
     /// Production-mode controller counters (see [`crate::budget`]).

@@ -169,6 +169,11 @@ pub struct KardSnapshot {
     /// cost. All defaults (with `enabled = false`) when
     /// [`crate::KardConfig::production`] is off.
     pub production: crate::budget::ProductionStats,
+    /// Drain-side anomaly-analyzer state: per-metric baselines, CUSUM
+    /// accumulations, and fired signals ("signals, not truth"). All
+    /// defaults when [`crate::KardConfig::anomaly_detection`] is off or
+    /// no drain has run.
+    pub anomaly: kard_telemetry::AnomalyStats,
 }
 
 /// Lock-free accumulator behind [`DetectorStats`].

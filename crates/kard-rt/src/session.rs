@@ -5,12 +5,40 @@ use crate::thread::SimThread;
 use kard_alloc::KardAlloc;
 use kard_core::{Kard, KardConfig, KardSnapshot};
 use kard_sim::{Machine, MachineConfig};
-use kard_telemetry::{export, Drained, Telemetry};
+use kard_telemetry::{export, DrainContext, Drained, Telemetry, TelemetryConsumer};
+use parking_lot::Mutex;
 use std::fmt;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Built-in drain consumer: runs the detector's anomaly analyzer
+/// ([`Kard::observe_drained`]) over every batch. Registered first by
+/// [`SessionBuilder::build`] so analyzer verdicts (and any resulting
+/// budget narrowing) land before the same drain's production tick.
+struct AnalyzerObserver {
+    kard: Arc<Kard>,
+}
+
+impl TelemetryConsumer for AnalyzerObserver {
+    fn on_drain(&mut self, batch: &Drained, _ctx: &DrainContext<'_>) {
+        self.kard.observe_drained(batch);
+    }
+}
+
+/// Built-in drain consumer: the production-mode controller heartbeat
+/// ([`Kard::production_tick`]). Each drain steers the overhead budget at
+/// the same cadence telemetry is collected.
+struct ProductionTickObserver {
+    kard: Arc<Kard>,
+}
+
+impl TelemetryConsumer for ProductionTickObserver {
+    fn on_drain(&mut self, _batch: &Drained, _ctx: &DrainContext<'_>) {
+        self.kard.production_tick();
+    }
+}
 
 /// Assembles a [`Session`] from named parts.
 ///
@@ -30,12 +58,24 @@ use std::sync::Arc;
 ///     .build();
 /// assert!(session.kard().config().virtual_keys);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Default)]
 #[must_use = "a builder does nothing until `build` is called"]
 pub struct SessionBuilder {
     machine: MachineConfig,
     config: KardConfig,
     telemetry: bool,
+    consumers: Vec<Box<dyn TelemetryConsumer>>,
+}
+
+impl fmt::Debug for SessionBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionBuilder")
+            .field("machine", &self.machine)
+            .field("config", &self.config)
+            .field("telemetry", &self.telemetry)
+            .field("consumers", &self.consumers.len())
+            .finish()
+    }
 }
 
 impl SessionBuilder {
@@ -71,7 +111,34 @@ impl SessionBuilder {
         self
     }
 
-    /// Wire machine, allocator, and detector together.
+    /// Register a drain-time observer: every [`Session::drain`] fans the
+    /// single drained batch out to each registered consumer, in
+    /// registration order, after the built-in ones (the anomaly analyzer
+    /// and the production tick). Exporter sinks
+    /// ([`kard_telemetry::JsonLinesSink`],
+    /// [`kard_telemetry::ChromeTraceSink`]) and plain closures both
+    /// qualify:
+    ///
+    /// ```
+    /// use kard_rt::Session;
+    ///
+    /// let mut session = Session::builder()
+    ///     .telemetry(true)
+    ///     .observe(|batch: &kard_telemetry::Drained, _ctx: &kard_telemetry::DrainContext<'_>| {
+    ///         let _ = batch.events.len();
+    ///     })
+    ///     .build();
+    /// let _ = session.drain();
+    /// ```
+    pub fn observe(mut self, consumer: impl TelemetryConsumer + 'static) -> SessionBuilder {
+        self.consumers.push(Box::new(consumer));
+        self
+    }
+
+    /// Wire machine, allocator, and detector together. The built-in
+    /// drain consumers (anomaly analyzer, production tick) are registered
+    /// ahead of any [`SessionBuilder::observe`] ones, so user observers
+    /// see detector state already advanced for the batch they receive.
     #[must_use]
     pub fn build(self) -> Session {
         let machine = Arc::new(Machine::new(self.machine));
@@ -81,11 +148,21 @@ impl SessionBuilder {
             Arc::clone(&alloc),
             self.config,
         ));
+        let mut consumers: Vec<Box<dyn TelemetryConsumer>> = vec![
+            Box::new(AnalyzerObserver {
+                kard: Arc::clone(&kard),
+            }),
+            Box::new(ProductionTickObserver {
+                kard: Arc::clone(&kard),
+            }),
+        ];
+        consumers.extend(self.consumers);
         let session = Session {
             machine,
             alloc,
             kard,
             next_lock: AtomicU64::new(1),
+            consumers: Mutex::new(consumers),
         };
         if self.telemetry {
             session.enable_telemetry(true);
@@ -105,6 +182,10 @@ pub struct Session {
     alloc: Arc<KardAlloc>,
     kard: Arc<Kard>,
     next_lock: AtomicU64,
+    /// Drain-time observers, fanned one batch per [`Session::drain`].
+    /// A collector-side lock: taken only at drain time, never on any
+    /// recording path.
+    consumers: Mutex<Vec<Box<dyn TelemetryConsumer>>>,
 }
 
 impl Session {
@@ -188,16 +269,43 @@ impl Session {
         self.telemetry().set_enabled(on);
     }
 
-    /// Drain all per-thread event rings into one timestamp-sorted batch
-    /// (the session-end collection step; takes only telemetry locks).
-    /// In production mode this is also the controller's heartbeat: each
-    /// drain runs one [`Kard::production_tick`] so the overhead budget is
-    /// steered at the same cadence telemetry is collected.
+    /// Register a drain-time observer on a live session (the builder's
+    /// [`SessionBuilder::observe`] declared at assembly time; this one
+    /// serves consumers created after the session exists, like a
+    /// per-connection export sink in the firehose server).
+    pub fn observe(&self, consumer: impl TelemetryConsumer + 'static) {
+        self.consumers.lock().push(Box::new(consumer));
+    }
+
+    /// Drain all per-thread event rings once and fan the single
+    /// timestamp-sorted batch out to every registered
+    /// [`TelemetryConsumer`] — the one collection step of the session.
+    ///
+    /// The built-in consumers run first: the anomaly analyzer
+    /// ([`Kard::observe_drained`]) advances its CUSUM/EWMA detectors and
+    /// couples any fired signal into the budget controller, then the
+    /// production tick ([`Kard::production_tick`]) steers the overhead
+    /// budget. User consumers registered via `observe` follow, in
+    /// registration order. Takes only collector-side locks (telemetry
+    /// cursors, the consumer list) — never a detector lock.
+    #[must_use]
+    pub fn drain(&self) -> Drained {
+        let batch = self.telemetry().drain();
+        let ctx = DrainContext {
+            now: self.machine.now(),
+            histograms: self.telemetry().histograms(),
+        };
+        for consumer in self.consumers.lock().iter_mut() {
+            consumer.on_drain(&batch, &ctx);
+        }
+        batch
+    }
+
+    /// Thin shim over [`Session::drain`], kept for source compatibility
+    /// with pre-observer callers. New code should call `drain()`.
     #[must_use]
     pub fn drain_telemetry(&self) -> Drained {
-        let drained = self.telemetry().drain();
-        self.kard.production_tick();
-        drained
+        self.drain()
     }
 
     /// Drain the rings and write the run's trace files into `dir`:
@@ -206,11 +314,17 @@ impl Session {
     /// `chrome://tracing`). Returns the drained batch for further
     /// inspection.
     ///
+    /// A thin shim over [`Session::drain`] plus the
+    /// [`export`] functions; sessions that want streaming export instead
+    /// register a [`kard_telemetry::JsonLinesSink`] /
+    /// [`kard_telemetry::ChromeTraceSink`] via
+    /// [`SessionBuilder::observe`].
+    ///
     /// # Errors
     ///
     /// Propagates filesystem errors from creating `dir` or its files.
     pub fn write_trace_files(&self, dir: &Path) -> io::Result<Drained> {
-        let drained = self.drain_telemetry();
+        let drained = self.drain();
         std::fs::create_dir_all(dir)?;
         std::fs::write(dir.join("events.jsonl"), export::json_lines(&drained.events))?;
         std::fs::write(dir.join("trace.json"), export::chrome_trace(&drained.events))?;
@@ -339,6 +453,97 @@ mod tests {
         }
         let tsc: Vec<u64> = drained.events.iter().map(|e| e.tsc).collect();
         assert!(tsc.windows(2).all(|w| w[0] <= w[1]), "sorted by timestamp");
+    }
+
+    #[test]
+    fn drain_fans_one_batch_to_every_consumer() {
+        use kard_sim::CodeSite;
+        use std::sync::atomic::AtomicUsize;
+
+        let first = Arc::new(AtomicUsize::new(0));
+        let second = Arc::new(AtomicUsize::new(0));
+        let (a, b) = (Arc::clone(&first), Arc::clone(&second));
+        let session = Session::builder()
+            .telemetry(true)
+            .observe(move |batch: &Drained, _ctx: &kard_telemetry::DrainContext<'_>| {
+                a.fetch_add(batch.events.len(), Ordering::Relaxed);
+            })
+            .observe(move |batch: &Drained, ctx: &kard_telemetry::DrainContext<'_>| {
+                b.fetch_add(batch.events.len(), Ordering::Relaxed);
+                assert!(ctx.now > 0, "context carries the virtual clock");
+            })
+            .build();
+        let t = session.spawn_thread();
+        let o = t.alloc(32);
+        let m = session.new_mutex();
+        {
+            let _g = t.enter(&m, CodeSite(0x10));
+            t.write(&o, 0, CodeSite(0x11));
+        }
+        let batch = session.drain();
+        assert!(!batch.events.is_empty());
+        assert_eq!(first.load(Ordering::Relaxed), batch.events.len());
+        assert_eq!(second.load(Ordering::Relaxed), batch.events.len());
+        // A second drain fans only the new tail, not the old batch again.
+        let more = session.drain();
+        assert_eq!(
+            first.load(Ordering::Relaxed),
+            batch.events.len() + more.events.len()
+        );
+    }
+
+    #[test]
+    fn drain_runs_the_analyzer_as_builtin_consumer() {
+        let session = Session::builder().telemetry(true).build();
+        assert_eq!(session.snapshot().anomaly.windows, 0);
+        let _ = session.drain();
+        let _ = session.drain();
+        assert_eq!(
+            session.snapshot().anomaly.windows,
+            2,
+            "each drain is one analyzer window"
+        );
+        let disabled = Session::builder()
+            .config(KardConfig::default().anomaly_detection(false))
+            .telemetry(true)
+            .build();
+        let _ = disabled.drain();
+        assert_eq!(disabled.snapshot().anomaly.windows, 0, "analyzer off");
+    }
+
+    #[test]
+    fn exporter_sinks_register_as_consumers() {
+        use kard_sim::CodeSite;
+        use kard_telemetry::JsonLinesSink;
+        use std::io::Write;
+
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = SharedBuf::default();
+        let session = Session::builder()
+            .telemetry(true)
+            .observe(JsonLinesSink::new(buf.clone()))
+            .build();
+        let t = session.spawn_thread();
+        let o = t.alloc(32);
+        let m = session.new_mutex();
+        {
+            let _g = t.enter(&m, CodeSite(0x10));
+            t.write(&o, 0, CodeSite(0x11));
+        }
+        let batch = session.drain();
+        let text = String::from_utf8(buf.0.lock().clone()).unwrap();
+        assert_eq!(text.lines().count(), batch.events.len());
     }
 
     #[test]

@@ -13,9 +13,9 @@
 //! produce byte-identical report lines regardless of what other sessions
 //! shared the server, which is what the isolation tests assert.
 
-use kard_core::ProductionStats;
+use kard_core::KardSnapshot;
 use kard_sim::AccessKind;
-use kard_telemetry::HistogramSummary;
+use kard_telemetry::{AnomalySignal, HistogramSummary};
 use kard_trace::Event;
 use serde::{Deserialize, Serialize};
 
@@ -168,10 +168,18 @@ pub struct ShardStatsz {
     /// Critical-section hold-time distribution, virtual cycles
     /// (all-zero unless the server runs with telemetry enabled).
     pub section_hold_cycles: HistogramSummary,
-    /// Production-mode overhead-budget controller state and counters
-    /// (all-default unless the server runs with an
-    /// [`overhead_budget`](crate::ServerConfig::overhead_budget)).
-    pub production: ProductionStats,
+    /// The shard detector's full snapshot — the same
+    /// [`KardSnapshot`] the embedded runtime and `kard-tables
+    /// --stats-json` emit, so every stats surface serializes one shape.
+    /// Carries the production-mode controller block (all-default unless
+    /// the server runs with an
+    /// [`overhead_budget`](crate::ServerConfig::overhead_budget)) and
+    /// the anomaly-detector block.
+    pub detector: KardSnapshot,
+    /// Recent anomaly signals, enriched with the suspected session where
+    /// the suspected thread maps to one (newest last; bounded, older
+    /// signals age out).
+    pub anomalies: Vec<AnomalySignal>,
 }
 
 /// The `/statsz` snapshot: per-shard blocks plus server totals.
@@ -179,6 +187,11 @@ pub struct ShardStatsz {
 pub struct Statsz {
     /// Per-shard blocks, indexed by shard.
     pub shards: Vec<ShardStatsz>,
+    /// Queue→apply latency across *all* shards, computed by merging the
+    /// per-shard histograms and then taking quantiles. Never an average
+    /// of per-shard percentiles — the mean of two shard p99s is not the
+    /// p99 of anything.
+    pub ingest_latency_ns: HistogramSummary,
     /// Sessions ever accepted.
     pub sessions_total: u64,
     /// Sessions currently attached, across shards.
@@ -279,11 +292,23 @@ mod tests {
             faulting: WireSide { thread: 1, section: Some(0xa), ip: 0xa1, offset: Some(8) },
             holding: WireSide { thread: 0, section: Some(0xb), ip: 0xb1, offset: None },
         };
+        let mut shard = ShardStatsz::default();
+        shard.detector.anomaly.windows = 9;
+        shard.anomalies.push(kard_telemetry::AnomalySignal {
+            metric: kard_telemetry::MetricKind::KeyPressure,
+            window: 9,
+            now: 1_000_000,
+            value: 420,
+            baseline: 20,
+            score: 5_000,
+            suspected_thread: Some(4),
+            suspected_session: Some(7),
+        });
         for r in [
             Response::Hello { session: 3, shard: 1 },
             Response::Race(race),
             Response::Flushed(SessionSummary { session: 3, applied: 10, ..Default::default() }),
-            Response::Stats(Statsz { shards: vec![ShardStatsz::default()], ..Default::default() }),
+            Response::Stats(Statsz { shards: vec![shard], ..Default::default() }),
             Response::Bye(SessionSummary { session: 3, evicted: true, ..Default::default() }),
             Response::Error { message: "nope".into() },
         ] {

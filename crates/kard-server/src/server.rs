@@ -14,7 +14,7 @@ use crate::proto::{
 };
 use crate::shard::{SessionHandle, ShardEngine, ShardShared, Work};
 use kard_core::KardConfig;
-use kard_telemetry::Telemetry;
+use kard_telemetry::{merged_summary, Telemetry};
 use kard_trace::wire::{read_frame, WireError};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -60,6 +60,12 @@ pub struct ServerConfig {
     /// forces `telemetry` on, because the controller's overhead
     /// observations come from the cycle histograms.
     pub overhead_budget: Option<u32>,
+    /// The pathological-client policy hook: evict a session once this
+    /// many anomaly signals have been attributed to it by the drain-side
+    /// analyzer. `None` (the default) reports signals in `/statsz` but
+    /// never evicts — signals are evidence, not verdicts, so eviction is
+    /// strictly opt-in.
+    pub anomaly_evict_after: Option<u64>,
     /// TCP listen address (`None` disables TCP). Use port 0 to let the
     /// OS pick; [`Server::tcp_addr`] reports the bound address.
     pub tcp: Option<String>,
@@ -81,6 +87,7 @@ impl Default for ServerConfig {
             detector: KardConfig::paper().virtual_keys(true),
             telemetry: false,
             overhead_budget: None,
+            anomaly_evict_after: None,
             tcp: Some("127.0.0.1:0".to_string()),
             unix: None,
         }
@@ -175,6 +182,12 @@ impl ServerInner {
         let mut out = Statsz {
             sessions_total: self.sessions_total.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            // Merge the per-shard histograms first, then take quantiles:
+            // averaging per-shard p99s would manufacture a global "p99"
+            // that is not the p99 of anything.
+            ingest_latency_ns: merged_summary(
+                self.shards.iter().map(|shard| &shard.ingest_latency),
+            ),
             ..Statsz::default()
         };
         for (i, shard) in self.shards.iter().enumerate() {
@@ -191,7 +204,12 @@ impl ServerInner {
                 ingest_latency_ns: shard.ingest_latency.summary(),
                 fault_delay_cycles: hists.fault_delay.summary(),
                 section_hold_cycles: hists.section_hold.summary(),
-                production: self.detectors[i].production_stats(),
+                detector: self.detectors[i].snapshot(),
+                anomalies: shard
+                    .anomalies
+                    .lock()
+                    .expect("anomaly buffer poisoned")
+                    .clone(),
             };
             out.active_sessions += block.active_sessions;
             out.applied += block.applied;

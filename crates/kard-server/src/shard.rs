@@ -21,15 +21,23 @@ use crate::proto::{Response, SessionSummary, WireRace, WireSide};
 use crate::ServerConfig;
 use kard_core::{Kard, LockId, RaceRecord, RaceSide};
 use kard_sim::CodeSite;
-use kard_telemetry::LatencyHistogram;
+use kard_telemetry::{AnomalySignal, LatencyHistogram};
 use kard_trace::{Event, Op};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// How often an idle shard wakes to scan for evictable sessions.
+/// How often an idle shard wakes to scan for evictable sessions. Also
+/// the telemetry drain cadence: the shard fans one drained batch through
+/// the runtime's consumer pipeline (analyzer, production tick) at most
+/// once per tick, so anomaly windows stay coarse enough to be meaningful
+/// under a busy queue.
 const EVICT_TICK: Duration = Duration::from_millis(25);
+
+/// How many session-attributed anomaly signals a shard keeps for
+/// `/statsz` before the oldest age out.
+const ANOMALY_KEEP: usize = 32;
 
 /// Upper bound on a single `Compute` charge, protecting the shard's
 /// shared virtual clock from one absurd event freezing the timestamp
@@ -243,6 +251,10 @@ pub(crate) struct ShardShared {
     pub evictions: AtomicU64,
     /// Queue→apply latency, nanoseconds.
     pub ingest_latency: LatencyHistogram,
+    /// Recent anomaly signals, session-enriched by the shard (newest
+    /// last, capped at [`ANOMALY_KEEP`]). `/statsz` clones this without
+    /// disturbing the shard thread.
+    pub anomalies: Mutex<Vec<AnomalySignal>>,
 }
 
 impl Default for ShardShared {
@@ -257,6 +269,7 @@ impl Default for ShardShared {
             races: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             ingest_latency: LatencyHistogram::new(),
+            anomalies: Mutex::new(Vec::new()),
         }
     }
 }
@@ -286,6 +299,9 @@ struct ClientState {
     /// Owned race records already delivered (cursor into the filtered
     /// report list).
     delivered: usize,
+    /// Anomaly signals attributed to this session so far (the
+    /// pathological-client eviction policy's meter).
+    anomaly_signals: u64,
     /// Last time the shard applied work for this session.
     last_activity: Instant,
 }
@@ -304,6 +320,7 @@ impl ClientState {
             held: HashMap::new(),
             live_bytes: 0,
             delivered: 0,
+            anomaly_signals: 0,
             last_activity: Instant::now(),
         }
     }
@@ -318,6 +335,9 @@ pub(crate) struct ShardEngine {
     /// Shard-wide id wells for the per-session lock/site namespaces.
     next_lock: u64,
     next_site: u64,
+    /// Last telemetry drain (throttles the consumer pipeline to one
+    /// window per [`EVICT_TICK`] even when the queue is busy).
+    last_drain: Instant,
 }
 
 impl ShardEngine {
@@ -333,6 +353,7 @@ impl ShardEngine {
             sessions: HashMap::new(),
             next_lock: 1,
             next_site: SITE_NAMESPACE_BASE,
+            last_drain: Instant::now(),
         }
     }
 
@@ -352,7 +373,14 @@ impl ShardEngine {
             // wake, so the sampling width tracks the shard's actual
             // apply-side overhead. A no-op when production mode is off.
             self.rt.kard().production_tick();
+            if self.last_drain.elapsed() >= EVICT_TICK {
+                self.last_drain = Instant::now();
+                self.observe_telemetry();
+            }
         }
+        // One final drain so last-window signals are attributed while
+        // their sessions are still alive.
+        self.observe_telemetry();
         let serials: Vec<u64> = self.sessions.keys().copied().collect();
         for serial in serials {
             self.end_session(serial, true, false);
@@ -631,6 +659,13 @@ impl ShardEngine {
             kard.on_thread_exit(t);
         }
         state.handle.done.store(true, Ordering::Release);
+        // Update the shared counters *before* the Bye frame becomes
+        // sendable: a client that reacts to its eviction by querying
+        // /statsz must see the eviction already counted.
+        self.shared.active_sessions.fetch_sub(1, Ordering::Relaxed);
+        if idle {
+            self.shared.evictions.fetch_add(1, Ordering::Relaxed);
+        }
         state
             .handle
             .outbox
@@ -638,9 +673,52 @@ impl ShardEngine {
                 state.handle.summary(evicted),
             )));
         state.handle.outbox.close();
-        self.shared.active_sessions.fetch_sub(1, Ordering::Relaxed);
-        if idle {
-            self.shared.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drain the telemetry rings through the runtime's consumer pipeline
+    /// (analyzer, production tick, any registered exporters), then take
+    /// the anomaly signals that fired, attribute each to the session
+    /// owning its suspected detector thread, and apply the
+    /// pathological-client eviction policy.
+    ///
+    /// Attribution is best-effort evidence ("signals, not truth"): a
+    /// suspect thread that no live session owns — or no suspect at all —
+    /// leaves `suspected_session` as `None`, and the signal still lands
+    /// in the `/statsz` buffer.
+    fn observe_telemetry(&mut self) {
+        let _ = self.rt.drain();
+        let signals = self.rt.kard().take_anomaly_signals();
+        if signals.is_empty() {
+            return;
+        }
+        let mut evict: Vec<u64> = Vec::new();
+        for mut signal in signals {
+            signal.suspected_session = signal.suspected_thread.and_then(|t| {
+                self.sessions
+                    .iter()
+                    .find(|(_, s)| s.thread_names.contains_key(&(t as usize)))
+                    .map(|(&serial, _)| serial)
+            });
+            if let Some(serial) = signal.suspected_session {
+                if let Some(state) = self.sessions.get_mut(&serial) {
+                    state.anomaly_signals += 1;
+                    let over = self
+                        .config
+                        .anomaly_evict_after
+                        .is_some_and(|cap| state.anomaly_signals >= cap);
+                    if over && !evict.contains(&serial) {
+                        evict.push(serial);
+                    }
+                }
+            }
+            let mut buf = self.shared.anomalies.lock().expect("anomaly buffer poisoned");
+            if buf.len() >= ANOMALY_KEEP {
+                buf.remove(0);
+            }
+            buf.push(signal);
+        }
+        for serial in evict {
+            self.end_session(serial, true, true);
         }
     }
 

@@ -287,8 +287,20 @@ fn statsz_aggregates_match_session_counters() {
     assert_eq!(shard.applied, summary.applied);
     assert!(shard.ingest_latency_ns.count > 0, "latency was recorded");
     assert!(
-        !shard.production.enabled,
+        !shard.detector.production.enabled,
         "production mode off unless a budget is configured"
+    );
+    // Satellite: the global ingest-latency block merges the per-shard
+    // histograms (count is additive; quantiles come from the merged
+    // distribution, never from averaging per-shard percentiles).
+    let merged_count: u64 = stats.shards.iter().map(|s| s.ingest_latency_ns.count).sum();
+    assert_eq!(stats.ingest_latency_ns.count, merged_count);
+    assert!(
+        stats
+            .shards
+            .iter()
+            .all(|s| s.ingest_latency_ns.max <= stats.ingest_latency_ns.max),
+        "merged max dominates every shard max"
     );
     client.bye().unwrap();
     server.shutdown();
@@ -312,12 +324,13 @@ fn overhead_budget_knob_surfaces_controller_state_in_statsz() {
 
     let stats = client.stats().unwrap();
     let shard = &stats.shards[client.shard()];
-    assert!(shard.production.enabled, "budget knob turns the controller on");
-    assert_eq!(shard.production.budget_permille, Some(1000));
-    assert!(shard.production.sampled_objects > 0, "decisions were counted");
-    assert_eq!(shard.production.skipped_objects, 0, "nothing skipped");
+    let production = &shard.detector.production;
+    assert!(production.enabled, "budget knob turns the controller on");
+    assert_eq!(production.budget_permille, Some(1000));
+    assert!(production.sampled_objects > 0, "decisions were counted");
+    assert_eq!(production.skipped_objects, 0, "nothing skipped");
     assert_eq!(
-        shard.production.estimated_detection_permille, 1000,
+        production.estimated_detection_permille, 1000,
         "estimated detection stays at 100%"
     );
     assert!(
@@ -325,6 +338,89 @@ fn overhead_budget_knob_surfaces_controller_state_in_statsz() {
         "budget knob forces telemetry on"
     );
     client.bye().unwrap();
+    server.shutdown();
+    server.join();
+}
+
+/// A fault storm in client vocabulary: thread 0 claims a pile of objects
+/// under lock A, then thread 1 writes every one under lock B, so each of
+/// thread 1's accesses faults (and reports an ILU race).
+fn fault_storm_burst(objects: u64) -> Vec<Event> {
+    let mut events = Vec::new();
+    for tag in 0..objects {
+        events.push(Event { thread: 0, op: Op::Alloc { tag: ObjectTag(tag), size: 64 } });
+    }
+    events.push(Event {
+        thread: 0,
+        op: Op::Lock { lock: kard_core::LockId(1), site: CodeSite(0xaaa0) },
+    });
+    for tag in 0..objects {
+        events.push(Event {
+            thread: 0,
+            op: Op::Write { tag: ObjectTag(tag), offset: 0, ip: CodeSite(0x100) },
+        });
+    }
+    events.push(Event { thread: 0, op: Op::Unlock { lock: kard_core::LockId(1) } });
+    events.push(Event {
+        thread: 1,
+        op: Op::Lock { lock: kard_core::LockId(2), site: CodeSite(0xbbb0) },
+    });
+    for tag in 0..objects {
+        events.push(Event {
+            thread: 1,
+            op: Op::Write { tag: ObjectTag(tag), offset: 0, ip: CodeSite(0x200) },
+        });
+    }
+    events.push(Event { thread: 1, op: Op::Unlock { lock: kard_core::LockId(2) } });
+    events
+}
+
+#[test]
+fn anomaly_signals_attribute_sessions_and_evict_pathological_clients() {
+    // Aggressive analyzer knobs so one fault storm fires within a window
+    // or two, plus the opt-in eviction policy at its tightest.
+    let analyzer = kard_core::AnalyzerConfig {
+        warmup_windows: 1,
+        cusum_threshold_permille: 100,
+        cusum_slack_permille: 0,
+        min_baseline: 1,
+        ..Default::default()
+    };
+    let server = start(ServerConfig {
+        shards: 1,
+        telemetry: true,
+        detector: kard_core::KardConfig::paper().virtual_keys(true).anomaly(analyzer),
+        anomaly_evict_after: Some(1),
+        ..ServerConfig::default()
+    });
+    let addr = server.tcp_addr().unwrap();
+    let mut observer = FirehoseClient::connect(addr, "observer").unwrap();
+    let mut storm = FirehoseClient::connect(addr, "storm").unwrap();
+    let storm_session = storm.session();
+
+    // Let the warmup window(s) pass while the shard is quiet, so the
+    // baselines learn "nothing happening".
+    std::thread::sleep(Duration::from_millis(80));
+    storm.send_batch(&fault_storm_burst(64)).unwrap();
+
+    // The drain-side analyzer flags the storm, attribution maps the
+    // suspect thread back to the storm session, and the policy hook
+    // evicts it — the client just sees a server-initiated Bye.
+    let summary = storm.wait_bye().expect("pathological session is evicted");
+    assert!(summary.evicted, "server-initiated end");
+
+    let stats = observer.stats().unwrap();
+    let shard = &stats.shards[0];
+    assert!(shard.detector.anomaly.signals > 0, "the analyzer fired");
+    let attributed = shard
+        .anomalies
+        .iter()
+        .find(|s| s.suspected_session == Some(storm_session))
+        .expect("a signal names the storm session");
+    assert!(attributed.value > attributed.baseline, "excess over baseline");
+    assert!(shard.evictions > 0, "the policy hook counted an eviction");
+
+    observer.bye().unwrap();
     server.shutdown();
     server.join();
 }

@@ -84,34 +84,92 @@ impl LatencyHistogram {
         let min = self.min.load(Ordering::Relaxed);
         let max = self.max.load(Ordering::Relaxed);
         let sum = self.sum.load(Ordering::Relaxed);
-        let buckets: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let quantile = |q: f64| -> u64 {
-            // Rank of the q-quantile (1-based), then the upper bound of the
-            // bucket containing that rank, clamped to the observed range.
-            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
-            let mut seen = 0u64;
-            for (i, &n) in buckets.iter().enumerate() {
-                seen += n;
-                if seen >= rank {
-                    let upper = if i == 0 { 0 } else { (1u64 << i).saturating_sub(1) };
-                    return upper.clamp(min, max);
-                }
-            }
-            max
-        };
+        let buckets = self.bucket_counts();
         HistogramSummary {
             count,
             min,
             max,
             mean: sum as f64 / count as f64,
-            p50: quantile(0.50),
-            p95: quantile(0.95),
-            p99: quantile(0.99),
+            p50: quantile_from_buckets(&buckets, 0.50).clamp(min, max),
+            p95: quantile_from_buckets(&buckets, 0.95).clamp(min, max),
+            p99: quantile_from_buckets(&buckets, 0.99).clamp(min, max),
         }
+    }
+
+    /// A relaxed snapshot of the raw per-bucket counts. Drain-side code
+    /// diffs two snapshots to get a per-window distribution (the analyzer's
+    /// windowed p95s) without disturbing the recording path.
+    #[must_use]
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// The q-quantile of a raw bucket-count array: the upper bound of the
+/// bucket holding the q-rank. Returns 0 for an empty array. Unlike
+/// [`LatencyHistogram::summary`] this has only log₂ resolution (no
+/// observed min/max to clamp to), which is fine for comparing windows
+/// of the same metric against each other.
+#[must_use]
+pub fn quantile_from_buckets(buckets: &[u64; BUCKETS], q: f64) -> u64 {
+    let count: u64 = buckets.iter().sum();
+    if count == 0 {
+        return 0;
+    }
+    // Rank of the q-quantile (1-based), then the upper bound of the
+    // bucket containing that rank.
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return if i == 0 { 0 } else { (1u64 << i).saturating_sub(1) };
+        }
+    }
+    u64::MAX
+}
+
+/// Merge several histograms into one summary: sum the bucket arrays and
+/// running aggregates, then take percentiles of the merged distribution.
+///
+/// This is the only correct way to aggregate percentiles across shards —
+/// averaging per-shard p99s produces a number that is not the p99 of
+/// anything (a shard with 10× the traffic deserves 10× the weight, and
+/// tail mass concentrated in one shard vanishes under an average).
+#[must_use]
+pub fn merged_summary<'a, I>(hists: I) -> HistogramSummary
+where
+    I: IntoIterator<Item = &'a LatencyHistogram>,
+{
+    let mut buckets = [0u64; BUCKETS];
+    let mut count = 0u64;
+    let mut sum = 0u64;
+    let mut min = u64::MAX;
+    let mut max = 0u64;
+    for h in hists {
+        let c = h.count.load(Ordering::Relaxed);
+        if c == 0 {
+            continue;
+        }
+        for (acc, b) in buckets.iter_mut().zip(h.buckets.iter()) {
+            *acc += b.load(Ordering::Relaxed);
+        }
+        count += c;
+        sum += h.sum.load(Ordering::Relaxed);
+        min = min.min(h.min.load(Ordering::Relaxed));
+        max = max.max(h.max.load(Ordering::Relaxed));
+    }
+    if count == 0 {
+        return HistogramSummary::default();
+    }
+    HistogramSummary {
+        count,
+        min,
+        max,
+        mean: sum as f64 / count as f64,
+        p50: quantile_from_buckets(&buckets, 0.50).clamp(min, max),
+        p95: quantile_from_buckets(&buckets, 0.95).clamp(min, max),
+        p99: quantile_from_buckets(&buckets, 0.99).clamp(min, max),
     }
 }
 
@@ -193,5 +251,56 @@ mod tests {
         h.record(24_000);
         let s = h.summary();
         assert_eq!((s.p50, s.p95, s.p99), (24_000, 24_000, 24_000));
+    }
+
+    #[test]
+    fn merged_summary_weights_by_mass_not_by_shard() {
+        // Shard A: 1000 fast values. Shard B: 10 slow values. Averaging the
+        // two per-shard p99s would claim a global p99 near 500k; the merged
+        // distribution knows the slow shard holds under 1% of the mass.
+        let a = LatencyHistogram::new();
+        for _ in 0..1000 {
+            a.record(100);
+        }
+        let b = LatencyHistogram::new();
+        for _ in 0..10 {
+            b.record(1_000_000);
+        }
+        let merged = merged_summary([&a, &b]);
+        assert_eq!(merged.count, 1010);
+        assert_eq!(merged.min, 100);
+        assert_eq!(merged.max, 1_000_000);
+        let avg_of_p99s = (a.summary().p99 + b.summary().p99) / 2;
+        assert!(avg_of_p99s >= 400_000, "the broken average is huge");
+        assert!(
+            merged.p99 < 1000,
+            "merged p99 stays with the mass: {}",
+            merged.p99
+        );
+        // p-quantiles above the slow shard's share do see the tail.
+        let p999 = quantile_from_buckets(&{
+            let mut m = a.bucket_counts();
+            for (i, v) in b.bucket_counts().iter().enumerate() {
+                m[i] += v;
+            }
+            m
+        }, 0.999);
+        assert!(p999 >= 500_000, "extreme tail survives the merge: {p999}");
+    }
+
+    #[test]
+    fn merged_summary_of_empty_histograms_is_default() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        assert_eq!(merged_summary([&a, &b]), HistogramSummary::default());
+    }
+
+    #[test]
+    fn merged_summary_of_one_matches_summary() {
+        let h = LatencyHistogram::new();
+        for v in [10u64, 20, 30, 40, 50_000] {
+            h.record(v);
+        }
+        assert_eq!(merged_summary([&h]), h.summary());
     }
 }

@@ -22,14 +22,18 @@
 
 #![deny(missing_docs)]
 
+pub mod analyze;
+pub mod consumer;
 pub mod event;
 pub mod export;
 pub mod hist;
 pub mod ring;
 pub mod sync;
 
+pub use analyze::{Analyzer, AnalyzerConfig, AnomalySignal, AnomalyStats, MetricKind, WindowSample};
+pub use consumer::{ChromeTraceSink, DrainContext, JsonLinesSink, TelemetryConsumer};
 pub use event::{Event, EventKind};
-pub use hist::{HistogramSummary, LatencyHistogram};
+pub use hist::{merged_summary, HistogramSummary, LatencyHistogram};
 pub use ring::EventRing;
 pub use sync::{TrackedMutex, TrackedRwLock};
 

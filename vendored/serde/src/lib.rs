@@ -343,6 +343,22 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
     }
 }
 
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], Error> {
+        let items = v.as_array().ok_or_else(|| Error::custom("expected array"))?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
         Value::Object(
